@@ -1,0 +1,126 @@
+//! Criterion benches exercising small-scale versions of every accelerator
+//! experiment (Figures 9–13, Table 3), so `cargo bench` touches the entire
+//! harness end to end. The full-scale regeneration lives in the
+//! `fingers-bench` binaries (`run_all` etc.).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fingers_core::chip::simulate_fingers;
+use fingers_core::config::{ChipConfig, PeConfig};
+use fingers_flexminer::{simulate_flexminer, FlexMinerChipConfig};
+use fingers_graph::gen::{chung_lu_power_law, ChungLuConfig};
+use fingers_graph::CsrGraph;
+use fingers_pattern::benchmarks::Benchmark;
+
+fn small_graph() -> CsrGraph {
+    chung_lu_power_law(&ChungLuConfig::new(600, 4_000, 7))
+}
+
+/// Figure 9 cells: single-PE FINGERS vs FlexMiner.
+fn bench_fig9(c: &mut Criterion) {
+    let g = small_graph();
+    let mut group = c.benchmark_group("fig9-single-pe");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for bench in [Benchmark::Tc, Benchmark::Tt, Benchmark::Cyc] {
+        let multi = bench.plan();
+        group.bench_with_input(
+            BenchmarkId::new("fingers", bench.abbrev()),
+            &multi,
+            |b, multi| b.iter(|| simulate_fingers(&g, multi, &ChipConfig::single_pe())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flexminer", bench.abbrev()),
+            &multi,
+            |b, multi| {
+                b.iter(|| simulate_flexminer(&g, multi, &FlexMinerChipConfig::single_pe()))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 10 cells: the iso-area multi-PE chips.
+fn bench_fig10(c: &mut Criterion) {
+    let g = small_graph();
+    let multi = Benchmark::Tt.plan();
+    let mut group = c.benchmark_group("fig10-iso-area");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("fingers-20pe", |b| {
+        b.iter(|| simulate_fingers(&g, &multi, &ChipConfig::default()))
+    });
+    group.bench_function("flexminer-40pe", |b| {
+        b.iter(|| simulate_flexminer(&g, &multi, &FlexMinerChipConfig::default()))
+    });
+    group.finish();
+}
+
+/// Figure 11 cells: pseudo-DFS on vs off.
+fn bench_fig11(c: &mut Criterion) {
+    let g = small_graph();
+    let multi = Benchmark::Cl4.plan();
+    let mut group = c.benchmark_group("fig11-pseudo-dfs");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for (name, pseudo) in [("on", true), ("off", false)] {
+        group.bench_function(name, |b| {
+            let mut cfg = ChipConfig::single_pe();
+            cfg.pe = PeConfig {
+                pseudo_dfs: pseudo,
+                ..PeConfig::default()
+            };
+            b.iter(|| simulate_fingers(&g, &multi, &cfg))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 12 cells: iso-area IU sweep.
+fn bench_fig12(c: &mut Criterion) {
+    let g = small_graph();
+    let multi = Benchmark::Tt.plan();
+    let mut group = c.benchmark_group("fig12-iu-sweep");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for ius in [4usize, 24, 48] {
+        group.bench_with_input(BenchmarkId::new("iso-area", ius), &ius, |b, &ius| {
+            let mut cfg = ChipConfig::single_pe();
+            cfg.pe = PeConfig::iso_area_ius(ius);
+            b.iter(|| simulate_fingers(&g, &multi, &cfg))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 13 cells: shared-cache capacity sweep (miss-rate instrumentation
+/// included in the simulation).
+fn bench_fig13(c: &mut Criterion) {
+    let g = small_graph();
+    let multi = Benchmark::Cyc.plan();
+    let mut group = c.benchmark_group("fig13-cache-sweep");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for mb in [2u32, 16] {
+        group.bench_with_input(BenchmarkId::new("fingers", mb), &mb, |b, &mb| {
+            let cfg = ChipConfig::single_pe().with_shared_cache_mb(mb as f64);
+            b.iter(|| simulate_fingers(&g, &multi, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13
+);
+criterion_main!(benches);

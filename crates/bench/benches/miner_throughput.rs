@@ -1,0 +1,61 @@
+//! Criterion benches for the software reference miner (the CPU baseline in
+//! spirit of AutoMine/GraphZero).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fingers_graph::gen::{chung_lu_power_law, erdos_renyi, ChungLuConfig};
+use fingers_mining::count_benchmark;
+use fingers_pattern::benchmarks::Benchmark;
+
+fn bench_miner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miner");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let uniform = erdos_renyi(2_000, 16_000, 1);
+    let powerlaw = chung_lu_power_law(&ChungLuConfig::new(2_000, 10_000, 2));
+    for bench in Benchmark::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("uniform", bench.abbrev()),
+            &bench,
+            |b, &bench| b.iter(|| count_benchmark(&uniform, bench)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("power-law", bench.abbrev()),
+            &bench,
+            |b, &bench| b.iter(|| count_benchmark(&powerlaw, bench)),
+        );
+    }
+    group.finish();
+}
+
+/// The pattern-aware vs pattern-oblivious paradigm gap (Section 2.2):
+/// same counts, very different work.
+fn bench_paradigms(c: &mut Criterion) {
+    use fingers_mining::oblivious::count_embeddings_oblivious;
+    use fingers_mining::count_plan;
+    use fingers_pattern::{ExecutionPlan, Induced, Pattern};
+
+    let g = erdos_renyi(400, 1600, 4);
+    let mut group = c.benchmark_group("paradigm-gap");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for p in [Pattern::triangle(), Pattern::tailed_triangle()] {
+        let plan = ExecutionPlan::compile(&p, Induced::Vertex);
+        group.bench_with_input(
+            BenchmarkId::new("pattern-aware", p.name()),
+            &plan,
+            |b, plan| b.iter(|| count_plan(&g, plan)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pattern-oblivious", p.name()),
+            &p,
+            |b, p| b.iter(|| count_embeddings_oblivious(&g, p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miner, bench_paradigms);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the plan compiler: automorphism enumeration,
+//! symmetry breaking, and full compilation per benchmark pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fingers_pattern::benchmarks::Benchmark;
+use fingers_pattern::{automorphisms, symmetry_breaking_restrictions, ExecutionPlan, Induced, Pattern};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan-compile");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for bench in Benchmark::ALL {
+        group.bench_with_input(BenchmarkId::new("full", bench.abbrev()), &bench, |b, &bench| {
+            b.iter(|| bench.plan())
+        });
+    }
+    for k in [5usize, 7, 8] {
+        let p = Pattern::clique(k);
+        group.bench_with_input(BenchmarkId::new("automorphisms-clique", k), &p, |b, p| {
+            b.iter(|| automorphisms(p))
+        });
+        group.bench_with_input(BenchmarkId::new("symmetry-clique", k), &p, |b, p| {
+            b.iter(|| symmetry_breaking_restrictions(p))
+        });
+    }
+    let house = Pattern::from_edges_named(
+        5,
+        &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)],
+        "house",
+    );
+    group.bench_function("compile-house-both-semantics", |b| {
+        b.iter(|| {
+            (
+                ExecutionPlan::compile(&house, Induced::Vertex),
+                ExecutionPlan::compile(&house, Induced::Edge),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for the task-divider machinery: head-list generation
+//! and segment pairing / load balancing (paper Section 4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+use fingers_setops::pairing::pair;
+use fingers_setops::segment::Segments;
+use fingers_setops::{Elem, SetOpKind, LONG_SEGMENT_LEN, SHORT_SEGMENT_LEN};
+
+fn sorted_set(len: usize, max: u32, seed: u64) -> Vec<Elem> {
+    use rand::Rng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut s = BTreeSet::new();
+    while s.len() < len {
+        s.insert(rng.gen_range(0..max));
+    }
+    s.into_iter().collect()
+}
+
+fn bench_pairing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    for &long_len in &[240usize, 2400, 24_000] {
+        let long = sorted_set(long_len, long_len as u32 * 4, 1);
+        let short = sorted_set(long_len / 10, long_len as u32 * 4, 2);
+        group.bench_with_input(
+            BenchmarkId::new("head-lists", long_len),
+            &(&short, &long),
+            |b, (s, l)| {
+                b.iter(|| {
+                    let ls = Segments::new(l, LONG_SEGMENT_LEN);
+                    let ss = Segments::new(s, SHORT_SEGMENT_LEN);
+                    (ls.head_list(), ss.head_list())
+                })
+            },
+        );
+        let long_segs = Segments::new(&long, LONG_SEGMENT_LEN);
+        let short_segs = Segments::new(&short, SHORT_SEGMENT_LEN);
+        let long_heads = long_segs.head_list();
+        let short_heads = short_segs.head_list();
+        let short_lasts: Vec<Elem> = (0..short_segs.count()).map(|i| short_segs.last_of(i)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("pair+balance", long_len),
+            &(&long_heads, &short_heads, &short_lasts),
+            |b, (lh, sh, sl)| b.iter(|| pair(lh, sh, sl, SetOpKind::Intersect, 2)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairing);
+criterion_main!(benches);

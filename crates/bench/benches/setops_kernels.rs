@@ -1,0 +1,46 @@
+//! Criterion benches for the set-operation kernels: whole-list merges vs
+//! the full segmented pipeline (the per-op machinery behind every table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+use fingers_setops::{merge, segmented, Elem, SegmentedConfig, SetOpKind};
+
+fn sorted_set(len: usize, max: u32, seed: u64) -> Vec<Elem> {
+    use rand::Rng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut s = BTreeSet::new();
+    while s.len() < len {
+        s.insert(rng.gen_range(0..max));
+    }
+    s.into_iter().collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setops");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for &(short_len, long_len) in &[(24usize, 240usize), (96, 960), (480, 4800)] {
+        let short = sorted_set(short_len, long_len as u32 * 4, 1);
+        let long = sorted_set(long_len, long_len as u32 * 4, 2);
+        let cfg = SegmentedConfig::default();
+        for kind in SetOpKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("merge-{kind}"), format!("{short_len}x{long_len}")),
+                &(&short, &long),
+                |b, (s, l)| b.iter(|| merge::apply(kind, s, l)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("segmented-{kind}"), format!("{short_len}x{long_len}")),
+                &(&short, &long),
+                |b, (s, l)| b.iter(|| segmented::execute(kind, s, l, &cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Runs every table and figure of the evaluation in order, printing a
+//! complete EXPERIMENTS-style report to stdout (tee it into a file).
+use std::time::Instant;
+
+type Section = (&'static str, fn(bool) -> String);
+
+fn main() {
+    let quick = fingers_bench::quick_mode();
+    // Persist plot-ready CSV series alongside the markdown report.
+    let results_dir =
+        std::env::var("FINGERS_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+    if let Err(e) = std::fs::create_dir_all(&results_dir) {
+        eprintln!("warning: cannot create {results_dir}: {e}");
+    }
+    let sections: [Section; 11] = [
+        ("table1", fingers_bench::experiments::table1::run),
+        ("table2", fingers_bench::experiments::table2::run),
+        ("fig9", fingers_bench::experiments::fig9::run),
+        ("fig10", fingers_bench::experiments::fig10::run),
+        ("fig11", fingers_bench::experiments::fig11::run),
+        ("fig12", fingers_bench::experiments::fig12::run),
+        ("fig13", fingers_bench::experiments::fig13::run),
+        ("table3", fingers_bench::experiments::table3::run),
+        ("parallelism", fingers_bench::experiments::parallelism::run),
+        ("energy", fingers_bench::experiments::energy::run),
+        ("ablations", fingers_bench::experiments::ablations::run),
+    ];
+    println!("# FINGERS reproduction — full evaluation run\n");
+    for (name, f) in sections {
+        let t0 = Instant::now();
+        let body = f(quick);
+        println!("{body}");
+        eprintln!("[{name} done in {:.1?}]", t0.elapsed());
+    }
+}

@@ -1,0 +1,45 @@
+//! Memoized dataset loading for the harness.
+
+use fingers_graph::datasets::Dataset;
+use fingers_graph::CsrGraph;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+static CACHE: OnceLock<Mutex<HashMap<Dataset, &'static CsrGraph>>> = OnceLock::new();
+
+/// Loads (and memoizes for the process lifetime) a dataset stand-in.
+///
+/// Experiments run many configurations over the same graphs; generating
+/// each stand-in once keeps the harness deterministic *and* fast.
+pub fn load(dataset: Dataset) -> &'static CsrGraph {
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("dataset cache poisoned");
+    map.entry(dataset)
+        .or_insert_with(|| Box::leak(Box::new(dataset.load())))
+}
+
+/// The evaluation's "representative trio" used by Figures 11 and 13: one
+/// cache-resident graph, one low-degree large graph, one high-degree large
+/// graph ("Mi, Pa, Or are similar to As, Yo, Lj, respectively").
+pub fn representative_trio() -> [Dataset; 3] {
+    [Dataset::AstroPh, Dataset::Youtube, Dataset::LiveJournal]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_memoizes() {
+        let a = load(Dataset::AstroPh) as *const CsrGraph;
+        let b = load(Dataset::AstroPh) as *const CsrGraph;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trio_members_are_distinct() {
+        let t = representative_trio();
+        assert_ne!(t[0], t[1]);
+        assert_ne!(t[1], t[2]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Ablations beyond the paper (DESIGN.md §8): sensitivity sweeps for the
+//! design parameters the paper fixes or calls "insensitive".
+
+use fingers_core::config::PeConfig;
+use fingers_graph::datasets::Dataset;
+use fingers_pattern::benchmarks::Benchmark;
+use fingers_pattern::{Induced, MultiPlan, Pattern};
+
+use crate::datasets::load;
+use crate::runner::run_fingers_single;
+
+/// Sweeps the pseudo-DFS maximum group size (the paper claims performance
+/// is insensitive to this parameter — we test it).
+pub fn group_size_sweep(quick: bool) -> String {
+    let d = if quick { Dataset::AstroPh } else { Dataset::Youtube };
+    let g = load(d);
+    let b = Benchmark::Tt;
+    let mut out = format!(
+        "### Ablation — pseudo-DFS max group size ({} / {})\n\n| max group | cycles | vs default |\n|---|---|---|\n",
+        d.abbrev(),
+        b.abbrev()
+    );
+    let base = run_fingers_single(g, b, PeConfig::default()).cycles;
+    for gs in [1usize, 2, 4, 8, 16, 32] {
+        let r = run_fingers_single(
+            g,
+            b,
+            PeConfig {
+                max_group_size: gs,
+                ..PeConfig::default()
+            },
+        );
+        out.push_str(&format!(
+            "| {gs} | {} | {:.2}× |\n",
+            r.cycles,
+            base as f64 / r.cycles as f64
+        ));
+    }
+    out
+}
+
+/// Sweeps the task-divider max-load threshold.
+pub fn max_load_sweep(quick: bool) -> String {
+    let d = if quick { Dataset::AstroPh } else { Dataset::Youtube };
+    let g = load(d);
+    let b = Benchmark::Cyc;
+    let mut out = format!(
+        "### Ablation — task-divider max load ({} / {})\n\n| max load | cycles | balance rate |\n|---|---|---|\n",
+        d.abbrev(),
+        b.abbrev()
+    );
+    for ml in [1usize, 2, 4, 8] {
+        let r = run_fingers_single(
+            g,
+            b,
+            PeConfig {
+                max_load: ml,
+                ..PeConfig::default()
+            },
+        );
+        out.push_str(&format!(
+            "| {ml} | {} | {:.1}% |\n",
+            r.cycles,
+            r.balance_rate() * 100.0
+        ));
+    }
+    out
+}
+
+/// Sweeps the segment geometry `(s_l, s_s)` at fixed IU count.
+pub fn segment_geometry_sweep(quick: bool) -> String {
+    let d = if quick { Dataset::AstroPh } else { Dataset::Youtube };
+    let g = load(d);
+    let b = Benchmark::Tt;
+    let mut out = format!(
+        "### Ablation — segment geometry ({} / {})\n\n| s_l | s_s | cycles |\n|---|---|---|\n",
+        d.abbrev(),
+        b.abbrev()
+    );
+    for (sl, ss) in [(8usize, 2usize), (16, 4), (32, 8), (64, 16)] {
+        let r = run_fingers_single(
+            g,
+            b,
+            PeConfig {
+                long_segment_len: sl,
+                short_segment_len: ss,
+                ..PeConfig::default()
+            },
+        );
+        out.push_str(&format!("| {sl} | {ss} | {} |\n", r.cycles));
+    }
+    out
+}
+
+/// Compares vertex- vs edge-induced plans for the tailed triangle: the
+/// edge-induced plan drops its subtractions (Section 2.1), changing both
+/// counts and the available parallelism.
+pub fn induced_semantics_comparison(quick: bool) -> String {
+    let d = if quick { Dataset::AstroPh } else { Dataset::Mico };
+    let g = load(d);
+    let mut out = format!(
+        "### Ablation — vertex- vs edge-induced (tailed triangle, {})\n\n| semantics | embeddings | FINGERS cycles |\n|---|---|---|\n",
+        d.abbrev()
+    );
+    for induced in [Induced::Vertex, Induced::Edge] {
+        let multi = MultiPlan::new("tt", &[Pattern::tailed_triangle()], induced);
+        let mut cfg = fingers_core::config::ChipConfig::single_pe();
+        cfg.pe = PeConfig::default();
+        let r = fingers_core::chip::simulate_fingers(g, &multi, &cfg);
+        out.push_str(&format!(
+            "| {induced:?} | {} | {} |\n",
+            r.total_embeddings(),
+            r.cycles
+        ));
+    }
+    out
+}
+
+/// Sweeps the global scheduler's root order — the paper's Section 6.3
+/// future-work locality knob.
+pub fn root_schedule_sweep(quick: bool) -> String {
+    use fingers_core::chip::{simulate_fingers_scheduled, RootSchedule};
+    let d = if quick { Dataset::AstroPh } else { Dataset::LiveJournal };
+    let g = load(d);
+    let multi = Benchmark::Cyc.plan();
+    let cfg = fingers_core::config::ChipConfig::default();
+    let mut out = format!(
+        "### Ablation — root scheduling policy ({} / cyc, 20 PEs)\n\n\
+         | schedule | cycles | shared-cache miss rate |\n|---|---|---|\n",
+        d.abbrev()
+    );
+    for schedule in [
+        RootSchedule::Sequential,
+        RootSchedule::Strided,
+        RootSchedule::DegreeDescending,
+    ] {
+        let r = simulate_fingers_scheduled(g, &multi, &cfg, schedule);
+        out.push_str(&format!(
+            "| {schedule:?} | {} | {:.1}% |\n",
+            r.cycles,
+            r.shared_cache.miss_rate() * 100.0
+        ));
+    }
+    out
+}
+
+/// Measures the pattern-aware vs pattern-oblivious gap (the Gramer vs
+/// AutoMine comparison of Section 2.2) on a scaled-down graph: wall time of
+/// the two software engines plus the oblivious paradigm's wasted-work
+/// ratio (isomorphism checks per matching subgraph).
+pub fn paradigm_gap(quick: bool) -> String {
+    use fingers_mining::oblivious;
+    use fingers_pattern::Pattern;
+    use std::time::Instant;
+
+    let g = if quick {
+        fingers_graph::gen::erdos_renyi(300, 900, 3)
+    } else {
+        fingers_graph::gen::chung_lu_power_law(&fingers_graph::gen::ChungLuConfig::new(
+            2_000, 8_000, 3,
+        ))
+    };
+    let mut out = String::from(
+        "### Ablation — pattern-aware vs pattern-oblivious paradigm\n\n\
+         | pattern | aware (ms) | oblivious (ms) | slowdown | checks per match |\n\
+         |---|---|---|---|---|\n",
+    );
+    for p in [Pattern::triangle(), Pattern::tailed_triangle(), Pattern::four_cycle()] {
+        let plan = fingers_pattern::ExecutionPlan::compile(&p, fingers_pattern::Induced::Vertex);
+        let t0 = Instant::now();
+        let aware = fingers_mining::count_plan(&g, &plan);
+        let t_aware = t0.elapsed();
+        let t1 = Instant::now();
+        let obl = oblivious::count_embeddings_oblivious(&g, &p);
+        let t_obl = t1.elapsed();
+        assert_eq!(aware, obl, "{p}");
+        let ratio = oblivious::wasted_check_ratio(&g, &p);
+        out.push_str(&format!(
+            "| {p} | {:.1} | {:.1} | {:.1}× | {ratio:.1} |\n",
+            t_aware.as_secs_f64() * 1e3,
+            t_obl.as_secs_f64() * 1e3,
+            t_obl.as_secs_f64() / t_aware.as_secs_f64().max(1e-9),
+        ));
+    }
+    out.push_str(
+        "\n- the paper's Section 2.2 rationale: the oblivious paradigm's \
+         gap \"could not be closed by hardware acceleration\", which is why \
+         FINGERS (and FlexMiner) build on pattern-aware plans\n",
+    );
+    out
+}
+
+/// Runs all ablations.
+pub fn run(quick: bool) -> String {
+    let mut out = String::from("## Ablations beyond the paper (DESIGN.md §8)\n\n");
+    out.push_str(&group_size_sweep(quick));
+    out.push('\n');
+    out.push_str(&max_load_sweep(quick));
+    out.push('\n');
+    out.push_str(&segment_geometry_sweep(quick));
+    out.push('\n');
+    out.push_str(&induced_semantics_comparison(quick));
+    out.push('\n');
+    out.push_str(&root_schedule_sweep(quick));
+    out.push('\n');
+    out.push_str(&paradigm_gap(quick));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_ablations_render() {
+        let r = super::run(true);
+        assert!(r.contains("max group size"));
+        assert!(r.contains("max load"));
+        assert!(r.contains("segment geometry"));
+        assert!(r.contains("edge-induced"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 12: PE scalability in number of IUs (iso-area), on Youtube.
+
+use fingers_core::config::PeConfig;
+use fingers_graph::datasets::Dataset;
+use fingers_pattern::benchmarks::Benchmark;
+
+use crate::datasets::load;
+use crate::report::{markdown_matrix, write_csv};
+use crate::runner::run_fingers_single;
+
+/// IU counts swept by the paper's Figure 12.
+pub const IU_SWEEP: [usize; 7] = [1, 2, 4, 8, 16, 24, 48];
+
+/// Runs the iso-area IU sweep (`#IUs × s_l = 384`) for 4cl, cyc, tt, plus
+/// the unlimited-area tt series, on the Youtube stand-in.
+pub fn run(quick: bool) -> String {
+    let dataset = if quick { Dataset::AstroPh } else { Dataset::Youtube };
+    let g = load(dataset);
+    let ius: Vec<usize> = if quick {
+        vec![1, 8, 24]
+    } else {
+        IU_SWEEP.to_vec()
+    };
+    let benches = [Benchmark::Cl4, Benchmark::Cyc, Benchmark::Tt];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row_labels: Vec<String> = Vec::new();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+
+    for &b in &benches {
+        // Both series share the 1-IU iso-area baseline so the curves are
+        // directly comparable.
+        let base = run_fingers_single(g, b, PeConfig::iso_area_ius(1)).cycles;
+        let row = ius
+            .iter()
+            .map(|&n| {
+                let r = run_fingers_single(g, b, PeConfig::iso_area_ius(n));
+                csv_rows.push(vec![
+                    b.abbrev().into(),
+                    n.to_string(),
+                    r.cycles.to_string(),
+                    format!("{:.4}", base as f64 / r.cycles as f64),
+                ]);
+                format!("{:.2}×", base as f64 / r.cycles as f64)
+            })
+            .collect();
+        row_labels.push(b.abbrev().to_string());
+        rows.push(row);
+    }
+    // tt with unlimited area: IUs grow, segment length stays 16 — same
+    // baseline as the iso-area tt series.
+    {
+        let base = run_fingers_single(g, Benchmark::Tt, PeConfig::iso_area_ius(1)).cycles;
+        let row = ius
+            .iter()
+            .map(|&n| {
+                let r = run_fingers_single(g, Benchmark::Tt, PeConfig::unlimited_area_ius(n));
+                csv_rows.push(vec![
+                    "tt-unlimited".into(),
+                    n.to_string(),
+                    r.cycles.to_string(),
+                    format!("{:.4}", base as f64 / r.cycles as f64),
+                ]);
+                format!("{:.2}×", base as f64 / r.cycles as f64)
+            })
+            .collect();
+        row_labels.push("tt-unlimited".to_string());
+        rows.push(row);
+    }
+    write_csv("fig12_iu_scaling", &["series", "ius", "cycles", "speedup"], &csv_rows);
+
+    let col_labels: Vec<String> = ius.iter().map(|n| format!("{n} IUs")).collect();
+    let col_refs: Vec<&str> = col_labels.iter().map(String::as_str).collect();
+    let row_refs: Vec<&str> = row_labels.iter().map(String::as_str).collect();
+
+    let mut out = format!(
+        "## Figure 12 — PE scalability vs number of IUs ({} graph)\n\n\
+         Iso-area scaling: `#IUs × s_l = 24 × 16` (more IUs ⇒ shorter \
+         segments); speedups are relative to the 1-IU configuration.\n\n",
+        dataset.abbrev()
+    );
+    out.push_str(&markdown_matrix("series \\ #IUs", &col_refs, &row_refs, &rows));
+    out.push_str(
+        "\n- paper shapes: tt and cyc scale well to 16–24 IUs then drop at 48 \
+         (segments too short); 4cl scales poorly (needs branch-level \
+         parallelism instead); tt-unlimited keeps improving with area\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_sweep_renders() {
+        let r = super::run(true);
+        assert!(r.contains("Figure 12"));
+        assert!(r.contains("tt-unlimited"));
+    }
+}

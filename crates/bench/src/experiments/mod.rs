@@ -1,0 +1,18 @@
+//! One module per table/figure of the paper's evaluation (Section 6), plus
+//! the extra ablations of DESIGN.md §8.
+//!
+//! Every `run(quick)` returns a rendered markdown report containing the
+//! same rows/series the paper presents, with our measured values next to
+//! the paper's reference numbers where the paper states them.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod energy;
+pub mod fig9;
+pub mod parallelism;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,66 @@
+//! Parallelism profile: quantifies the realized degree of each fine-grained
+//! parallelism level per (pattern, graph), supporting the paper's final
+//! contribution claim that "different patterns and different graphs exhibit
+//! drastically different degrees of each fine-grained parallelism"
+//! (Sections 1 and 6.2).
+
+use fingers_core::config::PeConfig;
+
+use crate::datasets::load;
+use crate::runner::{benchmarks, datasets, run_fingers_single};
+
+/// Runs every benchmark × dataset cell on one FINGERS PE and reports the
+/// realized branch- (tasks per pseudo-DFS group), set- (scheduled ops per
+/// task, after dedup), and segment-level (IU workloads per op) parallelism.
+pub fn run(quick: bool) -> String {
+    let benches = benchmarks(quick);
+    let graphs = datasets(quick);
+
+    let mut out = String::from(
+        "## Parallelism profile — realized degree of each fine-grained level\n\n\
+         Values are `branch / set / segment`: mean tasks per pseudo-DFS \
+         group, mean set ops per task (identical computations deduplicated, \
+         which is why cliques sit near 1), and mean IU workloads per set \
+         operation.\n\n| pattern \\ graph |",
+    );
+    for d in &graphs {
+        out.push_str(&format!(" {} |", d.abbrev()));
+    }
+    out.push_str("\n|---|");
+    for _ in &graphs {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for &b in &benches {
+        out.push_str(&format!("| {} |", b.abbrev()));
+        for &d in &graphs {
+            let r = run_fingers_single(load(d), b, PeConfig::default());
+            let pe = &r.pes[0];
+            out.push_str(&format!(
+                " {:.1} / {:.1} / {:.1} |",
+                pe.avg_group_size(),
+                pe.avg_ops_per_task(),
+                pe.avg_workloads_per_op()
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "\n- expected shapes: cliques ≈ 1 set op per task (no set-level \
+         parallelism — Section 6.2); subtraction-heavy patterns (tt, cyc) \
+         carry more ops and more segments; high-degree graphs (Or) have \
+         the most segment-level parallelism; branch-level degree rises \
+         where candidate sets are small\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_profile_renders() {
+        let r = super::run(true);
+        assert!(r.contains("Parallelism profile"));
+        assert!(r.contains(" / "));
+    }
+}

@@ -1,0 +1,64 @@
+//! Table 2 + Section 6.1: PE area breakdown, power, and frequency.
+
+use fingers_core::area::{
+    chip_power_w, pe_area, pe_area_mm2_15nm, AreaBreakdown, FLEXMINER_PE_AREA_MM2_15NM,
+    PE_CACHE_POWER_MW, PE_COMPUTE_POWER_MW, PE_FREQUENCY_GHZ,
+};
+use fingers_core::config::PeConfig;
+
+/// Renders Table 2 (area breakdown of one FINGERS PE) plus the Section 6.1
+/// power/frequency numbers.
+pub fn run(_quick: bool) -> String {
+    let cfg = PeConfig::default();
+    let a: AreaBreakdown = pe_area(&cfg);
+    let p = a.percentages();
+    let mut out = String::from(
+        "## Table 2 — Area breakdown of one FINGERS PE (28 nm)\n\n\
+         | Components | Area (mm²) | % Area | paper (mm², %) |\n\
+         |---|---|---|---|\n",
+    );
+    let rows = [
+        ("24 Intersect Units", a.ius_mm2, p[0], "0.115, 12.3%"),
+        ("12 Task Dividers", a.dividers_mm2, p[1], "0.069, 7.4%"),
+        ("2 Stream Buffers", a.stream_buffers_mm2, p[2], "0.214, 22.9%"),
+        ("Private Cache", a.private_cache_mm2, p[3], "0.118, 12.6%"),
+        ("Others", a.others_mm2, p[4], "0.418, 44.8%"),
+    ];
+    for (name, mm2, pct, paper) in rows {
+        out.push_str(&format!(
+            "| {name} | {mm2:.3} | {:.1}% | {paper} |\n",
+            pct * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "| **PE Total** | **{:.3}** | 100% | 0.934, 100% |\n\n",
+        a.total_mm2()
+    ));
+    out.push_str(&format!(
+        "- Scaled to 15 nm: {:.3} mm² per PE (paper ≈ 0.26 mm²) — {:.2}× a \
+         FlexMiner PE ({} mm²), i.e. less than 2×.\n",
+        pe_area_mm2_15nm(&cfg),
+        pe_area_mm2_15nm(&cfg) / FLEXMINER_PE_AREA_MM2_15NM,
+        FLEXMINER_PE_AREA_MM2_15NM,
+    ));
+    out.push_str(&format!(
+        "- Power: {PE_COMPUTE_POWER_MW} mW compute + {PE_CACHE_POWER_MW} mW caches per PE; \
+         {:.1} W for the 20-PE chip (paper: \"just a few watts\").\n",
+        chip_power_w(20)
+    ));
+    out.push_str(&format!(
+        "- Frequency: {PE_FREQUENCY_GHZ} GHz in 28 nm (paper Section 6.1).\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_contains_table_2_rows() {
+        let r = super::run(false);
+        assert!(r.contains("24 Intersect Units"));
+        assert!(r.contains("PE Total"));
+        assert!(r.contains("0.934"));
+    }
+}

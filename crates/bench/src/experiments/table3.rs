@@ -1,0 +1,77 @@
+//! Table 3: IU utilization and load balance in one PE (Mico graph).
+
+use fingers_core::config::PeConfig;
+use fingers_graph::datasets::Dataset;
+
+use crate::datasets::load;
+use crate::runner::{benchmarks, run_fingers_single};
+
+/// Paper's Table 3 active rates per benchmark (tc…3mc), for side-by-side
+/// reporting.
+pub const PAPER_ACTIVE: [f64; 7] = [55.3, 80.8, 81.5, 94.7, 89.9, 88.9, 65.6];
+
+/// Paper's Table 3 balance rates per benchmark.
+pub const PAPER_BALANCE: [f64; 7] = [67.3, 66.4, 66.3, 68.2, 70.3, 71.4, 69.3];
+
+/// Runs each benchmark on one default FINGERS PE over Mico and reports the
+/// active and balance rates against the paper's.
+pub fn run(quick: bool) -> String {
+    let benches = benchmarks(quick);
+    let g = load(Dataset::Mico);
+
+    let mut out = String::from(
+        "## Table 3 — IU utilization and load balance in one PE (Mi)\n\n\
+         | metric |",
+    );
+    for b in &benches {
+        out.push_str(&format!(" {} |", b.abbrev()));
+    }
+    out.push_str("\n|---|");
+    for _ in &benches {
+        out.push_str("---|");
+    }
+    out.push('\n');
+
+    let reports: Vec<_> = benches
+        .iter()
+        .map(|&b| run_fingers_single(g, b, PeConfig::default()))
+        .collect();
+
+    out.push_str("| Active Rate |");
+    for r in &reports {
+        out.push_str(&format!(" {:.1}% |", r.active_rate() * 100.0));
+    }
+    out.push_str("\n| Balance Rate |");
+    for r in &reports {
+        out.push_str(&format!(" {:.1}% |", r.balance_rate() * 100.0));
+    }
+    let paper_idx = |b: &fingers_pattern::benchmarks::Benchmark| {
+        fingers_pattern::benchmarks::Benchmark::ALL
+            .iter()
+            .position(|x| x == b)
+            .expect("benchmark in ALL")
+    };
+    out.push_str("\n| paper Active |");
+    for b in &benches {
+        out.push_str(&format!(" {:.1}% |", PAPER_ACTIVE[paper_idx(b)]));
+    }
+    out.push_str("\n| paper Balance |");
+    for b in &benches {
+        out.push_str(&format!(" {:.1}% |", PAPER_BALANCE[paper_idx(b)]));
+    }
+    out.push_str(
+        "\n\n- expected shapes: utilization generally high; cliques (tc) and \
+         the multi-pattern census lower than the subtraction-heavy patterns\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_table_renders() {
+        let r = super::run(true);
+        assert!(r.contains("Active Rate"));
+        assert!(r.contains("Balance Rate"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Evaluation harness reproducing every table and figure of the FINGERS
+//! paper (Section 6).
+//!
+//! Each experiment lives in [`experiments`] as a function returning a
+//! rendered report (the same rows/series the paper presents, with our
+//! measured values); the `src/bin/*` binaries are thin wrappers, one per
+//! table/figure:
+//!
+//! | Binary | Paper element |
+//! |--------|---------------|
+//! | `table1_datasets` | Table 1 (dataset statistics) |
+//! | `table2_area` | Table 2 + Section 6.1 (area, power, frequency) |
+//! | `fig9_single_pe` | Figure 9 (single-PE speedups) |
+//! | `fig10_overall` | Figure 10 (20-PE FINGERS vs 40-PE FlexMiner) |
+//! | `fig11_branch` | Figure 11 (pseudo-DFS / branch-level ablation) |
+//! | `fig12_iu_scaling` | Figure 12 (IU-count scalability, iso-area) |
+//! | `fig13_cache_miss` | Figure 13 (shared-cache miss curves) |
+//! | `table3_utilization` | Table 3 (IU active/balance rates) |
+//! | `ablations` | Extra sweeps beyond the paper (DESIGN.md §8) |
+//! | `run_all` | Everything above, writing `EXPERIMENTS.md`-ready output |
+//!
+//! Pass `--quick` to any binary to run a reduced matrix (small graphs /
+//! fewer cells) — used by CI-style smoke runs and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+/// Returns true when `--quick` was passed to the current binary.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

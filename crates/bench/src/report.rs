@@ -1,0 +1,156 @@
+//! Report formatting: markdown matrices and summary statistics.
+
+/// Geometric mean of strictly positive values (the paper's "on average"
+/// aggregation for speedups); 0.0 for an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Renders a row-major matrix as a markdown table.
+///
+/// # Panics
+///
+/// Panics if the matrix shape does not match the label counts.
+pub fn markdown_matrix(
+    corner: &str,
+    col_labels: &[&str],
+    row_labels: &[&str],
+    values: &[Vec<String>],
+) -> String {
+    assert_eq!(values.len(), row_labels.len(), "one row of values per row label");
+    let mut out = String::new();
+    out.push_str(&format!("| {corner} |"));
+    for c in col_labels {
+        out.push_str(&format!(" {c} |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in col_labels {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for (r, row) in row_labels.iter().zip(values) {
+        assert_eq!(row.len(), col_labels.len(), "one value per column");
+        out.push_str(&format!("| {r} |"));
+        for v in row {
+            out.push_str(&format!(" {v} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a speedup with two decimals and a trailing ×.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}×")
+}
+
+/// Formats a large integer with thousands separators.
+pub fn with_commas(mut n: u64) -> String {
+    let mut parts = Vec::new();
+    loop {
+        let next = n / 1000;
+        if next == 0 {
+            parts.push(format!("{}", n % 1000));
+            break;
+        }
+        parts.push(format!("{:03}", n % 1000));
+        n = next;
+    }
+    parts.reverse();
+    parts.join(",")
+}
+
+/// Writes plot-ready CSV next to the markdown report.
+///
+/// The target directory is `$FINGERS_RESULTS_DIR` (default `results`);
+/// nothing is written — and `false` is returned — unless that directory
+/// already exists, so unit tests and ad-hoc runs stay side-effect free.
+/// `run_all` creates the directory, so full evaluation runs always persist
+/// their series.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> bool {
+    let dir = std::env::var("FINGERS_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+    let dir = std::path::Path::new(&dir);
+    if !dir.is_dir() {
+        return false;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let mut text = header.join(",");
+    text.push('\n');
+    for row in rows {
+        text.push_str(&row.join(","));
+        text.push('\n');
+    }
+    std::fs::write(&path, text).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_renders_all_cells() {
+        let m = markdown_matrix(
+            "pat",
+            &["As", "Mi"],
+            &["tc"],
+            &[vec!["1.00×".into(), "2.00×".into()]],
+        );
+        assert!(m.contains("| pat | As | Mi |"));
+        assert!(m.contains("| tc | 1.00× | 2.00× |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per column")]
+    fn matrix_rejects_ragged_rows() {
+        markdown_matrix("x", &["a", "b"], &["r"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn commas() {
+        assert_eq!(with_commas(0), "0");
+        assert_eq!(with_commas(999), "999");
+        assert_eq!(with_commas(1000), "1,000");
+        assert_eq!(with_commas(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn speedup_format() {
+        assert_eq!(speedup(2.8), "2.80×");
+    }
+
+    /// One test for both CSV paths: the env var is process-global, so the
+    /// scenarios must not run concurrently.
+    #[test]
+    fn csv_writing_behaviour() {
+        // Without an existing directory: no-op.
+        std::env::set_var("FINGERS_RESULTS_DIR", "/nonexistent-fingers-dir");
+        assert!(!write_csv("x", &["a"], &[vec!["1".into()]]));
+
+        // With a directory: written and readable.
+        let dir = std::env::temp_dir().join("fingers_csv_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::env::set_var("FINGERS_RESULTS_DIR", &dir);
+        assert!(write_csv(
+            "unit",
+            &["k", "v"],
+            &[vec!["a".into(), "1".into()], vec!["b".into(), "2".into()]]
+        ));
+        let text = std::fs::read_to_string(dir.join("unit.csv")).expect("read back");
+        assert_eq!(text, "k,v\na,1\nb,2\n");
+        std::env::remove_var("FINGERS_RESULTS_DIR");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared experiment execution helpers.
+
+use fingers_core::chip::simulate_fingers;
+use fingers_core::config::{ChipConfig, PeConfig};
+use fingers_core::stats::ChipReport;
+use fingers_flexminer::{simulate_flexminer, FlexMinerChipConfig};
+use fingers_graph::CsrGraph;
+use fingers_pattern::benchmarks::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Result of running one (graph, benchmark) cell on both designs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// FINGERS end-to-end cycles.
+    pub fingers_cycles: u64,
+    /// FlexMiner end-to-end cycles.
+    pub flexminer_cycles: u64,
+    /// Per-pattern embedding counts (identical between designs; asserted).
+    pub embeddings: Vec<u64>,
+    /// `flexminer_cycles / fingers_cycles`.
+    pub speedup: f64,
+}
+
+fn cell(fingers: ChipReport, flexminer: ChipReport) -> CellResult {
+    assert_eq!(
+        fingers.embeddings, flexminer.embeddings,
+        "functional divergence between designs"
+    );
+    CellResult {
+        fingers_cycles: fingers.cycles,
+        flexminer_cycles: flexminer.cycles,
+        speedup: flexminer.cycles as f64 / fingers.cycles.max(1) as f64,
+        embeddings: fingers.embeddings,
+    }
+}
+
+/// Runs one benchmark on one graph with a single PE of each design
+/// (Figure 9's comparison unit).
+pub fn compare_single_pe(graph: &CsrGraph, bench: Benchmark) -> CellResult {
+    let multi = bench.plan();
+    cell(
+        simulate_fingers(graph, &multi, &ChipConfig::single_pe()),
+        simulate_flexminer(graph, &multi, &FlexMinerChipConfig::single_pe()),
+    )
+}
+
+/// Runs the iso-area chip comparison: 20 FINGERS PEs vs 40 FlexMiner PEs
+/// (Figure 10).
+pub fn compare_overall(graph: &CsrGraph, bench: Benchmark) -> CellResult {
+    let multi = bench.plan();
+    let (fingers_pes, flexminer_pes) = fingers_core::area::iso_area_pe_counts();
+    cell(
+        simulate_fingers(
+            graph,
+            &multi,
+            &ChipConfig {
+                num_pes: fingers_pes,
+                ..ChipConfig::default()
+            },
+        ),
+        simulate_flexminer(
+            graph,
+            &multi,
+            &FlexMinerChipConfig {
+                num_pes: flexminer_pes,
+                ..FlexMinerChipConfig::default()
+            },
+        ),
+    )
+}
+
+/// Runs one benchmark on a single FINGERS PE with the given PE config.
+pub fn run_fingers_single(graph: &CsrGraph, bench: Benchmark, pe: PeConfig) -> ChipReport {
+    let multi = bench.plan();
+    let mut cfg = ChipConfig::single_pe();
+    cfg.pe = pe;
+    simulate_fingers(graph, &multi, &cfg)
+}
+
+/// The benchmark set: all seven in full mode, a fast subset in quick mode.
+pub fn benchmarks(quick: bool) -> Vec<Benchmark> {
+    if quick {
+        vec![Benchmark::Tc, Benchmark::Tt]
+    } else {
+        Benchmark::ALL.to_vec()
+    }
+}
+
+/// The dataset set: all six in full mode, the two cache-resident ones in
+/// quick mode.
+pub fn datasets(quick: bool) -> Vec<fingers_graph::datasets::Dataset> {
+    use fingers_graph::datasets::Dataset;
+    if quick {
+        vec![Dataset::AstroPh, Dataset::Mico]
+    } else {
+        Dataset::ALL.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingers_graph::gen::erdos_renyi;
+
+    #[test]
+    fn single_pe_cell_is_consistent() {
+        let g = erdos_renyi(50, 200, 1);
+        let c = compare_single_pe(&g, Benchmark::Tc);
+        assert!(c.speedup > 0.0);
+        assert_eq!(
+            c.speedup,
+            c.flexminer_cycles as f64 / c.fingers_cycles as f64
+        );
+    }
+
+    #[test]
+    fn quick_sets_are_subsets() {
+        assert!(benchmarks(true).len() < benchmarks(false).len());
+        assert!(datasets(true).len() < datasets(false).len());
+    }
+}

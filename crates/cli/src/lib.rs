@@ -1,0 +1,439 @@
+//! Library backing the `fingers-mine` command-line miner.
+//!
+//! Everything is testable as a library: argument parsing
+//! ([`Options::parse`]), graph-source resolution ([`GraphSource`]), and the
+//! mining run itself ([`run`]) — `main` is a thin wrapper.
+//!
+//! ```text
+//! fingers-mine --graph gen:er:1000:5000:7 --pattern tt --engine fingers --pes 4
+//! fingers-mine --graph dataset:Mi --pattern 0-1,1-2,0-2 --engine flexminer
+//! fingers-mine --graph edges.txt --pattern 4cl --engine software --edge-induced
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use fingers_core::chip::simulate_fingers;
+use fingers_core::config::{ChipConfig, PeConfig};
+use fingers_flexminer::{simulate_flexminer, FlexMinerChipConfig};
+use fingers_graph::datasets::Dataset;
+use fingers_graph::{reorder, CsrGraph};
+use fingers_mining::{count_multi, oblivious};
+use fingers_pattern::{parse_pattern, Induced, MultiPlan, Pattern};
+
+/// Mining engine selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Plan-driven software DFS (the reference miner).
+    #[default]
+    Software,
+    /// The FINGERS accelerator simulation.
+    Fingers,
+    /// The FlexMiner baseline accelerator simulation.
+    Flexminer,
+    /// Pattern-oblivious enumeration (ESU + isomorphism checks).
+    Oblivious,
+}
+
+/// Where the input graph comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSource {
+    /// A whitespace edge-list file path.
+    File(String),
+    /// One of the Table 1 stand-ins, by abbreviation (`dataset:Mi`).
+    Dataset(Dataset),
+    /// `gen:er:<n>:<m>:<seed>` — Erdős–Rényi.
+    ErdosRenyi {
+        /// Vertices.
+        n: usize,
+        /// Edges.
+        m: usize,
+        /// Seed.
+        seed: u64,
+    },
+    /// `gen:pl:<n>:<m>:<seed>` — Chung–Lu power law.
+    PowerLaw {
+        /// Vertices.
+        n: usize,
+        /// Edges.
+        m: usize,
+        /// Seed.
+        seed: u64,
+    },
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// The input graph.
+    pub graph: GraphSource,
+    /// Patterns to mine (multi-pattern when more than one).
+    pub patterns: Vec<Pattern>,
+    /// Engine.
+    pub engine: Engine,
+    /// PE count for accelerator engines.
+    pub pes: usize,
+    /// IU count per FINGERS PE.
+    pub ius: usize,
+    /// Edge-induced instead of vertex-induced semantics.
+    pub edge_induced: bool,
+    /// Relabel the graph by descending degree before mining.
+    pub reorder_degree: bool,
+    /// Use the cost-model order optimizer instead of the greedy order.
+    pub optimize_order: bool,
+}
+
+/// Error for invalid command lines.
+#[derive(Debug)]
+pub struct UsageError(String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n\n{}", self.0, USAGE)
+    }
+}
+
+impl Error for UsageError {}
+
+/// The `--help` text.
+pub const USAGE: &str = "\
+usage: fingers-mine --graph <src> --pattern <spec> [--pattern <spec>…] [options]
+
+graph sources:
+  <path>                whitespace edge-list file (SNAP format)
+  dataset:<As|Mi|Yo|Pa|Lj|Or>   Table 1 stand-in
+  gen:er:<n>:<m>:<seed>         Erdős–Rényi
+  gen:pl:<n>:<m>:<seed>         Chung–Lu power law
+
+patterns: names (tc, 4cl, 5cl, tt, cyc, dia, wedge, house, bull, gem,
+  butterfly, k-clique, k-path, k-star) or edge lists like 0-1,1-2,0-2
+
+options:
+  --engine <software|fingers|flexminer|oblivious>   (default software)
+  --pes <n>            PEs for accelerator engines (default 1)
+  --ius <n>            IUs per FINGERS PE (default 24)
+  --edge-induced       edge-induced semantics (default vertex-induced)
+  --reorder-degree     relabel graph by descending degree first
+  --optimize-order     search all connected matching orders by cost model
+  --help               print this text";
+
+impl Options {
+    /// Parses a command line (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UsageError`] on unknown flags, missing values, malformed
+    /// sources/patterns, or missing required arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, UsageError> {
+        let mut graph = None;
+        let mut patterns = Vec::new();
+        let mut engine = Engine::Software;
+        let mut pes = 1usize;
+        let mut ius = 24usize;
+        let mut edge_induced = false;
+        let mut reorder_degree = false;
+        let mut optimize_order = false;
+
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value_for = |name: &str| {
+                it.next()
+                    .ok_or_else(|| UsageError(format!("{name} requires a value")))
+            };
+            match arg.as_str() {
+                "--graph" => graph = Some(parse_graph_source(&value_for("--graph")?)?),
+                "--pattern" => {
+                    let spec = value_for("--pattern")?;
+                    let p = parse_pattern(&spec)
+                        .map_err(|e| UsageError(format!("--pattern {spec:?}: {e}")))?;
+                    patterns.push(p);
+                }
+                "--engine" => {
+                    engine = match value_for("--engine")?.as_str() {
+                        "software" => Engine::Software,
+                        "fingers" => Engine::Fingers,
+                        "flexminer" => Engine::Flexminer,
+                        "oblivious" => Engine::Oblivious,
+                        other => return Err(UsageError(format!("unknown engine {other:?}"))),
+                    }
+                }
+                "--pes" => {
+                    pes = value_for("--pes")?
+                        .parse()
+                        .map_err(|_| UsageError("--pes must be a positive integer".into()))?
+                }
+                "--ius" => {
+                    ius = value_for("--ius")?
+                        .parse()
+                        .map_err(|_| UsageError("--ius must be a positive integer".into()))?
+                }
+                "--edge-induced" => edge_induced = true,
+                "--reorder-degree" => reorder_degree = true,
+                "--optimize-order" => optimize_order = true,
+                "--help" | "-h" => return Err(UsageError("help requested".into())),
+                other => return Err(UsageError(format!("unknown argument {other:?}"))),
+            }
+        }
+        let graph = graph.ok_or_else(|| UsageError("--graph is required".into()))?;
+        if patterns.is_empty() {
+            return Err(UsageError("at least one --pattern is required".into()));
+        }
+        if pes == 0 || ius == 0 {
+            return Err(UsageError("--pes and --ius must be positive".into()));
+        }
+        Ok(Options {
+            graph,
+            patterns,
+            engine,
+            pes,
+            ius,
+            edge_induced,
+            reorder_degree,
+            optimize_order,
+        })
+    }
+}
+
+fn parse_graph_source(spec: &str) -> Result<GraphSource, UsageError> {
+    if let Some(abbrev) = spec.strip_prefix("dataset:") {
+        let dataset = Dataset::ALL
+            .into_iter()
+            .find(|d| d.abbrev().eq_ignore_ascii_case(abbrev) || d.name().eq_ignore_ascii_case(abbrev))
+            .ok_or_else(|| UsageError(format!("unknown dataset {abbrev:?}")))?;
+        return Ok(GraphSource::Dataset(dataset));
+    }
+    if let Some(rest) = spec.strip_prefix("gen:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        if parts.len() != 4 {
+            return Err(UsageError(format!(
+                "generator spec {spec:?} must be gen:<er|pl>:<n>:<m>:<seed>"
+            )));
+        }
+        let parse_num = |s: &str, what: &str| {
+            s.parse::<u64>()
+                .map_err(|_| UsageError(format!("bad {what} in {spec:?}")))
+        };
+        let n = parse_num(parts[1], "vertex count")? as usize;
+        let m = parse_num(parts[2], "edge count")? as usize;
+        let seed = parse_num(parts[3], "seed")?;
+        return match parts[0] {
+            "er" => Ok(GraphSource::ErdosRenyi { n, m, seed }),
+            "pl" => Ok(GraphSource::PowerLaw { n, m, seed }),
+            other => Err(UsageError(format!("unknown generator {other:?}"))),
+        };
+    }
+    Ok(GraphSource::File(spec.to_owned()))
+}
+
+impl GraphSource {
+    /// Loads/generates the graph.
+    ///
+    /// # Errors
+    ///
+    /// I/O and parse errors for file sources.
+    pub fn load(&self) -> Result<CsrGraph, Box<dyn Error>> {
+        Ok(match self {
+            GraphSource::File(path) => {
+                let file = std::fs::File::open(path)?;
+                fingers_graph::io::read_edge_list(std::io::BufReader::new(file))?
+            }
+            GraphSource::Dataset(d) => d.load(),
+            GraphSource::ErdosRenyi { n, m, seed } => fingers_graph::gen::erdos_renyi(*n, *m, *seed),
+            GraphSource::PowerLaw { n, m, seed } => {
+                fingers_graph::gen::chung_lu_power_law(&fingers_graph::gen::ChungLuConfig::new(
+                    *n, *m, *seed,
+                ))
+            }
+        })
+    }
+}
+
+/// Result of one mining run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Per-pattern embedding counts.
+    pub counts: Vec<u64>,
+    /// Simulated cycles (accelerator engines only).
+    pub cycles: Option<u64>,
+    /// Human-readable engine description.
+    pub engine: String,
+}
+
+/// Executes the configured mining run.
+///
+/// # Errors
+///
+/// Propagates graph-loading errors.
+pub fn run(options: &Options) -> Result<RunOutcome, Box<dyn Error>> {
+    let mut graph = options.graph.load()?;
+    if options.reorder_degree {
+        graph = reorder::by_degree_descending(&graph).graph;
+    }
+    let induced = if options.edge_induced {
+        Induced::Edge
+    } else {
+        Induced::Vertex
+    };
+
+    let multi = if options.optimize_order {
+        let n = graph.vertex_count() as f64;
+        let density =
+            (graph.avg_degree() / (n - 1.0).max(1.0)).clamp(1e-9, 1.0 - 1e-9);
+        let plans: Vec<_> = options
+            .patterns
+            .iter()
+            .map(|p| fingers_pattern::ExecutionPlan::compile_optimized(p, induced, n, density))
+            .collect();
+        MultiPlan::from_plans("cli", plans)
+    } else {
+        MultiPlan::new("cli", &options.patterns, induced)
+    };
+
+    Ok(match options.engine {
+        Engine::Software => {
+            let out = count_multi(&graph, &multi);
+            RunOutcome {
+                counts: out.per_pattern,
+                cycles: None,
+                engine: "software (plan-driven DFS)".into(),
+            }
+        }
+        Engine::Oblivious => {
+            if induced == Induced::Edge {
+                return Err("the oblivious engine supports vertex-induced mining only".into());
+            }
+            let counts = options
+                .patterns
+                .iter()
+                .map(|p| oblivious::count_embeddings_oblivious(&graph, p))
+                .collect();
+            RunOutcome {
+                counts,
+                cycles: None,
+                engine: "pattern-oblivious (ESU + isomorphism checks)".into(),
+            }
+        }
+        Engine::Fingers => {
+            let cfg = ChipConfig {
+                num_pes: options.pes,
+                pe: PeConfig {
+                    num_ius: options.ius,
+                    ..PeConfig::default()
+                },
+                ..ChipConfig::default()
+            };
+            let r = simulate_fingers(&graph, &multi, &cfg);
+            RunOutcome {
+                counts: r.embeddings,
+                cycles: Some(r.cycles),
+                engine: format!("FINGERS ({} PE × {} IU)", options.pes, options.ius),
+            }
+        }
+        Engine::Flexminer => {
+            let cfg = FlexMinerChipConfig {
+                num_pes: options.pes,
+                ..FlexMinerChipConfig::default()
+            };
+            let r = simulate_flexminer(&graph, &multi, &cfg);
+            RunOutcome {
+                counts: r.embeddings,
+                cycles: Some(r.cycles),
+                engine: format!("FlexMiner ({} PE)", options.pes),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let o = Options::parse(args(
+            "--graph gen:er:100:300:7 --pattern tc --pattern cyc --engine fingers --pes 4 --ius 16 --edge-induced",
+        ))
+        .expect("valid");
+        assert_eq!(
+            o.graph,
+            GraphSource::ErdosRenyi {
+                n: 100,
+                m: 300,
+                seed: 7
+            }
+        );
+        assert_eq!(o.patterns.len(), 2);
+        assert_eq!(o.engine, Engine::Fingers);
+        assert_eq!(o.pes, 4);
+        assert_eq!(o.ius, 16);
+        assert!(o.edge_induced);
+    }
+
+    #[test]
+    fn dataset_and_file_sources() {
+        let o = Options::parse(args("--graph dataset:Mi --pattern tc")).expect("valid");
+        assert_eq!(o.graph, GraphSource::Dataset(Dataset::Mico));
+        let o = Options::parse(args("--graph edges.txt --pattern tc")).expect("valid");
+        assert_eq!(o.graph, GraphSource::File("edges.txt".into()));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Options::parse(args("--pattern tc")).is_err()); // no graph
+        assert!(Options::parse(args("--graph gen:er:10:5:1")).is_err()); // no pattern
+        assert!(Options::parse(args("--graph gen:er:10:5 --pattern tc")).is_err());
+        assert!(Options::parse(args("--graph g --pattern zzz")).is_err());
+        assert!(Options::parse(args("--graph g --pattern tc --engine gpu")).is_err());
+        assert!(Options::parse(args("--graph g --pattern tc --bogus")).is_err());
+        assert!(Options::parse(args("--graph g --pattern tc --pes 0")).is_err());
+    }
+
+    #[test]
+    fn usage_error_displays_usage() {
+        let e = Options::parse(args("--help")).unwrap_err();
+        assert!(e.to_string().contains("usage: fingers-mine"));
+    }
+
+    #[test]
+    fn run_software_engine() {
+        let o = Options::parse(args("--graph gen:er:60:180:3 --pattern tc --pattern wedge"))
+            .expect("valid");
+        let out = run(&o).expect("runs");
+        assert_eq!(out.counts.len(), 2);
+        assert!(out.cycles.is_none());
+    }
+
+    #[test]
+    fn engines_agree_on_counts() {
+        let base = "--graph gen:er:50:150:5 --pattern tt";
+        let sw = run(&Options::parse(args(base)).unwrap()).unwrap();
+        let fi = run(&Options::parse(args(&format!("{base} --engine fingers"))).unwrap()).unwrap();
+        let fm =
+            run(&Options::parse(args(&format!("{base} --engine flexminer"))).unwrap()).unwrap();
+        let ob =
+            run(&Options::parse(args(&format!("{base} --engine oblivious"))).unwrap()).unwrap();
+        assert_eq!(sw.counts, fi.counts);
+        assert_eq!(sw.counts, fm.counts);
+        assert_eq!(sw.counts, ob.counts);
+        assert!(fi.cycles.is_some() && fm.cycles.is_some());
+    }
+
+    #[test]
+    fn optimize_order_and_reorder_preserve_counts() {
+        let base = "--graph gen:pl:80:300:2 --pattern cyc";
+        let plain = run(&Options::parse(args(base)).unwrap()).unwrap();
+        let opt =
+            run(&Options::parse(args(&format!("{base} --optimize-order"))).unwrap()).unwrap();
+        let reord =
+            run(&Options::parse(args(&format!("{base} --reorder-degree"))).unwrap()).unwrap();
+        assert_eq!(plain.counts, opt.counts);
+        assert_eq!(plain.counts, reord.counts);
+    }
+}

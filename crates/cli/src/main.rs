@@ -1,0 +1,31 @@
+//! `fingers-mine`: command-line graph miner over the FINGERS reproduction.
+
+use std::process::ExitCode;
+
+use fingers_cli::{run, Options};
+
+fn main() -> ExitCode {
+    let options = match Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(outcome) => {
+            println!("engine: {}", outcome.engine);
+            for (pattern, count) in options.patterns.iter().zip(&outcome.counts) {
+                println!("{pattern}: {count} embeddings");
+            }
+            if let Some(cycles) = outcome.cycles {
+                println!("simulated cycles: {cycles}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

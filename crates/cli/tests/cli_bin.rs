@@ -1,0 +1,64 @@
+//! End-to-end tests of the `fingers-mine` binary itself.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fingers-mine"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn mines_a_generated_graph() {
+    let (ok, stdout, _) = run(&[
+        "--graph",
+        "gen:er:80:240:7",
+        "--pattern",
+        "tc",
+        "--engine",
+        "fingers",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("engine: FINGERS"));
+    assert!(stdout.contains("embeddings"));
+    assert!(stdout.contains("simulated cycles"));
+}
+
+#[test]
+fn mines_an_edge_list_file() {
+    let path = std::env::temp_dir().join("fingers_cli_test_graph.txt");
+    std::fs::write(&path, "# K4\n0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n").expect("write graph");
+    let (ok, stdout, _) = run(&[
+        "--graph",
+        path.to_str().expect("utf-8 path"),
+        "--pattern",
+        "tc",
+        "--pattern",
+        "4cl",
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    assert!(stdout.contains("3-clique: 4 embeddings"));
+    assert!(stdout.contains("4-clique: 1 embeddings"));
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let (ok, _, stderr) = run(&["--pattern", "tc"]);
+    assert!(!ok);
+    assert!(stderr.contains("--graph is required"));
+    assert!(stderr.contains("usage: fingers-mine"));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let (ok, _, stderr) = run(&["--graph", "/no/such/file.txt", "--pattern", "tc"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"));
+}

@@ -1,0 +1,204 @@
+//! Hardware configurations for FINGERS PEs and chips.
+
+use fingers_setops::{SegmentedConfig, LONG_SEGMENT_LEN, SHORT_SEGMENT_LEN};
+use fingers_sim::{MemoryConfig, MEM_SCALE};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one FINGERS processing element (paper Section 5:
+/// 24 IUs, 12 task dividers, 32 kB private cache, two 8 kB stream buffers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeConfig {
+    /// Number of intersect units.
+    pub num_ius: usize,
+    /// Number of task dividers.
+    pub num_dividers: usize,
+    /// Private cache capacity in bytes (paper-scale; scaled by
+    /// [`MEM_SCALE`] inside the simulator like the shared cache).
+    pub private_cache_bytes: u64,
+    /// Total stream-buffer capacity in bytes (two 8 kB buffers by default).
+    pub stream_buffer_bytes: u64,
+    /// Long-segment length `s_l`.
+    pub long_segment_len: usize,
+    /// Short-segment length `s_s`.
+    pub short_segment_len: usize,
+    /// Task-divider max-load threshold (short segments per IU workload).
+    pub max_load: usize,
+    /// Head capacity of one task divider for the long set (15 heads ↔
+    /// neighbor lists up to 240 vertices per divider pass).
+    pub divider_long_heads: usize,
+    /// Head capacity of one task divider for the short set (24 heads).
+    pub divider_short_heads: usize,
+    /// Whether the pseudo-DFS order (branch-level parallelism) is enabled;
+    /// disabling it reverts to strict DFS with group size 1 and no fetch
+    /// overlap (the Figure 11 ablation).
+    pub pseudo_dfs: bool,
+    /// Upper bound on the pseudo-DFS task-group size.
+    pub max_group_size: usize,
+    /// Fixed per-task macro-pipeline overhead in cycles (stage latencies).
+    pub pipeline_overhead: u64,
+    /// Event-trace capacity (0 disables tracing; tracing never affects
+    /// simulated timing).
+    pub trace_capacity: usize,
+}
+
+impl Default for PeConfig {
+    fn default() -> Self {
+        Self {
+            num_ius: 24,
+            num_dividers: 12,
+            private_cache_bytes: 32 * 1024,
+            stream_buffer_bytes: 2 * 8 * 1024,
+            long_segment_len: LONG_SEGMENT_LEN,
+            short_segment_len: SHORT_SEGMENT_LEN,
+            max_load: 2,
+            divider_long_heads: 15,
+            divider_short_heads: 24,
+            pseudo_dfs: true,
+            max_group_size: 16,
+            pipeline_overhead: 4,
+            trace_capacity: 0,
+        }
+    }
+}
+
+impl PeConfig {
+    /// The segmented-pipeline view of this configuration.
+    pub fn segmented(&self) -> SegmentedConfig {
+        SegmentedConfig {
+            long_segment_len: self.long_segment_len,
+            short_segment_len: self.short_segment_len,
+            max_load: self.max_load,
+        }
+    }
+
+    /// An iso-area variant with `n` IUs: the product `num_ius ×
+    /// long_segment_len` is held at the default `24 × 16 = 384`
+    /// (Figure 12's scaling rule), because the stream-buffer area per IU is
+    /// proportional to the segment length. The max-load threshold scales
+    /// with the segment length so that one IU pass keeps the default ratio
+    /// of short to long elements (a long segment is streamed once against a
+    /// proportionally sized run of short segments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn iso_area_ius(n: usize) -> Self {
+        assert!(n > 0, "need at least one IU");
+        let product = 24 * LONG_SEGMENT_LEN;
+        let long_segment_len = (product / n).max(1);
+        Self {
+            num_ius: n,
+            long_segment_len,
+            // Default geometry: s_l = 16 with max_load 2 → one short
+            // element per two long elements; keep that ratio.
+            max_load: (long_segment_len / 8).max(1),
+            ..Self::default()
+        }
+    }
+
+    /// An unlimited-area variant with `n` IUs keeping the default segment
+    /// length (Figure 12's `tt-unlimited` series).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn unlimited_area_ius(n: usize) -> Self {
+        assert!(n > 0, "need at least one IU");
+        Self {
+            num_ius: n,
+            ..Self::default()
+        }
+    }
+
+    /// Private cache capacity as simulated (scaled like the graphs).
+    pub fn scaled_private_cache_bytes(&self) -> u64 {
+        (self.private_cache_bytes / MEM_SCALE).max(1024)
+    }
+}
+
+/// Configuration of a full FINGERS chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipConfig {
+    /// Number of PEs (20 by default: iso-area with 40 FlexMiner PEs).
+    pub num_pes: usize,
+    /// Per-PE configuration.
+    pub pe: PeConfig,
+    /// Memory-system configuration.
+    pub memory: MemoryConfig,
+    /// NoC hop latency in cycles (Figure 5's mesh between PEs and the
+    /// shared cache; each PE's distance to the cache port adds to its
+    /// shared-cache latency).
+    pub noc_per_hop: u64,
+    /// NoC injection/ejection overhead in cycles.
+    pub noc_base: u64,
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self {
+            num_pes: 20,
+            pe: PeConfig::default(),
+            memory: MemoryConfig::paper_default(),
+            noc_per_hop: 1,
+            noc_base: 2,
+        }
+    }
+}
+
+impl ChipConfig {
+    /// A single-PE chip (Section 6.2's comparison unit).
+    pub fn single_pe() -> Self {
+        Self {
+            num_pes: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the shared-cache capacity in paper-scale MB (Figure 13 sweep).
+    pub fn with_shared_cache_mb(mut self, mb: f64) -> Self {
+        self.memory = MemoryConfig::with_shared_cache_mb(mb);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_section_5() {
+        let c = PeConfig::default();
+        assert_eq!(c.num_ius, 24);
+        assert_eq!(c.num_dividers, 12);
+        assert_eq!(c.private_cache_bytes, 32 * 1024);
+        assert_eq!(c.stream_buffer_bytes, 16 * 1024);
+        assert_eq!(c.long_segment_len, 16);
+        assert_eq!(c.short_segment_len, 4);
+        let chip = ChipConfig::default();
+        assert_eq!(chip.num_pes, 20);
+    }
+
+    #[test]
+    fn iso_area_preserves_iu_times_segment_product() {
+        for n in [1, 2, 4, 8, 16, 24, 48] {
+            let c = PeConfig::iso_area_ius(n);
+            assert_eq!(c.num_ius * c.long_segment_len, 384, "n={n}");
+        }
+    }
+
+    #[test]
+    fn unlimited_area_keeps_segment_length() {
+        let c = PeConfig::unlimited_area_ius(48);
+        assert_eq!(c.num_ius, 48);
+        assert_eq!(c.long_segment_len, 16);
+    }
+
+    #[test]
+    fn cache_sweep_builder() {
+        let chip = ChipConfig::default().with_shared_cache_mb(16.0);
+        assert_eq!(
+            chip.memory.shared_cache_bytes,
+            16 * 1024 * 1024 / fingers_sim::MEM_SCALE
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared candidate-set storage across sibling tasks.
+//!
+//! A partially materialized candidate set `S_j(i)` is computed once at
+//! level `i` and reused by the entire subtree below (paper Section 2.1:
+//! "the partial result can be reused by the entire subtree without
+//! recomputing"). Sibling tasks created by branch-level parallelism share
+//! it through reference-counted frames chained toward the root.
+
+use fingers_setops::Elem;
+use std::rc::Rc;
+
+/// One level's contribution of materialized candidate sets, linked to its
+/// parent level's frame.
+#[derive(Debug)]
+pub struct Frame {
+    parent: Option<Rc<Frame>>,
+    /// `(target_level, set)` pairs materialized at this frame's level.
+    sets: Vec<(usize, Rc<Vec<Elem>>)>,
+}
+
+impl Frame {
+    /// Creates a frame on top of `parent` holding the sets materialized at
+    /// the current level.
+    pub fn new(parent: Option<Rc<Frame>>, sets: Vec<(usize, Rc<Vec<Elem>>)>) -> Rc<Self> {
+        Rc::new(Self { parent, sets })
+    }
+
+    /// Looks up the most recent materialization of `S_target`, walking
+    /// toward the root.
+    pub fn lookup(&self, target: usize) -> Option<Rc<Vec<Elem>>> {
+        for &(t, ref set) in &self.sets {
+            if t == target {
+                return Some(Rc::clone(set));
+            }
+        }
+        self.parent.as_ref().and_then(|p| p.lookup(target))
+    }
+
+    /// Total bytes of the sets materialized in this frame alone (for the
+    /// private-cache occupancy model).
+    pub fn bytes(&self) -> u64 {
+        self.sets
+            .iter()
+            .map(|(_, s)| (s.len() * std::mem::size_of::<Elem>()) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_prefers_nearest_frame() {
+        let root = Frame::new(None, vec![(2, Rc::new(vec![1, 2, 3])), (3, Rc::new(vec![9]))]);
+        let child = Frame::new(Some(Rc::clone(&root)), vec![(2, Rc::new(vec![7]))]);
+        assert_eq!(*child.lookup(2).expect("S2"), vec![7]);
+        assert_eq!(*child.lookup(3).expect("S3"), vec![9]);
+        assert!(child.lookup(4).is_none());
+    }
+
+    #[test]
+    fn bytes_count_only_own_sets() {
+        let root = Frame::new(None, vec![(2, Rc::new(vec![1, 2, 3]))]);
+        let child = Frame::new(Some(root), vec![(3, Rc::new(vec![1]))]);
+        assert_eq!(child.bytes(), 4);
+    }
+
+    #[test]
+    fn sharing_does_not_clone_data() {
+        let set = Rc::new(vec![1, 2, 3]);
+        let f = Frame::new(None, vec![(1, Rc::clone(&set))]);
+        let a = f.lookup(1).expect("set");
+        let b = f.lookup(1).expect("set");
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+}

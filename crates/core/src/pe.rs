@@ -1,0 +1,785 @@
+//! The FINGERS processing element (paper Section 4).
+//!
+//! Each PE executes whole search trees, decomposed into *tasks* (extend the
+//! partial embedding by one vertex). A task runs the compiled schedule ops
+//! for its level with **set-level parallelism** (all ops issue together,
+//! sharing the one streamed neighbor list) and **segment-level parallelism**
+//! (each op is split by the task dividers into per-long-segment IU
+//! workloads, balanced with the max-load threshold, and aggregated through
+//! the bitvector result collector). **Branch-level parallelism** comes from
+//! the pseudo-DFS order: sibling tasks form groups whose neighbor-list
+//! fetches are issued together, so misses overlap with the compute of the
+//! siblings that hit.
+//!
+//! Functional execution is exact (delegated to `fingers_setops::segmented`),
+//! so every simulation doubles as a correctness check against the software
+//! miner.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use fingers_graph::{CsrGraph, VertexId};
+use fingers_pattern::{ExecutionPlan, MultiPlan, PlanOp};
+use fingers_setops::{segmented, Elem, SetOpKind};
+use fingers_sim::{Cycle, MemorySystem};
+
+use crate::chip::PeModel;
+use crate::config::PeConfig;
+use crate::frame::Frame;
+use crate::stats::PeStats;
+use crate::trace::{Trace, TraceEvent};
+
+/// Memoization key for identical in-task computations: operand
+/// identities, operation discriminant, and symmetry-breaking clip bound.
+type MemoKey = (usize, usize, u8, Option<Elem>);
+type Memo = HashMap<MemoKey, Rc<Vec<Elem>>>;
+
+/// One task: a newly matched vertex at `level` of some plan's search tree.
+#[derive(Debug, Clone)]
+struct Task {
+    plan_idx: usize,
+    level: usize,
+    /// Mapped input vertices for levels `0..=level`.
+    mapped: Rc<Vec<VertexId>>,
+    /// Candidate sets materialized by ancestor tasks.
+    frame: Option<Rc<Frame>>,
+}
+
+/// A pseudo-DFS task group: siblings popped (and fetched) together.
+#[derive(Debug)]
+struct Group {
+    tasks: Vec<Task>,
+    /// `(first_ready, completion)` of each task's neighbor-list fetch,
+    /// parallel to `tasks`; filled on first touch.
+    ready: Vec<(Cycle, Cycle)>,
+    fetched: bool,
+    next: usize,
+    /// Private-cache bytes to release when this group completes (attached
+    /// to the last child group of a spawning task).
+    release_bytes: u64,
+    /// Earliest cycle the group may start: child tasks depend on the parent
+    /// task's collected results.
+    not_before: Cycle,
+}
+
+/// The FINGERS PE simulation state. Implements [`PeModel`] so it can be
+/// driven by the shared chip driver.
+#[derive(Debug)]
+pub struct FingersPe<'g> {
+    graph: &'g CsrGraph,
+    plans: Vec<&'g ExecutionPlan>,
+    cfg: PeConfig,
+    /// Front-end time: where the fetch/head-list/divider stages are. Tasks
+    /// issue from here; the IU array drains behind it (macro-pipeline
+    /// overlap across tasks, Section 4's 5-stage pipeline).
+    now: Cycle,
+    /// Per-IU busy-until times, persistent across tasks: sibling tasks'
+    /// workloads pipeline onto the array as units free up.
+    iu_free: Vec<Cycle>,
+    /// Latest task completion (the PE's retire time).
+    finish: Cycle,
+    stack: Vec<Group>,
+    stats: PeStats,
+    /// Live candidate-set bytes (private-cache occupancy model).
+    live_bytes: u64,
+    /// EWMA of materialized candidate-set lengths, for group sizing.
+    avg_candidate_len: f64,
+    /// Synthetic spill address region (above the graph's footprint).
+    spill_base: u64,
+    spill_cursor: u64,
+    /// One-way NoC latency from this PE to the shared-cache port.
+    noc_latency: Cycle,
+    trace: Trace,
+}
+
+impl<'g> FingersPe<'g> {
+    /// Creates a PE executing `multi` on `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern has fewer than 2 vertices.
+    pub fn new(graph: &'g CsrGraph, multi: &'g MultiPlan, cfg: PeConfig) -> Self {
+        let plans: Vec<&ExecutionPlan> = multi.plans().iter().collect();
+        assert!(
+            plans.iter().all(|p| p.pattern_size() >= 2),
+            "patterns must have at least 2 vertices"
+        );
+        let avg_deg = graph.avg_degree().max(1.0);
+        let cfg_trace = cfg.trace_capacity;
+        Self {
+            graph,
+            stats: PeStats {
+                num_ius: cfg.num_ius,
+                embeddings: vec![0; plans.len()],
+                ..PeStats::default()
+            },
+            plans,
+            iu_free: vec![0; cfg.num_ius],
+            cfg,
+            now: 0,
+            finish: 0,
+            stack: Vec::new(),
+            live_bytes: 0,
+            avg_candidate_len: avg_deg,
+            spill_base: graph.total_bytes().next_multiple_of(64),
+            spill_cursor: 0,
+            noc_latency: 0,
+            trace: Trace::with_capacity(cfg_trace),
+        }
+    }
+
+    /// The event trace recorded so far (empty unless
+    /// [`PeConfig::trace_capacity`] is non-zero).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Sets this PE's one-way NoC latency to the shared cache (its mesh
+    /// position's distance; see [`fingers_sim::MeshNoc`]).
+    pub fn set_noc_latency(&mut self, latency: Cycle) {
+        self.noc_latency = latency;
+    }
+
+    /// Pseudo-DFS group size: the minimum number of tasks estimated to fill
+    /// the IUs, from average set sizes (Section 4.1).
+    fn group_size(&self) -> usize {
+        if !self.cfg.pseudo_dfs {
+            return 1;
+        }
+        let short_segments =
+            (self.avg_candidate_len / self.cfg.short_segment_len as f64).max(1.0);
+        let ius_per_op = (short_segments / self.cfg.max_load as f64).ceil().max(1.0);
+        let ops_per_task = 2.0; // typical ops per task across the benchmarks
+        let ius_per_task = (ius_per_op * ops_per_task).max(1.0);
+        let g = (self.cfg.num_ius as f64 / ius_per_task).ceil() as usize;
+        g.clamp(1, self.cfg.max_group_size)
+    }
+
+    /// Issues the neighbor-list fetches of every task in `group` (the
+    /// pseudo-DFS "pop together, hits first" policy), then orders the tasks
+    /// by data readiness.
+    fn fetch_group(&mut self, group_idx: usize, mem: &mut MemorySystem) {
+        let now = self.now.max(self.stack[group_idx].not_before);
+        let group = &mut self.stack[group_idx];
+        let mut order: Vec<usize> = (0..group.tasks.len()).collect();
+        group.ready.clear();
+        for t in &group.tasks {
+            let v = t.mapped[t.level];
+            let out = mem.fetch(
+                now,
+                self.graph.neighbor_list_addr(v),
+                self.graph.neighbor_list_bytes(v),
+            );
+            group
+                .ready
+                .push((out.first_ready + self.noc_latency, out.completion + self.noc_latency));
+        }
+        let task_count = group.tasks.len();
+        // Execute ready tasks first while the others' fetches are in flight.
+        order.sort_by_key(|&i| group.ready[i].1);
+        let tasks = std::mem::take(&mut group.tasks);
+        let ready = std::mem::take(&mut group.ready);
+        group.tasks = order.iter().map(|&i| tasks[i].clone()).collect();
+        group.ready = order.iter().map(|&i| ready[i]).collect();
+        group.fetched = true;
+        self.trace.record(TraceEvent::GroupFetch {
+            cycle: now,
+            tasks: task_count,
+        });
+    }
+
+    /// Executes one task end to end, spawning child groups or counting
+    /// embeddings. Returns the task's finish cycle.
+    fn run_task(&mut self, task: Task, data: (Cycle, Cycle), mem: &mut MemorySystem) -> Cycle {
+        let plan = self.plans[task.plan_idx];
+        let k = plan.pattern_size();
+        let level = task.level;
+        let u = task.mapped[level];
+        let seg_cfg = self.cfg.segmented();
+        self.stats.tasks += 1;
+
+        let (first_ready, mut all_data_done) = data;
+        let compute_start = self.now.max(first_ready);
+        if compute_start > self.now {
+            self.stats.stall_cycles += compute_start - self.now;
+        }
+        self.trace.record(TraceEvent::TaskStart {
+            cycle: compute_start,
+            level,
+            vertex: u,
+        });
+        let workloads_before = self.stats.workloads;
+
+        // --- run the level's schedule ops with set-level parallelism ---
+        let streamed: Rc<Vec<Elem>> = Rc::new(self.graph.neighbors(u).to_vec());
+        let mut task_iu_end: Cycle = compute_start;
+        let mut divider_cycles: u64 = 0;
+        let mut collector_receives: u64 = 0;
+        let mut emitted: Vec<(usize, Rc<Vec<Elem>>)> = Vec::new();
+        // Dedup of identical computations ("identical, we only compute
+        // once"): key on operand identities + kind + clip bound.
+        let mut memo: Memo = HashMap::new();
+
+        for op in plan.actions_at(level) {
+            let target = op.target();
+            let bound = self.known_bound(plan, target, level, &task.mapped);
+            match *op {
+                PlanOp::Init { .. } => {
+                    let key = (Rc::as_ptr(&streamed) as usize, usize::MAX, 0, bound);
+                    let set = memo
+                        .entry(key)
+                        .or_insert_with(|| Rc::new(clip(&streamed, bound).to_vec()));
+                    emitted.push((target, Rc::clone(set)));
+                    // Aliasing the streamed list into the private cache is
+                    // free on the IUs; the fetch was already charged.
+                }
+                PlanOp::InitAnti { short, .. } => {
+                    let short_list = self.fetch_ancestor_list(
+                        task.mapped[short],
+                        compute_start,
+                        &mut all_data_done,
+                        mem,
+                    );
+                    let key = (
+                        Rc::as_ptr(&short_list) as usize,
+                        u as usize,
+                        1,
+                        bound,
+                    );
+                    let set = match memo.get(&key) {
+                        Some(s) => Rc::clone(s),
+                        None => {
+                            let out = segmented::execute(
+                                SetOpKind::AntiSubtract,
+                                clip(&short_list, bound),
+                                clip(&streamed, bound),
+                                &seg_cfg,
+                            );
+                            let r = Rc::new(self.schedule_op(
+                                &out,
+                                compute_start,
+                                &mut task_iu_end,
+                                &mut divider_cycles,
+                                &mut collector_receives,
+                            ));
+                            memo.insert(key, Rc::clone(&r));
+                            r
+                        }
+                    };
+                    emitted.push((target, set));
+                }
+                PlanOp::Apply { list, kind, .. } => {
+                    let short = self.current_set(&task, &emitted, target);
+                    let long: Rc<Vec<Elem>> = if list == level {
+                        Rc::clone(&streamed)
+                    } else {
+                        self.fetch_ancestor_list(
+                            task.mapped[list],
+                            compute_start,
+                            &mut all_data_done,
+                            mem,
+                        )
+                    };
+                    let key = (
+                        Rc::as_ptr(&short) as usize,
+                        Rc::as_ptr(&long) as usize,
+                        2 + kind as u8,
+                        bound,
+                    );
+                    let set = match memo.get(&key) {
+                        Some(s) => Rc::clone(s),
+                        None => {
+                            let out = segmented::execute(
+                                kind,
+                                clip(&short, bound),
+                                clip(&long, bound),
+                                &seg_cfg,
+                            );
+                            let r = Rc::new(self.schedule_op(
+                                &out,
+                                compute_start,
+                                &mut task_iu_end,
+                                &mut divider_cycles,
+                                &mut collector_receives,
+                            ));
+                            memo.insert(key, Rc::clone(&r));
+                            r
+                        }
+                    };
+                    emitted.push((target, set));
+                }
+            }
+        }
+
+        // --- task timing: IU drain vs divider vs collector serial ---
+        let divider_stage = divider_cycles.div_ceil(self.cfg.num_dividers.max(1) as u64);
+        let divider_end = compute_start + divider_stage;
+        let collector_end = compute_start + collector_receives;
+        // The 5-stage macro pipeline overlaps the fixed stage latencies with
+        // compute; the overhead only shows when the task is tiny.
+        let task_end = task_iu_end
+            .max(divider_end)
+            .max(collector_end)
+            .max(all_data_done)
+            .max(compute_start + self.cfg.pipeline_overhead);
+        // The front end moves on as soon as this task's workloads are
+        // dispatched; the IU array drains behind it, so sibling tasks
+        // pipeline across the macro stages.
+        self.now = compute_start + divider_stage.max(self.cfg.pipeline_overhead);
+        self.finish = self.finish.max(task_end);
+        self.stats.cycles = self.finish;
+
+        // --- spawn children or count embeddings ---
+        let next = level + 1;
+        let final_set: Option<Rc<Vec<Elem>>> = emitted
+            .iter()
+            .rev()
+            .find(|(t, _)| *t == next)
+            .map(|(_, s)| Rc::clone(s))
+            .or_else(|| task.frame.as_ref().and_then(|f| f.lookup(next)));
+        let final_set = final_set.expect("schedule materializes S_{level+1}");
+        let full_bound = self.known_bound(plan, next, level, &task.mapped);
+        let candidates: Vec<VertexId> = clip(&final_set, full_bound)
+            .iter()
+            .copied()
+            .filter(|c| !task.mapped.contains(c))
+            .collect();
+
+        let children = if next == k - 1 {
+            self.stats.embeddings[task.plan_idx] += candidates.len() as u64;
+            0
+        } else {
+            let n = candidates.len();
+            if n > 0 {
+                self.spawn_children(&task, emitted, candidates, mem, task_end);
+            }
+            n
+        };
+        self.trace.record(TraceEvent::TaskRetire {
+            cycle: task_end,
+            level,
+            workloads: self.stats.workloads - workloads_before,
+            children,
+        });
+        task_end
+    }
+
+    /// Schedules one op's IU workloads greedily onto the earliest-free IUs,
+    /// recording busy time and the Table 3 balance accounting. Returns the
+    /// op's functional result.
+    fn schedule_op(
+        &mut self,
+        out: &segmented::SegmentedOutcome,
+        floor: Cycle,
+        task_iu_end: &mut Cycle,
+        divider_cycles: &mut u64,
+        collector_receives: &mut u64,
+    ) -> Vec<Elem> {
+        self.stats.set_ops += 1;
+        self.stats.workloads += out.workload_cycles.len() as u64;
+        *divider_cycles += out.divider_cycles;
+        *collector_receives += out.collector_receives;
+
+        let mut used: Vec<usize> = Vec::new();
+        let mut load_start = Cycle::MAX;
+        let mut load_end = 0;
+        for &cycles in &out.workload_cycles {
+            let (idx, _) = self
+                .iu_free
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &f)| f)
+                .expect("at least one IU");
+            let start = self.iu_free[idx].max(floor);
+            self.iu_free[idx] = start + cycles;
+            self.stats.iu_busy_cycles += cycles;
+            load_start = load_start.min(start);
+            load_end = load_end.max(self.iu_free[idx]);
+            *task_iu_end = (*task_iu_end).max(self.iu_free[idx]);
+            if !used.contains(&idx) {
+                used.push(idx);
+            }
+        }
+        if !used.is_empty() {
+            let busy: u64 = out.workload_cycles.iter().sum();
+            self.stats.balance_busy += busy;
+            self.stats.balance_span += (load_end - load_start) * used.len() as u64;
+        }
+        out.result.clone()
+    }
+
+    /// Looks up the current value of `S_target` — first among this task's
+    /// freshly emitted sets, then in the inherited frames.
+    fn current_set(
+        &self,
+        task: &Task,
+        emitted: &[(usize, Rc<Vec<Elem>>)],
+        target: usize,
+    ) -> Rc<Vec<Elem>> {
+        emitted
+            .iter()
+            .rev()
+            .find(|(t, _)| *t == target)
+            .map(|(_, s)| Rc::clone(s))
+            .or_else(|| task.frame.as_ref().and_then(|f| f.lookup(target)))
+            .expect("Apply requires a materialized set")
+    }
+
+    /// Fetches an ancestor's neighbor list (postponed anti-subtraction
+    /// operands); usually a shared-cache hit since it streamed recently.
+    fn fetch_ancestor_list(
+        &mut self,
+        v: VertexId,
+        at: Cycle,
+        all_data_done: &mut Cycle,
+        mem: &mut MemorySystem,
+    ) -> Rc<Vec<Elem>> {
+        let out = mem.fetch(
+            at,
+            self.graph.neighbor_list_addr(v),
+            self.graph.neighbor_list_bytes(v),
+        );
+        *all_data_done = (*all_data_done).max(out.completion + self.noc_latency);
+        Rc::new(self.graph.neighbors(v).to_vec())
+    }
+
+    /// The largest already-known symmetry-breaking lower bound for level
+    /// `target` (restrictions whose smaller side is mapped).
+    fn known_bound(
+        &self,
+        plan: &ExecutionPlan,
+        target: usize,
+        level: usize,
+        mapped: &[VertexId],
+    ) -> Option<Elem> {
+        plan.schedule(target)
+            .lower_bounds
+            .iter()
+            .filter(|&&a| a <= level)
+            .map(|&a| mapped[a])
+            .max()
+    }
+
+    /// Groups `candidates` into pseudo-DFS task groups and pushes them.
+    fn spawn_children(
+        &mut self,
+        task: &Task,
+        emitted: Vec<(usize, Rc<Vec<Elem>>)>,
+        candidates: Vec<VertexId>,
+        mem: &mut MemorySystem,
+        now: Cycle,
+    ) {
+        // Update the running candidate-length estimate for group sizing.
+        self.avg_candidate_len = 0.9 * self.avg_candidate_len + 0.1 * candidates.len() as f64;
+
+        let frame = Frame::new(task.frame.clone(), emitted);
+        let frame_bytes = frame.bytes();
+        self.charge_private_cache(frame_bytes, mem, now);
+
+        let g = self.group_size();
+        let next = task.level + 1;
+        let mut groups: Vec<Group> = Vec::new();
+        for chunk in candidates.chunks(g) {
+            let tasks = chunk
+                .iter()
+                .map(|&c| {
+                    let mut mapped = (*task.mapped).clone();
+                    mapped.push(c);
+                    Task {
+                        plan_idx: task.plan_idx,
+                        level: next,
+                        mapped: Rc::new(mapped),
+                        frame: Some(Rc::clone(&frame)),
+                    }
+                })
+                .collect();
+            self.stats.groups += 1;
+            self.stats.group_tasks_sum += chunk.len() as u64;
+            groups.push(Group {
+                tasks,
+                ready: Vec::new(),
+                fetched: false,
+                next: 0,
+                release_bytes: 0,
+                not_before: now,
+            });
+        }
+        if let Some(last) = groups.last_mut() {
+            last.release_bytes = frame_bytes;
+        }
+        // Push in reverse so the first chunk is executed first (DFS).
+        for gr in groups.into_iter().rev() {
+            self.stack.push(gr);
+        }
+    }
+
+    /// Private-cache occupancy accounting with spill-to-shared on overflow.
+    fn charge_private_cache(&mut self, bytes: u64, mem: &mut MemorySystem, now: Cycle) {
+        let capacity = self.cfg.scaled_private_cache_bytes();
+        let before = self.live_bytes;
+        self.live_bytes += bytes;
+        if self.live_bytes > capacity {
+            let overflow = self.live_bytes - capacity.max(before);
+            self.stats.spill_bytes += overflow;
+            self.trace.record(TraceEvent::Spill {
+                cycle: now,
+                bytes: overflow,
+            });
+            // Spilled sets travel over the NoC into the shared cache.
+            let addr = self.spill_base + (self.spill_cursor % (4 * capacity));
+            self.spill_cursor += overflow;
+            mem.write_back(now, addr, overflow);
+        }
+    }
+
+    /// Immutable view of the accumulated statistics.
+    pub fn stats(&self) -> &PeStats {
+        &self.stats
+    }
+}
+
+/// Returns the suffix of `set` strictly above `bound` (symmetry-breaking
+/// clip; sound on partial sets because later ops only remove elements).
+fn clip(set: &[Elem], bound: Option<Elem>) -> &[Elem] {
+    match bound {
+        Some(b) => &set[set.partition_point(|&x| x <= b)..],
+        None => set,
+    }
+}
+
+impl PeModel for FingersPe<'_> {
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn set_now(&mut self, c: Cycle) {
+        self.now = self.now.max(c);
+    }
+
+    fn has_work(&self) -> bool {
+        !self.stack.is_empty()
+    }
+
+    fn start_tree(&mut self, root: VertexId) {
+        // One level-0 task per plan, in one group: multi-pattern trunks
+        // share the root's neighbor-list fetch (Section 4, multi-pattern).
+        let tasks = (0..self.plans.len())
+            .map(|plan_idx| Task {
+                plan_idx,
+                level: 0,
+                mapped: Rc::new(vec![root]),
+                frame: None,
+            })
+            .collect();
+        self.stack.push(Group {
+            tasks,
+            ready: Vec::new(),
+            fetched: false,
+            next: 0,
+            release_bytes: 0,
+            not_before: 0,
+        });
+    }
+
+    fn step(&mut self, mem: &mut MemorySystem) {
+        // Find the next task: drop exhausted groups.
+        while let Some(top) = self.stack.last() {
+            if top.next >= top.tasks.len() {
+                let done = self.stack.pop().expect("non-empty");
+                self.live_bytes = self.live_bytes.saturating_sub(done.release_bytes);
+                continue;
+            }
+            break;
+        }
+        let Some(top_idx) = self.stack.len().checked_sub(1) else {
+            return;
+        };
+        if !self.stack[top_idx].fetched {
+            self.fetch_group(top_idx, mem);
+        }
+        let group = &mut self.stack[top_idx];
+        let task = group.tasks[group.next].clone();
+        let data = group.ready[group.next];
+        group.next += 1;
+        self.run_task(task, data, mem);
+    }
+
+    fn take_stats(&mut self) -> PeStats {
+        self.stats.cycles = self.now;
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingers_graph::GraphBuilder;
+    use fingers_pattern::benchmarks::Benchmark;
+    use fingers_sim::MemoryConfig;
+
+    fn k4() -> CsrGraph {
+        GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .build()
+    }
+
+    fn run_single(graph: &CsrGraph, bench: Benchmark, cfg: PeConfig) -> PeStats {
+        let multi = bench.plan();
+        let mut mem = MemorySystem::new(MemoryConfig::paper_default());
+        let mut pe = FingersPe::new(graph, &multi, cfg);
+        for v in graph.vertices() {
+            pe.start_tree(v);
+            while pe.has_work() {
+                pe.step(&mut mem);
+            }
+        }
+        pe.take_stats()
+    }
+
+    #[test]
+    fn triangle_count_on_k4() {
+        let s = run_single(&k4(), Benchmark::Tc, PeConfig::default());
+        assert_eq!(s.embeddings, vec![4]);
+        assert!(s.cycles > 0);
+        assert!(s.tasks > 0);
+    }
+
+    #[test]
+    fn motif_counts_on_k4() {
+        // K4: 4 triangles, 0 vertex-induced wedges.
+        let s = run_single(&k4(), Benchmark::Mc3, PeConfig::default());
+        assert_eq!(s.embeddings, vec![4, 0]);
+    }
+
+    #[test]
+    fn four_clique_on_k5() {
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+            }
+        }
+        let g = GraphBuilder::new().edges(edges).build();
+        let s = run_single(&g, Benchmark::Cl4, PeConfig::default());
+        assert_eq!(s.embeddings, vec![5]);
+        let s = run_single(&g, Benchmark::Cl5, PeConfig::default());
+        assert_eq!(s.embeddings, vec![1]);
+    }
+
+    #[test]
+    fn pseudo_dfs_off_still_correct() {
+        let cfg = PeConfig {
+            pseudo_dfs: false,
+            ..PeConfig::default()
+        };
+        let s = run_single(&k4(), Benchmark::Tc, cfg);
+        assert_eq!(s.embeddings, vec![4]);
+    }
+
+    #[test]
+    fn single_iu_still_correct() {
+        let cfg = PeConfig::iso_area_ius(1);
+        let s = run_single(&k4(), Benchmark::Tc, cfg);
+        assert_eq!(s.embeddings, vec![4]);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let s = run_single(&k4(), Benchmark::Tt, PeConfig::default());
+        // K4 has no vertex-induced tailed triangles (extra edges).
+        assert_eq!(s.embeddings, vec![0]);
+        assert!(s.active_rate() <= 1.0);
+        assert!(s.balance_rate() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn pipelining_improves_utilization_on_real_work() {
+        use fingers_graph::gen::{chung_lu_power_law, ChungLuConfig};
+        let g = chung_lu_power_law(&ChungLuConfig::new(400, 4000, 3));
+        // Pseudo-DFS keeps sibling tasks in flight on the IU array; strict
+        // DFS (group size 1) still pipelines but prefetches nothing, so
+        // utilization and cycles must both be no better.
+        let on = run_single(&g, Benchmark::Cyc, PeConfig::default());
+        let off = run_single(
+            &g,
+            Benchmark::Cyc,
+            PeConfig {
+                pseudo_dfs: false,
+                ..PeConfig::default()
+            },
+        );
+        assert_eq!(on.embeddings, off.embeddings);
+        assert!(on.cycles <= off.cycles, "on {} off {}", on.cycles, off.cycles);
+    }
+
+    #[test]
+    fn retire_time_never_precedes_front_end_work() {
+        let s = run_single(&k4(), Benchmark::Tc, PeConfig::default());
+        // The reported cycle count is the retire time of the last task,
+        // which bounds every stage.
+        assert!(s.cycles as f64 >= s.iu_busy_cycles as f64 / s.num_ius as f64);
+    }
+
+    #[test]
+    fn group_statistics_track_branch_parallelism() {
+        use fingers_graph::gen::erdos_renyi;
+        let g = erdos_renyi(200, 2000, 1);
+        let s = run_single(&g, Benchmark::Tc, PeConfig::default());
+        assert!(s.groups > 0);
+        assert!(s.avg_group_size() >= 1.0);
+        assert!(s.avg_ops_per_task() > 0.0);
+        assert!(s.avg_workloads_per_op() >= 1.0);
+    }
+
+    #[test]
+    fn trace_records_task_lifecycle() {
+        let cfg = PeConfig {
+            trace_capacity: 4096,
+            ..PeConfig::default()
+        };
+        let multi = Benchmark::Tc.plan();
+        let mut mem = MemorySystem::new(fingers_sim::MemoryConfig::paper_default());
+        let g = k4();
+        let mut pe = FingersPe::new(&g, &multi, cfg);
+        for v in g.vertices() {
+            pe.start_tree(v);
+            while pe.has_work() {
+                pe.step(&mut mem);
+            }
+        }
+        let trace = pe.trace();
+        assert!(!trace.is_empty());
+        let text = trace.render();
+        assert!(text.contains("start"));
+        assert!(text.contains("retire"));
+        // Events are recorded in nondecreasing front-end order per kind;
+        // at minimum the timeline renders one line per event.
+        assert_eq!(text.lines().count(), trace.len());
+    }
+
+    #[test]
+    fn tracing_does_not_change_timing() {
+        let g = k4();
+        let plain = run_single(&g, Benchmark::Tc, PeConfig::default());
+        let traced = run_single(
+            &g,
+            Benchmark::Tc,
+            PeConfig {
+                trace_capacity: 1024,
+                ..PeConfig::default()
+            },
+        );
+        assert_eq!(plain.cycles, traced.cycles);
+        assert_eq!(plain.embeddings, traced.embeddings);
+    }
+
+    #[test]
+    fn more_ius_do_not_hurt_cycles() {
+        use fingers_graph::gen::{chung_lu_power_law, ChungLuConfig};
+        let g = chung_lu_power_law(&ChungLuConfig::new(300, 3000, 9));
+        let few = run_single(&g, Benchmark::Tt, PeConfig::unlimited_area_ius(2));
+        let many = run_single(&g, Benchmark::Tt, PeConfig::unlimited_area_ius(32));
+        assert_eq!(few.embeddings, many.embeddings);
+        assert!(many.cycles <= few.cycles, "32 IUs {} vs 2 IUs {}", many.cycles, few.cycles);
+    }
+}

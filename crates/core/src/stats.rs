@@ -1,0 +1,208 @@
+//! Execution statistics: IU activity, load balance, and chip reports.
+
+use fingers_sim::{CacheStats, Cycle};
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one PE over a whole simulation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PeStats {
+    /// Local cycle count at the end of the simulation.
+    pub cycles: Cycle,
+    /// Sum over IUs of their busy cycles.
+    pub iu_busy_cycles: u64,
+    /// Number of IUs in the PE (denominator of the active rate).
+    pub num_ius: usize,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Set operations executed.
+    pub set_ops: u64,
+    /// IU workloads issued.
+    pub workloads: u64,
+    /// Cycles spent stalled waiting for memory (not overlapped).
+    pub stall_cycles: Cycle,
+    /// Bytes of candidate sets spilled from the private cache.
+    pub spill_bytes: u64,
+    /// Pseudo-DFS task groups formed.
+    pub groups: u64,
+    /// Total tasks across those groups (`group_tasks_sum / groups` is the
+    /// realized branch-level parallelism degree).
+    pub group_tasks_sum: u64,
+    /// Per-load balance accumulators: Σ (load busy) and
+    /// Σ (load makespan × IUs used), per the Table 3 definition.
+    pub balance_busy: u64,
+    /// See [`Self::balance_busy`].
+    pub balance_span: u64,
+    /// Embeddings found, per pattern of the multi-plan.
+    pub embeddings: Vec<u64>,
+}
+
+impl PeStats {
+    /// Table 3's *active rate*: the fraction of PE-cycles during which
+    /// workloads are assigned to IUs (`Σ busy / (cycles × #IUs)`).
+    pub fn active_rate(&self) -> f64 {
+        if self.cycles == 0 || self.num_ius == 0 {
+            0.0
+        } else {
+            self.iu_busy_cycles as f64 / (self.cycles as f64 * self.num_ius as f64)
+        }
+    }
+
+    /// Realized branch-level parallelism: mean tasks per pseudo-DFS group.
+    pub fn avg_group_size(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            self.group_tasks_sum as f64 / self.groups as f64
+        }
+    }
+
+    /// Realized set-level parallelism: mean scheduled set operations per
+    /// task (after dedup of identical computations).
+    pub fn avg_ops_per_task(&self) -> f64 {
+        if self.tasks == 0 {
+            0.0
+        } else {
+            self.set_ops as f64 / self.tasks as f64
+        }
+    }
+
+    /// Realized segment-level parallelism: mean IU workloads per set
+    /// operation.
+    pub fn avg_workloads_per_op(&self) -> f64 {
+        if self.set_ops == 0 {
+            0.0
+        } else {
+            self.workloads as f64 / self.set_ops as f64
+        }
+    }
+
+    /// Table 3's *balance rate*: within the IU subsets executing each
+    /// compute load, the busy fraction (`Σ busy / Σ (makespan × subset)`),
+    /// aggregated over all loads.
+    pub fn balance_rate(&self) -> f64 {
+        if self.balance_span == 0 {
+            0.0
+        } else {
+            self.balance_busy as f64 / self.balance_span as f64
+        }
+    }
+}
+
+/// Report of one full chip simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipReport {
+    /// End-to-end execution time: the maximum PE finish time.
+    pub cycles: Cycle,
+    /// Per-PE statistics.
+    pub pes: Vec<PeStats>,
+    /// Shared-cache statistics (Figure 13's miss rates).
+    pub shared_cache: CacheStats,
+    /// Total bytes fetched from DRAM.
+    pub dram_bytes: u64,
+    /// Embeddings per pattern, summed over PEs.
+    pub embeddings: Vec<u64>,
+}
+
+impl ChipReport {
+    /// Total embeddings across patterns.
+    pub fn total_embeddings(&self) -> u64 {
+        self.embeddings.iter().sum()
+    }
+
+    /// Aggregate active rate over all PEs (busy-IU-cycle weighted).
+    pub fn active_rate(&self) -> f64 {
+        let busy: u64 = self.pes.iter().map(|p| p.iu_busy_cycles).sum();
+        let denom: f64 = self
+            .pes
+            .iter()
+            .map(|p| self.cycles as f64 * p.num_ius as f64)
+            .sum();
+        if denom == 0.0 {
+            0.0
+        } else {
+            busy as f64 / denom
+        }
+    }
+
+    /// Aggregate balance rate over all PEs.
+    pub fn balance_rate(&self) -> f64 {
+        let busy: u64 = self.pes.iter().map(|p| p.balance_busy).sum();
+        let span: u64 = self.pes.iter().map(|p| p.balance_span).sum();
+        if span == 0 {
+            0.0
+        } else {
+            busy as f64 / span as f64
+        }
+    }
+
+    /// Total tasks executed.
+    pub fn tasks(&self) -> u64 {
+        self.pes.iter().map(|p| p.tasks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_rate_matches_paper_example() {
+        // "assuming 4 IUs, and only 2 IUs are assigned a load executed for
+        // 10 cycles. Then in a 20-cycle period, the active rate is 25%."
+        let s = PeStats {
+            cycles: 20,
+            iu_busy_cycles: 20, // 2 IUs × 10 cycles
+            num_ius: 4,
+            ..Default::default()
+        };
+        assert!((s.active_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_rate_matches_paper_example() {
+        // "If in those 10 cycles, one IU is fully used but the other is only
+        // active for 5 cycles, then the balance rate is only 75%."
+        let s = PeStats {
+            balance_busy: 15,
+            balance_span: 20, // makespan 10 × 2 IUs
+            ..Default::default()
+        };
+        assert!((s.balance_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = PeStats::default();
+        assert_eq!(s.active_rate(), 0.0);
+        assert_eq!(s.balance_rate(), 0.0);
+    }
+
+    #[test]
+    fn chip_report_totals() {
+        let r = ChipReport {
+            cycles: 100,
+            pes: vec![
+                PeStats {
+                    cycles: 100,
+                    iu_busy_cycles: 50,
+                    num_ius: 2,
+                    tasks: 3,
+                    ..Default::default()
+                },
+                PeStats {
+                    cycles: 80,
+                    iu_busy_cycles: 30,
+                    num_ius: 2,
+                    tasks: 4,
+                    ..Default::default()
+                },
+            ],
+            shared_cache: CacheStats::default(),
+            dram_bytes: 0,
+            embeddings: vec![5, 7],
+        };
+        assert_eq!(r.total_embeddings(), 12);
+        assert_eq!(r.tasks(), 7);
+        assert!((r.active_rate() - 80.0 / 400.0).abs() < 1e-12);
+    }
+}

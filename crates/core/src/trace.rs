@@ -1,0 +1,217 @@
+//! Execution tracing for PE debugging and analysis.
+//!
+//! When enabled (capacity > 0), a PE records a bounded ring of
+//! [`TraceEvent`]s — task starts/retires, group fetches, spills — which can
+//! be rendered as a text timeline. Tracing never affects simulated timing;
+//! it only observes it.
+
+use fingers_graph::VertexId;
+use fingers_sim::Cycle;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One recorded PE event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A pseudo-DFS group's fetches were issued.
+    GroupFetch {
+        /// Issue cycle.
+        cycle: Cycle,
+        /// Number of sibling tasks fetched together.
+        tasks: usize,
+    },
+    /// A task began executing (front-end issue).
+    TaskStart {
+        /// Issue cycle.
+        cycle: Cycle,
+        /// Tree level of the newly matched vertex.
+        level: usize,
+        /// The newly matched input-graph vertex.
+        vertex: VertexId,
+    },
+    /// A task retired (all its IU workloads collected).
+    TaskRetire {
+        /// Retire cycle.
+        cycle: Cycle,
+        /// Tree level.
+        level: usize,
+        /// IU workloads the task issued.
+        workloads: u64,
+        /// Children spawned (0 at the last extendable level).
+        children: usize,
+    },
+    /// Candidate sets spilled from the private cache.
+    Spill {
+        /// Cycle of the spill.
+        cycle: Cycle,
+        /// Bytes written toward the shared cache.
+        bytes: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn cycle(&self) -> Cycle {
+        match *self {
+            TraceEvent::GroupFetch { cycle, .. }
+            | TraceEvent::TaskStart { cycle, .. }
+            | TraceEvent::TaskRetire { cycle, .. }
+            | TraceEvent::Spill { cycle, .. } => cycle,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::GroupFetch { cycle, tasks } => {
+                write!(f, "[{cycle:>10}] fetch group of {tasks}")
+            }
+            TraceEvent::TaskStart { cycle, level, vertex } => {
+                write!(f, "[{cycle:>10}] task L{level} v{vertex} start")
+            }
+            TraceEvent::TaskRetire {
+                cycle,
+                level,
+                workloads,
+                children,
+            } => write!(
+                f,
+                "[{cycle:>10}] task L{level} retire ({workloads} workloads, {children} children)"
+            ),
+            TraceEvent::Spill { cycle, bytes } => {
+                write!(f, "[{cycle:>10}] spill {bytes} B")
+            }
+        }
+    }
+}
+
+/// A bounded event ring. Zero capacity disables recording entirely.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace that keeps the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records one event (drops the oldest beyond capacity).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained timeline as text, one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("… {} earlier events dropped …\n", self.dropped));
+        }
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::with_capacity(0);
+        t.record(TraceEvent::Spill { cycle: 1, bytes: 64 });
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut t = Trace::with_capacity(2);
+        for c in 0..5 {
+            t.record(TraceEvent::TaskStart {
+                cycle: c,
+                level: 0,
+                vertex: 0,
+            });
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let cycles: Vec<Cycle> = t.events().map(TraceEvent::cycle).collect();
+        assert_eq!(cycles, vec![3, 4]);
+    }
+
+    #[test]
+    fn render_includes_every_event_kind() {
+        let mut t = Trace::with_capacity(8);
+        t.record(TraceEvent::GroupFetch { cycle: 1, tasks: 4 });
+        t.record(TraceEvent::TaskStart {
+            cycle: 2,
+            level: 1,
+            vertex: 7,
+        });
+        t.record(TraceEvent::TaskRetire {
+            cycle: 9,
+            level: 1,
+            workloads: 3,
+            children: 2,
+        });
+        t.record(TraceEvent::Spill { cycle: 12, bytes: 256 });
+        let text = t.render();
+        assert!(text.contains("fetch group of 4"));
+        assert!(text.contains("task L1 v7 start"));
+        assert!(text.contains("retire (3 workloads, 2 children)"));
+        assert!(text.contains("spill 256 B"));
+    }
+
+    #[test]
+    fn overflow_is_reported_in_render() {
+        let mut t = Trace::with_capacity(1);
+        t.record(TraceEvent::Spill { cycle: 1, bytes: 1 });
+        t.record(TraceEvent::Spill { cycle: 2, bytes: 2 });
+        assert!(t.render().contains("1 earlier events dropped"));
+    }
+}

@@ -1,0 +1,43 @@
+//! FlexMiner baseline accelerator model (paper Section 2.2 / Section 5).
+//!
+//! FlexMiner (Chen et al., ISCA 2021) is the state-of-the-art pattern-aware
+//! graph mining accelerator the paper compares against. Its chip-level
+//! architecture matches FINGERS (multiple PEs + shared cache + DRAM + global
+//! root scheduler), so this crate reuses `fingers-core`'s
+//! [`PeModel`](fingers_core::chip::PeModel) driver and memory substrate and
+//! replaces only the PE internals, exactly as the paper does ("we can just
+//! tune the concrete PE designs"):
+//!
+//! - **strict DFS**, one task at a time, with *blocking* neighbor-list
+//!   fetches (no branch-level parallelism — the long-memory-stall
+//!   inefficiency of Section 2.3);
+//! - a **single serial merge unit** consuming one element per cycle, with
+//!   set operations executed sequentially (no set- or segment-level
+//!   parallelism);
+//! - a **per-PE private cache** in front of the shared cache for neighbor
+//!   lists (standing in for FlexMiner's c-map/neighbor caching; FINGERS
+//!   instead keeps candidate sets private and streams neighbor lists).
+//!
+//! Both designs execute identical compiled plans (vertex orders, schedules,
+//! restrictions), per the paper's methodology.
+//!
+//! # Example
+//!
+//! ```
+//! use fingers_flexminer::{simulate_flexminer, FlexMinerChipConfig};
+//! use fingers_graph::GraphBuilder;
+//! use fingers_pattern::benchmarks::Benchmark;
+//!
+//! let g = GraphBuilder::new()
+//!     .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+//!     .build();
+//! let r = simulate_flexminer(&g, &Benchmark::Tc.plan(), &FlexMinerChipConfig::single_pe());
+//! assert_eq!(r.total_embeddings(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pe;
+
+pub use pe::{simulate_flexminer, FlexMinerChipConfig, FlexMinerPe, FlexMinerPeConfig};

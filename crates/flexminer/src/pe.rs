@@ -1,0 +1,460 @@
+//! The FlexMiner PE: serial DFS walker with a single merge unit.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use fingers_core::chip::PeModel;
+use fingers_core::stats::{ChipReport, PeStats};
+use fingers_graph::{CsrGraph, VertexId};
+use fingers_pattern::{ExecutionPlan, MultiPlan, PlanOp};
+use fingers_setops::{merge, Elem, SetOpKind};
+use fingers_sim::{Cycle, MemoryConfig, MemorySystem, SetAssocCache, MEM_SCALE};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one FlexMiner PE.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlexMinerPeConfig {
+    /// Private (c-map/neighbor) cache capacity in paper-scale bytes.
+    pub private_cache_bytes: u64,
+    /// Private-cache hit latency in cycles.
+    pub private_hit_latency: Cycle,
+    /// Fixed per-task control overhead in cycles.
+    pub pipeline_overhead: u64,
+}
+
+impl Default for FlexMinerPeConfig {
+    fn default() -> Self {
+        Self {
+            private_cache_bytes: 32 * 1024,
+            private_hit_latency: 2,
+            pipeline_overhead: 4,
+        }
+    }
+}
+
+/// Chip configuration: FlexMiner's largest published configuration is
+/// 40 PEs, the iso-area counterpart of 20 FINGERS PEs (Section 6.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlexMinerChipConfig {
+    /// Number of PEs (default 40).
+    pub num_pes: usize,
+    /// Per-PE configuration.
+    pub pe: FlexMinerPeConfig,
+    /// Memory-system configuration (identical substrate to FINGERS).
+    pub memory: MemoryConfig,
+    /// NoC hop latency in cycles (same mesh model as the FINGERS chip).
+    pub noc_per_hop: Cycle,
+    /// NoC injection/ejection overhead in cycles.
+    pub noc_base: Cycle,
+}
+
+impl Default for FlexMinerChipConfig {
+    fn default() -> Self {
+        Self {
+            num_pes: 40,
+            pe: FlexMinerPeConfig::default(),
+            memory: MemoryConfig::paper_default(),
+            noc_per_hop: 1,
+            noc_base: 2,
+        }
+    }
+}
+
+impl FlexMinerChipConfig {
+    /// A single-PE chip (Section 6.2's comparison unit).
+    pub fn single_pe() -> Self {
+        Self {
+            num_pes: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the shared-cache capacity in paper-scale MB (Figure 13 sweep).
+    pub fn with_shared_cache_mb(mut self, mb: f64) -> Self {
+        self.memory = MemoryConfig::with_shared_cache_mb(mb);
+        self
+    }
+}
+
+/// Memoization key for identical in-task computations: operand
+/// identities, operation discriminant, and symmetry-breaking clip bound.
+type MemoKey = (usize, usize, u8, Option<Elem>);
+type Memo = HashMap<MemoKey, Rc<Vec<Elem>>>;
+
+/// One stack entry of the strict-DFS walk.
+#[derive(Debug, Clone)]
+struct Frame {
+    plan_idx: usize,
+    level: usize,
+    mapped: Rc<Vec<VertexId>>,
+    /// Candidate sets materialized so far, by target level (copy-on-extend;
+    /// k ≤ 10 so this stays tiny).
+    sets: Rc<Vec<Option<Rc<Vec<Elem>>>>>,
+}
+
+/// The FlexMiner PE simulation state.
+#[derive(Debug)]
+pub struct FlexMinerPe<'g> {
+    graph: &'g CsrGraph,
+    plans: Vec<&'g ExecutionPlan>,
+    cfg: FlexMinerPeConfig,
+    private: SetAssocCache,
+    now: Cycle,
+    stack: Vec<Frame>,
+    stats: PeStats,
+    noc_latency: Cycle,
+}
+
+impl<'g> FlexMinerPe<'g> {
+    /// Creates a PE executing `multi` on `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern has fewer than 2 vertices.
+    pub fn new(graph: &'g CsrGraph, multi: &'g MultiPlan, cfg: FlexMinerPeConfig) -> Self {
+        let plans: Vec<&ExecutionPlan> = multi.plans().iter().collect();
+        assert!(
+            plans.iter().all(|p| p.pattern_size() >= 2),
+            "patterns must have at least 2 vertices"
+        );
+        let private = SetAssocCache::new(
+            (cfg.private_cache_bytes / MEM_SCALE).max(1024),
+            64,
+            8,
+        );
+        Self {
+            graph,
+            stats: PeStats {
+                num_ius: 1,
+                embeddings: vec![0; plans.len()],
+                ..PeStats::default()
+            },
+            plans,
+            cfg,
+            private,
+            now: 0,
+            stack: Vec::new(),
+            noc_latency: 0,
+        }
+    }
+
+    /// Sets this PE's one-way NoC latency to the shared cache.
+    pub fn set_noc_latency(&mut self, latency: Cycle) {
+        self.noc_latency = latency;
+    }
+
+    /// Blocking fetch of a neighbor list through the private cache; missed
+    /// lines go to the shared memory system.
+    fn fetch_list(&mut self, v: VertexId, mem: &mut MemorySystem) -> Cycle {
+        let addr = self.graph.neighbor_list_addr(v);
+        let bytes = self.graph.neighbor_list_bytes(v);
+        let line = 64u64;
+        let first = addr / line;
+        let last = if bytes == 0 { first } else { (addr + bytes - 1) / line };
+        let mut done = self.now + self.cfg.private_hit_latency;
+        for l in first..=last {
+            if !self.private.access(l * line) {
+                let out = mem.fetch(self.now, l * line, line);
+                done = done
+                    .max(out.completion + self.noc_latency + self.cfg.private_hit_latency);
+            }
+        }
+        done
+    }
+
+    /// Executes one DFS task (extend at `frame.level`): serial set ops on
+    /// the single merge unit, then push children in reverse order.
+    fn run_task(&mut self, frame: Frame, mem: &mut MemorySystem) {
+        let plan = self.plans[frame.plan_idx];
+        let k = plan.pattern_size();
+        let level = frame.level;
+        let u = frame.mapped[level];
+        self.stats.tasks += 1;
+
+        // Blocking fetch: the intrinsic DFS dependency stall of Section 2.3.
+        let data_done = self.fetch_list(u, mem);
+        if data_done > self.now {
+            self.stats.stall_cycles += data_done - self.now;
+        }
+        let mut t = self.now.max(data_done);
+
+        let streamed: Rc<Vec<Elem>> = Rc::new(self.graph.neighbors(u).to_vec());
+        let mut sets: Vec<Option<Rc<Vec<Elem>>>> = (*frame.sets).clone();
+        let mut memo: Memo = HashMap::new();
+
+        for op in plan.actions_at(level) {
+            let target = op.target();
+            let bound = known_bound(plan, target, level, &frame.mapped);
+            let result = match *op {
+                PlanOp::Init { .. } => {
+                    let key = (Rc::as_ptr(&streamed) as usize, usize::MAX, 0, bound);
+                    match memo.get(&key) {
+                        Some(s) => Rc::clone(s),
+                        None => {
+                            let r = Rc::new(clip(&streamed, bound).to_vec());
+                            memo.insert(key, Rc::clone(&r));
+                            r
+                        }
+                    }
+                }
+                PlanOp::InitAnti { short, .. } => {
+                    // The ancestor's list must be re-streamed for this op.
+                    let list_done = self.fetch_list(frame.mapped[short], mem);
+                    t = t.max(list_done);
+                    let short_list = Rc::new(self.graph.neighbors(frame.mapped[short]).to_vec());
+                    let key = (Rc::as_ptr(&short_list) as usize, u as usize, 1, bound);
+                    self.serial_op(
+                        &mut memo,
+                        key,
+                        SetOpKind::AntiSubtract,
+                        clip(&short_list, bound),
+                        clip(&streamed, bound),
+                        &mut t,
+                    )
+                }
+                PlanOp::Apply { list, kind, .. } => {
+                    let short = sets[target]
+                        .as_ref()
+                        .map(Rc::clone)
+                        .expect("Apply requires a materialized set");
+                    let long: Rc<Vec<Elem>> = if list == level {
+                        Rc::clone(&streamed)
+                    } else {
+                        let list_done = self.fetch_list(frame.mapped[list], mem);
+                        t = t.max(list_done);
+                        Rc::new(self.graph.neighbors(frame.mapped[list]).to_vec())
+                    };
+                    // Streaming the long operand again for this op: the
+                    // private cache decides whether it is on chip.
+                    if list == level {
+                        let done = self.fetch_list(u, mem);
+                        t = t.max(done);
+                    }
+                    let key = (
+                        Rc::as_ptr(&short) as usize,
+                        Rc::as_ptr(&long) as usize,
+                        2 + kind as u8,
+                        bound,
+                    );
+                    self.serial_op(
+                        &mut memo,
+                        key,
+                        kind,
+                        clip(&short, bound),
+                        clip(&long, bound),
+                        &mut t,
+                    )
+                }
+            };
+            sets[target] = Some(result);
+        }
+
+        t += self.cfg.pipeline_overhead;
+        self.now = self.now.max(t);
+        self.stats.cycles = self.now;
+
+        // Candidates for the next level.
+        let next = level + 1;
+        let final_set = sets[next].as_ref().expect("S_{next} materialized");
+        let full_bound = known_bound(plan, next, level, &frame.mapped);
+        let candidates: Vec<VertexId> = clip(final_set, full_bound)
+            .iter()
+            .copied()
+            .filter(|c| !frame.mapped.contains(c))
+            .collect();
+
+        if next == k - 1 {
+            self.stats.embeddings[frame.plan_idx] += candidates.len() as u64;
+        } else {
+            let sets = Rc::new(sets);
+            // Strict DFS: push children in reverse so the smallest-ID
+            // candidate is explored first.
+            for &c in candidates.iter().rev() {
+                let mut mapped = (*frame.mapped).clone();
+                mapped.push(c);
+                self.stack.push(Frame {
+                    plan_idx: frame.plan_idx,
+                    level: next,
+                    mapped: Rc::new(mapped),
+                    sets: Rc::clone(&sets),
+                });
+            }
+        }
+    }
+
+    /// One serial merge-unit operation: one element per cycle over both
+    /// inputs, memoized for identical operand pairs.
+    fn serial_op(
+        &mut self,
+        memo: &mut Memo,
+        key: MemoKey,
+        kind: SetOpKind,
+        short: &[Elem],
+        long: &[Elem],
+        t: &mut Cycle,
+    ) -> Rc<Vec<Elem>> {
+        if let Some(s) = memo.get(&key) {
+            return Rc::clone(s);
+        }
+        let cycles = merge::merge_steps(kind, short, long).max(1);
+        *t += cycles;
+        self.stats.iu_busy_cycles += cycles;
+        self.stats.balance_busy += cycles;
+        self.stats.balance_span += cycles;
+        self.stats.set_ops += 1;
+        self.stats.workloads += 1;
+        let r = Rc::new(merge::apply(kind, short, long));
+        memo.insert(key, Rc::clone(&r));
+        r
+    }
+}
+
+fn clip(set: &[Elem], bound: Option<Elem>) -> &[Elem] {
+    match bound {
+        Some(b) => &set[set.partition_point(|&x| x <= b)..],
+        None => set,
+    }
+}
+
+fn known_bound(
+    plan: &ExecutionPlan,
+    target: usize,
+    level: usize,
+    mapped: &[VertexId],
+) -> Option<Elem> {
+    plan.schedule(target)
+        .lower_bounds
+        .iter()
+        .filter(|&&a| a <= level)
+        .map(|&a| mapped[a])
+        .max()
+}
+
+impl PeModel for FlexMinerPe<'_> {
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn set_now(&mut self, c: Cycle) {
+        self.now = self.now.max(c);
+    }
+
+    fn has_work(&self) -> bool {
+        !self.stack.is_empty()
+    }
+
+    fn start_tree(&mut self, root: VertexId) {
+        for plan_idx in (0..self.plans.len()).rev() {
+            let k = self.plans[plan_idx].pattern_size();
+            self.stack.push(Frame {
+                plan_idx,
+                level: 0,
+                mapped: Rc::new(vec![root]),
+                sets: Rc::new(vec![None; k]),
+            });
+        }
+    }
+
+    fn step(&mut self, mem: &mut MemorySystem) {
+        if let Some(frame) = self.stack.pop() {
+            self.run_task(frame, mem);
+        }
+    }
+
+    fn take_stats(&mut self) -> PeStats {
+        self.stats.cycles = self.now;
+        std::mem::take(&mut self.stats)
+    }
+}
+
+/// Simulates a FlexMiner chip executing `multi` over `graph`.
+pub fn simulate_flexminer(
+    graph: &CsrGraph,
+    multi: &MultiPlan,
+    config: &FlexMinerChipConfig,
+) -> ChipReport {
+    let mut mem = MemorySystem::new(config.memory);
+    let noc =
+        fingers_sim::MeshNoc::for_pes(config.num_pes, config.noc_per_hop, config.noc_base);
+    let mut pes: Vec<FlexMinerPe> = (0..config.num_pes)
+        .map(|i| {
+            let mut pe = FlexMinerPe::new(graph, multi, config.pe.clone());
+            pe.set_noc_latency(noc.pe_latency(i));
+            pe
+        })
+        .collect();
+    fingers_core::chip::run_chip_with_roots(
+        pes.as_mut_slice(),
+        &mut mem,
+        fingers_core::chip::root_order(graph, fingers_core::chip::RootSchedule::Sequential),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingers_core::chip::simulate_fingers;
+    use fingers_core::config::ChipConfig;
+    use fingers_graph::gen::erdos_renyi;
+    use fingers_graph::GraphBuilder;
+    use fingers_mining::count_benchmark;
+    use fingers_pattern::benchmarks::Benchmark;
+
+    #[test]
+    fn k4_triangles() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .build();
+        let r = simulate_flexminer(&g, &Benchmark::Tc.plan(), &FlexMinerChipConfig::single_pe());
+        assert_eq!(r.embeddings, vec![4]);
+    }
+
+    /// Functional equivalence with the software miner for every benchmark.
+    #[test]
+    fn counts_match_software_miner() {
+        let g = erdos_renyi(60, 240, 11);
+        for bench in Benchmark::ALL {
+            let expected = count_benchmark(&g, bench);
+            let cfg = FlexMinerChipConfig {
+                num_pes: 3,
+                ..FlexMinerChipConfig::default()
+            };
+            let r = simulate_flexminer(&g, &bench.plan(), &cfg);
+            assert_eq!(r.embeddings, expected.per_pattern, "{bench}");
+        }
+    }
+
+    /// The headline direction: a FINGERS PE beats a FlexMiner PE on a graph
+    /// with long neighbor lists.
+    #[test]
+    fn fingers_single_pe_is_faster() {
+        let g = erdos_renyi(150, 3000, 5); // avg degree 40
+        let multi = Benchmark::Tc.plan();
+        let fm = simulate_flexminer(&g, &multi, &FlexMinerChipConfig::single_pe());
+        let fi = simulate_fingers(&g, &multi, &ChipConfig::single_pe());
+        assert_eq!(fm.embeddings, fi.embeddings);
+        assert!(
+            fi.cycles < fm.cycles,
+            "FINGERS {} vs FlexMiner {}",
+            fi.cycles,
+            fm.cycles
+        );
+    }
+
+    #[test]
+    fn more_pes_scale() {
+        let g = erdos_renyi(120, 700, 3);
+        let multi = Benchmark::Tc.plan();
+        let one = simulate_flexminer(&g, &multi, &FlexMinerChipConfig::single_pe());
+        let eight = simulate_flexminer(
+            &g,
+            &multi,
+            &FlexMinerChipConfig {
+                num_pes: 8,
+                ..FlexMinerChipConfig::default()
+            },
+        );
+        assert!(eight.cycles * 2 < one.cycles);
+        assert_eq!(eight.embeddings, one.embeddings);
+    }
+}

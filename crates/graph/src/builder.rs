@@ -1,0 +1,139 @@
+//! Canonicalizing builder for [`CsrGraph`].
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Builds a [`CsrGraph`] from an arbitrary collection of undirected edges.
+///
+/// The builder accepts edges in any order, with duplicates, in either
+/// direction, and with self loops; it canonicalizes them into the sorted,
+/// deduplicated, symmetric CSR form the miners require. Self loops are
+/// dropped (the paper's input graphs are undirected with no self loops or
+/// duplicated edges, Section 5).
+///
+/// # Example
+///
+/// ```
+/// use fingers_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new()
+///     .edge(0, 1)
+///     .edge(1, 0) // duplicate in the other direction: ignored
+///     .edge(1, 1) // self loop: ignored
+///     .edges([(1, 2)])
+///     .build();
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    min_vertex_count: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one undirected edge.
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds many undirected edges.
+    pub fn edges<I>(mut self, iter: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Forces the graph to contain at least `n` vertices even if the highest
+    /// ID seen in an edge is smaller (trailing vertices become isolated).
+    pub fn vertex_count(mut self, n: usize) -> Self {
+        self.min_vertex_count = n;
+        self
+    }
+
+    /// Finalizes the canonical CSR graph.
+    pub fn build(self) -> CsrGraph {
+        let mut n = self.min_vertex_count;
+        for &(u, v) in &self.edges {
+            n = n.max(u as usize + 1).max(v as usize + 1);
+        }
+
+        // Symmetrize, drop self loops, canonicalize direction.
+        let mut sym: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            if u == v {
+                continue;
+            }
+            sym.push((u, v));
+            sym.push((v, u));
+        }
+        sym.sort_unstable();
+        sym.dedup();
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &sym {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors: Vec<VertexId> = sym.into_iter().map(|(_, v)| v).collect();
+        CsrGraph::from_csr(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder_gives_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn duplicates_and_reversals_collapse() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 0), (0, 1), (2, 0), (0, 2)])
+            .build();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let g = GraphBuilder::new().edges([(0, 0), (0, 1), (1, 1)]).build();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn vertex_count_pads_isolated_vertices() {
+        let g = GraphBuilder::new().edge(0, 1).vertex_count(10).build();
+        assert_eq!(g.vertex_count(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn symmetry_holds_after_build() {
+        let g = GraphBuilder::new().edges([(3, 1), (1, 2), (4, 0)]).build();
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                assert!(g.neighbors(v).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let g = GraphBuilder::new().edges([(0, 5), (0, 2), (0, 9), (0, 1)]).build();
+        assert_eq!(g.neighbors(0), &[1, 2, 5, 9]);
+    }
+}

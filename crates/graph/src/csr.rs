@@ -1,0 +1,255 @@
+//! Compressed-sparse-row undirected graph with sorted neighbor lists.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex in an input graph.
+///
+/// The paper's symmetric-breaking restrictions compare raw vertex IDs
+/// (e.g. `u1 > u2` in Figure 1), so IDs are plain integers rather than an
+/// opaque handle.
+pub type VertexId = u32;
+
+/// An undirected graph in compressed-sparse-row form.
+///
+/// Invariants (established by [`GraphBuilder`](crate::GraphBuilder) and
+/// relied upon by every consumer):
+///
+/// - neighbor lists are sorted ascending and duplicate-free;
+/// - there are no self loops;
+/// - the graph is symmetric: `v ∈ N(u)` iff `u ∈ N(v)`.
+///
+/// Sorted adjacency is what makes the paper's one-pass merge-based set
+/// intersection/subtraction possible without any explicit sort at mining
+/// time (Section 2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// Prefer [`GraphBuilder`](crate::GraphBuilder) unless the arrays are
+    /// already canonical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are malformed: `offsets` must be monotonically
+    /// non-decreasing, start at 0, end at `neighbors.len()`, and every
+    /// neighbor list must be strictly increasing with in-range IDs and no
+    /// self loops.
+    pub fn from_csr(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must contain at least [0]");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty"),
+            neighbors.len(),
+            "offsets must end at neighbors.len()"
+        );
+        let n = offsets.len() - 1;
+        for v in 0..n {
+            assert!(offsets[v] <= offsets[v + 1], "offsets must be monotonic");
+            let list = &neighbors[offsets[v]..offsets[v + 1]];
+            for (i, &u) in list.iter().enumerate() {
+                assert!((u as usize) < n, "neighbor id out of range");
+                assert!(u as usize != v, "self loop at vertex {v}");
+                if i > 0 {
+                    assert!(list[i - 1] < u, "neighbor list of {v} not strictly sorted");
+                }
+            }
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// The sorted neighbor list `N(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`, i.e. `|N(v)|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.vertex_count() || v as usize >= self.vertex_count() {
+            return false;
+        }
+        // Probe the shorter list for cache friendliness.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterates over all vertex IDs.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.vertex_count() as VertexId
+    }
+
+    /// Iterates over each undirected edge exactly once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Byte address of the start of `N(v)` in the simulated memory layout.
+    ///
+    /// The accelerator models lay the neighbor array out contiguously in
+    /// DRAM after the offset array; this gives each list a stable address
+    /// for cache simulation.
+    pub fn neighbor_list_addr(&self, v: VertexId) -> u64 {
+        (self.offsets[v as usize] * std::mem::size_of::<VertexId>()) as u64
+    }
+
+    /// Byte size of `N(v)` in the simulated memory layout.
+    pub fn neighbor_list_bytes(&self, v: VertexId) -> u64 {
+        (self.degree(v) * std::mem::size_of::<VertexId>()) as u64
+    }
+
+    /// Total bytes of the neighbor array (the streamed portion of the graph).
+    pub fn neighbor_array_bytes(&self) -> u64 {
+        (self.neighbors.len() * std::mem::size_of::<VertexId>()) as u64
+    }
+
+    /// Total bytes of the CSR structure (offsets + neighbors), i.e. the
+    /// graph's simulated memory footprint.
+    pub fn total_bytes(&self) -> u64 {
+        (self.offsets.len() * std::mem::size_of::<usize>()) as u64 + self.neighbor_array_bytes()
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2|E| / |V|` (0.0 for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.vertex_count() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.vertex_count() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn paper_figure1_graph() -> CsrGraph {
+        // The 5-vertex input graph of the paper's Figure 1 (1-indexed there;
+        // we keep the same IDs by allocating vertex 0 as isolated).
+        GraphBuilder::new()
+            .edges([(1, 2), (1, 3), (2, 3), (2, 4), (2, 5), (3, 4), (3, 5)])
+            .build()
+    }
+
+    #[test]
+    fn figure1_graph_shape() {
+        let g = paper_figure1_graph();
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.neighbors(2), &[1, 3, 4, 5]);
+        assert_eq!(g.neighbors(1), &[2, 3]);
+        assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = paper_figure1_graph();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(g.has_edge(u, v), g.has_edge(v, u));
+            }
+        }
+        assert!(g.has_edge(2, 5));
+        assert!(!g.has_edge(4, 5));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn has_edge_out_of_range_is_false() {
+        let g = paper_figure1_graph();
+        assert!(!g.has_edge(0, 100));
+        assert!(!g.has_edge(100, 0));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = paper_figure1_graph();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        for &(u, v) in &edges {
+            assert!(u < v);
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn memory_layout_addresses_are_contiguous() {
+        let g = paper_figure1_graph();
+        let mut expected = 0u64;
+        for v in g.vertices() {
+            assert_eq!(g.neighbor_list_addr(v), expected);
+            expected += g.neighbor_list_bytes(v);
+        }
+        assert_eq!(expected, g.neighbor_array_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "self loop")]
+    fn from_csr_rejects_self_loops() {
+        CsrGraph::from_csr(vec![0, 1], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly sorted")]
+    fn from_csr_rejects_unsorted_lists() {
+        CsrGraph::from_csr(vec![0, 2, 3, 4], vec![2, 1, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_csr_rejects_out_of_range() {
+        CsrGraph::from_csr(vec![0, 1, 2], vec![5, 0]);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = paper_figure1_graph();
+        assert_eq!(g.max_degree(), 4);
+        let avg = g.avg_degree();
+        assert!((avg - 14.0 / 6.0).abs() < 1e-12);
+    }
+}

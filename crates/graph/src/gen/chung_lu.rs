@@ -1,0 +1,161 @@
+//! Chung–Lu expected-degree power-law generation.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Parameters for [`chung_lu_power_law`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChungLuConfig {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Target number of distinct undirected edges.
+    pub edges: usize,
+    /// Power-law exponent `γ` of the expected-degree sequence
+    /// (`w_i ∝ (i+1)^(-1/(γ-1))`). Typical social graphs: 2.0–2.5; smaller
+    /// values give heavier tails (larger max degree).
+    pub exponent: f64,
+    /// Caps each expected degree at this fraction of `vertices`,
+    /// bounding the hub size (e.g. Patents has a low max degree; Youtube a
+    /// huge one).
+    pub max_degree_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ChungLuConfig {
+    /// Convenience constructor with the common defaults
+    /// (`exponent = 2.2`, `max_degree_fraction = 0.25`).
+    pub fn new(vertices: usize, edges: usize, seed: u64) -> Self {
+        Self {
+            vertices,
+            edges,
+            exponent: 2.2,
+            max_degree_fraction: 0.25,
+            seed,
+        }
+    }
+}
+
+/// Generates a power-law graph with the Chung–Lu expected-degree model.
+///
+/// Endpoints of each edge are drawn independently from the weight
+/// distribution `w_i ∝ (i+1)^(-1/(γ-1))`, duplicates and self loops are
+/// rejected, so the realized degree of vertex `i` concentrates around a
+/// value proportional to `w_i`. Low-index vertices become hubs; the tail
+/// follows the target exponent. This is the standard scalable surrogate for
+/// SNAP-style social graphs.
+///
+/// # Panics
+///
+/// Panics if the edge target exceeds half of what rejection sampling can
+/// reasonably realize (`edges > vertices²/8`), or if `exponent <= 1`.
+///
+/// # Example
+///
+/// ```
+/// use fingers_graph::gen::{chung_lu_power_law, ChungLuConfig};
+/// let g = chung_lu_power_law(&ChungLuConfig::new(500, 2000, 42));
+/// assert_eq!(g.vertex_count(), 500);
+/// // Hubby: max degree far above the average.
+/// assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+/// ```
+pub fn chung_lu_power_law(config: &ChungLuConfig) -> CsrGraph {
+    let n = config.vertices;
+    assert!(config.exponent > 1.0, "power-law exponent must exceed 1");
+    assert!(
+        config.edges <= n * n / 8,
+        "edge target too dense for rejection sampling"
+    );
+    if n == 0 {
+        return GraphBuilder::new().build();
+    }
+    let alpha = 1.0 / (config.exponent - 1.0);
+    // Raw power-law weights, rescaled so they sum to the target degree mass,
+    // then truncated at the hub cap. The truncation is what differentiates
+    // e.g. Patents (tiny cap) from Youtube (huge cap).
+    let raw: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let raw_sum: f64 = raw.iter().sum();
+    let scale = (2.0 * config.edges as f64) / raw_sum;
+    let cap = (n as f64 * config.max_degree_fraction).max(1.0);
+    let weights: Vec<f64> = raw.iter().map(|&r| (r * scale).min(cap)).collect();
+    let dist = WeightedIndex::new(&weights).expect("positive weights");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut chosen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(config.edges);
+    let mut attempts = 0usize;
+    let max_attempts = config.edges.saturating_mul(200).max(10_000);
+    while chosen.len() < config.edges && attempts < max_attempts {
+        attempts += 1;
+        let u = dist.sample(&mut rng) as VertexId;
+        let v = dist.sample(&mut rng) as VertexId;
+        if u == v {
+            continue;
+        }
+        chosen.insert((u.min(v), u.max(v)));
+    }
+    GraphBuilder::new().edges(chosen).vertex_count(n).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = ChungLuConfig::new(300, 1500, 5);
+        assert_eq!(chung_lu_power_law(&c), chung_lu_power_law(&c));
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        let g = chung_lu_power_law(&ChungLuConfig::new(2000, 8000, 11));
+        assert!(g.max_degree() > 50, "max degree {}", g.max_degree());
+        assert!(g.avg_degree() < 10.0);
+    }
+
+    #[test]
+    fn max_degree_fraction_shrinks_hubs() {
+        // The cap applies to *expected* degrees under independent endpoint
+        // draws, so realized maxima can exceed it; but relative ordering of
+        // hub sizes must follow the cap.
+        let capped = {
+            let mut c = ChungLuConfig::new(1000, 4000, 3);
+            c.max_degree_fraction = 0.02;
+            chung_lu_power_law(&c)
+        };
+        let free = {
+            let mut c = ChungLuConfig::new(1000, 4000, 3);
+            c.max_degree_fraction = 0.5;
+            chung_lu_power_law(&c)
+        };
+        assert!(
+            capped.max_degree() < free.max_degree(),
+            "capped {} vs free {}",
+            capped.max_degree(),
+            free.max_degree()
+        );
+    }
+
+    #[test]
+    fn reaches_edge_target_on_sparse_graphs() {
+        let g = chung_lu_power_law(&ChungLuConfig::new(1000, 5000, 1));
+        assert_eq!(g.edge_count(), 5000);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = chung_lu_power_law(&ChungLuConfig::new(0, 0, 1));
+        assert_eq!(g.vertex_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn rejects_bad_exponent() {
+        let mut c = ChungLuConfig::new(10, 5, 1);
+        c.exponent = 0.5;
+        chung_lu_power_law(&c);
+    }
+}

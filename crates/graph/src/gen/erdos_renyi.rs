@@ -1,0 +1,84 @@
+//! Erdős–Rényi `G(n, m)` generation.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Generates a uniform random graph with `n` vertices and (up to) `m`
+/// distinct undirected edges, deterministically from `seed`.
+///
+/// Degrees concentrate tightly around `2m/n`, giving the low-max-degree
+/// profile of the paper's Patents dataset.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of possible edges `n(n-1)/2`.
+///
+/// # Example
+///
+/// ```
+/// let g = fingers_graph::gen::erdos_renyi(100, 300, 7);
+/// assert_eq!(g.vertex_count(), 100);
+/// assert_eq!(g.edge_count(), 300);
+/// ```
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= possible, "requested {m} edges but only {possible} possible");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut chosen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(m);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        chosen.insert(key);
+    }
+    GraphBuilder::new().edges(chosen).vertex_count(n).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(50, 123, 1);
+        assert_eq!(g.edge_count(), 123);
+        assert_eq!(g.vertex_count(), 50);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        assert_eq!(erdos_renyi(64, 200, 9), erdos_renyi(64, 200, 9));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(erdos_renyi(64, 200, 9), erdos_renyi(64, 200, 10));
+    }
+
+    #[test]
+    fn degrees_are_concentrated() {
+        let g = erdos_renyi(1000, 5000, 3);
+        // avg degree 10; max should stay well below a power-law tail.
+        assert!(g.max_degree() < 40, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn complete_graph_possible() {
+        let g = erdos_renyi(8, 28, 0);
+        assert_eq!(g.edge_count(), 28);
+        assert_eq!(g.max_degree(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn rejects_impossible_edge_count() {
+        erdos_renyi(4, 10, 0);
+    }
+}

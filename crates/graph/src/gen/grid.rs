@@ -1,0 +1,103 @@
+//! Regular lattice generation (deterministic, structure-rich test graphs).
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Generates a `rows × cols` 4-neighbor grid graph.
+///
+/// Grids have no triangles and exactly `(rows−1)(cols−1)` four-cycles —
+/// closed-form counts that make them ideal oracle inputs for the cycle
+/// patterns (the random generators rarely produce predictable cyc counts).
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+///
+/// # Example
+///
+/// ```
+/// let g = fingers_graph::gen::grid(3, 4);
+/// assert_eq!(g.vertex_count(), 12);
+/// assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
+/// ```
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut builder = GraphBuilder::new().vertex_count(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                builder = builder.edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                builder = builder.edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Generates a `rows × cols` 8-neighbor (king-move) grid: adds both
+/// diagonals to every cell, making it triangle-rich while still fully
+/// deterministic.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn king_grid(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut builder = GraphBuilder::new().vertex_count(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                builder = builder.edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                builder = builder.edge(id(r, c), id(r + 1, c));
+                if c + 1 < cols {
+                    builder = builder.edge(id(r, c), id(r + 1, c + 1));
+                    builder = builder.edge(id(r, c + 1), id(r + 1, c));
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 5);
+        assert_eq!(g.vertex_count(), 15);
+        // 3 rows × 4 horizontal + 2 rows × 5 vertical = 12 + 10.
+        assert_eq!(g.edge_count(), 22);
+        // Interior vertex degree 4, corner degree 2.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(6), 4);
+    }
+
+    #[test]
+    fn single_cell_grids() {
+        assert_eq!(grid(1, 1).edge_count(), 0);
+        assert_eq!(grid(1, 4).edge_count(), 3); // a path
+        assert_eq!(grid(2, 2).edge_count(), 4); // a 4-cycle
+    }
+
+    #[test]
+    fn king_grid_adds_diagonals() {
+        let g = king_grid(2, 2);
+        // 4 sides + 2 diagonals = K4.
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        grid(0, 3);
+    }
+}

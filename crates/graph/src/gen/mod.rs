@@ -1,0 +1,27 @@
+//! Deterministic synthetic graph generators.
+//!
+//! Each generator takes an explicit seed and is fully deterministic, so
+//! every experiment in the evaluation harness is reproducible bit-for-bit.
+//! Three families cover the structural knobs the paper's evaluation turns:
+//!
+//! - [`erdos_renyi`]: near-uniform degrees, low maximum degree — the shape
+//!   of the Patents graph ("very few high-degree vertices").
+//! - [`chung_lu_power_law`]: heavy-tailed expected degrees — the shape of
+//!   Youtube / LiveJournal / Orkut ("real-world power-law graphs").
+//! - [`plant_cliques`]: overlays dense clusters on a base graph — the
+//!   clique-richness that separates Mico and LiveJournal from Orkut in the
+//!   paper's clique-listing results.
+//! - [`rmat`]: the Graph500 recursive-matrix family — skewed degrees with
+//!   self-similar community structure.
+
+mod chung_lu;
+mod erdos_renyi;
+mod grid;
+mod planted;
+mod rmat;
+
+pub use chung_lu::{chung_lu_power_law, ChungLuConfig};
+pub use erdos_renyi::erdos_renyi;
+pub use grid::{grid, king_grid};
+pub use planted::{plant_cliques, PlantedCliques};
+pub use rmat::{rmat, RmatConfig};

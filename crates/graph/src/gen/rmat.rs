@@ -1,0 +1,145 @@
+//! R-MAT (recursive matrix) generation — the Graph500 generator family.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Parameters for [`rmat`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmatConfig {
+    /// log₂ of the vertex count (the generated graph has `2^scale` vertices).
+    pub scale: u32,
+    /// Target number of distinct undirected edges.
+    pub edges: usize,
+    /// Quadrant probabilities `(a, b, c)`; `d = 1 − a − b − c`. Graph500
+    /// uses `(0.57, 0.19, 0.19)`, which yields heavy skew and community
+    /// structure.
+    pub probabilities: (f64, f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// Graph500-style defaults at the given scale and edge count.
+    pub fn graph500(scale: u32, edges: usize, seed: u64) -> Self {
+        Self {
+            scale,
+            edges,
+            probabilities: (0.57, 0.19, 0.19),
+            seed,
+        }
+    }
+}
+
+/// Generates an R-MAT graph: each edge picks a quadrant of the adjacency
+/// matrix recursively `scale` times, producing skewed degrees and
+/// self-similar community structure.
+///
+/// Self loops and duplicates are rejected; generation stops early (with
+/// fewer edges than requested) only if rejection stalls, which on
+/// reasonable parameters does not happen.
+///
+/// # Panics
+///
+/// Panics if the probabilities are negative or sum above 1, or if
+/// `scale > 24` (guarding against accidental huge graphs in tests).
+pub fn rmat(config: &RmatConfig) -> CsrGraph {
+    let (a, b, c) = config.probabilities;
+    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0, "probabilities must be non-negative");
+    assert!(a + b + c <= 1.0 + 1e-12, "probabilities must sum to at most 1");
+    assert!(config.scale <= 24, "scale {} too large", config.scale);
+    let n: u64 = 1 << config.scale;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut chosen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(config.edges);
+    let mut attempts = 0usize;
+    let max_attempts = config.edges.saturating_mul(100).max(10_000);
+    while chosen.len() < config.edges && attempts < max_attempts {
+        attempts += 1;
+        let (mut lo_u, mut hi_u) = (0u64, n);
+        let (mut lo_v, mut hi_v) = (0u64, n);
+        for _ in 0..config.scale {
+            let r: f64 = rng.gen();
+            let (right, down) = if r < a {
+                (false, false)
+            } else if r < a + b {
+                (true, false)
+            } else if r < a + b + c {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let mid_u = (lo_u + hi_u) / 2;
+            let mid_v = (lo_v + hi_v) / 2;
+            if down {
+                lo_u = mid_u;
+            } else {
+                hi_u = mid_u;
+            }
+            if right {
+                lo_v = mid_v;
+            } else {
+                hi_v = mid_v;
+            }
+        }
+        let (u, v) = (lo_u as VertexId, lo_v as VertexId);
+        if u == v {
+            continue;
+        }
+        chosen.insert((u.min(v), u.max(v)));
+    }
+    GraphBuilder::new()
+        .edges(chosen)
+        .vertex_count(n as usize)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let g = rmat(&RmatConfig::graph500(10, 4_000, 1));
+        assert_eq!(g.vertex_count(), 1024);
+        assert_eq!(g.edge_count(), 4_000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = RmatConfig::graph500(8, 800, 7);
+        assert_eq!(rmat(&c), rmat(&c));
+    }
+
+    #[test]
+    fn skewed_quadrants_give_hubs() {
+        let skewed = rmat(&RmatConfig::graph500(11, 8_000, 3));
+        let uniform = rmat(&RmatConfig {
+            probabilities: (0.25, 0.25, 0.25),
+            ..RmatConfig::graph500(11, 8_000, 3)
+        });
+        assert!(
+            skewed.max_degree() > 2 * uniform.max_degree(),
+            "skewed {} vs uniform {}",
+            skewed.max_degree(),
+            uniform.max_degree()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn rejects_bad_probabilities() {
+        rmat(&RmatConfig {
+            probabilities: (0.6, 0.3, 0.3),
+            ..RmatConfig::graph500(4, 10, 0)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn rejects_huge_scale() {
+        rmat(&RmatConfig::graph500(30, 10, 0));
+    }
+}

@@ -1,0 +1,186 @@
+//! Plain-text edge-list parsing and serialization.
+//!
+//! The format is the SNAP convention the paper's datasets ship in: one edge
+//! per line as two whitespace-separated vertex IDs, `#`-prefixed comment
+//! lines ignored.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Error produced when an edge-list input cannot be parsed.
+#[derive(Debug)]
+pub struct ParseEdgeListError {
+    line: usize,
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug)]
+enum ParseErrorKind {
+    Io(std::io::Error),
+    MissingEndpoint,
+    BadVertexId(String),
+}
+
+impl ParseEdgeListError {
+    /// 1-based line number at which parsing failed (0 for I/O errors that
+    /// precede line accounting).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseEdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Io(e) => write!(f, "i/o error reading edge list: {e}"),
+            ParseErrorKind::MissingEndpoint => {
+                write!(f, "line {}: expected two vertex ids", self.line)
+            }
+            ParseErrorKind::BadVertexId(tok) => {
+                write!(f, "line {}: invalid vertex id {tok:?}", self.line)
+            }
+        }
+    }
+}
+
+impl Error for ParseEdgeListError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            ParseErrorKind::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a whitespace-separated edge list into a canonical [`CsrGraph`].
+///
+/// # Errors
+///
+/// Returns [`ParseEdgeListError`] if a line has fewer than two tokens, a
+/// token is not a `u32`, or the reader fails.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "# demo graph\n0 1\n1 2\n2 0\n";
+/// let g = fingers_graph::io::read_edge_list(text.as_bytes())?;
+/// assert_eq!(g.edge_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, ParseEdgeListError> {
+    let mut builder = GraphBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| ParseEdgeListError {
+            line: lineno,
+            kind: ParseErrorKind::Io(e),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let u = parse_vertex(tokens.next(), lineno)?;
+        let v = parse_vertex(tokens.next(), lineno)?;
+        builder = builder.edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+fn parse_vertex(token: Option<&str>, line: usize) -> Result<VertexId, ParseEdgeListError> {
+    let token = token.ok_or(ParseEdgeListError {
+        line,
+        kind: ParseErrorKind::MissingEndpoint,
+    })?;
+    token.parse::<VertexId>().map_err(|_| ParseEdgeListError {
+        line,
+        kind: ParseErrorKind::BadVertexId(token.to_owned()),
+    })
+}
+
+/// Writes `graph` as an edge list, one `u v` pair per line with `u < v`.
+///
+/// Accepts any [`Write`]; pass `&mut writer` to keep ownership.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    for (u, v) in graph.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_ignores_comments_and_blank_lines() {
+        let text = "# comment\n\n0 1\n  \n1 2 # trailing tokens beyond two are ignored? no\n";
+        // Note: trailing tokens after the first two are ignored by design.
+        let g = read_edge_list(text.as_bytes()).expect("parse");
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_single_token_line() {
+        let err = read_edge_list("0\n".as_bytes()).unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("two vertex ids"));
+    }
+
+    #[test]
+    fn parse_rejects_non_numeric() {
+        let err = read_edge_list("0 x\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("invalid vertex id"));
+    }
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+            .build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).expect("write");
+        let g2 = read_edge_list(buf.as_slice()).expect("read");
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ParseEdgeListError>();
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = crate::gen::erdos_renyi(40, 90, 5);
+        let path = std::env::temp_dir().join("fingers_io_roundtrip.txt");
+        {
+            let f = std::fs::File::create(&path).expect("create temp file");
+            write_edge_list(&g, std::io::BufWriter::new(f)).expect("write");
+        }
+        let f = std::fs::File::open(&path).expect("open temp file");
+        let g2 = read_edge_list(std::io::BufReader::new(f)).expect("read");
+        std::fs::remove_file(&path).ok();
+        // Isolated trailing vertices are not representable in an edge list.
+        assert_eq!(g.edge_count(), g2.edge_count());
+        for (u, v) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn error_reports_correct_line() {
+        let text = "0 1\n1 2\nbroken\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert_eq!(err.line(), 3);
+    }
+}

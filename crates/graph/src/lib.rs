@@ -1,0 +1,48 @@
+//! Graph substrate for the FINGERS reproduction.
+//!
+//! This crate provides everything the accelerator models and the software
+//! miner need from an input graph:
+//!
+//! - [`CsrGraph`]: a compressed-sparse-row undirected graph whose neighbor
+//!   lists are sorted ascending, the representation assumed by the paper's
+//!   merge-based set operations (Section 2.1, "Set operations and
+//!   representation").
+//! - [`GraphBuilder`]: canonicalizes arbitrary edge lists (dedup, self-loop
+//!   removal, sorting) into a [`CsrGraph`].
+//! - [`gen`]: deterministic synthetic graph generators (Erdős–Rényi,
+//!   Chung–Lu power-law, planted cliques) used to build the dataset
+//!   stand-ins.
+//! - [`datasets`]: scaled stand-ins for the six real-world graphs of the
+//!   paper's Table 1 (AstroPh, Mico, Youtube, Patents, LiveJournal, Orkut).
+//! - [`stats`]: degree and size statistics matching Table 1's columns.
+//! - [`io`]: plain-text edge-list parsing and serialization.
+//!
+//! # Example
+//!
+//! ```
+//! use fingers_graph::{GraphBuilder, CsrGraph};
+//!
+//! // A triangle plus a pendant vertex (the paper's Figure 1 input graph is
+//! // built the same way).
+//! let g: CsrGraph = GraphBuilder::new()
+//!     .edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+//!     .build();
+//! assert_eq!(g.vertex_count(), 4);
+//! assert_eq!(g.edge_count(), 4);
+//! assert_eq!(g.neighbors(2), &[0, 1, 3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod csr;
+pub mod datasets;
+pub mod gen;
+pub mod io;
+pub mod reorder;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, VertexId};
+pub use stats::GraphStats;

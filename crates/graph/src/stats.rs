@@ -1,0 +1,141 @@
+//! Graph statistics matching the columns of the paper's Table 1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::CsrGraph;
+
+/// Summary statistics of a graph: the Table 1 columns plus a couple of
+/// structure probes used to validate the dataset stand-ins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub vertices: usize,
+    /// `|E|` (undirected).
+    pub edges: usize,
+    /// `2|E| / |V|`.
+    pub avg_degree: f64,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Total simulated memory footprint in bytes (CSR arrays).
+    pub footprint_bytes: u64,
+    /// Global clustering coefficient estimated on a vertex sample
+    /// (triangle-richness probe for the clique-heavy stand-ins).
+    pub clustering_estimate: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    ///
+    /// The clustering coefficient is exact for graphs with at most
+    /// `sample_cap` vertices and estimated on the first `sample_cap`
+    /// vertices otherwise (deterministic, sufficient for calibration).
+    pub fn compute(graph: &CsrGraph) -> Self {
+        let sample_cap = 2_000;
+        let n = graph.vertex_count();
+        let sample = n.min(sample_cap);
+        let mut closed = 0u64;
+        let mut open = 0u64;
+        for v in 0..sample as u32 {
+            let nbrs = graph.neighbors(v);
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[i + 1..] {
+                    if graph.has_edge(a, b) {
+                        closed += 1;
+                    } else {
+                        open += 1;
+                    }
+                }
+            }
+        }
+        let total = closed + open;
+        let clustering = if total == 0 {
+            0.0
+        } else {
+            closed as f64 / total as f64
+        };
+        Self {
+            vertices: n,
+            edges: graph.edge_count(),
+            avg_degree: graph.avg_degree(),
+            max_degree: graph.max_degree(),
+            footprint_bytes: graph.total_bytes(),
+            clustering_estimate: clustering,
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} avg_deg={:.1} max_deg={} footprint={}B clustering≈{:.3}",
+            self.vertices,
+            self.edges,
+            self.avg_degree,
+            self.max_degree,
+            self.footprint_bytes,
+            self.clustering_estimate
+        )
+    }
+}
+
+/// Returns the degree histogram of `graph` as `(degree, count)` pairs in
+/// increasing degree order, omitting empty bins.
+pub fn degree_histogram(graph: &CsrGraph) -> Vec<(usize, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for v in graph.vertices() {
+        *counts.entry(graph.degree(v)).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        GraphBuilder::new().edges([(0, 1), (1, 2), (0, 2), (2, 3)]).build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let s = GraphStats::compute(&triangle_plus_tail());
+        assert_eq!(s.vertices, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.max_degree, 3);
+        assert!((s.avg_degree - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .build();
+        let s = GraphStats::compute(&g);
+        assert!((s.clustering_estimate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let g = GraphBuilder::new().edges([(0, 1), (0, 2), (0, 3)]).build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.clustering_estimate, 0.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_vertex_count() {
+        let g = triangle_plus_tail();
+        let h = degree_histogram(&g);
+        let total: usize = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, g.vertex_count());
+        assert_eq!(h, vec![(1, 1), (2, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = GraphStats::compute(&triangle_plus_tail());
+        assert!(!s.to_string().is_empty());
+    }
+}

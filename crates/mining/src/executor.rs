@@ -1,0 +1,367 @@
+//! Plan-driven DFS execution (the paper's Figure 2 as an interpreter).
+
+use fingers_graph::{CsrGraph, VertexId};
+use fingers_pattern::benchmarks::Benchmark;
+use fingers_pattern::{ExecutionPlan, MultiPlan, PlanOp};
+use fingers_setops::{merge, Elem};
+use serde::{Deserialize, Serialize};
+
+/// Result of mining a (multi-)plan: per-pattern embedding counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MineOutcome {
+    /// One embedding count per constituent plan, in plan order.
+    pub per_pattern: Vec<u64>,
+}
+
+impl MineOutcome {
+    /// Total embeddings across all patterns.
+    pub fn total(&self) -> u64 {
+        self.per_pattern.iter().sum()
+    }
+}
+
+/// Counts embeddings of one compiled plan in `graph`.
+pub fn count_plan(graph: &CsrGraph, plan: &ExecutionPlan) -> u64 {
+    let mut count = 0u64;
+    run_plan(graph, plan, &mut |_| count += 1);
+    count
+}
+
+/// Invokes `visitor` with every embedding of `plan` in `graph` (the mapped
+/// input-graph vertex for each level, in level order).
+pub fn list_plan<F: FnMut(&[VertexId])>(graph: &CsrGraph, plan: &ExecutionPlan, visitor: &mut F) {
+    run_plan(graph, plan, visitor);
+}
+
+/// Counts embeddings of every pattern in a multi-plan.
+pub fn count_multi(graph: &CsrGraph, multi: &MultiPlan) -> MineOutcome {
+    MineOutcome {
+        per_pattern: multi.plans().iter().map(|p| count_plan(graph, p)).collect(),
+    }
+}
+
+/// Counts embeddings for one of the paper's benchmark workloads.
+pub fn count_benchmark(graph: &CsrGraph, benchmark: Benchmark) -> MineOutcome {
+    count_multi(graph, &benchmark.plan())
+}
+
+struct Dfs<'a, F> {
+    graph: &'a CsrGraph,
+    plan: &'a ExecutionPlan,
+    visitor: &'a mut F,
+    mapped: Vec<VertexId>,
+    /// Materialized candidate sets, indexed by target level.
+    sets: Vec<Option<Vec<Elem>>>,
+}
+
+fn run_plan<F: FnMut(&[VertexId])>(graph: &CsrGraph, plan: &ExecutionPlan, visitor: &mut F) {
+    let k = plan.pattern_size();
+    let mut dfs = Dfs {
+        graph,
+        plan,
+        visitor,
+        mapped: Vec::with_capacity(k),
+        sets: vec![None; k],
+    };
+    if k == 1 {
+        for v in graph.vertices() {
+            dfs.mapped.push(v);
+            (dfs.visitor)(&dfs.mapped);
+            dfs.mapped.pop();
+        }
+        return;
+    }
+    for v in graph.vertices() {
+        dfs.enter(0, v);
+    }
+}
+
+impl<F: FnMut(&[VertexId])> Dfs<'_, F> {
+    /// Matches `v` at `level`, runs the level's scheduled set ops, recurses.
+    fn enter(&mut self, level: usize, v: VertexId) {
+        let k = self.plan.pattern_size();
+        self.mapped.push(v);
+
+        // Run the compiled actions for this level, remembering what to undo.
+        let mut undo: Vec<(usize, Option<Vec<Elem>>)> = Vec::new();
+        for op in self.plan.actions_at(level) {
+            let target = op.target();
+            let new_set = self.evaluate(op, level);
+            undo.push((target, self.sets[target].take()));
+            self.sets[target] = Some(new_set);
+        }
+
+        let next = level + 1;
+        if next < k {
+            // Iterate candidates for the next level.
+            let candidates = self.sets[next]
+                .take()
+                .expect("schedule materializes S_{next} by level next-1");
+            let start = self.candidate_start(next, &candidates);
+            for &c in &candidates[start..] {
+                if self.mapped.contains(&c) {
+                    continue; // embeddings map distinct vertices
+                }
+                if next + 1 == k {
+                    // Leaf: no deeper sets to build; emit directly.
+                    self.mapped.push(c);
+                    (self.visitor)(&self.mapped);
+                    self.mapped.pop();
+                } else {
+                    self.enter(next, c);
+                }
+            }
+            self.sets[next] = Some(candidates);
+        }
+
+        for (target, old) in undo.into_iter().rev() {
+            self.sets[target] = old;
+        }
+        self.mapped.pop();
+    }
+
+    /// First candidate index satisfying the level's symmetry-breaking lower
+    /// bounds (`u_level > u_a`), found by binary search on the sorted set.
+    fn candidate_start(&self, level: usize, candidates: &[Elem]) -> usize {
+        let bounds = &self.plan.schedule(level).lower_bounds;
+        match bounds.iter().map(|&a| self.mapped[a]).max() {
+            Some(bound) => candidates.partition_point(|&c| c <= bound),
+            None => 0,
+        }
+    }
+
+    /// Computes the new value of an op's target set.
+    fn evaluate(&self, op: &PlanOp, level: usize) -> Vec<Elem> {
+        let current = self.mapped[level];
+        match *op {
+            PlanOp::Init { .. } => self.graph.neighbors(current).to_vec(),
+            PlanOp::InitAnti { short, .. } => {
+                // N(u_level) − N(u_short): the postponed anti-subtraction.
+                let long = self.graph.neighbors(current);
+                let short_list = self.graph.neighbors(self.mapped[short]);
+                merge::apply(fingers_setops::SetOpKind::AntiSubtract, short_list, long)
+            }
+            PlanOp::Apply { target, list, kind } => {
+                let short = self.sets[target]
+                    .as_ref()
+                    .expect("Apply requires a materialized set");
+                let long = self.graph.neighbors(self.mapped[list]);
+                merge::apply(kind, short, long)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingers_graph::gen::erdos_renyi;
+    use fingers_graph::GraphBuilder;
+    use fingers_pattern::{Induced, Pattern};
+
+    fn complete(n: usize) -> CsrGraph {
+        let mut edges = Vec::new();
+        for a in 0..n as VertexId {
+            for b in (a + 1)..n as VertexId {
+                edges.push((a, b));
+            }
+        }
+        GraphBuilder::new().edges(edges).build()
+    }
+
+    fn choose(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1u64;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn triangles_in_complete_graphs() {
+        for n in 3..=8 {
+            let g = complete(n);
+            let got = count_benchmark(&g, Benchmark::Tc).total();
+            assert_eq!(got, choose(n as u64, 3), "K{n}");
+        }
+    }
+
+    #[test]
+    fn cliques_in_complete_graphs() {
+        let g = complete(8);
+        assert_eq!(count_benchmark(&g, Benchmark::Cl4).total(), choose(8, 4));
+        assert_eq!(count_benchmark(&g, Benchmark::Cl5).total(), choose(8, 5));
+    }
+
+    #[test]
+    fn vertex_induced_cycles_absent_in_complete_graphs() {
+        // Every 4-subset of K_n has chords, so no *vertex-induced* 4-cycle.
+        let g = complete(6);
+        assert_eq!(count_benchmark(&g, Benchmark::Cyc).total(), 0);
+        // Same for tailed triangles and diamonds (missing edges required).
+        assert_eq!(count_benchmark(&g, Benchmark::Tt).total(), 0);
+        assert_eq!(count_benchmark(&g, Benchmark::Dia).total(), 0);
+    }
+
+    #[test]
+    fn edge_induced_cycles_in_complete_graph() {
+        // Each 4-subset of K_n contains 3 (edge-induced) 4-cycles.
+        let g = complete(6);
+        let plan = ExecutionPlan::compile(&Pattern::four_cycle(), Induced::Edge);
+        assert_eq!(count_plan(&g, &plan), 3 * choose(6, 4));
+    }
+
+    #[test]
+    fn wedges_in_star() {
+        // Star with c leaves: C(c, 2) wedges (vertex-induced), no triangles.
+        let g = GraphBuilder::new().edges([(0, 1), (0, 2), (0, 3), (0, 4)]).build();
+        let out = count_benchmark(&g, Benchmark::Mc3);
+        assert_eq!(out.per_pattern, vec![0, 6]);
+    }
+
+    #[test]
+    fn motif_census_covers_all_connected_triads() {
+        // In any graph, #triangles + #wedges = number of connected 3-vertex
+        // induced subgraphs. Cross-check on a random graph by direct count.
+        let g = erdos_renyi(40, 120, 5);
+        let out = count_benchmark(&g, Benchmark::Mc3);
+        let mut triangles = 0u64;
+        let mut wedges = 0u64;
+        for a in 0..40u32 {
+            for b in (a + 1)..40 {
+                for c in (b + 1)..40 {
+                    let e = [g.has_edge(a, b), g.has_edge(a, c), g.has_edge(b, c)];
+                    match e.iter().filter(|&&x| x).count() {
+                        3 => triangles += 1,
+                        2 => wedges += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert_eq!(out.per_pattern, vec![triangles, wedges]);
+    }
+
+    #[test]
+    fn figure_1_tailed_triangle_embeddings() {
+        // A Figure-1-style input graph: triangle {1, 2, 3}, with 4 and 5
+        // hanging off it so that {2, 1, 3, 5} is a tailed-triangle
+        // embedding (u0=2, {u1,u2}={1,3}, tail u3=5 adjacent only to 2) —
+        // the example embedding the paper's Section 2.1 names.
+        let g = GraphBuilder::new()
+            .edges([(1, 2), (1, 3), (2, 3), (2, 4), (2, 5), (3, 4)])
+            .build();
+        let plan = ExecutionPlan::compile(&Pattern::tailed_triangle(), Induced::Vertex);
+        let mut found = Vec::new();
+        list_plan(&g, &plan, &mut |emb| found.push(emb.to_vec()));
+        assert!(
+            found.iter().any(|e| e[0] == 2 && e[3] == 5 && {
+                let mut tri = [e[1], e[2]];
+                tri.sort_unstable();
+                tri == [1, 3]
+            }),
+            "expected embedding 2-{{1,3}}-5 in {found:?}"
+        );
+        // Each embedding's vertices are distinct.
+        for e in &found {
+            let mut s = e.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 4, "duplicate vertices in {e:?}");
+        }
+    }
+
+    #[test]
+    fn single_vertex_pattern_counts_vertices() {
+        let g = erdos_renyi(10, 12, 1);
+        let plan = ExecutionPlan::compile(&Pattern::from_edges_named(1, &[], "v"), Induced::Vertex);
+        assert_eq!(count_plan(&g, &plan), 10);
+    }
+
+    #[test]
+    fn empty_graph_counts_zero() {
+        let g = GraphBuilder::new().vertex_count(5).build();
+        for b in Benchmark::ALL {
+            assert_eq!(count_benchmark(&g, b).total(), 0, "{b}");
+        }
+    }
+
+    #[test]
+    fn listed_embeddings_satisfy_restrictions() {
+        let g = erdos_renyi(25, 90, 13);
+        let plan = ExecutionPlan::compile(&Pattern::four_cycle(), Induced::Vertex);
+        let mut count = 0u64;
+        list_plan(&g, &plan, &mut |emb| {
+            count += 1;
+            for &(a, b) in plan.restrictions() {
+                assert!(emb[a] < emb[b], "restriction u{a} < u{b} violated by {emb:?}");
+            }
+        });
+        assert_eq!(count, count_plan(&g, &plan));
+    }
+
+    #[test]
+    fn listed_embeddings_have_pattern_edges() {
+        let g = erdos_renyi(20, 70, 21);
+        for p in [Pattern::diamond(), Pattern::tailed_triangle()] {
+            let plan = ExecutionPlan::compile(&p, Induced::Vertex);
+            list_plan(&g, &plan, &mut |emb| {
+                let pat = plan.pattern();
+                for a in 0..pat.size() {
+                    for b in (a + 1)..pat.size() {
+                        assert_eq!(
+                            pat.are_adjacent(a, b),
+                            g.has_edge(emb[a], emb[b]),
+                            "vertex-induced adjacency mismatch at ({a},{b}) in {emb:?}"
+                        );
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn wedges_on_paths_closed_form() {
+        // A path on n vertices has exactly n−2 wedges and nothing else.
+        for n in [3u32, 5, 9] {
+            let g = GraphBuilder::new()
+                .edges((0..n - 1).map(|i| (i, i + 1)))
+                .build();
+            let out = count_benchmark(&g, Benchmark::Mc3);
+            assert_eq!(out.per_pattern, vec![0, (n - 2) as u64], "P{n}");
+        }
+    }
+
+    #[test]
+    fn cycles_on_rings_closed_form() {
+        // C4 has one 4-cycle; C5 has none (vertex-induced 4-cycles need an
+        // induced square); C6 likewise none, but C6 has 4-paths etc.
+        let ring = |n: u32| {
+            GraphBuilder::new()
+                .edges((0..n).map(|i| (i, (i + 1) % n)))
+                .build()
+        };
+        assert_eq!(count_benchmark(&ring(4), Benchmark::Cyc).total(), 1);
+        assert_eq!(count_benchmark(&ring(5), Benchmark::Cyc).total(), 0);
+        assert_eq!(count_benchmark(&ring(6), Benchmark::Cyc).total(), 0);
+    }
+
+    #[test]
+    fn disconnected_components_mine_independently() {
+        // Two disjoint K4s: counts double a single K4's.
+        let mut edges = Vec::new();
+        for base in [0u32, 4] {
+            for a in 0..4 {
+                for b in (a + 1)..4 {
+                    edges.push((base + a, base + b));
+                }
+            }
+        }
+        let g = GraphBuilder::new().edges(edges).build();
+        assert_eq!(count_benchmark(&g, Benchmark::Tc).total(), 8);
+        assert_eq!(count_benchmark(&g, Benchmark::Cl4).total(), 2);
+    }
+}

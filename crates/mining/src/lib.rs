@@ -1,0 +1,34 @@
+//! Software reference miner for the FINGERS reproduction.
+//!
+//! Executes compiled pattern-aware execution plans on CSR graphs by plain
+//! depth-first search, exactly as the paper's Figure 2 loop nest does. This
+//! is (a) the functional oracle every accelerator model is validated
+//! against, and (b) the CPU baseline in spirit of AutoMine/GraphZero.
+//!
+//! The crate also contains a brute-force enumerator ([`brute`]) used to
+//! validate the *compiler* itself (vertex orders, schedules, and symmetry
+//! breaking) on small graphs.
+//!
+//! # Example
+//!
+//! ```
+//! use fingers_graph::GraphBuilder;
+//! use fingers_mining::count_benchmark;
+//! use fingers_pattern::benchmarks::Benchmark;
+//!
+//! // K4 contains exactly 4 triangles and 1 four-clique.
+//! let g = GraphBuilder::new()
+//!     .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+//!     .build();
+//! assert_eq!(count_benchmark(&g, Benchmark::Tc).total(), 4);
+//! assert_eq!(count_benchmark(&g, Benchmark::Cl4).total(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+mod executor;
+pub mod oblivious;
+
+pub use executor::{count_benchmark, count_multi, count_plan, list_plan, MineOutcome};

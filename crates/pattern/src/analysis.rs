@@ -1,0 +1,215 @@
+//! Static plan analysis: the workload character a compiled plan implies.
+//!
+//! The paper's Section 6.2 explains every per-pattern effect through plan
+//! structure — cliques have no set-level parallelism (all schedules
+//! identical), tt/cyc produce large sets via subtractions, dia subtracts
+//! only at deep levels. This module computes those properties *statically*
+//! from a compiled plan, so analyses (and the `plan_explorer` example) can
+//! predict workload behaviour without running a simulation.
+
+use serde::{Deserialize, Serialize};
+
+use fingers_setops::SetOpKind;
+
+use crate::{ExecutionPlan, PlanOp};
+
+/// Op-mix counts of one compiled plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// `Init` actions (aliasing the streamed list).
+    pub inits: usize,
+    /// Postponed anti-subtraction initializations.
+    pub init_antis: usize,
+    /// Intersections.
+    pub intersections: usize,
+    /// Subtractions (including postponed ones).
+    pub subtractions: usize,
+}
+
+impl OpMix {
+    /// Total scheduled actions.
+    pub fn total(&self) -> usize {
+        self.inits + self.init_antis + self.intersections + self.subtractions
+    }
+}
+
+/// Static analysis of a compiled plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanAnalysis {
+    /// Pattern size `k`.
+    pub levels: usize,
+    /// Scheduled actions per level (`actions[i]` = ops run when level `i`
+    /// is matched).
+    pub ops_per_level: Vec<usize>,
+    /// Op mix across the whole plan.
+    pub mix: OpMix,
+    /// Maximum *distinct* set operations at any level — the set-level
+    /// parallelism ceiling (after dedup of identical computations).
+    pub max_set_parallelism: usize,
+    /// Whether any subtraction (or anti-subtraction) appears — plans
+    /// without them (cliques, edge-induced) only shrink sets by
+    /// intersection.
+    pub has_subtractions: bool,
+    /// The deepest level at which a subtraction executes (None if none) —
+    /// dia's "subtractions only at the lower tree levels" is visible here.
+    pub deepest_subtraction_level: Option<usize>,
+    /// Number of symmetry-breaking restrictions.
+    pub restrictions: usize,
+}
+
+/// Analyzes a compiled plan.
+pub fn analyze(plan: &ExecutionPlan) -> PlanAnalysis {
+    let k = plan.pattern_size();
+    let mut ops_per_level = Vec::with_capacity(k);
+    let mut mix = OpMix::default();
+    let mut max_set_parallelism = 0;
+    let mut deepest_subtraction_level = None;
+
+    for level in 0..k {
+        let actions = plan.actions_at(level);
+        ops_per_level.push(actions.len());
+        // Distinct computations at this level: Init actions alias (dedup to
+        // at most one per clip bound — approximated as 1 here), InitAnti
+        // and Apply are real ops but identical (target-independent) pairs
+        // dedup. Statically we dedup by (op shape, list): two Apply ops at
+        // the same level with the same kind and list on identical inputs
+        // collapse — conservatively assume inputs identical only when the
+        // targets were initialized identically, which holds for cliques.
+        let mut distinct = 0usize;
+        let mut seen: Vec<(u8, usize)> = Vec::new();
+        for op in actions {
+            match *op {
+                PlanOp::Init { .. } => {
+                    mix.inits += 1;
+                }
+                PlanOp::InitAnti { short, .. } => {
+                    mix.init_antis += 1;
+                    if !seen.contains(&(1, short)) {
+                        seen.push((1, short));
+                        distinct += 1;
+                    }
+                    deepest_subtraction_level =
+                        deepest_subtraction_level.max(Some(level));
+                }
+                PlanOp::Apply { list, kind, .. } => {
+                    match kind {
+                        SetOpKind::Intersect => mix.intersections += 1,
+                        _ => {
+                            mix.subtractions += 1;
+                            deepest_subtraction_level =
+                                deepest_subtraction_level.max(Some(level));
+                        }
+                    }
+                    let tag = (2 + kind as u8, list);
+                    if !seen.contains(&tag) {
+                        seen.push(tag);
+                        distinct += 1;
+                    }
+                }
+            }
+        }
+        max_set_parallelism = max_set_parallelism.max(distinct);
+    }
+
+    PlanAnalysis {
+        levels: k,
+        ops_per_level,
+        mix,
+        max_set_parallelism,
+        has_subtractions: mix.init_antis + mix.subtractions > 0,
+        deepest_subtraction_level,
+        restrictions: plan.restriction_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Induced, Pattern};
+
+    fn analyze_pattern(p: &Pattern) -> PlanAnalysis {
+        analyze(&ExecutionPlan::compile(p, Induced::Vertex))
+    }
+
+    #[test]
+    fn cliques_have_no_set_level_parallelism() {
+        // Section 6.2: "Clique counting does not have set-level parallelism
+        // as the candidate vertex sets for all future levels are always
+        // identical" — statically: at most one distinct op per level.
+        for k in 3..=5 {
+            let a = analyze_pattern(&Pattern::clique(k));
+            assert!(
+                a.max_set_parallelism <= 1,
+                "{k}-clique: {}",
+                a.max_set_parallelism
+            );
+            assert!(!a.has_subtractions);
+        }
+    }
+
+    #[test]
+    fn tailed_triangle_mixes_ops() {
+        let a = analyze_pattern(&Pattern::tailed_triangle());
+        assert!(a.has_subtractions);
+        assert_eq!(a.mix.intersections, 1); // S2 ∩= N(u1)
+        assert_eq!(a.mix.subtractions, 2); // S3 −= N(u1), N(u2)
+        assert_eq!(a.restrictions, 1);
+        // At level 1 the intersect and subtract are distinct computations.
+        assert!(a.max_set_parallelism >= 2);
+    }
+
+    #[test]
+    fn diamond_subtracts_only_deep() {
+        // Section 6.2: "the subtraction operations in dia are only at the
+        // lower tree levels".
+        let a = analyze_pattern(&Pattern::diamond());
+        assert!(a.has_subtractions);
+        assert_eq!(a.deepest_subtraction_level, Some(2));
+        // And no subtraction earlier than level 2.
+        let plan = ExecutionPlan::compile(&Pattern::diamond(), Induced::Vertex);
+        for level in 0..2 {
+            for op in plan.actions_at(level) {
+                assert!(
+                    !matches!(
+                        op,
+                        PlanOp::Apply {
+                            kind: SetOpKind::Subtract,
+                            ..
+                        } | PlanOp::InitAnti { .. }
+                    ),
+                    "early subtraction at level {level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_induced_plans_never_subtract() {
+        for p in [
+            Pattern::tailed_triangle(),
+            Pattern::four_cycle(),
+            Pattern::house(),
+        ] {
+            let a = analyze(&ExecutionPlan::compile(&p, Induced::Edge));
+            assert!(!a.has_subtractions, "{p}");
+            assert_eq!(a.mix.subtractions, 0);
+            assert_eq!(a.mix.init_antis, 0);
+        }
+    }
+
+    #[test]
+    fn ops_per_level_sum_matches_mix_total() {
+        for p in [
+            Pattern::triangle(),
+            Pattern::clique(5),
+            Pattern::four_cycle(),
+            Pattern::gem(),
+        ] {
+            let a = analyze_pattern(&p);
+            assert_eq!(a.ops_per_level.iter().sum::<usize>(), a.mix.total(), "{p}");
+            assert_eq!(a.ops_per_level.len(), a.levels);
+            // The last level never schedules ops (nothing left to build).
+            assert_eq!(*a.ops_per_level.last().expect("non-empty"), 0);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Exhaustive automorphism enumeration for small patterns.
+
+use crate::Pattern;
+
+/// Enumerates all automorphisms of `pattern` as permutations
+/// (`perm[v]` = image of vertex `v`). The identity is always included.
+///
+/// Patterns are capped at [`MAX_PATTERN_VERTICES`](crate::MAX_PATTERN_VERTICES)
+/// vertices, so exhaustive backtracking (with degree pruning) is instant.
+///
+/// # Example
+///
+/// ```
+/// use fingers_pattern::{automorphisms, Pattern};
+/// assert_eq!(automorphisms(&Pattern::triangle()).len(), 6); // S₃
+/// assert_eq!(automorphisms(&Pattern::tailed_triangle()).len(), 2);
+/// ```
+pub fn automorphisms(pattern: &Pattern) -> Vec<Vec<usize>> {
+    let k = pattern.size();
+    let mut result = Vec::new();
+    let mut perm = vec![usize::MAX; k];
+    let mut used = vec![false; k];
+    extend(pattern, &mut perm, &mut used, 0, &mut result);
+    result
+}
+
+fn extend(
+    pattern: &Pattern,
+    perm: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+    v: usize,
+    result: &mut Vec<Vec<usize>>,
+) {
+    let k = pattern.size();
+    if v == k {
+        result.push(perm.clone());
+        return;
+    }
+    for image in 0..k {
+        if used[image] || pattern.degree(image) != pattern.degree(v) {
+            continue;
+        }
+        // Adjacency to already-mapped vertices must be preserved both ways.
+        let consistent = (0..v).all(|w| {
+            pattern.are_adjacent(v, w) == pattern.are_adjacent(image, perm[w])
+        });
+        if !consistent {
+            continue;
+        }
+        perm[v] = image;
+        used[image] = true;
+        extend(pattern, perm, used, v + 1, result);
+        used[image] = false;
+        perm[v] = usize::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_automorphism(p: &Pattern, perm: &[usize]) -> bool {
+        let k = p.size();
+        (0..k).all(|a| (0..k).all(|b| p.are_adjacent(a, b) == p.are_adjacent(perm[a], perm[b])))
+    }
+
+    #[test]
+    fn clique_automorphisms_are_all_permutations() {
+        assert_eq!(automorphisms(&Pattern::clique(4)).len(), 24);
+        assert_eq!(automorphisms(&Pattern::clique(5)).len(), 120);
+    }
+
+    #[test]
+    fn four_cycle_is_dihedral() {
+        // Aut(C4) = D4 of order 8.
+        assert_eq!(automorphisms(&Pattern::four_cycle()).len(), 8);
+    }
+
+    #[test]
+    fn diamond_has_four_automorphisms() {
+        // Swap the two degree-3 vertices and/or the two degree-2 vertices.
+        assert_eq!(automorphisms(&Pattern::diamond()).len(), 4);
+    }
+
+    #[test]
+    fn wedge_has_leaf_swap() {
+        assert_eq!(automorphisms(&Pattern::wedge()).len(), 2);
+    }
+
+    #[test]
+    fn path4_has_reversal_only() {
+        assert_eq!(automorphisms(&Pattern::path(4)).len(), 2);
+    }
+
+    #[test]
+    fn all_results_are_valid_automorphisms() {
+        for p in [
+            Pattern::triangle(),
+            Pattern::tailed_triangle(),
+            Pattern::four_cycle(),
+            Pattern::diamond(),
+            Pattern::clique(5),
+            Pattern::star(3),
+        ] {
+            let auts = automorphisms(&p);
+            assert!(!auts.is_empty());
+            // The identity is present.
+            let k = p.size();
+            assert!(auts.iter().any(|a| a.iter().enumerate().all(|(i, &x)| i == x)));
+            for a in &auts {
+                assert!(is_automorphism(&p, a), "{p}: {a:?}");
+            }
+            // Group property: closed under composition.
+            for a in &auts {
+                for b in &auts {
+                    let comp: Vec<usize> = (0..k).map(|v| a[b[v]]).collect();
+                    assert!(auts.contains(&comp));
+                }
+            }
+        }
+    }
+}

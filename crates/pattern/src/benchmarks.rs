@@ -1,0 +1,124 @@
+//! The paper's benchmark workloads (Section 5).
+//!
+//! Six single patterns — triangle (`tc`), 4-clique (`4cl`), 5-clique
+//! (`5cl`), tailed triangle (`tt`), 4-cycle (`cyc`), diamond (`dia`) — plus
+//! the multi-pattern 3-motif census (`3mc`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{Induced, MultiPlan, Pattern};
+
+/// One of the seven evaluated mining workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Triangle counting/listing.
+    Tc,
+    /// 4-clique listing.
+    Cl4,
+    /// 5-clique listing.
+    Cl5,
+    /// Tailed-triangle listing (the paper's running example).
+    Tt,
+    /// 4-cycle listing.
+    Cyc,
+    /// Diamond listing.
+    Dia,
+    /// 3-motif census (triangles + wedges, multi-pattern).
+    Mc3,
+}
+
+impl Benchmark {
+    /// All seven benchmarks in the paper's figure order.
+    pub const ALL: [Benchmark; 7] = [
+        Benchmark::Tc,
+        Benchmark::Cl4,
+        Benchmark::Cl5,
+        Benchmark::Tt,
+        Benchmark::Cyc,
+        Benchmark::Dia,
+        Benchmark::Mc3,
+    ];
+
+    /// The abbreviation used in the paper's figures.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Benchmark::Tc => "tc",
+            Benchmark::Cl4 => "4cl",
+            Benchmark::Cl5 => "5cl",
+            Benchmark::Tt => "tt",
+            Benchmark::Cyc => "cyc",
+            Benchmark::Dia => "dia",
+            Benchmark::Mc3 => "3mc",
+        }
+    }
+
+    /// The workload's patterns.
+    pub fn patterns(self) -> Vec<Pattern> {
+        match self {
+            Benchmark::Tc => vec![Pattern::triangle()],
+            Benchmark::Cl4 => vec![Pattern::clique(4)],
+            Benchmark::Cl5 => vec![Pattern::clique(5)],
+            Benchmark::Tt => vec![Pattern::tailed_triangle()],
+            Benchmark::Cyc => vec![Pattern::four_cycle()],
+            Benchmark::Dia => vec![Pattern::diamond()],
+            Benchmark::Mc3 => vec![Pattern::triangle(), Pattern::wedge()],
+        }
+    }
+
+    /// Compiles the workload into a (multi-)plan. The paper mines
+    /// vertex-induced subgraphs for these benchmarks.
+    pub fn plan(self) -> MultiPlan {
+        match self {
+            Benchmark::Mc3 => MultiPlan::three_motif(),
+            _ => {
+                let patterns = self.patterns();
+                MultiPlan::new(self.abbrev(), &patterns, Induced::Vertex)
+            }
+        }
+    }
+
+    /// Whether this is a multi-pattern workload.
+    pub fn is_multi_pattern(self) -> bool {
+        self == Benchmark::Mc3
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_compile() {
+        for b in Benchmark::ALL {
+            let plan = b.plan();
+            assert!(!plan.plans().is_empty(), "{b}");
+        }
+    }
+
+    #[test]
+    fn abbreviations_match_paper() {
+        let abbrevs: Vec<_> = Benchmark::ALL.iter().map(|b| b.abbrev()).collect();
+        assert_eq!(abbrevs, ["tc", "4cl", "5cl", "tt", "cyc", "dia", "3mc"]);
+    }
+
+    #[test]
+    fn only_3mc_is_multi_pattern() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.is_multi_pattern(), b == Benchmark::Mc3, "{b}");
+        }
+    }
+
+    #[test]
+    fn pattern_sizes_match() {
+        assert_eq!(Benchmark::Cl5.plan().max_pattern_size(), 5);
+        assert_eq!(Benchmark::Tt.plan().max_pattern_size(), 4);
+        assert_eq!(Benchmark::Mc3.plan().max_pattern_size(), 3);
+    }
+}

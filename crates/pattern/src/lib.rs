@@ -1,0 +1,51 @@
+//! Pattern-aware execution-plan compiler for the FINGERS reproduction.
+//!
+//! State-of-the-art graph mining is *pattern-aware* (paper Section 2.1): the
+//! user-defined pattern is compiled, ahead of mining, into an execution plan
+//! consisting of
+//!
+//! 1. a **vertex order** `u_0, …, u_{k−1}` over the pattern vertices,
+//! 2. per-level **set-operation schedules** materializing each candidate
+//!    vertex set from ancestor neighbor lists via Equation (1)
+//!    (intersection / subtraction / anti-subtraction), and
+//! 3. **symmetry-breaking restrictions** that keep exactly one automorphic
+//!    image of every embedding.
+//!
+//! This crate implements that compiler in the generic plan format both
+//! FlexMiner and FINGERS consume, plus the pattern library of the paper's
+//! benchmarks (triangle, 4-/5-clique, tailed triangle, 4-cycle, diamond,
+//! and the multi-pattern 3-motif).
+//!
+//! # Example
+//!
+//! ```
+//! use fingers_pattern::{Pattern, ExecutionPlan, Induced};
+//!
+//! let tt = Pattern::tailed_triangle();
+//! let plan = ExecutionPlan::compile(&tt, Induced::Vertex);
+//! assert_eq!(plan.pattern_size(), 4);
+//! // The tailed triangle has one non-trivial automorphism (swapping the two
+//! // symmetric triangle vertices), so one restriction is emitted.
+//! assert_eq!(plan.restriction_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod automorphism;
+pub mod benchmarks;
+mod multipattern;
+mod order;
+pub mod parse;
+mod pattern;
+mod plan;
+mod symmetry;
+
+pub use automorphism::automorphisms;
+pub use multipattern::MultiPlan;
+pub use order::{all_connected_orders, connected_vertex_order, estimated_order_cost, optimized_vertex_order};
+pub use parse::{parse_pattern, ParsePatternError};
+pub use pattern::{Pattern, MAX_PATTERN_VERTICES};
+pub use plan::{ExecutionPlan, Induced, LevelSchedule, PlanOp};
+pub use symmetry::symmetry_breaking_restrictions;

@@ -1,0 +1,164 @@
+//! Multi-pattern mining plans.
+//!
+//! Paper Section 2.1 ("Multi-pattern mining") and Section 4: patterns
+//! sharing identical search-tree prefixes can be mined simultaneously;
+//! the shared trunk is explored once and the per-pattern trunks diverge as
+//! additional branches. The evaluation's `3mc` benchmark mines triangles
+//! and wedges together.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{ExecutionPlan, Induced, Pattern};
+
+/// A set of execution plans mined in one pass over the input graph.
+///
+/// All plans share level 0 (every vertex roots every pattern's tree), so a
+/// single root iteration drives all of them; deeper levels are per-pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiPlan {
+    name: String,
+    plans: Vec<ExecutionPlan>,
+}
+
+impl MultiPlan {
+    /// Wraps a single pattern as a trivial multi-plan.
+    pub fn single(pattern: &Pattern, induced: Induced) -> Self {
+        Self {
+            name: pattern.name().to_owned(),
+            plans: vec![ExecutionPlan::compile(pattern, induced)],
+        }
+    }
+
+    /// Builds a multi-plan over several patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty.
+    pub fn new(name: impl Into<String>, patterns: &[Pattern], induced: Induced) -> Self {
+        assert!(!patterns.is_empty(), "multi-plan needs at least one pattern");
+        Self {
+            name: name.into(),
+            plans: patterns
+                .iter()
+                .map(|p| ExecutionPlan::compile(p, induced))
+                .collect(),
+        }
+    }
+
+    /// Builds a multi-plan from already-compiled plans (e.g. from
+    /// [`ExecutionPlan::compile_optimized`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` is empty.
+    pub fn from_plans(name: impl Into<String>, plans: Vec<ExecutionPlan>) -> Self {
+        assert!(!plans.is_empty(), "multi-plan needs at least one pattern");
+        Self {
+            name: name.into(),
+            plans,
+        }
+    }
+
+    /// The 3-motif census (`3mc`): triangles + wedges, vertex-induced.
+    pub fn three_motif() -> Self {
+        Self::new(
+            "3-motif",
+            &[Pattern::triangle(), Pattern::wedge()],
+            Induced::Vertex,
+        )
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The constituent plans.
+    pub fn plans(&self) -> &[ExecutionPlan] {
+        &self.plans
+    }
+
+    /// Whether this is a single-pattern plan.
+    pub fn is_single(&self) -> bool {
+        self.plans.len() == 1
+    }
+
+    /// The deepest level across all plans (tree depth of the merged trunk).
+    pub fn max_pattern_size(&self) -> usize {
+        self.plans
+            .iter()
+            .map(ExecutionPlan::pattern_size)
+            .max()
+            .expect("non-empty")
+    }
+
+    /// Number of leading levels at which plans `a` and `b` share identical
+    /// actions (the mergeable trunk; at least 1 because level 0 is always
+    /// the root iteration... comparing actual scheduled ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn shared_prefix_levels(&self, a: usize, b: usize) -> usize {
+        let pa = &self.plans[a];
+        let pb = &self.plans[b];
+        let mut shared = 0;
+        let depth = pa.pattern_size().min(pb.pattern_size());
+        for level in 0..depth {
+            if pa.actions_at(level) == pb.actions_at(level) {
+                shared += 1;
+            } else {
+                break;
+            }
+        }
+        shared
+    }
+}
+
+impl fmt::Display for MultiPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} pattern(s))", self.name, self.plans.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_wraps_one_plan() {
+        let mp = MultiPlan::single(&Pattern::triangle(), Induced::Vertex);
+        assert!(mp.is_single());
+        assert_eq!(mp.plans().len(), 1);
+        assert_eq!(mp.name(), "3-clique");
+    }
+
+    #[test]
+    fn three_motif_has_two_plans() {
+        let mp = MultiPlan::three_motif();
+        assert_eq!(mp.plans().len(), 2);
+        assert_eq!(mp.max_pattern_size(), 3);
+        assert!(!mp.is_single());
+    }
+
+    #[test]
+    fn triangle_and_wedge_share_the_root_level() {
+        // Both initialize S1 and S2 from N(u0) at level 0; they diverge at
+        // level 1 (intersect vs subtract).
+        let mp = MultiPlan::three_motif();
+        let shared = mp.shared_prefix_levels(0, 1);
+        assert_eq!(shared, 1, "expected exactly the root level to merge");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_multiplan_rejected() {
+        MultiPlan::new("empty", &[], Induced::Vertex);
+    }
+
+    #[test]
+    fn display_includes_count() {
+        assert!(MultiPlan::three_motif().to_string().contains("2 pattern"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Textual pattern notation.
+//!
+//! Patterns can be written as edge lists in a compact string form:
+//! `"0-1,1-2,0-2"` is the triangle. Named patterns from the paper's
+//! benchmark set are also accepted (`"triangle"`, `"4-clique"`, `"tt"`, …),
+//! so CLI tools and config files can specify arbitrary mining workloads.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Pattern;
+
+/// Error produced when a pattern string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    message: String,
+}
+
+impl ParsePatternError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pattern: {}", self.message)
+    }
+}
+
+impl Error for ParsePatternError {}
+
+/// Parses a pattern from either a known name or an edge-list string.
+///
+/// Accepted names (case-insensitive): `triangle`/`tc`, `wedge`,
+/// `4-clique`/`4cl`, `5-clique`/`5cl`, `k-clique` (`k` a digit),
+/// `tailed-triangle`/`tt`, `4-cycle`/`cyc`, `diamond`/`dia`,
+/// `house`, `bull`, and `k-path` / `k-star`.
+///
+/// Edge-list strings are comma-separated `a-b` pairs over vertices
+/// `0..k`, e.g. `"0-1,1-2,0-2"`.
+///
+/// # Errors
+///
+/// Returns [`ParsePatternError`] if the name is unknown, an edge is
+/// malformed, or the resulting pattern would be invalid (disconnected,
+/// self loop, too large).
+///
+/// # Example
+///
+/// ```
+/// use fingers_pattern::{parse_pattern, Pattern};
+/// assert_eq!(parse_pattern("tc").unwrap(), Pattern::triangle());
+/// assert_eq!(parse_pattern("0-1,1-2,0-2").unwrap(), Pattern::triangle());
+/// assert!(parse_pattern("0-0").is_err());
+/// ```
+pub fn parse_pattern(text: &str) -> Result<Pattern, ParsePatternError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err(ParsePatternError::new("empty pattern string"));
+    }
+    if let Some(p) = named_pattern(&trimmed.to_ascii_lowercase()) {
+        return Ok(p);
+    }
+    if trimmed.contains('-') && trimmed.chars().any(|c| c.is_ascii_digit()) {
+        return parse_edge_list(trimmed);
+    }
+    Err(ParsePatternError::new(format!(
+        "unknown pattern name {trimmed:?} (try an edge list like \"0-1,1-2,0-2\")"
+    )))
+}
+
+fn named_pattern(name: &str) -> Option<Pattern> {
+    match name {
+        "triangle" | "tc" | "3-clique" | "3cl" => Some(Pattern::triangle()),
+        "wedge" => Some(Pattern::wedge()),
+        "tailed-triangle" | "tailed_triangle" | "tt" => Some(Pattern::tailed_triangle()),
+        "4-cycle" | "4cycle" | "cyc" | "square" => Some(Pattern::four_cycle()),
+        "diamond" | "dia" => Some(Pattern::diamond()),
+        "house" => Some(Pattern::house()),
+        "bull" => Some(Pattern::bull()),
+        "gem" => Some(Pattern::gem()),
+        "butterfly" => Some(Pattern::butterfly()),
+        _ => {
+            // k-clique / kcl / k-path / k-star forms.
+            let (k, rest) = split_leading_number(name)?;
+            match rest {
+                "-clique" | "cl" | "clique" => (2..=8).contains(&k).then(|| Pattern::clique(k)),
+                "-path" | "path" => (2..=8).contains(&k).then(|| Pattern::path(k)),
+                "-star" | "star" => (1..=7).contains(&k).then(|| Pattern::star(k)),
+                _ => None,
+            }
+        }
+    }
+}
+
+fn split_leading_number(s: &str) -> Option<(usize, &str)> {
+    let digits: String = s.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    let k = digits.parse().ok()?;
+    Some((k, &s[digits.len()..]))
+}
+
+fn parse_edge_list(text: &str) -> Result<Pattern, ParsePatternError> {
+    let mut edges = Vec::new();
+    let mut max_vertex = 0usize;
+    for part in text.split(',') {
+        let part = part.trim();
+        let (a, b) = part.split_once('-').ok_or_else(|| {
+            ParsePatternError::new(format!("edge {part:?} is not of the form a-b"))
+        })?;
+        let a: usize = a
+            .trim()
+            .parse()
+            .map_err(|_| ParsePatternError::new(format!("bad vertex {a:?}")))?;
+        let b: usize = b
+            .trim()
+            .parse()
+            .map_err(|_| ParsePatternError::new(format!("bad vertex {b:?}")))?;
+        if a == b {
+            return Err(ParsePatternError::new(format!("self loop {a}-{b}")));
+        }
+        max_vertex = max_vertex.max(a).max(b);
+        edges.push((a, b));
+    }
+    let k = max_vertex + 1;
+    if k > crate::pattern::MAX_PATTERN_VERTICES {
+        return Err(ParsePatternError::new(format!(
+            "{k} vertices exceeds the supported maximum"
+        )));
+    }
+    // Pattern::from_edges panics on disconnected input; pre-check to return
+    // a Result instead.
+    let mut adj = vec![Vec::new(); k];
+    for &(a, b) in &edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut seen = vec![false; k];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(v) = stack.pop() {
+        for &w in &adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+    if !seen.iter().all(|&s| s) {
+        return Err(ParsePatternError::new("pattern is disconnected"));
+    }
+    Ok(Pattern::from_edges_named(k, &edges, text.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_benchmark_patterns() {
+        assert_eq!(parse_pattern("tc").unwrap(), Pattern::triangle());
+        assert_eq!(parse_pattern("4cl").unwrap(), Pattern::clique(4));
+        assert_eq!(parse_pattern("5-clique").unwrap(), Pattern::clique(5));
+        assert_eq!(parse_pattern("TT").unwrap(), Pattern::tailed_triangle());
+        assert_eq!(parse_pattern("cyc").unwrap(), Pattern::four_cycle());
+        assert_eq!(parse_pattern("dia").unwrap(), Pattern::diamond());
+        assert_eq!(parse_pattern("wedge").unwrap(), Pattern::wedge());
+        assert_eq!(parse_pattern("5-path").unwrap(), Pattern::path(5));
+        assert_eq!(parse_pattern("4-star").unwrap(), Pattern::star(4));
+    }
+
+    #[test]
+    fn extended_named_patterns() {
+        assert_eq!(parse_pattern("house").unwrap().size(), 5);
+        assert_eq!(parse_pattern("bull").unwrap().size(), 5);
+        assert_eq!(parse_pattern("gem").unwrap().size(), 5);
+        assert_eq!(parse_pattern("butterfly").unwrap().size(), 5);
+    }
+
+    #[test]
+    fn edge_list_strings() {
+        assert_eq!(parse_pattern("0-1,1-2,0-2").unwrap(), Pattern::triangle());
+        assert_eq!(
+            parse_pattern(" 0-1 , 1-2 , 2-3 , 3-0 ").unwrap(),
+            Pattern::four_cycle()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_pattern("").is_err());
+        assert!(parse_pattern("nonsense").is_err());
+        assert!(parse_pattern("0-0").is_err());
+        assert!(parse_pattern("0-1,x-2").is_err());
+        assert!(parse_pattern("0-1,2-3").is_err()); // disconnected
+        assert!(parse_pattern("9-clique").is_err()); // too large for named form
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<ParsePatternError>();
+        let e = parse_pattern("??").unwrap_err();
+        assert!(e.to_string().contains("invalid pattern"));
+    }
+
+    /// Round trip: render any benchmark pattern as an edge list string and
+    /// parse it back — structures must match.
+    #[test]
+    fn edge_list_round_trip() {
+        for p in [
+            Pattern::triangle(),
+            Pattern::clique(5),
+            Pattern::tailed_triangle(),
+            Pattern::four_cycle(),
+            Pattern::diamond(),
+            Pattern::house(),
+            Pattern::butterfly(),
+        ] {
+            let mut parts = Vec::new();
+            for a in 0..p.size() {
+                for b in (a + 1)..p.size() {
+                    if p.are_adjacent(a, b) {
+                        parts.push(format!("{a}-{b}"));
+                    }
+                }
+            }
+            let text = parts.join(",");
+            let parsed = parse_pattern(&text).expect("round trip parses");
+            assert_eq!(parsed, p, "{text}");
+        }
+    }
+}

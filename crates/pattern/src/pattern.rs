@@ -1,0 +1,398 @@
+//! Small undirected pattern graphs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum pattern size supported by the compiler.
+///
+/// Real mining workloads use patterns of 3–7 vertices (the paper evaluates
+/// up to 5-clique); automorphism enumeration is exhaustive, so we cap the
+/// size where `k!` stays trivial.
+pub const MAX_PATTERN_VERTICES: usize = 10;
+
+/// An undirected, connected pattern graph on at most
+/// [`MAX_PATTERN_VERTICES`] vertices, stored as per-vertex adjacency
+/// bitmasks.
+///
+/// # Example
+///
+/// ```
+/// use fingers_pattern::Pattern;
+/// let p = Pattern::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+/// assert_eq!(p, Pattern::triangle());
+/// assert!(p.are_adjacent(0, 2));
+/// assert_eq!(p.degree(1), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pattern {
+    adj: Vec<u16>,
+    name: String,
+}
+
+// Equality and hashing consider only the structure; the name is display
+// metadata (`Pattern::from_edges(3, …) == Pattern::triangle()`).
+impl PartialEq for Pattern {
+    fn eq(&self, other: &Self) -> bool {
+        self.adj == other.adj
+    }
+}
+
+impl Eq for Pattern {}
+
+impl std::hash::Hash for Pattern {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.adj.hash(state);
+    }
+}
+
+impl Pattern {
+    /// Builds a pattern from an edge list over vertices `0..k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds [`MAX_PATTERN_VERTICES`], if an edge
+    /// endpoint is out of range or a self loop, or if the resulting pattern
+    /// is disconnected (pattern-aware plans require every vertex to connect
+    /// to an earlier one).
+    pub fn from_edges(k: usize, edges: &[(usize, usize)]) -> Self {
+        Self::from_edges_named(k, edges, format!("pattern{k}"))
+    }
+
+    /// [`Pattern::from_edges`] with an explicit display name.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Pattern::from_edges`].
+    pub fn from_edges_named(k: usize, edges: &[(usize, usize)], name: impl Into<String>) -> Self {
+        assert!(k > 0, "pattern must have at least one vertex");
+        assert!(
+            k <= MAX_PATTERN_VERTICES,
+            "pattern size {k} exceeds the supported maximum {MAX_PATTERN_VERTICES}"
+        );
+        let mut adj = vec![0u16; k];
+        for &(a, b) in edges {
+            assert!(a < k && b < k, "edge ({a}, {b}) out of range for k={k}");
+            assert_ne!(a, b, "pattern self loop at {a}");
+            adj[a] |= 1 << b;
+            adj[b] |= 1 << a;
+        }
+        let p = Self {
+            adj,
+            name: name.into(),
+        };
+        assert!(p.is_connected(), "pattern must be connected");
+        p
+    }
+
+    /// Number of pattern vertices `k`.
+    pub fn size(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of pattern edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|m| m.count_ones() as usize).sum::<usize>() / 2
+    }
+
+    /// Whether pattern vertices `a` and `b` are adjacent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        assert!(a < self.size() && b < self.size(), "vertex out of range");
+        self.adj[a] & (1 << b) != 0
+    }
+
+    /// Degree of pattern vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].count_ones() as usize
+    }
+
+    /// Adjacency bitmask of vertex `v` (bit `b` set iff `v`–`b` is an edge).
+    pub fn adjacency_mask(&self, v: usize) -> u16 {
+        self.adj[v]
+    }
+
+    /// The pattern's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the pattern is connected.
+    pub fn is_connected(&self) -> bool {
+        let k = self.size();
+        if k == 1 {
+            return true;
+        }
+        let mut seen = 1u16;
+        let mut frontier = 1u16;
+        while frontier != 0 {
+            let mut next = 0u16;
+            for v in 0..k {
+                if frontier & (1 << v) != 0 {
+                    next |= self.adj[v];
+                }
+            }
+            frontier = next & !seen;
+            seen |= next;
+        }
+        seen.count_ones() as usize == k
+    }
+
+    /// Returns the pattern with vertices relabeled so that new vertex `i`
+    /// is old vertex `order[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..k`.
+    pub fn relabeled(&self, order: &[usize]) -> Self {
+        let k = self.size();
+        assert_eq!(order.len(), k, "order must cover all vertices");
+        let mut inverse = vec![usize::MAX; k];
+        for (new, &old) in order.iter().enumerate() {
+            assert!(old < k && inverse[old] == usize::MAX, "order is not a permutation");
+            inverse[old] = new;
+        }
+        let mut adj = vec![0u16; k];
+        for (new_a, &old_a) in order.iter().enumerate() {
+            for (old_b, &new_b) in inverse.iter().enumerate() {
+                if self.adj[old_a] & (1 << old_b) != 0 {
+                    adj[new_a] |= 1 << new_b;
+                }
+            }
+        }
+        Self {
+            adj,
+            name: self.name.clone(),
+        }
+    }
+
+    // ----- The paper's benchmark patterns (Section 5) -----
+
+    /// `tc`: the triangle (3-clique).
+    pub fn triangle() -> Self {
+        Self::clique(3)
+    }
+
+    /// The `k`-clique (`4cl` is `clique(4)`, `5cl` is `clique(5)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > MAX_PATTERN_VERTICES`.
+    pub fn clique(k: usize) -> Self {
+        assert!(k >= 2, "cliques need at least 2 vertices");
+        let mut edges = Vec::new();
+        for a in 0..k {
+            for b in (a + 1)..k {
+                edges.push((a, b));
+            }
+        }
+        Self::from_edges_named(k, &edges, format!("{k}-clique"))
+    }
+
+    /// `tt`: the tailed triangle of the paper's Figure 1 — a triangle
+    /// `{u0, u1, u2}` with a tail `u3` attached to `u0`.
+    pub fn tailed_triangle() -> Self {
+        Self::from_edges_named(4, &[(0, 1), (0, 2), (1, 2), (0, 3)], "tailed-triangle")
+    }
+
+    /// `cyc`: the 4-cycle.
+    pub fn four_cycle() -> Self {
+        Self::from_edges_named(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], "4-cycle")
+    }
+
+    /// `dia`: the diamond (4-clique minus one edge).
+    pub fn diamond() -> Self {
+        Self::from_edges_named(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)], "diamond")
+    }
+
+    /// The wedge (path on three vertices), the second pattern of the
+    /// 3-motif census.
+    pub fn wedge() -> Self {
+        Self::from_edges_named(3, &[(0, 1), (0, 2)], "wedge")
+    }
+
+    /// The path on `k` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > MAX_PATTERN_VERTICES`.
+    pub fn path(k: usize) -> Self {
+        let edges: Vec<_> = (0..k - 1).map(|i| (i, i + 1)).collect();
+        Self::from_edges_named(k, &edges, format!("{k}-path"))
+    }
+
+    /// The star with `leaves` leaves (`leaves + 1` vertices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is 0 or the size exceeds the maximum.
+    pub fn star(leaves: usize) -> Self {
+        assert!(leaves >= 1, "star needs at least one leaf");
+        let edges: Vec<_> = (1..=leaves).map(|l| (0, l)).collect();
+        Self::from_edges_named(leaves + 1, &edges, format!("{leaves}-star"))
+    }
+
+    // ----- extended 5-vertex pattern library -----
+
+    /// The house: a 4-cycle `0-1-2-3` with a triangular roof `0-1-4`.
+    pub fn house() -> Self {
+        Self::from_edges_named(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)], "house")
+    }
+
+    /// The bull: a triangle `0-1-2` with horns at `0` and `1`.
+    pub fn bull() -> Self {
+        Self::from_edges_named(5, &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4)], "bull")
+    }
+
+    /// The gem: a 4-path `1-2-3-4` fully connected to an apex `0`.
+    pub fn gem() -> Self {
+        Self::from_edges_named(
+            5,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (2, 3), (3, 4)],
+            "gem",
+        )
+    }
+
+    /// The butterfly (bowtie): two triangles sharing vertex `0`.
+    pub fn butterfly() -> Self {
+        Self::from_edges_named(5, &[(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4)], "butterfly")
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_shape() {
+        let t = Pattern::triangle();
+        assert_eq!(t.size(), 3);
+        assert_eq!(t.edge_count(), 3);
+        assert!(t.are_adjacent(0, 1) && t.are_adjacent(1, 2) && t.are_adjacent(0, 2));
+    }
+
+    #[test]
+    fn clique_degrees() {
+        let c = Pattern::clique(5);
+        for v in 0..5 {
+            assert_eq!(c.degree(v), 4);
+        }
+        assert_eq!(c.edge_count(), 10);
+    }
+
+    #[test]
+    fn tailed_triangle_matches_figure_1() {
+        let tt = Pattern::tailed_triangle();
+        // u3 connected only to u0 — the premise of S3 = N(u0) − N(u1) − N(u2).
+        assert!(tt.are_adjacent(0, 3));
+        assert!(!tt.are_adjacent(1, 3));
+        assert!(!tt.are_adjacent(2, 3));
+        assert_eq!(tt.degree(0), 3);
+    }
+
+    #[test]
+    fn diamond_is_4clique_minus_one_edge() {
+        let d = Pattern::diamond();
+        assert_eq!(d.edge_count(), 5);
+        assert!(!d.are_adjacent(1, 3));
+    }
+
+    #[test]
+    fn four_cycle_has_no_chords() {
+        let c = Pattern::four_cycle();
+        assert!(!c.are_adjacent(0, 2));
+        assert!(!c.are_adjacent(1, 3));
+        assert_eq!(c.edge_count(), 4);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let tt = Pattern::tailed_triangle();
+        let r = tt.relabeled(&[3, 0, 1, 2]);
+        assert_eq!(r.edge_count(), tt.edge_count());
+        // Old u3 (the tail, degree 1) is new vertex 0.
+        assert_eq!(r.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_pattern_rejected() {
+        Pattern::from_edges(4, &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loop")]
+    fn self_loop_rejected() {
+        Pattern::from_edges(2, &[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_relabel_rejected() {
+        Pattern::triangle().relabeled(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn star_and_path_shapes() {
+        let s = Pattern::star(4);
+        assert_eq!(s.size(), 5);
+        assert_eq!(s.degree(0), 4);
+        let p = Pattern::path(4);
+        assert_eq!(p.edge_count(), 3);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(1), 2);
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(Pattern::diamond().to_string(), "diamond");
+    }
+
+    #[test]
+    fn extended_library_shapes() {
+        let house = Pattern::house();
+        assert_eq!(house.size(), 5);
+        assert_eq!(house.edge_count(), 6);
+        assert_eq!(house.degree(4), 2);
+
+        let bull = Pattern::bull();
+        assert_eq!(bull.edge_count(), 5);
+        assert_eq!(bull.degree(3), 1);
+        assert_eq!(bull.degree(4), 1);
+
+        let gem = Pattern::gem();
+        assert_eq!(gem.edge_count(), 7);
+        assert_eq!(gem.degree(0), 4);
+
+        let bf = Pattern::butterfly();
+        assert_eq!(bf.edge_count(), 6);
+        assert_eq!(bf.degree(0), 4);
+        // Two disjoint wings.
+        assert!(!bf.are_adjacent(1, 3) && !bf.are_adjacent(2, 4));
+    }
+
+    #[test]
+    fn extended_library_automorphism_counts() {
+        use crate::automorphisms;
+        // House: mirror symmetry only.
+        assert_eq!(automorphisms(&Pattern::house()).len(), 2);
+        // Bull: swap the two horned triangle vertices (with their horns).
+        assert_eq!(automorphisms(&Pattern::bull()).len(), 2);
+        // Gem: reverse the path under the apex.
+        assert_eq!(automorphisms(&Pattern::gem()).len(), 2);
+        // Butterfly: swap within each wing and swap the wings: 2·2·2 = 8.
+        assert_eq!(automorphisms(&Pattern::butterfly()).len(), 8);
+    }
+}

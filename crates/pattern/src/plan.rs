@@ -1,0 +1,503 @@
+//! Execution plans: vertex order + set-operation schedules + restrictions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use fingers_setops::SetOpKind;
+
+use crate::order::connected_vertex_order;
+use crate::symmetry::symmetry_breaking_restrictions;
+use crate::Pattern;
+
+/// Subgraph semantics (paper Section 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Induced {
+    /// Vertex-induced: the embedding's edge set is exactly the edges of the
+    /// input graph among the mapped vertices — schedules use both
+    /// intersections and (anti-)subtractions.
+    Vertex,
+    /// Edge-induced: only the pattern's edges must be present — schedules
+    /// drop all subtractions.
+    Edge,
+}
+
+/// One scheduled update of a future level's candidate vertex set,
+/// incrementally applying Equation (1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanOp {
+    /// `S_target := N(u_level)` — the target's first connected ancestor is
+    /// the level at which this action runs, and no earlier disconnected
+    /// ancestors exist (or the mode is edge-induced).
+    Init {
+        /// Level whose candidate set is being materialized.
+        target: usize,
+    },
+    /// `S_target := N(u_level) − N(u_short)` — the paper's postponed
+    /// **anti-subtraction**: the streamed neighbor list of the current
+    /// level is the long operand, an earlier disconnected ancestor's list
+    /// is the short operand.
+    InitAnti {
+        /// Level whose candidate set is being materialized.
+        target: usize,
+        /// The earlier disconnected ancestor supplying the short operand.
+        short: usize,
+    },
+    /// `S_target := S_target op N(u_list)` — an incremental update with the
+    /// neighbor list of level `list` as the long operand. `list` equals the
+    /// current level except for postponed subtractions of earlier
+    /// disconnected ancestors, which execute at the first connected
+    /// ancestor's level.
+    Apply {
+        /// Level whose candidate set is updated.
+        target: usize,
+        /// Whose neighbor list is the long operand.
+        list: usize,
+        /// `Intersect` (connected ancestor) or `Subtract` (disconnected).
+        kind: SetOpKind,
+    },
+}
+
+impl PlanOp {
+    /// The level whose candidate set this op touches.
+    pub fn target(&self) -> usize {
+        match *self {
+            PlanOp::Init { target }
+            | PlanOp::InitAnti { target, .. }
+            | PlanOp::Apply { target, .. } => target,
+        }
+    }
+
+    /// The level whose neighbor list this op streams as its long operand
+    /// (`None` for `Init`, which merely aliases).
+    pub fn streamed_list(&self, at_level: usize) -> Option<usize> {
+        match *self {
+            PlanOp::Init { .. } => None,
+            PlanOp::InitAnti { .. } => Some(at_level),
+            PlanOp::Apply { list, .. } => Some(list),
+        }
+    }
+}
+
+/// The compiled schedule of one future level `j`: how `S_j` is materialized
+/// across levels `first_connected..j`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelSchedule {
+    /// The level `j` this schedule materializes candidates for.
+    pub target: usize,
+    /// `c`: the first (smallest) ancestor level connected to `j`. `S_j`
+    /// comes into existence when level `c` is matched.
+    pub first_connected: usize,
+    /// Ancestor levels `a` with a symmetry-breaking restriction
+    /// `u_a < u_j` (lower bounds on the candidate IDs at level `j`).
+    pub lower_bounds: Vec<usize>,
+}
+
+/// A compiled pattern-aware execution plan (paper Section 2.1).
+///
+/// The plan relabels the pattern so that pattern vertex `i` is matched at
+/// tree level `i`; all schedules and restrictions refer to levels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    pattern: Pattern,
+    induced: Induced,
+    /// `actions[i]` = ops to run when a vertex is newly matched at level
+    /// `i`, in execution order.
+    actions: Vec<Vec<PlanOp>>,
+    schedules: Vec<LevelSchedule>,
+    restrictions: Vec<(usize, usize)>,
+}
+
+impl ExecutionPlan {
+    /// Compiles `pattern` into an execution plan.
+    ///
+    /// Chooses a connected vertex order, derives each level's incremental
+    /// set-operation schedule per Equation (1) (with the postponed
+    /// anti-subtraction rewriting for levels whose earliest ancestors are
+    /// disconnected), and synthesizes symmetry-breaking restrictions.
+    pub fn compile(pattern: &Pattern, induced: Induced) -> Self {
+        Self::compile_with_order(pattern, induced, &connected_vertex_order(pattern))
+    }
+
+    /// Compiles with an order optimized for a target graph's size and edge
+    /// density (see
+    /// [`optimized_vertex_order`](crate::order::optimized_vertex_order)):
+    /// every connected order is enumerated and ranked by the expected
+    /// search-tree size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 0` or `density` is outside `(0, 1)`.
+    pub fn compile_optimized(pattern: &Pattern, induced: Induced, n: f64, density: f64) -> Self {
+        let order = crate::order::optimized_vertex_order(pattern, n, density);
+        Self::compile_with_order(pattern, induced, &order)
+    }
+
+    /// Compiles with an explicit matching order (`order[i]` = original
+    /// pattern vertex matched at level `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation, or if some vertex after the
+    /// first is not adjacent to an earlier one (the incremental
+    /// materialization of Equation (1) requires a connected order).
+    pub fn compile_with_order(pattern: &Pattern, induced: Induced, order: &[usize]) -> Self {
+        for (pos, &v) in order.iter().enumerate().skip(1) {
+            assert!(
+                order[..pos].iter().any(|&w| pattern.are_adjacent(v, w)),
+                "order {order:?} is not connected at position {pos}"
+            );
+        }
+        let pattern = pattern.relabeled(order);
+        let k = pattern.size();
+        let restrictions = symmetry_breaking_restrictions(&pattern);
+
+        let mut actions: Vec<Vec<PlanOp>> = vec![Vec::new(); k];
+        let mut schedules = Vec::with_capacity(k.saturating_sub(1));
+
+        for j in 1..k {
+            let connected: Vec<usize> = (0..j).filter(|&i| pattern.are_adjacent(i, j)).collect();
+            let c = *connected
+                .first()
+                .expect("connected order guarantees an earlier neighbor");
+            let disconnected_before: Vec<usize> = (0..c).collect(); // all i < c are disconnected
+            let disconnected_after: Vec<usize> = (c + 1..j)
+                .filter(|&i| !pattern.are_adjacent(i, j))
+                .collect();
+
+            // Materialization at level c.
+            if induced == Induced::Vertex && !disconnected_before.is_empty() {
+                // Postponed anti-subtraction: S_j := N(u_c) − N(u_p0), then
+                // plain subtractions of the remaining earlier lists.
+                actions[c].push(PlanOp::InitAnti {
+                    target: j,
+                    short: disconnected_before[0],
+                });
+                for &p in &disconnected_before[1..] {
+                    actions[c].push(PlanOp::Apply {
+                        target: j,
+                        list: p,
+                        kind: SetOpKind::Subtract,
+                    });
+                }
+            } else {
+                actions[c].push(PlanOp::Init { target: j });
+            }
+
+            // Incremental updates at later ancestor levels.
+            for &i in connected.iter().skip(1) {
+                actions[i].push(PlanOp::Apply {
+                    target: j,
+                    list: i,
+                    kind: SetOpKind::Intersect,
+                });
+            }
+            if induced == Induced::Vertex {
+                for &i in &disconnected_after {
+                    actions[i].push(PlanOp::Apply {
+                        target: j,
+                        list: i,
+                        kind: SetOpKind::Subtract,
+                    });
+                }
+            }
+
+            let lower_bounds = restrictions
+                .iter()
+                .filter(|&&(_, b)| b == j)
+                .map(|&(a, _)| a)
+                .collect();
+            schedules.push(LevelSchedule {
+                target: j,
+                first_connected: c,
+                lower_bounds,
+            });
+        }
+
+        // Deterministic execution order within a level: by target.
+        for level_actions in &mut actions {
+            level_actions.sort_by_key(|op| op.target());
+        }
+
+        Self {
+            pattern,
+            induced,
+            actions,
+            schedules,
+            restrictions,
+        }
+    }
+
+    /// Number of pattern vertices `k` (= number of tree levels).
+    pub fn pattern_size(&self) -> usize {
+        self.pattern.size()
+    }
+
+    /// The relabeled pattern (vertex `i` ↔ level `i`).
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The subgraph semantics this plan was compiled for.
+    pub fn induced(&self) -> Induced {
+        self.induced
+    }
+
+    /// Ops to execute when a vertex is newly matched at `level`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.pattern_size()`.
+    pub fn actions_at(&self, level: usize) -> &[PlanOp] {
+        &self.actions[level]
+    }
+
+    /// The schedule of future level `j` (`1 ≤ j < k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is 0 or out of range.
+    pub fn schedule(&self, j: usize) -> &LevelSchedule {
+        assert!(j >= 1, "level 0 iterates all vertices and has no schedule");
+        &self.schedules[j - 1]
+    }
+
+    /// All level schedules, for levels `1..k`.
+    pub fn schedules(&self) -> &[LevelSchedule] {
+        &self.schedules
+    }
+
+    /// All symmetry-breaking restrictions as `(a, b)` = `u_a < u_b`.
+    pub fn restrictions(&self) -> &[(usize, usize)] {
+        &self.restrictions
+    }
+
+    /// Number of symmetry-breaking restrictions.
+    pub fn restriction_count(&self) -> usize {
+        self.restrictions.len()
+    }
+
+    /// The number of automorphic images each unrestricted embedding has —
+    /// used by tests to validate the restrictions
+    /// (`restricted × |Aut| = unrestricted`).
+    pub fn automorphism_count(&self) -> usize {
+        crate::automorphisms(&self.pattern).len()
+    }
+}
+
+impl fmt::Display for ExecutionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan for {} ({:?}-induced), {} levels:",
+            self.pattern,
+            self.induced,
+            self.pattern_size()
+        )?;
+        for (i, ops) in self.actions.iter().enumerate() {
+            write!(f, "  level {i}:")?;
+            if ops.is_empty() {
+                write!(f, " (extend only)")?;
+            }
+            for op in ops {
+                match *op {
+                    PlanOp::Init { target } => write!(f, " S{target}:=N(u{i});")?,
+                    PlanOp::InitAnti { target, short } => {
+                        write!(f, " S{target}:=N(u{i})-N(u{short});")?
+                    }
+                    PlanOp::Apply { target, list, kind } => {
+                        let sym = match kind {
+                            SetOpKind::Intersect => "∩",
+                            SetOpKind::Subtract => "−",
+                            SetOpKind::AntiSubtract => "anti−",
+                        };
+                        write!(f, " S{target}:=S{target}{sym}N(u{list});")?
+                    }
+                }
+            }
+            writeln!(f)?;
+        }
+        for &(a, b) in &self.restrictions {
+            writeln!(f, "  restriction: u{a} < u{b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_plan_is_one_intersection() {
+        let plan = ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex);
+        // Level 0: S1 := N(u0), S2 := N(u0); level 1: S2 ∩= N(u1).
+        let l0 = plan.actions_at(0);
+        assert_eq!(l0.len(), 2);
+        assert!(matches!(l0[0], PlanOp::Init { target: 1 }));
+        assert!(matches!(l0[1], PlanOp::Init { target: 2 }));
+        let l1 = plan.actions_at(1);
+        assert_eq!(l1.len(), 1);
+        assert!(matches!(
+            l1[0],
+            PlanOp::Apply {
+                target: 2,
+                list: 1,
+                kind: SetOpKind::Intersect
+            }
+        ));
+        assert!(plan.actions_at(2).is_empty());
+    }
+
+    /// Figure 2's schedule for the tailed triangle:
+    /// S1 = S2(1) = S3(1) = N(u0); S2 = S2(1) ∩ N(u1); S3(2) = S3(1) − N(u1);
+    /// S3 = S3(2) − N(u2).
+    #[test]
+    fn tailed_triangle_plan_matches_figure_2() {
+        let plan = ExecutionPlan::compile(&Pattern::tailed_triangle(), Induced::Vertex);
+        let l0 = plan.actions_at(0);
+        assert_eq!(l0.len(), 3); // S1, S2, S3 all initialized from N(u0)
+        assert!(l0.iter().all(|op| matches!(op, PlanOp::Init { .. })));
+        let l1 = plan.actions_at(1);
+        assert_eq!(l1.len(), 2);
+        assert!(matches!(
+            l1[0],
+            PlanOp::Apply {
+                target: 2,
+                list: 1,
+                kind: SetOpKind::Intersect
+            }
+        ));
+        assert!(matches!(
+            l1[1],
+            PlanOp::Apply {
+                target: 3,
+                list: 1,
+                kind: SetOpKind::Subtract
+            }
+        ));
+        let l2 = plan.actions_at(2);
+        assert_eq!(l2.len(), 1);
+        assert!(matches!(
+            l2[0],
+            PlanOp::Apply {
+                target: 3,
+                list: 2,
+                kind: SetOpKind::Subtract
+            }
+        ));
+    }
+
+    #[test]
+    fn edge_induced_drops_subtractions() {
+        let plan = ExecutionPlan::compile(&Pattern::tailed_triangle(), Induced::Edge);
+        for level in 0..plan.pattern_size() {
+            for op in plan.actions_at(level) {
+                match op {
+                    PlanOp::Apply { kind, .. } => assert_eq!(*kind, SetOpKind::Intersect),
+                    PlanOp::InitAnti { .. } => panic!("edge-induced must not anti-subtract"),
+                    PlanOp::Init { .. } => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_cycle_uses_postponed_anti_subtraction() {
+        // 4-cycle ordered 0-1-2-3 with edges (0,1),(1,2),(2,3),(3,0):
+        // whichever connected order is chosen, the last vertex is adjacent
+        // to two opposite vertices and NOT adjacent to one matched earlier;
+        // the second matched vertex pair (0,2 style) is disconnected,
+        // triggering InitAnti for some level in vertex-induced mode.
+        let plan = ExecutionPlan::compile(&Pattern::four_cycle(), Induced::Vertex);
+        let has_anti = (0..plan.pattern_size())
+            .any(|l| plan.actions_at(l).iter().any(|op| matches!(op, PlanOp::InitAnti { .. })));
+        assert!(has_anti, "\n{plan}");
+    }
+
+    #[test]
+    fn clique_plans_have_no_subtractions() {
+        for k in 3..=5 {
+            let plan = ExecutionPlan::compile(&Pattern::clique(k), Induced::Vertex);
+            for level in 0..k {
+                for op in plan.actions_at(level) {
+                    if let PlanOp::Apply { kind, .. } = op {
+                        assert_eq!(*kind, SetOpKind::Intersect);
+                    }
+                }
+            }
+            // Full symmetry: k(k−1)/2 restrictions.
+            assert_eq!(plan.restriction_count(), k * (k - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn every_target_is_materialized_exactly_once() {
+        for p in [
+            Pattern::triangle(),
+            Pattern::clique(4),
+            Pattern::clique(5),
+            Pattern::tailed_triangle(),
+            Pattern::four_cycle(),
+            Pattern::diamond(),
+            Pattern::wedge(),
+            Pattern::path(5),
+            Pattern::star(4),
+        ] {
+            for induced in [Induced::Vertex, Induced::Edge] {
+                let plan = ExecutionPlan::compile(&p, induced);
+                let k = plan.pattern_size();
+                for j in 1..k {
+                    let inits: usize = (0..k)
+                        .map(|l| {
+                            plan.actions_at(l)
+                                .iter()
+                                .filter(|op| {
+                                    op.target() == j
+                                        && matches!(op, PlanOp::Init { .. } | PlanOp::InitAnti { .. })
+                                })
+                                .count()
+                        })
+                        .sum();
+                    assert_eq!(inits, 1, "{p} level {j} ({induced:?})");
+                    // Initialization happens at the first connected ancestor.
+                    let c = plan.schedule(j).first_connected;
+                    assert!(plan
+                        .actions_at(c)
+                        .iter()
+                        .any(|op| op.target() == j
+                            && matches!(op, PlanOp::Init { .. } | PlanOp::InitAnti { .. })));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ops_never_execute_before_materialization_or_after_target() {
+        for p in [
+            Pattern::tailed_triangle(),
+            Pattern::four_cycle(),
+            Pattern::diamond(),
+            Pattern::clique(5),
+        ] {
+            let plan = ExecutionPlan::compile(&p, Induced::Vertex);
+            for level in 0..plan.pattern_size() {
+                for op in plan.actions_at(level) {
+                    let j = op.target();
+                    assert!(level < j, "op for S{j} at level {level}");
+                    if matches!(op, PlanOp::Apply { .. }) {
+                        assert!(level >= plan.schedule(j).first_connected);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_mentions_every_level() {
+        let plan = ExecutionPlan::compile(&Pattern::diamond(), Induced::Vertex);
+        let text = plan.to_string();
+        for i in 0..4 {
+            assert!(text.contains(&format!("level {i}")), "{text}");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Symmetry-breaking restriction synthesis.
+//!
+//! Patterns with non-trivial automorphisms would otherwise have every
+//! embedding discovered `|Aut(P)|` times. Following GraphZero's approach
+//! (paper Section 2.1), we emit a set of `u_a < u_b` restrictions on mapped
+//! input-graph vertex IDs such that exactly one automorphic image of each
+//! embedding satisfies all of them.
+//!
+//! The construction is the orbit–stabilizer scheme: walk the ordered pattern
+//! vertices; for vertex `v`, every other member `w` of `v`'s orbit under the
+//! current automorphism subgroup yields a restriction `u_v < u_w`; then
+//! shrink the subgroup to the stabilizer of `v` and continue. Sequentially
+//! minimizing over orbits picks a unique representative per automorphism
+//! class — an invariant the mining crate verifies against brute force.
+
+use crate::automorphism::automorphisms;
+use crate::Pattern;
+
+/// Computes symmetry-breaking restrictions for `pattern` as pairs
+/// `(a, b)` meaning "the input-graph vertex mapped to pattern vertex `a`
+/// must have a smaller ID than the one mapped to `b`".
+///
+/// Pairs are returned sorted and deduplicated. A pattern with only the
+/// trivial automorphism yields no restrictions.
+///
+/// # Example
+///
+/// ```
+/// use fingers_pattern::{symmetry_breaking_restrictions, Pattern};
+/// // Triangle: full symmetry forces a total order u0 < u1 < u2.
+/// let r = symmetry_breaking_restrictions(&Pattern::triangle());
+/// assert_eq!(r, vec![(0, 1), (0, 2), (1, 2)]);
+/// ```
+pub fn symmetry_breaking_restrictions(pattern: &Pattern) -> Vec<(usize, usize)> {
+    let k = pattern.size();
+    let mut group = automorphisms(pattern);
+    let mut restrictions: Vec<(usize, usize)> = Vec::new();
+    for v in 0..k {
+        for sigma in &group {
+            let w = sigma[v];
+            if w != v {
+                restrictions.push((v, w));
+            }
+        }
+        group.retain(|sigma| sigma[v] == v);
+    }
+    restrictions.sort_unstable();
+    restrictions.dedup();
+    restrictions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_gets_total_order() {
+        let r = symmetry_breaking_restrictions(&Pattern::triangle());
+        assert_eq!(r, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn clique_k_gets_chain() {
+        // A k-clique needs a full order: k(k−1)/2 restrictions.
+        let r = symmetry_breaking_restrictions(&Pattern::clique(4));
+        assert_eq!(r.len(), 6);
+        let r = symmetry_breaking_restrictions(&Pattern::clique(5));
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn tailed_triangle_gets_single_restriction() {
+        // Only the two symmetric triangle vertices are exchangeable: the
+        // paper's Figure 1 "u1 > u2" (direction is conventional; we emit
+        // u1 < u2, which breaks the same symmetry).
+        let r = symmetry_breaking_restrictions(&Pattern::tailed_triangle());
+        assert_eq!(r, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn asymmetric_pattern_gets_none() {
+        // A "paw with extra tail": triangle 0-1-2 with a 2-path tail 0-3-4
+        // is asymmetric once the tail lengths differ... the simplest
+        // asymmetric small pattern: triangle with tails of lengths 1 and 2
+        // on different vertices.
+        let p = Pattern::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4), (4, 5)]);
+        assert_eq!(automorphisms(&p).len(), 1);
+        assert!(symmetry_breaking_restrictions(&p).is_empty());
+    }
+
+    #[test]
+    fn restrictions_never_relate_a_vertex_to_itself() {
+        for p in [
+            Pattern::four_cycle(),
+            Pattern::diamond(),
+            Pattern::wedge(),
+            Pattern::star(4),
+        ] {
+            for (a, b) in symmetry_breaking_restrictions(&p) {
+                assert_ne!(a, b);
+                assert!(a < p.size() && b < p.size());
+            }
+        }
+    }
+
+    /// Every non-identity automorphism must violate at least one restriction
+    /// when interpreted as an ID ordering — the "at most one representative"
+    /// half of correctness (the "at least one" half is validated empirically
+    /// against brute force in `fingers-mining`).
+    #[test]
+    fn restrictions_kill_every_nonidentity_automorphism() {
+        for p in [
+            Pattern::triangle(),
+            Pattern::tailed_triangle(),
+            Pattern::four_cycle(),
+            Pattern::diamond(),
+            Pattern::clique(5),
+            Pattern::wedge(),
+            Pattern::star(3),
+            Pattern::path(4),
+        ] {
+            let restrictions = symmetry_breaking_restrictions(&p);
+            for sigma in automorphisms(&p) {
+                if sigma.iter().enumerate().all(|(i, &x)| i == x) {
+                    continue;
+                }
+                // Suppose an embedding f satisfies all restrictions with
+                // strictly increasing IDs along them. Its image under sigma
+                // maps pattern vertex v to f(sigma(v)). If both f and f∘sigma
+                // satisfied all restrictions, sigma would fix the canonical
+                // representative — contradiction expected. We check a
+                // necessary combinatorial condition: there exist (a, b) in
+                // restrictions with (sigma(a), sigma(b)) ordered oppositely
+                // by some restriction chain. A simpler sufficient check:
+                // sigma must not map the restriction DAG onto itself
+                // order-consistently.
+                let consistent = is_order_consistent(&restrictions, &sigma, p.size());
+                assert!(
+                    !consistent,
+                    "{p}: automorphism {sigma:?} survives restrictions {restrictions:?}"
+                );
+            }
+        }
+    }
+
+    /// Checks whether there is a vertex-ID assignment satisfying both the
+    /// restrictions and their sigma-images simultaneously with all the
+    /// orbit inequalities strict — i.e. whether sigma could leave a
+    /// restricted embedding restricted. Uses a topological-order test on
+    /// the union DAG plus the requirement that sigma is non-identity on a
+    /// constrained orbit.
+    fn is_order_consistent(restrictions: &[(usize, usize)], sigma: &[usize], k: usize) -> bool {
+        // Build constraint graph: a -> b for each restriction (a, b) and for
+        // each sigma-image (sigma(a), sigma(b)). If this digraph is acyclic,
+        // an assignment exists satisfying both, meaning sigma maps some
+        // valid embedding to another valid embedding (bad). One extra
+        // subtlety: sigma then maps representative to representative, which
+        // is only acceptable for the identity.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for &(a, b) in restrictions {
+            edges.push((a, b));
+            edges.push((sigma[a], sigma[b]));
+        }
+        // Also encode that the embedding and its sigma-image use the *same*
+        // ID multiset: if sigma moves v, the IDs of v and sigma(v) coincide
+        // across the two embeddings. For the canonical-representative
+        // argument it suffices that v and sigma(v) share an ID variable:
+        // contract orbits of sigma.
+        let mut repr: Vec<usize> = (0..k).collect();
+        fn find(repr: &mut Vec<usize>, x: usize) -> usize {
+            if repr[x] != x {
+                let r = find(repr, repr[x]);
+                repr[x] = r;
+                r
+            } else {
+                x
+            }
+        }
+        for v in 0..k {
+            let (a, b) = (find(&mut repr, v), find(&mut repr, sigma[v]));
+            if a != b {
+                repr[a] = b;
+            }
+        }
+        // Cycle detection on contracted graph with strict edges.
+        let mut adj = vec![Vec::new(); k];
+        for (a, b) in edges {
+            let (ca, cb) = (find(&mut repr, a), find(&mut repr, b));
+            if ca == cb {
+                return false; // strict edge within one ID class: contradiction
+            }
+            adj[ca].push(cb);
+        }
+        // DFS cycle check.
+        let mut state = vec![0u8; k];
+        fn has_cycle(v: usize, adj: &[Vec<usize>], state: &mut [u8]) -> bool {
+            state[v] = 1;
+            for &w in &adj[v] {
+                match state[w] {
+                    0 => {
+                        if has_cycle(w, adj, state) {
+                            return true;
+                        }
+                    }
+                    1 => return true,
+                    _ => {}
+                }
+            }
+            state[v] = 2;
+            false
+        }
+        for v in 0..k {
+            if state[v] == 0 && has_cycle(v, &adj, &mut state) {
+                return false;
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,170 @@
+//! The result collector: round-robin aggregation of IU bitvectors.
+//!
+//! Paper Section 4.3: results for the same segment arriving from multiple
+//! IUs are merged with bitwise OR; when the incoming segment index changes,
+//! the previous segment is complete, is translated back to list form, and is
+//! concatenated onto the output set. For intersection the 1-bits survive;
+//! for (anti-)subtraction the 0-bits survive (`A − B₁ − B₂ =
+//! (A − B₁) ∩ (A − B₂)`, again a bitwise OR of the presence bitvectors).
+
+use crate::bitvector::SegBitvec;
+use crate::{Elem, SetOpKind};
+
+/// Streaming aggregator of `(segment, bitvector)` results.
+///
+/// Feed results via [`receive`](Self::receive) in non-decreasing segment
+/// order (the hardware's round-robin collection guarantees results for the
+/// same segment are adjacent), then call [`finish`](Self::finish).
+#[derive(Debug)]
+pub struct ResultCollector<'a> {
+    kind: SetOpKind,
+    current: Option<(usize, &'a [Elem], SegBitvec)>,
+    out: Vec<Elem>,
+    receives: u64,
+}
+
+impl<'a> ResultCollector<'a> {
+    /// Creates a collector for one set operation.
+    pub fn new(kind: SetOpKind) -> Self {
+        Self {
+            kind,
+            current: None,
+            out: Vec::new(),
+            receives: 0,
+        }
+    }
+
+    /// Receives one IU result: the bitvector over segment `seg_idx`, whose
+    /// elements are `elems`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_idx` decreases with respect to the previous call, or
+    /// if the bitvector length does not match the segment length.
+    pub fn receive(&mut self, seg_idx: usize, elems: &'a [Elem], bitvec: SegBitvec) {
+        assert_eq!(elems.len(), bitvec.len(), "bitvector/segment length mismatch");
+        self.receives += 1;
+        match &mut self.current {
+            Some((cur_idx, _, acc)) if *cur_idx == seg_idx => {
+                acc.or_assign(&bitvec);
+            }
+            Some((cur_idx, _, _)) => {
+                assert!(
+                    seg_idx > *cur_idx,
+                    "segments must arrive in non-decreasing order ({seg_idx} after {cur_idx})"
+                );
+                self.flush();
+                self.current = Some((seg_idx, elems, bitvec));
+            }
+            None => {
+                self.current = Some((seg_idx, elems, bitvec));
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some((_, elems, acc)) = self.current.take() {
+            let keep_ones = self.kind == SetOpKind::Intersect;
+            for (p, &x) in elems.iter().enumerate() {
+                if acc.get(p) == keep_ones {
+                    self.out.push(x);
+                }
+            }
+        }
+    }
+
+    /// Number of results received so far (one per IU emission; the serial
+    /// collection cost is proportional to this).
+    pub fn receive_count(&self) -> u64 {
+        self.receives
+    }
+
+    /// Flushes the final segment and returns the aggregated sorted list.
+    pub fn finish(mut self) -> Vec<Elem> {
+        self.flush();
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(len: usize, ones: &[usize]) -> SegBitvec {
+        let mut b = SegBitvec::zeros(len);
+        for &i in ones {
+            b.set(i);
+        }
+        b
+    }
+
+    /// The paper's Figure 8 end-to-end subtraction: short segment
+    /// [1, 7, 11, 18], bitvectors 1100 and 0001 from two IUs → OR = 1101 →
+    /// surviving element 11.
+    #[test]
+    fn figure_8_aggregation() {
+        let short = [1, 7, 11, 18];
+        let mut c = ResultCollector::new(SetOpKind::Subtract);
+        c.receive(0, &short, bv(4, &[0, 1]));
+        c.receive(0, &short, bv(4, &[3]));
+        assert_eq!(c.finish(), vec![11]);
+    }
+
+    #[test]
+    fn intersection_keeps_ones() {
+        let seg = [2, 4, 6, 8];
+        let mut c = ResultCollector::new(SetOpKind::Intersect);
+        c.receive(0, &seg, bv(4, &[1, 3]));
+        assert_eq!(c.finish(), vec![4, 8]);
+    }
+
+    #[test]
+    fn anti_subtraction_keeps_zeros() {
+        let seg = [2, 4, 6];
+        let mut c = ResultCollector::new(SetOpKind::AntiSubtract);
+        c.receive(0, &seg, bv(3, &[1]));
+        assert_eq!(c.finish(), vec![2, 6]);
+    }
+
+    #[test]
+    fn segment_change_flushes_previous() {
+        let seg0 = [1, 3];
+        let seg1 = [5, 7];
+        let mut c = ResultCollector::new(SetOpKind::Intersect);
+        c.receive(0, &seg0, bv(2, &[0]));
+        c.receive(2, &seg1, bv(2, &[1]));
+        assert_eq!(c.finish(), vec![1, 7]);
+    }
+
+    #[test]
+    fn empty_collector_finishes_empty() {
+        let c = ResultCollector::new(SetOpKind::Intersect);
+        assert!(c.finish().is_empty());
+    }
+
+    #[test]
+    fn receive_count_tracks_emissions() {
+        let seg = [1];
+        let mut c = ResultCollector::new(SetOpKind::Intersect);
+        c.receive(0, &seg, bv(1, &[]));
+        c.receive(0, &seg, bv(1, &[0]));
+        assert_eq!(c.receive_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_segments_rejected() {
+        let seg = [1];
+        let mut c = ResultCollector::new(SetOpKind::Intersect);
+        c.receive(1, &seg, bv(1, &[]));
+        c.receive(0, &seg, bv(1, &[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_rejected() {
+        let seg = [1, 2];
+        let mut c = ResultCollector::new(SetOpKind::Intersect);
+        c.receive(0, &seg, bv(1, &[]));
+    }
+}

@@ -1,0 +1,135 @@
+//! Galloping (exponential-search) set operations for skewed operand sizes.
+//!
+//! The merge kernels in [`merge`](crate::merge) model the hardware's
+//! one-element-per-cycle comparators. Software miners, however, use
+//! galloping when one operand is much shorter: for each element of the
+//! short list, exponentially probe then binary-search the long list —
+//! `O(s · log(l/s))` instead of `O(s + l)`. This is the kernel behind the
+//! SIMD intersection literature the paper cites for segment-level
+//! parallelism (Inoue et al.).
+
+use crate::{merge, Elem, SetOpKind};
+
+/// `short ∩ long` by galloping. Both inputs sorted and duplicate-free.
+///
+/// # Example
+///
+/// ```
+/// let long: Vec<u32> = (0..1000).collect();
+/// assert_eq!(fingers_setops::galloping::intersect(&[3, 999], &long), vec![3, 999]);
+/// ```
+pub fn intersect(short: &[Elem], long: &[Elem]) -> Vec<Elem> {
+    let mut out = Vec::with_capacity(short.len());
+    let mut base = 0usize;
+    for &x in short {
+        match gallop_search(&long[base..], x) {
+            Ok(pos) => {
+                out.push(x);
+                base += pos + 1;
+            }
+            Err(pos) => base += pos,
+        }
+        if base >= long.len() {
+            break;
+        }
+    }
+    out
+}
+
+/// `short − long` by galloping.
+pub fn subtract(short: &[Elem], long: &[Elem]) -> Vec<Elem> {
+    let mut out = Vec::with_capacity(short.len());
+    let mut base = 0usize;
+    for (i, &x) in short.iter().enumerate() {
+        if base >= long.len() {
+            out.extend_from_slice(&short[i..]);
+            break;
+        }
+        match gallop_search(&long[base..], x) {
+            Ok(pos) => base += pos + 1,
+            Err(pos) => {
+                out.push(x);
+                base += pos;
+            }
+        }
+    }
+    out
+}
+
+/// Applies `kind` with the paper's (short, long) operand convention, using
+/// galloping for the probe side.
+pub fn apply(kind: SetOpKind, short: &[Elem], long: &[Elem]) -> Vec<Elem> {
+    match kind {
+        SetOpKind::Intersect => intersect(short, long),
+        SetOpKind::Subtract => subtract(short, long),
+        // Anti-subtraction emits most of the long side; galloping the
+        // short probes into it is still the right shape.
+        SetOpKind::AntiSubtract => merge::subtract(long, short),
+    }
+}
+
+/// Exponential search for `x` in sorted `slice`: like
+/// `slice.binary_search(&x)` but `O(log position)` when `x` lands early.
+fn gallop_search(slice: &[Elem], x: Elem) -> Result<usize, usize> {
+    let mut bound = 1usize;
+    while bound < slice.len() && slice[bound - 1] < x {
+        bound *= 2;
+    }
+    let lo = bound / 2;
+    let hi = bound.min(slice.len());
+    match slice[lo..hi].binary_search(&x) {
+        Ok(p) => Ok(lo + p),
+        Err(p) => Err(lo + p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intersect_skewed() {
+        let long: Vec<Elem> = (0..10_000).map(|i| i * 2).collect();
+        assert_eq!(intersect(&[0, 5, 9998], &long), vec![0, 9998]);
+        assert_eq!(intersect(&[], &long), Vec::<Elem>::new());
+        assert_eq!(intersect(&[1, 3], &[]), Vec::<Elem>::new());
+    }
+
+    #[test]
+    fn subtract_skewed() {
+        let long: Vec<Elem> = (0..100).map(|i| i * 2).collect();
+        assert_eq!(subtract(&[1, 2, 3], &long), vec![1, 3]);
+        assert_eq!(subtract(&[500, 501], &long), vec![500, 501]);
+    }
+
+    fn sorted_set(max: u32, len: usize) -> impl Strategy<Value = Vec<Elem>> {
+        proptest::collection::btree_set(0..max, 0..len).prop_map(|s| s.into_iter().collect())
+    }
+
+    proptest! {
+        /// Galloping kernels agree with the merge kernels everywhere.
+        #[test]
+        fn matches_merge_kernels(
+            short in sorted_set(2000, 50),
+            long in sorted_set(2000, 400),
+        ) {
+            for kind in SetOpKind::ALL {
+                prop_assert_eq!(
+                    apply(kind, &short, &long),
+                    merge::apply(kind, &short, &long),
+                    "{}", kind
+                );
+            }
+        }
+
+        /// The gallop search agrees with plain binary search.
+        #[test]
+        fn gallop_search_matches_binary_search(
+            hay in sorted_set(500, 100),
+            needle in 0u32..500,
+        ) {
+            prop_assert_eq!(gallop_search(&hay, needle), hay.binary_search(&needle));
+        }
+    }
+}

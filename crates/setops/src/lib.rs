@@ -1,0 +1,147 @@
+//! Set-operation substrate for the FINGERS reproduction.
+//!
+//! Pattern-aware graph mining reduces to set intersection and subtraction on
+//! sorted vertex-ID lists (paper Section 2.1). This crate implements both the
+//! straightforward whole-list merge kernels and the full segmented pipeline
+//! that a FINGERS processing element executes (Sections 3.4, 4.2, 4.3):
+//!
+//! - [`merge`]: one-pass merge-based ∩ / − / anti− on whole sorted lists —
+//!   the functional reference, and the unit of work a FlexMiner-style PE
+//!   performs serially.
+//! - [`galloping`]: exponential-search kernels for skewed operand sizes
+//!   (the software-miner fast path).
+//! - [`segment`]: fixed-length segmentation (`s_l = 16`, `s_s = 4`) and head
+//!   lists (the first element of every segment).
+//! - [`pairing`]: the task-divider model — binary-search matching of short
+//!   heads against the long head list, the load table, and max-load
+//!   splitting of long-segment workloads across intersect units.
+//! - [`bitvector`]: the intersect-unit (IU) compute model — every operation
+//!   is computed as a segment intersection whose result is a bitvector.
+//! - [`collector`]: round-robin result aggregation with bitwise OR and
+//!   translation back to a sorted list.
+//! - [`segmented`]: the end-to-end pipeline gluing the above together,
+//!   returning both the exact result and per-IU cycle statistics. Property
+//!   tests assert it always equals the whole-list merge kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use fingers_setops::{merge, segmented, SetOpKind, SegmentedConfig};
+//!
+//! let candidate = vec![1, 4, 7, 9, 12, 15];
+//! let neighbors = vec![2, 4, 6, 8, 9, 10, 15, 20];
+//! let reference = merge::apply(SetOpKind::Intersect, &candidate, &neighbors);
+//! let pipeline = segmented::execute(
+//!     SetOpKind::Intersect,
+//!     &candidate,
+//!     &neighbors,
+//!     &SegmentedConfig::default(),
+//! );
+//! assert_eq!(pipeline.result, reference);
+//! assert_eq!(pipeline.result, vec![4, 9, 15]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitvector;
+pub mod galloping;
+pub mod collector;
+pub mod merge;
+pub mod pairing;
+pub mod segment;
+pub mod segmented;
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of the sorted sets (vertex IDs).
+pub type Elem = u32;
+
+/// Default long-segment length `s_l` (paper Section 3.4: neighbor lists are
+/// pre-divided into read-only fixed-length segments of size 16).
+pub const LONG_SEGMENT_LEN: usize = 16;
+
+/// Default short-segment length `s_s` (candidate vertex sets are divided
+/// into segments of size 4 during computation).
+pub const SHORT_SEGMENT_LEN: usize = 4;
+
+/// The three set operations of the paper's Equation (1).
+///
+/// All three take a *short* set (the partially materialized candidate vertex
+/// set `S_j(i)`) and a *long* set (the neighbor list `N(u_i)`):
+///
+/// - `Intersect`: `short ∩ long`
+/// - `Subtract`: `short − long`
+/// - `AntiSubtract`: `long − short`
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SetOpKind {
+    /// `S_j(i) ∩ N(u_i)` — `u_j` connected to `u_i`.
+    Intersect,
+    /// `S_j(i) − N(u_i)` — `u_j` disconnected from `u_i`.
+    Subtract,
+    /// `N(u_i) − S_j(i)` — `u_j` connected only to `u_i` among ancestors so
+    /// far; the candidate set materialization was postponed to this level.
+    AntiSubtract,
+}
+
+impl SetOpKind {
+    /// All three operations, for exhaustive tests and sweeps.
+    pub const ALL: [SetOpKind; 3] = [
+        SetOpKind::Intersect,
+        SetOpKind::Subtract,
+        SetOpKind::AntiSubtract,
+    ];
+}
+
+impl std::fmt::Display for SetOpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SetOpKind::Intersect => "intersect",
+            SetOpKind::Subtract => "subtract",
+            SetOpKind::AntiSubtract => "anti-subtract",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of the segmented pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentedConfig {
+    /// Long (neighbor-list) segment length `s_l`.
+    pub long_segment_len: usize,
+    /// Short (candidate-set) segment length `s_s`.
+    pub short_segment_len: usize,
+    /// Maximum number of short segments assigned to one IU for a single long
+    /// segment before the load is split across IUs (paper Figure 7,
+    /// "max load").
+    pub max_load: usize,
+}
+
+impl Default for SegmentedConfig {
+    fn default() -> Self {
+        Self {
+            long_segment_len: LONG_SEGMENT_LEN,
+            short_segment_len: SHORT_SEGMENT_LEN,
+            max_load: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_constants() {
+        let c = SegmentedConfig::default();
+        assert_eq!(c.long_segment_len, 16);
+        assert_eq!(c.short_segment_len, 4);
+    }
+
+    #[test]
+    fn kind_display_is_nonempty() {
+        for k in SetOpKind::ALL {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Whole-list one-pass merge kernels for sorted sets.
+//!
+//! These are the functional reference semantics for the segmented pipeline,
+//! and also model the serial compute unit of a FlexMiner-style PE: one
+//! element comparison per cycle, streaming both inputs once (paper
+//! Section 2.2, IntersectX/FlexMiner-style comparators).
+
+use crate::{Elem, SetOpKind};
+
+/// `a ∩ b` for sorted, duplicate-free slices. Output is sorted.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(fingers_setops::merge::intersect(&[1, 3, 5], &[3, 4, 5]), vec![3, 5]);
+/// ```
+pub fn intersect(a: &[Elem], b: &[Elem]) -> Vec<Elem> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `a − b` for sorted, duplicate-free slices. Output is sorted.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(fingers_setops::merge::subtract(&[1, 3, 5], &[3, 4, 5]), vec![1]);
+/// ```
+pub fn subtract(a: &[Elem], b: &[Elem]) -> Vec<Elem> {
+    let mut out = Vec::with_capacity(a.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() {
+        if j >= b.len() || a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else if a[i] > b[j] {
+            j += 1;
+        } else {
+            i += 1;
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Applies `kind` to the paper's (short, long) operand convention:
+/// `Intersect → short ∩ long`, `Subtract → short − long`,
+/// `AntiSubtract → long − short`.
+pub fn apply(kind: SetOpKind, short: &[Elem], long: &[Elem]) -> Vec<Elem> {
+    match kind {
+        SetOpKind::Intersect => intersect(short, long),
+        SetOpKind::Subtract => subtract(short, long),
+        SetOpKind::AntiSubtract => subtract(long, short),
+    }
+}
+
+/// Number of cycles a serial one-element-per-cycle merge comparator spends
+/// on inputs of these lengths: each cycle consumes at least one element from
+/// one input, and the pass ends when either side (for intersection) or the
+/// first side (for subtraction) is exhausted. We use the conservative
+/// `|a| + |b|` bound the paper's IU timing also uses (`s_l + Σ s_s`).
+pub fn merge_cycles(a_len: usize, b_len: usize) -> u64 {
+    (a_len + b_len) as u64
+}
+
+/// Exact cycle count of a serial one-element-per-cycle merge comparator
+/// applying `kind` to `(short, long)`: one pointer advance per cycle, and
+/// the pass terminates as soon as the remaining input cannot affect the
+/// result (for intersection, when either side is exhausted; for
+/// subtraction, when the side being emitted is exhausted). This is the cost
+/// a FlexMiner-style serial unit pays.
+pub fn merge_steps(kind: SetOpKind, short: &[Elem], long: &[Elem]) -> u64 {
+    let (emit, filter) = match kind {
+        SetOpKind::Intersect => (short, long), // either exhausting ends it
+        SetOpKind::Subtract => (short, long),
+        SetOpKind::AntiSubtract => (long, short),
+    };
+    let mut i = 0; // emit side
+    let mut j = 0; // filter side
+    let mut steps: u64 = 0;
+    while i < emit.len() && j < filter.len() {
+        steps += 1;
+        match emit[i].cmp(&filter[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    match kind {
+        // Intersection ends when either side is exhausted.
+        SetOpKind::Intersect => steps,
+        // Subtractions must still emit the rest of the emit side.
+        _ => steps + (emit.len() - i) as u64,
+    }
+}
+
+/// `true` if `s` is strictly increasing (the invariant all kernels assume).
+pub fn is_sorted_set(s: &[Elem]) -> bool {
+    s.windows(2).all(|w| w[0] < w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn intersect_basic() {
+        assert_eq!(intersect(&[1, 2, 3], &[2, 3, 4]), vec![2, 3]);
+        assert_eq!(intersect(&[], &[1, 2]), Vec::<Elem>::new());
+        assert_eq!(intersect(&[1, 2], &[]), Vec::<Elem>::new());
+        assert_eq!(intersect(&[1, 5, 9], &[2, 6, 10]), Vec::<Elem>::new());
+    }
+
+    #[test]
+    fn subtract_basic() {
+        assert_eq!(subtract(&[1, 2, 3], &[2]), vec![1, 3]);
+        assert_eq!(subtract(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(subtract(&[], &[1]), Vec::<Elem>::new());
+        assert_eq!(subtract(&[1, 2], &[1, 2, 3]), Vec::<Elem>::new());
+    }
+
+    #[test]
+    fn apply_matches_paper_operand_convention() {
+        let short = [1, 4, 7];
+        let long = [2, 4, 6, 7, 9];
+        assert_eq!(apply(SetOpKind::Intersect, &short, &long), vec![4, 7]);
+        assert_eq!(apply(SetOpKind::Subtract, &short, &long), vec![1]);
+        assert_eq!(apply(SetOpKind::AntiSubtract, &short, &long), vec![2, 6, 9]);
+    }
+
+    #[test]
+    fn subtraction_identity_of_section_4_3() {
+        // A − B = A − (A ∩ B): the identity that lets a single intersect
+        // unit implement every operation.
+        let a = [1, 3, 5, 7, 9];
+        let b = [2, 3, 4, 7];
+        assert_eq!(subtract(&a, &b), subtract(&a, &intersect(&a, &b)));
+    }
+
+    #[test]
+    fn merge_cycles_is_sum() {
+        assert_eq!(merge_cycles(16, 8), 24);
+        assert_eq!(merge_cycles(0, 0), 0);
+    }
+
+    #[test]
+    fn merge_steps_terminates_early() {
+        // Intersect: short [1, 2] against a long tail — stops once the
+        // short side is exhausted.
+        let long: Vec<Elem> = (0..100).collect();
+        assert!(merge_steps(SetOpKind::Intersect, &[1, 2], &long) <= 5);
+        // Subtract emits all of the short side but stops scanning long.
+        assert!(merge_steps(SetOpKind::Subtract, &[1, 2], &long) <= 6);
+        // Anti-subtract must emit the whole long side.
+        assert!(merge_steps(SetOpKind::AntiSubtract, &[1, 2], &long) >= 100);
+    }
+
+    #[test]
+    fn merge_steps_bounded_by_sum() {
+        let a: Vec<Elem> = (0..50).map(|i| i * 3).collect();
+        let b: Vec<Elem> = (0..70).map(|i| i * 2 + 1).collect();
+        for kind in SetOpKind::ALL {
+            let s = merge_steps(kind, &a, &b);
+            assert!(s <= merge_cycles(a.len(), b.len()), "{kind}: {s}");
+            assert!(s >= a.len().min(b.len()) as u64);
+        }
+    }
+
+    fn sorted_set_strategy(max_len: usize) -> impl Strategy<Value = Vec<Elem>> {
+        proptest::collection::btree_set(0u32..500, 0..max_len)
+            .prop_map(|s| s.into_iter().collect())
+    }
+
+    proptest! {
+        #[test]
+        fn intersect_matches_btreeset(a in sorted_set_strategy(64), b in sorted_set_strategy(64)) {
+            let sa: BTreeSet<_> = a.iter().copied().collect();
+            let sb: BTreeSet<_> = b.iter().copied().collect();
+            let expected: Vec<Elem> = sa.intersection(&sb).copied().collect();
+            prop_assert_eq!(intersect(&a, &b), expected);
+        }
+
+        #[test]
+        fn subtract_matches_btreeset(a in sorted_set_strategy(64), b in sorted_set_strategy(64)) {
+            let sa: BTreeSet<_> = a.iter().copied().collect();
+            let sb: BTreeSet<_> = b.iter().copied().collect();
+            let expected: Vec<Elem> = sa.difference(&sb).copied().collect();
+            prop_assert_eq!(subtract(&a, &b), expected);
+        }
+
+        #[test]
+        fn outputs_stay_sorted_sets(a in sorted_set_strategy(64), b in sorted_set_strategy(64)) {
+            for kind in SetOpKind::ALL {
+                prop_assert!(is_sorted_set(&apply(kind, &a, &b)));
+            }
+        }
+
+        #[test]
+        fn intersect_is_commutative(a in sorted_set_strategy(64), b in sorted_set_strategy(64)) {
+            prop_assert_eq!(intersect(&a, &b), intersect(&b, &a));
+        }
+
+        #[test]
+        fn partition_identity(a in sorted_set_strategy(64), b in sorted_set_strategy(64)) {
+            // |A| = |A ∩ B| + |A − B|
+            prop_assert_eq!(a.len(), intersect(&a, &b).len() + subtract(&a, &b).len());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixed-length segmentation of sorted sets and head-list generation.
+//!
+//! Segment-level parallelism (paper Section 3.4) divides each sorted set
+//! into non-overlapping fixed-length segments. The *head list* — the first
+//! element of every segment — is what the task dividers work with: it is
+//! shorter than the set by a factor of the segment length, which is why the
+//! divider latency "does not dominate the pipeline stages" (Section 4.2).
+
+use crate::Elem;
+
+/// A view of a sorted set as fixed-length segments.
+///
+/// The final segment may be shorter than `seg_len`. An empty set has zero
+/// segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segments<'a> {
+    set: &'a [Elem],
+    seg_len: usize,
+}
+
+impl<'a> Segments<'a> {
+    /// Creates the segment view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_len == 0`.
+    pub fn new(set: &'a [Elem], seg_len: usize) -> Self {
+        assert!(seg_len > 0, "segment length must be positive");
+        Self { set, seg_len }
+    }
+
+    /// Number of segments (`⌈|set| / seg_len⌉`).
+    pub fn count(&self) -> usize {
+        self.set.len().div_ceil(self.seg_len)
+    }
+
+    /// The `i`-th segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.count()`.
+    pub fn get(&self, i: usize) -> &'a [Elem] {
+        let start = i * self.seg_len;
+        assert!(start < self.set.len(), "segment index {i} out of range");
+        let end = (start + self.seg_len).min(self.set.len());
+        &self.set[start..end]
+    }
+
+    /// The configured segment length.
+    pub fn seg_len(&self) -> usize {
+        self.seg_len
+    }
+
+    /// The underlying set.
+    pub fn set(&self) -> &'a [Elem] {
+        self.set
+    }
+
+    /// The head list: first element of every segment (paper Figure 7).
+    pub fn head_list(&self) -> Vec<Elem> {
+        (0..self.count()).map(|i| self.get(i)[0]).collect()
+    }
+
+    /// Iterates over all segments.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [Elem]> + '_ {
+        (0..self.count()).map(|i| self.get(i))
+    }
+
+    /// Largest element of segment `i` (segments are sorted, so this is the
+    /// last element).
+    pub fn last_of(&self, i: usize) -> Elem {
+        *self.get(i).last().expect("segments are non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_division() {
+        let set: Vec<Elem> = (0..8).collect();
+        let segs = Segments::new(&set, 4);
+        assert_eq!(segs.count(), 2);
+        assert_eq!(segs.get(0), &[0, 1, 2, 3]);
+        assert_eq!(segs.get(1), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn ragged_tail() {
+        let set: Vec<Elem> = (0..10).collect();
+        let segs = Segments::new(&set, 4);
+        assert_eq!(segs.count(), 3);
+        assert_eq!(segs.get(2), &[8, 9]);
+    }
+
+    #[test]
+    fn empty_set_has_no_segments() {
+        let segs = Segments::new(&[], 4);
+        assert_eq!(segs.count(), 0);
+        assert!(segs.head_list().is_empty());
+    }
+
+    #[test]
+    fn head_list_matches_figure_7_example() {
+        // Long set from the paper's Figure 7 head list: 10, 25, 44, 57, 68, 80
+        // with segment length 1 each head is the element itself; use length 2
+        // on a concrete expansion instead.
+        let set = [10, 12, 25, 30, 44, 50, 57, 60, 68, 70, 80, 90];
+        let segs = Segments::new(&set, 2);
+        assert_eq!(segs.head_list(), vec![10, 25, 44, 57, 68, 80]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_segment_length_rejected() {
+        Segments::new(&[1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_segment_rejected() {
+        let set = [1, 2, 3];
+        Segments::new(&set, 2).get(2);
+    }
+
+    proptest! {
+        #[test]
+        fn segments_reassemble_to_set(
+            set in proptest::collection::btree_set(0u32..1000, 0..100),
+            seg_len in 1usize..20,
+        ) {
+            let set: Vec<Elem> = set.into_iter().collect();
+            let segs = Segments::new(&set, seg_len);
+            let rebuilt: Vec<Elem> = segs.iter().flatten().copied().collect();
+            prop_assert_eq!(rebuilt, set.clone());
+            prop_assert_eq!(segs.head_list().len(), segs.count());
+        }
+
+        #[test]
+        fn heads_are_strictly_increasing(
+            set in proptest::collection::btree_set(0u32..1000, 1..100),
+            seg_len in 1usize..20,
+        ) {
+            let set: Vec<Elem> = set.into_iter().collect();
+            let heads = Segments::new(&set, seg_len).head_list();
+            prop_assert!(heads.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

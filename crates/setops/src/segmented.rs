@@ -1,0 +1,284 @@
+//! End-to-end segmented set-operation pipeline.
+//!
+//! Glues segmentation → head lists → task-divider pairing → IU execution →
+//! result collection into one call, returning both the exact result (always
+//! equal to the whole-list merge kernels — enforced by property tests) and
+//! the statistics the accelerator timing model consumes: per-workload IU
+//! cycles, divider cycles, and collector receive counts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitvector::{iu_execute, IuEmission, SegmentSide};
+use crate::collector::ResultCollector;
+use crate::pairing::{pair, Workload};
+use crate::segment::Segments;
+use crate::{Elem, SegmentedConfig, SetOpKind};
+
+/// Outcome of one segmented set operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentedOutcome {
+    /// The exact operation result (sorted, duplicate-free).
+    pub result: Vec<Elem>,
+    /// Busy cycles of each IU workload, in issue order. The PE timing model
+    /// schedules these onto physical IUs.
+    pub workload_cycles: Vec<u64>,
+    /// The balanced workloads themselves (long segment + short run each).
+    pub workloads: Vec<Workload>,
+    /// Task-divider busy cycles (head-list streaming).
+    pub divider_cycles: u64,
+    /// Number of `(segment, bitvector)` results the collector received; the
+    /// serial collection time is proportional to this.
+    pub collector_receives: u64,
+}
+
+impl SegmentedOutcome {
+    /// Total IU busy cycles across all workloads.
+    pub fn total_iu_cycles(&self) -> u64 {
+        self.workload_cycles.iter().sum()
+    }
+}
+
+/// Executes `kind` on `(short, long)` through the full segmented pipeline.
+///
+/// Both inputs must be sorted and duplicate-free. The result always equals
+/// [`merge::apply`](crate::merge::apply) on the same inputs.
+///
+/// # Example
+///
+/// ```
+/// use fingers_setops::{segmented, SetOpKind, SegmentedConfig};
+/// let out = segmented::execute(
+///     SetOpKind::Subtract,
+///     &[1, 7, 11, 18],
+///     &[1, 3, 4, 5, 7, 8, 9, 12, 13, 15, 18, 22, 26, 28],
+///     &SegmentedConfig { long_segment_len: 8, short_segment_len: 4, max_load: 2 },
+/// );
+/// assert_eq!(out.result, vec![11]); // the paper's Figure 8 answer
+/// ```
+pub fn execute(
+    kind: SetOpKind,
+    short: &[Elem],
+    long: &[Elem],
+    config: &SegmentedConfig,
+) -> SegmentedOutcome {
+    let long_segs = Segments::new(long, config.long_segment_len);
+    let short_segs = Segments::new(short, config.short_segment_len);
+    let long_heads = long_segs.head_list();
+    let short_heads = short_segs.head_list();
+    let short_lasts: Vec<Elem> = (0..short_segs.count())
+        .map(|i| short_segs.last_of(i))
+        .collect();
+
+    let pairing = pair(&long_heads, &short_heads, &short_lasts, kind, config.max_load);
+
+    // Execute every workload on a (virtual) IU.
+    let mut emissions: Vec<IuEmission> = Vec::new();
+    let mut workload_cycles = Vec::with_capacity(pairing.workloads.len());
+    for w in &pairing.workloads {
+        let shorts: Vec<(usize, &[Elem])> =
+            w.shorts.clone().map(|i| (i, short_segs.get(i))).collect();
+        let out = iu_execute(kind, w.long_idx, long_segs.get(w.long_idx), &shorts);
+        workload_cycles.push(out.cycles);
+        emissions.extend(out.emissions);
+    }
+
+    // For subtraction, short segments that overlapped no long segment pass
+    // through unchanged: inject zero bitvectors for them.
+    if kind == SetOpKind::Subtract {
+        for i in pairing.unpaired_shorts.clone() {
+            emissions.push(IuEmission {
+                side: SegmentSide::Short,
+                seg_idx: i,
+                bitvec: crate::bitvector::SegBitvec::zeros(short_segs.get(i).len()),
+            });
+        }
+    }
+
+    // Round-robin collection: results for the same segment must be adjacent
+    // and segments in increasing order. Workloads are generated in long-
+    // segment order; for subtraction, re-key by short segment.
+    emissions.sort_by_key(|e| e.seg_idx);
+
+    let mut collector = ResultCollector::new(kind);
+    for e in emissions {
+        let elems = match e.side {
+            SegmentSide::Long => long_segs.get(e.seg_idx),
+            SegmentSide::Short => short_segs.get(e.seg_idx),
+        };
+        collector.receive(e.seg_idx, elems, e.bitvec);
+    }
+    let collector_receives = collector.receive_count();
+    let result = collector.finish();
+
+    SegmentedOutcome {
+        result,
+        workload_cycles,
+        workloads: pairing.workloads,
+        divider_cycles: pairing.divider_cycles,
+        collector_receives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge;
+    use proptest::prelude::*;
+
+    fn small_config() -> SegmentedConfig {
+        SegmentedConfig {
+            long_segment_len: 4,
+            short_segment_len: 2,
+            max_load: 2,
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        for kind in SetOpKind::ALL {
+            let out = execute(kind, &[], &[], &SegmentedConfig::default());
+            assert!(out.result.is_empty(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn empty_short_set() {
+        let long = [1, 2, 3, 4, 5];
+        let cfg = SegmentedConfig::default();
+        assert!(execute(SetOpKind::Intersect, &[], &long, &cfg).result.is_empty());
+        assert!(execute(SetOpKind::Subtract, &[], &long, &cfg).result.is_empty());
+        assert_eq!(
+            execute(SetOpKind::AntiSubtract, &[], &long, &cfg).result,
+            long.to_vec()
+        );
+    }
+
+    #[test]
+    fn empty_long_set() {
+        let short = [1, 2, 3];
+        let cfg = SegmentedConfig::default();
+        assert!(execute(SetOpKind::Intersect, &short, &[], &cfg).result.is_empty());
+        assert_eq!(
+            execute(SetOpKind::Subtract, &short, &[], &cfg).result,
+            short.to_vec()
+        );
+        assert!(execute(SetOpKind::AntiSubtract, &short, &[], &cfg).result.is_empty());
+    }
+
+    #[test]
+    fn figure_8_full_pipeline() {
+        // Figure 8: short [1, 7, 11, 18] minus the long list whose first two
+        // segments are [1, 3, 4, 5, 7, 8, 9, 12] and [13, 15, 18, 22, ...].
+        let short = [1, 7, 11, 18];
+        let long = [1, 3, 4, 5, 7, 8, 9, 12, 13, 15, 18, 22, 26, 28, 33, 34];
+        let cfg = SegmentedConfig {
+            long_segment_len: 8,
+            short_segment_len: 4,
+            max_load: 2,
+        };
+        let out = execute(SetOpKind::Subtract, &short, &long, &cfg);
+        assert_eq!(out.result, vec![11]);
+    }
+
+    #[test]
+    fn statistics_are_populated() {
+        let short: Vec<Elem> = (0..20).map(|i| i * 3).collect();
+        let long: Vec<Elem> = (0..50).collect();
+        let out = execute(SetOpKind::Intersect, &short, &long, &small_config());
+        assert!(!out.workloads.is_empty());
+        assert_eq!(out.workload_cycles.len(), out.workloads.len());
+        assert!(out.total_iu_cycles() > 0);
+        assert!(out.divider_cycles > 0);
+        assert!(out.collector_receives >= out.workloads.len() as u64);
+    }
+
+    #[test]
+    fn identical_sets_intersect_to_themselves() {
+        let set: Vec<Elem> = (0..40).map(|i| i * 2).collect();
+        let cfg = SegmentedConfig::default();
+        assert_eq!(execute(SetOpKind::Intersect, &set, &set, &cfg).result, set);
+        assert!(execute(SetOpKind::Subtract, &set, &set, &cfg).result.is_empty());
+        assert!(execute(SetOpKind::AntiSubtract, &set, &set, &cfg).result.is_empty());
+    }
+
+    #[test]
+    fn single_element_sets() {
+        let cfg = SegmentedConfig::default();
+        assert_eq!(execute(SetOpKind::Intersect, &[5], &[5], &cfg).result, vec![5]);
+        assert!(execute(SetOpKind::Intersect, &[5], &[6], &cfg).result.is_empty());
+        assert_eq!(execute(SetOpKind::Subtract, &[5], &[6], &cfg).result, vec![5]);
+        assert_eq!(execute(SetOpKind::AntiSubtract, &[5], &[4, 6], &cfg).result, vec![4, 6]);
+    }
+
+    #[test]
+    fn max_load_one_still_exact() {
+        let short: Vec<Elem> = (0..30).collect();
+        let long: Vec<Elem> = (10..60).collect();
+        let cfg = SegmentedConfig {
+            long_segment_len: 4,
+            short_segment_len: 2,
+            max_load: 1,
+        };
+        let out = execute(SetOpKind::Intersect, &short, &long, &cfg);
+        let expected: Vec<Elem> = (10..30).collect();
+        assert_eq!(out.result, expected);
+        // max_load 1 forces many single-short workloads.
+        assert!(out.workloads.iter().all(|w| w.load() <= 1));
+    }
+
+    #[test]
+    fn disjoint_ranges_cost_little() {
+        // Short set entirely below the long set: intersection pairs nothing.
+        let short: Vec<Elem> = (0..50).collect();
+        let long: Vec<Elem> = (1000..1200).collect();
+        let out = execute(SetOpKind::Intersect, &short, &long, &SegmentedConfig::default());
+        assert!(out.result.is_empty());
+        assert!(out.workloads.is_empty(), "no overlapping segments to pair");
+    }
+
+    fn sorted_set(max_val: u32, max_len: usize) -> impl Strategy<Value = Vec<Elem>> {
+        proptest::collection::btree_set(0..max_val, 0..max_len)
+            .prop_map(|s| s.into_iter().collect())
+    }
+
+    proptest! {
+        /// The headline invariant: the segmented pipeline computes exactly
+        /// the same set as the whole-list merge kernels, for every
+        /// operation, every input shape, and every segmentation geometry.
+        #[test]
+        fn pipeline_matches_merge_reference(
+            short in sorted_set(300, 60),
+            long in sorted_set(300, 120),
+            long_len in 1usize..20,
+            short_len in 1usize..8,
+            max_load in 1usize..5,
+        ) {
+            let cfg = SegmentedConfig {
+                long_segment_len: long_len,
+                short_segment_len: short_len,
+                max_load,
+            };
+            for kind in SetOpKind::ALL {
+                let expected = merge::apply(kind, &short, &long);
+                let got = execute(kind, &short, &long, &cfg);
+                prop_assert_eq!(&got.result, &expected, "kind {}", kind);
+            }
+        }
+
+        /// Total IU work is bounded by a small multiple of the input sizes:
+        /// over-pairing may re-stream segments, but never blows up.
+        #[test]
+        fn work_is_bounded(
+            short in sorted_set(300, 60),
+            long in sorted_set(300, 120),
+        ) {
+            let cfg = SegmentedConfig::default();
+            for kind in SetOpKind::ALL {
+                let out = execute(kind, &short, &long, &cfg);
+                let bound = (4 * (short.len() + long.len()) + 64) as u64;
+                prop_assert!(out.total_iu_cycles() <= bound,
+                    "kind {}: {} > {}", kind, out.total_iu_cycles(), bound);
+            }
+        }
+    }
+}

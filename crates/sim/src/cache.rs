@@ -1,0 +1,210 @@
+//! Set-associative LRU cache model with hit/miss statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total line accesses.
+    pub accesses: u64,
+    /// Line misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]` (0 for an untouched cache).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative cache with LRU replacement, modeled at line
+/// granularity (tags only — data never lives here; the functional results
+/// come from the real set computation).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    /// `sets[s]` holds up to `ways` tags, most recently used last.
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_bytes: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `capacity_bytes` with the given line size and
+    /// associativity. The set count is rounded up to a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero or `capacity_bytes` is smaller than
+    /// one way of lines.
+    pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
+        assert!(capacity_bytes > 0 && line_bytes > 0 && ways > 0, "cache parameters must be positive");
+        let lines = capacity_bytes / line_bytes;
+        assert!(lines >= ways as u64, "capacity smaller than one set");
+        let set_count = (lines / ways as u64).next_power_of_two();
+        Self {
+            sets: vec![Vec::with_capacity(ways); set_count as usize],
+            ways,
+            line_bytes,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on hit. On miss
+    /// the line is installed (allocate-on-miss) with LRU eviction.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        self.stats.accesses += 1;
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let tag = set.remove(pos);
+            set.push(tag);
+            true
+        } else {
+            self.stats.misses += 1;
+            if set.len() == self.ways {
+                set.remove(0);
+            }
+            set.push(line);
+            false
+        }
+    }
+
+    /// Probes without updating statistics or LRU order.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        self.sets[set_idx].contains(&line)
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (not contents) — used between warmup and
+    /// measurement phases.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = SetAssocCache::new(1024, 64, 2);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2-way, small cache: lines mapping to the same set.
+        let mut c = SetAssocCache::new(128, 64, 2); // 1 set of 2 ways
+        c.access(0); // line 0
+        c.access(64); // line 1
+        c.access(0); // touch line 0 → line 1 is LRU
+        c.access(128); // evicts line 1
+        assert!(c.contains(0));
+        assert!(!c.contains(64));
+        assert!(c.contains(128));
+    }
+
+    #[test]
+    fn capacity_bounds_working_set() {
+        let mut c = SetAssocCache::new(4096, 64, 4); // 64 lines
+        // Touch 128 lines: second pass over the first 64 should mostly miss.
+        for i in 0..128u64 {
+            c.access(i * 64);
+        }
+        c.reset_stats();
+        for i in 0..64u64 {
+            c.access(i * 64);
+        }
+        assert!(c.stats().miss_rate() > 0.9, "miss rate {}", c.stats().miss_rate());
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits() {
+        let mut c = SetAssocCache::new(4096, 64, 4);
+        for _ in 0..3 {
+            for i in 0..32u64 {
+                c.access(i * 64);
+            }
+        }
+        // Only the first pass misses.
+        assert_eq!(c.stats().misses, 32);
+        assert_eq!(c.stats().accesses, 96);
+    }
+
+    #[test]
+    fn miss_rate_of_empty_stats_is_zero() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        SetAssocCache::new(0, 64, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one set")]
+    fn capacity_below_one_set_rejected() {
+        SetAssocCache::new(64, 64, 4);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        // 1-way: two lines mapping to the same set always evict each other.
+        let mut c = SetAssocCache::new(256, 64, 1); // 4 sets
+        c.access(0); // set 0
+        c.access(4 * 64); // also set 0
+        assert!(!c.contains(0));
+        assert!(c.contains(4 * 64));
+        // Ping-pong: every access misses.
+        c.reset_stats();
+        for i in 0..10 {
+            c.access((i % 2) * 4 * 64);
+        }
+        assert_eq!(c.stats().misses, 10);
+    }
+
+    #[test]
+    fn higher_associativity_reduces_conflicts() {
+        let run = |ways: usize| {
+            let mut c = SetAssocCache::new(1024, 64, ways);
+            // Cyclic sweep over 12 lines in a 16-line cache: fully
+            // associative would always hit after warmup; low associativity
+            // conflicts on the shared sets.
+            let mut misses = 0;
+            for round in 0..20u64 {
+                for i in 0..12u64 {
+                    if !c.access(i * 5 * 64) && round > 0 {
+                        misses += 1;
+                    }
+                }
+            }
+            misses
+        };
+        assert!(run(16) <= run(1), "16-way {} vs 1-way {}", run(16), run(1));
+    }
+}

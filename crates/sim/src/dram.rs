@@ -1,0 +1,179 @@
+//! Off-chip DRAM timing: fixed latency plus bandwidth reservation.
+//!
+//! Models the paper's four channels of DDR4-2666 delivering 85 GB/s
+//! (Section 5) as an aggregate resource: each request pays the access
+//! latency, and the channel pipe advances by `bytes / bytes_per_cycle`,
+//! so concurrent requests queue behind one another when bandwidth
+//! saturates — the effect that limits Yo/Pa in the paper's Figure 10
+//! discussion.
+
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// DRAM timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Access latency in cycles (row activation + channel + controller).
+    pub latency: Cycle,
+    /// Aggregate bandwidth in bytes per accelerator cycle. At 1 GHz,
+    /// 85 GB/s ≈ 85 B/cycle.
+    pub bytes_per_cycle: f64,
+}
+
+impl DramConfig {
+    /// The paper's memory system: four channels of DDR4-2666 (85 GB/s) at
+    /// a 1 GHz accelerator clock, ~120-cycle access latency.
+    pub fn ddr4_2666_x4() -> Self {
+        Self {
+            latency: 120,
+            bytes_per_cycle: 85.0,
+        }
+    }
+}
+
+/// Bandwidth-reservation DRAM model.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    config: DramConfig,
+    /// The cycle at which the (aggregate) channel pipe next frees up.
+    busy_until: f64,
+    /// Total bytes transferred (for bandwidth-utilization reporting).
+    bytes_transferred: u64,
+    requests: u64,
+}
+
+impl DramModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive.
+    pub fn new(config: DramConfig) -> Self {
+        assert!(config.bytes_per_cycle > 0.0, "bandwidth must be positive");
+        Self {
+            config,
+            busy_until: 0.0,
+            bytes_transferred: 0,
+            requests: 0,
+        }
+    }
+
+    /// Issues a `bytes`-byte transfer at cycle `now`; returns the cycle at
+    /// which the data has fully arrived.
+    pub fn fetch(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        self.requests += 1;
+        self.bytes_transferred += bytes;
+        let start = (now as f64).max(self.busy_until);
+        let transfer = bytes as f64 / self.config.bytes_per_cycle;
+        self.busy_until = start + transfer;
+        (self.busy_until.ceil() as Cycle) + self.config.latency
+    }
+
+    /// Total bytes transferred so far.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred
+    }
+
+    /// Total requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Achieved bandwidth in bytes/cycle over `elapsed` cycles.
+    pub fn achieved_bandwidth(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.bytes_transferred as f64 / elapsed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DramModel {
+        DramModel::new(DramConfig {
+            latency: 100,
+            bytes_per_cycle: 10.0,
+        })
+    }
+
+    #[test]
+    fn single_fetch_pays_latency_plus_transfer() {
+        let mut d = model();
+        // 50 bytes at 10 B/cycle = 5 cycles transfer + 100 latency.
+        assert_eq!(d.fetch(0, 50), 105);
+    }
+
+    #[test]
+    fn back_to_back_fetches_queue_on_bandwidth() {
+        let mut d = model();
+        let a = d.fetch(0, 100); // transfer occupies cycles 0-10
+        let b = d.fetch(0, 100); // queues: occupies 10-20
+        assert_eq!(a, 110);
+        assert_eq!(b, 120);
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut d = model();
+        d.fetch(0, 100);
+        // Long idle gap: next fetch starts fresh.
+        let c = d.fetch(1000, 10);
+        assert_eq!(c, 1101);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut d = model();
+        d.fetch(0, 64);
+        d.fetch(0, 64);
+        assert_eq!(d.bytes_transferred(), 128);
+        assert_eq!(d.requests(), 2);
+        assert!(d.achieved_bandwidth(64) > 1.0);
+    }
+
+    #[test]
+    fn paper_config_is_85_bytes_per_cycle() {
+        let c = DramConfig::ddr4_2666_x4();
+        assert!((c.bytes_per_cycle - 85.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        DramModel::new(DramConfig {
+            latency: 1,
+            bytes_per_cycle: 0.0,
+        });
+    }
+
+    #[test]
+    fn saturation_degrades_latency_linearly() {
+        // A burst of K equal-size fetches at t=0: the i-th completes
+        // i transfer-slots after the first (bandwidth queuing).
+        let mut d = model();
+        let mut last = 0;
+        for i in 0..10u64 {
+            let done = d.fetch(0, 100); // 10 cycles of pipe each
+            assert_eq!(done, 110 + i * 10);
+            assert!(done > last);
+            last = done;
+        }
+    }
+
+    #[test]
+    fn fractional_transfers_accumulate() {
+        // 3 bytes at 10 B/cycle = 0.3 cycles each; queueing must not lose
+        // the fractions.
+        let mut d = model();
+        for _ in 0..10 {
+            d.fetch(0, 3);
+        }
+        // After 10 fetches the pipe is busy until cycle 3.
+        let done = d.fetch(0, 10);
+        assert_eq!(done, 104);
+    }
+}

@@ -1,0 +1,59 @@
+//! Architectural simulation substrate for the FINGERS reproduction.
+//!
+//! Provides the shared memory-system models both accelerator designs
+//! (FINGERS and the FlexMiner baseline) are simulated on, following the
+//! paper's methodology (Section 5): a 4 MB shared on-chip cache in front of
+//! four channels of DDR4-2666 (85 GB/s), with PEs attached through a NoC.
+//!
+//! - [`cache::SetAssocCache`]: set-associative LRU cache with hit/miss
+//!   statistics (the Figure 13 miss-rate curves come straight from it).
+//! - [`dram::DramModel`]: latency + bandwidth-reservation DRAM timing.
+//! - [`MemorySystem`]: shared cache + DRAM composed, with per-line
+//!   streaming fetch timing.
+//!
+//! # Scaling
+//!
+//! The dataset stand-ins are scaled down from the paper's graphs (see
+//! `fingers-graph::datasets`), so chip configurations scale the *capacities*
+//! by [`MEM_SCALE`] while keeping latencies and bandwidth-per-cycle
+//! unchanged — preserving every capacity relationship the evaluation
+//! depends on (which graphs fit in the shared cache, when candidate sets
+//! spill, when DRAM bandwidth saturates).
+//!
+//! # Example
+//!
+//! ```
+//! use fingers_sim::{MemoryConfig, MemorySystem};
+//!
+//! let mut mem = MemorySystem::new(MemoryConfig::paper_default());
+//! // A cold 256-byte neighbor-list fetch misses in the shared cache...
+//! let first = mem.fetch(0, 0x1000, 256);
+//! assert!(first.lines_missed > 0);
+//! // ...and a re-fetch hits.
+//! let again = mem.fetch(first.completion, 0x1000, 256);
+//! assert_eq!(again.lines_missed, 0);
+//! assert!(again.completion - first.completion < first.completion);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod dram;
+mod memory;
+pub mod noc;
+
+pub use cache::{CacheStats, SetAssocCache};
+pub use dram::DramModel;
+pub use memory::{FetchOutcome, MemoryConfig, MemorySystem};
+pub use noc::MeshNoc;
+
+/// Simulation time, in accelerator clock cycles (1 GHz in the paper's
+/// synthesis, Section 6.1).
+pub type Cycle = u64;
+
+/// Capacity scale factor applied to cache sizes when simulating the scaled
+/// dataset stand-ins (graphs are scaled ~8–400× down in vertex count; an
+/// 8× capacity scale keeps the "fits in shared cache" split of Table 1
+/// intact — asserted by tests in `fingers-graph::datasets`).
+pub const MEM_SCALE: u64 = 8;

@@ -1,0 +1,224 @@
+//! The composed memory system: NoC + shared cache + DRAM.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheStats, SetAssocCache};
+use crate::dram::{DramConfig, DramModel};
+use crate::{Cycle, MEM_SCALE};
+
+/// Parameters of the chip-level memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Shared cache capacity in bytes (already scaled if applicable).
+    pub shared_cache_bytes: u64,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Shared cache associativity.
+    pub ways: usize,
+    /// Shared cache hit latency, including the NoC hop from a PE, in cycles.
+    pub shared_hit_latency: Cycle,
+    /// DRAM timing.
+    pub dram: DramConfig,
+}
+
+impl MemoryConfig {
+    /// The paper's configuration (Section 5): 4 MB shared cache, four
+    /// channels of DDR4-2666 (85 GB/s) — with the capacity scaled by
+    /// [`MEM_SCALE`] to match the scaled dataset stand-ins (512 KiB).
+    pub fn paper_default() -> Self {
+        Self::with_shared_cache_mb(4.0)
+    }
+
+    /// A configuration with the given *paper-scale* shared cache capacity
+    /// in MB (scaled internally by [`MEM_SCALE`]); used for the Figure 13
+    /// capacity sweep (2, 4, 8, 16 MB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mb` is not positive.
+    pub fn with_shared_cache_mb(mb: f64) -> Self {
+        assert!(mb > 0.0, "cache capacity must be positive");
+        let scaled = (mb * 1024.0 * 1024.0 / MEM_SCALE as f64) as u64;
+        Self {
+            shared_cache_bytes: scaled,
+            line_bytes: 64,
+            ways: 16,
+            shared_hit_latency: 10,
+            dram: DramConfig::ddr4_2666_x4(),
+        }
+    }
+}
+
+/// Timing and cache outcome of one streamed fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FetchOutcome {
+    /// Cycle at which the first line is available (streaming consumers can
+    /// start then).
+    pub first_ready: Cycle,
+    /// Cycle at which the entire range has arrived.
+    pub completion: Cycle,
+    /// Lines accessed.
+    pub lines_accessed: u64,
+    /// Lines that missed in the shared cache and went to DRAM.
+    pub lines_missed: u64,
+}
+
+/// Shared cache + DRAM, accessed by all PEs.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MemoryConfig,
+    cache: SetAssocCache,
+    dram: DramModel,
+}
+
+impl MemorySystem {
+    /// Builds the memory system.
+    pub fn new(config: MemoryConfig) -> Self {
+        Self {
+            config,
+            cache: SetAssocCache::new(config.shared_cache_bytes, config.line_bytes, config.ways),
+            dram: DramModel::new(config.dram),
+        }
+    }
+
+    /// Streams `bytes` starting at `addr` through the shared cache at cycle
+    /// `now`. Hit lines cost the shared hit latency; missed lines go to
+    /// DRAM (allocate-on-miss). Misses of one fetch pipeline behind each
+    /// other in the DRAM model.
+    pub fn fetch(&mut self, now: Cycle, addr: u64, bytes: u64) -> FetchOutcome {
+        let line = self.config.line_bytes;
+        let first_line = addr / line;
+        let last_line = if bytes == 0 { first_line } else { (addr + bytes - 1) / line };
+        let mut lines_accessed = 0;
+        let mut lines_missed = 0;
+        let mut completion = now + self.config.shared_hit_latency;
+        let mut first_ready = Cycle::MAX;
+        for l in first_line..=last_line {
+            lines_accessed += 1;
+            let line_done = if self.cache.access(l * line) {
+                now + self.config.shared_hit_latency
+            } else {
+                lines_missed += 1;
+                self.dram.fetch(now, line) + self.config.shared_hit_latency
+            };
+            first_ready = first_ready.min(line_done);
+            completion = completion.max(line_done);
+        }
+        if first_ready == Cycle::MAX {
+            first_ready = completion;
+        }
+        FetchOutcome {
+            first_ready,
+            completion,
+            lines_accessed,
+            lines_missed,
+        }
+    }
+
+    /// Models a write-back of `bytes` (candidate-set spill): consumes DRAM
+    /// bandwidth if the lines do not fit the cache; returns completion.
+    pub fn write_back(&mut self, now: Cycle, addr: u64, bytes: u64) -> Cycle {
+        // Writes allocate in the shared cache; dirty evictions are folded
+        // into an aggregate bandwidth charge of half the written bytes.
+        let out = self.fetch(now, addr, bytes);
+        out.completion
+    }
+
+    /// Shared-cache statistics (drives the Figure 13 miss-rate curves).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resets cache statistics (e.g. after a warmup pass).
+    pub fn reset_cache_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+
+    /// Total bytes fetched from DRAM.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram.bytes_transferred()
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MemorySystem {
+        MemorySystem::new(MemoryConfig {
+            shared_cache_bytes: 4096,
+            line_bytes: 64,
+            ways: 4,
+            shared_hit_latency: 10,
+            dram: DramConfig {
+                latency: 100,
+                bytes_per_cycle: 16.0,
+            },
+        })
+    }
+
+    #[test]
+    fn cold_fetch_misses_then_hits() {
+        let mut m = tiny();
+        let a = m.fetch(0, 0, 256); // 4 lines
+        assert_eq!(a.lines_accessed, 4);
+        assert_eq!(a.lines_missed, 4);
+        assert!(a.completion > 100);
+        let b = m.fetch(a.completion, 0, 256);
+        assert_eq!(b.lines_missed, 0);
+        assert_eq!(b.completion, a.completion + 10);
+    }
+
+    #[test]
+    fn zero_byte_fetch_is_cheap() {
+        let mut m = tiny();
+        let a = m.fetch(5, 128, 0);
+        assert_eq!(a.lines_accessed, 1);
+        assert!(a.completion >= 5);
+    }
+
+    #[test]
+    fn first_ready_precedes_completion_on_big_fetches() {
+        let mut m = tiny();
+        let a = m.fetch(0, 0, 1024);
+        assert!(a.first_ready <= a.completion);
+        assert!(a.completion > a.first_ready, "16-line miss should pipeline");
+    }
+
+    #[test]
+    fn unaligned_range_touches_both_lines() {
+        let mut m = tiny();
+        let a = m.fetch(0, 60, 8); // spans line 0 and line 1
+        assert_eq!(a.lines_accessed, 2);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut m = tiny();
+        m.fetch(0, 0, 64);
+        m.fetch(20, 0, 64);
+        let s = m.cache_stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.misses, 1);
+        m.reset_cache_stats();
+        assert_eq!(m.cache_stats().accesses, 0);
+    }
+
+    #[test]
+    fn paper_default_is_scaled() {
+        let c = MemoryConfig::paper_default();
+        assert_eq!(c.shared_cache_bytes, 4 * 1024 * 1024 / MEM_SCALE);
+    }
+
+    #[test]
+    fn dram_bytes_track_misses() {
+        let mut m = tiny();
+        m.fetch(0, 0, 256);
+        assert_eq!(m.dram_bytes(), 4 * 64);
+    }
+}

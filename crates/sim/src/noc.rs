@@ -1,0 +1,136 @@
+//! Network-on-chip model: a 2D mesh between PEs and the shared cache.
+//!
+//! The paper's Figure 5 connects the PEs to the shared cache through a NoC.
+//! This model places PEs on a near-square mesh with the cache controller at
+//! the center and charges XY-routed hop latency per access, so outer PEs
+//! see slightly longer shared-cache latency than inner ones.
+
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// A 2D-mesh NoC with the shared-cache port at the mesh center.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshNoc {
+    width: usize,
+    height: usize,
+    /// Cycles per router hop.
+    pub per_hop_latency: Cycle,
+    /// Fixed injection/ejection overhead in cycles.
+    pub base_latency: Cycle,
+}
+
+impl MeshNoc {
+    /// Builds a near-square mesh large enough for `pes` endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes == 0`.
+    pub fn for_pes(pes: usize, per_hop_latency: Cycle, base_latency: Cycle) -> Self {
+        assert!(pes > 0, "a NoC needs at least one PE");
+        let width = (pes as f64).sqrt().ceil() as usize;
+        let height = pes.div_ceil(width);
+        Self {
+            width,
+            height,
+            per_hop_latency,
+            base_latency,
+        }
+    }
+
+    /// Mesh dimensions `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Grid coordinates of PE `idx` (row-major placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` lies outside the mesh.
+    pub fn position(&self, idx: usize) -> (usize, usize) {
+        assert!(idx < self.width * self.height, "PE {idx} outside the mesh");
+        (idx % self.width, idx / self.width)
+    }
+
+    /// XY-routing hop count between two grid points.
+    pub fn hops(&self, a: (usize, usize), b: (usize, usize)) -> usize {
+        a.0.abs_diff(b.0) + a.1.abs_diff(b.1)
+    }
+
+    /// One-way latency from PE `idx` to the shared-cache port at the mesh
+    /// center.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` lies outside the mesh.
+    pub fn pe_latency(&self, idx: usize) -> Cycle {
+        let center = (self.width / 2, self.height / 2);
+        let hops = self.hops(self.position(idx), center) as Cycle;
+        self.base_latency + hops * self.per_hop_latency
+    }
+
+    /// Mean one-way PE→cache latency over the first `pes` endpoints.
+    pub fn average_latency(&self, pes: usize) -> f64 {
+        assert!(pes > 0 && pes <= self.width * self.height);
+        (0..pes).map(|i| self.pe_latency(i) as f64).sum::<f64>() / pes as f64
+    }
+}
+
+impl Default for MeshNoc {
+    /// The 20-PE chip's mesh with 1-cycle hops and 2-cycle injection.
+    fn default() -> Self {
+        Self::for_pes(20, 1, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_fits_all_pes() {
+        for pes in [1usize, 2, 5, 16, 20, 40] {
+            let noc = MeshNoc::for_pes(pes, 1, 2);
+            let (w, h) = noc.dims();
+            assert!(w * h >= pes, "{pes} PEs in {w}x{h}");
+            // Every PE has a defined position and latency.
+            for i in 0..pes {
+                let _ = noc.position(i);
+                assert!(noc.pe_latency(i) >= noc.base_latency);
+            }
+        }
+    }
+
+    #[test]
+    fn hop_count_is_manhattan() {
+        let noc = MeshNoc::for_pes(16, 1, 0);
+        assert_eq!(noc.hops((0, 0), (3, 3)), 6);
+        assert_eq!(noc.hops((2, 1), (2, 1)), 0);
+        assert_eq!(noc.hops((3, 0), (0, 2)), 5);
+    }
+
+    #[test]
+    fn center_pe_is_fastest() {
+        let noc = MeshNoc::for_pes(25, 2, 1);
+        let center_idx = 2 * 5 + 2; // (2,2) in a 5x5 mesh
+        let corner_idx = 0;
+        assert!(noc.pe_latency(center_idx) < noc.pe_latency(corner_idx));
+        assert_eq!(noc.pe_latency(center_idx), 1);
+    }
+
+    #[test]
+    fn average_latency_between_min_and_max() {
+        let noc = MeshNoc::for_pes(20, 1, 2);
+        let avg = noc.average_latency(20);
+        let lats: Vec<Cycle> = (0..20).map(|i| noc.pe_latency(i)).collect();
+        let min = *lats.iter().min().unwrap() as f64;
+        let max = *lats.iter().max().unwrap() as f64;
+        assert!(avg >= min && avg <= max);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the mesh")]
+    fn out_of_mesh_rejected() {
+        MeshNoc::for_pes(4, 1, 1).position(4);
+    }
+}

@@ -1,0 +1,76 @@
+//! Accelerator design-space snapshot: sweeps PE counts and IU counts for
+//! one workload, printing a small scaling study like the paper's
+//! Sections 6.3–6.4.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_comparison
+//! ```
+
+use fingers_repro::core::area::{pe_area, pe_area_mm2_15nm};
+use fingers_repro::core::chip::simulate_fingers;
+use fingers_repro::core::config::{ChipConfig, PeConfig};
+use fingers_repro::flexminer::{simulate_flexminer, FlexMinerChipConfig};
+use fingers_repro::graph::gen::{chung_lu_power_law, ChungLuConfig};
+use fingers_repro::pattern::benchmarks::Benchmark;
+
+fn main() {
+    let graph = chung_lu_power_law(&ChungLuConfig::new(3_000, 30_000, 3));
+    let bench = Benchmark::Cyc;
+    let multi = bench.plan();
+    println!(
+        "workload: {} on a {}-vertex power-law graph (avg degree {:.1})\n",
+        bench.abbrev(),
+        graph.vertex_count(),
+        graph.avg_degree()
+    );
+
+    // --- chip-level scaling: FINGERS vs FlexMiner at equal PE counts and
+    // at the paper's iso-area 20-vs-40 point ---
+    println!("PEs | FINGERS cycles | FlexMiner cycles | speedup");
+    for pes in [1usize, 4, 8, 20] {
+        let fi = simulate_fingers(
+            &graph,
+            &multi,
+            &ChipConfig {
+                num_pes: pes,
+                ..ChipConfig::default()
+            },
+        );
+        let fm = simulate_flexminer(
+            &graph,
+            &multi,
+            &FlexMinerChipConfig {
+                num_pes: pes,
+                ..FlexMinerChipConfig::default()
+            },
+        );
+        println!(
+            "{pes:>3} | {:>14} | {:>16} | {:.2}×",
+            fi.cycles,
+            fm.cycles,
+            fm.cycles as f64 / fi.cycles as f64
+        );
+    }
+    let fi20 = simulate_fingers(&graph, &multi, &ChipConfig::default());
+    let fm40 = simulate_flexminer(&graph, &multi, &FlexMinerChipConfig::default());
+    println!(
+        "iso-area (20 vs 40): {:.2}×\n",
+        fm40.cycles as f64 / fi20.cycles as f64
+    );
+
+    // --- PE-level scaling: IU count under the iso-area rule ---
+    println!("IUs | s_l | PE area (mm², 28 nm) | cycles (1 PE)");
+    for ius in [4usize, 8, 16, 24, 48] {
+        let pe = PeConfig::iso_area_ius(ius);
+        let area = pe_area(&pe).total_mm2();
+        let mut cfg = ChipConfig::single_pe();
+        let sl = pe.long_segment_len;
+        cfg.pe = pe;
+        let r = simulate_fingers(&graph, &multi, &cfg);
+        println!("{ius:>3} | {sl:>3} | {area:>6.3} | {}", r.cycles);
+    }
+    println!(
+        "\ndefault PE in 15 nm: {:.3} mm² (FlexMiner PE: 0.18 mm²)",
+        pe_area_mm2_15nm(&PeConfig::default())
+    );
+}

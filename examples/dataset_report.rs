@@ -1,0 +1,60 @@
+//! Dataset report: statistics and degree profiles of the six Table 1
+//! stand-ins, plus an R-MAT comparison graph — the calibration view behind
+//! DESIGN.md §6.
+//!
+//! ```sh
+//! cargo run --release --example dataset_report
+//! ```
+
+use fingers_repro::graph::datasets::Dataset;
+use fingers_repro::graph::gen::{rmat, RmatConfig};
+use fingers_repro::graph::stats::degree_histogram;
+use fingers_repro::graph::GraphStats;
+
+fn print_graph(name: &str, stats: &GraphStats, histogram: &[(usize, usize)]) {
+    println!("=== {name} ===");
+    println!("{stats}");
+    // A compact log-bucketed degree profile.
+    let mut buckets: Vec<(usize, usize)> = Vec::new();
+    for &(deg, count) in histogram {
+        let bucket = if deg == 0 { 0 } else { deg.next_power_of_two() };
+        match buckets.last_mut() {
+            Some((b, c)) if *b == bucket => *c += count,
+            _ => buckets.push((bucket, count)),
+        }
+    }
+    print!("degree profile (≤bucket: count): ");
+    for (b, c) in buckets {
+        print!("≤{b}: {c}  ");
+    }
+    println!("\n");
+}
+
+fn main() {
+    println!("Table 1 stand-ins (scaled surrogates for the SNAP datasets):\n");
+    for d in Dataset::ALL {
+        let g = d.load();
+        let stats = GraphStats::compute(&g);
+        let hist = degree_histogram(&g);
+        let paper = d.paper_row();
+        print_graph(
+            &format!(
+                "{} ({}) — paper: |V|={:.1}K avg={:.1} max={}",
+                d.name(),
+                d.abbrev(),
+                paper.vertices / 1e3,
+                paper.avg_degree,
+                paper.max_degree
+            ),
+            &stats,
+            &hist,
+        );
+    }
+
+    // An R-MAT graph for comparison: similar scale to the LiveJournal
+    // stand-in, Graph500 skew.
+    let g = rmat(&RmatConfig::graph500(13, 80_000, 1));
+    let stats = GraphStats::compute(&g);
+    let hist = degree_histogram(&g);
+    print_graph("R-MAT scale 13 (Graph500 skew)", &stats, &hist);
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Assembles EXPERIMENTS.md from the run_all transcript.
+
+Usage: python3 scripts/assemble_experiments.py
+Reads:  experiments_preamble.md.tmpl, run_all_output.md
+Writes: EXPERIMENTS.md
+"""
+import re
+import sys
+
+def main() -> int:
+    tmpl = open("scripts/experiments_preamble.md.tmpl").read()
+    transcript = open("run_all_output.md").read()
+
+    def grab(section: str):
+        # geometric mean / maximum lines of a figure section
+        m = re.search(
+            rf"## Figure {section}.*?geometric mean: ([0-9.]+)×.*?maximum: ([0-9.]+)×",
+            transcript,
+            re.S,
+        )
+        if not m:
+            print(f"warning: could not find Figure {section} aggregates", file=sys.stderr)
+            return ("?", "?")
+        return (m.group(1) + "×", m.group(2) + "×")
+
+    geo9, max9 = grab("9")
+    geo10, max10 = grab("10")
+    out = (
+        tmpl.replace("{GEO9}", geo9)
+        .replace("{MAX9}", max9)
+        .replace("{GEO10}", geo10)
+        .replace("{MAX10}", max10)
+    )
+    out += transcript
+    open("EXPERIMENTS.md", "w").write(out)
+    print(f"EXPERIMENTS.md written ({len(out)} bytes)")
+    return 0
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+//! # FINGERS reproduction — umbrella crate
+//!
+//! A from-scratch Rust reproduction of *FINGERS: Exploiting Fine-Grained
+//! Parallelism in Graph Mining Accelerators* (Chen, Tian, Gao — ASPLOS
+//! 2022), including every substrate the paper depends on:
+//!
+//! | Crate | What it provides |
+//! |-------|------------------|
+//! | [`graph`] | CSR graphs, generators, Table 1 dataset stand-ins |
+//! | [`pattern`] | Pattern-aware execution-plan compiler (orders, Eq. 1 schedules, symmetry breaking) |
+//! | [`setops`] | Merge kernels + the segmented pipeline (head lists, task dividers, IU bitvectors, result collection) |
+//! | [`mining`] | Software reference miner + brute-force oracle |
+//! | [`sim`] | Shared-cache / DRAM / memory-system timing models |
+//! | [`core`] | The FINGERS accelerator model (PE + chip + area/power) |
+//! | [`flexminer`] | The FlexMiner baseline accelerator model |
+//!
+//! This umbrella crate re-exports everything under one namespace for the
+//! examples and integration tests; applications can equally depend on the
+//! individual crates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fingers_repro::core::chip::simulate_fingers;
+//! use fingers_repro::core::config::ChipConfig;
+//! use fingers_repro::graph::GraphBuilder;
+//! use fingers_repro::pattern::benchmarks::Benchmark;
+//!
+//! let g = GraphBuilder::new()
+//!     .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+//!     .build();
+//! let report = simulate_fingers(&g, &Benchmark::Tc.plan(), &ChipConfig::single_pe());
+//! assert_eq!(report.total_embeddings(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fingers_core as core;
+pub use fingers_flexminer as flexminer;
+pub use fingers_graph as graph;
+pub use fingers_mining as mining;
+pub use fingers_pattern as pattern;
+pub use fingers_setops as setops;
+pub use fingers_sim as sim;

@@ -1,0 +1,60 @@
+//! Determinism: every layer of the reproduction is bit-for-bit repeatable,
+//! which is what makes the evaluation harness's numbers citable.
+
+use fingers_repro::core::chip::simulate_fingers;
+use fingers_repro::core::config::ChipConfig;
+use fingers_repro::flexminer::{simulate_flexminer, FlexMinerChipConfig};
+use fingers_repro::graph::datasets::Dataset;
+use fingers_repro::graph::gen::{chung_lu_power_law, ChungLuConfig};
+use fingers_repro::pattern::benchmarks::Benchmark;
+
+#[test]
+fn dataset_stand_ins_are_reproducible() {
+    // (The per-dataset unit tests check determinism of each generator; this
+    // covers the end-to-end dataset definitions.)
+    let a = Dataset::Mico.load();
+    let b = Dataset::Mico.load();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fingers_simulation_is_deterministic() {
+    let g = chung_lu_power_law(&ChungLuConfig::new(150, 900, 17));
+    let multi = Benchmark::Cyc.plan();
+    let cfg = ChipConfig {
+        num_pes: 3,
+        ..ChipConfig::default()
+    };
+    let a = simulate_fingers(&g, &multi, &cfg);
+    let b = simulate_fingers(&g, &multi, &cfg);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.embeddings, b.embeddings);
+    assert_eq!(a.shared_cache, b.shared_cache);
+    assert_eq!(a.dram_bytes, b.dram_bytes);
+    for (x, y) in a.pes.iter().zip(&b.pes) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn flexminer_simulation_is_deterministic() {
+    let g = chung_lu_power_law(&ChungLuConfig::new(150, 900, 17));
+    let multi = Benchmark::Tt.plan();
+    let cfg = FlexMinerChipConfig {
+        num_pes: 5,
+        ..FlexMinerChipConfig::default()
+    };
+    let a = simulate_flexminer(&g, &multi, &cfg);
+    let b = simulate_flexminer(&g, &multi, &cfg);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.embeddings, b.embeddings);
+}
+
+#[test]
+fn plan_compilation_is_deterministic() {
+    for bench in Benchmark::ALL {
+        let a = bench.plan();
+        let b = bench.plan();
+        assert_eq!(a.plans(), b.plans(), "{bench}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Compiler-oracle validation: the plan pipeline (vertex order, Eq. (1)
+//! schedules, postponed anti-subtraction, symmetry breaking) against
+//! brute-force enumeration and closed-form counts.
+
+use fingers_repro::graph::gen::{chung_lu_power_law, erdos_renyi, ChungLuConfig};
+use fingers_repro::graph::{CsrGraph, GraphBuilder, VertexId};
+use fingers_repro::mining::{brute, count_benchmark, count_plan};
+use fingers_repro::pattern::benchmarks::Benchmark;
+use fingers_repro::pattern::{ExecutionPlan, Induced, Pattern};
+
+fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::new();
+    for a in 0..n as VertexId {
+        for b in (a + 1)..n as VertexId {
+            edges.push((a, b));
+        }
+    }
+    GraphBuilder::new().edges(edges).build()
+}
+
+fn choose(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    (0..k).fold(1u64, |acc, i| acc * (n - i) / (i + 1))
+}
+
+#[test]
+fn closed_forms_on_complete_graphs() {
+    for n in [5usize, 7, 9] {
+        let g = complete(n);
+        let n64 = n as u64;
+        assert_eq!(count_benchmark(&g, Benchmark::Tc).total(), choose(n64, 3));
+        assert_eq!(count_benchmark(&g, Benchmark::Cl4).total(), choose(n64, 4));
+        assert_eq!(count_benchmark(&g, Benchmark::Cl5).total(), choose(n64, 5));
+        // Vertex-induced non-clique 4-vertex patterns cannot occur in K_n.
+        assert_eq!(count_benchmark(&g, Benchmark::Tt).total(), 0);
+        assert_eq!(count_benchmark(&g, Benchmark::Cyc).total(), 0);
+        assert_eq!(count_benchmark(&g, Benchmark::Dia).total(), 0);
+    }
+}
+
+#[test]
+fn closed_forms_on_cycles_and_stars() {
+    // C_n: n wedges, no triangles; exactly one 4-cycle when n = 4.
+    let c6 = GraphBuilder::new()
+        .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+        .build();
+    let mc = count_benchmark(&c6, Benchmark::Mc3);
+    assert_eq!(mc.per_pattern, vec![0, 6]);
+    let c4 = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+    assert_eq!(count_benchmark(&c4, Benchmark::Cyc).total(), 1);
+
+    // Star S_k: C(k, 2) wedges; no 4-vertex benchmark pattern occurs.
+    let star = GraphBuilder::new()
+        .edges((1..=7).map(|l| (0, l)))
+        .build();
+    assert_eq!(
+        count_benchmark(&star, Benchmark::Mc3).per_pattern,
+        vec![0, choose(7, 2)]
+    );
+    assert_eq!(count_benchmark(&star, Benchmark::Tt).total(), 0);
+}
+
+#[test]
+fn diamond_and_tailed_triangle_minimal_instances() {
+    // The diamond itself contains exactly one diamond and no 4-cycle
+    // (vertex-induced: the chord excludes it).
+    let dia = GraphBuilder::new()
+        .edges([(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)])
+        .build();
+    assert_eq!(count_benchmark(&dia, Benchmark::Dia).total(), 1);
+    assert_eq!(count_benchmark(&dia, Benchmark::Cyc).total(), 0);
+    // It contains 2 triangles and 2 tailed triangles (each triangle with
+    // the opposite degree-2 vertex as tail... via the degree-3 vertices).
+    assert_eq!(count_benchmark(&dia, Benchmark::Tc).total(), 2);
+    let brute_tt =
+        brute::count_embeddings(&dia, &Pattern::tailed_triangle(), Induced::Vertex);
+    assert_eq!(count_benchmark(&dia, Benchmark::Tt).total(), brute_tt);
+}
+
+#[test]
+fn plans_match_brute_force_on_many_random_graphs() {
+    let patterns = [
+        Pattern::triangle(),
+        Pattern::clique(4),
+        Pattern::tailed_triangle(),
+        Pattern::four_cycle(),
+        Pattern::diamond(),
+        Pattern::wedge(),
+        Pattern::path(5),
+        Pattern::star(4),
+        // The "paw + antenna" shape exercises deep anti-subtraction.
+        Pattern::from_edges_named(5, &[(0, 1), (1, 2), (0, 2), (0, 3), (3, 4)], "antenna"),
+        // The bull: triangle with two horns.
+        Pattern::from_edges_named(5, &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4)], "bull"),
+    ];
+    for seed in 0..3 {
+        let graphs = [
+            erdos_renyi(13, 30, seed),
+            chung_lu_power_law(&ChungLuConfig::new(16, 30, seed + 100)),
+        ];
+        for g in &graphs {
+            for p in &patterns {
+                for induced in [Induced::Vertex, Induced::Edge] {
+                    let expected = brute::count_embeddings(g, p, induced);
+                    let plan = ExecutionPlan::compile(p, induced);
+                    let got = count_plan(g, &plan);
+                    assert_eq!(got, expected, "{p} ({induced:?}) seed {seed}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn symmetry_breaking_partitions_ordered_maps_exactly() {
+    // restricted × |Aut| = ordered maps, across patterns and graphs.
+    for seed in [2u64, 8] {
+        let g = erdos_renyi(12, 28, seed);
+        for p in [
+            Pattern::triangle(),
+            Pattern::clique(4),
+            Pattern::four_cycle(),
+            Pattern::diamond(),
+            Pattern::star(3),
+        ] {
+            let ordered = brute::count_ordered_maps(&g, &p, Induced::Vertex);
+            let plan = ExecutionPlan::compile(&p, Induced::Vertex);
+            let restricted = count_plan(&g, &plan);
+            assert_eq!(
+                restricted * plan.automorphism_count() as u64,
+                ordered,
+                "{p} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_connected_order_yields_the_same_count() {
+    // The strongest compiler-invariance check: schedules, postponed
+    // anti-subtractions, and symmetry breaking must be correct for *every*
+    // legal matching order, not just the heuristic one.
+    use fingers_repro::pattern::all_connected_orders;
+    let g = erdos_renyi(14, 36, 6);
+    for p in [
+        Pattern::tailed_triangle(),
+        Pattern::four_cycle(),
+        Pattern::diamond(),
+        Pattern::wedge(),
+        Pattern::bull(),
+    ] {
+        let reference = brute::count_embeddings(&g, &p, Induced::Vertex);
+        for order in all_connected_orders(&p) {
+            let plan = ExecutionPlan::compile_with_order(&p, Induced::Vertex, &order);
+            assert_eq!(
+                count_plan(&g, &plan),
+                reference,
+                "{p} with order {order:?}\n{plan}"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_plans_count_identically() {
+    let g = chung_lu_power_law(&ChungLuConfig::new(40, 150, 5));
+    let n = g.vertex_count() as f64;
+    let density = g.avg_degree() / (n - 1.0);
+    for p in [
+        Pattern::tailed_triangle(),
+        Pattern::four_cycle(),
+        Pattern::house(),
+        Pattern::gem(),
+    ] {
+        let greedy = count_plan(&g, &ExecutionPlan::compile(&p, Induced::Vertex));
+        let optimized = count_plan(
+            &g,
+            &ExecutionPlan::compile_optimized(&p, Induced::Vertex, n, density),
+        );
+        assert_eq!(greedy, optimized, "{p}");
+    }
+}
+
+#[test]
+fn oblivious_engine_agrees_with_pattern_aware() {
+    use fingers_repro::mining::oblivious::count_embeddings_oblivious;
+    let g = erdos_renyi(25, 80, 12);
+    for p in [
+        Pattern::triangle(),
+        Pattern::tailed_triangle(),
+        Pattern::diamond(),
+        Pattern::butterfly(),
+    ] {
+        let aware = count_plan(&g, &ExecutionPlan::compile(&p, Induced::Vertex));
+        let oblivious = count_embeddings_oblivious(&g, &p);
+        assert_eq!(aware, oblivious, "{p}");
+    }
+}
+
+#[test]
+fn edge_induced_counts_dominate_vertex_induced() {
+    // Every vertex-induced embedding is also edge-induced.
+    let g = erdos_renyi(20, 60, 3);
+    for p in [
+        Pattern::wedge(),
+        Pattern::tailed_triangle(),
+        Pattern::four_cycle(),
+        Pattern::diamond(),
+    ] {
+        let v = count_plan(&g, &ExecutionPlan::compile(&p, Induced::Vertex));
+        let e = count_plan(&g, &ExecutionPlan::compile(&p, Induced::Edge));
+        assert!(e >= v, "{p}: edge {e} < vertex {v}");
+    }
+    // For cliques the two semantics coincide.
+    let v = count_plan(&g, &ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex));
+    let e = count_plan(&g, &ExecutionPlan::compile(&Pattern::triangle(), Induced::Edge));
+    assert_eq!(v, e);
+}

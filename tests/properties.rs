@@ -1,0 +1,126 @@
+//! Cross-crate property-based tests: invariants that must hold for every
+//! random graph, pattern, and configuration.
+
+use proptest::prelude::*;
+
+use fingers_repro::core::chip::simulate_fingers;
+use fingers_repro::core::config::{ChipConfig, PeConfig};
+use fingers_repro::graph::{CsrGraph, GraphBuilder, VertexId};
+use fingers_repro::mining::count_benchmark;
+use fingers_repro::pattern::benchmarks::Benchmark;
+use fingers_repro::setops::{merge, segmented, SegmentedConfig, SetOpKind};
+
+/// Strategy: a random small graph as an edge set over `n` vertices.
+fn graph_strategy(max_n: VertexId, max_edges: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::btree_set((0..n, 0..n), 0..max_edges)
+            .prop_map(move |edges| GraphBuilder::new().edges(edges).vertex_count(n as usize).build())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Permuting vertex IDs never changes embedding counts (isomorphism
+    /// invariance of the whole stack, including symmetry breaking).
+    #[test]
+    fn counts_are_isomorphism_invariant(g in graph_strategy(24, 80), seed in 0u64..1000) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let n = g.vertex_count();
+        let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+        perm.shuffle(&mut rng);
+        let permuted = GraphBuilder::new()
+            .edges(g.edges().map(|(u, v)| (perm[u as usize], perm[v as usize])))
+            .vertex_count(n)
+            .build();
+        for bench in [Benchmark::Tc, Benchmark::Tt, Benchmark::Cyc, Benchmark::Dia] {
+            let a = count_benchmark(&g, bench).per_pattern;
+            let b = count_benchmark(&permuted, bench).per_pattern;
+            prop_assert_eq!(a, b, "{}", bench);
+        }
+    }
+
+    /// Isolated vertices never change counts.
+    #[test]
+    fn isolated_vertices_are_inert(g in graph_strategy(20, 60), extra in 1usize..10) {
+        let padded = GraphBuilder::new()
+            .edges(g.edges())
+            .vertex_count(g.vertex_count() + extra)
+            .build();
+        for bench in [Benchmark::Tc, Benchmark::Mc3] {
+            prop_assert_eq!(
+                count_benchmark(&g, bench).per_pattern,
+                count_benchmark(&padded, bench).per_pattern
+            );
+        }
+    }
+
+    /// Adding an edge never decreases clique counts (monotonicity).
+    #[test]
+    fn clique_counts_are_edge_monotone(g in graph_strategy(16, 50), a in 0u32..16, b in 0u32..16) {
+        prop_assume!(a != b);
+        prop_assume!((a as usize) < g.vertex_count() && (b as usize) < g.vertex_count());
+        let before = count_benchmark(&g, Benchmark::Cl4).total();
+        let bigger = GraphBuilder::new()
+            .edges(g.edges())
+            .edge(a, b)
+            .vertex_count(g.vertex_count())
+            .build();
+        let after = count_benchmark(&bigger, Benchmark::Cl4).total();
+        prop_assert!(after >= before);
+    }
+
+    /// The accelerator agrees with the software miner on arbitrary graphs
+    /// and odd PE configurations (the fuzzing version of the end-to-end
+    /// agreement test).
+    #[test]
+    fn accelerator_matches_miner_on_random_graphs(
+        g in graph_strategy(20, 70),
+        ius in 1usize..30,
+        group in 1usize..20,
+    ) {
+        let bench = Benchmark::Tt;
+        let expected = count_benchmark(&g, bench).per_pattern;
+        let mut cfg = ChipConfig::single_pe();
+        cfg.pe = PeConfig {
+            num_ius: ius,
+            max_group_size: group,
+            ..PeConfig::default()
+        };
+        let r = simulate_fingers(&g, &bench.plan(), &cfg);
+        prop_assert_eq!(r.embeddings, expected);
+    }
+
+    /// Segmented pipeline == whole-list merge on neighbor lists taken from
+    /// real graphs (complements the uniform-random unit property test).
+    #[test]
+    fn segmented_matches_merge_on_graph_lists(
+        g in graph_strategy(30, 200),
+        a in 0u32..30,
+        b in 0u32..30,
+    ) {
+        prop_assume!((a as usize) < g.vertex_count() && (b as usize) < g.vertex_count());
+        let la = g.neighbors(a);
+        let lb = g.neighbors(b);
+        let cfg = SegmentedConfig::default();
+        for kind in SetOpKind::ALL {
+            let expected = merge::apply(kind, la, lb);
+            let got = segmented::execute(kind, la, lb, &cfg);
+            prop_assert_eq!(&got.result, &expected, "{}", kind);
+        }
+    }
+
+    /// Simulated time is positive and at least the pure compute time lower
+    /// bound whenever any work exists.
+    #[test]
+    fn cycles_exceed_busy_per_iu(g in graph_strategy(20, 60)) {
+        let r = simulate_fingers(&g, &Benchmark::Tc.plan(), &ChipConfig::single_pe());
+        let pe = &r.pes[0];
+        if pe.tasks > 0 {
+            prop_assert!(r.cycles > 0);
+            prop_assert!(pe.iu_busy_cycles <= r.cycles * pe.num_ius as u64);
+        }
+    }
+}

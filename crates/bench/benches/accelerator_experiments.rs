@@ -33,9 +33,7 @@ fn bench_fig9(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("flexminer", bench.abbrev()),
             &multi,
-            |b, multi| {
-                b.iter(|| simulate_flexminer(&g, multi, &FlexMinerChipConfig::single_pe()))
-            },
+            |b, multi| b.iter(|| simulate_flexminer(&g, multi, &FlexMinerChipConfig::single_pe())),
         );
     }
     group.finish();

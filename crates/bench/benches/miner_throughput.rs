@@ -32,8 +32,8 @@ fn bench_miner(c: &mut Criterion) {
 /// The pattern-aware vs pattern-oblivious paradigm gap (Section 2.2):
 /// same counts, very different work.
 fn bench_paradigms(c: &mut Criterion) {
-    use fingers_mining::oblivious::count_embeddings_oblivious;
     use fingers_mining::count_plan;
+    use fingers_mining::oblivious::count_embeddings_oblivious;
     use fingers_pattern::{ExecutionPlan, Induced, Pattern};
 
     let g = erdos_renyi(400, 1600, 4);

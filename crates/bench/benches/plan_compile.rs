@@ -4,16 +4,20 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use fingers_pattern::benchmarks::Benchmark;
-use fingers_pattern::{automorphisms, symmetry_breaking_restrictions, ExecutionPlan, Induced, Pattern};
+use fingers_pattern::{
+    automorphisms, symmetry_breaking_restrictions, ExecutionPlan, Induced, Pattern,
+};
 
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan-compile");
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for bench in Benchmark::ALL {
-        group.bench_with_input(BenchmarkId::new("full", bench.abbrev()), &bench, |b, &bench| {
-            b.iter(|| bench.plan())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("full", bench.abbrev()),
+            &bench,
+            |b, &bench| b.iter(|| bench.plan()),
+        );
     }
     for k in [5usize, 7, 8] {
         let p = Pattern::clique(k);

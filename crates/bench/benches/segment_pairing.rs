@@ -42,7 +42,9 @@ fn bench_pairing(c: &mut Criterion) {
         let short_segs = Segments::new(&short, SHORT_SEGMENT_LEN);
         let long_heads = long_segs.head_list();
         let short_heads = short_segs.head_list();
-        let short_lasts: Vec<Elem> = (0..short_segs.count()).map(|i| short_segs.last_of(i)).collect();
+        let short_lasts: Vec<Elem> = (0..short_segs.count())
+            .map(|i| short_segs.last_of(i))
+            .collect();
         group.bench_with_input(
             BenchmarkId::new("pair+balance", long_len),
             &(&long_heads, &short_heads, &short_lasts),

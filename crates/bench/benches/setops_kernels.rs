@@ -33,7 +33,10 @@ fn bench_kernels(c: &mut Criterion) {
                 |b, (s, l)| b.iter(|| merge::apply(kind, s, l)),
             );
             group.bench_with_input(
-                BenchmarkId::new(format!("segmented-{kind}"), format!("{short_len}x{long_len}")),
+                BenchmarkId::new(
+                    format!("segmented-{kind}"),
+                    format!("{short_len}x{long_len}"),
+                ),
                 &(&short, &long),
                 |b, (s, l)| b.iter(|| segmented::execute(kind, s, l, &cfg)),
             );

@@ -7,8 +7,7 @@ type Section = (&'static str, fn(bool) -> String);
 fn main() {
     let quick = fingers_bench::quick_mode();
     // Persist plot-ready CSV series alongside the markdown report.
-    let results_dir =
-        std::env::var("FINGERS_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+    let results_dir = std::env::var("FINGERS_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
     if let Err(e) = std::fs::create_dir_all(&results_dir) {
         eprintln!("warning: cannot create {results_dir}: {e}");
     }

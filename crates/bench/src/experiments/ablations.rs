@@ -12,7 +12,11 @@ use crate::runner::run_fingers_single;
 /// Sweeps the pseudo-DFS maximum group size (the paper claims performance
 /// is insensitive to this parameter — we test it).
 pub fn group_size_sweep(quick: bool) -> String {
-    let d = if quick { Dataset::AstroPh } else { Dataset::Youtube };
+    let d = if quick {
+        Dataset::AstroPh
+    } else {
+        Dataset::Youtube
+    };
     let g = load(d);
     let b = Benchmark::Tt;
     let mut out = format!(
@@ -41,7 +45,11 @@ pub fn group_size_sweep(quick: bool) -> String {
 
 /// Sweeps the task-divider max-load threshold.
 pub fn max_load_sweep(quick: bool) -> String {
-    let d = if quick { Dataset::AstroPh } else { Dataset::Youtube };
+    let d = if quick {
+        Dataset::AstroPh
+    } else {
+        Dataset::Youtube
+    };
     let g = load(d);
     let b = Benchmark::Cyc;
     let mut out = format!(
@@ -69,7 +77,11 @@ pub fn max_load_sweep(quick: bool) -> String {
 
 /// Sweeps the segment geometry `(s_l, s_s)` at fixed IU count.
 pub fn segment_geometry_sweep(quick: bool) -> String {
-    let d = if quick { Dataset::AstroPh } else { Dataset::Youtube };
+    let d = if quick {
+        Dataset::AstroPh
+    } else {
+        Dataset::Youtube
+    };
     let g = load(d);
     let b = Benchmark::Tt;
     let mut out = format!(
@@ -96,7 +108,11 @@ pub fn segment_geometry_sweep(quick: bool) -> String {
 /// edge-induced plan drops its subtractions (Section 2.1), changing both
 /// counts and the available parallelism.
 pub fn induced_semantics_comparison(quick: bool) -> String {
-    let d = if quick { Dataset::AstroPh } else { Dataset::Mico };
+    let d = if quick {
+        Dataset::AstroPh
+    } else {
+        Dataset::Mico
+    };
     let g = load(d);
     let mut out = format!(
         "### Ablation — vertex- vs edge-induced (tailed triangle, {})\n\n| semantics | embeddings | FINGERS cycles |\n|---|---|---|\n",
@@ -120,7 +136,11 @@ pub fn induced_semantics_comparison(quick: bool) -> String {
 /// future-work locality knob.
 pub fn root_schedule_sweep(quick: bool) -> String {
     use fingers_core::chip::{simulate_fingers_scheduled, RootSchedule};
-    let d = if quick { Dataset::AstroPh } else { Dataset::LiveJournal };
+    let d = if quick {
+        Dataset::AstroPh
+    } else {
+        Dataset::LiveJournal
+    };
     let g = load(d);
     let multi = Benchmark::Cyc.plan();
     let cfg = fingers_core::config::ChipConfig::default();
@@ -165,7 +185,11 @@ pub fn paradigm_gap(quick: bool) -> String {
          | pattern | aware (ms) | oblivious (ms) | slowdown | checks per match |\n\
          |---|---|---|---|---|\n",
     );
-    for p in [Pattern::triangle(), Pattern::tailed_triangle(), Pattern::four_cycle()] {
+    for p in [
+        Pattern::triangle(),
+        Pattern::tailed_triangle(),
+        Pattern::four_cycle(),
+    ] {
         let plan = fingers_pattern::ExecutionPlan::compile(&p, fingers_pattern::Induced::Vertex);
         let t0 = Instant::now();
         let aware = fingers_mining::count_plan(&g, &plan);

@@ -34,7 +34,13 @@ pub fn run(quick: bool) -> String {
     }
     write_csv(
         "fig10_overall",
-        &["pattern", "graph", "speedup", "fingers20_cycles", "flexminer40_cycles"],
+        &[
+            "pattern",
+            "graph",
+            "speedup",
+            "fingers20_cycles",
+            "flexminer40_cycles",
+        ],
         &csv_rows,
     );
 
@@ -43,7 +49,12 @@ pub fn run(quick: bool) -> String {
     let mut out = String::from(
         "## Figure 10 — Overall speedups: 20-PE FINGERS vs 40-PE FlexMiner (iso-area)\n\n",
     );
-    out.push_str(&markdown_matrix("pattern \\ graph", &col_labels, &row_labels, &values));
+    out.push_str(&markdown_matrix(
+        "pattern \\ graph",
+        &col_labels,
+        &row_labels,
+        &values,
+    ));
     out.push_str(&format!(
         "\n- geometric mean: {:.2}× — paper reports 2.8× average\n\
          - maximum: {:.2}× — paper reports up to 8.9×\n\

@@ -44,7 +44,12 @@ pub fn run(quick: bool) -> String {
          FINGERS single-PE cycles with pseudo-DFS disabled divided by cycles \
          with it enabled (Mi, Pa, Or behave like As, Yo, Lj respectively).\n\n",
     );
-    out.push_str(&markdown_matrix("pattern \\ graph", &col_labels, &row_labels, &values));
+    out.push_str(&markdown_matrix(
+        "pattern \\ graph",
+        &col_labels,
+        &row_labels,
+        &values,
+    ));
     out.push_str(
         "\n- paper reports gains up to 5×, largest for tc/4cl/5cl (cliques \
          have little set-level parallelism, so branch-level is their main \

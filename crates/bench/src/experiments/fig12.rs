@@ -14,7 +14,11 @@ pub const IU_SWEEP: [usize; 7] = [1, 2, 4, 8, 16, 24, 48];
 /// Runs the iso-area IU sweep (`#IUs × s_l = 384`) for 4cl, cyc, tt, plus
 /// the unlimited-area tt series, on the Youtube stand-in.
 pub fn run(quick: bool) -> String {
-    let dataset = if quick { Dataset::AstroPh } else { Dataset::Youtube };
+    let dataset = if quick {
+        Dataset::AstroPh
+    } else {
+        Dataset::Youtube
+    };
     let g = load(dataset);
     let ius: Vec<usize> = if quick {
         vec![1, 8, 24]
@@ -67,7 +71,11 @@ pub fn run(quick: bool) -> String {
         row_labels.push("tt-unlimited".to_string());
         rows.push(row);
     }
-    write_csv("fig12_iu_scaling", &["series", "ius", "cycles", "speedup"], &csv_rows);
+    write_csv(
+        "fig12_iu_scaling",
+        &["series", "ius", "cycles", "speedup"],
+        &csv_rows,
+    );
 
     let col_labels: Vec<String> = ius.iter().map(|n| format!("{n} IUs")).collect();
     let col_refs: Vec<&str> = col_labels.iter().map(String::as_str).collect();
@@ -79,7 +87,12 @@ pub fn run(quick: bool) -> String {
          segments); speedups are relative to the 1-IU configuration.\n\n",
         dataset.abbrev()
     );
-    out.push_str(&markdown_matrix("series \\ #IUs", &col_refs, &row_refs, &rows));
+    out.push_str(&markdown_matrix(
+        "series \\ #IUs",
+        &col_refs,
+        &row_refs,
+        &rows,
+    ));
     out.push_str(
         "\n- paper shapes: tt and cyc scale well to 16–24 IUs then drop at 48 \
          (segments too short); 4cl scales poorly (needs branch-level \

@@ -68,8 +68,17 @@ pub fn run(quick: bool) -> String {
          DESIGN.md). FINGERS uses 20 PEs, FlexMiner 40 (the Section 6.3 \
          configurations).\n\n",
     );
-    write_csv("fig13_cache_miss", &["graph", "design", "capacity_mb", "miss_rate"], &csv_rows);
-    out.push_str(&markdown_matrix("graph-design \\ capacity", &col_refs, &row_refs, &rows));
+    write_csv(
+        "fig13_cache_miss",
+        &["graph", "design", "capacity_mb", "miss_rate"],
+        &csv_rows,
+    );
+    out.push_str(&markdown_matrix(
+        "graph-design \\ capacity",
+        &col_refs,
+        &row_refs,
+        &rows,
+    ));
     out.push_str(
         "\n- paper shapes: Mi is cache-resident (low, flat); Yo large but \
          reuse-friendly (insensitive to capacity); Lj pressures the cache, \

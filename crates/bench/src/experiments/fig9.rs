@@ -32,16 +32,25 @@ pub fn run(quick: bool) -> String {
     }
     write_csv(
         "fig9_single_pe",
-        &["pattern", "graph", "speedup", "fingers_cycles", "flexminer_cycles"],
+        &[
+            "pattern",
+            "graph",
+            "speedup",
+            "fingers_cycles",
+            "flexminer_cycles",
+        ],
         &csv_rows,
     );
 
     let col_labels: Vec<&str> = graphs.iter().map(|d| d.abbrev()).collect();
     let row_labels: Vec<&str> = benches.iter().map(|b| b.abbrev()).collect();
-    let mut out = String::from(
-        "## Figure 9 — Single-PE speedups of FINGERS over FlexMiner\n\n",
-    );
-    out.push_str(&markdown_matrix("pattern \\ graph", &col_labels, &row_labels, &values));
+    let mut out = String::from("## Figure 9 — Single-PE speedups of FINGERS over FlexMiner\n\n");
+    out.push_str(&markdown_matrix(
+        "pattern \\ graph",
+        &col_labels,
+        &row_labels,
+        &values,
+    ));
     out.push_str(&format!(
         "\n- geometric mean: {:.2}× — paper reports 6.2× average\n\
          - maximum: {:.2}× — paper reports up to 13.2×\n\

@@ -6,11 +6,11 @@
 //! the paper's reference numbers where the paper states them.
 
 pub mod ablations;
+pub mod energy;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
-pub mod energy;
 pub mod fig9;
 pub mod parallelism;
 pub mod table1;

@@ -3,11 +3,17 @@
 //! contribution claim that "different patterns and different graphs exhibit
 //! drastically different degrees of each fine-grained parallelism"
 //! (Sections 1 and 6.2).
+//!
+//! Also measures the *coarse-grained* software analogue: wall-clock speedup
+//! of the task-parallel reference miner as the worker-thread count grows
+//! (the software counterpart of the accelerator's PE scaling), dumping the
+//! raw series as JSON when `$FINGERS_RESULTS_DIR` exists.
 
 use fingers_core::config::PeConfig;
 
 use crate::datasets::load;
-use crate::runner::{benchmarks, datasets, run_fingers_single};
+use crate::report::{json_escape, write_json};
+use crate::runner::{benchmarks, datasets, run_fingers_single, run_software_grid, SoftwareCell};
 
 /// Runs every benchmark × dataset cell on one FINGERS PE and reports the
 /// realized branch- (tasks per pseudo-DFS group), set- (scheduled ops per
@@ -52,15 +58,114 @@ pub fn run(quick: bool) -> String {
          the most segment-level parallelism; branch-level degree rises \
          where candidate sets are small\n",
     );
+    out.push_str(&software_scaling_section(quick));
+    out
+}
+
+/// Thread counts swept by the software-scaling measurement.
+pub const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Measures the task-parallel software miner's wall-clock speedup over its
+/// own single-thread run for each (dataset, benchmark) cell, renders a
+/// markdown table, and writes the raw series to `parallelism_threads.json`
+/// (under the usual results-directory gating).
+fn software_scaling_section(quick: bool) -> String {
+    let cells = run_software_grid(quick, &THREAD_SWEEP);
+    write_json("parallelism_threads", &render_json(&cells));
+
+    let mut out = String::from(
+        "\n## Software miner thread scaling — root-partitioned tasks\n\n\
+         Wall-clock speedup of `count_plan_parallel` over its 1-thread run \
+         (identical counts at every thread count, by construction).\n\n\
+         | dataset / benchmark |",
+    );
+    for t in THREAD_SWEEP {
+        out.push_str(&format!(" {t} thread{} |", if t == 1 { "" } else { "s" }));
+    }
+    out.push_str("\n|---|");
+    for _ in THREAD_SWEEP {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    // Grid order is dataset-major then benchmark then threads, so each
+    // consecutive THREAD_SWEEP-sized chunk is one (dataset, benchmark) row.
+    for row in cells.chunks(THREAD_SWEEP.len()) {
+        let base_ms = row[0].wall_ms.max(1e-9);
+        out.push_str(&format!("| {} / {} |", row[0].dataset, row[0].benchmark));
+        for c in row {
+            out.push_str(&format!(
+                " {:.2}× ({:.1} ms) |",
+                base_ms / c.wall_ms.max(1e-9),
+                c.wall_ms
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "\n- speedups track the machine's core count: on a single-core host \
+         every column stays ≈ 1× (the engine adds no contention, so it \
+         does not *slow down* either); the per-thread counts are asserted \
+         identical by `tests/determinism.rs`\n",
+    );
+    out
+}
+
+/// Renders the grid as a JSON array of cell objects.
+fn render_json(cells: &[SoftwareCell]) -> String {
+    let mut out = String::from("[\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"dataset\": \"{}\", \"benchmark\": \"{}\", \"threads\": {}, \
+             \"embeddings\": {}, \"wall_ms\": {:.3}}}{}\n",
+            json_escape(&c.dataset),
+            json_escape(&c.benchmark),
+            c.threads,
+            c.embeddings,
+            c.wall_ms,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
     out
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn quick_profile_renders() {
-        let r = super::run(true);
+        let r = run(true);
         assert!(r.contains("Parallelism profile"));
         assert!(r.contains(" / "));
+        assert!(r.contains("thread scaling"));
+        assert!(r.contains("1 thread |"));
+    }
+
+    #[test]
+    fn json_series_is_well_formed() {
+        let cells = vec![
+            SoftwareCell {
+                dataset: "As".into(),
+                benchmark: "tc".into(),
+                threads: 1,
+                embeddings: 42,
+                wall_ms: 1.5,
+            },
+            SoftwareCell {
+                dataset: "As".into(),
+                benchmark: "tc".into(),
+                threads: 2,
+                embeddings: 42,
+                wall_ms: 0.9,
+            },
+        ];
+        let j = render_json(&cells);
+        assert!(j.starts_with("[\n"));
+        assert!(j.trim_end().ends_with(']'));
+        assert_eq!(j.matches("\"threads\"").count(), 2);
+        assert!(j.contains("\"embeddings\": 42"));
+        // Exactly one separating comma between the two objects.
+        assert_eq!(j.matches("},").count(), 1);
     }
 }

@@ -37,7 +37,11 @@ pub fn run(quick: bool) -> String {
             with_commas(s.edges as u64),
             s.avg_degree,
             with_commas(s.max_degree as u64),
-            if d.fits_in_shared_cache() { "yes" } else { "no" },
+            if d.fits_in_shared_cache() {
+                "yes"
+            } else {
+                "no"
+            },
         ));
     }
     out

@@ -20,7 +20,12 @@ pub fn run(_quick: bool) -> String {
     let rows = [
         ("24 Intersect Units", a.ius_mm2, p[0], "0.115, 12.3%"),
         ("12 Task Dividers", a.dividers_mm2, p[1], "0.069, 7.4%"),
-        ("2 Stream Buffers", a.stream_buffers_mm2, p[2], "0.214, 22.9%"),
+        (
+            "2 Stream Buffers",
+            a.stream_buffers_mm2,
+            p[2],
+            "0.214, 22.9%",
+        ),
         ("Private Cache", a.private_cache_mm2, p[3], "0.118, 12.6%"),
         ("Others", a.others_mm2, p[4], "0.418, 44.8%"),
     ];

@@ -21,7 +21,11 @@ pub fn markdown_matrix(
     row_labels: &[&str],
     values: &[Vec<String>],
 ) -> String {
-    assert_eq!(values.len(), row_labels.len(), "one row of values per row label");
+    assert_eq!(
+        values.len(),
+        row_labels.len(),
+        "one row of values per row label"
+    );
     let mut out = String::new();
     out.push_str(&format!("| {corner} |"));
     for c in col_labels {
@@ -88,6 +92,37 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> bool {
     std::fs::write(&path, text).is_ok()
 }
 
+/// Writes a JSON document next to the markdown/CSV outputs, under the same
+/// `$FINGERS_RESULTS_DIR` gating as [`write_csv`] (no directory → no-op,
+/// `false` returned). `text` must already be rendered JSON — the harness
+/// hand-renders its few documents rather than pulling in a serializer.
+pub fn write_json(name: &str, text: &str) -> bool {
+    let dir = std::env::var("FINGERS_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+    let dir = std::path::Path::new(&dir);
+    if !dir.is_dir() {
+        return false;
+    }
+    std::fs::write(dir.join(format!("{name}.json")), text).is_ok()
+}
+
+/// Escapes a string for inclusion in a JSON document (quotes, backslashes,
+/// and control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,7 +185,22 @@ mod tests {
         ));
         let text = std::fs::read_to_string(dir.join("unit.csv")).expect("read back");
         assert_eq!(text, "k,v\na,1\nb,2\n");
+
+        // JSON follows the same gating and round-trips bytes.
+        assert!(write_json("unit", "{\"k\": 1}"));
+        let text = std::fs::read_to_string(dir.join("unit.json")).expect("read back");
+        assert_eq!(text, "{\"k\": 1}");
+
+        std::env::set_var("FINGERS_RESULTS_DIR", "/nonexistent-fingers-dir");
+        assert!(!write_json("unit", "{}"));
         std::env::remove_var("FINGERS_RESULTS_DIR");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

@@ -5,8 +5,10 @@ use fingers_core::config::{ChipConfig, PeConfig};
 use fingers_core::stats::ChipReport;
 use fingers_flexminer::{simulate_flexminer, FlexMinerChipConfig};
 use fingers_graph::CsrGraph;
+use fingers_mining::count_benchmark_parallel;
 use fingers_pattern::benchmarks::Benchmark;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Result of running one (graph, benchmark) cell on both designs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -77,6 +79,59 @@ pub fn run_fingers_single(graph: &CsrGraph, bench: Benchmark, pe: PeConfig) -> C
     simulate_fingers(graph, &multi, &cfg)
 }
 
+/// One measured cell of the software-miner grid: a benchmark mined on a
+/// dataset with the task-parallel engine at a fixed thread count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoftwareCell {
+    /// Dataset abbreviation (Table 1 naming).
+    pub dataset: String,
+    /// Benchmark abbreviation.
+    pub benchmark: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total embeddings across the benchmark's patterns.
+    pub embeddings: u64,
+    /// Wall-clock time of the mining run, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Mines one benchmark on one graph with the task-parallel software engine,
+/// recording wall-clock time.
+pub fn run_software_cell(
+    graph: &CsrGraph,
+    dataset: &str,
+    bench: Benchmark,
+    threads: usize,
+) -> SoftwareCell {
+    let start = Instant::now();
+    let out = count_benchmark_parallel(graph, bench, threads);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    SoftwareCell {
+        dataset: dataset.to_owned(),
+        benchmark: bench.abbrev().to_owned(),
+        threads,
+        embeddings: out.total(),
+        wall_ms,
+    }
+}
+
+/// Runs the dataset × benchmark grid with the parallel software miner at
+/// each of `thread_counts`, in grid order (dataset-major, then benchmark,
+/// then thread count). The raw series behind the parallelism experiment's
+/// speedup table and JSON dump.
+pub fn run_software_grid(quick: bool, thread_counts: &[usize]) -> Vec<SoftwareCell> {
+    let mut cells = Vec::new();
+    for d in datasets(quick) {
+        let graph = crate::datasets::load(d);
+        for b in benchmarks(quick) {
+            for &t in thread_counts {
+                cells.push(run_software_cell(graph, d.abbrev(), b, t));
+            }
+        }
+    }
+    cells
+}
+
 /// The benchmark set: all seven in full mode, a fast subset in quick mode.
 pub fn benchmarks(quick: bool) -> Vec<Benchmark> {
     if quick {
@@ -111,6 +166,19 @@ mod tests {
             c.speedup,
             c.flexminer_cycles as f64 / c.fingers_cycles as f64
         );
+    }
+
+    #[test]
+    fn software_cell_counts_and_times() {
+        let g = erdos_renyi(40, 160, 2);
+        let one = run_software_cell(&g, "er", Benchmark::Tc, 1);
+        let two = run_software_cell(&g, "er", Benchmark::Tc, 2);
+        assert_eq!(one.embeddings, two.embeddings, "thread-count invariance");
+        assert!(one.wall_ms >= 0.0 && two.wall_ms >= 0.0);
+        assert_eq!(one.threads, 1);
+        assert_eq!(two.threads, 2);
+        assert_eq!(one.dataset, "er");
+        assert_eq!(one.benchmark, Benchmark::Tc.abbrev());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use fingers_core::config::{ChipConfig, PeConfig};
 use fingers_flexminer::{simulate_flexminer, FlexMinerChipConfig};
 use fingers_graph::datasets::Dataset;
 use fingers_graph::{reorder, CsrGraph};
-use fingers_mining::{count_multi, oblivious};
+use fingers_mining::{count_multi_parallel, oblivious};
 use fingers_pattern::{parse_pattern, Induced, MultiPlan, Pattern};
 
 /// Mining engine selection.
@@ -84,6 +84,8 @@ pub struct Options {
     pub reorder_degree: bool,
     /// Use the cost-model order optimizer instead of the greedy order.
     pub optimize_order: bool,
+    /// Worker threads for the software and oblivious engines.
+    pub threads: usize,
 }
 
 /// Error for invalid command lines.
@@ -115,6 +117,8 @@ options:
   --engine <software|fingers|flexminer|oblivious>   (default software)
   --pes <n>            PEs for accelerator engines (default 1)
   --ius <n>            IUs per FINGERS PE (default 24)
+  --threads <n>        worker threads for software/oblivious engines
+                       (default: available hardware parallelism)
   --edge-induced       edge-induced semantics (default vertex-induced)
   --reorder-degree     relabel graph by descending degree first
   --optimize-order     search all connected matching orders by cost model
@@ -136,6 +140,7 @@ impl Options {
         let mut edge_induced = false;
         let mut reorder_degree = false;
         let mut optimize_order = false;
+        let mut threads = default_threads();
 
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -170,6 +175,11 @@ impl Options {
                         .parse()
                         .map_err(|_| UsageError("--ius must be a positive integer".into()))?
                 }
+                "--threads" => {
+                    threads = value_for("--threads")?
+                        .parse()
+                        .map_err(|_| UsageError("--threads must be a positive integer".into()))?
+                }
                 "--edge-induced" => edge_induced = true,
                 "--reorder-degree" => reorder_degree = true,
                 "--optimize-order" => optimize_order = true,
@@ -184,6 +194,9 @@ impl Options {
         if pes == 0 || ius == 0 {
             return Err(UsageError("--pes and --ius must be positive".into()));
         }
+        if threads == 0 {
+            return Err(UsageError("--threads must be positive".into()));
+        }
         Ok(Options {
             graph,
             patterns,
@@ -193,15 +206,26 @@ impl Options {
             edge_induced,
             reorder_degree,
             optimize_order,
+            threads,
         })
     }
+}
+
+/// The `--threads` default: the machine's available hardware parallelism,
+/// or 1 when that cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 fn parse_graph_source(spec: &str) -> Result<GraphSource, UsageError> {
     if let Some(abbrev) = spec.strip_prefix("dataset:") {
         let dataset = Dataset::ALL
             .into_iter()
-            .find(|d| d.abbrev().eq_ignore_ascii_case(abbrev) || d.name().eq_ignore_ascii_case(abbrev))
+            .find(|d| {
+                d.abbrev().eq_ignore_ascii_case(abbrev) || d.name().eq_ignore_ascii_case(abbrev)
+            })
             .ok_or_else(|| UsageError(format!("unknown dataset {abbrev:?}")))?;
         return Ok(GraphSource::Dataset(dataset));
     }
@@ -241,12 +265,12 @@ impl GraphSource {
                 fingers_graph::io::read_edge_list(std::io::BufReader::new(file))?
             }
             GraphSource::Dataset(d) => d.load(),
-            GraphSource::ErdosRenyi { n, m, seed } => fingers_graph::gen::erdos_renyi(*n, *m, *seed),
-            GraphSource::PowerLaw { n, m, seed } => {
-                fingers_graph::gen::chung_lu_power_law(&fingers_graph::gen::ChungLuConfig::new(
-                    *n, *m, *seed,
-                ))
+            GraphSource::ErdosRenyi { n, m, seed } => {
+                fingers_graph::gen::erdos_renyi(*n, *m, *seed)
             }
+            GraphSource::PowerLaw { n, m, seed } => fingers_graph::gen::chung_lu_power_law(
+                &fingers_graph::gen::ChungLuConfig::new(*n, *m, *seed),
+            ),
         })
     }
 }
@@ -280,8 +304,7 @@ pub fn run(options: &Options) -> Result<RunOutcome, Box<dyn Error>> {
 
     let multi = if options.optimize_order {
         let n = graph.vertex_count() as f64;
-        let density =
-            (graph.avg_degree() / (n - 1.0).max(1.0)).clamp(1e-9, 1.0 - 1e-9);
+        let density = (graph.avg_degree() / (n - 1.0).max(1.0)).clamp(1e-9, 1.0 - 1e-9);
         let plans: Vec<_> = options
             .patterns
             .iter()
@@ -294,11 +317,15 @@ pub fn run(options: &Options) -> Result<RunOutcome, Box<dyn Error>> {
 
     Ok(match options.engine {
         Engine::Software => {
-            let out = count_multi(&graph, &multi);
+            let out = count_multi_parallel(&graph, &multi, options.threads);
             RunOutcome {
                 counts: out.per_pattern,
                 cycles: None,
-                engine: "software (plan-driven DFS)".into(),
+                engine: format!(
+                    "software (plan-driven DFS, {} thread{})",
+                    options.threads,
+                    if options.threads == 1 { "" } else { "s" }
+                ),
             }
         }
         Engine::Oblivious => {
@@ -308,12 +335,16 @@ pub fn run(options: &Options) -> Result<RunOutcome, Box<dyn Error>> {
             let counts = options
                 .patterns
                 .iter()
-                .map(|p| oblivious::count_embeddings_oblivious(&graph, p))
+                .map(|p| oblivious::count_embeddings_oblivious_parallel(&graph, p, options.threads))
                 .collect();
             RunOutcome {
                 counts,
                 cycles: None,
-                engine: "pattern-oblivious (ESU + isomorphism checks)".into(),
+                engine: format!(
+                    "pattern-oblivious (ESU + isomorphism checks, {} thread{})",
+                    options.threads,
+                    if options.threads == 1 { "" } else { "s" }
+                ),
             }
         }
         Engine::Fingers => {
@@ -393,6 +424,26 @@ mod tests {
         assert!(Options::parse(args("--graph g --pattern tc --engine gpu")).is_err());
         assert!(Options::parse(args("--graph g --pattern tc --bogus")).is_err());
         assert!(Options::parse(args("--graph g --pattern tc --pes 0")).is_err());
+        assert!(Options::parse(args("--graph g --pattern tc --threads 0")).is_err());
+        assert!(Options::parse(args("--graph g --pattern tc --threads x")).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_defaults() {
+        let o = Options::parse(args("--graph g --pattern tc --threads 3")).expect("valid");
+        assert_eq!(o.threads, 3);
+        let o = Options::parse(args("--graph g --pattern tc")).expect("valid");
+        assert_eq!(o.threads, default_threads());
+        assert!(o.threads >= 1);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_counts() {
+        let base = "--graph gen:er:50:160:9 --pattern tc --pattern cyc";
+        let one = run(&Options::parse(args(&format!("{base} --threads 1"))).unwrap()).unwrap();
+        let four = run(&Options::parse(args(&format!("{base} --threads 4"))).unwrap()).unwrap();
+        assert_eq!(one.counts, four.counts);
+        assert!(four.engine.contains("4 threads"));
     }
 
     #[test]
@@ -429,8 +480,7 @@ mod tests {
     fn optimize_order_and_reorder_preserve_counts() {
         let base = "--graph gen:pl:80:300:2 --pattern cyc";
         let plain = run(&Options::parse(args(base)).unwrap()).unwrap();
-        let opt =
-            run(&Options::parse(args(&format!("{base} --optimize-order"))).unwrap()).unwrap();
+        let opt = run(&Options::parse(args(&format!("{base} --optimize-order"))).unwrap()).unwrap();
         let reord =
             run(&Options::parse(args(&format!("{base} --reorder-degree"))).unwrap()).unwrap();
         assert_eq!(plain.counts, opt.counts);

@@ -163,8 +163,8 @@ pub fn energy_estimate(report: &crate::stats::ChipReport, num_pes: usize) -> Ene
     let iu_cycles: u64 = report.pes.iter().map(|p| p.iu_busy_cycles).sum();
     let divider_proxy: u64 = report.pes.iter().map(|p| p.workloads).sum();
     let cache_bytes = report.shared_cache.accesses * 64;
-    let compute_pj =
-        iu_cycles as f64 * IU_ENERGY_PJ_PER_CYCLE + divider_proxy as f64 * DIVIDER_ENERGY_PJ_PER_CYCLE;
+    let compute_pj = iu_cycles as f64 * IU_ENERGY_PJ_PER_CYCLE
+        + divider_proxy as f64 * DIVIDER_ENERGY_PJ_PER_CYCLE;
     let cache_pj = cache_bytes as f64 * SHARED_CACHE_ENERGY_PJ_PER_BYTE;
     let dram_pj = report.dram_bytes as f64 * DRAM_ENERGY_PJ_PER_BYTE;
     let seconds = report.cycles as f64 / (PE_FREQUENCY_GHZ * 1e9);

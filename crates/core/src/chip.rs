@@ -95,7 +95,11 @@ pub fn run_chip<P: PeModel>(
     mem: &mut MemorySystem,
     graph: &CsrGraph,
 ) -> ChipReport {
-    run_chip_with_roots(pes.as_mut_slice(), mem, root_order(graph, RootSchedule::Sequential))
+    run_chip_with_roots(
+        pes.as_mut_slice(),
+        mem,
+        root_order(graph, RootSchedule::Sequential),
+    )
 }
 
 /// [`run_chip`] with an explicit root order (see [`RootSchedule`]).
@@ -104,9 +108,8 @@ pub fn run_chip_with_roots<P: PeModel>(
     mem: &mut MemorySystem,
     roots: Vec<VertexId>,
 ) -> ChipReport {
-    let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> = (0..pes.len())
-        .map(|i| Reverse((0, i)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> =
+        (0..pes.len()).map(|i| Reverse((0, i))).collect();
     let mut roots = roots.into_iter();
     let mut active = pes.len();
 

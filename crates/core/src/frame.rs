@@ -52,7 +52,10 @@ mod tests {
 
     #[test]
     fn lookup_prefers_nearest_frame() {
-        let root = Frame::new(None, vec![(2, Rc::new(vec![1, 2, 3])), (3, Rc::new(vec![9]))]);
+        let root = Frame::new(
+            None,
+            vec![(2, Rc::new(vec![1, 2, 3])), (3, Rc::new(vec![9]))],
+        );
         let child = Frame::new(Some(Rc::clone(&root)), vec![(2, Rc::new(vec![7]))]);
         assert_eq!(*child.lookup(2).expect("S2"), vec![7]);
         assert_eq!(*child.lookup(3).expect("S3"), vec![9]);

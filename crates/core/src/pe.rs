@@ -146,8 +146,7 @@ impl<'g> FingersPe<'g> {
         if !self.cfg.pseudo_dfs {
             return 1;
         }
-        let short_segments =
-            (self.avg_candidate_len / self.cfg.short_segment_len as f64).max(1.0);
+        let short_segments = (self.avg_candidate_len / self.cfg.short_segment_len as f64).max(1.0);
         let ius_per_op = (short_segments / self.cfg.max_load as f64).ceil().max(1.0);
         let ops_per_task = 2.0; // typical ops per task across the benchmarks
         let ius_per_task = (ius_per_op * ops_per_task).max(1.0);
@@ -170,9 +169,10 @@ impl<'g> FingersPe<'g> {
                 self.graph.neighbor_list_addr(v),
                 self.graph.neighbor_list_bytes(v),
             );
-            group
-                .ready
-                .push((out.first_ready + self.noc_latency, out.completion + self.noc_latency));
+            group.ready.push((
+                out.first_ready + self.noc_latency,
+                out.completion + self.noc_latency,
+            ));
         }
         let task_count = group.tasks.len();
         // Execute ready tasks first while the others' fetches are in flight.
@@ -240,12 +240,7 @@ impl<'g> FingersPe<'g> {
                         &mut all_data_done,
                         mem,
                     );
-                    let key = (
-                        Rc::as_ptr(&short_list) as usize,
-                        u as usize,
-                        1,
-                        bound,
-                    );
+                    let key = (Rc::as_ptr(&short_list) as usize, u as usize, 1, bound);
                     let set = match memo.get(&key) {
                         Some(s) => Rc::clone(s),
                         None => {
@@ -709,7 +704,12 @@ mod tests {
             },
         );
         assert_eq!(on.embeddings, off.embeddings);
-        assert!(on.cycles <= off.cycles, "on {} off {}", on.cycles, off.cycles);
+        assert!(
+            on.cycles <= off.cycles,
+            "on {} off {}",
+            on.cycles,
+            off.cycles
+        );
     }
 
     #[test]
@@ -780,6 +780,11 @@ mod tests {
         let few = run_single(&g, Benchmark::Tt, PeConfig::unlimited_area_ius(2));
         let many = run_single(&g, Benchmark::Tt, PeConfig::unlimited_area_ius(32));
         assert_eq!(few.embeddings, many.embeddings);
-        assert!(many.cycles <= few.cycles, "32 IUs {} vs 2 IUs {}", many.cycles, few.cycles);
+        assert!(
+            many.cycles <= few.cycles,
+            "32 IUs {} vs 2 IUs {}",
+            many.cycles,
+            few.cycles
+        );
     }
 }

@@ -68,7 +68,11 @@ impl fmt::Display for TraceEvent {
             TraceEvent::GroupFetch { cycle, tasks } => {
                 write!(f, "[{cycle:>10}] fetch group of {tasks}")
             }
-            TraceEvent::TaskStart { cycle, level, vertex } => {
+            TraceEvent::TaskStart {
+                cycle,
+                level,
+                vertex,
+            } => {
                 write!(f, "[{cycle:>10}] task L{level} v{vertex} start")
             }
             TraceEvent::TaskRetire {
@@ -163,7 +167,10 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::with_capacity(0);
-        t.record(TraceEvent::Spill { cycle: 1, bytes: 64 });
+        t.record(TraceEvent::Spill {
+            cycle: 1,
+            bytes: 64,
+        });
         assert!(t.is_empty());
         assert!(!t.is_enabled());
     }
@@ -199,7 +206,10 @@ mod tests {
             workloads: 3,
             children: 2,
         });
-        t.record(TraceEvent::Spill { cycle: 12, bytes: 256 });
+        t.record(TraceEvent::Spill {
+            cycle: 12,
+            bytes: 256,
+        });
         let text = t.render();
         assert!(text.contains("fetch group of 4"));
         assert!(text.contains("task L1 v7 start"));

@@ -117,11 +117,7 @@ impl<'g> FlexMinerPe<'g> {
             plans.iter().all(|p| p.pattern_size() >= 2),
             "patterns must have at least 2 vertices"
         );
-        let private = SetAssocCache::new(
-            (cfg.private_cache_bytes / MEM_SCALE).max(1024),
-            64,
-            8,
-        );
+        let private = SetAssocCache::new((cfg.private_cache_bytes / MEM_SCALE).max(1024), 64, 8);
         Self {
             graph,
             stats: PeStats {
@@ -150,13 +146,16 @@ impl<'g> FlexMinerPe<'g> {
         let bytes = self.graph.neighbor_list_bytes(v);
         let line = 64u64;
         let first = addr / line;
-        let last = if bytes == 0 { first } else { (addr + bytes - 1) / line };
+        let last = if bytes == 0 {
+            first
+        } else {
+            (addr + bytes - 1) / line
+        };
         let mut done = self.now + self.cfg.private_hit_latency;
         for l in first..=last {
             if !self.private.access(l * line) {
                 let out = mem.fetch(self.now, l * line, line);
-                done = done
-                    .max(out.completion + self.noc_latency + self.cfg.private_hit_latency);
+                done = done.max(out.completion + self.noc_latency + self.cfg.private_hit_latency);
             }
         }
         done
@@ -374,8 +373,7 @@ pub fn simulate_flexminer(
     config: &FlexMinerChipConfig,
 ) -> ChipReport {
     let mut mem = MemorySystem::new(config.memory);
-    let noc =
-        fingers_sim::MeshNoc::for_pes(config.num_pes, config.noc_per_hop, config.noc_base);
+    let noc = fingers_sim::MeshNoc::for_pes(config.num_pes, config.noc_per_hop, config.noc_base);
     let mut pes: Vec<FlexMinerPe> = (0..config.num_pes)
         .map(|i| {
             let mut pe = FlexMinerPe::new(graph, multi, config.pe.clone());

@@ -133,7 +133,9 @@ mod tests {
 
     #[test]
     fn neighbor_lists_are_sorted() {
-        let g = GraphBuilder::new().edges([(0, 5), (0, 2), (0, 9), (0, 1)]).build();
+        let g = GraphBuilder::new()
+            .edges([(0, 5), (0, 2), (0, 9), (0, 1)])
+            .build();
         assert_eq!(g.neighbors(0), &[1, 2, 5, 9]);
     }
 }

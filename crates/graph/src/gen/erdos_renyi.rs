@@ -26,7 +26,10 @@ use crate::{CsrGraph, GraphBuilder, VertexId};
 /// ```
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
     let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= possible, "requested {m} edges but only {possible} possible");
+    assert!(
+        m <= possible,
+        "requested {m} edges but only {possible} possible"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut chosen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(m);
     while chosen.len() < m {

@@ -48,8 +48,14 @@ impl RmatConfig {
 /// `scale > 24` (guarding against accidental huge graphs in tests).
 pub fn rmat(config: &RmatConfig) -> CsrGraph {
     let (a, b, c) = config.probabilities;
-    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0, "probabilities must be non-negative");
-    assert!(a + b + c <= 1.0 + 1e-12, "probabilities must sum to at most 1");
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0,
+        "probabilities must be non-negative"
+    );
+    assert!(
+        a + b + c <= 1.0 + 1e-12,
+        "probabilities must sum to at most 1"
+    );
     assert!(config.scale <= 24, "scale {} too large", config.scale);
     let n: u64 = 1 << config.scale;
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);

@@ -89,9 +89,7 @@ mod tests {
         assert_eq!(r.graph.edge_count(), g.edge_count());
         // Edges map consistently.
         for (u, v) in g.edges() {
-            assert!(r
-                .graph
-                .has_edge(r.new_of[u as usize], r.new_of[v as usize]));
+            assert!(r.graph.has_edge(r.new_of[u as usize], r.new_of[v as usize]));
         }
     }
 
@@ -113,8 +111,11 @@ mod tests {
         let asc = by_degree_ascending(&g);
         let desc = by_degree_descending(&g);
         let d_asc: Vec<usize> = asc.graph.vertices().map(|v| asc.graph.degree(v)).collect();
-        let mut d_desc: Vec<usize> =
-            desc.graph.vertices().map(|v| desc.graph.degree(v)).collect();
+        let mut d_desc: Vec<usize> = desc
+            .graph
+            .vertices()
+            .map(|v| desc.graph.degree(v))
+            .collect();
         d_desc.reverse();
         assert_eq!(d_asc, d_desc);
     }

@@ -96,7 +96,9 @@ mod tests {
     use crate::GraphBuilder;
 
     fn triangle_plus_tail() -> CsrGraph {
-        GraphBuilder::new().edges([(0, 1), (1, 2), (0, 2), (2, 3)]).build()
+        GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+            .build()
     }
 
     #[test]

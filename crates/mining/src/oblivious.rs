@@ -13,6 +13,7 @@
 //! pattern-aware stack, and the reference point for the pattern-aware vs
 //! pattern-oblivious gap measured in the benches.
 
+use crate::parallel::sum_over_root_tasks;
 use fingers_graph::{CsrGraph, VertexId};
 use fingers_pattern::Pattern;
 
@@ -67,9 +68,7 @@ fn extend<F: FnMut(&[VertexId])>(
                 if u > root
                     && !sub.contains(&u)
                     && !next_ext.contains(&u)
-                    && !sub[..sub.len() - 1]
-                        .iter()
-                        .any(|&s| graph.has_edge(s, u))
+                    && !sub[..sub.len() - 1].iter().any(|&s| graph.has_edge(s, u))
                 {
                     next_ext.push(u);
                 }
@@ -124,8 +123,7 @@ pub fn induced_isomorphic(graph: &CsrGraph, vertices: &[VertexId], pattern: &Pat
                 continue;
             }
             let ok = (0..i).all(|j| {
-                pattern.are_adjacent(i, j)
-                    == graph.has_edge(vertices[cand], vertices[perm[j]])
+                pattern.are_adjacent(i, j) == graph.has_edge(vertices[cand], vertices[perm[j]])
             });
             if ok {
                 perm[i] = cand;
@@ -156,6 +154,52 @@ pub fn count_embeddings_oblivious(graph: &CsrGraph, pattern: &Pattern) -> u64 {
         }
     });
     count
+}
+
+/// Root-partitioned [`count_embeddings_oblivious`]: ESU's root loop is the
+/// natural parallel seam — the enumeration rooted at `v` only ever touches
+/// vertices `> v`, independently of other roots. Each root-range task is
+/// enumerated by one of `threads` scoped workers; the `u64`-sum reduction
+/// makes the count identical to the sequential oracle at any thread count.
+pub fn count_embeddings_oblivious_parallel(
+    graph: &CsrGraph,
+    pattern: &Pattern,
+    threads: usize,
+) -> u64 {
+    let k = pattern.size();
+    sum_over_root_tasks(graph.vertex_count(), threads, |task| {
+        let mut count = 0u64;
+        let mut sub = Vec::with_capacity(k);
+        for v in task.roots() {
+            sub.push(v);
+            if k == 1 {
+                if induced_isomorphic(graph, &sub, pattern) {
+                    count += 1;
+                }
+            } else {
+                let ext: Vec<VertexId> = graph
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| u > v)
+                    .collect();
+                extend(
+                    graph,
+                    k,
+                    v,
+                    &mut sub,
+                    ext,
+                    &mut |vertices: &[VertexId]| {
+                        if induced_isomorphic(graph, vertices, pattern) {
+                            count += 1;
+                        }
+                    },
+                );
+            }
+            sub.pop();
+        }
+        count
+    })
 }
 
 /// Counts every connected `k`-subgraph by isomorphism class, returning
@@ -203,9 +247,9 @@ pub fn wasted_check_ratio(graph: &CsrGraph, pattern: &Pattern) -> f64 {
 mod tests {
     use super::*;
     use crate::brute;
-    use fingers_pattern::automorphisms;
     use fingers_graph::gen::erdos_renyi;
     use fingers_graph::GraphBuilder;
+    use fingers_pattern::automorphisms;
     use fingers_pattern::Induced;
 
     #[test]
@@ -263,6 +307,21 @@ mod tests {
     }
 
     #[test]
+    fn parallel_esu_matches_sequential() {
+        let g = erdos_renyi(16, 40, 8);
+        for p in [Pattern::triangle(), Pattern::four_cycle(), Pattern::star(3)] {
+            let expected = count_embeddings_oblivious(&g, &p);
+            for threads in [1, 2, 4] {
+                assert_eq!(
+                    count_embeddings_oblivious_parallel(&g, &p, threads),
+                    expected,
+                    "{p} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn motif_census_is_a_partition() {
         // Every connected triad is a triangle or a wedge — no remainder.
         let g = erdos_renyi(25, 70, 7);
@@ -272,11 +331,21 @@ mod tests {
 
     #[test]
     fn isomorphism_check_rejects_wrong_structures() {
-        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (0, 2), (2, 3)]).build();
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+            .build();
         assert!(induced_isomorphic(&g, &[0, 1, 2], &Pattern::triangle()));
         assert!(!induced_isomorphic(&g, &[0, 1, 3], &Pattern::triangle()));
-        assert!(induced_isomorphic(&g, &[0, 1, 2, 3], &Pattern::tailed_triangle()));
-        assert!(!induced_isomorphic(&g, &[0, 1, 2, 3], &Pattern::four_cycle()));
+        assert!(induced_isomorphic(
+            &g,
+            &[0, 1, 2, 3],
+            &Pattern::tailed_triangle()
+        ));
+        assert!(!induced_isomorphic(
+            &g,
+            &[0, 1, 2, 3],
+            &Pattern::four_cycle()
+        ));
         assert!(!induced_isomorphic(&g, &[0, 1], &Pattern::triangle()));
     }
 

@@ -1,0 +1,194 @@
+//! Root-partitioned parallel mining over [`PlanMiner`] workers.
+//!
+//! Level-0 DFS trees are independent, so the vertex range is split into
+//! more [`MiningTask`]s than workers and workers claim tasks from a shared
+//! atomic cursor (dynamic load balancing — a task holding a hub vertex
+//! does not serialize the run). Each worker owns one [`PlanMiner`] (and
+//! therefore one scratch arena) for its whole lifetime, and reduces into a
+//! private `u64`. The final reduction is a sum of per-worker counts:
+//! addition over `u64` is commutative and associative, so the result is
+//! **bit-identical** to the sequential count regardless of scheduling —
+//! the determinism tests assert exactly this.
+
+use crate::executor::{count_plan, MineOutcome, PlanMiner};
+use crate::sink::{CountSink, Sink};
+use crate::task::MiningTask;
+use fingers_graph::CsrGraph;
+use fingers_pattern::benchmarks::Benchmark;
+use fingers_pattern::{ExecutionPlan, MultiPlan};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tasks created per worker: oversubscription for dynamic load balance.
+const TASKS_PER_WORKER: usize = 8;
+
+/// Counts embeddings of `plan` in `graph` using `threads` workers.
+///
+/// Deterministic: returns exactly [`count_plan`]'s value for every thread
+/// count (the reduction is an order-independent `u64` sum). `threads == 0`
+/// is treated as 1.
+///
+/// # Panics
+///
+/// Re-raises any panic from a worker thread (none occur for plans produced
+/// by the compiler; see the invariants documented on [`PlanMiner`]).
+pub fn count_plan_parallel(graph: &CsrGraph, plan: &ExecutionPlan, threads: usize) -> u64 {
+    let threads = effective_threads(threads, graph.vertex_count());
+    if threads <= 1 {
+        return count_plan(graph, plan);
+    }
+    let tasks = MiningTask::partition(graph.vertex_count(), threads * TASKS_PER_WORKER);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut miner = PlanMiner::new(graph, plan);
+                    let mut sink = CountSink::default();
+                    while let Some(task) = tasks.get(cursor.fetch_add(1, Ordering::Relaxed)) {
+                        miner.run(task.clone(), &mut sink);
+                    }
+                    sink.count
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("mining worker panicked"))
+            .sum()
+    })
+}
+
+/// Counts every pattern of a multi-plan with `threads` workers per plan.
+///
+/// Per-pattern counts equal [`crate::count_multi`]'s exactly.
+pub fn count_multi_parallel(graph: &CsrGraph, multi: &MultiPlan, threads: usize) -> MineOutcome {
+    MineOutcome {
+        per_pattern: multi
+            .plans()
+            .iter()
+            .map(|p| count_plan_parallel(graph, p, threads))
+            .collect(),
+    }
+}
+
+/// Counts one of the paper's benchmark workloads with `threads` workers.
+pub fn count_benchmark_parallel(
+    graph: &CsrGraph,
+    benchmark: Benchmark,
+    threads: usize,
+) -> MineOutcome {
+    count_multi_parallel(graph, &benchmark.plan(), threads)
+}
+
+/// Runs `worker` once per claimed root-range task on each of `threads`
+/// scoped threads, summing the returned counts. The generic scaffold the
+/// brute-force and ESU oracles reuse for their root-partitioned variants.
+///
+/// `worker(task)` must be a pure function of the task (plus captured shared
+/// state) for the sum to be schedule-independent.
+///
+/// # Panics
+///
+/// Re-raises any panic from `worker`.
+pub fn sum_over_root_tasks<W>(vertex_count: usize, threads: usize, worker: W) -> u64
+where
+    W: Fn(&MiningTask) -> u64 + Sync,
+{
+    let threads = effective_threads(threads, vertex_count);
+    let tasks = MiningTask::partition(vertex_count, threads.max(1) * TASKS_PER_WORKER);
+    if threads <= 1 {
+        return tasks.iter().map(&worker).sum();
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = 0u64;
+                    while let Some(task) = tasks.get(cursor.fetch_add(1, Ordering::Relaxed)) {
+                        local += worker(task);
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("oracle worker panicked"))
+            .sum()
+    })
+}
+
+/// Clamps a requested thread count to something useful: at least 1, and no
+/// more than the number of roots (extra workers would only spin on an empty
+/// task queue).
+fn effective_threads(requested: usize, vertex_count: usize) -> usize {
+    requested.max(1).min(vertex_count.max(1))
+}
+
+/// Mines `task` with a fresh sink and returns it — convenience for callers
+/// driving [`PlanMiner`] task-by-task (bench harness, tests).
+pub fn run_task<S: Sink + Default>(miner: &mut PlanMiner<'_, '_>, task: MiningTask) -> S {
+    let mut sink = S::default();
+    miner.run(task, &mut sink);
+    sink
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingers_graph::gen::erdos_renyi;
+    use fingers_pattern::{ExecutionPlan, Induced, Pattern};
+
+    #[test]
+    fn parallel_equals_sequential_for_every_thread_count() {
+        let g = erdos_renyi(60, 240, 11);
+        for p in [
+            Pattern::triangle(),
+            Pattern::four_cycle(),
+            Pattern::clique(4),
+        ] {
+            let plan = ExecutionPlan::compile(&p, Induced::Vertex);
+            let expected = count_plan(&g, &plan);
+            for threads in [0, 1, 2, 3, 4, 8] {
+                assert_eq!(
+                    count_plan_parallel(&g, &plan, threads),
+                    expected,
+                    "{p} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_plan_parallel_matches_sequential() {
+        let g = erdos_renyi(40, 150, 3);
+        for b in [Benchmark::Mc3, Benchmark::Tc] {
+            let seq = crate::count_benchmark(&g, b);
+            assert_eq!(count_benchmark_parallel(&g, b, 4), seq, "{b}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_vertices_is_fine() {
+        let g = erdos_renyi(5, 6, 1);
+        let plan = ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex);
+        assert_eq!(count_plan_parallel(&g, &plan, 64), count_plan(&g, &plan));
+    }
+
+    #[test]
+    fn empty_graph_parallel_counts_zero() {
+        let g = fingers_graph::GraphBuilder::new().vertex_count(0).build();
+        let plan = ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex);
+        assert_eq!(count_plan_parallel(&g, &plan, 4), 0);
+    }
+
+    #[test]
+    fn sum_over_root_tasks_partitions_work() {
+        // Sum of task lengths = vertex count, for any thread count.
+        for threads in [1, 2, 5] {
+            let total = sum_over_root_tasks(97, threads, |t| t.len() as u64);
+            assert_eq!(total, 97);
+        }
+    }
+}

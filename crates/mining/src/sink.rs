@@ -1,0 +1,119 @@
+//! Embedding sinks: what the mining engine does with each match.
+//!
+//! The seed executor threaded a `FnMut(&[VertexId])` closure through the
+//! DFS, which forced every consumer — counting included — to materialize
+//! each embedding. [`Sink`] generalizes that: listing sinks still see every
+//! embedding, while counting sinks override [`Sink::leaf_run`] to consume a
+//! whole leaf-level candidate run in `O(k log n)` instead of `O(n)`,
+//! without the engine ever branching on the consumer type.
+
+use fingers_graph::VertexId;
+
+/// Consumer of the embeddings produced by the plan interpreter.
+///
+/// The engine calls [`embedding`](Self::embedding) once per match with all
+/// `k` mapped vertices in level order, except at complete leaf runs where
+/// it calls [`leaf_run`](Self::leaf_run) once with the remaining candidate
+/// slice (the default implementation materializes each embedding, so
+/// implementors only override it as an optimization — never for
+/// correctness).
+pub trait Sink {
+    /// One complete embedding; `mapped[i]` is the vertex matched to pattern
+    /// vertex `u_i`.
+    fn embedding(&mut self, mapped: &[VertexId]);
+
+    /// A complete leaf-level run: every element of `candidates` (a sorted
+    /// set, possibly still containing vertices already in `prefix`) that is
+    /// not in `prefix` extends `prefix` to one embedding.
+    ///
+    /// The default filters and reports each embedding through
+    /// [`embedding`](Self::embedding); counting sinks override this to add
+    /// `|candidates| − |candidates ∩ prefix|` directly.
+    fn leaf_run(&mut self, prefix: &mut Vec<VertexId>, candidates: &[VertexId]) {
+        for &c in candidates {
+            if prefix.contains(&c) {
+                continue; // embeddings map distinct vertices
+            }
+            prefix.push(c);
+            self.embedding(prefix);
+            prefix.pop();
+        }
+    }
+}
+
+/// Counts embeddings without materializing them.
+///
+/// Its [`Sink::leaf_run`] override is the engine's main algorithmic win
+/// over the seed executor: a leaf run of `n` candidates costs `k` binary
+/// searches instead of `n` scans.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountSink {
+    /// Embeddings seen so far.
+    pub count: u64,
+}
+
+impl Sink for CountSink {
+    fn embedding(&mut self, _mapped: &[VertexId]) {
+        self.count += 1;
+    }
+
+    fn leaf_run(&mut self, prefix: &mut Vec<VertexId>, candidates: &[VertexId]) {
+        // `candidates` is a sorted set and `prefix` holds distinct vertices,
+        // so each binary search hit is a distinct duplicate to exclude.
+        let dup = prefix
+            .iter()
+            .filter(|p| candidates.binary_search(p).is_ok())
+            .count();
+        self.count += (candidates.len() - dup) as u64;
+    }
+}
+
+/// Adapts a `FnMut(&[VertexId])` closure into a [`Sink`], preserving the
+/// seed executor's listing behavior (every embedding materialized, in DFS
+/// order).
+#[derive(Debug)]
+pub struct FnSink<F> {
+    f: F,
+}
+
+impl<F: FnMut(&[VertexId])> FnSink<F> {
+    /// Wraps `f` so the engine invokes it once per embedding.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F: FnMut(&[VertexId])> Sink for FnSink<F> {
+    fn embedding(&mut self, mapped: &[VertexId]) {
+        (self.f)(mapped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_sink_leaf_run_excludes_prefix_vertices() {
+        let mut sink = CountSink::default();
+        let mut prefix = vec![3, 7];
+        sink.leaf_run(&mut prefix, &[1, 3, 5, 7, 9]);
+        assert_eq!(sink.count, 3);
+        assert_eq!(prefix, vec![3, 7], "prefix must be restored");
+    }
+
+    #[test]
+    fn default_leaf_run_matches_count_override() {
+        let mut counting = CountSink::default();
+        let mut listed = Vec::new();
+        let mut listing = FnSink::new(|e: &[VertexId]| listed.push(e.to_vec()));
+        let candidates = [0, 2, 4, 6, 8];
+        let mut prefix = vec![4, 1];
+        counting.leaf_run(&mut prefix.clone(), &candidates);
+        listing.leaf_run(&mut prefix, &candidates);
+        assert_eq!(counting.count as usize, listed.len());
+        for e in &listed {
+            assert_eq!(&e[..2], &[4, 1]);
+        }
+    }
+}

@@ -88,16 +88,14 @@ pub fn analyze(plan: &ExecutionPlan) -> PlanAnalysis {
                         seen.push((1, short));
                         distinct += 1;
                     }
-                    deepest_subtraction_level =
-                        deepest_subtraction_level.max(Some(level));
+                    deepest_subtraction_level = deepest_subtraction_level.max(Some(level));
                 }
                 PlanOp::Apply { list, kind, .. } => {
                     match kind {
                         SetOpKind::Intersect => mix.intersections += 1,
                         _ => {
                             mix.subtractions += 1;
-                            deepest_subtraction_level =
-                                deepest_subtraction_level.max(Some(level));
+                            deepest_subtraction_level = deepest_subtraction_level.max(Some(level));
                         }
                     }
                     let tag = (2 + kind as u8, list);

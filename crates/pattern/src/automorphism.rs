@@ -41,9 +41,8 @@ fn extend(
             continue;
         }
         // Adjacency to already-mapped vertices must be preserved both ways.
-        let consistent = (0..v).all(|w| {
-            pattern.are_adjacent(v, w) == pattern.are_adjacent(image, perm[w])
-        });
+        let consistent =
+            (0..v).all(|w| pattern.are_adjacent(v, w) == pattern.are_adjacent(image, perm[w]));
         if !consistent {
             continue;
         }
@@ -106,7 +105,9 @@ mod tests {
             assert!(!auts.is_empty());
             // The identity is present.
             let k = p.size();
-            assert!(auts.iter().any(|a| a.iter().enumerate().all(|(i, &x)| i == x)));
+            assert!(auts
+                .iter()
+                .any(|a| a.iter().enumerate().all(|(i, &x)| i == x)));
             for a in &auts {
                 assert!(is_automorphism(&p, a), "{p}: {a:?}");
             }

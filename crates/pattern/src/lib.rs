@@ -44,7 +44,9 @@ mod symmetry;
 
 pub use automorphism::automorphisms;
 pub use multipattern::MultiPlan;
-pub use order::{all_connected_orders, connected_vertex_order, estimated_order_cost, optimized_vertex_order};
+pub use order::{
+    all_connected_orders, connected_vertex_order, estimated_order_cost, optimized_vertex_order,
+};
 pub use parse::{parse_pattern, ParsePatternError};
 pub use pattern::{Pattern, MAX_PATTERN_VERTICES};
 pub use plan::{ExecutionPlan, Induced, LevelSchedule, PlanOp};

@@ -36,7 +36,10 @@ impl MultiPlan {
     ///
     /// Panics if `patterns` is empty.
     pub fn new(name: impl Into<String>, patterns: &[Pattern], induced: Induced) -> Self {
-        assert!(!patterns.is_empty(), "multi-plan needs at least one pattern");
+        assert!(
+            !patterns.is_empty(),
+            "multi-plan needs at least one pattern"
+        );
         Self {
             name: name.into(),
             plans: patterns

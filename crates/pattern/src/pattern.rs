@@ -91,7 +91,11 @@ impl Pattern {
 
     /// Number of pattern edges.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(|m| m.count_ones() as usize).sum::<usize>() / 2
+        self.adj
+            .iter()
+            .map(|m| m.count_ones() as usize)
+            .sum::<usize>()
+            / 2
     }
 
     /// Whether pattern vertices `a` and `b` are adjacent.
@@ -155,7 +159,10 @@ impl Pattern {
         assert_eq!(order.len(), k, "order must cover all vertices");
         let mut inverse = vec![usize::MAX; k];
         for (new, &old) in order.iter().enumerate() {
-            assert!(old < k && inverse[old] == usize::MAX, "order is not a permutation");
+            assert!(
+                old < k && inverse[old] == usize::MAX,
+                "order is not a permutation"
+            );
             inverse[old] = new;
         }
         let mut adj = vec![0u16; k];
@@ -242,7 +249,11 @@ impl Pattern {
 
     /// The house: a 4-cycle `0-1-2-3` with a triangular roof `0-1-4`.
     pub fn house() -> Self {
-        Self::from_edges_named(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)], "house")
+        Self::from_edges_named(
+            5,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)],
+            "house",
+        )
     }
 
     /// The bull: a triangle `0-1-2` with horns at `0` and `1`.
@@ -261,7 +272,11 @@ impl Pattern {
 
     /// The butterfly (bowtie): two triangles sharing vertex `0`.
     pub fn butterfly() -> Self {
-        Self::from_edges_named(5, &[(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4)], "butterfly")
+        Self::from_edges_named(
+            5,
+            &[(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4)],
+            "butterfly",
+        )
     }
 }
 

@@ -409,8 +409,11 @@ mod tests {
         // the second matched vertex pair (0,2 style) is disconnected,
         // triggering InitAnti for some level in vertex-induced mode.
         let plan = ExecutionPlan::compile(&Pattern::four_cycle(), Induced::Vertex);
-        let has_anti = (0..plan.pattern_size())
-            .any(|l| plan.actions_at(l).iter().any(|op| matches!(op, PlanOp::InitAnti { .. })));
+        let has_anti = (0..plan.pattern_size()).any(|l| {
+            plan.actions_at(l)
+                .iter()
+                .any(|op| matches!(op, PlanOp::InitAnti { .. }))
+        });
         assert!(has_anti, "\n{plan}");
     }
 
@@ -453,7 +456,10 @@ mod tests {
                                 .iter()
                                 .filter(|op| {
                                     op.target() == j
-                                        && matches!(op, PlanOp::Init { .. } | PlanOp::InitAnti { .. })
+                                        && matches!(
+                                            op,
+                                            PlanOp::Init { .. } | PlanOp::InitAnti { .. }
+                                        )
                                 })
                                 .count()
                         })
@@ -461,11 +467,8 @@ mod tests {
                     assert_eq!(inits, 1, "{p} level {j} ({induced:?})");
                     // Initialization happens at the first connected ancestor.
                     let c = plan.schedule(j).first_connected;
-                    assert!(plan
-                        .actions_at(c)
-                        .iter()
-                        .any(|op| op.target() == j
-                            && matches!(op, PlanOp::Init { .. } | PlanOp::InitAnti { .. })));
+                    assert!(plan.actions_at(c).iter().any(|op| op.target() == j
+                        && matches!(op, PlanOp::Init { .. } | PlanOp::InitAnti { .. })));
                 }
             }
         }

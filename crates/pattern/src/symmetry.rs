@@ -176,8 +176,8 @@ mod tests {
                 x
             }
         }
-        for v in 0..k {
-            let (a, b) = (find(&mut repr, v), find(&mut repr, sigma[v]));
+        for (v, &sv) in sigma.iter().enumerate() {
+            let (a, b) = (find(&mut repr, v), find(&mut repr, sv));
             if a != b {
                 repr[a] = b;
             }
@@ -196,14 +196,9 @@ mod tests {
         fn has_cycle(v: usize, adj: &[Vec<usize>], state: &mut [u8]) -> bool {
             state[v] = 1;
             for &w in &adj[v] {
-                match state[w] {
-                    0 => {
-                        if has_cycle(w, adj, state) {
-                            return true;
-                        }
-                    }
-                    1 => return true,
-                    _ => {}
+                let seen = state[w];
+                if seen == 1 || (seen == 0 && has_cycle(w, adj, state)) {
+                    return true;
                 }
             }
             state[v] = 2;

@@ -42,7 +42,11 @@ impl<'a> ResultCollector<'a> {
     /// Panics if `seg_idx` decreases with respect to the previous call, or
     /// if the bitvector length does not match the segment length.
     pub fn receive(&mut self, seg_idx: usize, elems: &'a [Elem], bitvec: SegBitvec) {
-        assert_eq!(elems.len(), bitvec.len(), "bitvector/segment length mismatch");
+        assert_eq!(
+            elems.len(),
+            bitvec.len(),
+            "bitvector/segment length mismatch"
+        );
         self.receives += 1;
         match &mut self.current {
             Some((cur_idx, _, acc)) if *cur_idx == seg_idx => {

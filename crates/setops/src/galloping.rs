@@ -20,6 +20,14 @@ use crate::{merge, Elem, SetOpKind};
 /// ```
 pub fn intersect(short: &[Elem], long: &[Elem]) -> Vec<Elem> {
     let mut out = Vec::with_capacity(short.len());
+    intersect_into(short, long, &mut out);
+    out
+}
+
+/// `short ∩ long` by galloping, into a caller-owned buffer (cleared first).
+/// Allocation-free kernel behind [`intersect`], for scratch-arena reuse.
+pub fn intersect_into(short: &[Elem], long: &[Elem], out: &mut Vec<Elem>) {
+    out.clear();
     let mut base = 0usize;
     for &x in short {
         match gallop_search(&long[base..], x) {
@@ -33,12 +41,18 @@ pub fn intersect(short: &[Elem], long: &[Elem]) -> Vec<Elem> {
             break;
         }
     }
-    out
 }
 
 /// `short − long` by galloping.
 pub fn subtract(short: &[Elem], long: &[Elem]) -> Vec<Elem> {
     let mut out = Vec::with_capacity(short.len());
+    subtract_into(short, long, &mut out);
+    out
+}
+
+/// `short − long` by galloping, into a caller-owned buffer (cleared first).
+pub fn subtract_into(short: &[Elem], long: &[Elem], out: &mut Vec<Elem>) {
+    out.clear();
     let mut base = 0usize;
     for (i, &x) in short.iter().enumerate() {
         if base >= long.len() {
@@ -53,18 +67,24 @@ pub fn subtract(short: &[Elem], long: &[Elem]) -> Vec<Elem> {
             }
         }
     }
-    out
 }
 
 /// Applies `kind` with the paper's (short, long) operand convention, using
 /// galloping for the probe side.
 pub fn apply(kind: SetOpKind, short: &[Elem], long: &[Elem]) -> Vec<Elem> {
+    let mut out = Vec::new();
+    apply_into(kind, short, long, &mut out);
+    out
+}
+
+/// [`apply`] into a caller-owned buffer (cleared first).
+pub fn apply_into(kind: SetOpKind, short: &[Elem], long: &[Elem], out: &mut Vec<Elem>) {
     match kind {
-        SetOpKind::Intersect => intersect(short, long),
-        SetOpKind::Subtract => subtract(short, long),
+        SetOpKind::Intersect => intersect_into(short, long, out),
+        SetOpKind::Subtract => subtract_into(short, long, out),
         // Anti-subtraction emits most of the long side; galloping the
         // short probes into it is still the right shape.
-        SetOpKind::AntiSubtract => merge::subtract(long, short),
+        SetOpKind::AntiSubtract => merge::subtract_into(long, short, out),
     }
 }
 

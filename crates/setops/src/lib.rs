@@ -45,8 +45,8 @@
 #![warn(missing_docs)]
 
 pub mod bitvector;
-pub mod galloping;
 pub mod collector;
+pub mod galloping;
 pub mod merge;
 pub mod pairing;
 pub mod segment;

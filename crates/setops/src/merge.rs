@@ -16,6 +16,16 @@ use crate::{Elem, SetOpKind};
 /// ```
 pub fn intersect(a: &[Elem], b: &[Elem]) -> Vec<Elem> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
+    intersect_into(a, b, &mut out);
+    out
+}
+
+/// `a ∩ b` appended into `out` (the caller-owned buffer is cleared first).
+/// The allocation-free kernel behind [`intersect`]; mining inner loops call
+/// this with a recycled scratch buffer so steady-state DFS performs no heap
+/// allocation per embedding.
+pub fn intersect_into(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
+    out.clear();
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -28,7 +38,6 @@ pub fn intersect(a: &[Elem], b: &[Elem]) -> Vec<Elem> {
             }
         }
     }
-    out
 }
 
 /// `a − b` for sorted, duplicate-free slices. Output is sorted.
@@ -40,6 +49,14 @@ pub fn intersect(a: &[Elem], b: &[Elem]) -> Vec<Elem> {
 /// ```
 pub fn subtract(a: &[Elem], b: &[Elem]) -> Vec<Elem> {
     let mut out = Vec::with_capacity(a.len());
+    subtract_into(a, b, &mut out);
+    out
+}
+
+/// `a − b` appended into `out` (cleared first). Allocation-free kernel
+/// behind [`subtract`]; see [`intersect_into`].
+pub fn subtract_into(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
+    out.clear();
     let (mut i, mut j) = (0, 0);
     while i < a.len() {
         if j >= b.len() || a[i] < b[j] {
@@ -52,17 +69,24 @@ pub fn subtract(a: &[Elem], b: &[Elem]) -> Vec<Elem> {
             j += 1;
         }
     }
-    out
 }
 
 /// Applies `kind` to the paper's (short, long) operand convention:
 /// `Intersect → short ∩ long`, `Subtract → short − long`,
 /// `AntiSubtract → long − short`.
 pub fn apply(kind: SetOpKind, short: &[Elem], long: &[Elem]) -> Vec<Elem> {
+    let mut out = Vec::new();
+    apply_into(kind, short, long, &mut out);
+    out
+}
+
+/// [`apply`] into a caller-owned buffer (cleared first); the scratch-reusing
+/// entry point the mining executor's arena uses.
+pub fn apply_into(kind: SetOpKind, short: &[Elem], long: &[Elem], out: &mut Vec<Elem>) {
     match kind {
-        SetOpKind::Intersect => intersect(short, long),
-        SetOpKind::Subtract => subtract(short, long),
-        SetOpKind::AntiSubtract => subtract(long, short),
+        SetOpKind::Intersect => intersect_into(short, long, out),
+        SetOpKind::Subtract => subtract_into(short, long, out),
+        SetOpKind::AntiSubtract => subtract_into(long, short, out),
     }
 }
 
@@ -155,6 +179,19 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_clear_and_reuse_the_buffer() {
+        let mut buf = vec![99, 98, 97];
+        intersect_into(&[1, 2, 3], &[2, 3, 4], &mut buf);
+        assert_eq!(buf, vec![2, 3]);
+        subtract_into(&[1, 2, 3], &[2], &mut buf);
+        assert_eq!(buf, vec![1, 3]);
+        let cap = buf.capacity();
+        apply_into(SetOpKind::AntiSubtract, &[2], &[1, 2, 3], &mut buf);
+        assert_eq!(buf, vec![1, 3]);
+        assert_eq!(buf.capacity(), cap, "reuse must not reallocate here");
+    }
+
+    #[test]
     fn merge_cycles_is_sum() {
         assert_eq!(merge_cycles(16, 8), 24);
         assert_eq!(merge_cycles(0, 0), 0);
@@ -184,8 +221,7 @@ mod tests {
     }
 
     fn sorted_set_strategy(max_len: usize) -> impl Strategy<Value = Vec<Elem>> {
-        proptest::collection::btree_set(0u32..500, 0..max_len)
-            .prop_map(|s| s.into_iter().collect())
+        proptest::collection::btree_set(0u32..500, 0..max_len).prop_map(|s| s.into_iter().collect())
     }
 
     proptest! {

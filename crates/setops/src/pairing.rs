@@ -151,7 +151,13 @@ mod tests {
         let short_heads = [26, 33, 47, 50, 76];
         // Last elements: each short segment ends just before the next head.
         let short_lasts = [32, 46, 49, 75, 79];
-        let p = pair(&long_heads, &short_heads, &short_lasts, SetOpKind::Intersect, 2);
+        let p = pair(
+            &long_heads,
+            &short_heads,
+            &short_lasts,
+            SetOpKind::Intersect,
+            2,
+        );
         // Long segment 0 ([10, 25)) pairs nothing; segment 1 ([25, 44))
         // pairs shorts 0-1; segment 2 ([44, 57)) pairs shorts 1-3; segments
         // 3 and 4 pair the wide short segment 3 ([50, 75]) plus, for
@@ -188,7 +194,13 @@ mod tests {
 
     #[test]
     fn shorts_before_all_longs_are_unpaired() {
-        let p = pair(&[100], &[1, 50, 150], &[40, 99, 200], SetOpKind::Subtract, 4);
+        let p = pair(
+            &[100],
+            &[1, 50, 150],
+            &[40, 99, 200],
+            SetOpKind::Subtract,
+            4,
+        );
         assert_eq!(p.unpaired_shorts, 0..2);
         assert_eq!(p.load_table, vec![1]);
         assert_eq!(p.start_table, vec![2]);
@@ -206,7 +218,13 @@ mod tests {
         let long_heads = [0];
         let short_heads = [1, 5, 9, 13];
         let short_lasts = [4, 8, 12, 16];
-        let p = pair(&long_heads, &short_heads, &short_lasts, SetOpKind::Intersect, 1);
+        let p = pair(
+            &long_heads,
+            &short_heads,
+            &short_lasts,
+            SetOpKind::Intersect,
+            1,
+        );
         assert_eq!(p.workloads.len(), 4);
         for (i, w) in p.workloads.iter().enumerate() {
             assert_eq!(w.shorts, i..i + 1);
@@ -218,7 +236,13 @@ mod tests {
         let long_heads = [0, 100, 200];
         let short_heads = [10, 20, 30, 40, 110];
         let short_lasts = [15, 25, 35, 45, 150];
-        let p = pair(&long_heads, &short_heads, &short_lasts, SetOpKind::Intersect, 2);
+        let p = pair(
+            &long_heads,
+            &short_heads,
+            &short_lasts,
+            SetOpKind::Intersect,
+            2,
+        );
         let covered: usize = p
             .workloads
             .iter()
@@ -247,8 +271,7 @@ mod tests {
         use proptest::prelude::*;
 
         fn sorted_set(max: u32, len: usize) -> impl Strategy<Value = Vec<Elem>> {
-            proptest::collection::btree_set(0..max, 1..len)
-                .prop_map(|s| s.into_iter().collect())
+            proptest::collection::btree_set(0..max, 1..len).prop_map(|s| s.into_iter().collect())
         }
 
         proptest! {
@@ -256,6 +279,7 @@ mod tests {
             /// ranges overlap is assigned to some workload — the property
             /// that makes the segmented pipeline exact.
             #[test]
+            #[allow(clippy::needless_range_loop)] // i, j index several parallel collections
             fn overlapping_pairs_are_covered(
                 short in sorted_set(500, 80),
                 long in sorted_set(500, 160),

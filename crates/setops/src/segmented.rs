@@ -69,7 +69,13 @@ pub fn execute(
         .map(|i| short_segs.last_of(i))
         .collect();
 
-    let pairing = pair(&long_heads, &short_heads, &short_lasts, kind, config.max_load);
+    let pairing = pair(
+        &long_heads,
+        &short_heads,
+        &short_lasts,
+        kind,
+        config.max_load,
+    );
 
     // Execute every workload on a (virtual) IU.
     let mut emissions: Vec<IuEmission> = Vec::new();
@@ -145,8 +151,12 @@ mod tests {
     fn empty_short_set() {
         let long = [1, 2, 3, 4, 5];
         let cfg = SegmentedConfig::default();
-        assert!(execute(SetOpKind::Intersect, &[], &long, &cfg).result.is_empty());
-        assert!(execute(SetOpKind::Subtract, &[], &long, &cfg).result.is_empty());
+        assert!(execute(SetOpKind::Intersect, &[], &long, &cfg)
+            .result
+            .is_empty());
+        assert!(execute(SetOpKind::Subtract, &[], &long, &cfg)
+            .result
+            .is_empty());
         assert_eq!(
             execute(SetOpKind::AntiSubtract, &[], &long, &cfg).result,
             long.to_vec()
@@ -157,12 +167,16 @@ mod tests {
     fn empty_long_set() {
         let short = [1, 2, 3];
         let cfg = SegmentedConfig::default();
-        assert!(execute(SetOpKind::Intersect, &short, &[], &cfg).result.is_empty());
+        assert!(execute(SetOpKind::Intersect, &short, &[], &cfg)
+            .result
+            .is_empty());
         assert_eq!(
             execute(SetOpKind::Subtract, &short, &[], &cfg).result,
             short.to_vec()
         );
-        assert!(execute(SetOpKind::AntiSubtract, &short, &[], &cfg).result.is_empty());
+        assert!(execute(SetOpKind::AntiSubtract, &short, &[], &cfg)
+            .result
+            .is_empty());
     }
 
     #[test]
@@ -197,17 +211,32 @@ mod tests {
         let set: Vec<Elem> = (0..40).map(|i| i * 2).collect();
         let cfg = SegmentedConfig::default();
         assert_eq!(execute(SetOpKind::Intersect, &set, &set, &cfg).result, set);
-        assert!(execute(SetOpKind::Subtract, &set, &set, &cfg).result.is_empty());
-        assert!(execute(SetOpKind::AntiSubtract, &set, &set, &cfg).result.is_empty());
+        assert!(execute(SetOpKind::Subtract, &set, &set, &cfg)
+            .result
+            .is_empty());
+        assert!(execute(SetOpKind::AntiSubtract, &set, &set, &cfg)
+            .result
+            .is_empty());
     }
 
     #[test]
     fn single_element_sets() {
         let cfg = SegmentedConfig::default();
-        assert_eq!(execute(SetOpKind::Intersect, &[5], &[5], &cfg).result, vec![5]);
-        assert!(execute(SetOpKind::Intersect, &[5], &[6], &cfg).result.is_empty());
-        assert_eq!(execute(SetOpKind::Subtract, &[5], &[6], &cfg).result, vec![5]);
-        assert_eq!(execute(SetOpKind::AntiSubtract, &[5], &[4, 6], &cfg).result, vec![4, 6]);
+        assert_eq!(
+            execute(SetOpKind::Intersect, &[5], &[5], &cfg).result,
+            vec![5]
+        );
+        assert!(execute(SetOpKind::Intersect, &[5], &[6], &cfg)
+            .result
+            .is_empty());
+        assert_eq!(
+            execute(SetOpKind::Subtract, &[5], &[6], &cfg).result,
+            vec![5]
+        );
+        assert_eq!(
+            execute(SetOpKind::AntiSubtract, &[5], &[4, 6], &cfg).result,
+            vec![4, 6]
+        );
     }
 
     #[test]
@@ -231,7 +260,12 @@ mod tests {
         // Short set entirely below the long set: intersection pairs nothing.
         let short: Vec<Elem> = (0..50).collect();
         let long: Vec<Elem> = (1000..1200).collect();
-        let out = execute(SetOpKind::Intersect, &short, &long, &SegmentedConfig::default());
+        let out = execute(
+            SetOpKind::Intersect,
+            &short,
+            &long,
+            &SegmentedConfig::default(),
+        );
         assert!(out.result.is_empty());
         assert!(out.workloads.is_empty(), "no overlapping segments to pair");
     }

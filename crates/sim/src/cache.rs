@@ -43,7 +43,10 @@ impl SetAssocCache {
     /// Panics if any argument is zero or `capacity_bytes` is smaller than
     /// one way of lines.
     pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
-        assert!(capacity_bytes > 0 && line_bytes > 0 && ways > 0, "cache parameters must be positive");
+        assert!(
+            capacity_bytes > 0 && line_bytes > 0 && ways > 0,
+            "cache parameters must be positive"
+        );
         let lines = capacity_bytes / line_bytes;
         assert!(lines >= ways as u64, "capacity smaller than one set");
         let set_count = (lines / ways as u64).next_power_of_two();
@@ -131,7 +134,7 @@ mod tests {
     #[test]
     fn capacity_bounds_working_set() {
         let mut c = SetAssocCache::new(4096, 64, 4); // 64 lines
-        // Touch 128 lines: second pass over the first 64 should mostly miss.
+                                                     // Touch 128 lines: second pass over the first 64 should mostly miss.
         for i in 0..128u64 {
             c.access(i * 64);
         }
@@ -139,7 +142,11 @@ mod tests {
         for i in 0..64u64 {
             c.access(i * 64);
         }
-        assert!(c.stats().miss_rate() > 0.9, "miss rate {}", c.stats().miss_rate());
+        assert!(
+            c.stats().miss_rate() > 0.9,
+            "miss rate {}",
+            c.stats().miss_rate()
+        );
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl MemorySystem {
     pub fn fetch(&mut self, now: Cycle, addr: u64, bytes: u64) -> FetchOutcome {
         let line = self.config.line_bytes;
         let first_line = addr / line;
-        let last_line = if bytes == 0 { first_line } else { (addr + bytes - 1) / line };
+        let last_line = if bytes == 0 {
+            first_line
+        } else {
+            (addr + bytes - 1) / line
+        };
         let mut lines_accessed = 0;
         let mut lines_missed = 0;
         let mut completion = now + self.config.shared_hit_latency;

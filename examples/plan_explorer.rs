@@ -37,7 +37,10 @@ fn show(pattern: &Pattern, induced: Induced) {
     let g = erdos_renyi(16, 40, 1);
     let expected = brute::count_embeddings(&g, pattern, induced);
     let got = count_plan(&g, &plan);
-    assert_eq!(got, expected, "plan disagrees with brute force for {pattern}");
+    assert_eq!(
+        got, expected,
+        "plan disagrees with brute force for {pattern}"
+    );
     println!("validated on a 16-vertex random graph: {got} embeddings ✓\n");
 }
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, release build, tests.
+#
+# Run from the repo root. Mirrors the checks a PR must pass; keep this in
+# sync with the acceptance criteria in ROADMAP.md.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> CI green"

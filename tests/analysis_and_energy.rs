@@ -78,7 +78,12 @@ fn faster_execution_means_less_static_energy() {
     let e1 = energy_estimate(&one, 1);
     let e4 = energy_estimate(&four, 4);
     assert!(four.cycles < one.cycles);
-    assert!(e4.static_uj < 2.0 * e1.static_uj, "e4 {} vs e1 {}", e4.static_uj, e1.static_uj);
+    assert!(
+        e4.static_uj < 2.0 * e1.static_uj,
+        "e4 {} vs e1 {}",
+        e4.static_uj,
+        e1.static_uj
+    );
 }
 
 #[test]

@@ -5,7 +5,9 @@
 use fingers_repro::core::chip::{simulate_fingers, simulate_fingers_scheduled, RootSchedule};
 use fingers_repro::core::config::{ChipConfig, PeConfig};
 use fingers_repro::core::pe::FingersPe;
-use fingers_repro::graph::gen::{chung_lu_power_law, grid, king_grid, rmat, ChungLuConfig, RmatConfig};
+use fingers_repro::graph::gen::{
+    chung_lu_power_law, grid, king_grid, rmat, ChungLuConfig, RmatConfig,
+};
 use fingers_repro::graph::reorder;
 use fingers_repro::mining::count_benchmark;
 use fingers_repro::pattern::benchmarks::Benchmark;

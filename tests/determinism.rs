@@ -5,7 +5,9 @@ use fingers_repro::core::chip::simulate_fingers;
 use fingers_repro::core::config::ChipConfig;
 use fingers_repro::flexminer::{simulate_flexminer, FlexMinerChipConfig};
 use fingers_repro::graph::datasets::Dataset;
-use fingers_repro::graph::gen::{chung_lu_power_law, ChungLuConfig};
+use fingers_repro::graph::gen::{chung_lu_power_law, erdos_renyi, rmat, ChungLuConfig, RmatConfig};
+use fingers_repro::graph::CsrGraph;
+use fingers_repro::mining::{count_benchmark, count_benchmark_parallel};
 use fingers_repro::pattern::benchmarks::Benchmark;
 
 #[test]
@@ -48,6 +50,36 @@ fn flexminer_simulation_is_deterministic() {
     let b = simulate_flexminer(&g, &multi, &cfg);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.embeddings, b.embeddings);
+}
+
+/// The load-bearing guarantee of the task-parallel engine: for **every**
+/// benchmark, on synthetic datasets of three different degree structures,
+/// the parallel count is bit-identical to the sequential count at 1, 2,
+/// and 4 threads. (The reduction is an order-independent `u64` sum over
+/// root-partitioned tasks, so this holds by construction — this test keeps
+/// it that way.)
+#[test]
+fn parallel_counts_are_bit_identical_to_sequential() {
+    let graphs: [(&str, CsrGraph); 3] = [
+        ("erdos-renyi", erdos_renyi(130, 650, 7)),
+        (
+            "chung-lu",
+            chung_lu_power_law(&ChungLuConfig::new(140, 800, 17)),
+        ),
+        ("rmat", rmat(&RmatConfig::graph500(7, 700, 3))),
+    ];
+    for (name, g) in &graphs {
+        for bench in Benchmark::ALL {
+            let sequential = count_benchmark(g, bench);
+            for threads in [1, 2, 4] {
+                let parallel = count_benchmark_parallel(g, bench, threads);
+                assert_eq!(
+                    parallel, sequential,
+                    "{name} / {bench} diverged at {threads} threads"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -118,7 +118,11 @@ fn cache_capacity_never_changes_results() {
     let multi = Benchmark::Cyc.plan();
     let base = simulate_fingers(&g, &multi, &ChipConfig::single_pe());
     for mb in [2.0, 8.0, 16.0] {
-        let r = simulate_fingers(&g, &multi, &ChipConfig::single_pe().with_shared_cache_mb(mb));
+        let r = simulate_fingers(
+            &g,
+            &multi,
+            &ChipConfig::single_pe().with_shared_cache_mb(mb),
+        );
         assert_eq!(r.embeddings, base.embeddings, "{mb} MB");
         let fm = simulate_flexminer(
             &g,

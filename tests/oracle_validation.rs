@@ -48,13 +48,13 @@ fn closed_forms_on_cycles_and_stars() {
         .build();
     let mc = count_benchmark(&c6, Benchmark::Mc3);
     assert_eq!(mc.per_pattern, vec![0, 6]);
-    let c4 = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+    let c4 = GraphBuilder::new()
+        .edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        .build();
     assert_eq!(count_benchmark(&c4, Benchmark::Cyc).total(), 1);
 
     // Star S_k: C(k, 2) wedges; no 4-vertex benchmark pattern occurs.
-    let star = GraphBuilder::new()
-        .edges((1..=7).map(|l| (0, l)))
-        .build();
+    let star = GraphBuilder::new().edges((1..=7).map(|l| (0, l))).build();
     assert_eq!(
         count_benchmark(&star, Benchmark::Mc3).per_pattern,
         vec![0, choose(7, 2)]
@@ -74,8 +74,7 @@ fn diamond_and_tailed_triangle_minimal_instances() {
     // It contains 2 triangles and 2 tailed triangles (each triangle with
     // the opposite degree-2 vertex as tail... via the degree-3 vertices).
     assert_eq!(count_benchmark(&dia, Benchmark::Tc).total(), 2);
-    let brute_tt =
-        brute::count_embeddings(&dia, &Pattern::tailed_triangle(), Induced::Vertex);
+    let brute_tt = brute::count_embeddings(&dia, &Pattern::tailed_triangle(), Induced::Vertex);
     assert_eq!(count_benchmark(&dia, Benchmark::Tt).total(), brute_tt);
 }
 
@@ -214,7 +213,13 @@ fn edge_induced_counts_dominate_vertex_induced() {
         assert!(e >= v, "{p}: edge {e} < vertex {v}");
     }
     // For cliques the two semantics coincide.
-    let v = count_plan(&g, &ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex));
-    let e = count_plan(&g, &ExecutionPlan::compile(&Pattern::triangle(), Induced::Edge));
+    let v = count_plan(
+        &g,
+        &ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex),
+    );
+    let e = count_plan(
+        &g,
+        &ExecutionPlan::compile(&Pattern::triangle(), Induced::Edge),
+    );
     assert_eq!(v, e);
 }

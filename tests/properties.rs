@@ -6,15 +6,19 @@ use proptest::prelude::*;
 use fingers_repro::core::chip::simulate_fingers;
 use fingers_repro::core::config::{ChipConfig, PeConfig};
 use fingers_repro::graph::{CsrGraph, GraphBuilder, VertexId};
-use fingers_repro::mining::count_benchmark;
+use fingers_repro::mining::{count_benchmark, count_benchmark_parallel};
 use fingers_repro::pattern::benchmarks::Benchmark;
-use fingers_repro::setops::{merge, segmented, SegmentedConfig, SetOpKind};
+use fingers_repro::setops::{galloping, merge, segmented, SegmentedConfig, SetOpKind};
 
 /// Strategy: a random small graph as an edge set over `n` vertices.
 fn graph_strategy(max_n: VertexId, max_edges: usize) -> impl Strategy<Value = CsrGraph> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::btree_set((0..n, 0..n), 0..max_edges)
-            .prop_map(move |edges| GraphBuilder::new().edges(edges).vertex_count(n as usize).build())
+        proptest::collection::btree_set((0..n, 0..n), 0..max_edges).prop_map(move |edges| {
+            GraphBuilder::new()
+                .edges(edges)
+                .vertex_count(n as usize)
+                .build()
+        })
     })
 }
 
@@ -93,10 +97,13 @@ proptest! {
         prop_assert_eq!(r.embeddings, expected);
     }
 
-    /// Segmented pipeline == whole-list merge on neighbor lists taken from
-    /// real graphs (complements the uniform-random unit property test).
+    /// All three kernel families agree on all three operations: whole-list
+    /// merge (the functional reference), galloping (the software miner's
+    /// skew fast path, including its into-buffer variant), and the
+    /// segmented hardware pipeline — on neighbor lists taken from real
+    /// graphs (complements the uniform-random unit property tests).
     #[test]
-    fn segmented_matches_merge_on_graph_lists(
+    fn merge_galloping_segmented_agree_on_graph_lists(
         g in graph_strategy(30, 200),
         a in 0u32..30,
         b in 0u32..30,
@@ -105,10 +112,32 @@ proptest! {
         let la = g.neighbors(a);
         let lb = g.neighbors(b);
         let cfg = SegmentedConfig::default();
+        let mut buf = Vec::new();
         for kind in SetOpKind::ALL {
             let expected = merge::apply(kind, la, lb);
+            let galloped = galloping::apply(kind, la, lb);
+            prop_assert_eq!(&galloped, &expected, "galloping {}", kind);
+            galloping::apply_into(kind, la, lb, &mut buf);
+            prop_assert_eq!(&buf, &expected, "galloping-into {}", kind);
             let got = segmented::execute(kind, la, lb, &cfg);
-            prop_assert_eq!(&got.result, &expected, "{}", kind);
+            prop_assert_eq!(&got.result, &expected, "segmented {}", kind);
+        }
+    }
+
+    /// The task-parallel miner equals the sequential miner on arbitrary
+    /// random graphs at every thread count (the fuzzing complement of the
+    /// fixed-dataset determinism test).
+    #[test]
+    fn parallel_counts_match_sequential_on_random_graphs(
+        g in graph_strategy(24, 90),
+        threads in 1usize..5,
+    ) {
+        for bench in [Benchmark::Tc, Benchmark::Cyc, Benchmark::Mc3] {
+            prop_assert_eq!(
+                count_benchmark_parallel(&g, bench, threads),
+                count_benchmark(&g, bench),
+                "{} at {} threads", bench, threads
+            );
         }
     }
 

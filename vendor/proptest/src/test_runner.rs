@@ -1,0 +1,67 @@
+//! Test-runner plumbing: configuration, the case RNG, and case outcomes.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Runner configuration (`proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than the real crate's 256, keeping the offline
+    /// suite fast while still exploring a meaningful input space.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the runner draws a fresh case.
+    Reject(&'static str),
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+}
+
+/// Deterministic RNG driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// The fixed-seed generator used for every property run.
+    pub fn deterministic() -> Self {
+        Self {
+            inner: ChaCha8Rng::seed_from_u64(0x5EED_CAFE),
+        }
+    }
+
+    /// Uniform draw from `[lo, hi]`, both inclusive.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "cannot sample empty range");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform draw from a non-empty `usize` range.
+    pub fn gen_usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.inner.gen_range(range)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,349 @@
+//! Offline stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Implements exactly the API surface this workspace uses — [`Rng`],
+//! [`SeedableRng`], [`seq::SliceRandom`], and
+//! [`distributions::WeightedIndex`] — on top of a single [`RngCore`]
+//! abstraction. The generators behind it are deterministic, seedable, and
+//! of ordinary statistical quality; they make no attempt to be
+//! stream-compatible with the real crate (nothing in the workspace depends
+//! on the exact stream, only on determinism per seed).
+
+#![forbid(unsafe_code)]
+
+/// Source of raw random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (`Range` or `RangeInclusive`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value of a type with a standard distribution (`f64` in
+    /// `[0, 1)`, integers uniform over their domain, `bool` fair).
+    fn gen<T: distributions::Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    //! Distribution sampling (the subset of `rand::distributions` used by
+    //! the workspace).
+
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Types sampleable with `rng.gen()`.
+    pub trait Standard: Sized {
+        /// Draws one value with the type's standard distribution.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 random mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Standard for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Standard for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Error type for invalid [`WeightedIndex`] construction.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// No weights were provided.
+        NoItem,
+        /// A weight was negative or not finite, or all weights were zero.
+        InvalidWeight,
+    }
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                WeightedError::NoItem => f.write_str("no weights provided"),
+                WeightedError::InvalidWeight => f.write_str("invalid weight"),
+            }
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Samples indices proportionally to a slice of `f64` weights, by
+    /// binary search over the cumulative-weight table.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct WeightedIndex {
+        cumulative: Vec<f64>,
+        total: f64,
+    }
+
+    impl WeightedIndex {
+        /// Builds the cumulative table.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`WeightedError`] when `weights` is empty, contains a
+        /// negative or non-finite weight, or sums to zero.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: std::borrow::Borrow<f64>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w = *std::borrow::Borrow::borrow(&w);
+                if !w.is_finite() || w < 0.0 {
+                    return Err(WeightedError::InvalidWeight);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if total <= 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            Ok(Self { cumulative, total })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            let x = f64::sample_standard(rng) * self.total;
+            // partition_point returns the count of entries <= x; clamp for
+            // the (measure-zero) x == total edge.
+            self.cumulative
+                .partition_point(|&c| c <= x)
+                .min(self.cumulative.len() - 1)
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform range sampling support for [`Rng::gen_range`](crate::Rng::gen_range).
+
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Integer types uniformly sampleable over a sub-range, via their
+        /// embedding into `u64`.
+        pub trait SampleUniform: Copy + PartialOrd {
+            /// Widens to the sampling domain.
+            fn to_u64(self) -> u64;
+            /// Narrows back from the sampling domain (value is always in
+            /// range for the type when produced by [`sample_inclusive`]).
+            fn from_u64(x: u64) -> Self;
+        }
+
+        macro_rules! impl_sample_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn to_u64(self) -> u64 {
+                        self as u64
+                    }
+                    fn from_u64(x: u64) -> Self {
+                        x as $t
+                    }
+                }
+            )*};
+        }
+
+        impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+        /// Uniform draw from `[lo, hi]`, both inclusive, by rejection
+        /// sampling (exactly uniform, no modulo bias).
+        fn sample_inclusive<T: SampleUniform, R: RngCore + ?Sized>(rng: &mut R, lo: T, hi: T) -> T {
+            let (lo64, hi64) = (lo.to_u64(), hi.to_u64());
+            let span = hi64.wrapping_sub(lo64).wrapping_add(1);
+            if span == 0 {
+                // Full u64 domain: every word is in range.
+                return T::from_u64(rng.next_u64());
+            }
+            let zone = u64::MAX - (u64::MAX - span + 1) % span;
+            loop {
+                let v = rng.next_u64();
+                if v <= zone {
+                    return T::from_u64(lo64 + v % span);
+                }
+            }
+        }
+
+        /// Ranges usable with [`Rng::gen_range`](crate::Rng::gen_range).
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the range is empty.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let hi = T::from_u64(self.end.to_u64() - 1);
+                sample_inclusive(rng, self.start, hi)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                sample_inclusive(rng, lo, hi)
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence utilities (the subset of `rand::seq` used by the
+    //! workspace).
+
+    use super::{Rng, RngCore};
+
+    /// Random slice operations.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, WeightedIndex};
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore};
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.gen_range(3..=5);
+            assert!((3..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Counter(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = Counter(9);
+        let dist = WeightedIndex::new([1.0, 0.0, 9.0]).unwrap();
+        let mut counts = [0u32; 3];
+        for _ in 0..5000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 4, "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_weights() {
+        assert!(WeightedIndex::new(&[] as &[f64]).is_err());
+        assert!(WeightedIndex::new([0.0, 0.0]).is_err());
+        assert!(WeightedIndex::new([-1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! downstream consumers but never serializes anything itself (reports are
+//! hand-rendered markdown/CSV/JSON). This stub keeps the derive annotations
+//! compiling without the real dependency: the traits are markers with
+//! blanket impls, and the re-exported derives expand to nothing.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,23 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! workspace (see `vendor/README.md`).
+//!
+//! The real serde derives generate `Serialize`/`Deserialize` impls; the
+//! vendored `serde` stub provides those traits with blanket impls instead,
+//! so the derives here only need to accept the attribute position and emit
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing; the blanket impl
+/// in the vendored `serde` crate covers every type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing; the blanket
+/// impl in the vendored `serde` crate covers every type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

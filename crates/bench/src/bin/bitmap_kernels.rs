@@ -1,0 +1,5 @@
+//! Regenerates one element of the paper's evaluation; see `fingers-bench`.
+fn main() {
+    let quick = fingers_bench::quick_mode();
+    print!("{}", fingers_bench::experiments::bitmap_kernels::run(quick));
+}

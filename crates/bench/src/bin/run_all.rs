@@ -11,7 +11,7 @@ fn main() {
     if let Err(e) = std::fs::create_dir_all(&results_dir) {
         eprintln!("warning: cannot create {results_dir}: {e}");
     }
-    let sections: [Section; 11] = [
+    let sections: [Section; 12] = [
         ("table1", fingers_bench::experiments::table1::run),
         ("table2", fingers_bench::experiments::table2::run),
         ("fig9", fingers_bench::experiments::fig9::run),
@@ -21,6 +21,10 @@ fn main() {
         ("fig13", fingers_bench::experiments::fig13::run),
         ("table3", fingers_bench::experiments::table3::run),
         ("parallelism", fingers_bench::experiments::parallelism::run),
+        (
+            "bitmap_kernels",
+            fingers_bench::experiments::bitmap_kernels::run,
+        ),
         ("energy", fingers_bench::experiments::energy::run),
         ("ablations", fingers_bench::experiments::ablations::run),
     ];

@@ -6,6 +6,7 @@
 //! the paper's reference numbers where the paper states them.
 
 pub mod ablations;
+pub mod bitmap_kernels;
 pub mod energy;
 pub mod fig10;
 pub mod fig11;

@@ -10,6 +10,7 @@
 //! raw series as JSON when `$FINGERS_RESULTS_DIR` exists.
 
 use fingers_core::config::PeConfig;
+use fingers_mining::EngineConfig;
 
 use crate::datasets::load;
 use crate::report::{json_escape, write_json};
@@ -65,19 +66,28 @@ pub fn run(quick: bool) -> String {
 /// Thread counts swept by the software-scaling measurement.
 pub const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
 
+/// Bitmap-tier modes swept alongside the thread counts: off vs default-on.
+fn bitmap_modes() -> [EngineConfig; 2] {
+    [EngineConfig::without_bitmap(), EngineConfig::default()]
+}
+
 /// Measures the task-parallel software miner's wall-clock speedup over its
-/// own single-thread run for each (dataset, benchmark) cell, renders a
-/// markdown table, and writes the raw series to `parallelism_threads.json`
-/// (under the usual results-directory gating).
+/// own single-thread run for each (dataset, benchmark, bitmap-mode) cell,
+/// renders a markdown table, and writes the raw series to
+/// `parallelism_threads.json` (under the usual results-directory gating).
+/// Each JSON cell records its `bitmap_hubs` toggle, so thread-scaling can
+/// be analyzed with the bitmap tier on and off separately.
 fn software_scaling_section(quick: bool) -> String {
-    let cells = run_software_grid(quick, &THREAD_SWEEP);
+    let cells = run_software_grid(quick, &THREAD_SWEEP, &bitmap_modes());
     write_json("parallelism_threads", &render_json(&cells));
 
     let mut out = String::from(
         "\n## Software miner thread scaling — root-partitioned tasks\n\n\
          Wall-clock speedup of `count_plan_parallel` over its 1-thread run \
-         (identical counts at every thread count, by construction).\n\n\
-         | dataset / benchmark |",
+         (identical counts at every thread count and bitmap mode, by \
+         construction). `bitmap=off` is the merge/galloping engine; \
+         `bitmap=on` adds the dense hub-bitmap tier.\n\n\
+         | dataset / benchmark / bitmap |",
     );
     for t in THREAD_SWEEP {
         out.push_str(&format!(" {t} thread{} |", if t == 1 { "" } else { "s" }));
@@ -87,11 +97,17 @@ fn software_scaling_section(quick: bool) -> String {
         out.push_str("---|");
     }
     out.push('\n');
-    // Grid order is dataset-major then benchmark then threads, so each
-    // consecutive THREAD_SWEEP-sized chunk is one (dataset, benchmark) row.
+    // Grid order is dataset-major, then benchmark, then bitmap mode, then
+    // threads, so each consecutive THREAD_SWEEP-sized chunk is one
+    // (dataset, benchmark, bitmap) row.
     for row in cells.chunks(THREAD_SWEEP.len()) {
         let base_ms = row[0].wall_ms.max(1e-9);
-        out.push_str(&format!("| {} / {} |", row[0].dataset, row[0].benchmark));
+        out.push_str(&format!(
+            "| {} / {} / {} |",
+            row[0].dataset,
+            row[0].benchmark,
+            if row[0].bitmap_hubs == 0 { "off" } else { "on" }
+        ));
         for c in row {
             out.push_str(&format!(
                 " {:.2}× ({:.1} ms) |",
@@ -105,7 +121,8 @@ fn software_scaling_section(quick: bool) -> String {
         "\n- speedups track the machine's core count: on a single-core host \
          every column stays ≈ 1× (the engine adds no contention, so it \
          does not *slow down* either); the per-thread counts are asserted \
-         identical by `tests/determinism.rs`\n",
+         identical by `tests/determinism.rs`, with the bitmap tier both on \
+         and off\n",
     );
     out
 }
@@ -116,10 +133,11 @@ fn render_json(cells: &[SoftwareCell]) -> String {
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"dataset\": \"{}\", \"benchmark\": \"{}\", \"threads\": {}, \
-             \"embeddings\": {}, \"wall_ms\": {:.3}}}{}\n",
+             \"bitmap_hubs\": {}, \"embeddings\": {}, \"wall_ms\": {:.3}}}{}\n",
             json_escape(&c.dataset),
             json_escape(&c.benchmark),
             c.threads,
+            c.bitmap_hubs,
             c.embeddings,
             c.wall_ms,
             if i + 1 == cells.len() { "" } else { "," }
@@ -149,6 +167,7 @@ mod tests {
                 dataset: "As".into(),
                 benchmark: "tc".into(),
                 threads: 1,
+                bitmap_hubs: 0,
                 embeddings: 42,
                 wall_ms: 1.5,
             },
@@ -156,6 +175,7 @@ mod tests {
                 dataset: "As".into(),
                 benchmark: "tc".into(),
                 threads: 2,
+                bitmap_hubs: 64,
                 embeddings: 42,
                 wall_ms: 0.9,
             },
@@ -164,6 +184,8 @@ mod tests {
         assert!(j.starts_with("[\n"));
         assert!(j.trim_end().ends_with(']'));
         assert_eq!(j.matches("\"threads\"").count(), 2);
+        assert!(j.contains("\"bitmap_hubs\": 0"));
+        assert!(j.contains("\"bitmap_hubs\": 64"));
         assert!(j.contains("\"embeddings\": 42"));
         // Exactly one separating comma between the two objects.
         assert_eq!(j.matches("},").count(), 1);

@@ -5,7 +5,7 @@ use fingers_core::config::{ChipConfig, PeConfig};
 use fingers_core::stats::ChipReport;
 use fingers_flexminer::{simulate_flexminer, FlexMinerChipConfig};
 use fingers_graph::CsrGraph;
-use fingers_mining::count_benchmark_parallel;
+use fingers_mining::{count_benchmark_parallel_with, EngineConfig};
 use fingers_pattern::benchmarks::Benchmark;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -89,6 +89,8 @@ pub struct SoftwareCell {
     pub benchmark: String,
     /// Worker threads used.
     pub threads: usize,
+    /// Hub budget of the bitmap kernel tier (0 = tier disabled).
+    pub bitmap_hubs: usize,
     /// Total embeddings across the benchmark's patterns.
     pub embeddings: u64,
     /// Wall-clock time of the mining run, in milliseconds.
@@ -102,30 +104,38 @@ pub fn run_software_cell(
     dataset: &str,
     bench: Benchmark,
     threads: usize,
+    config: &EngineConfig,
 ) -> SoftwareCell {
     let start = Instant::now();
-    let out = count_benchmark_parallel(graph, bench, threads);
+    let out = count_benchmark_parallel_with(graph, bench, threads, config);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     SoftwareCell {
         dataset: dataset.to_owned(),
         benchmark: bench.abbrev().to_owned(),
         threads,
+        bitmap_hubs: config.bitmap_hubs,
         embeddings: out.total(),
         wall_ms,
     }
 }
 
 /// Runs the dataset × benchmark grid with the parallel software miner at
-/// each of `thread_counts`, in grid order (dataset-major, then benchmark,
-/// then thread count). The raw series behind the parallelism experiment's
-/// speedup table and JSON dump.
-pub fn run_software_grid(quick: bool, thread_counts: &[usize]) -> Vec<SoftwareCell> {
+/// each of `configs` × `thread_counts`, in grid order (dataset-major, then
+/// benchmark, then config, then thread count). The raw series behind the
+/// parallelism experiment's speedup table and JSON dump.
+pub fn run_software_grid(
+    quick: bool,
+    thread_counts: &[usize],
+    configs: &[EngineConfig],
+) -> Vec<SoftwareCell> {
     let mut cells = Vec::new();
     for d in datasets(quick) {
         let graph = crate::datasets::load(d);
         for b in benchmarks(quick) {
-            for &t in thread_counts {
-                cells.push(run_software_cell(graph, d.abbrev(), b, t));
+            for cfg in configs {
+                for &t in thread_counts {
+                    cells.push(run_software_cell(graph, d.abbrev(), b, t, cfg));
+                }
             }
         }
     }
@@ -171,12 +181,17 @@ mod tests {
     #[test]
     fn software_cell_counts_and_times() {
         let g = erdos_renyi(40, 160, 2);
-        let one = run_software_cell(&g, "er", Benchmark::Tc, 1);
-        let two = run_software_cell(&g, "er", Benchmark::Tc, 2);
+        let cfg = EngineConfig::default();
+        let one = run_software_cell(&g, "er", Benchmark::Tc, 1, &cfg);
+        let two = run_software_cell(&g, "er", Benchmark::Tc, 2, &cfg);
+        let off = run_software_cell(&g, "er", Benchmark::Tc, 1, &EngineConfig::without_bitmap());
         assert_eq!(one.embeddings, two.embeddings, "thread-count invariance");
+        assert_eq!(one.embeddings, off.embeddings, "bitmap-toggle invariance");
         assert!(one.wall_ms >= 0.0 && two.wall_ms >= 0.0);
         assert_eq!(one.threads, 1);
         assert_eq!(two.threads, 2);
+        assert_eq!(one.bitmap_hubs, cfg.bitmap_hubs);
+        assert_eq!(off.bitmap_hubs, 0);
         assert_eq!(one.dataset, "er");
         assert_eq!(one.benchmark, Benchmark::Tc.abbrev());
     }

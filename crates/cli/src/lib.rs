@@ -21,7 +21,7 @@ use fingers_core::config::{ChipConfig, PeConfig};
 use fingers_flexminer::{simulate_flexminer, FlexMinerChipConfig};
 use fingers_graph::datasets::Dataset;
 use fingers_graph::{reorder, CsrGraph};
-use fingers_mining::{count_multi_parallel, oblivious};
+use fingers_mining::{count_multi_parallel_with, oblivious, EngineConfig};
 use fingers_pattern::{parse_pattern, Induced, MultiPlan, Pattern};
 
 /// Mining engine selection.
@@ -86,6 +86,9 @@ pub struct Options {
     pub optimize_order: bool,
     /// Worker threads for the software and oblivious engines.
     pub threads: usize,
+    /// Hub budget for the software engine's dense-bitmap kernel tier
+    /// (0 disables the tier).
+    pub bitmap_hubs: usize,
 }
 
 /// Error for invalid command lines.
@@ -119,6 +122,10 @@ options:
   --ius <n>            IUs per FINGERS PE (default 24)
   --threads <n>        worker threads for software/oblivious engines
                        (default: available hardware parallelism)
+  --bitmap-hubs <k>    densify the k highest-degree adjacencies for the
+                       software engine's bitmap kernel tier (default 1024)
+  --no-bitmap          disable the bitmap tier (same as --bitmap-hubs 0);
+                       counts are identical either way
   --edge-induced       edge-induced semantics (default vertex-induced)
   --reorder-degree     relabel graph by descending degree first
   --optimize-order     search all connected matching orders by cost model
@@ -141,6 +148,7 @@ impl Options {
         let mut reorder_degree = false;
         let mut optimize_order = false;
         let mut threads = default_threads();
+        let mut bitmap_hubs = fingers_mining::config::DEFAULT_BITMAP_HUBS;
 
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -180,6 +188,12 @@ impl Options {
                         .parse()
                         .map_err(|_| UsageError("--threads must be a positive integer".into()))?
                 }
+                "--bitmap-hubs" => {
+                    bitmap_hubs = value_for("--bitmap-hubs")?
+                        .parse()
+                        .map_err(|_| UsageError("--bitmap-hubs must be an integer".into()))?
+                }
+                "--no-bitmap" => bitmap_hubs = 0,
                 "--edge-induced" => edge_induced = true,
                 "--reorder-degree" => reorder_degree = true,
                 "--optimize-order" => optimize_order = true,
@@ -207,6 +221,7 @@ impl Options {
             reorder_degree,
             optimize_order,
             threads,
+            bitmap_hubs,
         })
     }
 }
@@ -317,12 +332,21 @@ pub fn run(options: &Options) -> Result<RunOutcome, Box<dyn Error>> {
 
     Ok(match options.engine {
         Engine::Software => {
-            let out = count_multi_parallel(&graph, &multi, options.threads);
+            let config = EngineConfig {
+                bitmap_hubs: options.bitmap_hubs,
+                ..EngineConfig::default()
+            };
+            let out = count_multi_parallel_with(&graph, &multi, options.threads, &config);
+            let tier = if config.bitmap_enabled() {
+                format!("bitmap hubs {}", config.bitmap_hubs)
+            } else {
+                "bitmap off".to_owned()
+            };
             RunOutcome {
                 counts: out.per_pattern,
                 cycles: None,
                 engine: format!(
-                    "software (plan-driven DFS, {} thread{})",
+                    "software (plan-driven DFS, {} thread{}, {tier})",
                     options.threads,
                     if options.threads == 1 { "" } else { "s" }
                 ),
@@ -444,6 +468,28 @@ mod tests {
         let four = run(&Options::parse(args(&format!("{base} --threads 4"))).unwrap()).unwrap();
         assert_eq!(one.counts, four.counts);
         assert!(four.engine.contains("4 threads"));
+    }
+
+    #[test]
+    fn bitmap_flags_parse_and_default() {
+        let o = Options::parse(args("--graph g --pattern tc")).expect("valid");
+        assert_eq!(o.bitmap_hubs, fingers_mining::config::DEFAULT_BITMAP_HUBS);
+        let o = Options::parse(args("--graph g --pattern tc --bitmap-hubs 7")).expect("valid");
+        assert_eq!(o.bitmap_hubs, 7);
+        let o = Options::parse(args("--graph g --pattern tc --no-bitmap")).expect("valid");
+        assert_eq!(o.bitmap_hubs, 0);
+        assert!(Options::parse(args("--graph g --pattern tc --bitmap-hubs x")).is_err());
+        assert!(Options::parse(args("--graph g --pattern tc --bitmap-hubs")).is_err());
+    }
+
+    #[test]
+    fn bitmap_toggle_does_not_change_counts() {
+        let base = "--graph gen:pl:120:700:4 --pattern tc --pattern 4cl --threads 2";
+        let on = run(&Options::parse(args(base)).unwrap()).unwrap();
+        let off = run(&Options::parse(args(&format!("{base} --no-bitmap"))).unwrap()).unwrap();
+        assert_eq!(on.counts, off.counts);
+        assert!(on.engine.contains("bitmap hubs 1024"), "{}", on.engine);
+        assert!(off.engine.contains("bitmap off"), "{}", off.engine);
     }
 
     #[test]

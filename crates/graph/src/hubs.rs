@@ -1,0 +1,189 @@
+//! Hub identification and dense-bitmap construction from CSR rows.
+//!
+//! The bitmap kernel tier (`fingers_setops::bitmap`) pays an `O(n/64)`
+//! construction cost per adjacency it densifies, so it only makes sense
+//! for vertices whose neighbor lists are reused as the *long* operand many
+//! times — the high-degree hubs that dominate set-op time on power-law
+//! graphs. [`HubSet`] picks those vertices (top-k by degree,
+//! deterministic), and [`neighbor_bitmap`] / [`refill_neighbor_bitmap`]
+//! turn a CSR row into a probeable [`NeighborBitmap`].
+
+use fingers_setops::bitmap::NeighborBitmap;
+
+use crate::{CsrGraph, VertexId};
+
+/// The top-k highest-degree vertices of one graph, with O(1) membership.
+///
+/// Selection is deterministic: vertices are ranked by descending degree
+/// with ties broken by ascending vertex ID, and zero-degree vertices are
+/// never hubs (their adjacency is never a set-op operand). The same graph
+/// and `k` therefore always produce the same hub set — a precondition for
+/// the mining engine's bit-identical parallel counts being reproducible
+/// run to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HubSet {
+    /// Hub IDs in ascending order.
+    hubs: Vec<VertexId>,
+    /// Dense membership mask, indexed by vertex ID.
+    is_hub: Vec<bool>,
+    /// Smallest degree among the selected hubs (0 when no hubs).
+    min_degree: usize,
+}
+
+impl HubSet {
+    /// Selects the `k` highest-degree vertices of `graph`.
+    pub fn top_k(graph: &CsrGraph, k: usize) -> Self {
+        let mut ranked: Vec<VertexId> = graph.vertices().filter(|&v| graph.degree(v) > 0).collect();
+        ranked.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+        ranked.truncate(k);
+        let min_degree = ranked.iter().map(|&v| graph.degree(v)).min().unwrap_or(0);
+        let mut is_hub = vec![false; graph.vertex_count()];
+        for &v in &ranked {
+            is_hub[v as usize] = true;
+        }
+        ranked.sort_unstable();
+        Self {
+            hubs: ranked,
+            is_hub,
+            min_degree,
+        }
+    }
+
+    /// Whether `v` is a hub. Out-of-range IDs are simply not hubs.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.is_hub.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// The selected hub IDs, ascending.
+    pub fn hubs(&self) -> &[VertexId] {
+        &self.hubs
+    }
+
+    /// Number of hubs (≤ the requested `k`).
+    pub fn len(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// Whether no vertex qualified (empty graph, `k == 0`, or no edges).
+    pub fn is_empty(&self) -> bool {
+        self.hubs.is_empty()
+    }
+
+    /// Smallest degree among the hubs — the effective degree threshold the
+    /// selection realized (0 when empty).
+    pub fn min_degree(&self) -> usize {
+        self.min_degree
+    }
+}
+
+/// Builds a dense bitmap of `N(v)` over the graph's vertex-ID universe.
+///
+/// # Panics
+///
+/// Panics if `v` is out of range.
+pub fn neighbor_bitmap(graph: &CsrGraph, v: VertexId) -> NeighborBitmap {
+    NeighborBitmap::from_sorted(graph.vertex_count(), graph.neighbors(v))
+}
+
+/// Rebuilds `bitmap` in place as the dense form of `N(v)`, reusing its
+/// backing storage (no allocation when the bitmap already covers this
+/// graph's universe — the cache-eviction reuse path).
+///
+/// # Panics
+///
+/// Panics if `v` is out of range.
+pub fn refill_neighbor_bitmap(graph: &CsrGraph, v: VertexId, bitmap: &mut NeighborBitmap) {
+    bitmap.refill(graph.vertex_count(), graph.neighbors(v));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{chung_lu_power_law, ChungLuConfig};
+    use crate::GraphBuilder;
+
+    fn star_plus_edge() -> CsrGraph {
+        // Vertex 0 has degree 4; vertices 1..=4 degree 1 or 2; 5 isolated.
+        GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)])
+            .vertex_count(6)
+            .build()
+    }
+
+    #[test]
+    fn top_k_ranks_by_degree_with_id_tiebreak() {
+        let g = star_plus_edge();
+        let h = HubSet::top_k(&g, 3);
+        // Degrees: 0→4, 1→2, 2→2, 3→1, 4→1, 5→0. Top 3 = {0, 1, 2}.
+        assert_eq!(h.hubs(), &[0, 1, 2]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.min_degree(), 2);
+        assert!(h.contains(0) && h.contains(1) && h.contains(2));
+        assert!(!h.contains(3) && !h.contains(5) && !h.contains(100));
+    }
+
+    #[test]
+    fn zero_degree_vertices_never_qualify() {
+        let g = star_plus_edge();
+        let h = HubSet::top_k(&g, 100);
+        assert_eq!(h.len(), 5, "isolated vertex 5 excluded");
+        assert!(!h.contains(5));
+        let empty = GraphBuilder::new().vertex_count(4).build();
+        let h = HubSet::top_k(&empty, 3);
+        assert!(h.is_empty());
+        assert_eq!(h.min_degree(), 0);
+    }
+
+    #[test]
+    fn k_zero_and_empty_graph() {
+        let g = star_plus_edge();
+        assert!(HubSet::top_k(&g, 0).is_empty());
+        let none = GraphBuilder::new().vertex_count(0).build();
+        let h = HubSet::top_k(&none, 5);
+        assert!(h.is_empty());
+        assert!(!h.contains(0));
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_degree_dominant() {
+        let g = chung_lu_power_law(&ChungLuConfig::new(300, 1800, 9));
+        let a = HubSet::top_k(&g, 16);
+        let b = HubSet::top_k(&g, 16);
+        assert_eq!(a, b);
+        // Every hub's degree ≥ every non-hub's degree.
+        let min_hub = a.min_degree();
+        for v in g.vertices() {
+            if !a.contains(v) {
+                assert!(
+                    g.degree(v) <= min_hub,
+                    "non-hub {v} (deg {}) outranks a hub (min {min_hub})",
+                    g.degree(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_bitmap_matches_adjacency() {
+        let g = star_plus_edge();
+        for v in g.vertices() {
+            let bm = neighbor_bitmap(&g, v);
+            assert_eq!(bm.universe(), g.vertex_count());
+            assert_eq!(bm.count_ones(), g.degree(v));
+            for u in g.vertices() {
+                assert_eq!(bm.contains(u), g.has_edge(v, u), "v={v} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn refill_round_trips_between_vertices_without_realloc() {
+        let g = star_plus_edge();
+        let mut bm = neighbor_bitmap(&g, 0);
+        let cap = bm.capacity_words();
+        refill_neighbor_bitmap(&g, 3, &mut bm);
+        assert_eq!(bm.capacity_words(), cap);
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), g.neighbors(3));
+    }
+}

@@ -15,6 +15,8 @@
 //! - [`datasets`]: scaled stand-ins for the six real-world graphs of the
 //!   paper's Table 1 (AstroPh, Mico, Youtube, Patents, LiveJournal, Orkut).
 //! - [`stats`]: degree and size statistics matching Table 1's columns.
+//! - [`hubs`]: top-k-by-degree hub identification and dense neighbor
+//!   bitmaps built from CSR rows (the bitmap kernel tier's substrate).
 //! - [`io`]: plain-text edge-list parsing and serialization.
 //!
 //! # Example
@@ -39,6 +41,7 @@ mod builder;
 mod csr;
 pub mod datasets;
 pub mod gen;
+pub mod hubs;
 pub mod io;
 pub mod reorder;
 pub mod stats;

@@ -1,0 +1,111 @@
+//! Engine-wide tuning knobs for the software miner.
+
+use std::sync::Arc;
+
+use fingers_graph::hubs::HubSet;
+use fingers_graph::CsrGraph;
+
+/// Default number of top-degree vertices whose adjacencies are eligible
+/// for the dense-bitmap kernel tier. Power-law set-op time concentrates in
+/// hubs, but the crossover microbench showed the win keeps growing well
+/// past the first few dozen: 1024 hubs roughly doubles clique-counting
+/// throughput on the heavy-tail stand-ins where 64 barely moved it. `k`
+/// also bounds the most bitmaps a cache could ever hold.
+pub const DEFAULT_BITMAP_HUBS: usize = 1024;
+
+/// Default per-worker bitmap-cache capacity in resident bitmaps. Sized to
+/// match [`DEFAULT_BITMAP_HUBS`] so a warm cache never evicts (eviction
+/// churn was the dominant cost of a small cache). Each slot costs
+/// `⌈n/64⌉` words for an n-vertex graph (≈ 12 KiB at n = 100 000), but
+/// bitmaps are built lazily, so a worker only pays for hubs whose
+/// adjacencies its tasks actually probe.
+pub const DEFAULT_BITMAP_CACHE_SLOTS: usize = 1024;
+
+/// Tuning configuration of the plan-driven mining engine.
+///
+/// Every setting is performance-only: **counts are identical under every
+/// configuration** (all kernel tiers are property-tested equivalent), so
+/// configs can be swept freely in benchmarks without re-validating
+/// results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// How many top-degree vertices get dense bitmaps (0 disables the
+    /// bitmap tier entirely; merge/galloping dispatch still applies).
+    pub bitmap_hubs: usize,
+    /// Per-worker bitmap-cache capacity (resident hub bitmaps). Clamped to
+    /// at least 1 when the bitmap tier is enabled.
+    pub bitmap_cache_slots: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            bitmap_hubs: DEFAULT_BITMAP_HUBS,
+            bitmap_cache_slots: DEFAULT_BITMAP_CACHE_SLOTS,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The merge/galloping-only baseline: bitmap tier disabled.
+    pub fn without_bitmap() -> Self {
+        Self {
+            bitmap_hubs: 0,
+            ..Self::default()
+        }
+    }
+
+    /// A config with the given hub budget and default cache sizing.
+    pub fn with_bitmap_hubs(bitmap_hubs: usize) -> Self {
+        Self {
+            bitmap_hubs,
+            ..Self::default()
+        }
+    }
+
+    /// Whether the bitmap tier is enabled.
+    pub fn bitmap_enabled(&self) -> bool {
+        self.bitmap_hubs > 0
+    }
+
+    /// Identifies this config's hub set for `graph`, shared (via `Arc`)
+    /// across the parallel workers so top-k selection runs once per mining
+    /// call rather than once per worker. `None` when the tier is disabled
+    /// or no vertex qualifies.
+    pub fn hub_set(&self, graph: &CsrGraph) -> Option<Arc<HubSet>> {
+        if !self.bitmap_enabled() {
+            return None;
+        }
+        let hubs = HubSet::top_k(graph, self.bitmap_hubs);
+        if hubs.is_empty() {
+            None
+        } else {
+            Some(Arc::new(hubs))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingers_graph::GraphBuilder;
+
+    #[test]
+    fn default_enables_bitmap_tier() {
+        let c = EngineConfig::default();
+        assert!(c.bitmap_enabled());
+        assert_eq!(c.bitmap_hubs, DEFAULT_BITMAP_HUBS);
+        assert!(!EngineConfig::without_bitmap().bitmap_enabled());
+        assert_eq!(EngineConfig::with_bitmap_hubs(3).bitmap_hubs, 3);
+    }
+
+    #[test]
+    fn hub_set_respects_toggle_and_empty_graphs() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2)]).build();
+        assert!(EngineConfig::without_bitmap().hub_set(&g).is_none());
+        let hubs = EngineConfig::default().hub_set(&g).expect("hubs");
+        assert!(hubs.contains(1));
+        let empty = GraphBuilder::new().vertex_count(3).build();
+        assert!(EngineConfig::default().hub_set(&empty).is_none());
+    }
+}

@@ -14,14 +14,19 @@
 //! - [`crate::parallel`] — root-partitioned execution of the same engine
 //!   across threads, with an order-independent reduction.
 
-use crate::scratch::ScratchArena;
+use crate::config::EngineConfig;
+use crate::scratch::{BitmapCache, ScratchArena};
 use crate::sink::{CountSink, FnSink, Sink};
 use crate::task::MiningTask;
+use fingers_graph::hubs::HubSet;
 use fingers_graph::{CsrGraph, VertexId};
 use fingers_pattern::benchmarks::Benchmark;
 use fingers_pattern::{ExecutionPlan, MultiPlan, PlanOp};
-use fingers_setops::{galloping, merge, Elem, SetOpKind};
+use fingers_setops::adaptive::{select_tier, KernelTier};
+use fingers_setops::bitmap::NeighborBitmap;
+use fingers_setops::{bitmap, galloping, merge, Elem, SetOpKind};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Result of mining a (multi-)plan: per-pattern embedding counts.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -37,10 +42,17 @@ impl MineOutcome {
     }
 }
 
-/// Counts embeddings of one compiled plan in `graph`.
+/// Counts embeddings of one compiled plan in `graph` with the default
+/// [`EngineConfig`].
 pub fn count_plan(graph: &CsrGraph, plan: &ExecutionPlan) -> u64 {
+    count_plan_with(graph, plan, &EngineConfig::default())
+}
+
+/// Counts embeddings of one compiled plan under an explicit engine config.
+/// The count is identical for every config — only timing changes.
+pub fn count_plan_with(graph: &CsrGraph, plan: &ExecutionPlan, config: &EngineConfig) -> u64 {
     let mut sink = CountSink::default();
-    PlanMiner::new(graph, plan).run(MiningTask::all(graph), &mut sink);
+    PlanMiner::with_config(graph, plan, config).run(MiningTask::all(graph), &mut sink);
     sink.count
 }
 
@@ -53,8 +65,18 @@ pub fn list_plan<F: FnMut(&[VertexId])>(graph: &CsrGraph, plan: &ExecutionPlan, 
 
 /// Counts embeddings of every pattern in a multi-plan.
 pub fn count_multi(graph: &CsrGraph, multi: &MultiPlan) -> MineOutcome {
+    count_multi_with(graph, multi, &EngineConfig::default())
+}
+
+/// Counts embeddings of every pattern in a multi-plan under an explicit
+/// engine config.
+pub fn count_multi_with(graph: &CsrGraph, multi: &MultiPlan, config: &EngineConfig) -> MineOutcome {
     MineOutcome {
-        per_pattern: multi.plans().iter().map(|p| count_plan(graph, p)).collect(),
+        per_pattern: multi
+            .plans()
+            .iter()
+            .map(|p| count_plan_with(graph, p, config))
+            .collect(),
     }
 }
 
@@ -63,19 +85,30 @@ pub fn count_benchmark(graph: &CsrGraph, benchmark: Benchmark) -> MineOutcome {
     count_multi(graph, &benchmark.plan())
 }
 
-/// Ratio of long- to short-operand length above which the interpreter uses
-/// the galloping kernels instead of the one-pass merge: probing a handful
-/// of candidates into a hub's neighbor list is `O(s·log(l/s))` instead of
-/// `O(s+l)`. Both kernels compute identical results (property-tested in
-/// `fingers-setops`), so the switch never affects counts.
-const GALLOP_SKEW: usize = 16;
+/// Counts embeddings for a benchmark workload under an explicit engine
+/// config.
+pub fn count_benchmark_with(
+    graph: &CsrGraph,
+    benchmark: Benchmark,
+    config: &EngineConfig,
+) -> MineOutcome {
+    count_multi_with(graph, &benchmark.plan(), config)
+}
 
 /// A reusable plan-execution worker: one graph, one compiled plan, and the
 /// scratch memory to run any number of [`MiningTask`]s against them.
 ///
 /// Construction is cheap; the arena warms up during the first task and is
 /// reused across tasks, which is what makes one `PlanMiner` per parallel
-/// worker (rather than per task) the right shape.
+/// worker (rather than per task) the right shape. The same lifecycle holds
+/// for the worker's [`BitmapCache`]: hub bitmaps built during one task
+/// stay resident for later tasks and deeper DFS levels.
+///
+/// Every scheduled set operation dispatches adaptively across the three
+/// kernel tiers (merge / galloping / dense bitmap) via
+/// [`fingers_setops::adaptive::select_tier`]; all tiers produce identical
+/// sorted outputs, so tier choice — and therefore cache state, thread
+/// count, and configuration — can never change counts.
 ///
 /// # Invariants
 ///
@@ -112,11 +145,44 @@ pub struct PlanMiner<'g, 'p> {
     sets: Vec<Option<Vec<Elem>>>,
     /// Per-level undo stacks `(target, previous set)`, reused across roots.
     undo: Vec<Vec<(usize, Option<Vec<Elem>>)>>,
+    /// Vertices eligible for the dense-bitmap tier (`None` disables it).
+    /// Shared across a mining call's workers; selection runs once.
+    hubs: Option<Arc<HubSet>>,
+    /// This worker's resident hub bitmaps.
+    cache: BitmapCache,
 }
 
 impl<'g, 'p> PlanMiner<'g, 'p> {
-    /// A worker for executing `plan` over `graph`.
+    /// A worker for executing `plan` over `graph` with the default
+    /// [`EngineConfig`].
     pub fn new(graph: &'g CsrGraph, plan: &'p ExecutionPlan) -> Self {
+        Self::with_config(graph, plan, &EngineConfig::default())
+    }
+
+    /// A worker configured by `config`; identifies the hub set itself.
+    /// Parallel callers that share one hub set across workers should use
+    /// [`PlanMiner::with_hubs`] instead.
+    pub fn with_config(
+        graph: &'g CsrGraph,
+        plan: &'p ExecutionPlan,
+        config: &EngineConfig,
+    ) -> Self {
+        Self::with_hubs(
+            graph,
+            plan,
+            config.hub_set(graph),
+            config.bitmap_cache_slots,
+        )
+    }
+
+    /// A worker using a pre-identified (possibly shared) hub set. `None`
+    /// disables the bitmap tier for this worker.
+    pub fn with_hubs(
+        graph: &'g CsrGraph,
+        plan: &'p ExecutionPlan,
+        hubs: Option<Arc<HubSet>>,
+        bitmap_cache_slots: usize,
+    ) -> Self {
         let k = plan.pattern_size();
         Self {
             graph,
@@ -125,6 +191,8 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
             mapped: Vec::with_capacity(k),
             sets: vec![None; k],
             undo: (0..k).map(|_| Vec::new()).collect(),
+            hubs,
+            cache: BitmapCache::new(bitmap_cache_slots),
         }
     }
 
@@ -150,6 +218,13 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
     /// no-per-embedding-allocation property.
     pub fn arena(&self) -> &ScratchArena {
         &self.arena
+    }
+
+    /// Bitmap-cache statistics (hits, builds, allocation bounds), for tests
+    /// asserting the cache half of the no-per-embedding-allocation
+    /// property.
+    pub fn bitmap_cache(&self) -> &BitmapCache {
+        &self.cache
     }
 
     /// Matches `v` at `level`, runs the level's scheduled set ops, recurses.
@@ -212,7 +287,7 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
     }
 
     /// Computes the new value of an op's target set into `out` (cleared).
-    fn evaluate_into(&self, op: &PlanOp, level: usize, out: &mut Vec<Elem>) {
+    fn evaluate_into(&mut self, op: &PlanOp, level: usize, out: &mut Vec<Elem>) {
         let current = self.mapped[level];
         match *op {
             PlanOp::Init { .. } => {
@@ -221,9 +296,16 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
             }
             PlanOp::InitAnti { short, .. } => {
                 // N(u_level) − N(u_short): the postponed anti-subtraction.
-                let long = self.graph.neighbors(current);
                 let short_list = self.graph.neighbors(self.mapped[short]);
-                merge::apply_into(SetOpKind::AntiSubtract, short_list, long, out);
+                kernel_dispatch(
+                    self.graph,
+                    self.hubs.as_deref(),
+                    &mut self.cache,
+                    SetOpKind::AntiSubtract,
+                    short_list,
+                    current,
+                    out,
+                );
             }
             PlanOp::Apply { target, list, kind } => {
                 // `Apply` only ever refines a set a previous op of this same
@@ -232,20 +314,48 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
                 let short = self.sets[target]
                     .as_ref()
                     .expect("Apply requires a materialized set");
-                let long = self.graph.neighbors(self.mapped[list]);
-                kernel_into(kind, short, long, out);
+                kernel_dispatch(
+                    self.graph,
+                    self.hubs.as_deref(),
+                    &mut self.cache,
+                    kind,
+                    short,
+                    self.mapped[list],
+                    out,
+                );
             }
         }
     }
 }
 
-/// Skew-adaptive kernel dispatch: galloping for probe-into-hub shapes,
-/// one-pass merge otherwise. See [`GALLOP_SKEW`].
-fn kernel_into(kind: SetOpKind, short: &[Elem], long: &[Elem], out: &mut Vec<Elem>) {
-    if long.len() > short.len().saturating_mul(GALLOP_SKEW) {
-        galloping::apply_into(kind, short, long, out);
-    } else {
-        merge::apply_into(kind, short, long, out);
+/// Three-tier adaptive kernel dispatch for one scheduled set operation
+/// whose long operand is the adjacency of `long_v`.
+///
+/// Tier choice is delegated to [`select_tier`]: the dense-bitmap tier is a
+/// candidate only when `long_v` is a configured hub (its bitmap is then
+/// fetched or lazily built through the worker's cache); otherwise the
+/// merge/galloping crossover applies. All three tiers produce identical
+/// sorted outputs, so this function is a pure performance decision.
+fn kernel_dispatch(
+    graph: &CsrGraph,
+    hubs: Option<&HubSet>,
+    cache: &mut BitmapCache,
+    kind: SetOpKind,
+    short: &[Elem],
+    long_v: VertexId,
+    out: &mut Vec<Elem>,
+) {
+    let long = graph.neighbors(long_v);
+    let resident_words = hubs
+        .filter(|h| h.contains(long_v))
+        .map(|_| NeighborBitmap::words_for(graph.vertex_count()));
+    match select_tier(kind, short.len(), long.len(), resident_words) {
+        KernelTier::Bitmap => {
+            let bm = cache.get_or_build(graph, long_v);
+            bitmap::apply_into(kind, short, bm, out);
+        }
+        KernelTier::Galloping => galloping::apply_into(kind, short, long, out),
+        KernelTier::Merge => merge::apply_into(kind, short, long, out),
     }
 }
 
@@ -509,5 +619,42 @@ mod tests {
         miner.run(MiningTask::all(&g), &mut sink2);
         assert_eq!(sink2.count, sink.count);
         assert_eq!(miner.arena().fresh_buffers(), before);
+        // Same discipline for the bitmap tier: storage allocations are
+        // bounded by the cache capacity, never by embeddings, and a warmed
+        // cache serves repeat runs from residency.
+        let cache = miner.bitmap_cache();
+        assert!(
+            cache.fresh_bitmaps() <= cache.capacity(),
+            "{} bitmap allocations exceed capacity {}",
+            cache.fresh_bitmaps(),
+            cache.capacity()
+        );
+        assert!(
+            cache.hits() > 0,
+            "a K8 clique run must reuse hub bitmaps across embeddings"
+        );
+    }
+
+    #[test]
+    fn configs_agree_on_counts() {
+        // Bit-identical counts across every kernel-tier configuration.
+        let g = erdos_renyi(60, 600, 77);
+        for b in Benchmark::ALL {
+            let baseline = count_benchmark_with(&g, b, &EngineConfig::without_bitmap());
+            for cfg in [
+                EngineConfig::default(),
+                EngineConfig::with_bitmap_hubs(1),
+                EngineConfig {
+                    bitmap_hubs: 8,
+                    bitmap_cache_slots: 2,
+                },
+            ] {
+                assert_eq!(
+                    count_benchmark_with(&g, b, &cfg).per_pattern,
+                    baseline.per_pattern,
+                    "{b} under {cfg:?}"
+                );
+            }
+        }
     }
 }

@@ -11,6 +11,10 @@
 //!   (parallel) work;
 //! - [`scratch::ScratchArena`] — per-worker recycled candidate-set buffers,
 //!   so steady-state mining performs no per-embedding heap allocation;
+//! - [`scratch::BitmapCache`] — per-worker LRU of dense hub-adjacency
+//!   bitmaps backing the third kernel tier, with the same bounded-allocation
+//!   discipline ([`config::EngineConfig`] sizes both the hub set and the
+//!   cache);
 //! - [`sink::Sink`] — pluggable match consumers (counting, listing,
 //!   statistics) over one shared interpreter;
 //! - [`PlanMiner`] — the interpreter tying the three together;
@@ -41,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod brute;
+pub mod config;
 mod executor;
 pub mod oblivious;
 pub mod parallel;
@@ -48,8 +53,15 @@ pub mod scratch;
 pub mod sink;
 pub mod task;
 
-pub use executor::{count_benchmark, count_multi, count_plan, list_plan, MineOutcome, PlanMiner};
-pub use parallel::{count_benchmark_parallel, count_multi_parallel, count_plan_parallel};
-pub use scratch::ScratchArena;
+pub use config::EngineConfig;
+pub use executor::{
+    count_benchmark, count_benchmark_with, count_multi, count_multi_with, count_plan,
+    count_plan_with, list_plan, MineOutcome, PlanMiner,
+};
+pub use parallel::{
+    count_benchmark_parallel, count_benchmark_parallel_with, count_multi_parallel,
+    count_multi_parallel_with, count_plan_parallel, count_plan_parallel_with,
+};
+pub use scratch::{BitmapCache, ScratchArena};
 pub use sink::{CountSink, FnSink, Sink};
 pub use task::MiningTask;

@@ -10,7 +10,8 @@
 //! **bit-identical** to the sequential count regardless of scheduling —
 //! the determinism tests assert exactly this.
 
-use crate::executor::{count_plan, MineOutcome, PlanMiner};
+use crate::config::EngineConfig;
+use crate::executor::{count_plan_with, MineOutcome, PlanMiner};
 use crate::sink::{CountSink, Sink};
 use crate::task::MiningTask;
 use fingers_graph::CsrGraph;
@@ -21,28 +22,47 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Tasks created per worker: oversubscription for dynamic load balance.
 const TASKS_PER_WORKER: usize = 8;
 
-/// Counts embeddings of `plan` in `graph` using `threads` workers.
+/// Counts embeddings of `plan` in `graph` using `threads` workers, with the
+/// default [`EngineConfig`].
 ///
-/// Deterministic: returns exactly [`count_plan`]'s value for every thread
-/// count (the reduction is an order-independent `u64` sum). `threads == 0`
-/// is treated as 1.
+/// Deterministic: returns exactly [`crate::count_plan`]'s value for every
+/// thread count (the reduction is an order-independent `u64` sum).
+/// `threads == 0` is treated as 1.
 ///
 /// # Panics
 ///
 /// Re-raises any panic from a worker thread (none occur for plans produced
 /// by the compiler; see the invariants documented on [`PlanMiner`]).
 pub fn count_plan_parallel(graph: &CsrGraph, plan: &ExecutionPlan, threads: usize) -> u64 {
+    count_plan_parallel_with(graph, plan, threads, &EngineConfig::default())
+}
+
+/// Counts embeddings of `plan` using `threads` workers under an explicit
+/// engine config.
+///
+/// The hub set is identified once here and shared (`Arc`) across workers;
+/// each worker still owns its private bitmap cache, so the hot path stays
+/// synchronization-free. Counts are identical for every config and thread
+/// count.
+pub fn count_plan_parallel_with(
+    graph: &CsrGraph,
+    plan: &ExecutionPlan,
+    threads: usize,
+    config: &EngineConfig,
+) -> u64 {
     let threads = effective_threads(threads, graph.vertex_count());
     if threads <= 1 {
-        return count_plan(graph, plan);
+        return count_plan_with(graph, plan, config);
     }
+    let hubs = config.hub_set(graph);
     let tasks = MiningTask::partition(graph.vertex_count(), threads * TASKS_PER_WORKER);
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut miner = PlanMiner::new(graph, plan);
+                    let mut miner =
+                        PlanMiner::with_hubs(graph, plan, hubs.clone(), config.bitmap_cache_slots);
                     let mut sink = CountSink::default();
                     while let Some(task) = tasks.get(cursor.fetch_add(1, Ordering::Relaxed)) {
                         miner.run(task.clone(), &mut sink);
@@ -62,11 +82,22 @@ pub fn count_plan_parallel(graph: &CsrGraph, plan: &ExecutionPlan, threads: usiz
 ///
 /// Per-pattern counts equal [`crate::count_multi`]'s exactly.
 pub fn count_multi_parallel(graph: &CsrGraph, multi: &MultiPlan, threads: usize) -> MineOutcome {
+    count_multi_parallel_with(graph, multi, threads, &EngineConfig::default())
+}
+
+/// Counts every pattern of a multi-plan with `threads` workers per plan
+/// under an explicit engine config.
+pub fn count_multi_parallel_with(
+    graph: &CsrGraph,
+    multi: &MultiPlan,
+    threads: usize,
+    config: &EngineConfig,
+) -> MineOutcome {
     MineOutcome {
         per_pattern: multi
             .plans()
             .iter()
-            .map(|p| count_plan_parallel(graph, p, threads))
+            .map(|p| count_plan_parallel_with(graph, p, threads, config))
             .collect(),
     }
 }
@@ -78,6 +109,17 @@ pub fn count_benchmark_parallel(
     threads: usize,
 ) -> MineOutcome {
     count_multi_parallel(graph, &benchmark.plan(), threads)
+}
+
+/// Counts a benchmark workload with `threads` workers under an explicit
+/// engine config.
+pub fn count_benchmark_parallel_with(
+    graph: &CsrGraph,
+    benchmark: Benchmark,
+    threads: usize,
+    config: &EngineConfig,
+) -> MineOutcome {
+    count_multi_parallel_with(graph, &benchmark.plan(), threads, config)
 }
 
 /// Runs `worker` once per claimed root-range task on each of `threads`
@@ -137,6 +179,7 @@ pub fn run_task<S: Sink + Default>(miner: &mut PlanMiner<'_, '_>, task: MiningTa
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::count_plan;
     use fingers_graph::gen::erdos_renyi;
     use fingers_pattern::{ExecutionPlan, Induced, Pattern};
 
@@ -166,6 +209,23 @@ mod tests {
         for b in [Benchmark::Mc3, Benchmark::Tc] {
             let seq = crate::count_benchmark(&g, b);
             assert_eq!(count_benchmark_parallel(&g, b, 4), seq, "{b}");
+        }
+    }
+
+    #[test]
+    fn parallel_configs_agree_with_sequential_baseline() {
+        // Bitmap on/off × thread counts all land on the same counts.
+        let g = erdos_renyi(50, 300, 29);
+        let plan = ExecutionPlan::compile(&Pattern::clique(4), Induced::Vertex);
+        let expected = count_plan_with(&g, &plan, &EngineConfig::without_bitmap());
+        for cfg in [EngineConfig::without_bitmap(), EngineConfig::default()] {
+            for threads in [1, 2, 4] {
+                assert_eq!(
+                    count_plan_parallel_with(&g, &plan, threads, &cfg),
+                    expected,
+                    "{threads} threads under {cfg:?}"
+                );
+            }
         }
     }
 

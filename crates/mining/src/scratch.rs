@@ -7,7 +7,16 @@
 //! DFS unwind returns each buffer to the pool, and the next descent takes
 //! it back (with its capacity intact), so steady-state mining performs no
 //! per-embedding heap allocation. Tests assert this via [`ScratchArena::fresh_buffers`].
+//!
+//! [`BitmapCache`] extends the same no-per-embedding-allocation discipline
+//! to the dense-bitmap kernel tier: a bounded LRU of hub-adjacency
+//! bitmaps, owned by one worker, reused across tasks and DFS levels.
+//! Backing word storage is recycled on eviction, so the number of bitmap
+//! allocations is bounded by the cache capacity — never by the number of
+//! embeddings or even the number of cache misses.
 
+use fingers_graph::{hubs, CsrGraph, VertexId};
+use fingers_setops::bitmap::NeighborBitmap;
 use fingers_setops::Elem;
 
 /// A pool of reusable candidate-set buffers owned by one mining worker.
@@ -61,9 +70,142 @@ impl ScratchArena {
     }
 }
 
+/// One resident entry of a [`BitmapCache`].
+#[derive(Debug)]
+struct CacheSlot {
+    vertex: VertexId,
+    /// Logical timestamp of the last hit (monotone per-cache counter —
+    /// deterministic, unlike wall-clock LRU).
+    stamp: u64,
+    bitmap: NeighborBitmap,
+}
+
+/// A bounded per-worker LRU cache of hub-adjacency bitmaps.
+///
+/// Not shared across threads (like [`ScratchArena`]): each parallel worker
+/// owns one, so hits are plain field reads with no synchronization. The
+/// cache is *lazy* — a hub's bitmap is only built the first time its
+/// adjacency is actually used as a long operand — and eviction recycles
+/// the word storage, so at most `capacity` bitmap allocations ever happen
+/// regardless of how many hubs rotate through.
+///
+/// Cache state never affects results: the bitmap kernels are bit-identical
+/// to the merge kernels, so hit/miss patterns (which do vary with task
+/// scheduling) change only timing.
+#[derive(Debug)]
+pub struct BitmapCache {
+    slots: Vec<CacheSlot>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    builds: u64,
+    fresh: usize,
+    free: Vec<NeighborBitmap>,
+    /// Dense vertex → slot map (`slot + 1`; 0 = not resident), lazily sized
+    /// to the graph's vertex count. Makes the hit path — the one taken once
+    /// per dispatched set operation — O(1) instead of a slot scan, so large
+    /// caches cost no more per hit than small ones.
+    index: Vec<u32>,
+}
+
+impl BitmapCache {
+    /// A cache holding at most `capacity` resident bitmaps (clamped to at
+    /// least 1 — a zero-slot cache could satisfy no request).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: Vec::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            hits: 0,
+            builds: 0,
+            fresh: 0,
+            free: Vec::new(),
+            index: Vec::new(),
+        }
+    }
+
+    /// Returns the dense bitmap of `N(v)`, building (and caching) it on
+    /// first use. On a full cache the least-recently-used slot is evicted
+    /// and its storage reused for the new bitmap. Hits are O(1); misses pay
+    /// an O(capacity) LRU scan plus the O(universe/64) rebuild — rare after
+    /// warm-up because hub working sets are small and stable.
+    pub fn get_or_build(&mut self, graph: &CsrGraph, v: VertexId) -> &NeighborBitmap {
+        self.clock += 1;
+        if self.index.len() < graph.vertex_count() {
+            self.index.resize(graph.vertex_count(), 0);
+        }
+        let mapped = self.index[v as usize];
+        if mapped != 0 {
+            let i = (mapped - 1) as usize;
+            self.hits += 1;
+            self.slots[i].stamp = self.clock;
+            return &self.slots[i].bitmap;
+        }
+        self.builds += 1;
+        if self.slots.len() == self.capacity {
+            let lru = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(i, _)| i)
+                .expect("capacity >= 1");
+            let evicted = self.slots.swap_remove(lru);
+            self.index[evicted.vertex as usize] = 0;
+            if let Some(moved) = self.slots.get(lru) {
+                self.index[moved.vertex as usize] = lru as u32 + 1;
+            }
+            self.free.push(evicted.bitmap);
+        }
+        let mut bitmap = match self.free.pop() {
+            Some(b) => b,
+            None => {
+                self.fresh += 1;
+                NeighborBitmap::new(graph.vertex_count())
+            }
+        };
+        hubs::refill_neighbor_bitmap(graph, v, &mut bitmap);
+        self.slots.push(CacheSlot {
+            vertex: v,
+            stamp: self.clock,
+            bitmap,
+        });
+        self.index[v as usize] = self.slots.len() as u32;
+        &self.slots.last().expect("just pushed").bitmap
+    }
+
+    /// Lookups served from a resident bitmap.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Bitmap (re)builds — cache misses, whether or not they allocated.
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// Backing-storage allocations. Bounded by the cache capacity (evicted
+    /// storage is recycled), *not* by misses or embeddings — the bitmap
+    /// half of the engine's no-per-embedding-allocation property.
+    pub fn fresh_bitmaps(&self) -> usize {
+        self.fresh
+    }
+
+    /// Bitmaps currently resident.
+    pub fn resident(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fingers_graph::GraphBuilder;
 
     #[test]
     fn recycled_buffers_keep_capacity_and_are_cleared() {
@@ -92,5 +234,66 @@ mod tests {
         }
         assert_eq!(arena.fresh_buffers(), 2, "reuse must not create buffers");
         assert_eq!(arena.pooled(), 2);
+    }
+
+    fn path_graph(n: u32) -> CsrGraph {
+        GraphBuilder::new()
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build()
+    }
+
+    #[test]
+    fn cache_hits_after_first_build() {
+        let g = path_graph(10);
+        let mut cache = BitmapCache::new(4);
+        let first: Vec<_> = cache.get_or_build(&g, 3).iter_ones().collect();
+        assert_eq!(first, g.neighbors(3));
+        assert_eq!((cache.builds(), cache.hits()), (1, 0));
+        let again: Vec<_> = cache.get_or_build(&g, 3).iter_ones().collect();
+        assert_eq!(again, first);
+        assert_eq!((cache.builds(), cache.hits()), (1, 1));
+        assert_eq!(cache.fresh_bitmaps(), 1);
+        assert_eq!(cache.resident(), 1);
+    }
+
+    #[test]
+    fn eviction_recycles_storage_and_is_lru() {
+        let g = path_graph(12);
+        let mut cache = BitmapCache::new(2);
+        cache.get_or_build(&g, 1);
+        cache.get_or_build(&g, 2);
+        cache.get_or_build(&g, 1); // refresh 1 → LRU is now 2
+        cache.get_or_build(&g, 3); // evicts 2, reuses its storage
+        assert_eq!(cache.fresh_bitmaps(), 2, "third build must reuse storage");
+        assert_eq!(cache.resident(), 2);
+        // 1 was refreshed, so it must still be resident (a hit, not a build).
+        let builds = cache.builds();
+        cache.get_or_build(&g, 1);
+        assert_eq!(cache.builds(), builds, "LRU evicted the wrong entry");
+        // 2 was evicted: asking again rebuilds, but still allocates nothing.
+        cache.get_or_build(&g, 2);
+        assert_eq!(cache.builds(), builds + 1);
+        assert_eq!(cache.fresh_bitmaps(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let g = path_graph(4);
+        let mut cache = BitmapCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        assert_eq!(cache.get_or_build(&g, 1).count_ones(), 2);
+    }
+
+    #[test]
+    fn allocations_bounded_by_capacity_under_churn() {
+        let g = path_graph(40);
+        let mut cache = BitmapCache::new(3);
+        for round in 0..5u32 {
+            for v in 0..30u32 {
+                cache.get_or_build(&g, (v + round) % 30);
+            }
+        }
+        assert_eq!(cache.fresh_bitmaps(), 3, "churn must not allocate");
+        assert_eq!(cache.resident(), 3);
     }
 }

@@ -1,0 +1,176 @@
+//! Adaptive kernel-tier selection for the software mining hot path.
+//!
+//! The crate offers three interchangeable kernel tiers for every set
+//! operation — all bit-identical in output, so the choice is purely a
+//! performance decision made per call:
+//!
+//! 1. [`merge`](crate::merge) — one-pass streaming, `O(s + l)`; best when
+//!    the operands are comparably sized.
+//! 2. [`galloping`](crate::galloping) — exponential search of the long
+//!    side, `O(s · log(l/s))`; best for skewed operands.
+//! 3. [`bitmap`](crate::bitmap) — `O(1)` word probes against a dense
+//!    [`NeighborBitmap`](crate::bitmap::NeighborBitmap) of the long side,
+//!    `O(s)` per op; best when the long side is a cached hub adjacency.
+//!
+//! [`select_tier`] is the single place the crossover policy lives. The
+//! mining executor consults it for every scheduled set operation; the
+//! bench harness uses the same function so microbenchmarks measure exactly
+//! what the miner dispatches.
+
+use crate::SetOpKind;
+
+/// Long/short length ratio above which galloping beats the one-pass merge:
+/// probing `s` candidates into a list of length `l` costs
+/// `O(s · log(l/s))` versus merge's `O(s + l)`, which crosses over once
+/// `l/s` clears the constant-factor gap between a branchy binary search
+/// step and a streaming compare. 16× is the measured crossover for these
+/// kernels (see the `bitmap_kernels` bench experiment); it is deliberately
+/// conservative so near-balanced operands stay on the cheaper merge.
+///
+/// This is the **only** definition of the crossover — call sites must use
+/// [`select_tier`] (or this constant) rather than re-hardcoding `16`.
+pub const GALLOP_CROSSOVER: usize = 16;
+
+/// Which kernel family executes one set operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelTier {
+    /// One-pass whole-list merge ([`crate::merge`]).
+    Merge,
+    /// Exponential-search probing ([`crate::galloping`]).
+    Galloping,
+    /// Dense-bitmap word probes ([`crate::bitmap`]).
+    Bitmap,
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KernelTier::Merge => "merge",
+            KernelTier::Galloping => "galloping",
+            KernelTier::Bitmap => "bitmap",
+        })
+    }
+}
+
+/// Picks the kernel tier for one `(short, long)` operation.
+///
+/// `resident_words` is `Some(w)` when a dense bitmap of the long operand is
+/// available (cached, or cheap to build because the long side is a hub the
+/// caller's cache covers), where `w` is the bitmap's word count — the cost
+/// of a full word scan. `None` means only the list tiers are available.
+///
+/// Policy:
+///
+/// - **Intersect / Subtract** with a bitmap available: always `Bitmap` —
+///   probing costs one word load per short element, which undercuts both
+///   list kernels for every operand shape.
+/// - **AntiSubtract** with a bitmap available: `Bitmap` only when the word
+///   scan (`w`) is no more expensive than restreaming both lists
+///   (`s + l`); emitting the long side means the output is `Ω(l − s)`
+///   either way, so only the scan overhead differs.
+/// - Otherwise: `Galloping` when `l > s · `[`GALLOP_CROSSOVER`], `Merge`
+///   when the ratio ties or is below (ties stream; see the boundary tests).
+pub fn select_tier(
+    kind: SetOpKind,
+    short_len: usize,
+    long_len: usize,
+    resident_words: Option<usize>,
+) -> KernelTier {
+    if let Some(words) = resident_words {
+        match kind {
+            SetOpKind::Intersect | SetOpKind::Subtract => return KernelTier::Bitmap,
+            SetOpKind::AntiSubtract => {
+                if words <= short_len + long_len {
+                    return KernelTier::Bitmap;
+                }
+            }
+        }
+    }
+    if long_len > short_len.saturating_mul(GALLOP_CROSSOVER) {
+        KernelTier::Galloping
+    } else {
+        KernelTier::Merge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_operands_gallop_balanced_operands_merge() {
+        assert_eq!(
+            select_tier(SetOpKind::Intersect, 4, 65, None),
+            KernelTier::Galloping
+        );
+        assert_eq!(
+            select_tier(SetOpKind::Intersect, 100, 100, None),
+            KernelTier::Merge
+        );
+        assert_eq!(
+            select_tier(SetOpKind::Subtract, 0, 1, None),
+            KernelTier::Galloping
+        );
+    }
+
+    /// The dispatch boundary: a long side of exactly `short × 16` ties and
+    /// stays on merge; one element more crosses into galloping. This pins
+    /// the `>` (not `>=`) semantics every call site relies on.
+    #[test]
+    fn crossover_boundary_tie_goes_to_merge() {
+        for s in [1usize, 3, 10, 100] {
+            let tie = s * GALLOP_CROSSOVER;
+            assert_eq!(
+                select_tier(SetOpKind::Intersect, s, tie, None),
+                KernelTier::Merge,
+                "tie at short={s}"
+            );
+            assert_eq!(
+                select_tier(SetOpKind::Intersect, s, tie + 1, None),
+                KernelTier::Galloping,
+                "past tie at short={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_short_side_does_not_overflow() {
+        assert_eq!(
+            select_tier(SetOpKind::Intersect, usize::MAX, usize::MAX, None),
+            KernelTier::Merge
+        );
+    }
+
+    #[test]
+    fn probes_prefer_bitmap_whenever_resident() {
+        for kind in [SetOpKind::Intersect, SetOpKind::Subtract] {
+            for (s, l) in [(1usize, 1usize), (10, 1000), (1000, 10)] {
+                assert_eq!(
+                    select_tier(kind, s, l, Some(1_000_000)),
+                    KernelTier::Bitmap,
+                    "{kind} s={s} l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anti_subtract_weighs_word_scan_against_restream() {
+        // Small universe: scanning 4 words beats restreaming 200 elements.
+        assert_eq!(
+            select_tier(SetOpKind::AntiSubtract, 50, 150, Some(4)),
+            KernelTier::Bitmap
+        );
+        // Huge universe, short lists: word scan would dominate — fall back
+        // to the list tiers (here the merge, operands being balanced).
+        assert_eq!(
+            select_tier(SetOpKind::AntiSubtract, 50, 150, Some(100_000)),
+            KernelTier::Merge
+        );
+        // ... and to galloping when also skewed.
+        assert_eq!(
+            select_tier(SetOpKind::AntiSubtract, 2, 1000, Some(100_000)),
+            KernelTier::Galloping
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! Dense-bitmap set-operation kernels — the third kernel tier.
+//!
+//! The merge kernels stream both operands (`O(s + l)`); galloping probes
+//! the long side by exponential search (`O(s · log(l/s))`). When the long
+//! operand is the adjacency of a high-degree *hub* vertex that gets reused
+//! across many set operations, a third representation wins: a dense
+//! [`NeighborBitmap`] over the vertex-ID universe, built once from the CSR
+//! row and probed in `O(1)` per short element (`O(s)` per operation, one
+//! word load each). This is the SISA-style set-centric representation
+//! specialized to the mining hot path; the cache that amortizes
+//! construction lives in `fingers-mining`.
+//!
+//! All three kernels take the paper's `(short, long)` operand convention
+//! with the *long* side represented by the bitmap; outputs are sorted and
+//! bit-identical to the [`merge`](crate::merge) reference (property-tested
+//! below), so swapping tiers can never change mining counts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Elem, SetOpKind};
+
+/// A dense bitmap of one vertex's adjacency over the ID universe `0..n`.
+///
+/// One bit per potential neighbor; `words` is a `u64` array so membership
+/// is a single word load + mask. The backing allocation is reusable via
+/// [`refill`](NeighborBitmap::refill), which is what lets a per-worker
+/// cache rebuild evicted entries without heap traffic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborBitmap {
+    words: Vec<u64>,
+    universe: usize,
+    ones: usize,
+}
+
+impl NeighborBitmap {
+    /// Number of `u64` words needed to cover a universe of `universe` IDs.
+    pub const fn words_for(universe: usize) -> usize {
+        universe.div_ceil(64)
+    }
+
+    /// An all-zeros bitmap over `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        Self {
+            words: vec![0; Self::words_for(universe)],
+            universe,
+            ones: 0,
+        }
+    }
+
+    /// Builds a bitmap over `0..universe` from a sorted, duplicate-free,
+    /// in-range element list (a CSR neighbor row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element is `>= universe`.
+    pub fn from_sorted(universe: usize, elems: &[Elem]) -> Self {
+        let mut b = Self::new(universe);
+        b.refill(universe, elems);
+        b
+    }
+
+    /// Rebuilds this bitmap in place for a (possibly different) element
+    /// list, reusing the backing words. Only grows the allocation when the
+    /// universe grows — rebuilding for the same graph never reallocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element is `>= universe`.
+    pub fn refill(&mut self, universe: usize, elems: &[Elem]) {
+        let need = Self::words_for(universe);
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.universe = universe;
+        self.ones = elems.len();
+        for &x in elems {
+            let i = x as usize;
+            assert!(i < universe, "element {x} outside universe {universe}");
+            self.words[i >> 6] |= 1u64 << (i & 63);
+        }
+    }
+
+    /// Whether `x` is in the set. IDs outside the universe are absent, not
+    /// an error, so the probe side never needs bounds pre-checks.
+    #[inline]
+    pub fn contains(&self, x: Elem) -> bool {
+        let i = x as usize;
+        i < self.universe && (self.words[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// The ID universe size this bitmap covers.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of set bits (= the represented set's cardinality).
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Whether the represented set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Words covering the current universe (the word-scan cost of
+    /// [`iter_ones`](NeighborBitmap::iter_ones), used by adaptive
+    /// dispatch).
+    pub fn word_count(&self) -> usize {
+        Self::words_for(self.universe)
+    }
+
+    /// Capacity of the backing allocation in words (≥ [`word_count`]
+    /// (NeighborBitmap::word_count); tests use it to assert refills do not
+    /// reallocate).
+    pub fn capacity_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Iterates the set elements in ascending order via word-level
+    /// `trailing_zeros` scanning.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        let words = &self.words[..self.word_count()];
+        Ones {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Ascending iterator over the set bits of a [`NeighborBitmap`].
+#[derive(Debug, Clone)]
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = Elem;
+
+    fn next(&mut self) -> Option<Elem> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(self.word_idx as Elem * 64 + bit)
+    }
+}
+
+/// `short ∩ long` where `long` is the bitmap: probe each short element,
+/// `O(|short|)` word loads. Output is sorted because `short` is.
+pub fn intersect_bitmap_into(short: &[Elem], long: &NeighborBitmap, out: &mut Vec<Elem>) {
+    out.clear();
+    for &x in short {
+        if long.contains(x) {
+            out.push(x);
+        }
+    }
+}
+
+/// `short − long` where `long` is the bitmap: probe each short element and
+/// keep the misses. `O(|short|)`.
+pub fn subtract_bitmap_into(short: &[Elem], long: &NeighborBitmap, out: &mut Vec<Elem>) {
+    out.clear();
+    for &x in short {
+        if !long.contains(x) {
+            out.push(x);
+        }
+    }
+}
+
+/// `long − short` where `long` is the bitmap: scan the bitmap's set bits
+/// in order (word-level skip over zero words) while merging against the
+/// sorted short list. `O(words + |long| + |short|)` — cheaper than the
+/// merge kernel exactly when the word scan is smaller than restreaming the
+/// long list, which is what adaptive dispatch checks.
+pub fn anti_subtract_bitmap_into(short: &[Elem], long: &NeighborBitmap, out: &mut Vec<Elem>) {
+    out.clear();
+    let mut si = 0usize;
+    for v in long.iter_ones() {
+        while si < short.len() && short[si] < v {
+            si += 1;
+        }
+        if si < short.len() && short[si] == v {
+            si += 1;
+        } else {
+            out.push(v);
+        }
+    }
+}
+
+/// Applies `kind` with the paper's `(short, long)` operand convention,
+/// with the long side held as a dense bitmap.
+pub fn apply_into(kind: SetOpKind, short: &[Elem], long: &NeighborBitmap, out: &mut Vec<Elem>) {
+    match kind {
+        SetOpKind::Intersect => intersect_bitmap_into(short, long, out),
+        SetOpKind::Subtract => subtract_bitmap_into(short, long, out),
+        SetOpKind::AntiSubtract => anti_subtract_bitmap_into(short, long, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge;
+    use proptest::prelude::*;
+
+    fn check_all_kinds(universe: usize, short: &[Elem], long_elems: &[Elem]) {
+        let bm = NeighborBitmap::from_sorted(universe, long_elems);
+        let mut got = Vec::new();
+        for kind in SetOpKind::ALL {
+            apply_into(kind, short, &bm, &mut got);
+            assert_eq!(
+                got,
+                merge::apply(kind, short, long_elems),
+                "{kind} short={short:?} long={long_elems:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn construction_and_membership() {
+        let bm = NeighborBitmap::from_sorted(200, &[0, 63, 64, 65, 128, 199]);
+        assert_eq!(bm.universe(), 200);
+        assert_eq!(bm.count_ones(), 6);
+        assert_eq!(bm.word_count(), 4);
+        for x in [0u32, 63, 64, 65, 128, 199] {
+            assert!(bm.contains(x), "{x}");
+        }
+        for x in [1u32, 62, 66, 127, 198, 200, 1_000_000] {
+            assert!(!bm.contains(x), "{x}");
+        }
+        assert_eq!(
+            bm.iter_ones().collect::<Vec<_>>(),
+            vec![0, 63, 64, 65, 128, 199]
+        );
+    }
+
+    #[test]
+    fn empty_and_full_bitmaps() {
+        let empty = NeighborBitmap::new(100);
+        assert!(empty.is_empty());
+        assert_eq!(empty.iter_ones().count(), 0);
+        let zero_universe = NeighborBitmap::new(0);
+        assert!(!zero_universe.contains(0));
+        assert_eq!(zero_universe.word_count(), 0);
+        assert_eq!(zero_universe.iter_ones().count(), 0);
+        let all: Vec<Elem> = (0..130).collect();
+        let full = NeighborBitmap::from_sorted(130, &all);
+        assert_eq!(full.iter_ones().collect::<Vec<_>>(), all);
+    }
+
+    #[test]
+    fn refill_reuses_allocation() {
+        let mut bm = NeighborBitmap::from_sorted(500, &[1, 2, 3, 499]);
+        let cap = bm.capacity_words();
+        bm.refill(500, &[7, 450]);
+        assert_eq!(bm.capacity_words(), cap, "same-universe refill reallocated");
+        assert!(bm.contains(7) && bm.contains(450));
+        assert!(!bm.contains(1) && !bm.contains(499), "stale bits survive");
+        assert_eq!(bm.count_ones(), 2);
+        // A smaller universe shrinks the visible words but keeps storage.
+        bm.refill(100, &[64]);
+        assert_eq!(bm.capacity_words(), cap);
+        assert_eq!(bm.word_count(), 2);
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn from_sorted_rejects_out_of_range() {
+        NeighborBitmap::from_sorted(10, &[10]);
+    }
+
+    #[test]
+    fn kernels_match_merge_on_handpicked_cases() {
+        // Empty / singleton operands.
+        check_all_kinds(50, &[], &[]);
+        check_all_kinds(50, &[], &[1, 2, 3]);
+        check_all_kinds(50, &[5], &[]);
+        check_all_kinds(50, &[5], &[5]);
+        check_all_kinds(50, &[5], &[6]);
+        // Fully disjoint ranges and full containment.
+        check_all_kinds(100, &[0, 1, 2], &[90, 95, 99]);
+        check_all_kinds(100, &[10, 20, 30], &[5, 10, 15, 20, 25, 30, 35]);
+        // Word-boundary elements.
+        check_all_kinds(200, &[63, 64, 127, 128], &[0, 63, 64, 65, 128, 191, 192]);
+    }
+
+    fn sorted_set(max: u32, len: usize) -> impl Strategy<Value = Vec<Elem>> {
+        proptest::collection::btree_set(0..max, 0..len).prop_map(|s| s.into_iter().collect())
+    }
+
+    proptest! {
+        /// Random operand mixes: the bitmap kernels agree with the merge
+        /// reference on every operation.
+        #[test]
+        fn matches_merge_kernels_random(
+            short in sorted_set(2000, 120),
+            long in sorted_set(2000, 400),
+        ) {
+            check_all_kinds(2000, &short, &long);
+        }
+
+        /// Adversarial dense long / sparse short: a hub adjacency covering
+        /// most of a small universe probed by a few candidates.
+        #[test]
+        fn matches_merge_kernels_dense_long(
+            short in sorted_set(256, 8),
+            long in sorted_set(256, 250),
+        ) {
+            check_all_kinds(256, &short, &long);
+        }
+
+        /// Adversarial sparse long / dense short: the skew opposite of what
+        /// dispatch would pick, still bit-identical.
+        #[test]
+        fn matches_merge_kernels_dense_short(
+            short in sorted_set(256, 250),
+            long in sorted_set(256, 8),
+        ) {
+            check_all_kinds(256, &short, &long);
+        }
+
+        /// `iter_ones` round-trips construction exactly.
+        #[test]
+        fn iter_ones_roundtrip(elems in sorted_set(700, 128)) {
+            let bm = NeighborBitmap::from_sorted(700, &elems);
+            prop_assert_eq!(bm.iter_ones().collect::<Vec<_>>(), elems);
+        }
+    }
+}

@@ -123,6 +123,102 @@ mod tests {
         assert_eq!(subtract(&[500, 501], &long), vec![500, 501]);
     }
 
+    #[test]
+    fn empty_operands() {
+        for kind in SetOpKind::ALL {
+            assert_eq!(apply(kind, &[], &[]), Vec::<Elem>::new(), "{kind} both");
+            assert_eq!(
+                apply(kind, &[], &[1, 2, 3]),
+                merge::apply(kind, &[], &[1, 2, 3]),
+                "{kind} short empty"
+            );
+            assert_eq!(
+                apply(kind, &[4, 9], &[]),
+                merge::apply(kind, &[4, 9], &[]),
+                "{kind} long empty"
+            );
+        }
+    }
+
+    #[test]
+    fn single_element_sets() {
+        for kind in SetOpKind::ALL {
+            for (s, l) in [([5], [5]), ([5], [6]), ([6], [5])] {
+                assert_eq!(
+                    apply(kind, &s, &l),
+                    merge::apply(kind, &s, &l),
+                    "{kind} {s:?} vs {l:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fully_disjoint_ranges() {
+        let low: Vec<Elem> = (0..20).collect();
+        let high: Vec<Elem> = (1000..1040).collect();
+        for kind in SetOpKind::ALL {
+            // Short entirely before the long range, and entirely after.
+            assert_eq!(
+                apply(kind, &low, &high),
+                merge::apply(kind, &low, &high),
+                "{kind} low/high"
+            );
+            assert_eq!(
+                apply(kind, &high, &low),
+                merge::apply(kind, &high, &low),
+                "{kind} high/low"
+            );
+        }
+        assert_eq!(intersect(&low, &high), Vec::<Elem>::new());
+        assert_eq!(subtract(&low, &high), low);
+    }
+
+    #[test]
+    fn fully_contained_operands() {
+        let long: Vec<Elem> = (0..200).collect();
+        let short: Vec<Elem> = (50..60).collect();
+        for kind in SetOpKind::ALL {
+            assert_eq!(
+                apply(kind, &short, &long),
+                merge::apply(kind, &short, &long),
+                "{kind}"
+            );
+        }
+        assert_eq!(intersect(&short, &long), short);
+        assert_eq!(subtract(&short, &long), Vec::<Elem>::new());
+    }
+
+    /// `long == short` length ties at the dispatch boundary: galloping must
+    /// stay correct for the shapes `select_tier` only sends it *past* the
+    /// crossover, including exactly-at-the-tie and equal-length operands.
+    #[test]
+    fn dispatch_boundary_length_ties() {
+        use crate::adaptive::GALLOP_CROSSOVER;
+        let short: Vec<Elem> = (0..8).map(|i| i * 7).collect();
+        for extra in [0usize, 1] {
+            let long: Vec<Elem> = (0..short.len() * GALLOP_CROSSOVER + extra)
+                .map(|i| i as Elem * 3)
+                .collect();
+            for kind in SetOpKind::ALL {
+                assert_eq!(
+                    apply(kind, &short, &long),
+                    merge::apply(kind, &short, &long),
+                    "{kind} at crossover{}",
+                    if extra == 0 { " tie" } else { " + 1" }
+                );
+            }
+        }
+        // long == short (maximally tied lengths, identical contents).
+        for kind in SetOpKind::ALL {
+            assert_eq!(
+                apply(kind, &short, &short),
+                merge::apply(kind, &short, &short),
+                "{kind} self"
+            );
+        }
+    }
+
     fn sorted_set(max: u32, len: usize) -> impl Strategy<Value = Vec<Elem>> {
         proptest::collection::btree_set(0..max, 0..len).prop_map(|s| s.into_iter().collect())
     }

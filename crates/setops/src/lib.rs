@@ -10,6 +10,12 @@
 //!   performs serially.
 //! - [`galloping`]: exponential-search kernels for skewed operand sizes
 //!   (the software-miner fast path).
+//! - [`bitmap`]: dense-bitmap kernels probing a cached hub adjacency
+//!   ([`bitmap::NeighborBitmap`]) in one word load per element — the third
+//!   software kernel tier.
+//! - [`adaptive`]: the per-call tier chooser ([`adaptive::select_tier`])
+//!   and the single documented galloping-crossover constant
+//!   ([`adaptive::GALLOP_CROSSOVER`]).
 //! - [`segment`]: fixed-length segmentation (`s_l = 16`, `s_s = 4`) and head
 //!   lists (the first element of every segment).
 //! - [`pairing`]: the task-divider model — binary-search matching of short
@@ -44,6 +50,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
+pub mod bitmap;
 pub mod bitvector;
 pub mod collector;
 pub mod galloping;

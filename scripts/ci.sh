@@ -19,4 +19,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Smoke-run the bitmap-kernel microbench: --quick does one iteration per
+# shape and asserts all three kernel tiers produce identical outputs (the
+# non-timing check); pointing FINGERS_RESULTS_DIR at a nonexistent path
+# keeps the checked-in results/ files untouched.
+echo "==> bitmap_kernels --quick smoke (kernel-equivalence assertions)"
+FINGERS_RESULTS_DIR=/nonexistent-fingers-ci-smoke \
+  cargo run --release -q -p fingers-bench --bin bitmap_kernels -- --quick > /dev/null
+
 echo "==> CI green"

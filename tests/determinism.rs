@@ -7,7 +7,9 @@ use fingers_repro::flexminer::{simulate_flexminer, FlexMinerChipConfig};
 use fingers_repro::graph::datasets::Dataset;
 use fingers_repro::graph::gen::{chung_lu_power_law, erdos_renyi, rmat, ChungLuConfig, RmatConfig};
 use fingers_repro::graph::CsrGraph;
-use fingers_repro::mining::{count_benchmark, count_benchmark_parallel};
+use fingers_repro::mining::{
+    count_benchmark, count_benchmark_parallel_with, count_benchmark_with, EngineConfig,
+};
 use fingers_repro::pattern::benchmarks::Benchmark;
 
 #[test]
@@ -55,9 +57,11 @@ fn flexminer_simulation_is_deterministic() {
 /// The load-bearing guarantee of the task-parallel engine: for **every**
 /// benchmark, on synthetic datasets of three different degree structures,
 /// the parallel count is bit-identical to the sequential count at 1, 2,
-/// and 4 threads. (The reduction is an order-independent `u64` sum over
-/// root-partitioned tasks, so this holds by construction — this test keeps
-/// it that way.)
+/// and 4 threads — with the dense-bitmap kernel tier both enabled and
+/// disabled. (The reduction is an order-independent `u64` sum over
+/// root-partitioned tasks, and all kernel tiers are property-tested
+/// output-identical, so this holds by construction — this test keeps it
+/// that way.)
 #[test]
 fn parallel_counts_are_bit_identical_to_sequential() {
     let graphs: [(&str, CsrGraph); 3] = [
@@ -68,15 +72,35 @@ fn parallel_counts_are_bit_identical_to_sequential() {
         ),
         ("rmat", rmat(&RmatConfig::graph500(7, 700, 3))),
     ];
+    // A small hub budget and tiny cache force real eviction traffic, so the
+    // bitmap-on arm exercises build/evict/reuse rather than pure hits.
+    let configs = [
+        ("bitmap off", EngineConfig::without_bitmap()),
+        ("bitmap on", EngineConfig::default()),
+        (
+            "bitmap tiny cache",
+            EngineConfig {
+                bitmap_hubs: 8,
+                bitmap_cache_slots: 2,
+            },
+        ),
+    ];
     for (name, g) in &graphs {
         for bench in Benchmark::ALL {
             let sequential = count_benchmark(g, bench);
-            for threads in [1, 2, 4] {
-                let parallel = count_benchmark_parallel(g, bench, threads);
+            for (cfg_name, cfg) in &configs {
                 assert_eq!(
-                    parallel, sequential,
-                    "{name} / {bench} diverged at {threads} threads"
+                    count_benchmark_with(g, bench, cfg),
+                    sequential,
+                    "{name} / {bench} sequential diverged with {cfg_name}"
                 );
+                for threads in [1, 2, 4] {
+                    let parallel = count_benchmark_parallel_with(g, bench, threads, cfg);
+                    assert_eq!(
+                        parallel, sequential,
+                        "{name} / {bench} diverged at {threads} threads with {cfg_name}"
+                    );
+                }
             }
         }
     }

@@ -8,7 +8,7 @@ use fingers_repro::core::config::{ChipConfig, PeConfig};
 use fingers_repro::graph::{CsrGraph, GraphBuilder, VertexId};
 use fingers_repro::mining::{count_benchmark, count_benchmark_parallel};
 use fingers_repro::pattern::benchmarks::Benchmark;
-use fingers_repro::setops::{galloping, merge, segmented, SegmentedConfig, SetOpKind};
+use fingers_repro::setops::{bitmap, galloping, merge, segmented, SegmentedConfig, SetOpKind};
 
 /// Strategy: a random small graph as an edge set over `n` vertices.
 fn graph_strategy(max_n: VertexId, max_edges: usize) -> impl Strategy<Value = CsrGraph> {
@@ -97,13 +97,15 @@ proptest! {
         prop_assert_eq!(r.embeddings, expected);
     }
 
-    /// All three kernel families agree on all three operations: whole-list
+    /// All four kernel families agree on all three operations: whole-list
     /// merge (the functional reference), galloping (the software miner's
-    /// skew fast path, including its into-buffer variant), and the
-    /// segmented hardware pipeline — on neighbor lists taken from real
-    /// graphs (complements the uniform-random unit property tests).
+    /// skew fast path, including its into-buffer variant), the segmented
+    /// hardware pipeline, and the dense-bitmap tier (probing the long
+    /// operand's `NeighborBitmap` exactly as the miner's hub cache does) —
+    /// on neighbor lists taken from real graphs (complements the
+    /// uniform-random unit property tests).
     #[test]
-    fn merge_galloping_segmented_agree_on_graph_lists(
+    fn merge_galloping_segmented_bitmap_agree_on_graph_lists(
         g in graph_strategy(30, 200),
         a in 0u32..30,
         b in 0u32..30,
@@ -112,6 +114,7 @@ proptest! {
         let la = g.neighbors(a);
         let lb = g.neighbors(b);
         let cfg = SegmentedConfig::default();
+        let bm = fingers_repro::graph::hubs::neighbor_bitmap(&g, b);
         let mut buf = Vec::new();
         for kind in SetOpKind::ALL {
             let expected = merge::apply(kind, la, lb);
@@ -121,6 +124,28 @@ proptest! {
             prop_assert_eq!(&buf, &expected, "galloping-into {}", kind);
             let got = segmented::execute(kind, la, lb, &cfg);
             prop_assert_eq!(&got.result, &expected, "segmented {}", kind);
+            bitmap::apply_into(kind, la, &bm, &mut buf);
+            prop_assert_eq!(&buf, &expected, "bitmap {}", kind);
+        }
+    }
+
+    /// The bitmap toggle (and hub/cache sizing) never changes counts — the
+    /// end-to-end fuzzing complement of the per-kernel agreement above.
+    #[test]
+    fn bitmap_tier_never_changes_counts(
+        g in graph_strategy(24, 90),
+        hubs in 0usize..20,
+        slots in 0usize..4,
+        threads in 1usize..4,
+    ) {
+        use fingers_repro::mining::{count_benchmark_parallel_with, EngineConfig};
+        let cfg = EngineConfig { bitmap_hubs: hubs, bitmap_cache_slots: slots };
+        for bench in [Benchmark::Tc, Benchmark::Tt] {
+            prop_assert_eq!(
+                count_benchmark_parallel_with(&g, bench, threads, &cfg),
+                count_benchmark(&g, bench),
+                "{} hubs={} slots={} threads={}", bench, hubs, slots, threads
+            );
         }
     }
 

@@ -1,38 +1,110 @@
 //! Runs every table and figure of the evaluation in order, printing a
-//! complete EXPERIMENTS-style report to stdout (tee it into a file).
-use std::time::Instant;
+//! complete EXPERIMENTS-style report to stdout and checkpointing every
+//! section under the results directory.
+//!
+//! Fault tolerance (see `fingers_bench::checkpoint`): each section runs
+//! under panic isolation with a wall-clock watchdog; its markdown body
+//! lands in `results/sections/<name>.md` and a manifest entry is appended
+//! to `results/run_all_manifest.jsonl` on completion. A failed section is
+//! retried once, then skipped without killing the rest of the run. Pass
+//! `--resume` (or set `FINGERS_RESUME=1`) to skip sections an earlier,
+//! interrupted run already completed; the combined report is reassembled
+//! into `results/run_all_output.md` either way.
+//!
+//! Environment knobs: `FINGERS_RESULTS_DIR` (default `results`),
+//! `FINGERS_SECTION_TIMEOUT_SECS` (watchdog, default 1800),
+//! `FINGERS_MAX_SECTIONS` (stop after N sections — simulates an
+//! interruption for the resume smoke test).
 
-type Section = (&'static str, fn(bool) -> String);
+use std::time::Duration;
 
-fn main() {
-    let quick = fingers_bench::quick_mode();
-    // Persist plot-ready CSV series alongside the markdown report.
+use fingers_bench::checkpoint::{run_checkpointed, RunAllConfig, Section, SectionStatus};
+
+const SECTIONS: [Section; 12] = [
+    Section {
+        name: "table1",
+        run: fingers_bench::experiments::table1::run,
+    },
+    Section {
+        name: "table2",
+        run: fingers_bench::experiments::table2::run,
+    },
+    Section {
+        name: "fig9",
+        run: fingers_bench::experiments::fig9::run,
+    },
+    Section {
+        name: "fig10",
+        run: fingers_bench::experiments::fig10::run,
+    },
+    Section {
+        name: "fig11",
+        run: fingers_bench::experiments::fig11::run,
+    },
+    Section {
+        name: "fig12",
+        run: fingers_bench::experiments::fig12::run,
+    },
+    Section {
+        name: "fig13",
+        run: fingers_bench::experiments::fig13::run,
+    },
+    Section {
+        name: "table3",
+        run: fingers_bench::experiments::table3::run,
+    },
+    Section {
+        name: "parallelism",
+        run: fingers_bench::experiments::parallelism::run,
+    },
+    Section {
+        name: "bitmap_kernels",
+        run: fingers_bench::experiments::bitmap_kernels::run,
+    },
+    Section {
+        name: "energy",
+        run: fingers_bench::experiments::energy::run,
+    },
+    Section {
+        name: "ablations",
+        run: fingers_bench::experiments::ablations::run,
+    },
+];
+
+fn env_number(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+fn main() -> std::process::ExitCode {
     let results_dir = std::env::var("FINGERS_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
-    if let Err(e) = std::fs::create_dir_all(&results_dir) {
-        eprintln!("warning: cannot create {results_dir}: {e}");
+    let mut config = RunAllConfig::new(&results_dir, fingers_bench::quick_mode(), false);
+    config.resume = fingers_bench::resume_mode();
+    if let Some(secs) = env_number("FINGERS_SECTION_TIMEOUT_SECS") {
+        config.section_timeout = Duration::from_secs(secs);
     }
-    let sections: [Section; 12] = [
-        ("table1", fingers_bench::experiments::table1::run),
-        ("table2", fingers_bench::experiments::table2::run),
-        ("fig9", fingers_bench::experiments::fig9::run),
-        ("fig10", fingers_bench::experiments::fig10::run),
-        ("fig11", fingers_bench::experiments::fig11::run),
-        ("fig12", fingers_bench::experiments::fig12::run),
-        ("fig13", fingers_bench::experiments::fig13::run),
-        ("table3", fingers_bench::experiments::table3::run),
-        ("parallelism", fingers_bench::experiments::parallelism::run),
-        (
-            "bitmap_kernels",
-            fingers_bench::experiments::bitmap_kernels::run,
-        ),
-        ("energy", fingers_bench::experiments::energy::run),
-        ("ablations", fingers_bench::experiments::ablations::run),
-    ];
+    config.max_sections = env_number("FINGERS_MAX_SECTIONS").map(|n| n as usize);
+
     println!("# FINGERS reproduction — full evaluation run\n");
-    for (name, f) in sections {
-        let t0 = Instant::now();
-        let body = f(quick);
-        println!("{body}");
-        eprintln!("[{name} done in {:.1?}]", t0.elapsed());
+    let outcomes = match run_checkpointed(&SECTIONS, &config, &mut std::io::stdout()) {
+        Ok(outcomes) => outcomes,
+        Err(e) => {
+            eprintln!("error: cannot checkpoint under {results_dir}: {e}");
+            return std::process::ExitCode::from(3);
+        }
+    };
+    let troubled: Vec<&str> = outcomes
+        .iter()
+        .filter(|o| matches!(o.status, SectionStatus::Failed(_) | SectionStatus::TimedOut))
+        .map(|o| o.name.as_str())
+        .collect();
+    if troubled.is_empty() {
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "warning: {} section(s) did not complete: {} — re-run with --resume to retry them",
+            troubled.len(),
+            troubled.join(", ")
+        );
+        std::process::ExitCode::from(7)
     }
 }

@@ -1,0 +1,489 @@
+//! Checkpointed, fault-isolated execution of the full evaluation run.
+//!
+//! A full `run_all` pass takes >10 minutes; before this module an
+//! interrupted run restarted from zero and one panicking section killed
+//! every section after it. Here each section runs on its own thread under
+//! `catch_unwind` with a wall-clock watchdog; on completion its markdown
+//! body is written to `<results>/sections/<name>.md` and an entry is
+//! appended to the `<results>/run_all_manifest.jsonl` manifest. A resumed
+//! run (`--resume` / `FINGERS_RESUME=1`) skips sections the manifest
+//! already records as completed (for the same `--quick` mode), a failed or
+//! timed-out section is retried once and then skipped without killing the
+//! remaining sections, and the combined report is reassembled from the
+//! per-section files at the end of every run.
+
+use std::collections::BTreeSet;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::report::json_escape;
+
+/// One named section of the evaluation (a table/figure module's `run`).
+#[derive(Debug, Clone, Copy)]
+pub struct Section {
+    /// Manifest/file name of the section (e.g. `"table1"`).
+    pub name: &'static str,
+    /// The section body renderer (`quick` → markdown).
+    pub run: fn(bool) -> String,
+}
+
+/// Terminal state of one section attempt cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SectionStatus {
+    /// The section completed and its body was checkpointed.
+    Ok,
+    /// A prior run already completed the section; it was not re-run.
+    Skipped,
+    /// Every attempt panicked; the last panic message is carried.
+    Failed(String),
+    /// Every attempt exceeded the watchdog timeout.
+    TimedOut,
+}
+
+impl SectionStatus {
+    /// Manifest wire word for the status.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SectionStatus::Ok => "ok",
+            SectionStatus::Skipped => "skipped",
+            SectionStatus::Failed(_) => "failed",
+            SectionStatus::TimedOut => "timed_out",
+        }
+    }
+}
+
+/// What happened to one section during a checkpointed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionOutcome {
+    /// Section name.
+    pub name: String,
+    /// Terminal status after up to two attempts.
+    pub status: SectionStatus,
+    /// Wall-clock seconds across all attempts (0 when skipped).
+    pub wall_secs: f64,
+    /// Attempts made (0 when skipped, 1–2 otherwise).
+    pub attempts: u32,
+}
+
+/// Configuration of a checkpointed run.
+#[derive(Debug, Clone)]
+pub struct RunAllConfig {
+    /// Reduced-matrix mode (`--quick`).
+    pub quick: bool,
+    /// Skip sections the manifest already records as completed.
+    pub resume: bool,
+    /// Directory receiving the manifest, per-section bodies, and the
+    /// combined report.
+    pub results_dir: PathBuf,
+    /// Wall-clock watchdog per section attempt.
+    pub section_timeout: Duration,
+    /// Stop after attempting this many (non-skipped) sections — the
+    /// deterministic stand-in for an interrupted run, used by the resume
+    /// smoke test.
+    pub max_sections: Option<usize>,
+}
+
+impl RunAllConfig {
+    /// A config with an effectively disabled watchdog.
+    pub fn new(results_dir: impl Into<PathBuf>, quick: bool, resume: bool) -> Self {
+        Self {
+            quick,
+            resume,
+            results_dir: results_dir.into(),
+            section_timeout: Duration::from_secs(30 * 60),
+            max_sections: None,
+        }
+    }
+}
+
+/// Path of the run manifest inside `dir`.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("run_all_manifest.jsonl")
+}
+
+/// Names of sections the manifest records as completed for `quick` mode.
+///
+/// Unreadable or unparseable manifest lines are ignored — a truncated
+/// manifest (killed mid-append) must never block a resume.
+pub fn completed_sections(dir: &Path, quick: bool) -> BTreeSet<String> {
+    let mut done = BTreeSet::new();
+    let Ok(text) = std::fs::read_to_string(manifest_path(dir)) else {
+        return done;
+    };
+    for line in text.lines() {
+        let (Some(name), Some(status), Some(q)) = (
+            json_field(line, "section"),
+            json_field(line, "status"),
+            json_field(line, "quick"),
+        ) else {
+            continue;
+        };
+        if status == "ok" && q == if quick { "true" } else { "false" } {
+            done.insert(name.to_owned());
+        }
+    }
+    done
+}
+
+/// Minimal JSON field extraction for the manifest's flat records: returns
+/// the raw text of `"key": <value>` where the value is a string (without
+/// quotes) or a bare literal. Section names and statuses never contain
+/// escapes, so no unescaping is needed.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = line[start..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let mut end = 0;
+        let bytes = stripped.as_bytes();
+        while end < bytes.len() {
+            match bytes[end] {
+                b'\\' => end += 2,
+                b'"' => return Some(&stripped[..end]),
+                _ => end += 1,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// Appends one manifest entry; creates the file on first use.
+fn append_manifest(dir: &Path, outcome: &SectionOutcome, quick: bool) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(manifest_path(dir))?;
+    let message = match &outcome.status {
+        SectionStatus::Failed(m) => format!(", \"error\": \"{}\"", json_escape(m)),
+        _ => String::new(),
+    };
+    writeln!(
+        file,
+        "{{\"section\": \"{}\", \"status\": \"{}\", \"quick\": {}, \"wall_secs\": {:.3}, \
+         \"attempts\": {}{message}}}",
+        json_escape(&outcome.name),
+        outcome.status.as_str(),
+        quick,
+        outcome.wall_secs,
+        outcome.attempts,
+    )
+}
+
+/// Result of one watchdog-guarded attempt.
+enum Attempt {
+    Ok(String),
+    Panicked(String),
+    TimedOut,
+}
+
+/// Runs `section` once on its own thread under `catch_unwind`, waiting at
+/// most `timeout`. On timeout the worker thread is abandoned (threads
+/// cannot be cancelled); its late result, if any, is discarded.
+fn attempt_section(run: fn(bool) -> String, quick: bool, timeout: Duration) -> Attempt {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(|| run(quick));
+        // The receiver may be gone after a timeout; a failed send is fine.
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(Ok(body)) => Attempt::Ok(body),
+        Ok(Err(payload)) => Attempt::Panicked(panic_message(payload)),
+        Err(_) => Attempt::TimedOut,
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs `sections` in order under checkpointing: resume-skip, panic
+/// isolation, watchdog, retry-once, manifest append, per-section body
+/// files, and final reassembly of the combined report. Section bodies are
+/// also streamed to `out` as they complete.
+///
+/// # Errors
+///
+/// Propagates I/O errors creating the results directory or writing
+/// checkpoint state; section failures are *not* errors — they are reported
+/// in the returned outcomes (and on stderr) so the run can continue.
+pub fn run_checkpointed<W: std::io::Write>(
+    sections: &[Section],
+    config: &RunAllConfig,
+    out: &mut W,
+) -> std::io::Result<Vec<SectionOutcome>> {
+    let dir = &config.results_dir;
+    let section_dir = dir.join("sections");
+    std::fs::create_dir_all(&section_dir)?;
+    let done = if config.resume {
+        completed_sections(dir, config.quick)
+    } else {
+        BTreeSet::new()
+    };
+    let mut outcomes = Vec::with_capacity(sections.len());
+    let mut attempted = 0usize;
+    for section in sections {
+        if done.contains(section.name) {
+            eprintln!("[{} already complete, skipped]", section.name);
+            outcomes.push(SectionOutcome {
+                name: section.name.to_owned(),
+                status: SectionStatus::Skipped,
+                wall_secs: 0.0,
+                attempts: 0,
+            });
+            continue;
+        }
+        if let Some(max) = config.max_sections {
+            if attempted >= max {
+                eprintln!("[stopping after {attempted} sections (FINGERS_MAX_SECTIONS)]");
+                break;
+            }
+        }
+        attempted += 1;
+        let t0 = Instant::now();
+        let mut attempts = 0u32;
+        let mut status = SectionStatus::TimedOut;
+        let mut body = None;
+        while attempts < 2 {
+            attempts += 1;
+            match attempt_section(section.run, config.quick, config.section_timeout) {
+                Attempt::Ok(b) => {
+                    status = SectionStatus::Ok;
+                    body = Some(b);
+                    break;
+                }
+                Attempt::Panicked(m) => {
+                    eprintln!(
+                        "[{} attempt {attempts} panicked: {m}{}]",
+                        section.name,
+                        if attempts < 2 {
+                            "; retrying"
+                        } else {
+                            "; giving up"
+                        },
+                    );
+                    status = SectionStatus::Failed(m);
+                }
+                Attempt::TimedOut => {
+                    eprintln!(
+                        "[{} attempt {attempts} exceeded {:.0?}{}]",
+                        section.name,
+                        config.section_timeout,
+                        if attempts < 2 {
+                            "; retrying"
+                        } else {
+                            "; giving up"
+                        },
+                    );
+                    status = SectionStatus::TimedOut;
+                }
+            }
+        }
+        let outcome = SectionOutcome {
+            name: section.name.to_owned(),
+            status,
+            wall_secs: t0.elapsed().as_secs_f64(),
+            attempts,
+        };
+        if let Some(body) = &body {
+            std::fs::write(section_dir.join(format!("{}.md", section.name)), body)?;
+            writeln!(out, "{body}")?;
+            eprintln!("[{} done in {:.1?}]", section.name, t0.elapsed());
+        }
+        append_manifest(dir, &outcome, config.quick)?;
+        outcomes.push(outcome);
+    }
+    assemble_report(sections, dir)?;
+    Ok(outcomes)
+}
+
+/// Rebuilds `<dir>/run_all_output.md` by concatenating, in section order,
+/// every per-section body present on disk (current run or checkpointed by
+/// an earlier one).
+fn assemble_report(sections: &[Section], dir: &Path) -> std::io::Result<()> {
+    let mut combined = String::from("# FINGERS reproduction — full evaluation run\n\n");
+    for section in sections {
+        let path = dir.join("sections").join(format!("{}.md", section.name));
+        if let Ok(body) = std::fs::read_to_string(&path) {
+            combined.push_str(&body);
+            if !body.ends_with('\n') {
+                combined.push('\n');
+            }
+            combined.push('\n');
+        }
+    }
+    std::fs::write(dir.join("run_all_output.md"), combined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_one(_q: bool) -> String {
+        "## section one\nbody-one".into()
+    }
+    fn ok_two(_q: bool) -> String {
+        "## section two\nbody-two".into()
+    }
+    fn panicky(_q: bool) -> String {
+        panic!("section exploded")
+    }
+    fn slow(_q: bool) -> String {
+        std::thread::sleep(Duration::from_millis(500));
+        "late".into()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fingers_checkpoint_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn panicking_section_is_retried_then_skipped_without_killing_the_run() {
+        let dir = temp_dir("panic");
+        let sections = [
+            Section {
+                name: "alpha",
+                run: ok_one,
+            },
+            Section {
+                name: "boom",
+                run: panicky,
+            },
+            Section {
+                name: "omega",
+                run: ok_two,
+            },
+        ];
+        let mut out = Vec::new();
+        let cfg = RunAllConfig::new(&dir, true, false);
+        let outcomes = run_checkpointed(&sections, &cfg, &mut out).expect("io");
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].status, SectionStatus::Ok);
+        assert!(matches!(&outcomes[1].status, SectionStatus::Failed(m) if m.contains("exploded")));
+        assert_eq!(outcomes[1].attempts, 2, "failed section retried once");
+        assert_eq!(outcomes[2].status, SectionStatus::Ok, "run continued");
+        let stdout = String::from_utf8(out).expect("utf8");
+        assert!(stdout.contains("body-one") && stdout.contains("body-two"));
+        // Checkpoint state: bodies for the two ok sections, manifest rows
+        // for all three, combined report containing the ok bodies.
+        assert!(dir.join("sections/alpha.md").is_file());
+        assert!(!dir.join("sections/boom.md").exists());
+        let manifest = std::fs::read_to_string(manifest_path(&dir)).expect("manifest");
+        assert_eq!(manifest.lines().count(), 3);
+        assert!(manifest.contains("\"section\": \"boom\", \"status\": \"failed\""));
+        assert!(manifest.contains("section exploded"));
+        let combined = std::fs::read_to_string(dir.join("run_all_output.md")).expect("combined");
+        assert!(combined.contains("body-one") && combined.contains("body-two"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_run_resumes_without_duplicating_sections() {
+        let dir = temp_dir("resume");
+        let sections = [
+            Section {
+                name: "first",
+                run: ok_one,
+            },
+            Section {
+                name: "second",
+                run: ok_two,
+            },
+            Section {
+                name: "third",
+                run: ok_one,
+            },
+        ];
+        // "Interrupted" first pass: only one section attempted.
+        let mut cfg = RunAllConfig::new(&dir, true, false);
+        cfg.max_sections = Some(1);
+        let outcomes = run_checkpointed(&sections, &cfg, &mut Vec::new()).expect("io");
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(completed_sections(&dir, true).len(), 1);
+        // Resume: first is skipped, the rest run.
+        let cfg = RunAllConfig::new(&dir, true, true);
+        let outcomes = run_checkpointed(&sections, &cfg, &mut Vec::new()).expect("io");
+        assert_eq!(outcomes[0].status, SectionStatus::Skipped);
+        assert_eq!(outcomes[1].status, SectionStatus::Ok);
+        assert_eq!(outcomes[2].status, SectionStatus::Ok);
+        // Every section ok exactly once in the manifest.
+        let manifest = std::fs::read_to_string(manifest_path(&dir)).expect("manifest");
+        for name in ["first", "second", "third"] {
+            let occurrences = manifest
+                .lines()
+                .filter(|l| {
+                    json_field(l, "section") == Some(name) && json_field(l, "status") == Some("ok")
+                })
+                .count();
+            assert_eq!(occurrences, 1, "{name}");
+        }
+        // A quick-mode checkpoint does not satisfy a full-mode resume.
+        assert!(completed_sections(&dir, false).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watchdog_times_out_and_the_run_continues() {
+        let dir = temp_dir("watchdog");
+        let sections = [
+            Section {
+                name: "slowpoke",
+                run: slow,
+            },
+            Section {
+                name: "after",
+                run: ok_two,
+            },
+        ];
+        let mut cfg = RunAllConfig::new(&dir, true, false);
+        cfg.section_timeout = Duration::from_millis(40);
+        let outcomes = run_checkpointed(&sections, &cfg, &mut Vec::new()).expect("io");
+        assert_eq!(outcomes[0].status, SectionStatus::TimedOut);
+        assert_eq!(outcomes[0].attempts, 2);
+        assert_eq!(outcomes[1].status, SectionStatus::Ok);
+        let manifest = std::fs::read_to_string(manifest_path(&dir)).expect("manifest");
+        assert!(manifest.contains("\"status\": \"timed_out\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_field_extracts_strings_and_literals() {
+        let line = "{\"section\": \"fig9\", \"status\": \"ok\", \"quick\": true, \"attempts\": 2}";
+        assert_eq!(json_field(line, "section"), Some("fig9"));
+        assert_eq!(json_field(line, "status"), Some("ok"));
+        assert_eq!(json_field(line, "quick"), Some("true"));
+        assert_eq!(json_field(line, "attempts"), Some("2"));
+        assert_eq!(json_field(line, "missing"), None);
+        assert_eq!(json_field("{\"a\": \"unterminated", "a"), None);
+    }
+
+    #[test]
+    fn corrupt_manifest_lines_are_ignored() {
+        let dir = temp_dir("corrupt");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(
+            manifest_path(&dir),
+            "garbage not json\n\
+             {\"section\": \"good\", \"status\": \"ok\", \"quick\": true}\n\
+             {\"section\": \"truncat",
+        )
+        .expect("write");
+        let done = completed_sections(&dir, true);
+        assert_eq!(done.len(), 1);
+        assert!(done.contains("good"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod datasets;
 pub mod experiments;
 pub mod report;
@@ -33,4 +34,11 @@ pub mod runner;
 /// Returns true when `--quick` was passed to the current binary.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Returns true when `--resume` was passed to the current binary or
+/// `FINGERS_RESUME=1` is set.
+pub fn resume_mode() -> bool {
+    std::env::args().any(|a| a == "--resume")
+        || std::env::var("FINGERS_RESUME").is_ok_and(|v| v == "1")
 }

@@ -20,8 +20,9 @@ use fingers_core::chip::simulate_fingers;
 use fingers_core::config::{ChipConfig, PeConfig};
 use fingers_flexminer::{simulate_flexminer, FlexMinerChipConfig};
 use fingers_graph::datasets::Dataset;
-use fingers_graph::{reorder, CsrGraph};
-use fingers_mining::{count_multi_parallel_with, oblivious, EngineConfig};
+use fingers_graph::sanitize::SanitizeOptions;
+use fingers_graph::{reorder, CsrGraph, SanitizeReport};
+use fingers_mining::{oblivious, try_count_multi_parallel_with, EngineConfig, EngineError};
 use fingers_pattern::{parse_pattern, Induced, MultiPlan, Pattern};
 
 /// Mining engine selection.
@@ -89,6 +90,11 @@ pub struct Options {
     /// Hub budget for the software engine's dense-bitmap kernel tier
     /// (0 disables the tier).
     pub bitmap_hubs: usize,
+    /// Repair dirty edge-list inputs (self loops, duplicates, unsorted or
+    /// reversed edges, trailing tokens) and report what was repaired.
+    pub sanitize: bool,
+    /// Refuse inputs that would need any repair (exit code 4).
+    pub strict: bool,
 }
 
 /// Error for invalid command lines.
@@ -102,6 +108,67 @@ impl fmt::Display for UsageError {
 }
 
 impl Error for UsageError {}
+
+/// A CLI failure, mapped to a distinct nonzero process exit code so
+/// scripts can tell the failure modes apart (see [`CliError::exit_code`]).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Invalid command line (exit 2).
+    Usage(UsageError),
+    /// The input graph could not be opened, parsed, or built (exit 3).
+    GraphLoad(String),
+    /// `--strict` refused an input that needed repairs (exit 4).
+    DirtyInput(SanitizeReport),
+    /// A mining worker panicked; the run was discarded (exit 5).
+    Engine(EngineError),
+    /// The requested flag combination is not supported (exit 6).
+    Unsupported(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure: 2 usage, 3 graph load,
+    /// 4 dirty input refused, 5 engine panic, 6 unsupported combination.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::GraphLoad(_) => 3,
+            CliError::DirtyInput(_) => 4,
+            CliError::Engine(_) => 5,
+            CliError::Unsupported(_) => 6,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(e) => write!(f, "{e}"),
+            CliError::GraphLoad(msg) => write!(f, "cannot load graph: {msg}"),
+            CliError::DirtyInput(report) => {
+                write!(f, "--strict refused dirty input: {}", report.summary())
+            }
+            CliError::Engine(e) => write!(f, "{e}"),
+            CliError::Unsupported(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Usage(e) => Some(e),
+            CliError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UsageError> for CliError {
+    fn from(e: UsageError) -> Self {
+        CliError::Usage(e)
+    }
+}
 
 /// The `--help` text.
 pub const USAGE: &str = "\
@@ -129,7 +196,15 @@ options:
   --edge-induced       edge-induced semantics (default vertex-induced)
   --reorder-degree     relabel graph by descending degree first
   --optimize-order     search all connected matching orders by cost model
-  --help               print this text";
+  --sanitize           repair dirty edge-list files (drop self loops,
+                       duplicates, out-of-range IDs; tolerate trailing
+                       tokens) and print a repair report
+  --strict             refuse edge-list files that would need any repair
+  --help               print this text
+
+exit codes: 0 success, 2 usage error, 3 graph load failure,
+  4 dirty input refused by --strict, 5 mining worker panic,
+  6 unsupported flag combination";
 
 impl Options {
     /// Parses a command line (without the program name).
@@ -149,6 +224,8 @@ impl Options {
         let mut optimize_order = false;
         let mut threads = default_threads();
         let mut bitmap_hubs = fingers_mining::config::DEFAULT_BITMAP_HUBS;
+        let mut sanitize = false;
+        let mut strict = false;
 
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -194,6 +271,8 @@ impl Options {
                         .map_err(|_| UsageError("--bitmap-hubs must be an integer".into()))?
                 }
                 "--no-bitmap" => bitmap_hubs = 0,
+                "--sanitize" => sanitize = true,
+                "--strict" => strict = true,
                 "--edge-induced" => edge_induced = true,
                 "--reorder-degree" => reorder_degree = true,
                 "--optimize-order" => optimize_order = true,
@@ -211,6 +290,11 @@ impl Options {
         if threads == 0 {
             return Err(UsageError("--threads must be positive".into()));
         }
+        if sanitize && strict {
+            return Err(UsageError(
+                "--sanitize and --strict are mutually exclusive".into(),
+            ));
+        }
         Ok(Options {
             graph,
             patterns,
@@ -222,6 +306,8 @@ impl Options {
             optimize_order,
             threads,
             bitmap_hubs,
+            sanitize,
+            strict,
         })
     }
 }
@@ -299,15 +385,45 @@ pub struct RunOutcome {
     pub cycles: Option<u64>,
     /// Human-readable engine description.
     pub engine: String,
+    /// Ingestion repair report (`--sanitize`/`--strict` with a file source).
+    pub sanitize: Option<SanitizeReport>,
+}
+
+/// Loads the graph honoring `--sanitize`/`--strict`.
+///
+/// Only file sources can be dirty; datasets and generators are clean by
+/// construction, so they never produce a report.
+fn load_graph(options: &Options) -> Result<(CsrGraph, Option<SanitizeReport>), CliError> {
+    match &options.graph {
+        GraphSource::File(path) if options.sanitize || options.strict => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError::GraphLoad(format!("{path}: {e}")))?;
+            let (graph, report) = fingers_graph::io::read_edge_list_sanitized(
+                std::io::BufReader::new(file),
+                &SanitizeOptions::default(),
+            )
+            .map_err(|e| CliError::GraphLoad(format!("{path}: {e}")))?;
+            if options.strict && !report.is_clean() {
+                return Err(CliError::DirtyInput(report));
+            }
+            Ok((graph, Some(report)))
+        }
+        source => source
+            .load()
+            .map(|g| (g, None))
+            .map_err(|e| CliError::GraphLoad(e.to_string())),
+    }
 }
 
 /// Executes the configured mining run.
 ///
 /// # Errors
 ///
-/// Propagates graph-loading errors.
-pub fn run(options: &Options) -> Result<RunOutcome, Box<dyn Error>> {
-    let mut graph = options.graph.load()?;
+/// Returns a [`CliError`] carrying a distinct exit code per failure mode:
+/// graph loading/parsing, a `--strict` refusal, a worker panic in the
+/// software engine, or an unsupported flag combination.
+pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
+    let (mut graph, sanitize_report) = load_graph(options)?;
     if options.reorder_degree {
         graph = reorder::by_degree_descending(&graph).graph;
     }
@@ -336,7 +452,8 @@ pub fn run(options: &Options) -> Result<RunOutcome, Box<dyn Error>> {
                 bitmap_hubs: options.bitmap_hubs,
                 ..EngineConfig::default()
             };
-            let out = count_multi_parallel_with(&graph, &multi, options.threads, &config);
+            let out = try_count_multi_parallel_with(&graph, &multi, options.threads, &config)
+                .map_err(CliError::Engine)?;
             let tier = if config.bitmap_enabled() {
                 format!("bitmap hubs {}", config.bitmap_hubs)
             } else {
@@ -350,11 +467,14 @@ pub fn run(options: &Options) -> Result<RunOutcome, Box<dyn Error>> {
                     options.threads,
                     if options.threads == 1 { "" } else { "s" }
                 ),
+                sanitize: sanitize_report,
             }
         }
         Engine::Oblivious => {
             if induced == Induced::Edge {
-                return Err("the oblivious engine supports vertex-induced mining only".into());
+                return Err(CliError::Unsupported(
+                    "the oblivious engine supports vertex-induced mining only".into(),
+                ));
             }
             let counts = options
                 .patterns
@@ -369,6 +489,7 @@ pub fn run(options: &Options) -> Result<RunOutcome, Box<dyn Error>> {
                     options.threads,
                     if options.threads == 1 { "" } else { "s" }
                 ),
+                sanitize: sanitize_report,
             }
         }
         Engine::Fingers => {
@@ -385,6 +506,7 @@ pub fn run(options: &Options) -> Result<RunOutcome, Box<dyn Error>> {
                 counts: r.embeddings,
                 cycles: Some(r.cycles),
                 engine: format!("FINGERS ({} PE × {} IU)", options.pes, options.ius),
+                sanitize: sanitize_report,
             }
         }
         Engine::Flexminer => {
@@ -397,6 +519,7 @@ pub fn run(options: &Options) -> Result<RunOutcome, Box<dyn Error>> {
                 counts: r.embeddings,
                 cycles: Some(r.cycles),
                 engine: format!("FlexMiner ({} PE)", options.pes),
+                sanitize: sanitize_report,
             }
         }
     })
@@ -496,6 +619,92 @@ mod tests {
     fn usage_error_displays_usage() {
         let e = Options::parse(args("--help")).unwrap_err();
         assert!(e.to_string().contains("usage: fingers-mine"));
+    }
+
+    #[test]
+    fn sanitize_and_strict_flags_parse() {
+        let o = Options::parse(args("--graph g --pattern tc")).expect("valid");
+        assert!(!o.sanitize && !o.strict);
+        let o = Options::parse(args("--graph g --pattern tc --sanitize")).expect("valid");
+        assert!(o.sanitize && !o.strict);
+        let o = Options::parse(args("--graph g --pattern tc --strict")).expect("valid");
+        assert!(!o.sanitize && o.strict);
+        assert!(Options::parse(args("--graph g --pattern tc --sanitize --strict")).is_err());
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_per_error_path() {
+        let usage = CliError::from(UsageError("x".into()));
+        let load = CliError::GraphLoad("x".into());
+        let dirty = CliError::DirtyInput(SanitizeReport::default());
+        let unsupported = CliError::Unsupported("x".into());
+        let codes = [
+            usage.exit_code(),
+            load.exit_code(),
+            dirty.exit_code(),
+            unsupported.exit_code(),
+        ];
+        assert_eq!(codes, [2, 3, 4, 6]);
+        for code in codes {
+            assert_ne!(code, 0);
+        }
+    }
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("fingers-cli-{name}-{}", std::process::id()));
+        std::fs::write(&path, contents).expect("write temp edge list");
+        path
+    }
+
+    #[test]
+    fn missing_file_is_a_graph_load_error() {
+        let o = Options::parse(args("--graph /no/such/file --pattern tc")).unwrap();
+        let e = run(&o).unwrap_err();
+        assert!(matches!(e, CliError::GraphLoad(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 3);
+    }
+
+    #[test]
+    fn sanitize_repairs_and_reports() {
+        // Triangle with a self loop, a duplicate, and a trailing token.
+        let path = write_temp("dirty", "0 1\n1 2\n0 2\n2 2\n1 0\n0 1 99\n");
+        let spec = format!("--graph {} --pattern tc --sanitize", path.display());
+        let out = run(&Options::parse(args(&spec)).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(out.counts, vec![1]);
+        let report = out.sanitize.expect("sanitize report");
+        assert!(!report.is_clean());
+        assert_eq!(report.self_loops_dropped, 1);
+        assert!(report.duplicates_dropped >= 1);
+        assert_eq!(report.trailing_token_lines, 1);
+    }
+
+    #[test]
+    fn strict_refuses_dirty_and_accepts_clean() {
+        let dirty = write_temp("strict-dirty", "0 1\n1 1\n1 2\n");
+        let spec = format!("--graph {} --pattern tc --strict", dirty.display());
+        let e = run(&Options::parse(args(&spec)).unwrap()).unwrap_err();
+        std::fs::remove_file(&dirty).ok();
+        assert!(matches!(e, CliError::DirtyInput(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 4);
+
+        let clean = write_temp("strict-clean", "0 1\n0 2\n1 2\n");
+        let spec = format!("--graph {} --pattern tc --strict", clean.display());
+        let out = run(&Options::parse(args(&spec)).unwrap()).unwrap();
+        std::fs::remove_file(&clean).ok();
+        assert_eq!(out.counts, vec![1]);
+        assert!(out.sanitize.expect("report").is_clean());
+    }
+
+    #[test]
+    fn oblivious_edge_induced_is_unsupported() {
+        let o = Options::parse(args(
+            "--graph gen:er:20:40:1 --pattern tc --engine oblivious --edge-induced",
+        ))
+        .unwrap();
+        let e = run(&o).unwrap_err();
+        assert!(matches!(e, CliError::Unsupported(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 6);
     }
 
     #[test]

@@ -1,19 +1,26 @@
 //! `fingers-mine`: command-line graph miner over the FINGERS reproduction.
+//!
+//! Exit codes (see [`fingers_cli::CliError::exit_code`]): 0 success,
+//! 2 usage error, 3 graph load failure, 4 dirty input refused by
+//! `--strict`, 5 mining worker panic, 6 unsupported flag combination.
 
 use std::process::ExitCode;
 
-use fingers_cli::{run, Options};
+use fingers_cli::{run, CliError, Options};
 
 fn main() -> ExitCode {
     let options = match Options::parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(CliError::from(e).exit_code());
         }
     };
     match run(&options) {
         Ok(outcome) => {
+            if let Some(report) = &outcome.sanitize {
+                println!("{}", report.summary());
+            }
             println!("engine: {}", outcome.engine);
             for (pattern, count) in options.patterns.iter().zip(&outcome.counts) {
                 println!("{pattern}: {count} embeddings");
@@ -25,7 +32,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,22 +1,30 @@
-//! End-to-end tests of the `fingers-mine` binary itself.
+//! End-to-end tests of the `fingers-mine` binary itself, including the
+//! per-failure-mode exit codes and the `--sanitize`/`--strict` ingestion
+//! flags.
 
 use std::process::Command;
 
-fn run(args: &[&str]) -> (bool, String, String) {
+fn run(args: &[&str]) -> (Option<i32>, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_fingers-mine"))
         .args(args)
         .output()
         .expect("binary runs");
     (
-        out.status.success(),
+        out.status.code(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
 }
 
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("fingers-cli-bin-{name}-{}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp edge list");
+    path
+}
+
 #[test]
 fn mines_a_generated_graph() {
-    let (ok, stdout, _) = run(&[
+    let (code, stdout, _) = run(&[
         "--graph",
         "gen:er:80:240:7",
         "--pattern",
@@ -24,7 +32,7 @@ fn mines_a_generated_graph() {
         "--engine",
         "fingers",
     ]);
-    assert!(ok);
+    assert_eq!(code, Some(0));
     assert!(stdout.contains("engine: FINGERS"));
     assert!(stdout.contains("embeddings"));
     assert!(stdout.contains("simulated cycles"));
@@ -32,9 +40,8 @@ fn mines_a_generated_graph() {
 
 #[test]
 fn mines_an_edge_list_file() {
-    let path = std::env::temp_dir().join("fingers_cli_test_graph.txt");
-    std::fs::write(&path, "# K4\n0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n").expect("write graph");
-    let (ok, stdout, _) = run(&[
+    let path = write_temp("k4", "# K4\n0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n");
+    let (code, stdout, _) = run(&[
         "--graph",
         path.to_str().expect("utf-8 path"),
         "--pattern",
@@ -43,22 +50,80 @@ fn mines_an_edge_list_file() {
         "4cl",
     ]);
     std::fs::remove_file(&path).ok();
-    assert!(ok);
+    assert_eq!(code, Some(0));
     assert!(stdout.contains("3-clique: 4 embeddings"));
     assert!(stdout.contains("4-clique: 1 embeddings"));
 }
 
 #[test]
-fn bad_arguments_fail_with_usage() {
-    let (ok, _, stderr) = run(&["--pattern", "tc"]);
-    assert!(!ok);
+fn bad_arguments_exit_2_with_usage() {
+    let (code, _, stderr) = run(&["--pattern", "tc"]);
+    assert_eq!(code, Some(2));
     assert!(stderr.contains("--graph is required"));
     assert!(stderr.contains("usage: fingers-mine"));
 }
 
 #[test]
-fn missing_file_reports_error() {
-    let (ok, _, stderr) = run(&["--graph", "/no/such/file.txt", "--pattern", "tc"]);
-    assert!(!ok);
-    assert!(stderr.contains("error:"));
+fn missing_file_exits_3() {
+    let (code, _, stderr) = run(&["--graph", "/no/such/file.txt", "--pattern", "tc"]);
+    assert_eq!(code, Some(3));
+    assert!(stderr.contains("error: cannot load graph"));
+}
+
+#[test]
+fn malformed_file_exits_3_with_line_number() {
+    let path = write_temp("malformed", "0 1\n1 notanumber\n");
+    let (code, _, stderr) = run(&["--graph", path.to_str().unwrap(), "--pattern", "tc"]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(3));
+    assert!(stderr.contains("line 2"), "stderr: {stderr}");
+}
+
+#[test]
+fn sanitize_prints_repair_report_and_exits_0() {
+    let path = write_temp("sanitize", "0 1\n1 2\n0 2\n2 2\n1 0\n");
+    let (code, stdout, _) = run(&[
+        "--graph",
+        path.to_str().unwrap(),
+        "--pattern",
+        "tc",
+        "--sanitize",
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("sanitize: kept"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("3-clique: 1 embeddings"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn strict_refuses_dirty_input_with_exit_4() {
+    let path = write_temp("strict", "0 1\n1 1\n1 2\n");
+    let (code, _, stderr) = run(&[
+        "--graph",
+        path.to_str().unwrap(),
+        "--pattern",
+        "tc",
+        "--strict",
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(4));
+    assert!(stderr.contains("--strict refused dirty input"), "{stderr}");
+}
+
+#[test]
+fn unsupported_combination_exits_6() {
+    let (code, _, stderr) = run(&[
+        "--graph",
+        "gen:er:20:40:1",
+        "--pattern",
+        "tc",
+        "--engine",
+        "oblivious",
+        "--edge-induced",
+    ]);
+    assert_eq!(code, Some(6));
+    assert!(stderr.contains("vertex-induced"), "{stderr}");
 }

@@ -1,6 +1,7 @@
 //! Canonicalizing builder for [`CsrGraph`].
 
 use crate::csr::{CsrGraph, VertexId};
+use crate::error::GraphError;
 
 /// Builds a [`CsrGraph`] from an arbitrary collection of undirected edges.
 ///
@@ -58,10 +59,36 @@ impl GraphBuilder {
     }
 
     /// Finalizes the canonical CSR graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested vertex count exceeds what [`VertexId`] can
+    /// address — a thin wrapper over [`GraphBuilder::try_build`].
     pub fn build(self) -> CsrGraph {
+        match self.try_build() {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`GraphBuilder::build`].
+    ///
+    /// Canonicalization itself cannot fail (duplicates, reversals, and self
+    /// loops are repaired by construction), so the only error is a vertex
+    /// count beyond [`VertexId`] range — possible via
+    /// [`GraphBuilder::vertex_count`] on 64-bit hosts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::TooManyVertices`] when the graph would need
+    /// more vertices than `VertexId::MAX + 1`.
+    pub fn try_build(self) -> Result<CsrGraph, GraphError> {
         let mut n = self.min_vertex_count;
         for &(u, v) in &self.edges {
             n = n.max(u as usize + 1).max(v as usize + 1);
+        }
+        if n > VertexId::MAX as usize + 1 {
+            return Err(GraphError::TooManyVertices { requested: n });
         }
 
         // Symmetrize, drop self loops, canonicalize direction.
@@ -84,7 +111,10 @@ impl GraphBuilder {
             offsets[i + 1] += offsets[i];
         }
         let neighbors: Vec<VertexId> = sym.into_iter().map(|(_, v)| v).collect();
-        CsrGraph::from_csr(offsets, neighbors)
+        // The arrays are canonical by construction; a validation failure
+        // here would be a builder bug, so the panicking constructor is
+        // deliberate.
+        Ok(CsrGraph::from_csr(offsets, neighbors))
     }
 }
 
@@ -129,6 +159,17 @@ mod tests {
                 assert!(g.neighbors(v).contains(&u));
             }
         }
+    }
+
+    #[test]
+    fn try_build_rejects_unaddressable_vertex_counts() {
+        let err = GraphBuilder::new()
+            .vertex_count(VertexId::MAX as usize + 2)
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::TooManyVertices { .. }));
+        let g = GraphBuilder::new().edge(0, 1).try_build().expect("clean");
+        assert_eq!(g.edge_count(), 1);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Compressed-sparse-row undirected graph with sorted neighbor lists.
 
+use crate::error::GraphError;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a vertex in an input graph.
@@ -35,31 +36,85 @@ impl CsrGraph {
     ///
     /// # Panics
     ///
-    /// Panics if the arrays are malformed: `offsets` must be monotonically
-    /// non-decreasing, start at 0, end at `neighbors.len()`, and every
-    /// neighbor list must be strictly increasing with in-range IDs and no
-    /// self loops.
+    /// Panics if the arrays are malformed — a thin wrapper over
+    /// [`CsrGraph::try_from_csr`] for callers whose arrays are canonical by
+    /// construction (the builder, the generators).
     pub fn from_csr(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must contain at least [0]");
-        assert_eq!(offsets[0], 0, "offsets must start at 0");
-        assert_eq!(
-            *offsets.last().expect("non-empty"),
-            neighbors.len(),
-            "offsets must end at neighbors.len()"
-        );
+        match Self::try_from_csr(offsets, neighbors) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`CsrGraph::from_csr`]: validates the arrays
+    /// and returns a typed [`GraphError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// `offsets` must be monotonically non-decreasing, start at 0, and end
+    /// at `neighbors.len()`; every neighbor list must be strictly
+    /// increasing with in-range IDs and no self loops. The first violation
+    /// encountered is reported with its vertex.
+    pub fn try_from_csr(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Result<Self, GraphError> {
+        let last = match offsets.last() {
+            Some(&last) => last,
+            None => {
+                return Err(GraphError::InvalidOffsets {
+                    reason: "offsets must contain at least [0]".to_owned(),
+                })
+            }
+        };
+        if offsets[0] != 0 {
+            return Err(GraphError::InvalidOffsets {
+                reason: "offsets must start at 0".to_owned(),
+            });
+        }
+        if last != neighbors.len() {
+            return Err(GraphError::InvalidOffsets {
+                reason: format!(
+                    "offsets must end at neighbors.len() ({} != {})",
+                    last,
+                    neighbors.len()
+                ),
+            });
+        }
         let n = offsets.len() - 1;
+        if n > VertexId::MAX as usize + 1 {
+            return Err(GraphError::TooManyVertices { requested: n });
+        }
         for v in 0..n {
-            assert!(offsets[v] <= offsets[v + 1], "offsets must be monotonic");
+            if offsets[v] > offsets[v + 1] {
+                return Err(GraphError::InvalidOffsets {
+                    reason: format!("offsets must be monotonic (decrease at vertex {v})"),
+                });
+            }
+            if offsets[v + 1] > neighbors.len() {
+                return Err(GraphError::InvalidOffsets {
+                    reason: format!(
+                        "offset {} at vertex {v} exceeds the neighbor array length {}",
+                        offsets[v + 1],
+                        neighbors.len()
+                    ),
+                });
+            }
             let list = &neighbors[offsets[v]..offsets[v + 1]];
             for (i, &u) in list.iter().enumerate() {
-                assert!((u as usize) < n, "neighbor id out of range");
-                assert!(u as usize != v, "self loop at vertex {v}");
-                if i > 0 {
-                    assert!(list[i - 1] < u, "neighbor list of {v} not strictly sorted");
+                if u as usize >= n {
+                    return Err(GraphError::NeighborOutOfRange {
+                        vertex: v,
+                        neighbor: u,
+                        vertex_count: n,
+                    });
+                }
+                if u as usize == v {
+                    return Err(GraphError::SelfLoop { vertex: v });
+                }
+                if i > 0 && list[i - 1] >= u {
+                    return Err(GraphError::UnsortedNeighbors { vertex: v });
                 }
             }
         }
-        Self { offsets, neighbors }
+        Ok(Self { offsets, neighbors })
     }
 
     /// Number of vertices.
@@ -243,6 +298,37 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn from_csr_rejects_out_of_range() {
         CsrGraph::from_csr(vec![0, 1, 2], vec![5, 0]);
+    }
+
+    #[test]
+    fn try_from_csr_returns_typed_errors() {
+        use crate::error::GraphError;
+        assert!(matches!(
+            CsrGraph::try_from_csr(vec![0, 1], vec![0]),
+            Err(GraphError::SelfLoop { vertex: 0 })
+        ));
+        assert!(matches!(
+            CsrGraph::try_from_csr(vec![0, 2, 3, 4], vec![2, 1, 0, 0]),
+            Err(GraphError::UnsortedNeighbors { vertex: 0 })
+        ));
+        assert!(matches!(
+            CsrGraph::try_from_csr(vec![0, 1, 2], vec![5, 0]),
+            Err(GraphError::NeighborOutOfRange {
+                vertex: 0,
+                neighbor: 5,
+                vertex_count: 2
+            })
+        ));
+        assert!(matches!(
+            CsrGraph::try_from_csr(vec![], vec![]),
+            Err(GraphError::InvalidOffsets { .. })
+        ));
+        assert!(matches!(
+            CsrGraph::try_from_csr(vec![0, 2, 1, 2], vec![1, 2]),
+            Err(GraphError::InvalidOffsets { .. })
+        ));
+        let g = CsrGraph::try_from_csr(vec![0, 1, 2], vec![1, 0]).expect("valid CSR");
+        assert_eq!(g.edge_count(), 1);
     }
 
     #[test]

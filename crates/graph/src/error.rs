@@ -1,0 +1,136 @@
+//! Typed errors for graph construction and ingestion.
+//!
+//! Error-handling policy (DESIGN.md §11): ingestion of *external* data —
+//! edge lists, raw CSR arrays, user-supplied sizes — is fallible and
+//! returns [`GraphError`]; internal invariant violations (a canonical
+//! builder output failing CSR validation, for instance) remain panics
+//! because they indicate bugs, not bad input.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::csr::VertexId;
+use crate::io::ParseEdgeListError;
+
+/// Error produced when a graph cannot be constructed from its inputs.
+///
+/// Every variant carries enough context (vertex, neighbor, bounds) to
+/// report the offending datum without re-scanning the input.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The edge-list text could not be parsed.
+    Parse(ParseEdgeListError),
+    /// The CSR offset array is malformed (empty, not starting at zero, not
+    /// monotonic, or not ending at the neighbor-array length).
+    InvalidOffsets {
+        /// Human-readable description of the malformation.
+        reason: String,
+    },
+    /// A neighbor ID references a vertex outside `[0, vertex_count)`.
+    NeighborOutOfRange {
+        /// The vertex whose adjacency list contains the bad entry.
+        vertex: usize,
+        /// The out-of-range neighbor ID.
+        neighbor: VertexId,
+        /// Number of vertices in the graph.
+        vertex_count: usize,
+    },
+    /// A vertex lists itself as a neighbor.
+    SelfLoop {
+        /// The offending vertex.
+        vertex: usize,
+    },
+    /// A neighbor list is not strictly ascending (unsorted or duplicated).
+    UnsortedNeighbors {
+        /// The vertex whose adjacency list is out of order.
+        vertex: usize,
+    },
+    /// The requested vertex count exceeds what [`VertexId`] can address.
+    TooManyVertices {
+        /// The requested vertex count.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Parse(e) => write!(f, "{e}"),
+            GraphError::InvalidOffsets { reason } => {
+                write!(f, "malformed CSR offsets: {reason}")
+            }
+            GraphError::NeighborOutOfRange {
+                vertex,
+                neighbor,
+                vertex_count,
+            } => write!(
+                f,
+                "neighbor id out of range: vertex {vertex} lists neighbor \
+                 {neighbor} but the graph has {vertex_count} vertices"
+            ),
+            GraphError::SelfLoop { vertex } => write!(f, "self loop at vertex {vertex}"),
+            GraphError::UnsortedNeighbors { vertex } => {
+                write!(f, "neighbor list of {vertex} not strictly sorted")
+            }
+            GraphError::TooManyVertices { requested } => write!(
+                f,
+                "vertex count {requested} exceeds the {} vertices a VertexId can address",
+                VertexId::MAX as u64 + 1
+            ),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseEdgeListError> for GraphError {
+    fn from(e: ParseEdgeListError) -> Self {
+        GraphError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = GraphError::NeighborOutOfRange {
+            vertex: 3,
+            neighbor: 9,
+            vertex_count: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("vertex 3"), "{msg}");
+        assert!(msg.contains('9'), "{msg}");
+        assert!(msg.contains("out of range"), "{msg}");
+        assert!(GraphError::SelfLoop { vertex: 2 }
+            .to_string()
+            .contains("self loop at vertex 2"));
+        assert!(GraphError::UnsortedNeighbors { vertex: 7 }
+            .to_string()
+            .contains("not strictly sorted"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<GraphError>();
+    }
+
+    #[test]
+    fn parse_errors_convert_and_chain() {
+        let parse = crate::io::read_edge_list("0 x\n".as_bytes()).unwrap_err();
+        let e = GraphError::from(parse);
+        assert!(e.to_string().contains("invalid vertex id"));
+        assert!(e.source().is_some());
+    }
+}

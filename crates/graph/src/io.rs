@@ -3,11 +3,22 @@
 //! The format is the SNAP convention the paper's datasets ship in: one edge
 //! per line as two whitespace-separated vertex IDs, `#`-prefixed comment
 //! lines ignored.
+//!
+//! Two ingestion paths exist:
+//!
+//! - [`read_edge_list`] — strict: any malformed line (missing endpoint,
+//!   non-numeric token, trailing tokens) is a typed error carrying its
+//!   1-based line number.
+//! - [`read_edge_list_sanitized`] — repairing: syntax errors are still
+//!   typed errors, but semantic dirt (self loops, duplicates, reversed or
+//!   unsorted edges, out-of-range IDs, trailing tokens) is repaired and
+//!   counted in a [`SanitizeReport`].
 
 use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, Write};
 
+use crate::sanitize::{sanitize_edges, SanitizeOptions, SanitizeReport};
 use crate::{CsrGraph, GraphBuilder, VertexId};
 
 /// Error produced when an edge-list input cannot be parsed.
@@ -17,11 +28,19 @@ pub struct ParseEdgeListError {
     kind: ParseErrorKind,
 }
 
+/// What went wrong on the offending line.
 #[derive(Debug)]
-enum ParseErrorKind {
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// The underlying reader failed.
     Io(std::io::Error),
+    /// Fewer than two tokens on a non-comment line.
     MissingEndpoint,
+    /// A token did not parse as a vertex ID.
     BadVertexId(String),
+    /// More than two tokens on a line (strict mode only; the sanitizing
+    /// parser tolerates and counts these).
+    TrailingTokens(String),
 }
 
 impl ParseEdgeListError {
@@ -29,6 +48,11 @@ impl ParseEdgeListError {
     /// precede line accounting).
     pub fn line(&self) -> usize {
         self.line
+    }
+
+    /// The failure category, for callers that branch on it.
+    pub fn kind(&self) -> &ParseErrorKind {
+        &self.kind
     }
 }
 
@@ -41,6 +65,13 @@ impl fmt::Display for ParseEdgeListError {
             }
             ParseErrorKind::BadVertexId(tok) => {
                 write!(f, "line {}: invalid vertex id {tok:?}", self.line)
+            }
+            ParseErrorKind::TrailingTokens(tok) => {
+                write!(
+                    f,
+                    "line {}: trailing tokens after the two vertex ids (first extra: {tok:?})",
+                    self.line
+                )
             }
         }
     }
@@ -59,8 +90,8 @@ impl Error for ParseEdgeListError {
 ///
 /// # Errors
 ///
-/// Returns [`ParseEdgeListError`] if a line has fewer than two tokens, a
-/// token is not a `u32`, or the reader fails.
+/// Returns [`ParseEdgeListError`] if a line has fewer than two tokens, more
+/// than two tokens, a token is not a `u32`, or the reader fails.
 ///
 /// # Example
 ///
@@ -74,6 +105,76 @@ impl Error for ParseEdgeListError {
 /// ```
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, ParseEdgeListError> {
     let mut builder = GraphBuilder::new();
+    for_each_edge(reader, |lineno, u, v, rest| {
+        if let Some(extra) = rest {
+            return Err(ParseEdgeListError {
+                line: lineno,
+                kind: ParseErrorKind::TrailingTokens(extra.to_owned()),
+            });
+        }
+        builder = std::mem::take(&mut builder).edge(u, v);
+        Ok(())
+    })?;
+    Ok(builder.build())
+}
+
+/// Parses an edge list while repairing semantic dirt, returning the graph
+/// and a [`SanitizeReport`] counting every repair.
+///
+/// Unlike [`read_edge_list`], trailing tokens are tolerated (and counted);
+/// self loops, duplicates, reversed/unsorted edges, and IDs above
+/// `options.max_vertex_id` are repaired per [`sanitize_edges`].
+///
+/// # Errors
+///
+/// Syntax problems remain typed errors with line numbers: missing
+/// endpoints, non-numeric IDs, and reader failures.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use fingers_graph::sanitize::SanitizeOptions;
+/// let dirty = "2 1\n1 2\n0 0\n0 1 extra\n";
+/// let (g, report) =
+///     fingers_graph::io::read_edge_list_sanitized(dirty.as_bytes(), &SanitizeOptions::default())?;
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(report.self_loops_dropped, 1);
+/// assert_eq!(report.duplicates_dropped, 1);
+/// assert_eq!(report.trailing_token_lines, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_edge_list_sanitized<R: BufRead>(
+    reader: R,
+    options: &SanitizeOptions,
+) -> Result<(CsrGraph, SanitizeReport), ParseEdgeListError> {
+    let mut edges = Vec::new();
+    let mut trailing = 0usize;
+    for_each_edge(reader, |_, u, v, rest| {
+        if rest.is_some() {
+            trailing += 1;
+        }
+        edges.push((u, v));
+        Ok(())
+    })?;
+    // TooManyVertices is unreachable here: every ID came from a `u32`.
+    let (graph, mut report) = match sanitize_edges(edges, options) {
+        Ok(pair) => pair,
+        Err(e) => unreachable!("u32-bounded edge list cannot overflow the vertex space: {e}"),
+    };
+    report.trailing_token_lines = trailing;
+    Ok((graph, report))
+}
+
+/// Shared line-level scanner: comments and blank lines skipped, the first
+/// two tokens parsed as vertex IDs, the first extra token (if any) handed
+/// to the callback for mode-specific handling.
+fn for_each_edge<R, F>(reader: R, mut on_edge: F) -> Result<(), ParseEdgeListError>
+where
+    R: BufRead,
+    F: FnMut(usize, VertexId, VertexId, Option<&str>) -> Result<(), ParseEdgeListError>,
+{
     for (idx, line) in reader.lines().enumerate() {
         let lineno = idx + 1;
         let line = line.map_err(|e| ParseEdgeListError {
@@ -87,9 +188,9 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, ParseEdgeListEr
         let mut tokens = trimmed.split_whitespace();
         let u = parse_vertex(tokens.next(), lineno)?;
         let v = parse_vertex(tokens.next(), lineno)?;
-        builder = builder.edge(u, v);
+        on_edge(lineno, u, v, tokens.next())?;
     }
-    Ok(builder.build())
+    Ok(())
 }
 
 fn parse_vertex(token: Option<&str>, line: usize) -> Result<VertexId, ParseEdgeListError> {
@@ -123,10 +224,18 @@ mod tests {
 
     #[test]
     fn parse_ignores_comments_and_blank_lines() {
-        let text = "# comment\n\n0 1\n  \n1 2 # trailing tokens beyond two are ignored? no\n";
-        // Note: trailing tokens after the first two are ignored by design.
+        let text = "# comment\n\n0 1\n  \n1 2\n";
         let g = read_edge_list(text.as_bytes()).expect("parse");
         assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_trailing_tokens() {
+        let err = read_edge_list("0 1\n1 2 7\n".as_bytes()).unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(matches!(err.kind(), ParseErrorKind::TrailingTokens(t) if t == "7"));
+        assert!(err.to_string().contains("trailing tokens"));
+        assert!(err.to_string().contains("line 2"));
     }
 
     #[test]
@@ -134,12 +243,47 @@ mod tests {
         let err = read_edge_list("0\n".as_bytes()).unwrap_err();
         assert_eq!(err.line(), 1);
         assert!(err.to_string().contains("two vertex ids"));
+        assert!(matches!(err.kind(), ParseErrorKind::MissingEndpoint));
     }
 
     #[test]
     fn parse_rejects_non_numeric() {
         let err = read_edge_list("0 x\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("invalid vertex id"));
+        assert!(matches!(err.kind(), ParseErrorKind::BadVertexId(t) if t == "x"));
+    }
+
+    #[test]
+    fn sanitized_parse_repairs_and_counts() {
+        let dirty = "# header\n3 3\n2 1\n1 2\n0 1 trailing\n5 0\n";
+        let (g, r) = read_edge_list_sanitized(dirty.as_bytes(), &SanitizeOptions::default())
+            .expect("sanitized parse");
+        assert_eq!(g.edge_count(), 3); // (1,2), (0,1), (0,5)
+        assert_eq!(r.self_loops_dropped, 1);
+        assert_eq!(r.duplicates_dropped, 1);
+        assert_eq!(r.reversed_normalized, 2); // "2 1" and "5 0"
+        assert_eq!(r.trailing_token_lines, 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn sanitized_parse_still_rejects_syntax_errors() {
+        let err = read_edge_list_sanitized("0 1\nbroken\n".as_bytes(), &SanitizeOptions::default())
+            .unwrap_err();
+        assert_eq!(err.line(), 2);
+        let err =
+            read_edge_list_sanitized("0 notanumber\n".as_bytes(), &SanitizeOptions::default())
+                .unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::BadVertexId(_)));
+    }
+
+    #[test]
+    fn sanitized_parse_of_clean_input_is_clean() {
+        let text = "0 1\n0 2\n1 2\n";
+        let (g, r) = read_edge_list_sanitized(text.as_bytes(), &SanitizeOptions::default())
+            .expect("sanitized parse");
+        assert!(r.is_clean(), "{r:?}");
+        assert_eq!(g, read_edge_list(text.as_bytes()).expect("strict parse"));
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //! - [`stats`]: degree and size statistics matching Table 1's columns.
 //! - [`hubs`]: top-k-by-degree hub identification and dense neighbor
 //!   bitmaps built from CSR rows (the bitmap kernel tier's substrate).
-//! - [`io`]: plain-text edge-list parsing and serialization.
+//! - [`io`]: plain-text edge-list parsing and serialization, with a strict
+//!   path (typed [`GraphError`]s with line numbers) and a repairing
+//!   [`sanitize`] path that tolerates dirty real-world inputs.
+//! - [`error`]: the typed [`GraphError`] returned by every fallible
+//!   construction/ingestion API (`CsrGraph::try_from_csr`,
+//!   `GraphBuilder::try_build`, the parsers).
 //!
 //! # Example
 //!
@@ -40,12 +45,16 @@
 mod builder;
 mod csr;
 pub mod datasets;
+pub mod error;
 pub mod gen;
 pub mod hubs;
 pub mod io;
 pub mod reorder;
+pub mod sanitize;
 pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId};
+pub use error::GraphError;
+pub use sanitize::{SanitizeOptions, SanitizeReport};
 pub use stats::GraphStats;

@@ -1,0 +1,205 @@
+//! Repairing ingestion for dirty edge lists.
+//!
+//! Real SNAP-style inputs routinely contain self loops, duplicate edges
+//! (including the same edge in both directions), unsorted adjacency, and
+//! occasionally IDs outside the expected range. The strict parser
+//! ([`crate::io::read_edge_list`]) rejects such inputs with typed errors;
+//! the sanitize path in this module *repairs* them instead, and returns a
+//! [`SanitizeReport`] counting every repair so callers can decide whether
+//! the input was trustworthy (`--strict` in the CLI refuses any repair).
+
+use crate::csr::{CsrGraph, VertexId};
+use crate::error::GraphError;
+use crate::GraphBuilder;
+
+/// Knobs for the sanitizing ingestion path.
+#[derive(Debug, Clone, Default)]
+pub struct SanitizeOptions {
+    /// Drop edges with an endpoint greater than this ID (`None` accepts
+    /// the full [`VertexId`] range). Lets callers bound the vertex space
+    /// when IDs beyond a known count indicate corruption.
+    pub max_vertex_id: Option<VertexId>,
+}
+
+impl SanitizeOptions {
+    /// Options bounding vertex IDs at `max` (inclusive).
+    pub fn with_max_vertex_id(max: VertexId) -> Self {
+        Self {
+            max_vertex_id: Some(max),
+        }
+    }
+}
+
+/// Tally of every repair the sanitizer performed.
+///
+/// A report with all counters zero ([`SanitizeReport::is_clean`]) means the
+/// input was already canonical: no information was discarded and the strict
+/// parser would have accepted it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// Edges examined (one per non-comment, non-blank input line).
+    pub edges_seen: usize,
+    /// Edges kept after all repairs.
+    pub edges_kept: usize,
+    /// Self loops (`u u`) dropped.
+    pub self_loops_dropped: usize,
+    /// Parallel edges dropped (repeats of an already-seen undirected edge,
+    /// in either direction).
+    pub duplicates_dropped: usize,
+    /// Edges dropped because an endpoint exceeded
+    /// [`SanitizeOptions::max_vertex_id`].
+    pub out_of_range_dropped: usize,
+    /// Edges given as `u v` with `u > v`, normalized to canonical order.
+    pub reversed_normalized: usize,
+    /// Kept edges that arrived out of ascending canonical order — the
+    /// "adjacency needed sorting" measure.
+    pub out_of_order_edges: usize,
+    /// Input lines carrying more than two tokens (tolerated by the
+    /// sanitizing parser, rejected by the strict one).
+    pub trailing_token_lines: usize,
+}
+
+impl SanitizeReport {
+    /// Whether the input needed no repair at all.
+    pub fn is_clean(&self) -> bool {
+        self.self_loops_dropped == 0
+            && self.duplicates_dropped == 0
+            && self.out_of_range_dropped == 0
+            && self.reversed_normalized == 0
+            && self.out_of_order_edges == 0
+            && self.trailing_token_lines == 0
+    }
+
+    /// One-line human-readable summary (the CLI prints this under
+    /// `--sanitize`).
+    pub fn summary(&self) -> String {
+        format!(
+            "sanitize: kept {}/{} edges ({} self-loops, {} duplicates, {} out-of-range \
+             dropped; {} reversed, {} out-of-order, {} trailing-token lines repaired)",
+            self.edges_kept,
+            self.edges_seen,
+            self.self_loops_dropped,
+            self.duplicates_dropped,
+            self.out_of_range_dropped,
+            self.reversed_normalized,
+            self.out_of_order_edges,
+            self.trailing_token_lines,
+        )
+    }
+}
+
+/// Repairs a raw undirected edge sequence into a canonical [`CsrGraph`],
+/// counting every repair.
+///
+/// Repairs, in order: bounds-check IDs (drop), drop self loops, normalize
+/// direction, sort, and dedup parallel edges. The resulting graph is
+/// identical to what [`GraphBuilder`] would produce from the same edges
+/// (minus the out-of-range ones) — sanitization changes *accounting*, never
+/// the canonical graph.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooManyVertices`] when the kept IDs exceed the
+/// addressable vertex range (only possible with `min_vertex_count` via the
+/// builder; kept here for parity with [`GraphBuilder::try_build`]).
+pub fn sanitize_edges<I>(
+    edges: I,
+    options: &SanitizeOptions,
+) -> Result<(CsrGraph, SanitizeReport), GraphError>
+where
+    I: IntoIterator<Item = (VertexId, VertexId)>,
+{
+    let mut report = SanitizeReport::default();
+    let mut kept: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut prev: Option<(VertexId, VertexId)> = None;
+    for (u, v) in edges {
+        report.edges_seen += 1;
+        if let Some(cap) = options.max_vertex_id {
+            if u > cap || v > cap {
+                report.out_of_range_dropped += 1;
+                continue;
+            }
+        }
+        if u == v {
+            report.self_loops_dropped += 1;
+            continue;
+        }
+        let pair = if u < v {
+            (u, v)
+        } else {
+            report.reversed_normalized += 1;
+            (v, u)
+        };
+        if let Some(p) = prev {
+            if pair < p {
+                report.out_of_order_edges += 1;
+            }
+        }
+        prev = Some(pair);
+        kept.push(pair);
+    }
+    kept.sort_unstable();
+    let before = kept.len();
+    kept.dedup();
+    report.duplicates_dropped = before - kept.len();
+    report.edges_kept = kept.len();
+    let graph = GraphBuilder::new().edges(kept).try_build()?;
+    Ok((graph, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_input_reports_clean() {
+        let (g, r) = sanitize_edges([(0, 1), (0, 2), (1, 2)], &SanitizeOptions::default())
+            .expect("sanitize");
+        assert!(r.is_clean(), "{r:?}");
+        assert_eq!(r.edges_seen, 3);
+        assert_eq!(r.edges_kept, 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn every_repair_is_counted() {
+        let edges = [
+            (3u32, 3u32), // self loop
+            (2, 1),       // reversed (and out of order relative to nothing yet kept)
+            (1, 2),       // duplicate of the above
+            (0, 1),       // out of order (arrives after (1,2))
+            (9, 0),       // out of range under cap 5, would otherwise be reversed
+        ];
+        let opts = SanitizeOptions::with_max_vertex_id(5);
+        let (g, r) = sanitize_edges(edges, &opts).expect("sanitize");
+        assert_eq!(r.edges_seen, 5);
+        assert_eq!(r.self_loops_dropped, 1);
+        assert_eq!(r.reversed_normalized, 1);
+        assert_eq!(r.duplicates_dropped, 1);
+        assert_eq!(r.out_of_range_dropped, 1);
+        assert_eq!(r.out_of_order_edges, 1);
+        assert_eq!(r.edges_kept, 2);
+        assert!(!r.is_clean());
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn sanitized_graph_equals_builder_graph() {
+        // Sanitization never changes the canonical graph, only the report.
+        let dirty = [(4u32, 1u32), (1, 4), (2, 2), (0, 4), (1, 0), (0, 1)];
+        let (g, _) = sanitize_edges(dirty, &SanitizeOptions::default()).expect("sanitize");
+        let clean = GraphBuilder::new().edges(dirty).build();
+        assert_eq!(g, clean);
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let (_, r) =
+            sanitize_edges([(1, 1), (0, 1)], &SanitizeOptions::default()).expect("sanitize");
+        let s = r.summary();
+        assert!(s.contains("1/2 edges"), "{s}");
+        assert!(s.contains("1 self-loops"), "{s}");
+    }
+}

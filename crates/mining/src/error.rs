@@ -1,0 +1,128 @@
+//! Typed errors for the parallel mining engine.
+//!
+//! Error-handling policy (DESIGN.md §11): the infallible `count_*` APIs
+//! treat worker panics as fatal (plans produced by the compiler cannot
+//! panic the interpreter, so a panic is a bug); the fallible `try_count_*`
+//! APIs isolate each worker task with `catch_unwind` and surface failures
+//! as [`EngineError`] values carrying the failed root partitions, so a
+//! long-running host process (the bench harness, a service) can report and
+//! continue instead of aborting.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::task::MiningTask;
+
+/// One isolated worker failure: the root partition whose task panicked,
+/// plus the panic payload rendered as text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionFailure {
+    /// The root range whose DFS panicked.
+    pub task: MiningTask,
+    /// The panic message (`"non-string panic payload"` when the payload
+    /// was neither `&str` nor `String`).
+    pub message: String,
+}
+
+impl fmt::Display for PartitionFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "roots [{}, {}): {}",
+            self.task.start, self.task.end, self.message
+        )
+    }
+}
+
+/// Error produced by the fallible parallel mining APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// One or more worker tasks panicked. Every failed partition is
+    /// reported; counts from the surviving partitions are discarded (a
+    /// partial count would silently under-report).
+    WorkerPanic {
+        /// The failed partitions, in task-claim order.
+        failures: Vec<PartitionFailure>,
+    },
+}
+
+impl EngineError {
+    /// The failed root partitions (empty only for future variants).
+    pub fn failed_partitions(&self) -> &[PartitionFailure] {
+        match self {
+            EngineError::WorkerPanic { failures } => failures,
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::WorkerPanic { failures } => {
+                write!(
+                    f,
+                    "{} mining task{} panicked",
+                    failures.len(),
+                    if failures.len() == 1 { "" } else { "s" }
+                )?;
+                for failure in failures {
+                    write!(f, "; {failure}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// Renders a `catch_unwind` payload as text.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_every_failed_partition() {
+        let e = EngineError::WorkerPanic {
+            failures: vec![
+                PartitionFailure {
+                    task: MiningTask { start: 0, end: 10 },
+                    message: "boom".into(),
+                },
+                PartitionFailure {
+                    task: MiningTask { start: 30, end: 40 },
+                    message: "bang".into(),
+                },
+            ],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("2 mining tasks panicked"), "{msg}");
+        assert!(msg.contains("[0, 10): boom"), "{msg}");
+        assert!(msg.contains("[30, 40): bang"), "{msg}");
+        assert_eq!(e.failed_partitions().len(), 2);
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<EngineError>();
+    }
+
+    #[test]
+    fn panic_payloads_render() {
+        assert_eq!(panic_message(Box::new("static")), "static");
+        assert_eq!(panic_message(Box::new(String::from("owned"))), "owned");
+        assert_eq!(panic_message(Box::new(42u32)), "non-string panic payload");
+    }
+}

@@ -19,7 +19,9 @@
 //!   statistics) over one shared interpreter;
 //! - [`PlanMiner`] — the interpreter tying the three together;
 //! - [`parallel`] — root-partitioned multi-threaded counting whose results
-//!   are bit-identical to the sequential engine.
+//!   are bit-identical to the sequential engine; the `try_count_*` variants
+//!   isolate worker panics per task and surface them as typed
+//!   [`EngineError`]s carrying the failed root partitions.
 //!
 //! The crate also contains a brute-force enumerator ([`brute`]) used to
 //! validate the *compiler* itself (vertex orders, schedules, and symmetry
@@ -46,6 +48,7 @@
 
 pub mod brute;
 pub mod config;
+pub mod error;
 mod executor;
 pub mod oblivious;
 pub mod parallel;
@@ -54,6 +57,7 @@ pub mod sink;
 pub mod task;
 
 pub use config::EngineConfig;
+pub use error::{EngineError, PartitionFailure};
 pub use executor::{
     count_benchmark, count_benchmark_with, count_multi, count_multi_with, count_plan,
     count_plan_with, list_plan, MineOutcome, PlanMiner,
@@ -61,6 +65,9 @@ pub use executor::{
 pub use parallel::{
     count_benchmark_parallel, count_benchmark_parallel_with, count_multi_parallel,
     count_multi_parallel_with, count_plan_parallel, count_plan_parallel_with,
+    try_count_benchmark_parallel, try_count_benchmark_parallel_with, try_count_multi_parallel,
+    try_count_multi_parallel_with, try_count_plan_parallel, try_count_plan_parallel_with,
+    try_sum_over_root_tasks,
 };
 pub use scratch::{BitmapCache, ScratchArena};
 pub use sink::{CountSink, FnSink, Sink};

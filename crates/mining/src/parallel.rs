@@ -11,13 +11,16 @@
 //! the determinism tests assert exactly this.
 
 use crate::config::EngineConfig;
+use crate::error::{panic_message, EngineError, PartitionFailure};
 use crate::executor::{count_plan_with, MineOutcome, PlanMiner};
 use crate::sink::{CountSink, Sink};
 use crate::task::MiningTask;
 use fingers_graph::CsrGraph;
 use fingers_pattern::benchmarks::Benchmark;
 use fingers_pattern::{ExecutionPlan, MultiPlan};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Tasks created per worker: oversubscription for dynamic load balance.
 const TASKS_PER_WORKER: usize = 8;
@@ -76,6 +79,158 @@ pub fn count_plan_parallel_with(
             .map(|w| w.join().expect("mining worker panicked"))
             .sum()
     })
+}
+
+/// Fallible counterpart of [`count_plan_parallel`]: worker panics are
+/// isolated per task instead of aborting the process.
+///
+/// # Errors
+///
+/// Returns [`EngineError::WorkerPanic`] naming every failed root partition.
+pub fn try_count_plan_parallel(
+    graph: &CsrGraph,
+    plan: &ExecutionPlan,
+    threads: usize,
+) -> Result<u64, EngineError> {
+    try_count_plan_parallel_with(graph, plan, threads, &EngineConfig::default())
+}
+
+/// Fallible counterpart of [`count_plan_parallel_with`].
+///
+/// Every task runs under `catch_unwind`; a panicking task is recorded (with
+/// its root partition and panic message), the worker's miner is rebuilt —
+/// a panic can leave scratch state mid-DFS — and mining continues with the
+/// remaining tasks so *all* failures of a run are reported at once. On any
+/// failure the whole count is discarded: a partial count would silently
+/// under-report.
+///
+/// On success the count is bit-identical to [`count_plan_parallel_with`].
+///
+/// # Errors
+///
+/// Returns [`EngineError::WorkerPanic`] carrying the failed partitions in
+/// task-claim order.
+pub fn try_count_plan_parallel_with(
+    graph: &CsrGraph,
+    plan: &ExecutionPlan,
+    threads: usize,
+    config: &EngineConfig,
+) -> Result<u64, EngineError> {
+    let threads = effective_threads(threads, graph.vertex_count());
+    let hubs = config.hub_set(graph);
+    let tasks = MiningTask::partition(graph.vertex_count(), threads * TASKS_PER_WORKER);
+    let cursor = AtomicUsize::new(0);
+    let failures: Mutex<Vec<(usize, PartitionFailure)>> = Mutex::new(Vec::new());
+    let worker = || {
+        let mut miner = PlanMiner::with_hubs(graph, plan, hubs.clone(), config.bitmap_cache_slots);
+        let mut local = 0u64;
+        loop {
+            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(task) = tasks.get(idx) else { break };
+            let mut sink = CountSink::default();
+            match catch_unwind(AssertUnwindSafe(|| miner.run(task.clone(), &mut sink))) {
+                Ok(()) => local += sink.count,
+                Err(payload) => {
+                    failures
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((
+                            idx,
+                            PartitionFailure {
+                                task: task.clone(),
+                                message: panic_message(payload),
+                            },
+                        ));
+                    // The miner's scratch state is mid-DFS; rebuild it
+                    // before touching the next task.
+                    miner =
+                        PlanMiner::with_hubs(graph, plan, hubs.clone(), config.bitmap_cache_slots);
+                }
+            }
+        }
+        local
+    };
+    let total: u64 = if threads <= 1 {
+        worker()
+    } else {
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("isolated worker cannot panic"))
+                .sum()
+        })
+    };
+    let mut failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
+    if failures.is_empty() {
+        Ok(total)
+    } else {
+        failures.sort_by_key(|&(idx, _)| idx);
+        Err(EngineError::WorkerPanic {
+            failures: failures.into_iter().map(|(_, f)| f).collect(),
+        })
+    }
+}
+
+/// Fallible counterpart of [`count_multi_parallel`].
+///
+/// # Errors
+///
+/// Returns the first constituent plan's [`EngineError`] (per-plan counting
+/// stops at the first failing plan).
+pub fn try_count_multi_parallel(
+    graph: &CsrGraph,
+    multi: &MultiPlan,
+    threads: usize,
+) -> Result<MineOutcome, EngineError> {
+    try_count_multi_parallel_with(graph, multi, threads, &EngineConfig::default())
+}
+
+/// Fallible counterpart of [`count_multi_parallel_with`].
+///
+/// # Errors
+///
+/// Returns the first constituent plan's [`EngineError`].
+pub fn try_count_multi_parallel_with(
+    graph: &CsrGraph,
+    multi: &MultiPlan,
+    threads: usize,
+    config: &EngineConfig,
+) -> Result<MineOutcome, EngineError> {
+    Ok(MineOutcome {
+        per_pattern: multi
+            .plans()
+            .iter()
+            .map(|p| try_count_plan_parallel_with(graph, p, threads, config))
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Fallible counterpart of [`count_benchmark_parallel`].
+///
+/// # Errors
+///
+/// Returns the first constituent plan's [`EngineError`].
+pub fn try_count_benchmark_parallel(
+    graph: &CsrGraph,
+    benchmark: Benchmark,
+    threads: usize,
+) -> Result<MineOutcome, EngineError> {
+    try_count_multi_parallel(graph, &benchmark.plan(), threads)
+}
+
+/// Fallible counterpart of [`count_benchmark_parallel_with`].
+///
+/// # Errors
+///
+/// Returns the first constituent plan's [`EngineError`].
+pub fn try_count_benchmark_parallel_with(
+    graph: &CsrGraph,
+    benchmark: Benchmark,
+    threads: usize,
+    config: &EngineConfig,
+) -> Result<MineOutcome, EngineError> {
+    try_count_multi_parallel_with(graph, &benchmark.plan(), threads, config)
 }
 
 /// Counts every pattern of a multi-plan with `threads` workers per plan.
@@ -159,6 +314,70 @@ where
             .map(|w| w.join().expect("oracle worker panicked"))
             .sum()
     })
+}
+
+/// Fallible counterpart of [`sum_over_root_tasks`]: each `worker(task)`
+/// call runs under `catch_unwind`, panics are collected per task, and the
+/// remaining tasks still run. The panic-injection seam the fault-tolerance
+/// tests drive, and the scaffold fallible oracle variants can reuse.
+///
+/// # Errors
+///
+/// Returns [`EngineError::WorkerPanic`] carrying every failed partition in
+/// task-claim order.
+pub fn try_sum_over_root_tasks<W>(
+    vertex_count: usize,
+    threads: usize,
+    worker: W,
+) -> Result<u64, EngineError>
+where
+    W: Fn(&MiningTask) -> u64 + Sync,
+{
+    let threads = effective_threads(threads, vertex_count);
+    let tasks = MiningTask::partition(vertex_count, threads.max(1) * TASKS_PER_WORKER);
+    let cursor = AtomicUsize::new(0);
+    let failures: Mutex<Vec<(usize, PartitionFailure)>> = Mutex::new(Vec::new());
+    let isolated = || {
+        let mut local = 0u64;
+        loop {
+            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(task) = tasks.get(idx) else { break };
+            match catch_unwind(AssertUnwindSafe(|| worker(task))) {
+                Ok(n) => local += n,
+                Err(payload) => failures
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push((
+                        idx,
+                        PartitionFailure {
+                            task: task.clone(),
+                            message: panic_message(payload),
+                        },
+                    )),
+            }
+        }
+        local
+    };
+    let total: u64 = if threads <= 1 {
+        isolated()
+    } else {
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads).map(|_| scope.spawn(isolated)).collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("isolated worker cannot panic"))
+                .sum()
+        })
+    };
+    let mut failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
+    if failures.is_empty() {
+        Ok(total)
+    } else {
+        failures.sort_by_key(|&(idx, _)| idx);
+        Err(EngineError::WorkerPanic {
+            failures: failures.into_iter().map(|(_, f)| f).collect(),
+        })
+    }
 }
 
 /// Clamps a requested thread count to something useful: at least 1, and no
@@ -249,6 +468,84 @@ mod tests {
         for threads in [1, 2, 5] {
             let total = sum_over_root_tasks(97, threads, |t| t.len() as u64);
             assert_eq!(total, 97);
+        }
+    }
+
+    #[test]
+    fn try_count_matches_infallible_on_success() {
+        let g = erdos_renyi(60, 240, 11);
+        for p in [Pattern::triangle(), Pattern::clique(4)] {
+            let plan = ExecutionPlan::compile(&p, Induced::Vertex);
+            let expected = count_plan(&g, &plan);
+            for threads in [1, 2, 4] {
+                assert_eq!(
+                    try_count_plan_parallel(&g, &plan, threads).expect("no panic"),
+                    expected,
+                    "{p} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_count_multi_matches_sequential() {
+        let g = erdos_renyi(40, 150, 3);
+        for b in [Benchmark::Mc3, Benchmark::Tc] {
+            let seq = crate::count_benchmark(&g, b);
+            assert_eq!(
+                try_count_benchmark_parallel(&g, b, 4).expect("no panic"),
+                seq,
+                "{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_scaffold_reports_failed_partitions_and_survives() {
+        // Panic in the task containing root 50; every other task still runs
+        // and the process survives at every thread count.
+        for threads in [1, 2, 4] {
+            let err = try_sum_over_root_tasks(97, threads, |t| {
+                assert!(!t.roots().any(|r| r == 50), "injected failure");
+                t.len() as u64
+            })
+            .expect_err("one task must fail");
+            let failures = err.failed_partitions();
+            assert_eq!(failures.len(), 1, "{threads} threads");
+            let task = &failures[0].task;
+            assert!(task.start <= 50 && 50 < task.end, "{task:?}");
+            assert!(failures[0].message.contains("injected failure"));
+            assert!(err.to_string().contains("1 mining task panicked"));
+        }
+    }
+
+    #[test]
+    fn isolated_scaffold_collects_every_failure() {
+        // Three poisoned roots in distinct partitions → three failures, in
+        // task-claim order.
+        let poisoned = [5u32, 40, 90];
+        let err = try_sum_over_root_tasks(97, 2, |t| {
+            if t.roots().any(|r| poisoned.contains(&r)) {
+                panic!("poisoned root in [{}, {})", t.start, t.end);
+            }
+            t.len() as u64
+        })
+        .expect_err("three tasks must fail");
+        let failures = err.failed_partitions();
+        assert_eq!(failures.len(), 3, "{failures:?}");
+        for w in failures.windows(2) {
+            assert!(
+                w[0].task.start < w[1].task.start,
+                "claim order: {failures:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_scaffold_succeeds_without_failures() {
+        for threads in [1, 3] {
+            let total = try_sum_over_root_tasks(97, threads, |t| t.len() as u64);
+            assert_eq!(total.expect("no panics"), 97);
         }
     }
 }

@@ -13,6 +13,14 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+# Panic-hygiene watch for library/binary code only (tests are exempt:
+# --lib --bins skips test targets, and #[cfg(test)] modules are not
+# compiled without --tests). Warnings, not errors — the audited expects
+# documenting compiler invariants (DESIGN.md §11) are allowed to stay.
+echo "==> cargo clippy (unwrap/expect watch, lib+bins only)"
+cargo clippy --workspace --lib --bins -- \
+  -W clippy::unwrap_used -W clippy::expect_used
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -26,5 +34,24 @@ cargo test -q
 echo "==> bitmap_kernels --quick smoke (kernel-equivalence assertions)"
 FINGERS_RESULTS_DIR=/nonexistent-fingers-ci-smoke \
   cargo run --release -q -p fingers-bench --bin bitmap_kernels -- --quick > /dev/null
+
+# Checkpoint/resume smoke: run the first two sections of a quick run_all,
+# stop (simulating an interruption), resume, and assert the manifest ends
+# with every section completed exactly once.
+echo "==> run_all --quick checkpoint/resume smoke"
+RESUME_DIR="$(mktemp -d)"
+trap 'rm -rf "$RESUME_DIR"' EXIT
+FINGERS_RESULTS_DIR="$RESUME_DIR" FINGERS_MAX_SECTIONS=2 \
+  cargo run --release -q -p fingers-bench --bin run_all -- --quick > /dev/null
+FINGERS_RESULTS_DIR="$RESUME_DIR" \
+  cargo run --release -q -p fingers-bench --bin run_all -- --quick --resume > /dev/null
+for section in table1 table2 fig9 fig10 fig11 fig12 fig13 table3 \
+               parallelism bitmap_kernels energy ablations; do
+  n="$(grep -c "\"section\": \"$section\"" "$RESUME_DIR/run_all_manifest.jsonl" || true)"
+  if [ "$n" -ne 1 ]; then
+    echo "resume smoke: section $section appears $n times in the manifest (want 1)" >&2
+    exit 1
+  fi
+done
 
 echo "==> CI green"

@@ -1,0 +1,250 @@
+//! Fault-injection suite for the ingestion layer: corrupted, truncated,
+//! and I/O-faulty edge lists must surface as typed errors (with line
+//! numbers where lines exist) — never as panics — and the sanitizing
+//! parser's repair report must be exact.
+//!
+//! The second half pins the robustness contract end to end: a dirty edge
+//! list run through `--sanitize`-style ingestion counts bit-identically to
+//! its hand-cleaned equivalent at every thread count and bitmap mode.
+
+use std::io::{self, BufReader, Read};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fingers_repro::graph::io::{read_edge_list, read_edge_list_sanitized, ParseErrorKind};
+use fingers_repro::graph::sanitize::SanitizeOptions;
+use fingers_repro::graph::CsrGraph;
+use fingers_repro::mining::{count_benchmark_parallel_with, EngineConfig};
+use fingers_repro::pattern::benchmarks::Benchmark;
+
+/// An `io::Read` wrapper that injects failures at configurable byte
+/// offsets: `fail_at` returns an injected error once the offset is
+/// reached; `truncate_at` reports a silent EOF there instead.
+struct FaultyReader<R> {
+    inner: R,
+    pos: u64,
+    fail_at: Option<u64>,
+    truncate_at: Option<u64>,
+}
+
+impl<R: Read> FaultyReader<R> {
+    fn new(inner: R) -> Self {
+        FaultyReader {
+            inner,
+            pos: 0,
+            fail_at: None,
+            truncate_at: None,
+        }
+    }
+
+    fn fail_at(mut self, offset: u64) -> Self {
+        self.fail_at = Some(offset);
+        self
+    }
+
+    fn truncate_at(mut self, offset: u64) -> Self {
+        self.truncate_at = Some(offset);
+        self
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        // The nearest fault boundary bounds how much may still be served.
+        let limit = [self.fail_at, self.truncate_at]
+            .into_iter()
+            .flatten()
+            .map(|at| at.saturating_sub(self.pos))
+            .min();
+        if let Some(0) = limit {
+            if self.fail_at.is_some_and(|at| at == self.pos) {
+                return Err(io::Error::other("injected disk fault"));
+            }
+            return Ok(0); // truncation: clean EOF
+        }
+        let want = match limit {
+            Some(l) => buf.len().min(l as usize),
+            None => buf.len(),
+        };
+        let n = self.inner.read(&mut buf[..want])?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+const CLEAN: &str = "# clean triangle plus tail\n0 1\n0 2\n1 2\n2 3\n";
+
+#[test]
+fn injected_io_error_is_a_typed_error_not_a_panic() {
+    for offset in 0..CLEAN.len() as u64 {
+        let reader = BufReader::new(FaultyReader::new(CLEAN.as_bytes()).fail_at(offset));
+        let result = catch_unwind(AssertUnwindSafe(|| read_edge_list(reader)))
+            .unwrap_or_else(|_| panic!("parser panicked on I/O fault at offset {offset}"));
+        let err = result.expect_err("injected fault must surface");
+        assert!(
+            matches!(err.kind(), ParseErrorKind::Io(_)),
+            "offset {offset}: expected Io error, got {err:?}"
+        );
+        assert!(err.to_string().contains("injected disk fault"));
+    }
+}
+
+#[test]
+fn truncation_at_every_offset_never_panics() {
+    for offset in 0..=CLEAN.len() as u64 {
+        let reader = BufReader::new(FaultyReader::new(CLEAN.as_bytes()).truncate_at(offset));
+        let result = catch_unwind(AssertUnwindSafe(|| read_edge_list(reader)))
+            .unwrap_or_else(|_| panic!("parser panicked on truncation at offset {offset}"));
+        // A prefix either still parses (cut at a line boundary) or fails
+        // with a typed mid-line error; both are acceptable, panics are not.
+        if let Err(err) = result {
+            assert!(
+                matches!(
+                    err.kind(),
+                    ParseErrorKind::MissingEndpoint | ParseErrorKind::BadVertexId(_)
+                ),
+                "offset {offset}: unexpected error kind {err:?}"
+            );
+            assert!(err.line() >= 1, "offset {offset}: error must carry a line");
+        }
+    }
+}
+
+#[test]
+fn truncation_mid_line_reports_the_cut_line() {
+    // Cut inside line 3 ("0 2"): the lone "0" is a missing endpoint there.
+    let offset = CLEAN.find("0 2").unwrap() as u64 + 1;
+    let reader = BufReader::new(FaultyReader::new(CLEAN.as_bytes()).truncate_at(offset));
+    let err = read_edge_list(reader).expect_err("truncated mid-line");
+    assert_eq!(err.line(), 3);
+    assert!(matches!(err.kind(), ParseErrorKind::MissingEndpoint));
+}
+
+#[test]
+fn corrupted_corpus_yields_typed_errors_with_line_numbers() {
+    // (input, expected failing line) — every syntactic corruption class.
+    let corpus: &[(&str, usize)] = &[
+        ("0 1\n1\n", 2),                 // missing endpoint
+        ("0 1\nx 2\n", 2),               // non-numeric first token
+        ("0 1\n2 x\n", 2),               // non-numeric second token
+        ("0 1\n1 2 3\n", 2),             // trailing token (strict mode)
+        ("0 1\n1 -2\n", 2),              // negative ID
+        ("0 1\n1 4294967296\n", 2),      // u32 overflow
+        ("0 1\n1 2.5\n", 2),             // float
+        ("# c\n\n0 1\n0xbeef 2\n", 4),   // hex is not SNAP
+        ("0 1\n999999999999999 0\n", 2), // way past u32
+    ];
+    for (input, want_line) in corpus {
+        let result = catch_unwind(AssertUnwindSafe(|| read_edge_list(input.as_bytes())))
+            .unwrap_or_else(|_| panic!("parser panicked on {input:?}"));
+        let err = result.expect_err("corrupted input must not parse");
+        assert_eq!(err.line(), *want_line, "input {input:?}");
+        assert!(err.to_string().contains(&format!("line {want_line}")));
+    }
+}
+
+#[test]
+fn sanitizing_parser_never_panics_on_the_same_corpus() {
+    // The sanitizing path tolerates trailing tokens but must reject the
+    // rest with the same typed errors, and must never panic.
+    let corpus = [
+        "0 1\n1\n",
+        "0 1\nx 2\n",
+        "0 1\n1 2 3\n",
+        "2 2\n1 0\n1 0\n",
+        "",
+        "# only comments\n",
+    ];
+    for input in corpus {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            read_edge_list_sanitized(input.as_bytes(), &SanitizeOptions::default())
+        }))
+        .unwrap_or_else(|_| panic!("sanitizing parser panicked on {input:?}"));
+        if let Err(err) = result {
+            assert!(
+                !matches!(err.kind(), ParseErrorKind::TrailingTokens(_)),
+                "sanitizing parser must tolerate trailing tokens, rejected {input:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sanitize_report_is_exact() {
+    // 2 self loops, 3 duplicates (one via reversal), 1 out-of-range ID,
+    // 2 trailing-token lines, 9 lines seen.
+    let dirty = "\
+0 0
+5 5
+0 1
+1 0
+0 1
+0 1 weight=3
+7 2
+1 2 extra
+2 1
+";
+    let options = SanitizeOptions::with_max_vertex_id(5);
+    let (graph, report) = read_edge_list_sanitized(dirty.as_bytes(), &options).expect("sanitizes");
+    assert_eq!(report.edges_seen, 9);
+    assert_eq!(report.self_loops_dropped, 2);
+    assert_eq!(report.out_of_range_dropped, 1); // "7 2"
+    assert_eq!(report.duplicates_dropped, 4); // 3 extra 0-1s + 1 extra 1-2
+    assert_eq!(report.trailing_token_lines, 2);
+    assert_eq!(report.edges_kept, 2); // 0-1 and 1-2
+    assert_eq!(graph.edge_count(), 2);
+    assert!(!report.is_clean());
+    let s = report.summary();
+    assert!(s.contains("kept 2/9"), "summary: {s}");
+}
+
+/// Builds the dirty graph through the sanitizing parser and the same graph
+/// from a hand-cleaned edge list, then checks every benchmark count is
+/// bit-identical across thread counts and bitmap configurations.
+#[test]
+fn sanitized_dirty_graph_counts_like_its_clean_equivalent() {
+    // K4 ∪ a pendant edge, buried in dirt: duplicates (both directions),
+    // self loops, trailing tokens, comments.
+    let dirty = "\
+# K4 plus tail, scrambled
+1 0
+0 1
+2 0 dup=no
+0 3
+1 2
+3 1
+2 3
+2 2
+4 3
+3 4
+0 0 again
+";
+    let clean = "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n3 4\n";
+
+    let (dirty_graph, report) =
+        read_edge_list_sanitized(dirty.as_bytes(), &SanitizeOptions::default()).expect("sanitizes");
+    assert!(!report.is_clean());
+    let clean_graph: CsrGraph = read_edge_list(clean.as_bytes()).expect("clean parses");
+    assert_eq!(dirty_graph, clean_graph);
+
+    let configs = [
+        EngineConfig::without_bitmap(),
+        EngineConfig::default(),
+        EngineConfig {
+            bitmap_hubs: 4,
+            bitmap_cache_slots: 2,
+        },
+    ];
+    for bench in Benchmark::ALL {
+        for cfg in &configs {
+            for threads in [1, 2, 4] {
+                let from_dirty = count_benchmark_parallel_with(&dirty_graph, bench, threads, cfg);
+                let from_clean = count_benchmark_parallel_with(&clean_graph, bench, threads, cfg);
+                assert_eq!(
+                    from_dirty, from_clean,
+                    "{bench} diverged at {threads} threads (hubs {})",
+                    cfg.bitmap_hubs
+                );
+            }
+        }
+    }
+}

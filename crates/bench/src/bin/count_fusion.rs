@@ -1,0 +1,6 @@
+//! Count-fusion equivalence sweep + before/after speedup grid.
+
+fn main() {
+    let quick = fingers_bench::quick_mode();
+    print!("{}", fingers_bench::experiments::count_fusion::run(quick));
+}

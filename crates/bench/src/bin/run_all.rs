@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use fingers_bench::checkpoint::{run_checkpointed, RunAllConfig, Section, SectionStatus};
 
-const SECTIONS: [Section; 12] = [
+const SECTIONS: [Section; 13] = [
     Section {
         name: "table1",
         run: fingers_bench::experiments::table1::run,
@@ -60,6 +60,10 @@ const SECTIONS: [Section; 12] = [
     Section {
         name: "bitmap_kernels",
         run: fingers_bench::experiments::bitmap_kernels::run,
+    },
+    Section {
+        name: "count_fusion",
+        run: fingers_bench::experiments::count_fusion::run,
     },
     Section {
         name: "energy",

@@ -141,6 +141,9 @@ pub struct SpeedupCell {
     pub benchmark: String,
     /// Hub budget of the bitmap-enabled config (the baseline is always 0).
     pub bitmap_hubs: usize,
+    /// Terminal-count fusion mode both configs ran under (bench hygiene:
+    /// tagged so cross-PR trajectories stay comparable).
+    pub count_fusion: bool,
     /// Wall ms with the merge/galloping-only baseline.
     pub baseline_ms: f64,
     /// Wall ms with the full three-tier engine.
@@ -186,6 +189,7 @@ pub fn run_speedup(quick: bool) -> Vec<SpeedupCell> {
                 dataset: name.clone(),
                 benchmark: b.abbrev().to_owned(),
                 bitmap_hubs: with_bitmap.bitmap_hubs,
+                count_fusion: with_bitmap.fuse_terminal_counts,
                 baseline_ms,
                 bitmap_ms,
                 speedup: baseline_ms / bitmap_ms.max(1e-9),
@@ -282,11 +286,12 @@ fn render_json(micro: &[MicroRow], cells: &[SpeedupCell]) -> String {
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"dataset\": \"{}\", \"benchmark\": \"{}\", \"threads\": 1, \
-             \"bitmap_hubs\": {}, \"baseline_ms\": {:.3}, \"bitmap_ms\": {:.3}, \
-             \"speedup\": {:.3}, \"embeddings\": {}}}{}\n",
+             \"bitmap_hubs\": {}, \"count_fusion\": {}, \"baseline_ms\": {:.3}, \
+             \"bitmap_ms\": {:.3}, \"speedup\": {:.3}, \"embeddings\": {}}}{}\n",
             json_escape(&c.dataset),
             json_escape(&c.benchmark),
             c.bitmap_hubs,
+            c.count_fusion,
             c.baseline_ms,
             c.bitmap_ms,
             c.speedup,
@@ -341,6 +346,7 @@ mod tests {
             dataset: "plhub".into(),
             benchmark: "4cl".into(),
             bitmap_hubs: 1024,
+            count_fusion: true,
             baseline_ms: 20.0,
             bitmap_ms: 10.0,
             speedup: 2.0,
@@ -354,5 +360,6 @@ mod tests {
         assert!(j.contains("\"baseline_ms\": 20.000"));
         assert!(j.contains("\"threads\": 1"));
         assert!(j.contains("\"bitmap_hubs\": 1024"));
+        assert!(j.contains("\"count_fusion\": true"));
     }
 }

@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod bitmap_kernels;
+pub mod count_fusion;
 pub mod energy;
 pub mod fig10;
 pub mod fig11;

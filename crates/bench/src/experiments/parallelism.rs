@@ -133,11 +133,13 @@ fn render_json(cells: &[SoftwareCell]) -> String {
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"dataset\": \"{}\", \"benchmark\": \"{}\", \"threads\": {}, \
-             \"bitmap_hubs\": {}, \"embeddings\": {}, \"wall_ms\": {:.3}}}{}\n",
+             \"bitmap_hubs\": {}, \"count_fusion\": {}, \"embeddings\": {}, \
+             \"wall_ms\": {:.3}}}{}\n",
             json_escape(&c.dataset),
             json_escape(&c.benchmark),
             c.threads,
             c.bitmap_hubs,
+            c.count_fusion,
             c.embeddings,
             c.wall_ms,
             if i + 1 == cells.len() { "" } else { "," }
@@ -168,6 +170,7 @@ mod tests {
                 benchmark: "tc".into(),
                 threads: 1,
                 bitmap_hubs: 0,
+                count_fusion: true,
                 embeddings: 42,
                 wall_ms: 1.5,
             },
@@ -176,6 +179,7 @@ mod tests {
                 benchmark: "tc".into(),
                 threads: 2,
                 bitmap_hubs: 64,
+                count_fusion: false,
                 embeddings: 42,
                 wall_ms: 0.9,
             },
@@ -186,6 +190,8 @@ mod tests {
         assert_eq!(j.matches("\"threads\"").count(), 2);
         assert!(j.contains("\"bitmap_hubs\": 0"));
         assert!(j.contains("\"bitmap_hubs\": 64"));
+        assert!(j.contains("\"count_fusion\": true"));
+        assert!(j.contains("\"count_fusion\": false"));
         assert!(j.contains("\"embeddings\": 42"));
         // Exactly one separating comma between the two objects.
         assert_eq!(j.matches("},").count(), 1);

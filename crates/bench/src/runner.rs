@@ -91,6 +91,10 @@ pub struct SoftwareCell {
     pub threads: usize,
     /// Hub budget of the bitmap kernel tier (0 = tier disabled).
     pub bitmap_hubs: usize,
+    /// Whether terminal-count fusion was enabled for this cell (bench
+    /// hygiene: fusion mode is tagged on every JSON cell so cross-PR
+    /// trajectories stay comparable).
+    pub count_fusion: bool,
     /// Total embeddings across the benchmark's patterns.
     pub embeddings: u64,
     /// Wall-clock time of the mining run, in milliseconds.
@@ -114,6 +118,7 @@ pub fn run_software_cell(
         benchmark: bench.abbrev().to_owned(),
         threads,
         bitmap_hubs: config.bitmap_hubs,
+        count_fusion: config.fuse_terminal_counts,
         embeddings: out.total(),
         wall_ms,
     }
@@ -192,6 +197,16 @@ mod tests {
         assert_eq!(two.threads, 2);
         assert_eq!(one.bitmap_hubs, cfg.bitmap_hubs);
         assert_eq!(off.bitmap_hubs, 0);
+        assert!(one.count_fusion, "default config fuses terminal counts");
+        let unfused = run_software_cell(
+            &g,
+            "er",
+            Benchmark::Tc,
+            1,
+            &EngineConfig::without_count_fusion(),
+        );
+        assert_eq!(one.embeddings, unfused.embeddings, "fusion invariance");
+        assert!(!unfused.count_fusion);
         assert_eq!(one.dataset, "er");
         assert_eq!(one.benchmark, Benchmark::Tc.abbrev());
     }

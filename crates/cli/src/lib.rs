@@ -90,6 +90,9 @@ pub struct Options {
     /// Hub budget for the software engine's dense-bitmap kernel tier
     /// (0 disables the tier).
     pub bitmap_hubs: usize,
+    /// Fuse terminal-counting plan levels into count kernels (default on;
+    /// `--no-count-fusion` reinstates the materializing baseline).
+    pub count_fusion: bool,
     /// Repair dirty edge-list inputs (self loops, duplicates, unsorted or
     /// reversed edges, trailing tokens) and report what was repaired.
     pub sanitize: bool,
@@ -193,6 +196,8 @@ options:
                        software engine's bitmap kernel tier (default 1024)
   --no-bitmap          disable the bitmap tier (same as --bitmap-hubs 0);
                        counts are identical either way
+  --no-count-fusion    materialize terminal candidate sets instead of
+                       fused counting; counts are identical either way
   --edge-induced       edge-induced semantics (default vertex-induced)
   --reorder-degree     relabel graph by descending degree first
   --optimize-order     search all connected matching orders by cost model
@@ -224,6 +229,7 @@ impl Options {
         let mut optimize_order = false;
         let mut threads = default_threads();
         let mut bitmap_hubs = fingers_mining::config::DEFAULT_BITMAP_HUBS;
+        let mut count_fusion = true;
         let mut sanitize = false;
         let mut strict = false;
 
@@ -271,6 +277,7 @@ impl Options {
                         .map_err(|_| UsageError("--bitmap-hubs must be an integer".into()))?
                 }
                 "--no-bitmap" => bitmap_hubs = 0,
+                "--no-count-fusion" => count_fusion = false,
                 "--sanitize" => sanitize = true,
                 "--strict" => strict = true,
                 "--edge-induced" => edge_induced = true,
@@ -306,6 +313,7 @@ impl Options {
             optimize_order,
             threads,
             bitmap_hubs,
+            count_fusion,
             sanitize,
             strict,
         })
@@ -450,6 +458,7 @@ pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
         Engine::Software => {
             let config = EngineConfig {
                 bitmap_hubs: options.bitmap_hubs,
+                fuse_terminal_counts: options.count_fusion,
                 ..EngineConfig::default()
             };
             let out = try_count_multi_parallel_with(&graph, &multi, options.threads, &config)
@@ -459,11 +468,16 @@ pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
             } else {
                 "bitmap off".to_owned()
             };
+            let fusion = if config.fuse_terminal_counts {
+                ""
+            } else {
+                ", count fusion off"
+            };
             RunOutcome {
                 counts: out.per_pattern,
                 cycles: None,
                 engine: format!(
-                    "software (plan-driven DFS, {} thread{}, {tier})",
+                    "software (plan-driven DFS, {} thread{}, {tier}{fusion})",
                     options.threads,
                     if options.threads == 1 { "" } else { "s" }
                 ),
@@ -613,6 +627,33 @@ mod tests {
         assert_eq!(on.counts, off.counts);
         assert!(on.engine.contains("bitmap hubs 1024"), "{}", on.engine);
         assert!(off.engine.contains("bitmap off"), "{}", off.engine);
+    }
+
+    #[test]
+    fn count_fusion_flag_parses_and_defaults_on() {
+        let o = Options::parse(args("--graph g --pattern tc")).expect("valid");
+        assert!(o.count_fusion);
+        let o = Options::parse(args("--graph g --pattern tc --no-count-fusion")).expect("valid");
+        assert!(!o.count_fusion);
+    }
+
+    #[test]
+    fn count_fusion_toggle_does_not_change_counts() {
+        let base = "--graph gen:pl:120:700:4 --pattern tc --pattern 4cl --threads 2";
+        let fused = run(&Options::parse(args(base)).unwrap()).unwrap();
+        let unfused =
+            run(&Options::parse(args(&format!("{base} --no-count-fusion"))).unwrap()).unwrap();
+        assert_eq!(fused.counts, unfused.counts);
+        assert!(
+            !fused.engine.contains("count fusion off"),
+            "{}",
+            fused.engine
+        );
+        assert!(
+            unfused.engine.contains("count fusion off"),
+            "{}",
+            unfused.engine
+        );
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub struct EngineConfig {
     /// Per-worker bitmap-cache capacity (resident hub bitmaps). Clamped to
     /// at least 1 when the bitmap tier is enabled.
     pub bitmap_cache_slots: usize,
+    /// Route terminal-counting plan levels through the fused count kernels
+    /// (count + bound pushing, no leaf-set materialization; DESIGN.md
+    /// § count fusion & bound pushing). Counting sinks only — the listing
+    /// path is unaffected either way. Off reinstates the materialize-then-
+    /// count baseline, for determinism sweeps and before/after benchmarks
+    /// (CLI `--no-count-fusion`).
+    pub fuse_terminal_counts: bool,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +49,7 @@ impl Default for EngineConfig {
         Self {
             bitmap_hubs: DEFAULT_BITMAP_HUBS,
             bitmap_cache_slots: DEFAULT_BITMAP_CACHE_SLOTS,
+            fuse_terminal_counts: true,
         }
     }
 }
@@ -51,6 +59,14 @@ impl EngineConfig {
     pub fn without_bitmap() -> Self {
         Self {
             bitmap_hubs: 0,
+            ..Self::default()
+        }
+    }
+
+    /// The materialize-every-level baseline: terminal-count fusion off.
+    pub fn without_count_fusion() -> Self {
+        Self {
+            fuse_terminal_counts: false,
             ..Self::default()
         }
     }
@@ -97,6 +113,14 @@ mod tests {
         assert_eq!(c.bitmap_hubs, DEFAULT_BITMAP_HUBS);
         assert!(!EngineConfig::without_bitmap().bitmap_enabled());
         assert_eq!(EngineConfig::with_bitmap_hubs(3).bitmap_hubs, 3);
+    }
+
+    #[test]
+    fn default_enables_count_fusion() {
+        assert!(EngineConfig::default().fuse_terminal_counts);
+        let off = EngineConfig::without_count_fusion();
+        assert!(!off.fuse_terminal_counts);
+        assert!(off.bitmap_enabled(), "fusion toggle must not touch bitmap");
     }
 
     #[test]

@@ -22,9 +22,9 @@ use fingers_graph::hubs::HubSet;
 use fingers_graph::{CsrGraph, VertexId};
 use fingers_pattern::benchmarks::Benchmark;
 use fingers_pattern::{ExecutionPlan, MultiPlan, PlanOp};
-use fingers_setops::adaptive::{select_tier, KernelTier};
+use fingers_setops::adaptive::{select_count_tier, select_tier, KernelTier};
 use fingers_setops::bitmap::NeighborBitmap;
-use fingers_setops::{bitmap, galloping, merge, Elem, SetOpKind};
+use fingers_setops::{bitmap, bound, galloping, merge, Elem, SetOpKind};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -110,6 +110,14 @@ pub fn count_benchmark_with(
 /// sorted outputs, so tier choice — and therefore cache state, thread
 /// count, and configuration — can never change counts.
 ///
+/// For counting sinks ([`Sink::COUNTS_ONLY`]) with
+/// `EngineConfig::fuse_terminal_counts` on (the default), the action that
+/// would materialize the *leaf* candidate set instead dispatches a fused,
+/// bound-pushed count kernel ([`select_count_tier`]) — the leaf set is
+/// never written, and the symmetry-breaking bound trims both operands
+/// before the kernel runs. Totals are bit-identical with fusion on or off;
+/// listing sinks always take the materializing path.
+///
 /// # Invariants
 ///
 /// The interpreter trusts two properties of compiler-produced plans, and
@@ -150,6 +158,48 @@ pub struct PlanMiner<'g, 'p> {
     hubs: Option<Arc<HubSet>>,
     /// This worker's resident hub bitmaps.
     cache: BitmapCache,
+    /// Per-level symmetry-breaking bound sources, precomputed once per plan
+    /// so the per-embedding restriction check reduces to `mapped[]` reads.
+    bound_sources: Vec<BoundSource>,
+    /// Whether terminal-counting levels run the fused count kernels
+    /// (`EngineConfig::fuse_terminal_counts`; counting sinks only).
+    fuse: bool,
+}
+
+/// Where a level's symmetry-breaking lower bound comes from — hoisted out
+/// of the per-embedding loop into a table built once per [`PlanMiner`].
+/// Most restricted levels have exactly one bound ancestor, so the common
+/// case resolves with a single indexed read instead of an iterator max
+/// over `schedule(level).lower_bounds`.
+#[derive(Debug, Clone)]
+enum BoundSource {
+    /// Unrestricted level: every candidate is eligible.
+    None,
+    /// Bound is the vertex mapped at one ancestor level.
+    Single(usize),
+    /// Bound is the max over several ancestor levels' mapped vertices.
+    Max(Vec<usize>),
+}
+
+impl BoundSource {
+    fn from_levels(levels: &[usize]) -> Self {
+        match levels {
+            [] => BoundSource::None,
+            [a] => BoundSource::Single(*a),
+            many => BoundSource::Max(many.to_vec()),
+        }
+    }
+
+    /// The level's effective lower bound for the current prefix (`None`
+    /// when unrestricted).
+    #[inline]
+    fn resolve(&self, mapped: &[VertexId]) -> Option<VertexId> {
+        match self {
+            BoundSource::None => None,
+            BoundSource::Single(a) => Some(mapped[*a]),
+            BoundSource::Max(list) => list.iter().map(|&a| mapped[a]).max(),
+        }
+    }
 }
 
 impl<'g, 'p> PlanMiner<'g, 'p> {
@@ -167,23 +217,29 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
         plan: &'p ExecutionPlan,
         config: &EngineConfig,
     ) -> Self {
-        Self::with_hubs(
-            graph,
-            plan,
-            config.hub_set(graph),
-            config.bitmap_cache_slots,
-        )
+        Self::with_hubs(graph, plan, config.hub_set(graph), config)
     }
 
-    /// A worker using a pre-identified (possibly shared) hub set. `None`
-    /// disables the bitmap tier for this worker.
+    /// A worker using a pre-identified (possibly shared) hub set (`None`
+    /// disables the bitmap tier for this worker); every other knob is read
+    /// from `config`.
     pub fn with_hubs(
         graph: &'g CsrGraph,
         plan: &'p ExecutionPlan,
         hubs: Option<Arc<HubSet>>,
-        bitmap_cache_slots: usize,
+        config: &EngineConfig,
     ) -> Self {
         let k = plan.pattern_size();
+        // Level 0 has no schedule (roots are unrestricted by construction).
+        let bound_sources = (0..k)
+            .map(|j| {
+                if j == 0 {
+                    BoundSource::None
+                } else {
+                    BoundSource::from_levels(&plan.schedule(j).lower_bounds)
+                }
+            })
+            .collect();
         Self {
             graph,
             plan,
@@ -192,7 +248,9 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
             sets: vec![None; k],
             undo: (0..k).map(|_| Vec::new()).collect(),
             hubs,
-            cache: BitmapCache::new(bitmap_cache_slots),
+            cache: BitmapCache::new(config.bitmap_cache_slots),
+            bound_sources,
+            fuse: config.fuse_terminal_counts,
         }
     }
 
@@ -233,10 +291,28 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
         let plan = self.plan;
         self.mapped.push(v);
 
+        let actions = plan.actions_at(level);
+        // Terminal-count fusion (DESIGN.md § count fusion & bound pushing):
+        // when the next level is the leaf and the sink only counts, this
+        // level's *finalizing* action on the leaf set — actions are
+        // target-ordered, so any op for S_{k−1} scheduled here comes last —
+        // runs as a fused count kernel instead of materializing. Earlier
+        // actions (including partial refinements of S_{k−1}) materialize as
+        // usual; if the leaf set was finalized at an earlier level there is
+        // no such action and the materializing leaf path below runs.
+        let fused = if S::COUNTS_ONLY && self.fuse && level + 2 == k {
+            actions
+                .split_last()
+                .filter(|(last, _)| last.target() + 1 == k)
+        } else {
+            None
+        };
+        let run_actions = fused.map_or(actions, |(_, rest)| rest);
+
         // Run the compiled actions for this level, remembering what to undo.
         // `undo[level]` is empty here: each invocation drains it before
         // returning and recursion only touches deeper levels.
-        for op in plan.actions_at(level) {
+        for op in run_actions {
             let target = op.target();
             let mut buf = self.arena.take();
             self.evaluate_into(op, level, &mut buf);
@@ -245,27 +321,32 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
             self.sets[target] = Some(buf);
         }
 
-        let next = level + 1;
-        if next < k {
-            // Iterate candidates for the next level. The compiler schedules
-            // every set `S_next` to be materialized by level `next − 1`, so
-            // a missing set here is a plan-compiler bug, not a data error.
-            let candidates = self.sets[next]
-                .take()
-                .expect("schedule materializes S_{next} by level next-1");
-            let start = self.candidate_start(next, &candidates);
-            if next + 1 == k {
-                // Leaf: the whole remaining run extends `mapped`.
-                sink.leaf_run(&mut self.mapped, &candidates[start..]);
-            } else {
-                for &c in &candidates[start..] {
-                    if self.mapped.contains(&c) {
-                        continue; // embeddings map distinct vertices
+        if let Some((op, _)) = fused {
+            sink.leaf_count(self.count_terminal(op, level));
+        } else {
+            let next = level + 1;
+            if next < k {
+                // Iterate candidates for the next level. The compiler
+                // schedules every set `S_next` to be materialized by level
+                // `next − 1`, so a missing set here is a plan-compiler bug,
+                // not a data error.
+                let candidates = self.sets[next]
+                    .take()
+                    .expect("schedule materializes S_{next} by level next-1");
+                let start = self.candidate_start(next, &candidates);
+                if next + 1 == k {
+                    // Leaf: the whole remaining run extends `mapped`.
+                    sink.leaf_run(&mut self.mapped, &candidates[start..]);
+                } else {
+                    for &c in &candidates[start..] {
+                        if self.mapped.contains(&c) {
+                            continue; // embeddings map distinct vertices
+                        }
+                        self.enter(next, c, sink);
                     }
-                    self.enter(next, c, sink);
                 }
+                self.sets[next] = Some(candidates);
             }
-            self.sets[next] = Some(candidates);
         }
 
         while let Some((target, old)) = self.undo[level].pop() {
@@ -279,10 +360,59 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
     /// First candidate index satisfying the level's symmetry-breaking lower
     /// bounds (`u_level > u_a`), found by binary search on the sorted set.
     fn candidate_start(&self, level: usize, candidates: &[Elem]) -> usize {
-        let bounds = &self.plan.schedule(level).lower_bounds;
-        match bounds.iter().map(|&a| self.mapped[a]).max() {
-            Some(bound) => candidates.partition_point(|&c| c <= bound),
+        match self.bound_sources[level].resolve(&self.mapped) {
+            Some(b) => bound::lower_bound_start(candidates, b),
             None => 0,
+        }
+    }
+
+    /// Executes a terminal level's finalizing action as a count: the number
+    /// of embeddings the materializing path would have reported for this
+    /// prefix — `|result above bound| − |prefix ∩ result above bound|` —
+    /// with the restriction bound pushed into the operands and no output
+    /// written.
+    fn count_terminal(&mut self, op: &PlanOp, level: usize) -> u64 {
+        let leaf = self.plan.pattern_size() - 1;
+        let lower = self.bound_sources[leaf].resolve(&self.mapped);
+        let current = self.mapped[level];
+        match *op {
+            PlanOp::Init { .. } => {
+                // Leaf set = N(u_level) wholesale: no kernel needed, only
+                // the bound trim and prefix-duplicate exclusion.
+                let long = bound::trim(self.graph.neighbors(current), lower);
+                let dup = self
+                    .mapped
+                    .iter()
+                    .filter(|p| long.binary_search(p).is_ok())
+                    .count();
+                (long.len() - dup) as u64
+            }
+            PlanOp::InitAnti { short, .. } => count_dispatch(
+                self.graph,
+                self.hubs.as_deref(),
+                &mut self.cache,
+                SetOpKind::AntiSubtract,
+                self.graph.neighbors(self.mapped[short]),
+                current,
+                lower,
+                &self.mapped,
+            ),
+            PlanOp::Apply { target, list, kind } => {
+                // Same materialized-set invariant as `evaluate_into`.
+                let short = self.sets[target]
+                    .as_ref()
+                    .expect("Apply requires a materialized set");
+                count_dispatch(
+                    self.graph,
+                    self.hubs.as_deref(),
+                    &mut self.cache,
+                    kind,
+                    short,
+                    self.mapped[list],
+                    lower,
+                    &self.mapped,
+                )
+            }
         }
     }
 
@@ -357,6 +487,60 @@ fn kernel_dispatch(
         KernelTier::Galloping => galloping::apply_into(kind, short, long, out),
         KernelTier::Merge => merge::apply_into(kind, short, long, out),
     }
+}
+
+/// Fused count dispatch for a terminal level's finalizing set operation:
+/// returns how many embeddings the prefix `mapped` completes, without
+/// materializing the leaf set.
+///
+/// Bound pushing happens here: both operands are trimmed to elements
+/// strictly above `lower` *before* the kernel runs (the shared
+/// [`bound::trim`] convention), so restricted elements are never compared,
+/// unlike the materializing path which filters the finished set. Tier
+/// choice is delegated to [`select_count_tier`] — counting reduces every
+/// kind to intersect counting, so a resident bitmap always wins (no
+/// anti-subtract word-scan caveat). The prefix-duplicate exclusion mirrors
+/// `CountSink::leaf_run`: each mapped vertex that would have appeared in
+/// the trimmed result is one overcount, checked by binary searches against
+/// the trimmed operands (valid because the vertex is itself above the
+/// bound).
+#[allow(clippy::too_many_arguments)]
+fn count_dispatch(
+    graph: &CsrGraph,
+    hubs: Option<&HubSet>,
+    cache: &mut BitmapCache,
+    kind: SetOpKind,
+    short_full: &[Elem],
+    long_v: VertexId,
+    lower: Option<Elem>,
+    mapped: &[VertexId],
+) -> u64 {
+    let short = bound::trim(short_full, lower);
+    let long = bound::trim(graph.neighbors(long_v), lower);
+    let resident = hubs.is_some_and(|h| h.contains(long_v));
+    let n = match select_count_tier(kind, short.len(), long.len(), resident) {
+        KernelTier::Bitmap => {
+            let bm = cache.get_or_build(graph, long_v);
+            bitmap::count(kind, short, bm, long.len())
+        }
+        KernelTier::Galloping => galloping::count(kind, short, long),
+        KernelTier::Merge => merge::count(kind, short, long),
+    };
+    let dup = mapped
+        .iter()
+        .filter(|&&p| {
+            lower.is_none_or(|b| p > b) && {
+                let in_short = short.binary_search(&p).is_ok();
+                let in_long = long.binary_search(&p).is_ok();
+                match kind {
+                    SetOpKind::Intersect => in_short && in_long,
+                    SetOpKind::Subtract => in_short && !in_long,
+                    SetOpKind::AntiSubtract => in_long && !in_short,
+                }
+            }
+        })
+        .count() as u64;
+    n - dup
 }
 
 #[cfg(test)]
@@ -636,6 +820,52 @@ mod tests {
     }
 
     #[test]
+    fn fused_counts_match_listing() {
+        // The listing path is fusion-blind (FnSink never counts), so the
+        // number of listed embeddings is an independent oracle for the
+        // fused count — including patterns whose terminal action is an
+        // Init (path), InitAnti, or Apply of every kind.
+        let g = erdos_renyi(35, 140, 9);
+        for p in [
+            Pattern::triangle(),
+            Pattern::clique(4),
+            Pattern::four_cycle(),
+            Pattern::tailed_triangle(),
+            Pattern::diamond(),
+            Pattern::from_edges_named(4, &[(0, 1), (1, 2), (2, 3)], "path4"),
+            Pattern::from_edges_named(4, &[(0, 1), (0, 2), (0, 3)], "star4"),
+        ] {
+            for induced in [Induced::Vertex, Induced::Edge] {
+                let plan = ExecutionPlan::compile(&p, induced);
+                let mut listed = 0u64;
+                list_plan(&g, &plan, &mut |_| listed += 1);
+                assert_eq!(
+                    count_plan_with(&g, &plan, &EngineConfig::default()),
+                    listed,
+                    "fused count vs listing for {p:?} ({induced:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_runs_keep_allocation_discipline() {
+        // Fusion removes the leaf buffer entirely; what remains must still
+        // obey the no-per-embedding-allocation property.
+        let g = complete(8);
+        let plan = ExecutionPlan::compile(&Pattern::clique(4), Induced::Vertex);
+        let mut miner = PlanMiner::new(&g, &plan);
+        let mut sink = CountSink::default();
+        miner.run(MiningTask::all(&g), &mut sink);
+        assert_eq!(sink.count, choose(8, 4));
+        let before = miner.arena().fresh_buffers();
+        let mut sink2 = CountSink::default();
+        miner.run(MiningTask::all(&g), &mut sink2);
+        assert_eq!(sink2.count, sink.count);
+        assert_eq!(miner.arena().fresh_buffers(), before);
+    }
+
+    #[test]
     fn configs_agree_on_counts() {
         // Bit-identical counts across every kernel-tier configuration.
         let g = erdos_renyi(60, 600, 77);
@@ -644,9 +874,16 @@ mod tests {
             for cfg in [
                 EngineConfig::default(),
                 EngineConfig::with_bitmap_hubs(1),
+                EngineConfig::without_count_fusion(),
                 EngineConfig {
                     bitmap_hubs: 8,
                     bitmap_cache_slots: 2,
+                    ..EngineConfig::default()
+                },
+                EngineConfig {
+                    bitmap_hubs: 0,
+                    fuse_terminal_counts: false,
+                    ..EngineConfig::default()
                 },
             ] {
                 assert_eq!(

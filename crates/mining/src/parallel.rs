@@ -64,8 +64,7 @@ pub fn count_plan_parallel_with(
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut miner =
-                        PlanMiner::with_hubs(graph, plan, hubs.clone(), config.bitmap_cache_slots);
+                    let mut miner = PlanMiner::with_hubs(graph, plan, hubs.clone(), config);
                     let mut sink = CountSink::default();
                     while let Some(task) = tasks.get(cursor.fetch_add(1, Ordering::Relaxed)) {
                         miner.run(task.clone(), &mut sink);
@@ -122,7 +121,7 @@ pub fn try_count_plan_parallel_with(
     let cursor = AtomicUsize::new(0);
     let failures: Mutex<Vec<(usize, PartitionFailure)>> = Mutex::new(Vec::new());
     let worker = || {
-        let mut miner = PlanMiner::with_hubs(graph, plan, hubs.clone(), config.bitmap_cache_slots);
+        let mut miner = PlanMiner::with_hubs(graph, plan, hubs.clone(), config);
         let mut local = 0u64;
         loop {
             let idx = cursor.fetch_add(1, Ordering::Relaxed);
@@ -143,8 +142,7 @@ pub fn try_count_plan_parallel_with(
                         ));
                     // The miner's scratch state is mid-DFS; rebuild it
                     // before touching the next task.
-                    miner =
-                        PlanMiner::with_hubs(graph, plan, hubs.clone(), config.bitmap_cache_slots);
+                    miner = PlanMiner::with_hubs(graph, plan, hubs.clone(), config);
                 }
             }
         }

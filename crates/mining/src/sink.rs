@@ -18,9 +18,26 @@ use fingers_graph::VertexId;
 /// implementors only override it as an optimization — never for
 /// correctness).
 pub trait Sink {
+    /// `true` when this sink only ever needs embedding *counts*, never the
+    /// mapped vertices. The engine uses this (together with
+    /// `EngineConfig::fuse_terminal_counts`) to route terminal plan levels
+    /// through fused count kernels that skip materializing the leaf
+    /// candidate set entirely; reported totals are bit-identical either
+    /// way. The default `false` keeps listing sinks on the materializing
+    /// path byte for byte.
+    const COUNTS_ONLY: bool = false;
+
     /// One complete embedding; `mapped[i]` is the vertex matched to pattern
     /// vertex `u_i`.
     fn embedding(&mut self, mapped: &[VertexId]);
+
+    /// A fused leaf report: `n` embeddings completed whose leaf vertices
+    /// were counted by a kernel without ever being materialized. Only
+    /// called when [`COUNTS_ONLY`](Self::COUNTS_ONLY) is `true`, so the
+    /// default ignores the report (a listing sink never receives one).
+    fn leaf_count(&mut self, n: u64) {
+        let _ = n;
+    }
 
     /// A complete leaf-level run: every element of `candidates` (a sorted
     /// set, possibly still containing vertices already in `prefix`) that is
@@ -53,8 +70,14 @@ pub struct CountSink {
 }
 
 impl Sink for CountSink {
+    const COUNTS_ONLY: bool = true;
+
     fn embedding(&mut self, _mapped: &[VertexId]) {
         self.count += 1;
+    }
+
+    fn leaf_count(&mut self, n: u64) {
+        self.count += n;
     }
 
     fn leaf_run(&mut self, prefix: &mut Vec<VertexId>, candidates: &[VertexId]) {

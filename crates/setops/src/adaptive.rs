@@ -93,6 +93,35 @@ pub fn select_tier(
     }
 }
 
+/// Picks the kernel tier for one **count-only** `(short, long)` operation —
+/// the sibling of [`select_tier`] for fused terminal counting, kept here so
+/// the crossover policy for count ops lives in the same single place.
+///
+/// `resident` is true when a dense bitmap of the long operand is available.
+/// No word count is needed: counting never emits the long side, because
+/// every kind reduces to `|short ∩ long|` plus operand-length arithmetic
+/// (see [`crate::bitmap::count`]). The policy therefore differs from the
+/// materializing one in exactly one way — **anti-subtract counts take the
+/// bitmap unconditionally** when resident (`O(short)` probes, no
+/// `⌈n/64⌉`-word scan to weigh), while the list-tier crossover is the same
+/// [`GALLOP_CROSSOVER`] ratio with the same tie-goes-to-merge semantics.
+pub fn select_count_tier(
+    kind: SetOpKind,
+    short_len: usize,
+    long_len: usize,
+    resident: bool,
+) -> KernelTier {
+    let _ = kind; // every kind counts via intersection — kind cannot matter
+    if resident {
+        return KernelTier::Bitmap;
+    }
+    if long_len > short_len.saturating_mul(GALLOP_CROSSOVER) {
+        KernelTier::Galloping
+    } else {
+        KernelTier::Merge
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +177,32 @@ mod tests {
                 assert_eq!(
                     select_tier(kind, s, l, Some(1_000_000)),
                     KernelTier::Bitmap,
+                    "{kind} s={s} l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_tier_always_prefers_resident_bitmap() {
+        for kind in SetOpKind::ALL {
+            for (s, l) in [(1usize, 1usize), (10, 1000), (1000, 10), (50, 150)] {
+                assert_eq!(
+                    select_count_tier(kind, s, l, true),
+                    KernelTier::Bitmap,
+                    "{kind} s={s} l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_tier_list_crossover_matches_select_tier() {
+        for kind in SetOpKind::ALL {
+            for (s, l) in [(4usize, 65usize), (100, 100), (0, 1), (3, 48), (3, 49)] {
+                assert_eq!(
+                    select_count_tier(kind, s, l, false),
+                    select_tier(SetOpKind::Intersect, s, l, None),
                     "{kind} s={s} l={l}"
                 );
             }

@@ -207,6 +207,49 @@ pub fn apply_into(kind: SetOpKind, short: &[Elem], long: &NeighborBitmap, out: &
     }
 }
 
+/// `|short ∩ long|` by probing the bitmap: one word load per short element,
+/// no output written. The count-only form of [`intersect_bitmap_into`].
+pub fn intersect_count(short: &[Elem], long: &NeighborBitmap) -> u64 {
+    short.iter().filter(|&&x| long.contains(x)).count() as u64
+}
+
+/// `|apply(kind, short, long)|` without materializing, with the long side
+/// resident as a bitmap.
+///
+/// Bound-pushing contract: `short` must already be trimmed to the elements
+/// strictly above any active lower bound, and `long_len` is the cardinality
+/// of the long operand *after the same trim*. The bitmap itself stays the
+/// full adjacency — a probe from a trimmed short element can never hit a
+/// long element at or below the bound, so no bitmap masking is needed.
+///
+/// Note the contrast with the materializing tier: anti-subtraction there
+/// needs a word scan to *emit* the long side, so adaptive dispatch weighs
+/// `⌈n/64⌉` words against restreaming. Counting reduces every kind to
+/// `|short ∩ long|` plus arithmetic, so probing (`O(|short|)`) serves all
+/// three — which is why [`crate::adaptive::select_count_tier`] can always
+/// prefer a resident bitmap.
+pub fn count(kind: SetOpKind, short: &[Elem], long: &NeighborBitmap, long_len: usize) -> u64 {
+    let both = intersect_count(short, long);
+    match kind {
+        SetOpKind::Intersect => both,
+        SetOpKind::Subtract => short.len() as u64 - both,
+        SetOpKind::AntiSubtract => long_len as u64 - both,
+    }
+}
+
+/// `|a ∩ b|` when *both* sides are resident bitmaps: word-wise AND +
+/// popcount, `O(words)` with no per-element work at all — the degenerate
+/// intersect-count form the tentpole calls for. Universes may differ; bits
+/// beyond the shorter universe cannot intersect.
+pub fn intersect_count_resident(a: &NeighborBitmap, b: &NeighborBitmap) -> u64 {
+    let words = a.word_count().min(b.word_count());
+    a.words[..words]
+        .iter()
+        .zip(&b.words[..words])
+        .map(|(x, y)| (x & y).count_ones() as u64)
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +371,40 @@ mod tests {
             long in sorted_set(256, 8),
         ) {
             check_all_kinds(256, &short, &long);
+        }
+
+        /// Bitmap counts equal the length of the trimmed materialized
+        /// result (the satellite property, bitmap tier): `short` is trimmed
+        /// before probing and `long_len` carries the trimmed long
+        /// cardinality, matching the executor's fused dispatch.
+        #[test]
+        fn count_bounded_matches_trimmed_apply(
+            short in sorted_set(2000, 120),
+            long in sorted_set(2000, 400),
+            bound in proptest::option::of(0u32..2100),
+        ) {
+            let bm = NeighborBitmap::from_sorted(2000, &long);
+            let ts = crate::bound::trim(&short, bound);
+            let tl = crate::bound::trim(&long, bound);
+            for kind in SetOpKind::ALL {
+                let expected = merge::apply(kind, ts, tl).len() as u64;
+                prop_assert_eq!(count(kind, ts, &bm, tl.len()), expected, "{}", kind);
+            }
+        }
+
+        /// Word-AND popcount equals the probe-based intersect count when
+        /// both operands are resident.
+        #[test]
+        fn resident_popcount_matches_probe_count(
+            a in sorted_set(2000, 200),
+            b in sorted_set(1500, 200),
+        ) {
+            let ba = NeighborBitmap::from_sorted(2000, &a);
+            let bb = NeighborBitmap::from_sorted(1500, &b);
+            let expected = merge::intersect(&a, &b).len() as u64;
+            prop_assert_eq!(intersect_count_resident(&ba, &bb), expected);
+            prop_assert_eq!(intersect_count_resident(&bb, &ba), expected);
+            prop_assert_eq!(intersect_count(&a, &bb), expected);
         }
 
         /// `iter_ones` round-trips construction exactly.

@@ -1,0 +1,65 @@
+//! Shared lower-bound (symmetry-breaking) helpers.
+//!
+//! Plan compilation breaks pattern automorphisms by restricting some levels
+//! to vertices strictly greater than an already-mapped vertex (paper
+//! Section 2.1's `u_i < u_j` restrictions). Everywhere in the workspace the
+//! convention is the same: a bound `b` excludes every element `c <= b` and
+//! keeps every `c > b`. This module is the single home of that convention —
+//! the mining executor's restriction logic and the bounded count kernels
+//! ([`crate::merge::count_bounded`] and friends) both call it, so the
+//! `partition_point` predicate can never drift between them.
+
+use crate::Elem;
+
+/// Index of the first element of sorted `set` strictly greater than `bound`
+/// (`set.len()` when every element is `<= bound`).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(fingers_setops::bound::lower_bound_start(&[1, 3, 5, 7], 4), 2);
+/// assert_eq!(fingers_setops::bound::lower_bound_start(&[1, 3], 9), 2);
+/// ```
+#[inline]
+pub fn lower_bound_start(set: &[Elem], bound: Elem) -> usize {
+    set.partition_point(|&c| c <= bound)
+}
+
+/// `set` trimmed to the elements strictly greater than the optional bound;
+/// `None` means unrestricted (the whole slice is returned). This is the
+/// operand-side form of bound pushing: trimming *before* a kernel runs is
+/// equivalent to filtering its output afterwards, for all three
+/// [`crate::SetOpKind`]s (see DESIGN.md § count fusion & bound pushing).
+#[inline]
+pub fn trim(set: &[Elem], bound: Option<Elem>) -> &[Elem] {
+    match bound {
+        Some(b) => &set[lower_bound_start(set, b)..],
+        None => set,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_is_first_strictly_greater() {
+        assert_eq!(lower_bound_start(&[], 3), 0);
+        assert_eq!(lower_bound_start(&[4, 5], 3), 0);
+        assert_eq!(lower_bound_start(&[3, 4, 5], 3), 1);
+        assert_eq!(lower_bound_start(&[1, 2, 3], 3), 3);
+    }
+
+    #[test]
+    fn trim_none_is_identity() {
+        let s = [1, 5, 9];
+        assert_eq!(trim(&s, None), &s[..]);
+    }
+
+    #[test]
+    fn trim_drops_at_most_bound() {
+        assert_eq!(trim(&[1, 4, 7, 9], Some(4)), &[7, 9]);
+        assert_eq!(trim(&[1, 4, 7, 9], Some(0)), &[1, 4, 7, 9]);
+        assert_eq!(trim(&[1, 4], Some(9)), &[] as &[Elem]);
+    }
+}

@@ -88,6 +88,51 @@ pub fn apply_into(kind: SetOpKind, short: &[Elem], long: &[Elem], out: &mut Vec<
     }
 }
 
+/// `|short ∩ long|` by galloping, writing no output — the count-only kernel
+/// for skewed operands (see [`crate::merge::intersect_count`] for why the
+/// executor wants counts without materialization).
+pub fn intersect_count(short: &[Elem], long: &[Elem]) -> u64 {
+    let mut n: u64 = 0;
+    let mut base = 0usize;
+    for &x in short {
+        match gallop_search(&long[base..], x) {
+            Ok(pos) => {
+                n += 1;
+                base += pos + 1;
+            }
+            Err(pos) => base += pos,
+        }
+        if base >= long.len() {
+            break;
+        }
+    }
+    n
+}
+
+/// `|apply(kind, short, long)|` without materializing, galloping the short
+/// probes. Unlike the materializing [`apply_into`] — where anti-subtraction
+/// must stream the long side to *emit* it — every count reduces to
+/// `|short ∩ long|` plus arithmetic, so galloping serves all three kinds.
+pub fn count(kind: SetOpKind, short: &[Elem], long: &[Elem]) -> u64 {
+    let both = intersect_count(short, long);
+    match kind {
+        SetOpKind::Intersect => both,
+        SetOpKind::Subtract => short.len() as u64 - both,
+        SetOpKind::AntiSubtract => long.len() as u64 - both,
+    }
+}
+
+/// [`count`] with both operands trimmed to elements strictly greater than
+/// the optional lower bound before any probing (bound pushing; same
+/// contract as [`crate::merge::count_bounded`]).
+pub fn count_bounded(kind: SetOpKind, short: &[Elem], long: &[Elem], bound: Option<Elem>) -> u64 {
+    count(
+        kind,
+        crate::bound::trim(short, bound),
+        crate::bound::trim(long, bound),
+    )
+}
+
 /// Exponential search for `x` in sorted `slice`: like
 /// `slice.binary_search(&x)` but `O(log position)` when `x` lands early.
 fn gallop_search(slice: &[Elem], x: Elem) -> Result<usize, usize> {
@@ -236,6 +281,25 @@ mod tests {
                     merge::apply(kind, &short, &long),
                     "{}", kind
                 );
+            }
+        }
+
+        /// Count kernels equal the length of the trimmed materialized result
+        /// (the satellite property: `count(op, a, b, bound) ==
+        /// apply(op, trim(a), trim(b)).len()`), galloping tier.
+        #[test]
+        fn count_bounded_matches_trimmed_apply(
+            short in sorted_set(2000, 50),
+            long in sorted_set(2000, 400),
+            bound in proptest::option::of(0u32..2100),
+        ) {
+            for kind in SetOpKind::ALL {
+                let expected = merge::apply(
+                    kind,
+                    crate::bound::trim(&short, bound),
+                    crate::bound::trim(&long, bound),
+                ).len() as u64;
+                prop_assert_eq!(count_bounded(kind, &short, &long, bound), expected, "{}", kind);
             }
         }
 

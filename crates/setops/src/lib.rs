@@ -13,9 +13,20 @@
 //! - [`bitmap`]: dense-bitmap kernels probing a cached hub adjacency
 //!   ([`bitmap::NeighborBitmap`]) in one word load per element — the third
 //!   software kernel tier.
-//! - [`adaptive`]: the per-call tier chooser ([`adaptive::select_tier`])
-//!   and the single documented galloping-crossover constant
+//! - [`adaptive`]: the per-call tier choosers ([`adaptive::select_tier`]
+//!   for materializing ops, [`adaptive::select_count_tier`] for fused
+//!   count-only ops) and the single documented galloping-crossover constant
 //!   ([`adaptive::GALLOP_CROSSOVER`]).
+//! - [`bound`]: the shared lower-bound (symmetry-breaking) convention —
+//!   `c <= bound` is excluded — used by the mining executor's restriction
+//!   logic and the bounded count kernels alike.
+//!
+//! The three kernel tiers additionally expose count-only forms
+//! (`merge::count`, `galloping::count`, `bitmap::count` and the
+//! `count_bounded` bound-pushing entry points) that return a cardinality
+//! without writing an output buffer — the substrate for the mining
+//! executor's fused terminal counting (DESIGN.md § count fusion & bound
+//! pushing).
 //! - [`segment`]: fixed-length segmentation (`s_l = 16`, `s_s = 4`) and head
 //!   lists (the first element of every segment).
 //! - [`pairing`]: the task-divider model — binary-search matching of short
@@ -53,6 +64,7 @@
 pub mod adaptive;
 pub mod bitmap;
 pub mod bitvector;
+pub mod bound;
 pub mod collector;
 pub mod galloping;
 pub mod merge;

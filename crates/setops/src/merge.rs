@@ -90,6 +90,57 @@ pub fn apply_into(kind: SetOpKind, short: &[Elem], long: &[Elem], out: &mut Vec<
     }
 }
 
+/// `|a ∩ b|` by a one-pass merge, writing no output.
+///
+/// The count-only kernel behind [`count`]: terminal-counting plan levels
+/// (DESIGN.md § count fusion & bound pushing) only need the cardinality of
+/// the last candidate set, so the executor skips materialization entirely.
+pub fn intersect_count(a: &[Elem], b: &[Elem]) -> u64 {
+    let mut n: u64 = 0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// `|apply(kind, short, long)|` without materializing the result.
+///
+/// All three operations reduce to intersection counting on sorted
+/// duplicate-free operands: `|short − long| = |short| − |short ∩ long|` and
+/// `|long − short| = |long| − |short ∩ long|`, so one merge pass that never
+/// writes an element serves every kind.
+pub fn count(kind: SetOpKind, short: &[Elem], long: &[Elem]) -> u64 {
+    let both = intersect_count(short, long);
+    match kind {
+        SetOpKind::Intersect => both,
+        SetOpKind::Subtract => short.len() as u64 - both,
+        SetOpKind::AntiSubtract => long.len() as u64 - both,
+    }
+}
+
+/// `|apply(kind, trim(short, bound), trim(long, bound))|`: bound pushing —
+/// both operands are trimmed to elements strictly greater than the optional
+/// lower bound *before* the merge pass, so restricted elements are never
+/// even compared. Equals filtering the materialized result afterwards for
+/// every `kind` (property-tested in this module and in
+/// `tests/properties.rs`).
+pub fn count_bounded(kind: SetOpKind, short: &[Elem], long: &[Elem], bound: Option<Elem>) -> u64 {
+    count(
+        kind,
+        crate::bound::trim(short, bound),
+        crate::bound::trim(long, bound),
+    )
+}
+
 /// Number of cycles a serial one-element-per-cycle merge comparator spends
 /// on inputs of these lengths: each cycle consumes at least one element from
 /// one input, and the pass ends when either side (for intersection) or the
@@ -220,11 +271,39 @@ mod tests {
         }
     }
 
+    #[test]
+    fn count_matches_apply_len() {
+        let short = [1, 4, 7];
+        let long = [2, 4, 6, 7, 9];
+        for kind in SetOpKind::ALL {
+            assert_eq!(
+                count(kind, &short, &long),
+                apply(kind, &short, &long).len() as u64
+            );
+        }
+    }
+
     fn sorted_set_strategy(max_len: usize) -> impl Strategy<Value = Vec<Elem>> {
         proptest::collection::btree_set(0u32..500, 0..max_len).prop_map(|s| s.into_iter().collect())
     }
 
     proptest! {
+        #[test]
+        fn count_bounded_matches_trimmed_apply(
+            a in sorted_set_strategy(64),
+            b in sorted_set_strategy(64),
+            bound in proptest::option::of(0u32..520),
+        ) {
+            for kind in SetOpKind::ALL {
+                let expected = apply(
+                    kind,
+                    crate::bound::trim(&a, bound),
+                    crate::bound::trim(&b, bound),
+                ).len() as u64;
+                prop_assert_eq!(count_bounded(kind, &a, &b, bound), expected);
+            }
+        }
+
         #[test]
         fn intersect_matches_btreeset(a in sorted_set_strategy(64), b in sorted_set_strategy(64)) {
             let sa: BTreeSet<_> = a.iter().copied().collect();

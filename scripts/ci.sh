@@ -35,6 +35,13 @@ echo "==> bitmap_kernels --quick smoke (kernel-equivalence assertions)"
 FINGERS_RESULTS_DIR=/nonexistent-fingers-ci-smoke \
   cargo run --release -q -p fingers-bench --bin bitmap_kernels -- --quick > /dev/null
 
+# Smoke-run the count-fusion experiment: --quick asserts fused and unfused
+# counts are bit-identical across a threads × bitmap-mode grid (the
+# non-timing check), same gating as bitmap_kernels above.
+echo "==> count_fusion --quick smoke (fused/unfused equivalence assertions)"
+FINGERS_RESULTS_DIR=/nonexistent-fingers-ci-smoke \
+  cargo run --release -q -p fingers-bench --bin count_fusion -- --quick > /dev/null
+
 # Checkpoint/resume smoke: run the first two sections of a quick run_all,
 # stop (simulating an interruption), resume, and assert the manifest ends
 # with every section completed exactly once.
@@ -46,7 +53,7 @@ FINGERS_RESULTS_DIR="$RESUME_DIR" FINGERS_MAX_SECTIONS=2 \
 FINGERS_RESULTS_DIR="$RESUME_DIR" \
   cargo run --release -q -p fingers-bench --bin run_all -- --quick --resume > /dev/null
 for section in table1 table2 fig9 fig10 fig11 fig12 fig13 table3 \
-               parallelism bitmap_kernels energy ablations; do
+               parallelism bitmap_kernels count_fusion energy ablations; do
   n="$(grep -c "\"section\": \"$section\"" "$RESUME_DIR/run_all_manifest.jsonl" || true)"
   if [ "$n" -ne 1 ]; then
     echo "resume smoke: section $section appears $n times in the manifest (want 1)" >&2

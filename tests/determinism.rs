@@ -58,10 +58,11 @@ fn flexminer_simulation_is_deterministic() {
 /// benchmark, on synthetic datasets of three different degree structures,
 /// the parallel count is bit-identical to the sequential count at 1, 2,
 /// and 4 threads — with the dense-bitmap kernel tier both enabled and
-/// disabled. (The reduction is an order-independent `u64` sum over
-/// root-partitioned tasks, and all kernel tiers are property-tested
-/// output-identical, so this holds by construction — this test keeps it
-/// that way.)
+/// disabled, and with terminal-count fusion both enabled and disabled.
+/// (The reduction is an order-independent `u64` sum over root-partitioned
+/// tasks, and all kernel tiers — including the fused count forms — are
+/// property-tested output-identical, so this holds by construction — this
+/// test keeps it that way.)
 #[test]
 fn parallel_counts_are_bit_identical_to_sequential() {
     let graphs: [(&str, CsrGraph); 3] = [
@@ -82,6 +83,16 @@ fn parallel_counts_are_bit_identical_to_sequential() {
             EngineConfig {
                 bitmap_hubs: 8,
                 bitmap_cache_slots: 2,
+                ..EngineConfig::default()
+            },
+        ),
+        ("fusion off", EngineConfig::without_count_fusion()),
+        (
+            "fusion off, bitmap off",
+            EngineConfig {
+                bitmap_hubs: 0,
+                fuse_terminal_counts: false,
+                ..EngineConfig::default()
             },
         ),
     ];

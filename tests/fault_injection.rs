@@ -232,7 +232,9 @@ fn sanitized_dirty_graph_counts_like_its_clean_equivalent() {
         EngineConfig {
             bitmap_hubs: 4,
             bitmap_cache_slots: 2,
+            ..EngineConfig::default()
         },
+        EngineConfig::without_count_fusion(),
     ];
     for bench in Benchmark::ALL {
         for cfg in &configs {

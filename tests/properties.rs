@@ -139,12 +139,42 @@ proptest! {
         threads in 1usize..4,
     ) {
         use fingers_repro::mining::{count_benchmark_parallel_with, EngineConfig};
-        let cfg = EngineConfig { bitmap_hubs: hubs, bitmap_cache_slots: slots };
+        let cfg = EngineConfig {
+            bitmap_hubs: hubs,
+            bitmap_cache_slots: slots,
+            ..EngineConfig::default()
+        };
         for bench in [Benchmark::Tc, Benchmark::Tt] {
             prop_assert_eq!(
                 count_benchmark_parallel_with(&g, bench, threads, &cfg),
                 count_benchmark(&g, bench),
                 "{} hubs={} slots={} threads={}", bench, hubs, slots, threads
+            );
+        }
+    }
+
+    /// Terminal-count fusion never changes counts, on arbitrary random
+    /// graphs, regardless of the bitmap tier or thread count it composes
+    /// with — the fuzzing complement of the fixed-grid equivalence sweep
+    /// in the `count_fusion` experiment.
+    #[test]
+    fn count_fusion_never_changes_counts(
+        g in graph_strategy(24, 90),
+        hubs in 0usize..20,
+        threads in 1usize..4,
+    ) {
+        use fingers_repro::mining::{count_benchmark_parallel_with, EngineConfig};
+        let fused = EngineConfig { bitmap_hubs: hubs, ..EngineConfig::default() };
+        let unfused = EngineConfig {
+            bitmap_hubs: hubs,
+            fuse_terminal_counts: false,
+            ..EngineConfig::default()
+        };
+        for bench in [Benchmark::Tc, Benchmark::Tt, Benchmark::Cyc] {
+            prop_assert_eq!(
+                count_benchmark_parallel_with(&g, bench, threads, &fused),
+                count_benchmark_parallel_with(&g, bench, threads, &unfused),
+                "{} hubs={} threads={}", bench, hubs, threads
             );
         }
     }

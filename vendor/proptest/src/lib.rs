@@ -4,8 +4,8 @@
 //! Supports the subset of the real crate this workspace uses:
 //!
 //! - range strategies (`0u32..500`, `1usize..=8`), tuple strategies,
-//!   [`collection::btree_set`], and the [`Strategy`] combinators
-//!   `prop_map` / `prop_flat_map`;
+//!   [`collection::btree_set`], [`option::of`], and the [`Strategy`]
+//!   combinators `prop_map` / `prop_flat_map`;
 //! - the [`proptest!`] macro with an optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
 //! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, and
@@ -68,6 +68,38 @@ pub mod collection {
                 out.insert(self.element.generate(rng));
             }
             out
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `None` for about a quarter of cases and
+    /// `Some(inner)` otherwise (real proptest's default `Some` weight is
+    /// also 3:1).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_usize(0..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
         }
     }
 }

@@ -13,6 +13,10 @@ static CACHE: OnceLock<Mutex<HashMap<Dataset, &'static CsrGraph>>> = OnceLock::n
 /// each stand-in once keeps the harness deterministic *and* fast.
 pub fn load(dataset: Dataset) -> &'static CsrGraph {
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    // §11: the critical section only inserts into a HashMap; a poisoned
+    // lock means a generator panicked mid-insert, and the harness cannot
+    // trust any dataset after that — abort is correct.
+    #[allow(clippy::expect_used)] // §11: justified above
     let mut map = cache.lock().expect("dataset cache poisoned");
     map.entry(dataset)
         .or_insert_with(|| Box::leak(Box::new(dataset.load())))

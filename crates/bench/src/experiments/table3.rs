@@ -45,6 +45,9 @@ pub fn run(quick: bool) -> String {
     for r in &reports {
         out.push_str(&format!(" {:.1}% |", r.balance_rate() * 100.0));
     }
+    // §11: `benches` is drawn from Benchmark::ALL, so the position lookup
+    // cannot miss; a miss means the two lists diverged — a harness bug.
+    #[allow(clippy::expect_used)]
     let paper_idx = |b: &fingers_pattern::benchmarks::Benchmark| {
         fingers_pattern::benchmarks::Benchmark::ALL
             .iter()

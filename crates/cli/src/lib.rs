@@ -23,7 +23,8 @@ use fingers_graph::datasets::Dataset;
 use fingers_graph::sanitize::SanitizeOptions;
 use fingers_graph::{reorder, CsrGraph, SanitizeReport};
 use fingers_mining::{oblivious, try_count_multi_parallel_with, EngineConfig, EngineError};
-use fingers_pattern::{parse_pattern, Induced, MultiPlan, Pattern};
+use fingers_pattern::{parse_pattern, ExecutionPlan, Induced, MultiPlan, Pattern};
+use fingers_verify::{PlanMutation, VerifyReport};
 
 /// Mining engine selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -127,11 +128,14 @@ pub enum CliError {
     Engine(EngineError),
     /// The requested flag combination is not supported (exit 6).
     Unsupported(String),
+    /// `verify-plan` found the plan unsound (exit 7).
+    InvalidPlan(VerifyReport),
 }
 
 impl CliError {
     /// The process exit code for this failure: 2 usage, 3 graph load,
-    /// 4 dirty input refused, 5 engine panic, 6 unsupported combination.
+    /// 4 dirty input refused, 5 engine panic, 6 unsupported combination,
+    /// 7 plan failed static verification.
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
@@ -139,6 +143,7 @@ impl CliError {
             CliError::DirtyInput(_) => 4,
             CliError::Engine(_) => 5,
             CliError::Unsupported(_) => 6,
+            CliError::InvalidPlan(_) => 7,
         }
     }
 }
@@ -153,6 +158,7 @@ impl fmt::Display for CliError {
             }
             CliError::Engine(e) => write!(f, "{e}"),
             CliError::Unsupported(msg) => write!(f, "{msg}"),
+            CliError::InvalidPlan(report) => write!(f, "{report}"),
         }
     }
 }
@@ -176,6 +182,8 @@ impl From<UsageError> for CliError {
 /// The `--help` text.
 pub const USAGE: &str = "\
 usage: fingers-mine --graph <src> --pattern <spec> [--pattern <spec>…] [options]
+       fingers-mine verify-plan <spec> [--edge-induced] [--optimize-order]
+                    [--mutate <name>]
 
 graph sources:
   <path>                whitespace edge-list file (SNAP format)
@@ -207,9 +215,14 @@ options:
   --strict             refuse edge-list files that would need any repair
   --help               print this text
 
+verify-plan: compile <spec>, run the static plan verifier, and print the
+  plan with its diagnostics. --mutate <name> applies a named corruption
+  from the fingers-verify mutation corpus first (to see the verifier
+  catch it); pass --mutate list to list the names.
+
 exit codes: 0 success, 2 usage error, 3 graph load failure,
   4 dirty input refused by --strict, 5 mining worker panic,
-  6 unsupported flag combination";
+  6 unsupported flag combination, 7 plan failed static verification";
 
 impl Options {
     /// Parses a command line (without the program name).
@@ -317,6 +330,153 @@ impl Options {
             sanitize,
             strict,
         })
+    }
+}
+
+/// Options for the `verify-plan` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyPlanOptions {
+    /// The pattern whose compiled plan is verified.
+    pub pattern: Pattern,
+    /// Edge-induced instead of vertex-induced semantics.
+    pub edge_induced: bool,
+    /// Compile with the cost-model order optimizer (representative graph
+    /// parameters) instead of the greedy connected order.
+    pub optimize_order: bool,
+    /// Apply this named corruption from the mutation corpus before
+    /// verifying, to demonstrate the failure path.
+    pub mutate: Option<PlanMutation>,
+}
+
+/// A parsed command line: either a mining run or a plan verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// The default mining command (`--graph … --pattern …`).
+    Mine(Options),
+    /// `verify-plan <spec> [--edge-induced] [--optimize-order] [--mutate <name>]`.
+    VerifyPlan(VerifyPlanOptions),
+}
+
+impl Command {
+    /// Parses a command line (without the program name): a leading
+    /// `verify-plan` selects the verifier subcommand, anything else is the
+    /// mining command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UsageError`] under the same conditions as
+    /// [`Options::parse`], plus verify-plan-specific ones (missing or
+    /// repeated pattern spec, unknown mutation name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, UsageError> {
+        let mut it = args.into_iter().peekable();
+        if it.peek().map(String::as_str) != Some("verify-plan") {
+            return Ok(Command::Mine(Options::parse(it)?));
+        }
+        it.next();
+
+        let mut spec: Option<String> = None;
+        let mut edge_induced = false;
+        let mut optimize_order = false;
+        let mut mutate = None;
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--edge-induced" => edge_induced = true,
+                "--optimize-order" => optimize_order = true,
+                "--mutate" => {
+                    let name = it
+                        .next()
+                        .ok_or_else(|| UsageError("--mutate requires a value".into()))?;
+                    if name == "list" {
+                        let names: Vec<&str> = PlanMutation::ALL.iter().map(|m| m.name()).collect();
+                        return Err(UsageError(format!(
+                            "available mutations: {}",
+                            names.join(", ")
+                        )));
+                    }
+                    mutate = Some(PlanMutation::from_name(&name).ok_or_else(|| {
+                        UsageError(format!("unknown mutation {name:?} (try --mutate list)"))
+                    })?);
+                }
+                "--help" | "-h" => return Err(UsageError("help requested".into())),
+                other if other.starts_with('-') => {
+                    return Err(UsageError(format!("unknown argument {other:?}")))
+                }
+                _ if spec.is_none() => spec = Some(arg),
+                other => {
+                    return Err(UsageError(format!(
+                        "verify-plan takes one pattern spec, got extra {other:?}"
+                    )))
+                }
+            }
+        }
+        let spec = spec.ok_or_else(|| UsageError("verify-plan requires a pattern spec".into()))?;
+        let pattern =
+            parse_pattern(&spec).map_err(|e| UsageError(format!("verify-plan {spec:?}: {e}")))?;
+        Ok(Command::VerifyPlan(VerifyPlanOptions {
+            pattern,
+            edge_induced,
+            optimize_order,
+            mutate,
+        }))
+    }
+}
+
+/// Result of a `verify-plan` run: the (possibly mutated) plan rendered
+/// for humans and the verifier's report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyPlanOutcome {
+    /// `Display` rendering of the verified plan.
+    pub plan_text: String,
+    /// The verifier's report (sound, or only warnings).
+    pub report: VerifyReport,
+    /// Name of the applied mutation, when one was requested.
+    pub mutated: Option<&'static str>,
+}
+
+/// Compiles the pattern, optionally applies a corpus mutation, and runs
+/// the static plan verifier.
+///
+/// # Errors
+///
+/// [`CliError::InvalidPlan`] (exit 7) when verification finds an
+/// error-severity diagnostic; [`CliError::Unsupported`] (exit 6) when the
+/// requested mutation has no site in this plan.
+pub fn run_verify_plan(options: &VerifyPlanOptions) -> Result<VerifyPlanOutcome, CliError> {
+    let induced = if options.edge_induced {
+        Induced::Edge
+    } else {
+        Induced::Vertex
+    };
+    let plan = if options.optimize_order {
+        // Representative mid-size graph parameters; the order only shifts
+        // which sound plan we verify, never its soundness.
+        ExecutionPlan::compile_optimized(&options.pattern, induced, 100_000.0, 5e-4)
+    } else {
+        ExecutionPlan::compile(&options.pattern, induced)
+    };
+    let (plan, mutated) = match options.mutate {
+        None => (plan, None),
+        Some(m) => match m.apply(&plan) {
+            Some(p) => (p, Some(m.name())),
+            None => {
+                return Err(CliError::Unsupported(format!(
+                    "mutation {} has no site in the {} plan",
+                    m.name(),
+                    options.pattern
+                )))
+            }
+        },
+    };
+    let report = fingers_verify::verify(&plan);
+    let plan_text = plan.to_string();
+    if report.is_sound() {
+        Ok(VerifyPlanOutcome {
+            plan_text,
+            report,
+            mutated,
+        })
+    } else {
+        Err(CliError::InvalidPlan(report))
     }
 }
 
@@ -770,6 +930,73 @@ mod tests {
         assert_eq!(sw.counts, fm.counts);
         assert_eq!(sw.counts, ob.counts);
         assert!(fi.cycles.is_some() && fm.cycles.is_some());
+    }
+
+    #[test]
+    fn command_parse_dispatches() {
+        let c = Command::parse(args("--graph g --pattern tc")).expect("mine");
+        assert!(matches!(c, Command::Mine(_)));
+        let c = Command::parse(args("verify-plan tt --edge-induced")).expect("verify");
+        let Command::VerifyPlan(o) = c else {
+            panic!("expected verify-plan")
+        };
+        assert_eq!(o.pattern, Pattern::tailed_triangle());
+        assert!(o.edge_induced);
+        assert!(o.mutate.is_none());
+        let c = Command::parse(args("verify-plan cyc --mutate drop-restriction")).expect("mutate");
+        let Command::VerifyPlan(o) = c else {
+            panic!("expected verify-plan")
+        };
+        assert_eq!(o.mutate, Some(PlanMutation::DropRestriction));
+    }
+
+    #[test]
+    fn command_parse_rejects_bad_verify_plan_lines() {
+        assert!(Command::parse(args("verify-plan")).is_err()); // no spec
+        assert!(Command::parse(args("verify-plan zzz")).is_err()); // bad spec
+        assert!(Command::parse(args("verify-plan tc tt")).is_err()); // two specs
+        assert!(Command::parse(args("verify-plan tc --mutate nope")).is_err());
+        assert!(Command::parse(args("verify-plan tc --bogus")).is_err());
+        // `--mutate list` surfaces the corpus names as a usage error.
+        let e = Command::parse(args("verify-plan tc --mutate list")).unwrap_err();
+        assert!(e.to_string().contains("drop-restriction"), "{e}");
+    }
+
+    #[test]
+    fn verify_plan_clean_and_mutated() {
+        for spec in ["tc", "tt", "cyc", "dia", "house"] {
+            for extra in ["", " --edge-induced", " --optimize-order"] {
+                let Command::VerifyPlan(o) =
+                    Command::parse(args(&format!("verify-plan {spec}{extra}"))).unwrap()
+                else {
+                    panic!("expected verify-plan")
+                };
+                let out = run_verify_plan(&o).unwrap_or_else(|e| panic!("{spec}{extra}: {e}"));
+                assert!(out.report.is_sound());
+                assert!(out.plan_text.contains("level 0"));
+            }
+        }
+        let Command::VerifyPlan(o) =
+            Command::parse(args("verify-plan tt --mutate drop-init")).unwrap()
+        else {
+            panic!("expected verify-plan")
+        };
+        let e = run_verify_plan(&o).unwrap_err();
+        assert!(matches!(e, CliError::InvalidPlan(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 7);
+    }
+
+    #[test]
+    fn inapplicable_mutation_is_unsupported() {
+        // Cliques have no subtractions to drop.
+        let Command::VerifyPlan(o) =
+            Command::parse(args("verify-plan tc --mutate drop-subtract")).unwrap()
+        else {
+            panic!("expected verify-plan")
+        };
+        let e = run_verify_plan(&o).unwrap_err();
+        assert!(matches!(e, CliError::Unsupported(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 6);
     }
 
     #[test]

@@ -2,37 +2,54 @@
 //!
 //! Exit codes (see [`fingers_cli::CliError::exit_code`]): 0 success,
 //! 2 usage error, 3 graph load failure, 4 dirty input refused by
-//! `--strict`, 5 mining worker panic, 6 unsupported flag combination.
+//! `--strict`, 5 mining worker panic, 6 unsupported flag combination,
+//! 7 plan failed static verification (`verify-plan`).
 
 use std::process::ExitCode;
 
-use fingers_cli::{run, CliError, Options};
+use fingers_cli::{run, run_verify_plan, CliError, Command};
 
 fn main() -> ExitCode {
-    let options = match Options::parse(std::env::args().skip(1)) {
-        Ok(o) => o,
+    let command = match Command::parse(std::env::args().skip(1)) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(CliError::from(e).exit_code());
         }
     };
-    match run(&options) {
-        Ok(outcome) => {
-            if let Some(report) = &outcome.sanitize {
-                println!("{}", report.summary());
+    match command {
+        Command::Mine(options) => match run(&options) {
+            Ok(outcome) => {
+                if let Some(report) = &outcome.sanitize {
+                    println!("{}", report.summary());
+                }
+                println!("engine: {}", outcome.engine);
+                for (pattern, count) in options.patterns.iter().zip(&outcome.counts) {
+                    println!("{pattern}: {count} embeddings");
+                }
+                if let Some(cycles) = outcome.cycles {
+                    println!("simulated cycles: {cycles}");
+                }
+                ExitCode::SUCCESS
             }
-            println!("engine: {}", outcome.engine);
-            for (pattern, count) in options.patterns.iter().zip(&outcome.counts) {
-                println!("{pattern}: {count} embeddings");
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(e.exit_code())
             }
-            if let Some(cycles) = outcome.cycles {
-                println!("simulated cycles: {cycles}");
+        },
+        Command::VerifyPlan(options) => match run_verify_plan(&options) {
+            Ok(outcome) => {
+                print!("{}", outcome.plan_text);
+                if let Some(name) = outcome.mutated {
+                    println!("applied mutation: {name}");
+                }
+                println!("{}", outcome.report);
+                ExitCode::SUCCESS
             }
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(e.exit_code())
-        }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(e.exit_code())
+            }
+        },
     }
 }

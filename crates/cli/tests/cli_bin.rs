@@ -114,6 +114,42 @@ fn strict_refuses_dirty_input_with_exit_4() {
 }
 
 #[test]
+fn verify_plan_clean_exits_0() {
+    let (code, stdout, _) = run(&["verify-plan", "tc"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("sound"), "stdout: {stdout}");
+    assert!(stdout.contains("plan for"), "stdout: {stdout}");
+}
+
+#[test]
+fn verify_plan_mutated_exits_7() {
+    let (code, _, stderr) = run(&["verify-plan", "tt", "--mutate", "drop-init"]);
+    assert_eq!(code, Some(7));
+    assert!(stderr.contains("missing-materialization"), "{stderr}");
+}
+
+#[test]
+fn verify_plan_dropped_restriction_exits_7() {
+    let (code, _, stderr) = run(&["verify-plan", "tc", "--mutate", "drop-restriction"]);
+    assert_eq!(code, Some(7));
+    assert!(stderr.contains("unbroken-automorphism"), "{stderr}");
+}
+
+#[test]
+fn verify_plan_unknown_pattern_exits_2() {
+    let (code, _, stderr) = run(&["verify-plan", "zzz"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage: fingers-mine"), "{stderr}");
+}
+
+#[test]
+fn verify_plan_inapplicable_mutation_exits_6() {
+    let (code, _, stderr) = run(&["verify-plan", "tc", "--mutate", "drop-subtract"]);
+    assert_eq!(code, Some(6));
+    assert!(stderr.contains("drop-subtract"), "{stderr}");
+}
+
+#[test]
 fn unsupported_combination_exits_6() {
     let (code, _, stderr) = run(&[
         "--graph",

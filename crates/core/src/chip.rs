@@ -114,6 +114,9 @@ pub fn run_chip_with_roots<P: PeModel>(
     let mut active = pes.len();
 
     while active > 0 {
+        // §11: `active` counts heap entries not yet retired, so a non-zero
+        // count means the heap is non-empty; divergence is a scheduler bug.
+        #[allow(clippy::expect_used)]
         let Reverse((_, idx)) = heap.pop().expect("active PEs remain");
         let pe = &mut pes[idx];
         if pe.has_work() {

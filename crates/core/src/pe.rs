@@ -332,6 +332,9 @@ impl<'g> FingersPe<'g> {
             .find(|(t, _)| *t == next)
             .map(|(_, s)| Rc::clone(s))
             .or_else(|| task.frame.as_ref().and_then(|f| f.lookup(next)));
+        // §11: verified plans materialize S_{level+1} before it is read
+        // (fingers-verify's use-before-init check); a miss is a plan bug.
+        #[allow(clippy::expect_used)]
         let final_set = final_set.expect("schedule materializes S_{level+1}");
         let full_bound = self.known_bound(plan, next, level, &task.mapped);
         let candidates: Vec<VertexId> = clip(&final_set, full_bound)
@@ -379,6 +382,9 @@ impl<'g> FingersPe<'g> {
         let mut load_start = Cycle::MAX;
         let mut load_end = 0;
         for &cycles in &out.workload_cycles {
+            // §11: PeConfig validates iu_count >= 1 at construction, so
+            // iu_free is never empty; an empty pool is a config-path bug.
+            #[allow(clippy::expect_used)]
             let (idx, _) = self
                 .iu_free
                 .iter()
@@ -405,6 +411,9 @@ impl<'g> FingersPe<'g> {
 
     /// Looks up the current value of `S_target` — first among this task's
     /// freshly emitted sets, then in the inherited frames.
+    // §11: verified plans never read a set before its Init/InitAnti ran
+    // (fingers-verify's use-before-init check); a miss is a plan bug.
+    #[allow(clippy::expect_used)]
     fn current_set(
         &self,
         task: &Task,
@@ -580,6 +589,9 @@ impl PeModel for FingersPe<'_> {
         // Find the next task: drop exhausted groups.
         while let Some(top) = self.stack.last() {
             if top.next >= top.tasks.len() {
+                // §11: `top` was just observed via stack.last(), so the pop
+                // cannot miss; a miss would mean concurrent mutation.
+                #[allow(clippy::expect_used)]
                 let done = self.stack.pop().expect("non-empty");
                 self.live_bytes = self.live_bytes.saturating_sub(done.release_bytes);
                 continue;

@@ -212,6 +212,10 @@ impl<'g> FlexMinerPe<'g> {
                     )
                 }
                 PlanOp::Apply { list, kind, .. } => {
+                    // §11: verified plans never Apply to a target before
+                    // its base op ran (fingers-verify's use-before-init
+                    // check); a miss is a plan bug, not a runtime error.
+                    #[allow(clippy::expect_used)] // §11: justified above
                     let short = sets[target]
                         .as_ref()
                         .map(Rc::clone)
@@ -254,6 +258,9 @@ impl<'g> FlexMinerPe<'g> {
 
         // Candidates for the next level.
         let next = level + 1;
+        // §11: verified plans materialize S_{next} at some level <= level
+        // (fingers-verify's materialization check); a miss is a plan bug.
+        #[allow(clippy::expect_used)]
         let final_set = sets[next].as_ref().expect("S_{next} materialized");
         let full_bound = known_bound(plan, next, level, &frame.mapped);
         let candidates: Vec<VertexId> = clip(final_set, full_bound)

@@ -82,6 +82,10 @@ pub fn chung_lu_power_law(config: &ChungLuConfig) -> CsrGraph {
     let scale = (2.0 * config.edges as f64) / raw_sum;
     let cap = (n as f64 * config.max_degree_fraction).max(1.0);
     let weights: Vec<f64> = raw.iter().map(|&r| (r * scale).min(cap)).collect();
+    // §11: weights are (r * scale).min(cap) with r > 0, scale > 0, cap >= 1,
+    // so every weight is strictly positive and WeightedIndex cannot fail; a
+    // failure here is a generator bug, not an input error.
+    #[allow(clippy::expect_used)] // §11: justified above
     let dist = WeightedIndex::new(&weights).expect("positive weights");
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut chosen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(config.edges);

@@ -11,6 +11,8 @@
 use std::error::Error;
 use std::fmt;
 
+use fingers_verify::VerifyReport;
+
 use crate::task::MiningTask;
 
 /// One isolated worker failure: the root partition whose task panicked,
@@ -45,13 +47,22 @@ pub enum EngineError {
         /// The failed partitions, in task-claim order.
         failures: Vec<PartitionFailure>,
     },
+    /// The execution plan failed static verification before any worker
+    /// ran (see `fingers_verify::verify`): the engine refuses to execute
+    /// a plan that would read unmaterialized buffers or miscount.
+    InvalidPlan {
+        /// The verifier's full report, including every diagnostic.
+        report: VerifyReport,
+    },
 }
 
 impl EngineError {
-    /// The failed root partitions (empty only for future variants).
+    /// The failed root partitions (empty for pre-run failures like
+    /// [`EngineError::InvalidPlan`], where no task ever started).
     pub fn failed_partitions(&self) -> &[PartitionFailure] {
         match self {
             EngineError::WorkerPanic { failures } => failures,
+            EngineError::InvalidPlan { .. } => &[],
         }
     }
 }
@@ -70,6 +81,9 @@ impl fmt::Display for EngineError {
                     write!(f, "; {failure}")?;
                 }
                 Ok(())
+            }
+            EngineError::InvalidPlan { report } => {
+                write!(f, "execution plan failed static verification: {report}")
             }
         }
     }

@@ -14,6 +14,8 @@
 //! - [`crate::parallel`] — root-partitioned execution of the same engine
 //!   across threads, with an order-independent reduction.
 
+// lint: hot-path(alloc)
+
 use crate::config::EngineConfig;
 use crate::scratch::{BitmapCache, ScratchArena};
 use crate::sink::{CountSink, FnSink, Sink};
@@ -76,7 +78,7 @@ pub fn count_multi_with(graph: &CsrGraph, multi: &MultiPlan, config: &EngineConf
             .plans()
             .iter()
             .map(|p| count_plan_with(graph, p, config))
-            .collect(),
+            .collect(), // lint: allow-alloc(one vector per mining run, not per embedding)
     }
 }
 
@@ -186,6 +188,7 @@ impl BoundSource {
         match levels {
             [] => BoundSource::None,
             [a] => BoundSource::Single(*a),
+            // lint: allow-alloc(plan-construction time, once per schedule level)
             many => BoundSource::Max(many.to_vec()),
         }
     }
@@ -229,6 +232,14 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
         hubs: Option<Arc<HubSet>>,
         config: &EngineConfig,
     ) -> Self {
+        // Every construction path funnels through here, so this is the
+        // debug-build gate: a plan that fails static verification would
+        // make the interpreter read unmaterialized buffers or miscount.
+        #[cfg(debug_assertions)]
+        {
+            let report = fingers_verify::verify(plan);
+            assert!(report.is_sound(), "unsound execution plan:\n{report}");
+        }
         let k = plan.pattern_size();
         // Level 0 has no schedule (roots are unrestricted by construction).
         let bound_sources = (0..k)
@@ -239,13 +250,15 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
                     BoundSource::from_levels(&plan.schedule(j).lower_bounds)
                 }
             })
-            .collect();
+            .collect(); // lint: allow-alloc(one-time interpreter construction, not per embedding)
         Self {
             graph,
             plan,
             arena: ScratchArena::new(),
+            // lint: allow-alloc(one-time interpreter construction, not per embedding)
             mapped: Vec::with_capacity(k),
-            sets: vec![None; k],
+            sets: vec![None; k], // lint: allow-alloc(one-time interpreter construction, not per embedding)
+            // lint: allow-alloc(one-time interpreter construction, not per embedding)
             undo: (0..k).map(|_| Vec::new()).collect(),
             hubs,
             cache: BitmapCache::new(config.bitmap_cache_slots),
@@ -330,6 +343,9 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
                 // schedules every set `S_next` to be materialized by level
                 // `next − 1`, so a missing set here is a plan-compiler bug,
                 // not a data error.
+                // §11: see the comment above — fingers-verify proves this
+                // materialization statically before the engine runs.
+                #[allow(clippy::expect_used)]
                 let candidates = self.sets[next]
                     .take()
                     .expect("schedule materializes S_{next} by level next-1");
@@ -398,7 +414,9 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
                 &self.mapped,
             ),
             PlanOp::Apply { target, list, kind } => {
-                // Same materialized-set invariant as `evaluate_into`.
+                // §11: same materialized-set invariant as `evaluate_into`,
+                // proven statically by fingers-verify's use-before-init check.
+                #[allow(clippy::expect_used)]
                 let short = self.sets[target]
                     .as_ref()
                     .expect("Apply requires a materialized set");
@@ -438,9 +456,10 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
                 );
             }
             PlanOp::Apply { target, list, kind } => {
-                // `Apply` only ever refines a set a previous op of this same
-                // level materialized; the compiler orders actions so the
-                // target exists. Absence is a compiler bug.
+                // §11: `Apply` only ever refines a set a previous op of this
+                // same level materialized; fingers-verify proves the action
+                // order statically. Absence is a compiler bug.
+                #[allow(clippy::expect_used)] // §11: justified above
                 let short = self.sets[target]
                     .as_ref()
                     .expect("Apply requires a materialized set");

@@ -75,7 +75,12 @@ pub fn count_plan_parallel_with(
             .collect();
         workers
             .into_iter()
-            .map(|w| w.join().expect("mining worker panicked"))
+            // §11: the infallible API treats a worker panic as fatal —
+            // propagating it here is the documented policy, not a bug.
+            .map(
+                #[allow(clippy::expect_used)] // §11: justified above
+                |w| w.join().expect("mining worker panicked"),
+            )
             .sum()
     })
 }
@@ -115,6 +120,12 @@ pub fn try_count_plan_parallel_with(
     threads: usize,
     config: &EngineConfig,
 ) -> Result<u64, EngineError> {
+    // Fail fast before spawning anything: an unsound plan would read
+    // unmaterialized buffers or miscount in every worker at once.
+    let report = fingers_verify::verify(plan);
+    if !report.is_sound() {
+        return Err(EngineError::InvalidPlan { report });
+    }
     let threads = effective_threads(threads, graph.vertex_count());
     let hubs = config.hub_set(graph);
     let tasks = MiningTask::partition(graph.vertex_count(), threads * TASKS_PER_WORKER);
@@ -155,7 +166,13 @@ pub fn try_count_plan_parallel_with(
             let workers: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
             workers
                 .into_iter()
-                .map(|w| w.join().expect("isolated worker cannot panic"))
+                // §11: each worker body is wrapped in catch_unwind, so the join
+                // handle itself cannot carry a panic; one escaping means the
+                // isolation wrapper is broken.
+                .map(
+                    #[allow(clippy::expect_used)] // §11: justified above
+                    |w| w.join().expect("isolated worker cannot panic"),
+                )
                 .sum()
         })
     };
@@ -309,7 +326,12 @@ where
             .collect();
         workers
             .into_iter()
-            .map(|w| w.join().expect("oracle worker panicked"))
+            // §11: the oracle path has no panic isolation by design —
+            // a panic in the reference counter is always a bug.
+            .map(
+                #[allow(clippy::expect_used)] // §11: justified above
+                |w| w.join().expect("oracle worker panicked"),
+            )
             .sum()
     })
 }
@@ -363,7 +385,13 @@ where
             let workers: Vec<_> = (0..threads).map(|_| scope.spawn(isolated)).collect();
             workers
                 .into_iter()
-                .map(|w| w.join().expect("isolated worker cannot panic"))
+                // §11: each worker body is wrapped in catch_unwind, so the join
+                // handle itself cannot carry a panic; one escaping means the
+                // isolation wrapper is broken.
+                .map(
+                    #[allow(clippy::expect_used)] // §11: justified above
+                    |w| w.join().expect("isolated worker cannot panic"),
+                )
                 .sum()
         })
     };

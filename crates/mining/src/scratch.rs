@@ -143,6 +143,10 @@ impl BitmapCache {
         }
         self.builds += 1;
         if self.slots.len() == self.capacity {
+            // §11: this branch requires slots.len() == capacity, and a
+            // zero-capacity cache never reaches it (get() short-circuits),
+            // so the min is over a non-empty set; None is a cache bug.
+            #[allow(clippy::expect_used)] // §11: justified above
             let lru = self
                 .slots
                 .iter()
@@ -171,7 +175,12 @@ impl BitmapCache {
             bitmap,
         });
         self.index[v as usize] = self.slots.len() as u32;
-        &self.slots.last().expect("just pushed").bitmap
+        // §11: the slot was pushed two statements above, on this same
+        // &mut self borrow; `last()` returning None is impossible.
+        #[allow(clippy::expect_used)]
+        {
+            &self.slots.last().expect("just pushed").bitmap
+        }
     }
 
     /// Lookups served from a resident bitmap.

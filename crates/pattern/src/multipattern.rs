@@ -88,6 +88,9 @@ impl MultiPlan {
     }
 
     /// The deepest level across all plans (tree depth of the merged trunk).
+    // §11: MultiPlan::new asserts at least one pattern, so `max()` over the
+    // plans is never empty; an empty multi-plan is a construction bug.
+    #[allow(clippy::expect_used)]
     pub fn max_pattern_size(&self) -> usize {
         self.plans
             .iter()

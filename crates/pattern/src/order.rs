@@ -33,6 +33,9 @@ pub fn connected_vertex_order(pattern: &Pattern) -> Vec<usize> {
     let mut order = Vec::with_capacity(k);
     let mut placed = vec![false; k];
 
+    // §11: Pattern::from_edges rejects k == 0, so the range is non-empty;
+    // an empty pattern here is a constructor bug, not a recoverable state.
+    #[allow(clippy::expect_used)]
     let first = (0..k)
         .max_by_key(|&v| (pattern.degree(v), std::cmp::Reverse(v)))
         .expect("patterns are non-empty");
@@ -40,6 +43,9 @@ pub fn connected_vertex_order(pattern: &Pattern) -> Vec<usize> {
     placed[first] = true;
 
     while order.len() < k {
+        // §11: the loop condition guarantees an unplaced vertex remains, so
+        // the filtered max is never empty; reaching None is a loop bug.
+        #[allow(clippy::expect_used)]
         let next = (0..k)
             .filter(|&v| !placed[v])
             .max_by_key(|&v| {
@@ -134,6 +140,11 @@ pub fn estimated_order_cost(pattern: &Pattern, order: &[usize], n: f64, p: f64) 
 /// # Panics
 ///
 /// Panics if `n <= 0` or `p` is outside `(0, 1)`.
+// §11: estimated_order_cost returns finite f64s for the asserted (n, p)
+// domain, and connected patterns always admit at least one connected order
+// (connected_vertex_order constructs one); either expect failing is an
+// internal invariant violation, not an input error.
+#[allow(clippy::expect_used)] // §11: justified above
 pub fn optimized_vertex_order(pattern: &Pattern, n: f64, p: f64) -> Vec<usize> {
     assert!(n > 0.0, "graph size must be positive");
     assert!(p > 0.0 && p < 1.0, "density must be in (0, 1)");

@@ -156,6 +156,10 @@ impl ExecutionPlan {
 
         for j in 1..k {
             let connected: Vec<usize> = (0..j).filter(|&i| pattern.are_adjacent(i, j)).collect();
+            // §11: compile_with_order requires a connected order (every
+            // level has an earlier neighbor); an empty `connected` means
+            // the order precondition was violated — a caller bug.
+            #[allow(clippy::expect_used)] // §11: justified above
             let c = *connected
                 .first()
                 .expect("connected order guarantees an earlier neighbor");
@@ -218,6 +222,30 @@ impl ExecutionPlan {
             level_actions.sort_by_key(|op| op.target());
         }
 
+        Self {
+            pattern,
+            induced,
+            actions,
+            schedules,
+            restrictions,
+        }
+    }
+
+    /// Assembles a plan directly from its parts, **without any validation**.
+    ///
+    /// The compiler entry points ([`ExecutionPlan::compile`] and friends)
+    /// are the only constructors that guarantee a sound plan; this one
+    /// exists so that verification tooling (the `fingers-verify` mutation
+    /// corpus) can build deliberately broken plans and assert the static
+    /// verifier rejects them. `pattern` is taken as already relabeled
+    /// (vertex `i` ↔ level `i`).
+    pub fn from_raw_parts(
+        pattern: Pattern,
+        induced: Induced,
+        actions: Vec<Vec<PlanOp>>,
+        schedules: Vec<LevelSchedule>,
+        restrictions: Vec<(usize, usize)>,
+    ) -> Self {
         Self {
             pattern,
             induced,

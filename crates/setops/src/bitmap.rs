@@ -15,6 +15,9 @@
 //! bit-identical to the [`merge`](crate::merge) reference (property-tested
 //! below), so swapping tiers can never change mining counts.
 
+// lint: hot-path(alloc)
+// lint: hot-path(index)
+
 use serde::{Deserialize, Serialize};
 
 use crate::{Elem, SetOpKind};
@@ -41,6 +44,7 @@ impl NeighborBitmap {
     /// An all-zeros bitmap over `0..universe`.
     pub fn new(universe: usize) -> Self {
         Self {
+            // lint: allow-alloc(one-time bitmap construction; the mining tier reuses it via refill)
             words: vec![0; Self::words_for(universe)],
             universe,
             ones: 0,
@@ -77,6 +81,7 @@ impl NeighborBitmap {
         for &x in elems {
             let i = x as usize;
             assert!(i < universe, "element {x} outside universe {universe}");
+            // lint: allow-index(i < universe asserted above, so i >> 6 < words_for(universe))
             self.words[i >> 6] |= 1u64 << (i & 63);
         }
     }
@@ -86,6 +91,7 @@ impl NeighborBitmap {
     #[inline]
     pub fn contains(&self, x: Elem) -> bool {
         let i = x as usize;
+        // lint: allow-index(the conjunction short-circuits: the word is only read when i < universe)
         i < self.universe && (self.words[i >> 6] >> (i & 63)) & 1 == 1
     }
 
@@ -121,6 +127,7 @@ impl NeighborBitmap {
     /// Iterates the set elements in ascending order via word-level
     /// `trailing_zeros` scanning.
     pub fn iter_ones(&self) -> Ones<'_> {
+        // lint: allow-index(word_count() <= words.len(): refill only grows the backing vector)
         let words = &self.words[..self.word_count()];
         Ones {
             words,
@@ -147,6 +154,7 @@ impl Iterator for Ones<'_> {
             if self.word_idx >= self.words.len() {
                 return None;
             }
+            // lint: allow-index(word_idx < words.len() checked by the early return above)
             self.current = self.words[self.word_idx];
         }
         let bit = self.current.trailing_zeros();
@@ -186,9 +194,11 @@ pub fn anti_subtract_bitmap_into(short: &[Elem], long: &NeighborBitmap, out: &mu
     out.clear();
     let mut si = 0usize;
     for v in long.iter_ones() {
+        // lint: allow-index(si < short.len() short-circuits before the read)
         while si < short.len() && short[si] < v {
             si += 1;
         }
+        // lint: allow-index(si < short.len() short-circuits before the read)
         if si < short.len() && short[si] == v {
             si += 1;
         } else {
@@ -243,8 +253,10 @@ pub fn count(kind: SetOpKind, short: &[Elem], long: &NeighborBitmap, long_len: u
 /// beyond the shorter universe cannot intersect.
 pub fn intersect_count_resident(a: &NeighborBitmap, b: &NeighborBitmap) -> u64 {
     let words = a.word_count().min(b.word_count());
+    // lint: allow-index(words = min of both word counts, each <= its backing length)
     a.words[..words]
         .iter()
+        // lint: allow-index(words = min of both word counts, each <= its backing length)
         .zip(&b.words[..words])
         .map(|(x, y)| (x & y).count_ones() as u64)
         .sum()

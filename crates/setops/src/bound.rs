@@ -9,6 +9,8 @@
 //! ([`crate::merge::count_bounded`] and friends) both call it, so the
 //! `partition_point` predicate can never drift between them.
 
+// lint: hot-path(index)
+
 use crate::Elem;
 
 /// Index of the first element of sorted `set` strictly greater than `bound`
@@ -33,6 +35,7 @@ pub fn lower_bound_start(set: &[Elem], bound: Elem) -> usize {
 #[inline]
 pub fn trim(set: &[Elem], bound: Option<Elem>) -> &[Elem] {
     match bound {
+        // lint: allow-index(partition_point returns an index <= set.len(), and a range slice at len is the valid empty tail)
         Some(b) => &set[lower_bound_start(set, b)..],
         None => set,
     }

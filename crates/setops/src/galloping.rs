@@ -8,6 +8,9 @@
 //! SIMD intersection literature the paper cites for segment-level
 //! parallelism (Inoue et al.).
 
+// lint: hot-path(alloc)
+// lint: hot-path(index)
+
 use crate::{merge, Elem, SetOpKind};
 
 /// `short ∩ long` by galloping. Both inputs sorted and duplicate-free.
@@ -19,6 +22,7 @@ use crate::{merge, Elem, SetOpKind};
 /// assert_eq!(fingers_setops::galloping::intersect(&[3, 999], &long), vec![3, 999]);
 /// ```
 pub fn intersect(short: &[Elem], long: &[Elem]) -> Vec<Elem> {
+    // lint: allow-alloc(allocating convenience wrapper; hot loops call intersect_into with a recycled buffer)
     let mut out = Vec::with_capacity(short.len());
     intersect_into(short, long, &mut out);
     out
@@ -30,6 +34,7 @@ pub fn intersect_into(short: &[Elem], long: &[Elem], out: &mut Vec<Elem>) {
     out.clear();
     let mut base = 0usize;
     for &x in short {
+        // lint: allow-index(base <= long.len(): checked after each advance, and a range slice at len is the valid empty tail)
         match gallop_search(&long[base..], x) {
             Ok(pos) => {
                 out.push(x);
@@ -45,6 +50,7 @@ pub fn intersect_into(short: &[Elem], long: &[Elem], out: &mut Vec<Elem>) {
 
 /// `short − long` by galloping.
 pub fn subtract(short: &[Elem], long: &[Elem]) -> Vec<Elem> {
+    // lint: allow-alloc(allocating convenience wrapper; hot loops call subtract_into with a recycled buffer)
     let mut out = Vec::with_capacity(short.len());
     subtract_into(short, long, &mut out);
     out
@@ -56,9 +62,10 @@ pub fn subtract_into(short: &[Elem], long: &[Elem], out: &mut Vec<Elem>) {
     let mut base = 0usize;
     for (i, &x) in short.iter().enumerate() {
         if base >= long.len() {
-            out.extend_from_slice(&short[i..]);
+            out.extend_from_slice(&short[i..]); // lint: allow-index(i < short.len() from enumerate)
             break;
         }
+        // lint: allow-index(base < long.len() guaranteed by the check above)
         match gallop_search(&long[base..], x) {
             Ok(pos) => base += pos + 1,
             Err(pos) => {
@@ -72,6 +79,7 @@ pub fn subtract_into(short: &[Elem], long: &[Elem], out: &mut Vec<Elem>) {
 /// Applies `kind` with the paper's (short, long) operand convention, using
 /// galloping for the probe side.
 pub fn apply(kind: SetOpKind, short: &[Elem], long: &[Elem]) -> Vec<Elem> {
+    // lint: allow-alloc(allocating convenience wrapper; hot loops call apply_into with a recycled buffer)
     let mut out = Vec::new();
     apply_into(kind, short, long, &mut out);
     out
@@ -95,6 +103,7 @@ pub fn intersect_count(short: &[Elem], long: &[Elem]) -> u64 {
     let mut n: u64 = 0;
     let mut base = 0usize;
     for &x in short {
+        // lint: allow-index(base <= long.len(): checked after each advance, and a range slice at len is the valid empty tail)
         match gallop_search(&long[base..], x) {
             Ok(pos) => {
                 n += 1;
@@ -137,11 +146,13 @@ pub fn count_bounded(kind: SetOpKind, short: &[Elem], long: &[Elem], bound: Opti
 /// `slice.binary_search(&x)` but `O(log position)` when `x` lands early.
 fn gallop_search(slice: &[Elem], x: Elem) -> Result<usize, usize> {
     let mut bound = 1usize;
+    // lint: allow-index(bound >= 1 always, and bound - 1 < slice.len() from the conjunction order)
     while bound < slice.len() && slice[bound - 1] < x {
         bound *= 2;
     }
     let lo = bound / 2;
     let hi = bound.min(slice.len());
+    // lint: allow-index(lo <= hi <= slice.len(): lo = bound/2 < hi unless both clamp to len)
     match slice[lo..hi].binary_search(&x) {
         Ok(p) => Ok(lo + p),
         Err(p) => Err(lo + p),

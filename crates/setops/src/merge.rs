@@ -5,6 +5,9 @@
 //! element comparison per cycle, streaming both inputs once (paper
 //! Section 2.2, IntersectX/FlexMiner-style comparators).
 
+// lint: hot-path(alloc)
+// lint: hot-path(index)
+
 use crate::{Elem, SetOpKind};
 
 /// `a ∩ b` for sorted, duplicate-free slices. Output is sorted.
@@ -15,6 +18,7 @@ use crate::{Elem, SetOpKind};
 /// assert_eq!(fingers_setops::merge::intersect(&[1, 3, 5], &[3, 4, 5]), vec![3, 5]);
 /// ```
 pub fn intersect(a: &[Elem], b: &[Elem]) -> Vec<Elem> {
+    // lint: allow-alloc(allocating convenience wrapper; hot loops call intersect_into with a recycled buffer)
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     intersect_into(a, b, &mut out);
     out
@@ -28,11 +32,12 @@ pub fn intersect_into(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
     out.clear();
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
+        // lint: allow-index(i and j are bounded by the loop condition)
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                out.push(a[i]);
+                out.push(a[i]); // lint: allow-index(i < a.len() from the loop condition)
                 i += 1;
                 j += 1;
             }
@@ -48,6 +53,7 @@ pub fn intersect_into(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
 /// assert_eq!(fingers_setops::merge::subtract(&[1, 3, 5], &[3, 4, 5]), vec![1]);
 /// ```
 pub fn subtract(a: &[Elem], b: &[Elem]) -> Vec<Elem> {
+    // lint: allow-alloc(allocating convenience wrapper; hot loops call subtract_into with a recycled buffer)
     let mut out = Vec::with_capacity(a.len());
     subtract_into(a, b, &mut out);
     out
@@ -59,9 +65,11 @@ pub fn subtract_into(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
     out.clear();
     let (mut i, mut j) = (0, 0);
     while i < a.len() {
+        // lint: allow-index(i < a.len() from the loop; j < b.len() is checked first in the disjunction)
         if j >= b.len() || a[i] < b[j] {
-            out.push(a[i]);
+            out.push(a[i]); // lint: allow-index(i < a.len() from the loop condition)
             i += 1;
+        // lint: allow-index(this branch is only reached when j < b.len())
         } else if a[i] > b[j] {
             j += 1;
         } else {
@@ -75,6 +83,7 @@ pub fn subtract_into(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
 /// `Intersect → short ∩ long`, `Subtract → short − long`,
 /// `AntiSubtract → long − short`.
 pub fn apply(kind: SetOpKind, short: &[Elem], long: &[Elem]) -> Vec<Elem> {
+    // lint: allow-alloc(allocating convenience wrapper; hot loops call apply_into with a recycled buffer)
     let mut out = Vec::new();
     apply_into(kind, short, long, &mut out);
     out
@@ -99,6 +108,7 @@ pub fn intersect_count(a: &[Elem], b: &[Elem]) -> u64 {
     let mut n: u64 = 0;
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
+        // lint: allow-index(i and j are bounded by the loop condition)
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
@@ -167,6 +177,7 @@ pub fn merge_steps(kind: SetOpKind, short: &[Elem], long: &[Elem]) -> u64 {
     let mut steps: u64 = 0;
     while i < emit.len() && j < filter.len() {
         steps += 1;
+        // lint: allow-index(i and j are bounded by the loop condition)
         match emit[i].cmp(&filter[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
@@ -186,7 +197,7 @@ pub fn merge_steps(kind: SetOpKind, short: &[Elem], long: &[Elem]) -> u64 {
 
 /// `true` if `s` is strictly increasing (the invariant all kernels assume).
 pub fn is_sorted_set(s: &[Elem]) -> bool {
-    s.windows(2).all(|w| w[0] < w[1])
+    s.windows(2).all(|w| w[0] < w[1]) // lint: allow-index(windows(2) yields exactly-2-element slices)
 }
 
 #[cfg(test)]

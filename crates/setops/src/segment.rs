@@ -68,6 +68,10 @@ impl<'a> Segments<'a> {
 
     /// Largest element of segment `i` (segments are sorted, so this is the
     /// last element).
+    // §11: segments are constructed non-empty (Segments::new splits a
+    // non-empty set into ceil(len/width) chunks), so an empty segment is a
+    // construction bug worth a panic, not a recoverable error.
+    #[allow(clippy::expect_used)] // §11: justified above
     pub fn last_of(&self, i: usize) -> Elem {
         *self.get(i).last().expect("segments are non-empty")
     }

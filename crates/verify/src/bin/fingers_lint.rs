@@ -1,0 +1,33 @@
+//! `fingers-lint`: the workspace hot-path lint, wired into scripts/ci.sh.
+//!
+//! Usage: `fingers-lint [workspace-root]` (default `.`). Exits 0 when the
+//! scan is clean, 1 on any violation, 2 when the root cannot be read.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use fingers_verify::lint;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let summary = match lint::lint_workspace(Path::new(&root)) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("fingers-lint: cannot scan {root}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for v in &summary.violations {
+        eprintln!("{v}");
+    }
+    eprintln!(
+        "fingers-lint: {} file(s) scanned, {} violation(s)",
+        summary.files_scanned,
+        summary.violations.len()
+    );
+    if summary.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

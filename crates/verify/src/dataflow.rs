@@ -1,0 +1,391 @@
+//! Dataflow soundness: structural op checks plus per-target contribution
+//! accounting against Equation (1).
+//!
+//! The compiler always emits one exact shape (base at the first connected
+//! ancestor, postponed anti-subtraction, intra-level actions sorted by
+//! target). The verifier accepts the slightly wider class of plans that
+//! are *semantically* equivalent — any connected ancestor may host the
+//! base as long as the remaining connected lists are intersected and every
+//! disconnected ancestor is subtracted (vertex-induced) — while rejecting
+//! every plan whose execution reads unmaterialized state or computes a
+//! candidate set Equation (1) does not define.
+
+use fingers_pattern::{ExecutionPlan, Induced, PlanOp};
+use fingers_setops::SetOpKind;
+
+use crate::diagnostics::{DiagnosticKind, PlanDiagnostic};
+
+pub(crate) fn check(plan: &ExecutionPlan, out: &mut Vec<PlanDiagnostic>) {
+    let k = plan.pattern_size();
+    check_ops(plan, k, out);
+    check_schedule_shape(plan, k, out);
+    for j in 1..k {
+        check_target(plan, j, out);
+    }
+}
+
+/// Per-op structural checks: targets in range, streamed lists already
+/// matched, intra-level execution order sorted by target.
+fn check_ops(plan: &ExecutionPlan, k: usize, out: &mut Vec<PlanDiagnostic>) {
+    for level in 0..k {
+        let ops = plan.actions_at(level);
+        for op in ops {
+            let j = op.target();
+            if j <= level || j >= k {
+                out.push(
+                    PlanDiagnostic::new(
+                        DiagnosticKind::OpTargetOutOfRange,
+                        format!("op targets S{j}, which is not a later level (k = {k})"),
+                    )
+                    .at_level(level)
+                    .for_target(j),
+                );
+                continue;
+            }
+            let ahead = match *op {
+                PlanOp::Apply { list, .. } => (list > level).then_some(list),
+                PlanOp::InitAnti { short, .. } => (short >= level).then_some(short),
+                PlanOp::Init { .. } => None,
+            };
+            if let Some(list) = ahead {
+                out.push(
+                    PlanDiagnostic::new(
+                        DiagnosticKind::StreamedListAhead,
+                        format!("op streams N(u{list}), but level {list} is not matched yet"),
+                    )
+                    .at_level(level)
+                    .for_target(j),
+                );
+            }
+        }
+        if ops.windows(2).any(|w| w[0].target() > w[1].target()) {
+            out.push(
+                PlanDiagnostic::new(
+                    DiagnosticKind::UnsortedActions,
+                    "actions are not sorted by target; terminal count fusion \
+                     splits off the deepest target and relies on that order",
+                )
+                .at_level(level),
+            );
+        }
+    }
+}
+
+/// `schedules[j-1]` must describe target `j` for every `1 <= j < k`.
+fn check_schedule_shape(plan: &ExecutionPlan, k: usize, out: &mut Vec<PlanDiagnostic>) {
+    let schedules = plan.schedules();
+    if schedules.len() != k.saturating_sub(1) {
+        out.push(PlanDiagnostic::new(
+            DiagnosticKind::ScheduleMismatch,
+            format!(
+                "{} schedules for {} levels (expected one per level 1..{k})",
+                schedules.len(),
+                k
+            ),
+        ));
+    }
+    for (i, s) in schedules.iter().enumerate() {
+        if s.target != i + 1 {
+            out.push(
+                PlanDiagnostic::new(
+                    DiagnosticKind::ScheduleMismatch,
+                    format!(
+                        "schedule at index {i} claims target {}, expected {}",
+                        s.target,
+                        i + 1
+                    ),
+                )
+                .for_target(i + 1),
+            );
+        }
+    }
+}
+
+/// Contribution accounting for one target `j`: exactly one base op at a
+/// connected ancestor, every other connected ancestor intersected, every
+/// disconnected ancestor subtracted iff vertex-induced, nothing spurious,
+/// nothing read before materialization — plus the schedule metadata checks
+/// (first-connected ancestor, lower bounds vs. restrictions).
+fn check_target(plan: &ExecutionPlan, j: usize, out: &mut Vec<PlanDiagnostic>) {
+    let k = plan.pattern_size();
+    let pattern = plan.pattern();
+    let connected: Vec<usize> = (0..j).filter(|&i| pattern.are_adjacent(i, j)).collect();
+    if connected.is_empty() {
+        out.push(
+            PlanDiagnostic::new(
+                DiagnosticKind::DisconnectedSchedule,
+                format!("level {j} has no earlier neighbor; S{j} cannot be seeded"),
+            )
+            .for_target(j),
+        );
+        return;
+    }
+    let first_connected = connected[0];
+    let induced = plan.induced();
+
+    // Walk every op for target j in execution order (level asc, then
+    // intra-level index asc — the interpreter's order).
+    let mut base: Option<usize> = None; // level hosting the base op
+    let mut intersected: Vec<usize> = Vec::new(); // Intersect list levels
+    let mut subtracted: Vec<usize> = Vec::new(); // Subtract lists + InitAnti shorts
+    for level in 0..k {
+        for op in plan.actions_at(level) {
+            if op.target() != j || j <= level || j >= k {
+                continue; // out-of-range targets already reported
+            }
+            match *op {
+                PlanOp::Init { .. } | PlanOp::InitAnti { .. } => {
+                    if base.is_some() {
+                        out.push(
+                            PlanDiagnostic::new(
+                                DiagnosticKind::DuplicateMaterialization,
+                                format!(
+                                    "S{j} is materialized again at level {level}; \
+                                     the earlier contributions are discarded"
+                                ),
+                            )
+                            .at_level(level)
+                            .for_target(j),
+                        );
+                    } else {
+                        base = Some(level);
+                        if !pattern.are_adjacent(level, j) {
+                            out.push(
+                                PlanDiagnostic::new(
+                                    DiagnosticKind::WrongMaterializationLevel,
+                                    format!(
+                                        "S{j} is seeded from N(u{level}), but levels \
+                                         {level} and {j} are not adjacent in the pattern"
+                                    ),
+                                )
+                                .at_level(level)
+                                .for_target(j),
+                            );
+                        }
+                    }
+                    if let PlanOp::InitAnti { short, .. } = *op {
+                        if induced == Induced::Edge {
+                            out.push(edge_subtraction(level, j, short, "anti-subtracts"));
+                        } else if short < level {
+                            subtracted.push(short);
+                        }
+                        // short >= level already reported as StreamedListAhead.
+                    }
+                }
+                PlanOp::Apply { list, kind, .. } => {
+                    if base.is_none() {
+                        out.push(
+                            PlanDiagnostic::new(
+                                DiagnosticKind::UseBeforeInit,
+                                format!(
+                                    "op updates S{j} at level {level}, before any \
+                                     Init/InitAnti has materialized it"
+                                ),
+                            )
+                            .at_level(level)
+                            .for_target(j),
+                        );
+                    }
+                    if list > level {
+                        continue; // already reported as StreamedListAhead
+                    }
+                    match kind {
+                        SetOpKind::Intersect => intersected.push(list),
+                        SetOpKind::Subtract => {
+                            if induced == Induced::Edge {
+                                out.push(edge_subtraction(level, j, list, "subtracts"));
+                            } else {
+                                subtracted.push(list);
+                            }
+                        }
+                        SetOpKind::AntiSubtract => out.push(
+                            PlanDiagnostic::new(
+                                DiagnosticKind::SpuriousOp,
+                                format!(
+                                    "S{j} receives a bare anti-subtraction Apply; \
+                                     anti-subtraction only exists fused into InitAnti"
+                                ),
+                            )
+                            .at_level(level)
+                            .for_target(j),
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    accounting(plan, j, &connected, base, &intersected, &subtracted, out);
+    check_schedule_of(plan, j, first_connected, out);
+}
+
+/// Compares the gathered contributions with the set Equation (1) defines.
+fn accounting(
+    plan: &ExecutionPlan,
+    j: usize,
+    connected: &[usize],
+    base: Option<usize>,
+    intersected: &[usize],
+    subtracted: &[usize],
+    out: &mut Vec<PlanDiagnostic>,
+) {
+    let pattern = plan.pattern();
+    let base = match base {
+        Some(b) => b,
+        None => {
+            out.push(
+                PlanDiagnostic::new(
+                    DiagnosticKind::MissingMaterialization,
+                    format!("no Init/InitAnti ever materializes S{j}"),
+                )
+                .for_target(j),
+            );
+            return;
+        }
+    };
+
+    // Required intersections: every connected ancestor except the base
+    // (whose list arrives via the materialization itself).
+    for &i in connected {
+        if i == base {
+            continue;
+        }
+        let n = intersected.iter().filter(|&&l| l == i).count();
+        if n == 0 {
+            out.push(
+                PlanDiagnostic::new(
+                    DiagnosticKind::MissingIntersection,
+                    format!("connected ancestor {i} is never intersected into S{j}"),
+                )
+                .for_target(j),
+            );
+        }
+    }
+    // Spurious intersections: non-neighbors, the base itself, duplicates.
+    let mut seen_intersect: Vec<usize> = Vec::new();
+    for &l in intersected {
+        let required = l != base && connected.contains(&l);
+        if !required || seen_intersect.contains(&l) {
+            out.push(
+                PlanDiagnostic::new(
+                    DiagnosticKind::SpuriousOp,
+                    format!(
+                        "S{j} is intersected with N(u{l}), which Equation (1) \
+                         does not call for ({})",
+                        if seen_intersect.contains(&l) {
+                            "duplicate list"
+                        } else if l == base {
+                            "already the base list"
+                        } else {
+                            "not an earlier neighbor"
+                        }
+                    ),
+                )
+                .for_target(j),
+            );
+        }
+        seen_intersect.push(l);
+    }
+
+    // Subtractions (vertex-induced): exactly the disconnected ancestors.
+    let disconnected: Vec<usize> = (0..j).filter(|&i| !pattern.are_adjacent(i, j)).collect();
+    if plan.induced() == Induced::Vertex {
+        for &i in &disconnected {
+            let n = subtracted.iter().filter(|&&l| l == i).count();
+            if n == 0 {
+                out.push(
+                    PlanDiagnostic::new(
+                        DiagnosticKind::MissingSubtraction,
+                        format!("disconnected ancestor {i} is never subtracted from S{j}"),
+                    )
+                    .for_target(j),
+                );
+            }
+        }
+    }
+    let mut seen_subtract: Vec<usize> = Vec::new();
+    for &l in subtracted {
+        if !disconnected.contains(&l) || seen_subtract.contains(&l) {
+            out.push(
+                PlanDiagnostic::new(
+                    DiagnosticKind::SpuriousOp,
+                    format!(
+                        "S{j} subtracts N(u{l}), which Equation (1) does not \
+                         call for ({})",
+                        if seen_subtract.contains(&l) {
+                            "duplicate list"
+                        } else {
+                            "an earlier neighbor must be intersected, not subtracted"
+                        }
+                    ),
+                )
+                .for_target(j),
+            );
+        }
+        seen_subtract.push(l);
+    }
+}
+
+/// Schedule metadata for target `j`: `first_connected` and `lower_bounds`
+/// must agree with the pattern and the restriction pairs.
+fn check_schedule_of(
+    plan: &ExecutionPlan,
+    j: usize,
+    first_connected: usize,
+    out: &mut Vec<PlanDiagnostic>,
+) {
+    let Some(s) = plan.schedules().get(j - 1) else {
+        return; // shape mismatch already reported
+    };
+    if s.target != j {
+        return; // shape mismatch already reported
+    }
+    if s.first_connected != first_connected {
+        out.push(
+            PlanDiagnostic::new(
+                DiagnosticKind::FirstConnectedMismatch,
+                format!(
+                    "schedule says S{j} comes alive at level {}, but the first \
+                     connected ancestor is {first_connected}",
+                    s.first_connected
+                ),
+            )
+            .for_target(j),
+        );
+    }
+    // Lower bounds as a *set* must equal {a | (a, j) in restrictions}.
+    // (Duplicate restriction pairs are a separate warning; the executor
+    // reduces Max-of-bounds, so duplicates cannot change candidates.)
+    let mut expected: Vec<usize> = plan
+        .restrictions()
+        .iter()
+        .filter(|&&(a, b)| b == j && a < b)
+        .map(|&(a, _)| a)
+        .collect();
+    expected.sort_unstable();
+    expected.dedup();
+    let mut actual: Vec<usize> = s.lower_bounds.clone();
+    actual.sort_unstable();
+    actual.dedup();
+    if actual != expected {
+        out.push(
+            PlanDiagnostic::new(
+                DiagnosticKind::BoundScheduleMismatch,
+                format!(
+                    "schedule lower bounds {actual:?} disagree with the \
+                     restriction pairs, which require {expected:?}"
+                ),
+            )
+            .for_target(j),
+        );
+    }
+}
+
+fn edge_subtraction(level: usize, j: usize, list: usize, what: &str) -> PlanDiagnostic {
+    PlanDiagnostic::new(
+        DiagnosticKind::SubtractionInEdgeInduced,
+        format!("edge-induced plan {what} N(u{list}) from S{j}; edge-induced semantics never exclude candidates"),
+    )
+    .at_level(level)
+    .for_target(j)
+}

@@ -1,0 +1,273 @@
+//! Structured diagnostics emitted by the plan verifier.
+//!
+//! Every check in [`crate::verify`] reports through these types rather
+//! than panicking or returning `bool`, so callers (the CLI's
+//! `verify-plan`, the engine's fail-fast gate, the mutation corpus) can
+//! match on *which* invariant broke and render it for humans.
+
+use std::fmt;
+
+/// How bad a [`PlanDiagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational only; the plan is still sound.
+    Info,
+    /// Suspicious but not unsound (e.g. a duplicated restriction, which
+    /// wastes a comparison but cannot change counts).
+    Warning,
+    /// The plan is unsound: executing it may produce wrong counts, read
+    /// unmaterialized state, or panic inside the interpreter.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Which invariant a diagnostic reports against.
+///
+/// The kinds partition into the three verifier arms: **structure**
+/// (op/buffer well-formedness), **dataflow** (Equation (1) contribution
+/// accounting per target), and **restrictions** (symmetry soundness
+/// against the enumerated automorphism group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DiagnosticKind {
+    /// An op's target is not a strictly-later level (`target <= level`) or
+    /// is past the last level (`target >= k`).
+    OpTargetOutOfRange,
+    /// An op streams the neighbor list of a level that has not been
+    /// matched yet (`Apply.list > level`, or `InitAnti.short >= level`).
+    StreamedListAhead,
+    /// A level's actions are not sorted by target — terminal count fusion
+    /// (`split_last` on the deepest target) relies on that order.
+    UnsortedActions,
+    /// A target level is never materialized by an `Init`/`InitAnti`.
+    MissingMaterialization,
+    /// A target level is materialized more than once; the later base op
+    /// silently discards earlier contributions.
+    DuplicateMaterialization,
+    /// The base op for a target executes at a level not adjacent to it,
+    /// injecting a neighbor-list factor Equation (1) does not allow.
+    WrongMaterializationLevel,
+    /// An op reads a target's candidate buffer before the base op that
+    /// materializes it has executed.
+    UseBeforeInit,
+    /// A connected ancestor's neighbor list is never intersected into the
+    /// target's candidate set.
+    MissingIntersection,
+    /// A disconnected ancestor's neighbor list is never subtracted
+    /// (vertex-induced only).
+    MissingSubtraction,
+    /// An op contributes a factor Equation (1) does not call for
+    /// (duplicate list, intersection with a non-neighbor, subtraction of a
+    /// neighbor, or a stray anti-subtraction).
+    SpuriousOp,
+    /// An edge-induced plan contains a subtraction or anti-subtraction;
+    /// edge-induced semantics never exclude candidates.
+    SubtractionInEdgeInduced,
+    /// A level has no earlier neighbor, so its candidate set cannot be
+    /// seeded from any matched vertex (the order is not connected).
+    DisconnectedSchedule,
+    /// The schedule list does not line up with the levels (`schedules[j-1]`
+    /// must describe target `j` for every `1 <= j < k`).
+    ScheduleMismatch,
+    /// A schedule's `first_connected` is not the target's first connected
+    /// ancestor.
+    FirstConnectedMismatch,
+    /// A schedule's `lower_bounds` disagree with the restriction pairs
+    /// `(a, j)` — the executor would bound candidates by the wrong mapped
+    /// vertices.
+    BoundScheduleMismatch,
+    /// A restriction `(a, b)` does not satisfy `a < b < k`. The executor
+    /// reads `mapped[a]` while matching level `b`, so a forward or
+    /// self-referential pair reads unmatched state.
+    MalformedRestriction,
+    /// The same restriction pair appears more than once (harmless for
+    /// counts, so only a warning).
+    DuplicateRestriction,
+    /// Some non-identity automorphism survives every restriction: at least
+    /// one embedding is counted more than once (under-restriction).
+    UnbrokenAutomorphism,
+    /// The restrictions admit fewer rank-orders than `k!/|Aut|`: at least
+    /// one embedding is never counted (over-restriction).
+    OverRestriction,
+}
+
+impl DiagnosticKind {
+    /// The severity this kind always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagnosticKind::DuplicateRestriction => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// Stable machine-readable name (kebab-case), used by the CLI's
+    /// `--mutate` flag and in rendered diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagnosticKind::OpTargetOutOfRange => "op-target-out-of-range",
+            DiagnosticKind::StreamedListAhead => "streamed-list-ahead",
+            DiagnosticKind::UnsortedActions => "unsorted-actions",
+            DiagnosticKind::MissingMaterialization => "missing-materialization",
+            DiagnosticKind::DuplicateMaterialization => "duplicate-materialization",
+            DiagnosticKind::WrongMaterializationLevel => "wrong-materialization-level",
+            DiagnosticKind::UseBeforeInit => "use-before-init",
+            DiagnosticKind::MissingIntersection => "missing-intersection",
+            DiagnosticKind::MissingSubtraction => "missing-subtraction",
+            DiagnosticKind::SpuriousOp => "spurious-op",
+            DiagnosticKind::SubtractionInEdgeInduced => "subtraction-in-edge-induced",
+            DiagnosticKind::DisconnectedSchedule => "disconnected-schedule",
+            DiagnosticKind::ScheduleMismatch => "schedule-mismatch",
+            DiagnosticKind::FirstConnectedMismatch => "first-connected-mismatch",
+            DiagnosticKind::BoundScheduleMismatch => "bound-schedule-mismatch",
+            DiagnosticKind::MalformedRestriction => "malformed-restriction",
+            DiagnosticKind::DuplicateRestriction => "duplicate-restriction",
+            DiagnosticKind::UnbrokenAutomorphism => "unbroken-automorphism",
+            DiagnosticKind::OverRestriction => "over-restriction",
+        }
+    }
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding from the verifier: an invariant, where it broke, and a
+/// human-readable explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanDiagnostic {
+    /// Which invariant broke.
+    pub kind: DiagnosticKind,
+    /// The level whose action list the finding is anchored to, if any.
+    pub level: Option<usize>,
+    /// The target level (`S_target`) the finding concerns, if any.
+    pub target: Option<usize>,
+    /// Human-readable explanation with the concrete values involved.
+    pub message: String,
+}
+
+impl PlanDiagnostic {
+    /// Builds a diagnostic with no level/target anchor.
+    pub fn new(kind: DiagnosticKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            level: None,
+            target: None,
+            message: message.into(),
+        }
+    }
+
+    /// Anchors the diagnostic to the action list of `level`.
+    pub fn at_level(mut self, level: usize) -> Self {
+        self.level = Some(level);
+        self
+    }
+
+    /// Anchors the diagnostic to target buffer `S_target`.
+    pub fn for_target(mut self, target: usize) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// The severity, derived from the kind.
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
+impl fmt::Display for PlanDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity(), self.kind.name())?;
+        if let Some(level) = self.level {
+            write!(f, " level {level}")?;
+        }
+        if let Some(target) = self.target {
+            write!(f, " S{target}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The verifier's verdict on one plan: every diagnostic found, plus the
+/// plan identity it was computed for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    plan_name: String,
+    diagnostics: Vec<PlanDiagnostic>,
+}
+
+impl VerifyReport {
+    pub(crate) fn new(plan_name: String, diagnostics: Vec<PlanDiagnostic>) -> Self {
+        Self {
+            plan_name,
+            diagnostics,
+        }
+    }
+
+    /// Display name of the plan this report describes.
+    pub fn plan_name(&self) -> &str {
+        &self.plan_name
+    }
+
+    /// Every diagnostic, in the order the checks emitted them.
+    pub fn diagnostics(&self) -> &[PlanDiagnostic] {
+        &self.diagnostics
+    }
+
+    /// `true` iff no diagnostic is at [`Severity::Error`] — warnings and
+    /// info do not make a plan unsound.
+    pub fn is_sound(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Whether any diagnostic has the given kind.
+    pub fn has(&self, kind: DiagnosticKind) -> bool {
+        self.diagnostics.iter().any(|d| d.kind == kind)
+    }
+
+    /// One-line summary: "sound" or "N errors, M warnings".
+    pub fn summary(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return "sound (no diagnostics)".to_string();
+        }
+        let errors = self.error_count();
+        let warnings = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+            .count();
+        if errors == 0 {
+            format!("sound ({warnings} warning(s))")
+        } else {
+            format!("unsound ({errors} error(s), {warnings} warning(s))")
+        }
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan {}: {}", self.plan_name, self.summary())?;
+        for d in &self.diagnostics {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
+    }
+}

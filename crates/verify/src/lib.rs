@@ -1,0 +1,102 @@
+//! Static analysis for the FINGERS reproduction.
+//!
+//! Two independent arms:
+//!
+//! 1. **Plan verifier** ([`verify`]): a compiled [`ExecutionPlan`] is a
+//!    small set-ISA program, and this module statically proves it sound
+//!    before the engine runs it — dataflow soundness (every op reads only
+//!    materialized buffers and already-matched neighbor lists, every
+//!    target's contributions are exactly Equation (1)'s), restriction
+//!    soundness against the enumerated automorphism group (every
+//!    non-identity automorphism broken, multiplicity provably 1), and
+//!    schedule metadata consistency (first-connected ancestors, bound
+//!    sources vs. restriction pairs). Findings come back as
+//!    severity-tagged [`PlanDiagnostic`]s in a [`VerifyReport`].
+//! 2. **Workspace lint** ([`lint`], shipped as the `fingers-lint` binary):
+//!    a text/structural scan enforcing hot-path invariants rustc cannot —
+//!    no per-embedding allocation and no unchecked slice indexing inside
+//!    annotated hot-path modules without an explicit waiver, plus an
+//!    audit that every `clippy::unwrap_used`/`expect_used` allowance
+//!    carries its DESIGN.md §11 justification.
+//!
+//! The verifier is wired in three places: `PlanMiner` debug-asserts every
+//! plan it is constructed with, the parallel engine fail-fasts with
+//! `EngineError::InvalidPlan` before spawning workers, and the CLI exposes
+//! `fingers-mine verify-plan <pattern>` for humans. [`mutate`] supplies
+//! the corpus of targeted plan corruptions proving each check fires.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataflow;
+pub mod diagnostics;
+pub mod lint;
+pub mod mutate;
+mod restrictions;
+
+pub use diagnostics::{DiagnosticKind, PlanDiagnostic, Severity, VerifyReport};
+pub use mutate::PlanMutation;
+
+use fingers_pattern::{ExecutionPlan, Induced, Pattern};
+
+/// Statically verifies `plan`, returning every diagnostic found.
+///
+/// A plan with no [`Severity::Error`] diagnostics
+/// ([`VerifyReport::is_sound`]) is proven to (a) read only materialized
+/// candidate buffers and already-matched neighbor lists, (b) compute each
+/// candidate set exactly as Equation (1) defines it for the plan's
+/// semantics, and (c) count each embedding exactly once under its
+/// symmetry-breaking restrictions.
+pub fn verify(plan: &ExecutionPlan) -> VerifyReport {
+    let mut diagnostics = Vec::new();
+    dataflow::check(plan, &mut diagnostics);
+    restrictions::check(plan, &mut diagnostics);
+    VerifyReport::new(plan.pattern().to_string(), diagnostics)
+}
+
+/// Compiles `pattern` and verifies the result, returning the report as an
+/// error if the compiled plan is unsound — the checked front door for
+/// callers that want the compile-time gate without a `debug_assert`.
+pub fn compile_verified(
+    pattern: &Pattern,
+    induced: Induced,
+) -> Result<ExecutionPlan, VerifyReport> {
+    let plan = ExecutionPlan::compile(pattern, induced);
+    let report = verify(&plan);
+    if report.is_sound() {
+        Ok(plan)
+    } else {
+        Err(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiler_output_is_sound() {
+        for p in [
+            Pattern::triangle(),
+            Pattern::clique(4),
+            Pattern::tailed_triangle(),
+            Pattern::four_cycle(),
+            Pattern::diamond(),
+            Pattern::wedge(),
+            Pattern::house(),
+            Pattern::star(4),
+        ] {
+            for induced in [Induced::Vertex, Induced::Edge] {
+                let report = verify(&ExecutionPlan::compile(&p, induced));
+                assert!(report.is_sound(), "{p} ({induced:?}):\n{report}");
+                assert!(report.diagnostics().is_empty(), "{p}: {report}");
+            }
+        }
+    }
+
+    #[test]
+    fn compile_verified_round_trips() {
+        let plan = compile_verified(&Pattern::diamond(), Induced::Vertex);
+        assert!(plan.is_ok());
+    }
+}

@@ -1,0 +1,405 @@
+//! Workspace hot-path lint: a text/structural scan enforcing invariants
+//! rustc and clippy cannot express, because they are repo policy rather
+//! than language rules.
+//!
+//! Three rules (the waiver grammar is documented in DESIGN.md §12):
+//!
+//! * **hot-path alloc** — in files carrying the `hot-path(alloc)` marker
+//!   comment, any allocating call (`Vec::new`, `vec!`, `.collect`,
+//!   `.clone`, `.to_vec`, `.to_owned`, `with_capacity`, `Box::new`,
+//!   `format!`, `String::new`) must carry an `allow-alloc(reason)` waiver
+//!   on the same or preceding line. The mining executor's per-embedding
+//!   loop and the set-op kernels are scratch-reusing by design; an
+//!   unwaived allocation there is a performance regression the type
+//!   system will happily accept.
+//! * **hot-path index** — in files carrying the `hot-path(index)` marker,
+//!   any `x[...]` indexing expression needs an `allow-index(reason)`
+//!   waiver: kernel inner loops must either justify why the index is in
+//!   bounds or use iterators/`get`.
+//! * **§11 audit** — in every scanned file, an
+//!   `allow(clippy::unwrap_used)` / `allow(clippy::expect_used)`
+//!   attribute must carry a `§11` justification comment within the two
+//!   preceding lines (DESIGN.md §11 is the error-handling policy that
+//!   says which layers may panic and why).
+//!
+//! Test code is out of scope: `tests/`/`benches/` directories are not
+//! walked, and `#[cfg(test)]` modules inside scanned files are skipped by
+//! brace tracking.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which lint rule a violation is against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintRule {
+    /// Unwaived allocation in a `hot-path(alloc)` file.
+    HotPathAlloc,
+    /// Unwaived slice indexing in a `hot-path(index)` file.
+    HotPathIndex,
+    /// `allow(clippy::unwrap_used/expect_used)` without a §11 comment.
+    AllowNeedsJustification,
+}
+
+impl LintRule {
+    /// Stable kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintRule::HotPathAlloc => "hot-path-alloc",
+            LintRule::HotPathIndex => "hot-path-index",
+            LintRule::AllowNeedsJustification => "allow-needs-justification",
+        }
+    }
+}
+
+/// One lint finding: file, 1-based line, rule, and the offending text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintViolation {
+    /// Path of the offending file, as given to the linter.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule violated.
+    pub rule: LintRule,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for LintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.excerpt
+        )
+    }
+}
+
+/// Result of a workspace scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintSummary {
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+    /// Every violation, in path order.
+    pub violations: Vec<LintViolation>,
+}
+
+const ALLOC_PATTERNS: [&str; 10] = [
+    "Vec::new(",
+    "vec!",
+    ".collect(",
+    ".clone(",
+    ".to_vec(",
+    ".to_owned(",
+    "with_capacity(",
+    "Box::new(",
+    "format!(",
+    "String::new(",
+];
+
+fn marker(kind: &str) -> String {
+    format!("// lint: hot-path({kind})")
+}
+
+fn waiver_pattern(kind: &str) -> String {
+    format!("lint: allow-{kind}(")
+}
+
+/// Lints one file's source text. `file` is only used to label violations.
+pub fn lint_source(file: &str, source: &str) -> Vec<LintViolation> {
+    let alloc_hot = source.contains(&marker("alloc"));
+    let index_hot = source.contains(&marker("index"));
+    let lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+
+    let mut pending_cfg_test = false;
+    let mut test_depth: i64 = 0; // > 0 while inside a #[cfg(test)] module
+    for (i, &raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+            continue;
+        }
+        let stripped = strip_strings_and_comments(raw);
+
+        if test_depth > 0 {
+            test_depth += brace_delta(&stripped);
+            continue;
+        }
+        if pending_cfg_test {
+            if stripped.contains("mod ") {
+                let delta = brace_delta(&stripped);
+                // `mod tests {` opens the module; a `mod tests;` item
+                // (separate file, excluded by the walker) keeps depth 0.
+                if delta > 0 {
+                    test_depth = delta;
+                }
+                pending_cfg_test = false;
+                continue;
+            }
+            if !trimmed.starts_with('#') && !trimmed.is_empty() {
+                pending_cfg_test = false;
+            }
+        }
+        if stripped.contains("cfg(test") {
+            pending_cfg_test = true;
+            continue;
+        }
+
+        let violation = |rule: LintRule| LintViolation {
+            file: file.to_string(),
+            line: i + 1,
+            rule,
+            excerpt: trimmed.trim_end().to_string(),
+        };
+
+        if alloc_hot
+            && ALLOC_PATTERNS.iter().any(|p| stripped.contains(p))
+            && !waived(&lines, i, "alloc")
+        {
+            out.push(violation(LintRule::HotPathAlloc));
+        }
+        if index_hot && has_index_site(&stripped) && !waived(&lines, i, "index") {
+            out.push(violation(LintRule::HotPathIndex));
+        }
+        if (stripped.contains("clippy::unwrap_used") || stripped.contains("clippy::expect_used"))
+            && stripped.contains("allow")
+            && !(i.saturating_sub(2)..=i).any(|j| lines[j].contains("§11"))
+        {
+            out.push(violation(LintRule::AllowNeedsJustification));
+        }
+    }
+    out
+}
+
+/// Whether line `i` (or the line above) waives rule `kind` with a
+/// nonempty reason.
+fn waived(lines: &[&str], i: usize, kind: &str) -> bool {
+    let pat = waiver_pattern(kind);
+    let check = |l: &str| {
+        l.find(&pat).is_some_and(|p| {
+            let rest = &l[p + pat.len()..];
+            rest.find(')').is_some_and(|close| close > 0)
+        })
+    };
+    check(lines[i]) || (i > 0 && check(lines[i - 1]))
+}
+
+/// Drops string-literal contents and everything after a `//` comment
+/// opener, so patterns never match inside strings or prose.
+fn strip_strings_and_comments(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(' ');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Net `{`/`}` balance of an already-stripped line.
+fn brace_delta(stripped: &str) -> i64 {
+    stripped.chars().fold(0, |acc, c| match c {
+        '{' => acc + 1,
+        '}' => acc - 1,
+        _ => acc,
+    })
+}
+
+/// Does the stripped line contain an indexing expression `x[...]`?
+/// A `[` counts when the previous non-space token is an identifier, a
+/// closing `)`/`]`, or `?` — which excludes array literals `&[..]`,
+/// attributes `#[..]`, macro brackets `vec![..]`, and slice *types*
+/// `&mut [T]`.
+fn has_index_site(stripped: &str) -> bool {
+    let bytes = stripped.as_bytes();
+    if stripped.trim_start().starts_with('#') {
+        return false;
+    }
+    for (pos, &c) in bytes.iter().enumerate() {
+        if c != b'[' {
+            continue;
+        }
+        let Some(prev_at) = bytes[..pos].iter().rposition(|&p| p != b' ') else {
+            continue;
+        };
+        let prev = bytes[prev_at];
+        if prev == b')' || prev == b']' || prev == b'?' {
+            return true;
+        }
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            // Extract the word; type-position keywords are not receivers.
+            let start = bytes[..=prev_at]
+                .iter()
+                .rposition(|&p| !(p.is_ascii_alphanumeric() || p == b'_'))
+                .map_or(0, |s| s + 1);
+            let word = &stripped[start..=prev_at];
+            // A lifetime (`&'a [u32]`) is a type position, not a receiver.
+            let is_lifetime = start > 0 && bytes[start - 1] == b'\'';
+            if !is_lifetime && !matches!(word, "mut" | "dyn" | "impl" | "in" | "as") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Recursively collects `.rs` files under `root/crates` and `root/src`,
+/// skipping `target`, `vendor`, `tests`, and `benches` directories, and
+/// lints each one. Files that are not valid UTF-8 are skipped.
+pub fn lint_workspace(root: &Path) -> io::Result<LintSummary> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in &files {
+        let Ok(source) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        files_scanned += 1;
+        violations.extend(lint_source(&path.to_string_lossy(), &source));
+    }
+    Ok(LintSummary {
+        files_scanned,
+        violations,
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !matches!(name.as_ref(), "target" | "vendor" | "tests" | "benches") {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot(kind: &str, body: &str) -> String {
+        format!("{}\n{body}\n", marker(kind))
+    }
+
+    #[test]
+    fn unmarked_files_allow_anything() {
+        let src = "fn f() -> Vec<u32> { let v = Vec::new(); v }\n";
+        assert!(lint_source("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn marked_file_flags_allocation() {
+        let src = hot("alloc", "fn f() { let v: Vec<u32> = Vec::new(); }");
+        let vs = lint_source("a.rs", &src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, LintRule::HotPathAlloc);
+        assert_eq!(vs[0].line, 2);
+    }
+
+    #[test]
+    fn waiver_on_same_or_previous_line_suppresses() {
+        let same = hot(
+            "alloc",
+            &format!("let v = Vec::new(); {}one-time)", waiver_pattern("alloc")),
+        );
+        assert!(lint_source("a.rs", &same).is_empty());
+        let prev = hot(
+            "alloc",
+            &format!(
+                "// {}scratch)\nlet v = Vec::new();",
+                waiver_pattern("alloc")
+            ),
+        );
+        assert!(lint_source("a.rs", &prev).is_empty());
+        // An empty reason does not count as a waiver.
+        let empty = hot(
+            "alloc",
+            &format!("let v = Vec::new(); {})", waiver_pattern("alloc")),
+        );
+        assert_eq!(lint_source("a.rs", &empty).len(), 1);
+    }
+
+    #[test]
+    fn index_rule_flags_real_indexing_only() {
+        let src = hot(
+            "index",
+            "fn f(a: &[u32], i: usize) -> u32 { a[i] }\n\
+             fn g() -> &'static [u32] { &[1, 2] }\n\
+             fn h(out: &mut [u32]) {}\n\
+             #[derive(Debug)]\n\
+             struct S;",
+        );
+        let vs = lint_source("a.rs", &src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].line, 2);
+        assert_eq!(vs[0].rule, LintRule::HotPathIndex);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_match() {
+        let src = hot("alloc", "let s = \"Vec::new()\"; // and .collect( in prose");
+        assert!(lint_source("a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = hot(
+            "alloc",
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let v: Vec<u32> = Vec::new(); }\n}",
+        );
+        assert!(lint_source("a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn clippy_allow_requires_section_11_comment() {
+        let bad = "#[allow(clippy::expect_used)]\nfn f() {}\n";
+        let vs = lint_source("a.rs", bad);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, LintRule::AllowNeedsJustification);
+        let good = "// §11: invariant guaranteed by the compiler.\n#[allow(clippy::expect_used)]\nfn f() {}\n";
+        assert!(lint_source("a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_are_ignored() {
+        let src = hot(
+            "alloc",
+            "/// Call `.collect()` to gather results.\nfn f() {}",
+        );
+        assert!(lint_source("a.rs", &src).is_empty());
+    }
+}

@@ -1,0 +1,463 @@
+//! Targeted plan mutations: each one corrupts a compiled
+//! [`ExecutionPlan`] in a specific way and names the diagnostic kind the
+//! verifier must flag it with.
+//!
+//! This is the negative half of the verifier's test story (the positive
+//! half is "every compiler-produced plan verifies clean"): a verifier that
+//! accepts everything would pass the clean corpus, so each check is
+//! proven live by a mutation it alone catches. The CLI's
+//! `verify-plan --mutate <name>` uses the same corpus to demonstrate the
+//! nonzero exit path.
+
+use fingers_pattern::{ExecutionPlan, Induced, LevelSchedule, Pattern, PlanOp};
+use fingers_setops::SetOpKind;
+
+use crate::diagnostics::DiagnosticKind;
+
+/// A named, deterministic corruption of a compiled plan.
+///
+/// `apply` returns `None` when the plan has no site for the mutation
+/// (e.g. [`PlanMutation::DropSubtract`] on a clique plan, which has no
+/// subtractions); the corpus tests skip inapplicable mutations per plan
+/// but assert every mutation applies to at least one benchmark plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PlanMutation {
+    /// Removes a non-redundant symmetry restriction (one not implied by
+    /// the transitive closure of the rest), reviving an automorphism.
+    DropRestriction,
+    /// Swaps an op that streams its own level's neighbor list down to an
+    /// earlier level, where that list is not matched yet.
+    SwapOpsAcrossLevels,
+    /// Retargets an `Apply` at a buffer whose materializing base op
+    /// executes later — the op reads a not-yet-materialized buffer.
+    RetargetOp,
+    /// Corrupts a schedule's lower-bound sources so the executor would
+    /// bound candidates by the wrong mapped vertex.
+    CorruptBoundSource,
+    /// Deletes a base op, leaving its target never materialized.
+    DropInit,
+    /// Duplicates a base op, silently discarding prior contributions.
+    DuplicateInit,
+    /// Deletes an intersection, dropping a connected ancestor's factor.
+    DropIntersect,
+    /// Deletes a subtraction, dropping a disconnected ancestor's factor.
+    DropSubtract,
+    /// Flips an intersection into a subtraction.
+    FlipOpKind,
+    /// Reverses a level's action list, breaking the sorted-by-target
+    /// order terminal count fusion relies on.
+    UnsortActions,
+    /// Reverses a restriction pair to `(b, a)` with `b > a`.
+    ReverseRestriction,
+    /// Repeats a restriction pair (harmless; must only warn).
+    DuplicateRestriction,
+    /// Adds a restriction pair outside the transitive closure, losing
+    /// embeddings (over-restriction).
+    AddRestriction,
+    /// Corrupts a schedule's claimed target level.
+    CorruptScheduleTarget,
+    /// Corrupts a schedule's first-connected ancestor.
+    CorruptFirstConnected,
+    /// Retargets an op at its own (already-matched) level.
+    RetargetPast,
+}
+
+impl PlanMutation {
+    /// Every mutation, in a stable order.
+    pub const ALL: [PlanMutation; 16] = [
+        PlanMutation::DropRestriction,
+        PlanMutation::SwapOpsAcrossLevels,
+        PlanMutation::RetargetOp,
+        PlanMutation::CorruptBoundSource,
+        PlanMutation::DropInit,
+        PlanMutation::DuplicateInit,
+        PlanMutation::DropIntersect,
+        PlanMutation::DropSubtract,
+        PlanMutation::FlipOpKind,
+        PlanMutation::UnsortActions,
+        PlanMutation::ReverseRestriction,
+        PlanMutation::DuplicateRestriction,
+        PlanMutation::AddRestriction,
+        PlanMutation::CorruptScheduleTarget,
+        PlanMutation::CorruptFirstConnected,
+        PlanMutation::RetargetPast,
+    ];
+
+    /// Stable kebab-case name (the CLI's `--mutate` argument).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanMutation::DropRestriction => "drop-restriction",
+            PlanMutation::SwapOpsAcrossLevels => "swap-ops-across-levels",
+            PlanMutation::RetargetOp => "retarget-op",
+            PlanMutation::CorruptBoundSource => "corrupt-bound-source",
+            PlanMutation::DropInit => "drop-init",
+            PlanMutation::DuplicateInit => "duplicate-init",
+            PlanMutation::DropIntersect => "drop-intersect",
+            PlanMutation::DropSubtract => "drop-subtract",
+            PlanMutation::FlipOpKind => "flip-op-kind",
+            PlanMutation::UnsortActions => "unsort-actions",
+            PlanMutation::ReverseRestriction => "reverse-restriction",
+            PlanMutation::DuplicateRestriction => "duplicate-restriction",
+            PlanMutation::AddRestriction => "add-restriction",
+            PlanMutation::CorruptScheduleTarget => "corrupt-schedule-target",
+            PlanMutation::CorruptFirstConnected => "corrupt-first-connected",
+            PlanMutation::RetargetPast => "retarget-past",
+        }
+    }
+
+    /// Parses a [`PlanMutation::name`] back to the mutation.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// The diagnostic kind the verifier must report for this mutation
+    /// (given the plan's semantics — flipping an op kind surfaces
+    /// differently in edge-induced plans).
+    pub fn expected_kind(self, induced: Induced) -> DiagnosticKind {
+        match self {
+            PlanMutation::DropRestriction => DiagnosticKind::UnbrokenAutomorphism,
+            PlanMutation::SwapOpsAcrossLevels => DiagnosticKind::StreamedListAhead,
+            PlanMutation::RetargetOp => DiagnosticKind::UseBeforeInit,
+            PlanMutation::CorruptBoundSource => DiagnosticKind::BoundScheduleMismatch,
+            PlanMutation::DropInit => DiagnosticKind::MissingMaterialization,
+            PlanMutation::DuplicateInit => DiagnosticKind::DuplicateMaterialization,
+            PlanMutation::DropIntersect => DiagnosticKind::MissingIntersection,
+            PlanMutation::DropSubtract => DiagnosticKind::MissingSubtraction,
+            PlanMutation::FlipOpKind => match induced {
+                Induced::Vertex => DiagnosticKind::SpuriousOp,
+                Induced::Edge => DiagnosticKind::SubtractionInEdgeInduced,
+            },
+            PlanMutation::UnsortActions => DiagnosticKind::UnsortedActions,
+            PlanMutation::ReverseRestriction => DiagnosticKind::MalformedRestriction,
+            PlanMutation::DuplicateRestriction => DiagnosticKind::DuplicateRestriction,
+            PlanMutation::AddRestriction => DiagnosticKind::OverRestriction,
+            PlanMutation::CorruptScheduleTarget => DiagnosticKind::ScheduleMismatch,
+            PlanMutation::CorruptFirstConnected => DiagnosticKind::FirstConnectedMismatch,
+            PlanMutation::RetargetPast => DiagnosticKind::OpTargetOutOfRange,
+        }
+    }
+
+    /// Applies the mutation to a copy of `plan`, or `None` when the plan
+    /// has no site for it.
+    pub fn apply(self, plan: &ExecutionPlan) -> Option<ExecutionPlan> {
+        let mut parts = Parts::of(plan);
+        match self {
+            PlanMutation::DropRestriction => drop_restriction(&mut parts)?,
+            PlanMutation::SwapOpsAcrossLevels => swap_ops_across_levels(&mut parts)?,
+            PlanMutation::RetargetOp => retarget_op(&mut parts)?,
+            PlanMutation::CorruptBoundSource => corrupt_bound_source(&mut parts)?,
+            PlanMutation::DropInit => drop_init(&mut parts)?,
+            PlanMutation::DuplicateInit => duplicate_init(&mut parts)?,
+            PlanMutation::DropIntersect => drop_apply(&mut parts, SetOpKind::Intersect)?,
+            PlanMutation::DropSubtract => drop_apply(&mut parts, SetOpKind::Subtract)?,
+            PlanMutation::FlipOpKind => flip_op_kind(&mut parts)?,
+            PlanMutation::UnsortActions => unsort_actions(&mut parts)?,
+            PlanMutation::ReverseRestriction => reverse_restriction(&mut parts)?,
+            PlanMutation::DuplicateRestriction => duplicate_restriction(&mut parts)?,
+            PlanMutation::AddRestriction => add_restriction(&mut parts)?,
+            PlanMutation::CorruptScheduleTarget => corrupt_schedule_target(&mut parts)?,
+            PlanMutation::CorruptFirstConnected => corrupt_first_connected(&mut parts)?,
+            PlanMutation::RetargetPast => retarget_past(&mut parts)?,
+        }
+        Some(parts.rebuild())
+    }
+}
+
+impl std::fmt::Display for PlanMutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Every applicable mutation of `plan`, paired with its corrupted copy.
+pub fn targeted_mutations(plan: &ExecutionPlan) -> Vec<(PlanMutation, ExecutionPlan)> {
+    PlanMutation::ALL
+        .into_iter()
+        .filter_map(|m| m.apply(plan).map(|p| (m, p)))
+        .collect()
+}
+
+/// The disassembled plan a mutation edits before reassembly through
+/// [`ExecutionPlan::from_raw_parts`].
+struct Parts {
+    pattern: Pattern,
+    induced: Induced,
+    actions: Vec<Vec<PlanOp>>,
+    schedules: Vec<LevelSchedule>,
+    restrictions: Vec<(usize, usize)>,
+}
+
+impl Parts {
+    fn of(plan: &ExecutionPlan) -> Self {
+        let k = plan.pattern_size();
+        Self {
+            pattern: plan.pattern().clone(),
+            induced: plan.induced(),
+            actions: (0..k).map(|l| plan.actions_at(l).to_vec()).collect(),
+            schedules: plan.schedules().to_vec(),
+            restrictions: plan.restrictions().to_vec(),
+        }
+    }
+
+    fn rebuild(self) -> ExecutionPlan {
+        ExecutionPlan::from_raw_parts(
+            self.pattern,
+            self.induced,
+            self.actions,
+            self.schedules,
+            self.restrictions,
+        )
+    }
+}
+
+fn with_target(op: PlanOp, target: usize) -> PlanOp {
+    match op {
+        PlanOp::Init { .. } => PlanOp::Init { target },
+        PlanOp::InitAnti { short, .. } => PlanOp::InitAnti { target, short },
+        PlanOp::Apply { list, kind, .. } => PlanOp::Apply { target, list, kind },
+    }
+}
+
+/// Is `b` reachable from `a` through `pairs`, optionally ignoring the
+/// pair at index `skip`? Bitmask BFS over at most 16 nodes.
+fn reachable(pairs: &[(usize, usize)], a: usize, b: usize, skip: Option<usize>) -> bool {
+    let mut succ = [0u16; 16];
+    for (i, &(x, y)) in pairs.iter().enumerate() {
+        if Some(i) != skip && x < 16 && y < 16 {
+            succ[x] |= 1 << y;
+        }
+    }
+    let mut frontier: u16 = succ[a];
+    let mut seen: u16 = 0;
+    while frontier & !seen != 0 {
+        let v = (frontier & !seen).trailing_zeros() as usize;
+        seen |= 1 << v;
+        frontier |= succ[v];
+    }
+    seen & (1 << b) != 0
+}
+
+/// Drops the first restriction not implied by the others. Because the
+/// compiler's restrictions give multiplicity exactly 1, removing a
+/// non-redundant pair strictly grows the set of admitted rank-orders, so
+/// some automorphism orbit gains a second representative.
+fn drop_restriction(parts: &mut Parts) -> Option<()> {
+    let idx = (0..parts.restrictions.len()).find(|&i| {
+        let (a, b) = parts.restrictions[i];
+        !reachable(&parts.restrictions, a, b, Some(i))
+    })?;
+    let (a, b) = parts.restrictions.remove(idx);
+    // Keep the bound schedules consistent so only the symmetry check fires.
+    if let Some(s) = parts.schedules.iter_mut().find(|s| s.target == b) {
+        if let Some(p) = s.lower_bounds.iter().position(|&x| x == a) {
+            s.lower_bounds.remove(p);
+        }
+    }
+    Some(())
+}
+
+/// Swaps an op that streams its own level's list with an op at an earlier
+/// level; the moved op now streams a list that is not matched yet.
+fn swap_ops_across_levels(parts: &mut Parts) -> Option<()> {
+    for l2 in 1..parts.actions.len() {
+        let streams_own_list =
+            |op: &PlanOp| matches!(op, PlanOp::Apply { list, .. } if *list == l2);
+        let Some(i2) = parts.actions[l2].iter().position(streams_own_list) else {
+            continue;
+        };
+        let Some(l1) = (0..l2).find(|&l| !parts.actions[l].is_empty()) else {
+            continue;
+        };
+        let moved_down = parts.actions[l2][i2];
+        let moved_up = parts.actions[l1][0];
+        parts.actions[l2][i2] = moved_up;
+        parts.actions[l1][0] = moved_down;
+        return Some(());
+    }
+    None
+}
+
+/// Retargets an `Apply` at a buffer whose base op executes later in the
+/// same level's action list.
+fn retarget_op(parts: &mut Parts) -> Option<()> {
+    for ops in &mut parts.actions {
+        for ia in 0..ops.len() {
+            if !matches!(ops[ia], PlanOp::Apply { .. }) {
+                continue;
+            }
+            for ib in ia + 1..ops.len() {
+                if matches!(ops[ib], PlanOp::Init { .. } | PlanOp::InitAnti { .. }) {
+                    let late_target = ops[ib].target();
+                    ops[ia] = with_target(ops[ia], late_target);
+                    return Some(());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Points a schedule's lower bound at the target level itself — a bound
+/// source no restriction pair calls for.
+fn corrupt_bound_source(parts: &mut Parts) -> Option<()> {
+    if let Some(s) = parts
+        .schedules
+        .iter_mut()
+        .find(|s| !s.lower_bounds.is_empty())
+    {
+        s.lower_bounds[0] = s.target;
+        return Some(());
+    }
+    let s = parts.schedules.first_mut()?;
+    s.lower_bounds.push(s.target);
+    Some(())
+}
+
+fn base_position(actions: &[Vec<PlanOp>]) -> Option<(usize, usize)> {
+    for (l, ops) in actions.iter().enumerate() {
+        for (i, op) in ops.iter().enumerate() {
+            if matches!(op, PlanOp::Init { .. } | PlanOp::InitAnti { .. }) {
+                return Some((l, i));
+            }
+        }
+    }
+    None
+}
+
+fn drop_init(parts: &mut Parts) -> Option<()> {
+    let (l, i) = base_position(&parts.actions)?;
+    parts.actions[l].remove(i);
+    Some(())
+}
+
+fn duplicate_init(parts: &mut Parts) -> Option<()> {
+    let (l, i) = base_position(&parts.actions)?;
+    let op = parts.actions[l][i];
+    parts.actions[l].push(op);
+    Some(())
+}
+
+fn drop_apply(parts: &mut Parts, kind: SetOpKind) -> Option<()> {
+    for ops in &mut parts.actions {
+        if let Some(i) = ops
+            .iter()
+            .position(|op| matches!(op, PlanOp::Apply { kind: k, .. } if *k == kind))
+        {
+            ops.remove(i);
+            return Some(());
+        }
+    }
+    None
+}
+
+fn flip_op_kind(parts: &mut Parts) -> Option<()> {
+    for ops in &mut parts.actions {
+        for op in ops.iter_mut() {
+            if let PlanOp::Apply { kind, .. } = op {
+                if *kind == SetOpKind::Intersect {
+                    *kind = SetOpKind::Subtract;
+                    return Some(());
+                }
+            }
+        }
+    }
+    None
+}
+
+fn unsort_actions(parts: &mut Parts) -> Option<()> {
+    let ops = parts
+        .actions
+        .iter_mut()
+        .find(|ops| ops.windows(2).any(|w| w[0].target() != w[1].target()))?;
+    ops.reverse();
+    Some(())
+}
+
+fn reverse_restriction(parts: &mut Parts) -> Option<()> {
+    let (a, b) = *parts.restrictions.first()?;
+    parts.restrictions[0] = (b, a);
+    Some(())
+}
+
+fn duplicate_restriction(parts: &mut Parts) -> Option<()> {
+    let pair = *parts.restrictions.first()?;
+    parts.restrictions.push(pair);
+    Some(())
+}
+
+/// Adds a restriction pair outside the transitive closure of the existing
+/// ones; every automorphism stays broken, but the admitted rank-order
+/// count drops below `k!/|Aut|`.
+fn add_restriction(parts: &mut Parts) -> Option<()> {
+    let k = parts.pattern.size();
+    for a in 0..k {
+        for b in a + 1..k {
+            if !reachable(&parts.restrictions, a, b, None) {
+                parts.restrictions.push((a, b));
+                if let Some(s) = parts.schedules.iter_mut().find(|s| s.target == b) {
+                    s.lower_bounds.push(a);
+                }
+                return Some(());
+            }
+        }
+    }
+    None
+}
+
+fn corrupt_schedule_target(parts: &mut Parts) -> Option<()> {
+    let s = parts.schedules.first_mut()?;
+    s.target = 0;
+    Some(())
+}
+
+fn corrupt_first_connected(parts: &mut Parts) -> Option<()> {
+    let s = parts.schedules.iter_mut().find(|s| s.target >= 2)?;
+    s.first_connected = (s.first_connected + 1) % s.target;
+    Some(())
+}
+
+fn retarget_past(parts: &mut Parts) -> Option<()> {
+    let (l, ops) = parts
+        .actions
+        .iter_mut()
+        .enumerate()
+        .find(|(_, ops)| !ops.is_empty())?;
+    ops[0] = with_target(ops[0], l);
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use fingers_pattern::ExecutionPlan;
+
+    /// Every mutation of a diamond plan with the order forced to put the
+    /// postponed anti-subtraction at level 1 (the richest small plan: an
+    /// InitAnti coexisting with an Apply, intersections, restrictions,
+    /// bounds) is caught with its expected kind.
+    #[test]
+    fn diamond_mutations_all_caught() {
+        let diamond = Pattern::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let plan = ExecutionPlan::compile_with_order(&diamond, Induced::Vertex, &[0, 1, 2, 3]);
+        let mutations = targeted_mutations(&plan);
+        assert!(mutations.len() >= 12, "only {} applicable", mutations.len());
+        for (m, mutated) in mutations {
+            let report = verify(&mutated);
+            assert!(
+                report.has(m.expected_kind(Induced::Vertex)),
+                "{m} expected {:?}:\n{report}",
+                m.expected_kind(Induced::Vertex)
+            );
+        }
+    }
+
+    #[test]
+    fn name_round_trips() {
+        for m in PlanMutation::ALL {
+            assert_eq!(PlanMutation::from_name(m.name()), Some(m));
+        }
+        assert_eq!(PlanMutation::from_name("nope"), None);
+    }
+}

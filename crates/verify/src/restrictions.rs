@@ -1,0 +1,197 @@
+//! Restriction soundness against the enumerated automorphism group.
+//!
+//! A plan's restrictions `R = {(a, b)} = {u_a < u_b}` are sound iff every
+//! embedding of the pattern is counted **exactly once**:
+//!
+//! * **Under-restriction** (some embedding counted twice) happens iff some
+//!   non-identity automorphism `σ` *survives* `R` — two distinct
+//!   automorphic images of one embedding both satisfy every restriction.
+//!   `σ` survives iff the digraph `R ∪ σR` (where `σR = {(σa, σb)}`) is
+//!   acyclic: a topological order of that digraph yields an injective
+//!   vertex-ID assignment `f` such that both `f` and `f∘σ` satisfy `R`,
+//!   and conversely a surviving pair of assignments linearizes `R ∪ σR`.
+//! * **Over-restriction** (some embedding never counted) is checked only
+//!   once every `σ` is broken: the number of linear extensions of `R`
+//!   counts how many of the `k!` rank-orders of an embedding's vertex IDs
+//!   satisfy `R`; the automorphism orbits partition those `k!` orders into
+//!   classes of size `|Aut|`, so multiplicity exactly 1 ⇔
+//!   `#LE(R) = k!/|Aut|`, and any deficit means a lost embedding.
+//!
+//! Both checks are exhaustive and exact: `k ≤ 10`, so `k! ≤ 3.6M`
+//! automorphisms (each checked in `O(k + |R|)`) and `2^k ≤ 1024` states in
+//! the linear-extension DP.
+
+use fingers_pattern::{automorphisms, ExecutionPlan};
+
+use crate::diagnostics::{DiagnosticKind, PlanDiagnostic};
+
+pub(crate) fn check(plan: &ExecutionPlan, out: &mut Vec<PlanDiagnostic>) {
+    let k = plan.pattern_size();
+    let restrictions = plan.restrictions();
+
+    let mut well_formed = true;
+    for &(a, b) in restrictions {
+        if a >= b || b >= k {
+            well_formed = false;
+            out.push(PlanDiagnostic::new(
+                DiagnosticKind::MalformedRestriction,
+                format!(
+                    "restriction u{a} < u{b} is not of the form a < b < k \
+                     (the executor reads mapped[a] while matching level b)"
+                ),
+            ));
+        }
+    }
+    let mut pairs: Vec<(usize, usize)> = restrictions.to_vec();
+    pairs.sort_unstable();
+    for w in pairs.windows(2) {
+        if w[0] == w[1] {
+            out.push(PlanDiagnostic::new(
+                DiagnosticKind::DuplicateRestriction,
+                format!(
+                    "restriction u{} < u{} appears more than once (harmless \
+                     for counts, but wastes a comparison per candidate)",
+                    w[0].0, w[0].1
+                ),
+            ));
+        }
+    }
+    if !well_formed {
+        return; // group-theoretic checks need a valid partial order
+    }
+    pairs.dedup();
+
+    let auts = automorphisms(plan.pattern());
+    let mut any_unbroken = false;
+    for sigma in &auts {
+        if sigma.iter().enumerate().all(|(i, &v)| i == v) {
+            continue; // identity
+        }
+        if survives(&pairs, sigma, k) {
+            any_unbroken = true;
+            out.push(PlanDiagnostic::new(
+                DiagnosticKind::UnbrokenAutomorphism,
+                format!(
+                    "automorphism {sigma:?} survives the restrictions: its \
+                     two images of some embedding are both counted"
+                ),
+            ));
+        }
+    }
+
+    // The linear-extension census is only meaningful once every orbit has
+    // at most one surviving representative.
+    if !any_unbroken {
+        let le = linear_extensions(&pairs, k);
+        let expected = factorial(k) / auts.len() as u64;
+        if le != expected {
+            out.push(PlanDiagnostic::new(
+                DiagnosticKind::OverRestriction,
+                format!(
+                    "restrictions admit {le} of {k}! vertex-rank orders, but \
+                     counting every embedding exactly once requires \
+                     {k}!/|Aut| = {expected}"
+                ),
+            ));
+        }
+    }
+}
+
+/// Does the non-identity automorphism `sigma` survive the restriction set?
+/// Survives ⇔ `R ∪ σR` is acyclic (see module docs). Cycle detection by
+/// Kahn's algorithm over ≤ `k ≤ 10` nodes.
+fn survives(pairs: &[(usize, usize)], sigma: &[usize], k: usize) -> bool {
+    // succ[v] = bitmask of successors under R ∪ σR.
+    let mut succ = [0u16; 16];
+    let mut indegree = [0u8; 16];
+    let add = |succ: &mut [u16; 16], indegree: &mut [u8; 16], a: usize, b: usize| {
+        if succ[a] & (1 << b) == 0 {
+            succ[a] |= 1 << b;
+            indegree[b] += 1;
+        }
+    };
+    for &(a, b) in pairs {
+        add(&mut succ, &mut indegree, a, b);
+        add(&mut succ, &mut indegree, sigma[a], sigma[b]);
+    }
+    // Kahn: if every node is removable, the digraph is acyclic.
+    let mut removed = 0usize;
+    let mut queue: Vec<usize> = (0..k).filter(|&v| indegree[v] == 0).collect();
+    while let Some(v) = queue.pop() {
+        removed += 1;
+        let mut m = succ[v];
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            m &= m - 1;
+            indegree[w] -= 1;
+            if indegree[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    removed == k
+}
+
+/// Number of linear extensions of the strict partial order generated by
+/// `pairs` over `0..k`, by the standard subset DP:
+/// `dp[mask]` = orders of the levels in `mask` consistent with the pairs,
+/// extending by any `w ∈ mask` whose predecessors all lie in `mask ∖ {w}`.
+fn linear_extensions(pairs: &[(usize, usize)], k: usize) -> u64 {
+    let mut preds = [0u16; 16];
+    for &(a, b) in pairs {
+        preds[b] |= 1 << a;
+    }
+    let full: usize = (1 << k) - 1;
+    let mut dp = vec![0u64; full + 1];
+    dp[0] = 1;
+    for mask in 1..=full {
+        let mut m = mask as u16;
+        let mut total = 0u64;
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let rest = mask & !(1 << w);
+            // w can come last among `mask` iff all its predecessors are
+            // already placed (subset of `rest`).
+            if preds[w] as usize & !rest == 0 {
+                total += dp[rest];
+            }
+        }
+        dp[mask] = total;
+    }
+    dp[full]
+}
+
+fn factorial(k: usize) -> u64 {
+    (1..=k as u64).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_extension_counts() {
+        // No constraints: k! orders.
+        assert_eq!(linear_extensions(&[], 3), 6);
+        // Total order: exactly one.
+        assert_eq!(linear_extensions(&[(0, 1), (1, 2), (0, 2)], 3), 1);
+        // One pair over 3 elements: half of 3!.
+        assert_eq!(linear_extensions(&[(0, 1)], 3), 3);
+    }
+
+    #[test]
+    fn transposition_survival() {
+        // σ = (0 1). R = {(0,1)} breaks it: σR = {(1,0)} closes a cycle.
+        assert!(!survives(&[(0, 1)], &[1, 0, 2], 3));
+        // R = {(1,2)} does not mention the swapped pair: σ survives.
+        assert!(survives(&[(1, 2)], &[1, 0, 2], 3));
+    }
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(5), 120);
+        assert_eq!(factorial(10), 3_628_800);
+    }
+}

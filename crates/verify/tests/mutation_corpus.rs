@@ -1,0 +1,204 @@
+//! The verifier's acceptance corpus.
+//!
+//! Two directions, both required for the verifier to be trustworthy:
+//!
+//! * **Soundness of the compiler** — every plan the compiler emits, across
+//!   the paper's benchmark suite, an extended pattern library, and 100
+//!   random connected patterns, must verify clean. A verifier that flags
+//!   correct plans is useless as a gate.
+//! * **Sensitivity to corruption** — every targeted mutation of a sound
+//!   plan must be caught, and caught with the *expected* diagnostic kind,
+//!   not just "something is wrong". In particular the four canonical
+//!   corruptions (dropped restriction, ops swapped across levels, op
+//!   retargeted, corrupted bound source) must each produce a distinct
+//!   diagnostic so a failure report localizes the bug.
+
+use fingers_pattern::benchmarks::Benchmark;
+use fingers_pattern::{ExecutionPlan, Induced, Pattern};
+use fingers_verify::{mutate, verify, DiagnosticKind, PlanMutation, Severity};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The extended pattern library: everything the pattern crate can build
+/// (all sizes the plan compiler supports, assorted symmetry groups).
+fn library() -> Vec<Pattern> {
+    vec![
+        Pattern::triangle(),
+        Pattern::clique(4),
+        Pattern::clique(5),
+        Pattern::clique(6),
+        Pattern::tailed_triangle(),
+        Pattern::four_cycle(),
+        Pattern::diamond(),
+        Pattern::wedge(),
+        Pattern::path(5),
+        Pattern::star(4),
+        Pattern::house(),
+        Pattern::bull(),
+        Pattern::gem(),
+        Pattern::butterfly(),
+    ]
+}
+
+/// A random connected pattern: a uniform spanning tree (each vertex v > 0
+/// attaches to a random earlier vertex) plus a few random extra edges.
+fn random_connected_pattern(seed: u64) -> Pattern {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let k = rng.gen_range(3..=7usize);
+    let mut edges = Vec::new();
+    for v in 1..k {
+        let parent = rng.gen_range(0..v);
+        edges.push((parent, v));
+    }
+    let extra = rng.gen_range(0..=k);
+    for _ in 0..extra {
+        let a = rng.gen_range(0..k);
+        let b = rng.gen_range(0..k);
+        if a != b && !edges.contains(&(a.min(b), a.max(b))) {
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    Pattern::from_edges(k, &edges)
+}
+
+fn assert_sound(plan: &ExecutionPlan, context: &str) {
+    let report = verify(plan);
+    assert!(
+        report.diagnostics().is_empty(),
+        "{context}: expected a clean report, got:\n{report}"
+    );
+}
+
+fn assert_mutations_caught(plan: &ExecutionPlan, context: &str) {
+    let mutants = mutate::targeted_mutations(plan);
+    for (mutation, mutant) in &mutants {
+        let expected = mutation.expected_kind(plan.induced());
+        let report = verify(mutant);
+        assert!(
+            report.has(expected),
+            "{context}: mutation {mutation} should raise {expected}, got:\n{report}"
+        );
+        if expected.severity() >= Severity::Error {
+            assert!(
+                !report.is_sound(),
+                "{context}: mutation {mutation} raised only warnings"
+            );
+        }
+    }
+}
+
+#[test]
+fn benchmark_plans_verify_clean() {
+    for bench in Benchmark::ALL {
+        for plan in bench.plan().plans() {
+            assert_sound(plan, &format!("benchmark {bench}"));
+        }
+    }
+}
+
+#[test]
+fn library_plans_verify_clean_in_both_modes() {
+    for pattern in library() {
+        for induced in [Induced::Vertex, Induced::Edge] {
+            let plan = ExecutionPlan::compile(&pattern, induced);
+            assert_sound(&plan, &format!("{pattern} ({induced:?})"));
+        }
+    }
+}
+
+#[test]
+fn optimized_orders_verify_clean() {
+    for pattern in library() {
+        let plan = ExecutionPlan::compile_optimized(&pattern, Induced::Vertex, 100_000.0, 5e-4);
+        assert_sound(&plan, &format!("{pattern} (optimized order)"));
+    }
+}
+
+#[test]
+fn hundred_random_patterns_verify_clean() {
+    for seed in 0..100u64 {
+        let pattern = random_connected_pattern(seed);
+        for induced in [Induced::Vertex, Induced::Edge] {
+            let plan = ExecutionPlan::compile(&pattern, induced);
+            assert_sound(&plan, &format!("random seed {seed} ({induced:?})"));
+        }
+    }
+}
+
+#[test]
+fn benchmark_mutations_all_caught() {
+    for bench in Benchmark::ALL {
+        for plan in bench.plan().plans() {
+            assert_mutations_caught(plan, &format!("benchmark {bench}"));
+        }
+    }
+}
+
+#[test]
+fn library_mutations_all_caught() {
+    for pattern in library() {
+        for induced in [Induced::Vertex, Induced::Edge] {
+            let plan = ExecutionPlan::compile(&pattern, induced);
+            assert_mutations_caught(&plan, &format!("{pattern} ({induced:?})"));
+        }
+    }
+}
+
+#[test]
+fn random_pattern_mutations_all_caught() {
+    // A cheaper sweep than the clean-verification one: mutation corpora
+    // multiply the verifier runs by up to 16.
+    for seed in 0..25u64 {
+        let pattern = random_connected_pattern(seed);
+        let plan = ExecutionPlan::compile(&pattern, Induced::Vertex);
+        assert_mutations_caught(&plan, &format!("random seed {seed}"));
+    }
+}
+
+/// The four canonical corruptions from the issue, each with the diagnostic
+/// kind that must identify it. The diamond with the forced identity order
+/// hosts all four mutation sites (its level 1 holds both an `Apply` and a
+/// later base op, so the retarget mutation applies).
+#[test]
+fn canonical_mutations_have_distinct_kinds() {
+    let pattern = Pattern::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+    let plan = ExecutionPlan::compile_with_order(&pattern, Induced::Vertex, &[0, 1, 2, 3]);
+    assert_sound(&plan, "forced-order diamond");
+
+    let canonical = [
+        PlanMutation::DropRestriction,
+        PlanMutation::SwapOpsAcrossLevels,
+        PlanMutation::RetargetOp,
+        PlanMutation::CorruptBoundSource,
+    ];
+    let mut kinds = Vec::new();
+    for mutation in canonical {
+        let mutant = mutation
+            .apply(&plan)
+            .unwrap_or_else(|| panic!("{mutation} must apply to the forced-order diamond"));
+        let expected = mutation.expected_kind(plan.induced());
+        let report = verify(&mutant);
+        assert!(
+            report.has(expected),
+            "{mutation} should raise {expected}, got:\n{report}"
+        );
+        assert!(!report.is_sound(), "{mutation} must make the plan unsound");
+        kinds.push(expected);
+    }
+    // Distinctness is the point: a report must localize which corruption
+    // happened, not collapse all four into one generic failure.
+    for i in 0..kinds.len() {
+        for j in i + 1..kinds.len() {
+            assert_ne!(kinds[i], kinds[j], "canonical kinds must be distinct");
+        }
+    }
+    assert_eq!(
+        kinds,
+        vec![
+            DiagnosticKind::UnbrokenAutomorphism,
+            DiagnosticKind::StreamedListAhead,
+            DiagnosticKind::UseBeforeInit,
+            DiagnosticKind::BoundScheduleMismatch,
+        ]
+    );
+}

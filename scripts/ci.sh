@@ -10,16 +10,44 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
-# Panic-hygiene watch for library/binary code only (tests are exempt:
+# Panic-hygiene gate for library/binary code only (tests are exempt:
 # --lib --bins skips test targets, and #[cfg(test)] modules are not
-# compiled without --tests). Warnings, not errors — the audited expects
-# documenting compiler invariants (DESIGN.md §11) are allowed to stay.
-echo "==> cargo clippy (unwrap/expect watch, lib+bins only)"
+# compiled without --tests). Denied, not warned — every surviving expect
+# carries an #[allow(clippy::expect_used)] with a §11 justification
+# (DESIGN.md §11), which fingers-lint separately audits below.
+echo "==> cargo clippy (unwrap/expect gate, lib+bins only)"
 cargo clippy --workspace --lib --bins -- \
-  -W clippy::unwrap_used -W clippy::expect_used
+  -D clippy::unwrap_used -D clippy::expect_used
+
+# Hot-path hygiene lint: no per-embedding allocation and no unchecked
+# indexing in annotated hot-path modules without a reasoned waiver, and
+# every unwrap/expect allow must cite the §11 policy (see DESIGN.md
+# "Static verification" for the annotation grammar).
+echo "==> fingers-lint (hot-path allocation/indexing/panic-hygiene audit)"
+cargo run --release -q -p fingers-verify --bin fingers-lint -- .
+
+# Static plan verification smoke: the full benchmark pattern set must
+# verify clean (exit 0), and a deliberately corrupted plan must be caught
+# with the verifier's dedicated exit code (7).
+echo "==> verify-plan corpus smoke"
+for spec in tc 4cl 5cl tt cyc dia wedge house bull gem butterfly; do
+  cargo run --release -q -p fingers-cli --bin fingers-mine -- \
+    verify-plan "$spec" > /dev/null
+done
+if cargo run --release -q -p fingers-cli --bin fingers-mine -- \
+    verify-plan tt --mutate drop-init > /dev/null 2>&1; then
+  echo "verify-plan smoke: mutated plan was not rejected" >&2
+  exit 1
+else
+  code=$?
+  if [ "$code" -ne 7 ]; then
+    echo "verify-plan smoke: mutated plan exited $code (want 7)" >&2
+    exit 1
+  fi
+fi
 
 echo "==> cargo build --release"
 cargo build --release

@@ -158,6 +158,8 @@ impl Bencher {
         }
         let total: Duration = self.samples.iter().sum();
         let mean = total / self.samples.len() as u32;
+        // Emptiness is handled by the early return above.
+        #[allow(clippy::expect_used)]
         let min = self.samples.iter().min().expect("non-empty");
         println!(
             "{group}/{id}: mean {mean:?}, min {min:?} over {} samples",

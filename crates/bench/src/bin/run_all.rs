@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use fingers_bench::checkpoint::{run_checkpointed, RunAllConfig, Section, SectionStatus};
 
-const SECTIONS: [Section; 13] = [
+const SECTIONS: [Section; 14] = [
     Section {
         name: "table1",
         run: fingers_bench::experiments::table1::run,
@@ -72,6 +72,10 @@ const SECTIONS: [Section; 13] = [
     Section {
         name: "ablations",
         run: fingers_bench::experiments::ablations::run,
+    },
+    Section {
+        name: "service_latency",
+        run: fingers_bench::experiments::service_latency::run,
     },
 ];
 

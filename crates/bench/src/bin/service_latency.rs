@@ -1,0 +1,9 @@
+//! Service latency storm: concurrent mixed queries against the daemon.
+
+fn main() {
+    let quick = fingers_bench::quick_mode();
+    print!(
+        "{}",
+        fingers_bench::experiments::service_latency::run(quick)
+    );
+}

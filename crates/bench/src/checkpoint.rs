@@ -11,13 +11,43 @@
 //! timed-out section is retried once and then skipped without killing the
 //! remaining sections, and the combined report is reassembled from the
 //! per-section files at the end of every run.
+//!
+//! The watchdog does not merely detect stuck sections: on timeout it fires
+//! the section's [`CancelToken`] and grace-joins the worker thread.
+//! Sections observe the token through [`section_token`] (the experiment
+//! loops poll it between grid cells), so a cooperative section stops
+//! within one cell and its thread is reclaimed instead of abandoned; the
+//! manifest records which happened via the `aborted` field.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use fingers_mining::CancelToken;
+
 use crate::report::json_escape;
+
+thread_local! {
+    /// The cancellation token of the checkpointed section running on this
+    /// thread. Defaults to a fresh, never-cancelled token so code polling
+    /// it outside a checkpointed run behaves as if no watchdog existed.
+    static SECTION_TOKEN: RefCell<CancelToken> = RefCell::new(CancelToken::new());
+}
+
+/// The [`CancelToken`] of the checkpointed section currently running on
+/// this thread. Long-running experiment loops poll it between units of
+/// work (e.g. grid cells) so the `run_all` watchdog can abort a stuck
+/// section instead of abandoning its thread. Outside a checkpointed
+/// section the returned token never cancels.
+pub fn section_token() -> CancelToken {
+    SECTION_TOKEN.with(|t| t.borrow().clone())
+}
+
+fn install_section_token(token: CancelToken) {
+    SECTION_TOKEN.with(|t| *t.borrow_mut() = token);
+}
 
 /// One named section of the evaluation (a table/figure module's `run`).
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +94,10 @@ pub struct SectionOutcome {
     pub wall_secs: f64,
     /// Attempts made (0 when skipped, 1–2 otherwise).
     pub attempts: u32,
+    /// For a timed-out section: whether the watchdog's cancellation
+    /// reclaimed the worker thread within the grace period (`true`) or the
+    /// thread had to be abandoned (`false`). Always `false` otherwise.
+    pub aborted: bool,
 }
 
 /// Configuration of a checkpointed run.
@@ -78,6 +112,9 @@ pub struct RunAllConfig {
     pub results_dir: PathBuf,
     /// Wall-clock watchdog per section attempt.
     pub section_timeout: Duration,
+    /// After the watchdog fires the section's [`CancelToken`], how long to
+    /// wait for the worker thread to stop before abandoning it.
+    pub abort_grace: Duration,
     /// Stop after attempting this many (non-skipped) sections — the
     /// deterministic stand-in for an interrupted run, used by the resume
     /// smoke test.
@@ -92,6 +129,7 @@ impl RunAllConfig {
             resume,
             results_dir: results_dir.into(),
             section_timeout: Duration::from_secs(30 * 60),
+            abort_grace: Duration::from_secs(5),
             max_sections: None,
         }
     }
@@ -159,6 +197,7 @@ fn append_manifest(dir: &Path, outcome: &SectionOutcome, quick: bool) -> std::io
         .open(manifest_path(dir))?;
     let message = match &outcome.status {
         SectionStatus::Failed(m) => format!(", \"error\": \"{}\"", json_escape(m)),
+        SectionStatus::TimedOut => format!(", \"aborted\": {}", outcome.aborted),
         _ => String::new(),
     };
     writeln!(
@@ -177,23 +216,57 @@ fn append_manifest(dir: &Path, outcome: &SectionOutcome, quick: bool) -> std::io
 enum Attempt {
     Ok(String),
     Panicked(String),
-    TimedOut,
+    /// The watchdog fired. `reclaimed` is whether the cancelled worker
+    /// thread stopped (and was joined) within the grace period.
+    TimedOut {
+        reclaimed: bool,
+    },
 }
 
 /// Runs `section` once on its own thread under `catch_unwind`, waiting at
-/// most `timeout`. On timeout the worker thread is abandoned (threads
-/// cannot be cancelled); its late result, if any, is discarded.
-fn attempt_section(run: fn(bool) -> String, quick: bool, timeout: Duration) -> Attempt {
+/// most `timeout`. On timeout the watchdog cancels the section's
+/// [`CancelToken`] and waits up to `grace` for the worker to stop: a
+/// cooperative section (one that polls [`section_token`]) returns promptly
+/// and its thread is joined; only a section that ignores the token is
+/// abandoned. A cancelled section's late body is discarded either way — a
+/// partial section body must never be checkpointed as complete.
+fn attempt_section(
+    run: fn(bool) -> String,
+    quick: bool,
+    timeout: Duration,
+    grace: Duration,
+) -> Attempt {
     let (tx, rx) = std::sync::mpsc::channel();
-    std::thread::spawn(move || {
+    let token = CancelToken::new();
+    let worker_token = token.clone();
+    let handle = std::thread::spawn(move || {
+        install_section_token(worker_token);
         let result = std::panic::catch_unwind(|| run(quick));
         // The receiver may be gone after a timeout; a failed send is fine.
         let _ = tx.send(result);
     });
     match rx.recv_timeout(timeout) {
-        Ok(Ok(body)) => Attempt::Ok(body),
-        Ok(Err(payload)) => Attempt::Panicked(panic_message(payload)),
-        Err(_) => Attempt::TimedOut,
+        Ok(Ok(body)) => {
+            let _ = handle.join();
+            Attempt::Ok(body)
+        }
+        Ok(Err(payload)) => {
+            let _ = handle.join();
+            Attempt::Panicked(panic_message(payload))
+        }
+        Err(_) => {
+            token.cancel();
+            match rx.recv_timeout(grace) {
+                // The worker stopped (cooperatively or by finishing late);
+                // join it so the thread is truly reclaimed, then discard
+                // whatever it produced.
+                Ok(_) => {
+                    let _ = handle.join();
+                    Attempt::TimedOut { reclaimed: true }
+                }
+                Err(_) => Attempt::TimedOut { reclaimed: false },
+            }
+        }
     }
 }
 
@@ -240,6 +313,7 @@ pub fn run_checkpointed<W: std::io::Write>(
                 status: SectionStatus::Skipped,
                 wall_secs: 0.0,
                 attempts: 0,
+                aborted: false,
             });
             continue;
         }
@@ -253,10 +327,16 @@ pub fn run_checkpointed<W: std::io::Write>(
         let t0 = Instant::now();
         let mut attempts = 0u32;
         let mut status = SectionStatus::TimedOut;
+        let mut aborted = false;
         let mut body = None;
         while attempts < 2 {
             attempts += 1;
-            match attempt_section(section.run, config.quick, config.section_timeout) {
+            match attempt_section(
+                section.run,
+                config.quick,
+                config.section_timeout,
+                config.abort_grace,
+            ) {
                 Attempt::Ok(b) => {
                     status = SectionStatus::Ok;
                     body = Some(b);
@@ -274,11 +354,16 @@ pub fn run_checkpointed<W: std::io::Write>(
                     );
                     status = SectionStatus::Failed(m);
                 }
-                Attempt::TimedOut => {
+                Attempt::TimedOut { reclaimed } => {
                     eprintln!(
-                        "[{} attempt {attempts} exceeded {:.0?}{}]",
+                        "[{} attempt {attempts} exceeded {:.0?} ({}){}]",
                         section.name,
                         config.section_timeout,
+                        if reclaimed {
+                            "aborted, thread reclaimed"
+                        } else {
+                            "unresponsive, thread abandoned"
+                        },
                         if attempts < 2 {
                             "; retrying"
                         } else {
@@ -286,6 +371,7 @@ pub fn run_checkpointed<W: std::io::Write>(
                         },
                     );
                     status = SectionStatus::TimedOut;
+                    aborted = reclaimed;
                 }
             }
         }
@@ -294,6 +380,7 @@ pub fn run_checkpointed<W: std::io::Write>(
             status,
             wall_secs: t0.elapsed().as_secs_f64(),
             attempts,
+            aborted,
         };
         if let Some(body) = &body {
             std::fs::write(section_dir.join(format!("{}.md", section.name)), body)?;
@@ -450,13 +537,69 @@ mod tests {
         ];
         let mut cfg = RunAllConfig::new(&dir, true, false);
         cfg.section_timeout = Duration::from_millis(40);
+        cfg.abort_grace = Duration::from_millis(10);
         let outcomes = run_checkpointed(&sections, &cfg, &mut Vec::new()).expect("io");
         assert_eq!(outcomes[0].status, SectionStatus::TimedOut);
         assert_eq!(outcomes[0].attempts, 2);
+        assert!(
+            !outcomes[0].aborted,
+            "a token-ignoring section cannot be reclaimed in a 10ms grace"
+        );
         assert_eq!(outcomes[1].status, SectionStatus::Ok);
         let manifest = std::fs::read_to_string(manifest_path(&dir)).expect("manifest");
         assert!(manifest.contains("\"status\": \"timed_out\""));
+        assert!(manifest.contains("\"aborted\": false"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watchdog_aborts_cooperative_section_and_reclaims_its_thread() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static OBSERVED: AtomicU32 = AtomicU32::new(0);
+        fn cooperative(_q: bool) -> String {
+            let token = section_token();
+            for _ in 0..10_000 {
+                if token.is_cancelled() {
+                    OBSERVED.fetch_add(1, Ordering::SeqCst);
+                    return "stopped at a cell boundary".into();
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            "never cancelled".into()
+        }
+        let dir = temp_dir("abort");
+        let sections = [
+            Section {
+                name: "coop",
+                run: cooperative,
+            },
+            Section {
+                name: "after",
+                run: ok_two,
+            },
+        ];
+        let mut cfg = RunAllConfig::new(&dir, true, false);
+        cfg.section_timeout = Duration::from_millis(30);
+        cfg.abort_grace = Duration::from_secs(5);
+        let outcomes = run_checkpointed(&sections, &cfg, &mut Vec::new()).expect("io");
+        assert_eq!(outcomes[0].status, SectionStatus::TimedOut);
+        assert!(outcomes[0].aborted, "cooperative section must be reclaimed");
+        assert_eq!(
+            OBSERVED.load(Ordering::SeqCst),
+            2,
+            "both attempts observed the token and stopped early"
+        );
+        // The aborted section's partial body is discarded, not checkpointed.
+        assert!(!dir.join("sections/coop.md").exists());
+        assert_eq!(outcomes[1].status, SectionStatus::Ok);
+        let manifest = std::fs::read_to_string(manifest_path(&dir)).expect("manifest");
+        assert!(manifest.contains("\"aborted\": true"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn section_token_outside_a_run_never_cancels() {
+        assert!(!section_token().is_cancelled());
     }
 
     #[test]

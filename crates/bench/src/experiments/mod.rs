@@ -15,6 +15,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig9;
 pub mod parallelism;
+pub mod service_latency;
 pub mod table1;
 pub mod table2;
 pub mod table3;

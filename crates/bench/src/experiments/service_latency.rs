@@ -1,0 +1,355 @@
+//! Service latency under concurrent mixed load (DESIGN.md §13).
+//!
+//! Beyond the paper: FINGERS evaluates isolated runs, but the
+//! mining-as-a-service daemon's value is *query* latency when many
+//! clients share one resident graph. This experiment starts an
+//! in-process daemon (real Unix socket, real protocol round-trips), then
+//! drives it with a load generator — several client threads issuing a
+//! fixed mix of query classes over shared graphs — and reports p50/p99
+//! latency and throughput per class plus overall QPS.
+//!
+//! Two invariants are asserted along the way, making this a correctness
+//! gate as well as a measurement:
+//!
+//! - every repetition of a class returns the *same* counts (the shared
+//!   CSR + plan cache + scheduler must stay bit-identical under
+//!   concurrency), and
+//! - no query fails: the mix is sized inside the admission queue, so an
+//!   `overloaded` or `error` response is a bug, not back-pressure.
+//!
+//! The raw series is written to `service_latency.json` under the usual
+//! results-directory gating.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use fingers_mining::EngineConfig;
+use fingers_server::{Client, Daemon, DaemonConfig, Json, SchedulerConfig};
+
+use crate::report::{json_escape, write_json};
+
+/// One query class of the load mix.
+#[derive(Debug, Clone)]
+struct QueryClass {
+    /// Short label for the report.
+    name: &'static str,
+    /// The request line sent verbatim.
+    request: &'static str,
+}
+
+/// The mixed workload: cheap counts, a motif census, and a heavier
+/// 4-clique, across two resident graphs.
+const CLASSES: [QueryClass; 5] = [
+    QueryClass {
+        name: "tc@pl",
+        request: r#"{"op":"count","graph":"pl","patterns":["tc"],"threads":2}"#,
+    },
+    QueryClass {
+        name: "wedge@er",
+        request: r#"{"op":"count","graph":"er","patterns":["wedge"],"threads":2}"#,
+    },
+    QueryClass {
+        name: "tt@pl",
+        request: r#"{"op":"count","graph":"pl","patterns":["tt"],"threads":2}"#,
+    },
+    QueryClass {
+        name: "census@er",
+        request: r#"{"op":"motif-census","graph":"er","threads":2}"#,
+    },
+    QueryClass {
+        name: "4cl@pl",
+        request: r#"{"op":"count","graph":"pl","patterns":["4cl"],"threads":2}"#,
+    },
+];
+
+/// Measured latencies of one class, in milliseconds.
+#[derive(Debug, Clone)]
+pub struct ClassSeries {
+    /// Class label (`pattern@graph`).
+    pub name: String,
+    /// Completed requests.
+    pub requests: usize,
+    /// Median latency.
+    pub p50_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+    /// Worst observed latency.
+    pub max_ms: f64,
+    /// The counts every repetition returned (asserted identical).
+    pub counts: Vec<u64>,
+}
+
+/// The whole experiment's output.
+#[derive(Debug, Clone)]
+pub struct ServiceLatencyResult {
+    /// Client threads in the load generator.
+    pub clients: usize,
+    /// Total completed requests across all classes.
+    pub requests: usize,
+    /// Wall-clock of the whole storm, milliseconds.
+    pub wall_ms: f64,
+    /// Overall completed queries per second.
+    pub qps: f64,
+    /// Per-class latency series, in `CLASSES` order.
+    pub classes: Vec<ClassSeries>,
+}
+
+/// Runs the load storm and writes `service_latency.json`.
+pub fn run(quick: bool) -> String {
+    let result = run_storm(quick);
+    write_json("service_latency", &render_json(&result));
+    render(&result)
+}
+
+/// Starts the daemon, fires `clients` threads each walking the class mix
+/// round-robin, and collects per-class latency series.
+// §11: a daemon that fails to start, a request that fails to round-trip,
+// or a malformed response is a harness bug the panic-isolated run aborts.
+#[allow(clippy::expect_used)]
+pub fn run_storm(quick: bool) -> ServiceLatencyResult {
+    let clients = if quick { 4 } else { 8 };
+    let per_client = if quick { 15 } else { 120 };
+    let socket = std::env::temp_dir().join(format!(
+        "fingers-service-latency-{}.sock",
+        std::process::id()
+    ));
+    let daemon = Daemon::start(DaemonConfig {
+        socket: socket.clone(),
+        graphs: vec![
+            ("pl".to_owned(), "gen:pl:2000:24000:7".to_owned()),
+            ("er".to_owned(), "gen:er:1500:9000:3".to_owned()),
+        ],
+        engine: EngineConfig::default(),
+        sched: SchedulerConfig {
+            workers: 4,
+            // Room for every in-flight client: this experiment measures
+            // latency under load, not admission-control rejections (those
+            // have their own tests); any non-ok response is asserted away.
+            queue_depth: clients.max(16),
+            max_threads_per_query: 2,
+            default_timeout: None,
+        },
+    })
+    .expect("daemon starts");
+
+    // Each client thread walks the mix round-robin from a different
+    // offset, so every class sees load throughout the storm.
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let cancel = crate::checkpoint::section_token();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let socket = socket.clone();
+            let cursor = Arc::clone(&cursor);
+            let cancel = cancel.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket).expect("client connects");
+                let mut samples: Vec<(usize, f64, Vec<u64>)> = Vec::new();
+                for _ in 0..per_client {
+                    if cancel.is_cancelled() {
+                        break; // watchdog abort: partial series discarded
+                    }
+                    let class = cursor.fetch_add(1, Ordering::Relaxed) % CLASSES.len();
+                    let t = Instant::now();
+                    let line = client
+                        .request(CLASSES[class].request)
+                        .expect("request round-trips");
+                    let latency_ms = t.elapsed().as_secs_f64() * 1e3;
+                    let v = Json::parse(&line).expect("response parses");
+                    assert_eq!(
+                        v.get("status").and_then(Json::as_str),
+                        Some("ok"),
+                        "client {c} class {} failed: {line}",
+                        CLASSES[class].name
+                    );
+                    let counts = v
+                        .get("counts")
+                        .and_then(Json::as_array)
+                        .expect("counts present")
+                        .iter()
+                        .map(|n| n.as_u64().expect("count fits u64"))
+                        .collect();
+                    samples.push((class, latency_ms, counts));
+                }
+                samples
+            })
+        })
+        .collect();
+    let mut all: Vec<(usize, f64, Vec<u64>)> = Vec::new();
+    for handle in handles {
+        all.extend(handle.join().expect("client thread"));
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    daemon.shutdown();
+    daemon.wait();
+
+    let mut classes = Vec::new();
+    for (idx, class) in CLASSES.iter().enumerate() {
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut counts: Option<Vec<u64>> = None;
+        for (c, ms, sample_counts) in all.iter().filter(|(c, _, _)| *c == idx) {
+            let _ = c;
+            latencies.push(*ms);
+            match &counts {
+                None => counts = Some(sample_counts.clone()),
+                Some(expected) => assert_eq!(
+                    expected, sample_counts,
+                    "class {} returned diverging counts under concurrency",
+                    class.name
+                ),
+            }
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        classes.push(ClassSeries {
+            name: class.name.to_owned(),
+            requests: latencies.len(),
+            p50_ms: percentile(&latencies, 50.0),
+            p99_ms: percentile(&latencies, 99.0),
+            max_ms: latencies.last().copied().unwrap_or(0.0),
+            counts: counts.unwrap_or_default(),
+        });
+    }
+    let requests = all.len();
+    ServiceLatencyResult {
+        clients,
+        requests,
+        wall_ms,
+        qps: requests as f64 / (wall_ms / 1e3).max(1e-9),
+        classes,
+    }
+}
+
+/// The `p`-th percentile of an ascending-sorted series (nearest-rank on
+/// the inclusive index scale; 0 for an empty series).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+// §11: latencies are elapsed-time measurements, always finite; a NaN is a
+// harness bug.
+#[allow(clippy::expect_used)]
+fn render(r: &ServiceLatencyResult) -> String {
+    let mut out = format!(
+        "## Service latency — concurrent mixed queries over shared graphs\n\n\
+         {} client connections walked a {}-class query mix round-robin \
+         against the daemon ({} completed queries, {:.1} QPS overall, \
+         4 scheduler workers, 2 threads per query). Every repetition of a \
+         class returned identical counts, and no query was rejected or \
+         failed — the latency below is pure scheduling + execution, on \
+         graphs loaded exactly once.\n\n\
+         | class | requests | p50 ms | p99 ms | max ms |\n\
+         |---|---|---|---|---|\n",
+        r.clients,
+        r.classes.len(),
+        r.requests,
+        r.qps,
+    );
+    for c in &r.classes {
+        out.push_str(&format!(
+            "| {} | {} | {:.2} | {:.2} | {:.2} |\n",
+            c.name, c.requests, c.p50_ms, c.p99_ms, c.max_ms
+        ));
+    }
+    let slowest = r
+        .classes
+        .iter()
+        .max_by(|a, b| a.p99_ms.partial_cmp(&b.p99_ms).expect("finite"))
+        .map(|c| c.name.as_str())
+        .unwrap_or("-");
+    out.push_str(&format!(
+        "\n- total wall: {:.0} ms; the heaviest class (`{slowest}`) bounds \
+         the tail, while cheap classes keep their p50 near the protocol \
+         floor because the plan cache and resident CSRs leave nothing \
+         per-query to set up\n",
+        r.wall_ms
+    ));
+    out
+}
+
+/// Renders the series as a JSON document.
+fn render_json(r: &ServiceLatencyResult) -> String {
+    let mut out = format!(
+        "{{\n  \"clients\": {},\n  \"requests\": {},\n  \"wall_ms\": {:.3},\n  \
+         \"qps\": {:.3},\n  \"classes\": [\n",
+        r.clients, r.requests, r.wall_ms, r.qps
+    );
+    for (i, c) in r.classes.iter().enumerate() {
+        let counts = c
+            .counts
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"class\": \"{}\", \"requests\": {}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"max_ms\": {:.3}, \"counts\": [{counts}]}}{}\n",
+            json_escape(&c.name),
+            c.requests,
+            c.p50_ms,
+            c.p99_ms,
+            c.max_ms,
+            if i + 1 == r.classes.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let s = [1.0, 2.0, 3.0, 4.0, 10.0];
+        assert_eq!(percentile(&s, 50.0), 3.0);
+        assert_eq!(percentile(&s, 99.0), 10.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn quick_storm_completes_with_consistent_counts() {
+        let r = run_storm(true);
+        assert_eq!(r.requests, 4 * 15);
+        assert_eq!(r.classes.len(), CLASSES.len());
+        for c in &r.classes {
+            assert!(c.requests > 0, "class {} saw no load", c.name);
+            assert!(c.p50_ms <= c.p99_ms && c.p99_ms <= c.max_ms + 1e-9);
+            assert!(!c.counts.is_empty());
+        }
+        // The census class returns two counts (triangle + wedge).
+        let census = r.classes.iter().find(|c| c.name == "census@er").unwrap();
+        assert_eq!(census.counts.len(), 2);
+        assert!(r.qps > 0.0);
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let r = ServiceLatencyResult {
+            clients: 2,
+            requests: 4,
+            wall_ms: 100.0,
+            qps: 40.0,
+            classes: vec![ClassSeries {
+                name: "tc@pl".into(),
+                requests: 4,
+                p50_ms: 1.0,
+                p99_ms: 2.0,
+                max_ms: 2.5,
+                counts: vec![42],
+            }],
+        };
+        let j = render_json(&r);
+        assert!(j.starts_with("{\n"));
+        assert!(j.trim_end().ends_with('}'));
+        assert!(j.contains("\"classes\": ["));
+        assert!(j.contains("\"counts\": [42]"));
+        assert!(j.contains("\"qps\": 40.000"));
+    }
+}

@@ -128,17 +128,26 @@ pub fn run_software_cell(
 /// each of `configs` × `thread_counts`, in grid order (dataset-major, then
 /// benchmark, then config, then thread count). The raw series behind the
 /// parallelism experiment's speedup table and JSON dump.
+///
+/// Polls the checkpoint watchdog's [`crate::checkpoint::section_token`]
+/// between cells: when the enclosing `run_all` section is aborted, the
+/// grid stops at the next cell boundary (the partial cell list is
+/// discarded by the watchdog along with the section body).
 pub fn run_software_grid(
     quick: bool,
     thread_counts: &[usize],
     configs: &[EngineConfig],
 ) -> Vec<SoftwareCell> {
+    let token = crate::checkpoint::section_token();
     let mut cells = Vec::new();
     for d in datasets(quick) {
         let graph = crate::datasets::load(d);
         for b in benchmarks(quick) {
             for cfg in configs {
                 for &t in thread_counts {
+                    if token.is_cancelled() {
+                        return cells;
+                    }
                     cells.push(run_software_cell(graph, d.abbrev(), b, t, cfg));
                 }
             }

@@ -99,6 +99,9 @@ pub struct Options {
     pub sanitize: bool,
     /// Refuse inputs that would need any repair (exit code 4).
     pub strict: bool,
+    /// Emit the machine-readable count report (the daemon's response
+    /// schema) on stdout instead of the human-readable lines.
+    pub json: bool,
 }
 
 /// Error for invalid command lines.
@@ -130,12 +133,19 @@ pub enum CliError {
     Unsupported(String),
     /// `verify-plan` found the plan unsound (exit 7).
     InvalidPlan(VerifyReport),
+    /// The daemon's admission control rejected the query (exit 8).
+    Overloaded(String),
+    /// The query was cancelled or exceeded its deadline (exit 9).
+    Cancelled(String),
+    /// The daemon could not be reached, or the connection broke (exit 10).
+    Transport(String),
 }
 
 impl CliError {
     /// The process exit code for this failure: 2 usage, 3 graph load,
     /// 4 dirty input refused, 5 engine panic, 6 unsupported combination,
-    /// 7 plan failed static verification.
+    /// 7 plan failed static verification, 8 daemon overloaded, 9 query
+    /// cancelled or past deadline, 10 daemon unreachable.
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
@@ -144,6 +154,9 @@ impl CliError {
             CliError::Engine(_) => 5,
             CliError::Unsupported(_) => 6,
             CliError::InvalidPlan(_) => 7,
+            CliError::Overloaded(_) => 8,
+            CliError::Cancelled(_) => 9,
+            CliError::Transport(_) => 10,
         }
     }
 }
@@ -159,6 +172,9 @@ impl fmt::Display for CliError {
             CliError::Engine(e) => write!(f, "{e}"),
             CliError::Unsupported(msg) => write!(f, "{msg}"),
             CliError::InvalidPlan(report) => write!(f, "{report}"),
+            CliError::Overloaded(msg) => write!(f, "{msg}"),
+            CliError::Cancelled(msg) => write!(f, "{msg}"),
+            CliError::Transport(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -184,6 +200,10 @@ pub const USAGE: &str = "\
 usage: fingers-mine --graph <src> --pattern <spec> [--pattern <spec>…] [options]
        fingers-mine verify-plan <spec> [--edge-induced] [--optimize-order]
                     [--mutate <name>]
+       fingers-mine serve --socket <path> --load <name>=<src> [--load …]
+                    [--workers <n>] [--queue-depth <n>] [--max-threads <n>]
+                    [--default-timeout-ms <n>] [--bitmap-hubs <k>] [--no-bitmap]
+       fingers-mine client --socket <path> <request-json-line>
 
 graph sources:
   <path>                whitespace edge-list file (SNAP format)
@@ -213,6 +233,9 @@ options:
                        duplicates, out-of-range IDs; tolerate trailing
                        tokens) and print a repair report
   --strict             refuse edge-list files that would need any repair
+  --json               print one machine-readable report line (the same
+                       schema the daemon's count responses use) instead
+                       of the human-readable output
   --help               print this text
 
 verify-plan: compile <spec>, run the static plan verifier, and print the
@@ -220,9 +243,24 @@ verify-plan: compile <spec>, run the static plan verifier, and print the
   from the fingers-verify mutation corpus first (to see the verifier
   catch it); pass --mutate list to list the names.
 
-exit codes: 0 success, 2 usage error, 3 graph load failure,
-  4 dirty input refused by --strict, 5 mining worker panic,
-  6 unsupported flag combination, 7 plan failed static verification";
+serve: run the mining daemon on a Unix socket. Each --load registers a
+  graph (same <src> grammar as --graph) under a name clients query by;
+  graphs are loaded once and shared across all queries. --workers sizes
+  the query pool, --queue-depth bounds admitted-but-waiting queries
+  (a full queue rejects with an overloaded response), --max-threads caps
+  any single query's thread budget, and --default-timeout-ms applies a
+  deadline to queries that do not carry their own.
+
+client: send one newline-delimited JSON request to a running daemon and
+  print the one response line. The exit code reflects the response:
+  ok 0, and typed failures as listed below. Request ops: count,
+  motif-census, verify-plan, stats, cancel, shutdown.
+
+exit codes: 0 success, 2 usage error / bad request, 3 graph load failure
+  or unknown graph, 4 dirty input refused by --strict, 5 mining worker
+  panic, 6 unsupported flag combination, 7 plan failed static
+  verification, 8 daemon overloaded, 9 query cancelled or past deadline,
+  10 daemon unreachable";
 
 impl Options {
     /// Parses a command line (without the program name).
@@ -245,6 +283,7 @@ impl Options {
         let mut count_fusion = true;
         let mut sanitize = false;
         let mut strict = false;
+        let mut json = false;
 
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -293,6 +332,7 @@ impl Options {
                 "--no-count-fusion" => count_fusion = false,
                 "--sanitize" => sanitize = true,
                 "--strict" => strict = true,
+                "--json" => json = true,
                 "--edge-induced" => edge_induced = true,
                 "--reorder-degree" => reorder_degree = true,
                 "--optimize-order" => optimize_order = true,
@@ -329,6 +369,7 @@ impl Options {
             count_fusion,
             sanitize,
             strict,
+            json,
         })
     }
 }
@@ -348,29 +389,72 @@ pub struct VerifyPlanOptions {
     pub mutate: Option<PlanMutation>,
 }
 
-/// A parsed command line: either a mining run or a plan verification.
+/// Options for the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Unix-socket path to bind.
+    pub socket: String,
+    /// `(name, spec)` pairs from repeated `--load name=spec` flags.
+    pub graphs: Vec<(String, String)>,
+    /// Worker pool size (`None` = scheduler default).
+    pub workers: Option<usize>,
+    /// Admission queue depth (`None` = scheduler default).
+    pub queue_depth: Option<usize>,
+    /// Per-query thread-budget cap (`None` = scheduler default).
+    pub max_threads: Option<usize>,
+    /// Deadline for queries without their own, in milliseconds.
+    pub default_timeout_ms: Option<u64>,
+    /// Hub budget for the bitmap kernel tier (0 disables it).
+    pub bitmap_hubs: usize,
+}
+
+/// Options for the `client` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientOptions {
+    /// Unix-socket path of the daemon.
+    pub socket: String,
+    /// The raw request line to send (one JSON object).
+    pub request: String,
+}
+
+/// A parsed command line: a mining run, a plan verification, the service
+/// daemon, or a one-shot service client.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// The default mining command (`--graph … --pattern …`).
     Mine(Options),
     /// `verify-plan <spec> [--edge-induced] [--optimize-order] [--mutate <name>]`.
     VerifyPlan(VerifyPlanOptions),
+    /// `serve --socket <path> --load <name>=<src> …`.
+    Serve(ServeOptions),
+    /// `client --socket <path> <request-json-line>`.
+    Client(ClientOptions),
 }
 
 impl Command {
     /// Parses a command line (without the program name): a leading
-    /// `verify-plan` selects the verifier subcommand, anything else is the
-    /// mining command.
+    /// `verify-plan`, `serve`, or `client` selects that subcommand,
+    /// anything else is the mining command.
     ///
     /// # Errors
     ///
     /// Returns [`UsageError`] under the same conditions as
-    /// [`Options::parse`], plus verify-plan-specific ones (missing or
-    /// repeated pattern spec, unknown mutation name).
+    /// [`Options::parse`], plus subcommand-specific ones (missing or
+    /// repeated pattern spec, unknown mutation name, missing socket,
+    /// malformed `--load`).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, UsageError> {
         let mut it = args.into_iter().peekable();
-        if it.peek().map(String::as_str) != Some("verify-plan") {
-            return Ok(Command::Mine(Options::parse(it)?));
+        match it.peek().map(String::as_str) {
+            Some("serve") => {
+                it.next();
+                return Ok(Command::Serve(parse_serve(it)?));
+            }
+            Some("client") => {
+                it.next();
+                return Ok(Command::Client(parse_client(it)?));
+            }
+            Some("verify-plan") => {}
+            _ => return Ok(Command::Mine(Options::parse(it)?)),
         }
         it.next();
 
@@ -419,6 +503,172 @@ impl Command {
             mutate,
         }))
     }
+}
+
+fn parse_serve<I: Iterator<Item = String>>(mut it: I) -> Result<ServeOptions, UsageError> {
+    let mut socket = None;
+    let mut graphs = Vec::new();
+    let mut workers = None;
+    let mut queue_depth = None;
+    let mut max_threads = None;
+    let mut default_timeout_ms = None;
+    let mut bitmap_hubs = fingers_mining::config::DEFAULT_BITMAP_HUBS;
+    while let Some(arg) = it.next() {
+        let mut value_for = |name: &str| {
+            it.next()
+                .ok_or_else(|| UsageError(format!("{name} requires a value")))
+        };
+        let parse_pos = |s: String, name: &str| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| UsageError(format!("{name} must be a positive integer")))
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(value_for("--socket")?),
+            "--load" => {
+                let pair = value_for("--load")?;
+                let (name, spec) = pair.split_once('=').ok_or_else(|| {
+                    UsageError(format!("--load must be <name>=<src>, got {pair:?}"))
+                })?;
+                if name.is_empty() || spec.is_empty() {
+                    return Err(UsageError(format!(
+                        "--load needs a nonempty name and source in {pair:?}"
+                    )));
+                }
+                graphs.push((name.to_owned(), spec.to_owned()));
+            }
+            "--workers" => workers = Some(parse_pos(value_for("--workers")?, "--workers")?),
+            "--queue-depth" => {
+                queue_depth = Some(parse_pos(value_for("--queue-depth")?, "--queue-depth")?)
+            }
+            "--max-threads" => {
+                max_threads = Some(parse_pos(value_for("--max-threads")?, "--max-threads")?)
+            }
+            "--default-timeout-ms" => {
+                default_timeout_ms = Some(
+                    value_for("--default-timeout-ms")?
+                        .parse::<u64>()
+                        .map_err(|_| {
+                            UsageError("--default-timeout-ms must be an integer".into())
+                        })?,
+                )
+            }
+            "--bitmap-hubs" => {
+                bitmap_hubs = value_for("--bitmap-hubs")?
+                    .parse()
+                    .map_err(|_| UsageError("--bitmap-hubs must be an integer".into()))?
+            }
+            "--no-bitmap" => bitmap_hubs = 0,
+            "--help" | "-h" => return Err(UsageError("help requested".into())),
+            other => return Err(UsageError(format!("unknown serve argument {other:?}"))),
+        }
+    }
+    let socket = socket.ok_or_else(|| UsageError("serve requires --socket".into()))?;
+    if graphs.is_empty() {
+        return Err(UsageError(
+            "serve requires at least one --load <name>=<src>".into(),
+        ));
+    }
+    Ok(ServeOptions {
+        socket,
+        graphs,
+        workers,
+        queue_depth,
+        max_threads,
+        default_timeout_ms,
+        bitmap_hubs,
+    })
+}
+
+fn parse_client<I: Iterator<Item = String>>(mut it: I) -> Result<ClientOptions, UsageError> {
+    let mut socket = None;
+    let mut request = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = Some(
+                    it.next()
+                        .ok_or_else(|| UsageError("--socket requires a value".into()))?,
+                )
+            }
+            "--help" | "-h" => return Err(UsageError("help requested".into())),
+            other if other.starts_with("--") => {
+                return Err(UsageError(format!("unknown client argument {other:?}")))
+            }
+            _ if request.is_none() => request = Some(arg),
+            other => {
+                return Err(UsageError(format!(
+                    "client takes one request line, got extra {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(ClientOptions {
+        socket: socket.ok_or_else(|| UsageError("client requires --socket".into()))?,
+        request: request.ok_or_else(|| UsageError("client requires a request JSON line".into()))?,
+    })
+}
+
+/// Starts the mining daemon and blocks until a `shutdown` request (or a
+/// failure). Prints one `listening on <socket>` line once ready, so
+/// scripts can wait for it.
+///
+/// # Errors
+///
+/// [`CliError::GraphLoad`] when a `--load` spec fails to load, or
+/// [`CliError::Transport`] when the socket cannot be bound.
+pub fn run_serve(options: &ServeOptions) -> Result<(), CliError> {
+    let defaults = fingers_server::SchedulerConfig::default();
+    let sched = fingers_server::SchedulerConfig {
+        workers: options.workers.unwrap_or(defaults.workers),
+        queue_depth: options.queue_depth.unwrap_or(defaults.queue_depth),
+        max_threads_per_query: options
+            .max_threads
+            .unwrap_or(defaults.max_threads_per_query),
+        default_timeout: options
+            .default_timeout_ms
+            .map(std::time::Duration::from_millis),
+    };
+    let engine = EngineConfig {
+        bitmap_hubs: options.bitmap_hubs,
+        ..EngineConfig::default()
+    };
+    let daemon = fingers_server::Daemon::start(fingers_server::DaemonConfig {
+        socket: options.socket.clone().into(),
+        graphs: options.graphs.clone(),
+        engine,
+        sched,
+    })
+    .map_err(|e| {
+        if e.starts_with("cannot bind") || e.starts_with("cannot replace") {
+            CliError::Transport(e)
+        } else {
+            CliError::GraphLoad(e)
+        }
+    })?;
+    println!("listening on {}", daemon.socket().display());
+    daemon.wait();
+    Ok(())
+}
+
+/// Sends one request line to a running daemon; returns the response line
+/// and the exit code it maps to (0 ok, 2–9 typed failures — the same
+/// codes the one-shot commands use).
+///
+/// # Errors
+///
+/// [`CliError::Transport`] (exit 10) when the daemon cannot be reached
+/// or the connection breaks mid-request.
+pub fn run_client(options: &ClientOptions) -> Result<(String, u8), CliError> {
+    let line =
+        fingers_server::request_line(std::path::Path::new(&options.socket), &options.request)
+            .map_err(CliError::Transport)?;
+    let code = match fingers_server::Json::parse(&line) {
+        Ok(v) => fingers_server::proto::exit_code_for_response(&v),
+        Err(_) => 10,
+    };
+    Ok((line, code))
 }
 
 /// Result of a `verify-plan` run: the (possibly mutated) plan rendered
@@ -555,6 +805,21 @@ pub struct RunOutcome {
     pub engine: String,
     /// Ingestion repair report (`--sanitize`/`--strict` with a file source).
     pub sanitize: Option<SanitizeReport>,
+}
+
+/// Renders a finished run as the machine-readable report line `--json`
+/// prints — the *same* schema ([`fingers_server::CountReport`]) the
+/// daemon's count responses carry, so scripts can treat one-shot runs and
+/// service queries interchangeably.
+pub fn json_report(options: &Options, outcome: &RunOutcome, wall_ms: f64) -> String {
+    fingers_server::CountReport {
+        patterns: options.patterns.iter().map(Pattern::to_string).collect(),
+        counts: outcome.counts.clone(),
+        total: outcome.counts.iter().sum(),
+        engine: outcome.engine.clone(),
+        wall_ms,
+    }
+    .render()
 }
 
 /// Loads the graph honoring `--sanitize`/`--strict`.
@@ -997,6 +1262,103 @@ mod tests {
         let e = run_verify_plan(&o).unwrap_err();
         assert!(matches!(e, CliError::Unsupported(_)), "{e:?}");
         assert_eq!(e.exit_code(), 6);
+    }
+
+    #[test]
+    fn serve_and_client_command_lines_parse() {
+        let c = Command::parse(args(
+            "serve --socket /tmp/s.sock --load g=gen:er:10:20:1 --load h=dataset:Mi --workers 2 --queue-depth 4 --max-threads 3 --default-timeout-ms 500",
+        ))
+        .expect("serve");
+        let Command::Serve(o) = c else {
+            panic!("expected serve")
+        };
+        assert_eq!(o.socket, "/tmp/s.sock");
+        assert_eq!(o.graphs.len(), 2);
+        assert_eq!(o.graphs[0], ("g".into(), "gen:er:10:20:1".into()));
+        assert_eq!(o.workers, Some(2));
+        assert_eq!(o.queue_depth, Some(4));
+        assert_eq!(o.max_threads, Some(3));
+        assert_eq!(o.default_timeout_ms, Some(500));
+
+        let c =
+            Command::parse(args("client --socket /tmp/s.sock {\"op\":\"stats\"}")).expect("client");
+        let Command::Client(o) = c else {
+            panic!("expected client")
+        };
+        assert_eq!(o.socket, "/tmp/s.sock");
+        assert_eq!(o.request, "{\"op\":\"stats\"}");
+
+        assert!(Command::parse(args("serve --socket /tmp/s.sock")).is_err()); // no --load
+        assert!(Command::parse(args("serve --load g=x")).is_err()); // no socket
+        assert!(Command::parse(args("serve --socket s --load gx")).is_err()); // no '='
+        assert!(Command::parse(args("serve --socket s --load g=x --workers 0")).is_err());
+        assert!(Command::parse(args("client --socket s")).is_err()); // no request
+        assert!(Command::parse(args("client x")).is_err()); // no socket
+    }
+
+    #[test]
+    fn json_flag_emits_the_shared_count_report_schema() {
+        let o = Options::parse(args("--graph gen:er:60:180:3 --pattern tc --json")).unwrap();
+        assert!(o.json);
+        let out = run(&o).unwrap();
+        let line = json_report(&o, &out, 1.25);
+        let v = fingers_server::Json::parse(&line).expect("valid json");
+        use fingers_server::Json;
+        for key in ["patterns", "counts", "total", "engine", "wall_ms"] {
+            assert!(v.get(key).is_some(), "missing {key} in {line}");
+        }
+        assert_eq!(
+            v.get("total").and_then(Json::as_u64),
+            Some(out.counts.iter().sum::<u64>())
+        );
+        assert_eq!(
+            fingers_server::proto::exit_code_for_response(&v),
+            10,
+            "a bare report has no status"
+        );
+    }
+
+    #[test]
+    fn new_error_variants_have_distinct_exit_codes() {
+        assert_eq!(CliError::Overloaded("x".into()).exit_code(), 8);
+        assert_eq!(CliError::Cancelled("x".into()).exit_code(), 9);
+        assert_eq!(CliError::Transport("x".into()).exit_code(), 10);
+    }
+
+    #[test]
+    fn client_round_trips_against_an_in_process_daemon() {
+        let socket =
+            std::env::temp_dir().join(format!("fingers-cli-daemon-{}.sock", std::process::id()));
+        let daemon = fingers_server::Daemon::start(fingers_server::DaemonConfig {
+            socket: socket.clone(),
+            graphs: vec![("g".into(), "gen:er:100:400:3".into())],
+            engine: EngineConfig::default(),
+            sched: fingers_server::SchedulerConfig::default(),
+        })
+        .expect("daemon");
+        let client = |request: &str| {
+            run_client(&ClientOptions {
+                socket: socket.display().to_string(),
+                request: request.to_owned(),
+            })
+            .expect("transport ok")
+        };
+        let (line, code) = client(r#"{"op":"count","graph":"g","patterns":["tc"]}"#);
+        assert_eq!(code, 0, "{line}");
+        let (line, code) = client(r#"{"op":"verify-plan","pattern":"tt","mutate":"drop-init"}"#);
+        assert_eq!(code, 7, "{line}");
+        let (line, code) = client(r#"{"op":"count","graph":"nope","patterns":["tc"]}"#);
+        assert_eq!(code, 3, "{line}");
+        daemon.shutdown();
+        daemon.wait();
+        // With the daemon gone, the client reports a transport failure.
+        let err = run_client(&ClientOptions {
+            socket: socket.display().to_string(),
+            request: r#"{"op":"stats"}"#.to_owned(),
+        })
+        .expect_err("no daemon");
+        assert_eq!(err.exit_code(), 10);
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! `fingers-mine`: command-line graph miner over the FINGERS reproduction.
 //!
 //! Exit codes (see [`fingers_cli::CliError::exit_code`]): 0 success,
-//! 2 usage error, 3 graph load failure, 4 dirty input refused by
-//! `--strict`, 5 mining worker panic, 6 unsupported flag combination,
-//! 7 plan failed static verification (`verify-plan`).
+//! 2 usage error or bad request, 3 graph load failure or unknown graph,
+//! 4 dirty input refused by `--strict`, 5 mining worker panic,
+//! 6 unsupported flag combination, 7 plan failed static verification,
+//! 8 daemon overloaded, 9 query cancelled or past deadline, 10 daemon
+//! unreachable.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use fingers_cli::{run, run_verify_plan, CliError, Command};
+use fingers_cli::{json_report, run, run_client, run_serve, run_verify_plan, CliError, Command};
 
 fn main() -> ExitCode {
     let command = match Command::parse(std::env::args().skip(1)) {
@@ -18,25 +21,35 @@ fn main() -> ExitCode {
         }
     };
     match command {
-        Command::Mine(options) => match run(&options) {
-            Ok(outcome) => {
-                if let Some(report) = &outcome.sanitize {
-                    println!("{}", report.summary());
+        Command::Mine(options) => {
+            let start = Instant::now();
+            match run(&options) {
+                Ok(outcome) => {
+                    if options.json {
+                        println!(
+                            "{}",
+                            json_report(&options, &outcome, start.elapsed().as_secs_f64() * 1e3)
+                        );
+                        return ExitCode::SUCCESS;
+                    }
+                    if let Some(report) = &outcome.sanitize {
+                        println!("{}", report.summary());
+                    }
+                    println!("engine: {}", outcome.engine);
+                    for (pattern, count) in options.patterns.iter().zip(&outcome.counts) {
+                        println!("{pattern}: {count} embeddings");
+                    }
+                    if let Some(cycles) = outcome.cycles {
+                        println!("simulated cycles: {cycles}");
+                    }
+                    ExitCode::SUCCESS
                 }
-                println!("engine: {}", outcome.engine);
-                for (pattern, count) in options.patterns.iter().zip(&outcome.counts) {
-                    println!("{pattern}: {count} embeddings");
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(e.exit_code())
                 }
-                if let Some(cycles) = outcome.cycles {
-                    println!("simulated cycles: {cycles}");
-                }
-                ExitCode::SUCCESS
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::from(e.exit_code())
-            }
-        },
+        }
         Command::VerifyPlan(options) => match run_verify_plan(&options) {
             Ok(outcome) => {
                 print!("{}", outcome.plan_text);
@@ -45,6 +58,23 @@ fn main() -> ExitCode {
                 }
                 println!("{}", outcome.report);
                 ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(e.exit_code())
+            }
+        },
+        Command::Serve(options) => match run_serve(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(e.exit_code())
+            }
+        },
+        Command::Client(options) => match run_client(&options) {
+            Ok((line, code)) => {
+                println!("{line}");
+                ExitCode::from(code)
             }
             Err(e) => {
                 eprintln!("error: {e}");

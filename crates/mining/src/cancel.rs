@@ -1,0 +1,160 @@
+//! Cooperative cancellation for long-running mining work.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between a query's
+//! owner (a service scheduler, a watchdog, a signal handler) and the
+//! engine's workers. Workers poll it at **root-task boundaries** — between
+//! level-0 DFS roots and between claimed [`crate::MiningTask`]s — never per
+//! embedding, so the steady-state hot path keeps its zero-overhead
+//! property: a poll is one relaxed atomic load, plus one monotonic-clock
+//! read when a deadline is armed.
+//!
+//! Cancellation is all-or-nothing: a run that observes its token cancelled
+//! discards every partial count and returns
+//! [`crate::EngineError::Cancelled`]. A partial count is indistinguishable
+//! from a correct smaller count, so leaking one would silently corrupt
+//! results; the engine never does.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelKind {
+    /// [`CancelToken::cancel`] was called (client cancel, shutdown, …).
+    Explicit,
+    /// The token's armed deadline passed.
+    Deadline,
+}
+
+impl CancelKind {
+    /// Stable wire word (`"cancelled"` / `"deadline"`), used by the service
+    /// protocol and the CLI's JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CancelKind::Explicit => "cancelled",
+            CancelKind::Deadline => "deadline",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A clonable cancellation handle checked cooperatively by mining workers.
+///
+/// Clones share one flag: cancelling any clone cancels them all. A token
+/// without a deadline never cancels on its own, so the default token makes
+/// every cancellable API behave exactly like its infallible counterpart.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that additionally cancels itself once `budget` elapses.
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + budget)
+    }
+
+    /// A token that additionally cancels itself at `deadline`.
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token is cancelled (explicitly or by deadline). The
+    /// poll workers run at root-task boundaries.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.kind().is_some()
+    }
+
+    /// Why the token is cancelled, or `None` while it is live. An explicit
+    /// cancel takes precedence over a passed deadline (the owner asked
+    /// first).
+    #[inline]
+    pub fn kind(&self) -> Option<CancelKind> {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return Some(CancelKind::Explicit);
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => Some(CancelKind::Deadline),
+            _ => None,
+        }
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live_and_cancel_is_shared() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.kind(), None);
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.kind(), Some(CancelKind::Explicit));
+    }
+
+    #[test]
+    fn deadline_token_expires() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        // A zero budget is already expired by the time we poll.
+        assert!(t.is_cancelled());
+        assert_eq!(t.kind(), Some(CancelKind::Deadline));
+
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        assert!(far.deadline().is_some());
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_deadline() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        t.cancel();
+        assert_eq!(t.kind(), Some(CancelKind::Explicit));
+    }
+
+    #[test]
+    fn wire_words() {
+        assert_eq!(CancelKind::Explicit.as_str(), "cancelled");
+        assert_eq!(CancelKind::Deadline.as_str(), "deadline");
+    }
+}

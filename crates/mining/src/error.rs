@@ -13,6 +13,7 @@ use std::fmt;
 
 use fingers_verify::VerifyReport;
 
+use crate::cancel::CancelKind;
 use crate::task::MiningTask;
 
 /// One isolated worker failure: the root partition whose task panicked,
@@ -54,6 +55,14 @@ pub enum EngineError {
         /// The verifier's full report, including every diagnostic.
         report: VerifyReport,
     },
+    /// The run's [`crate::cancel::CancelToken`] fired (explicit cancel or
+    /// deadline) and every worker stopped at its next root-task boundary.
+    /// All partial counts were discarded — a partial count is
+    /// indistinguishable from a correct smaller one, so none ever leaks.
+    Cancelled {
+        /// Whether the token was cancelled explicitly or by deadline.
+        kind: CancelKind,
+    },
 }
 
 impl EngineError {
@@ -62,7 +71,16 @@ impl EngineError {
     pub fn failed_partitions(&self) -> &[PartitionFailure] {
         match self {
             EngineError::WorkerPanic { failures } => failures,
-            EngineError::InvalidPlan { .. } => &[],
+            EngineError::InvalidPlan { .. } | EngineError::Cancelled { .. } => &[],
+        }
+    }
+
+    /// Why the run was cancelled, when it was (`None` for every other
+    /// failure mode).
+    pub fn cancel_kind(&self) -> Option<CancelKind> {
+        match self {
+            EngineError::Cancelled { kind } => Some(*kind),
+            _ => None,
         }
     }
 }
@@ -85,6 +103,10 @@ impl fmt::Display for EngineError {
             EngineError::InvalidPlan { report } => {
                 write!(f, "execution plan failed static verification: {report}")
             }
+            EngineError::Cancelled { kind } => match kind {
+                CancelKind::Explicit => write!(f, "mining run cancelled"),
+                CancelKind::Deadline => write!(f, "mining run exceeded its deadline"),
+            },
         }
     }
 }

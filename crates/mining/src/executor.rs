@@ -285,6 +285,46 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
         }
     }
 
+    /// Like [`PlanMiner::run`], but polls `cancel` between level-0 roots
+    /// and stops early once it fires. Returns `true` when the whole task
+    /// completed and `false` on interruption — an interrupted task has
+    /// reported an unpredictable prefix of its embeddings to `sink`, so
+    /// callers must discard the sink's tally (the parallel engine does,
+    /// returning [`crate::EngineError::Cancelled`]).
+    ///
+    /// The poll is per *root*, never per embedding: a live token costs one
+    /// relaxed atomic load (plus a clock read when a deadline is armed) per
+    /// level-0 vertex, preserving the engine's zero-per-embedding-overhead
+    /// property. A subtree below one root is never interrupted mid-walk,
+    /// so scratch state stays consistent and the miner is immediately
+    /// reusable after an interruption.
+    pub fn run_cancellable<S: Sink>(
+        &mut self,
+        task: MiningTask,
+        sink: &mut S,
+        cancel: &crate::cancel::CancelToken,
+    ) -> bool {
+        let k = self.plan.pattern_size();
+        if k == 1 {
+            for v in task.roots() {
+                if cancel.is_cancelled() {
+                    return false;
+                }
+                self.mapped.push(v);
+                sink.embedding(&self.mapped);
+                self.mapped.pop();
+            }
+            return true;
+        }
+        for v in task.roots() {
+            if cancel.is_cancelled() {
+                return false;
+            }
+            self.enter(0, v, sink);
+        }
+        true
+    }
+
     /// Scratch-memory statistics, for tests asserting the
     /// no-per-embedding-allocation property.
     pub fn arena(&self) -> &ScratchArena {

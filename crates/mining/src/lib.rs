@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod brute;
+pub mod cancel;
 pub mod config;
 pub mod error;
 mod executor;
@@ -56,6 +57,7 @@ pub mod scratch;
 pub mod sink;
 pub mod task;
 
+pub use cancel::{CancelKind, CancelToken};
 pub use config::EngineConfig;
 pub use error::{EngineError, PartitionFailure};
 pub use executor::{
@@ -66,8 +68,8 @@ pub use parallel::{
     count_benchmark_parallel, count_benchmark_parallel_with, count_multi_parallel,
     count_multi_parallel_with, count_plan_parallel, count_plan_parallel_with,
     try_count_benchmark_parallel, try_count_benchmark_parallel_with, try_count_multi_parallel,
-    try_count_multi_parallel_with, try_count_plan_parallel, try_count_plan_parallel_with,
-    try_sum_over_root_tasks,
+    try_count_multi_parallel_with, try_count_plan_parallel, try_count_plan_parallel_shared,
+    try_count_plan_parallel_with, try_sum_over_root_tasks, try_sum_over_root_tasks_cancellable,
 };
 pub use scratch::{BitmapCache, ScratchArena};
 pub use sink::{CountSink, FnSink, Sink};

@@ -10,17 +10,19 @@
 //! **bit-identical** to the sequential count regardless of scheduling —
 //! the determinism tests assert exactly this.
 
+use crate::cancel::{CancelKind, CancelToken};
 use crate::config::EngineConfig;
 use crate::error::{panic_message, EngineError, PartitionFailure};
 use crate::executor::{count_plan_with, MineOutcome, PlanMiner};
 use crate::sink::{CountSink, Sink};
 use crate::task::MiningTask;
+use fingers_graph::hubs::HubSet;
 use fingers_graph::CsrGraph;
 use fingers_pattern::benchmarks::Benchmark;
 use fingers_pattern::{ExecutionPlan, MultiPlan};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Tasks created per worker: oversubscription for dynamic load balance.
 const TASKS_PER_WORKER: usize = 8;
@@ -120,6 +122,49 @@ pub fn try_count_plan_parallel_with(
     threads: usize,
     config: &EngineConfig,
 ) -> Result<u64, EngineError> {
+    try_count_plan_parallel_shared(
+        graph,
+        plan,
+        threads,
+        config,
+        config.hub_set(graph),
+        &CancelToken::new(),
+    )
+}
+
+/// The engine's full-featured counting entry point: fallible, cancellable,
+/// and hub-sharing. Everything `try_count_plan_parallel_with` does, plus:
+///
+/// - `hubs` is taken pre-identified instead of recomputed, so a resident
+///   graph store (the service's storage layer) can run top-k hub selection
+///   once at load time and share one `Arc<HubSet>` across every query that
+///   ever touches the graph;
+/// - `cancel` is polled by every worker at root-task boundaries (between
+///   claimed tasks *and* between level-0 roots inside a task, via
+///   [`PlanMiner::run_cancellable`]); once it fires, all workers stop
+///   promptly, every partial count is discarded, and the call returns
+///   [`EngineError::Cancelled`] — never a partial total.
+///
+/// On success the count is bit-identical to [`count_plan_parallel_with`]
+/// for every thread count, token state, and hub set: cancellation is
+/// observed or it is not, and an uncancelled run reduces the same
+/// per-worker sums. A run that *completes* just as its deadline passes
+/// still returns its (complete, correct) count: cancellation is only
+/// reported when a worker actually stopped early.
+///
+/// # Errors
+///
+/// [`EngineError::InvalidPlan`] before any worker runs,
+/// [`EngineError::Cancelled`] when the token interrupted the run, and
+/// [`EngineError::WorkerPanic`] naming every failed root partition.
+pub fn try_count_plan_parallel_shared(
+    graph: &CsrGraph,
+    plan: &ExecutionPlan,
+    threads: usize,
+    config: &EngineConfig,
+    hubs: Option<Arc<HubSet>>,
+    cancel: &CancelToken,
+) -> Result<u64, EngineError> {
     // Fail fast before spawning anything: an unsound plan would read
     // unmaterialized buffers or miscount in every worker at once.
     let report = fingers_verify::verify(plan);
@@ -127,19 +172,34 @@ pub fn try_count_plan_parallel_with(
         return Err(EngineError::InvalidPlan { report });
     }
     let threads = effective_threads(threads, graph.vertex_count());
-    let hubs = config.hub_set(graph);
     let tasks = MiningTask::partition(graph.vertex_count(), threads * TASKS_PER_WORKER);
     let cursor = AtomicUsize::new(0);
     let failures: Mutex<Vec<(usize, PartitionFailure)>> = Mutex::new(Vec::new());
+    // Set by any worker that *observed* the token and stopped early; the
+    // final verdict reads this rather than the token so a run that finished
+    // all its tasks before the deadline passed is still a success.
+    let interrupted = AtomicBool::new(false);
     let worker = || {
         let mut miner = PlanMiner::with_hubs(graph, plan, hubs.clone(), config);
         let mut local = 0u64;
         loop {
+            if cancel.is_cancelled() {
+                interrupted.store(true, Ordering::Relaxed);
+                break;
+            }
             let idx = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(task) = tasks.get(idx) else { break };
             let mut sink = CountSink::default();
-            match catch_unwind(AssertUnwindSafe(|| miner.run(task.clone(), &mut sink))) {
-                Ok(()) => local += sink.count,
+            match catch_unwind(AssertUnwindSafe(|| {
+                miner.run_cancellable(task.clone(), &mut sink, cancel)
+            })) {
+                Ok(true) => local += sink.count,
+                Ok(false) => {
+                    // Interrupted mid-task: the sink holds a partial tally
+                    // for this task — drop it and stop claiming.
+                    interrupted.store(true, Ordering::Relaxed);
+                    break;
+                }
                 Err(payload) => {
                     failures
                         .lock()
@@ -177,14 +237,21 @@ pub fn try_count_plan_parallel_with(
         })
     };
     let mut failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
-    if failures.is_empty() {
-        Ok(total)
-    } else {
+    if !failures.is_empty() {
         failures.sort_by_key(|&(idx, _)| idx);
-        Err(EngineError::WorkerPanic {
+        return Err(EngineError::WorkerPanic {
             failures: failures.into_iter().map(|(_, f)| f).collect(),
-        })
+        });
     }
+    if interrupted.into_inner() {
+        return Err(EngineError::Cancelled {
+            // A worker only sets `interrupted` after seeing the token
+            // cancelled, and tokens never un-cancel, so a kind is always
+            // available; `Explicit` is an unreachable fallback.
+            kind: cancel.kind().unwrap_or(CancelKind::Explicit),
+        });
+    }
+    Ok(total)
 }
 
 /// Fallible counterpart of [`count_multi_parallel`].
@@ -406,6 +473,88 @@ where
     }
 }
 
+/// Cancellable counterpart of [`try_sum_over_root_tasks`]: workers
+/// additionally poll `cancel` before claiming each task and stop once it
+/// fires. The cancellation granularity is one task (the `worker` callback
+/// is opaque, so there is no per-root poll here); use the plan-mining
+/// entry points for finer response.
+///
+/// # Errors
+///
+/// [`EngineError::Cancelled`] when the token interrupted the run (the
+/// partial sum is discarded), else [`EngineError::WorkerPanic`] as for the
+/// plain variant.
+pub fn try_sum_over_root_tasks_cancellable<W>(
+    vertex_count: usize,
+    threads: usize,
+    cancel: &CancelToken,
+    worker: W,
+) -> Result<u64, EngineError>
+where
+    W: Fn(&MiningTask) -> u64 + Sync,
+{
+    let threads = effective_threads(threads, vertex_count);
+    let tasks = MiningTask::partition(vertex_count, threads.max(1) * TASKS_PER_WORKER);
+    let cursor = AtomicUsize::new(0);
+    let failures: Mutex<Vec<(usize, PartitionFailure)>> = Mutex::new(Vec::new());
+    let interrupted = AtomicBool::new(false);
+    let isolated = || {
+        let mut local = 0u64;
+        loop {
+            if cancel.is_cancelled() {
+                interrupted.store(true, Ordering::Relaxed);
+                break;
+            }
+            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(task) = tasks.get(idx) else { break };
+            match catch_unwind(AssertUnwindSafe(|| worker(task))) {
+                Ok(n) => local += n,
+                Err(payload) => failures
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push((
+                        idx,
+                        PartitionFailure {
+                            task: task.clone(),
+                            message: panic_message(payload),
+                        },
+                    )),
+            }
+        }
+        local
+    };
+    let total: u64 = if threads <= 1 {
+        isolated()
+    } else {
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads).map(|_| scope.spawn(isolated)).collect();
+            workers
+                .into_iter()
+                // §11: each worker body is wrapped in catch_unwind, so the join
+                // handle itself cannot carry a panic; one escaping means the
+                // isolation wrapper is broken.
+                .map(
+                    #[allow(clippy::expect_used)] // §11: justified above
+                    |w| w.join().expect("isolated worker cannot panic"),
+                )
+                .sum()
+        })
+    };
+    let mut failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
+    if !failures.is_empty() {
+        failures.sort_by_key(|&(idx, _)| idx);
+        return Err(EngineError::WorkerPanic {
+            failures: failures.into_iter().map(|(_, f)| f).collect(),
+        });
+    }
+    if interrupted.into_inner() {
+        return Err(EngineError::Cancelled {
+            kind: cancel.kind().unwrap_or(CancelKind::Explicit),
+        });
+    }
+    Ok(total)
+}
+
 /// Clamps a requested thread count to something useful: at least 1, and no
 /// more than the number of roots (extra workers would only spin on an empty
 /// task queue).
@@ -573,5 +722,116 @@ mod tests {
             let total = try_sum_over_root_tasks(97, threads, |t| t.len() as u64);
             assert_eq!(total.expect("no panics"), 97);
         }
+    }
+
+    #[test]
+    fn shared_entry_with_live_token_is_bit_identical() {
+        let g = erdos_renyi(60, 240, 11);
+        let cfg = EngineConfig::default();
+        for p in [Pattern::triangle(), Pattern::clique(4)] {
+            let plan = ExecutionPlan::compile(&p, Induced::Vertex);
+            let expected = count_plan(&g, &plan);
+            for threads in [1, 2, 4] {
+                let got = try_count_plan_parallel_shared(
+                    &g,
+                    &plan,
+                    threads,
+                    &cfg,
+                    cfg.hub_set(&g),
+                    &CancelToken::new(),
+                )
+                .expect("live token must not cancel");
+                assert_eq!(got, expected, "{p} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_cancelled_not_partial() {
+        let g = erdos_renyi(60, 240, 11);
+        let plan = ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex);
+        let cfg = EngineConfig::default();
+        for threads in [1, 4] {
+            let cancel = CancelToken::new();
+            cancel.cancel();
+            let err = try_count_plan_parallel_shared(&g, &plan, threads, &cfg, None, &cancel)
+                .expect_err("cancelled before any task ran");
+            assert_eq!(err.cancel_kind(), Some(CancelKind::Explicit), "{err}");
+            assert!(err.failed_partitions().is_empty());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_yields_deadline_kind() {
+        let g = erdos_renyi(40, 150, 3);
+        let plan = ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex);
+        let cancel = CancelToken::with_deadline(std::time::Duration::from_millis(0));
+        let err =
+            try_count_plan_parallel_shared(&g, &plan, 2, &EngineConfig::default(), None, &cancel)
+                .expect_err("deadline already passed");
+        assert_eq!(err.cancel_kind(), Some(CancelKind::Deadline));
+        assert!(err.to_string().contains("deadline"), "{err}");
+    }
+
+    #[test]
+    fn mid_run_cancel_stops_workers_and_discards_counts() {
+        // A timer thread cancels while workers grind a slow 5-clique count;
+        // the run must return Cancelled (never a partial count) and every
+        // scoped worker is joined before the entry point returns, proving
+        // the pool is reclaimed.
+        let g = fingers_graph::gen::chung_lu_power_law(&fingers_graph::gen::ChungLuConfig::new(
+            3_000, 36_000, 7,
+        ));
+        let plan = ExecutionPlan::compile(&Pattern::clique(5), Induced::Vertex);
+        let cancel = CancelToken::new();
+        let canceller = {
+            let token = cancel.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                token.cancel();
+            })
+        };
+        let res =
+            try_count_plan_parallel_shared(&g, &plan, 4, &EngineConfig::default(), None, &cancel);
+        canceller.join().expect("canceller thread");
+        match res {
+            Err(e) => assert_eq!(e.cancel_kind(), Some(CancelKind::Explicit), "{e}"),
+            // If the machine is fast enough to finish in <20ms the count
+            // must be the full, correct one — never something in between.
+            Ok(n) => assert_eq!(n, count_plan(&g, &plan)),
+        }
+    }
+
+    #[test]
+    fn cancellable_scaffold_cancels_and_succeeds() {
+        let cancel = CancelToken::new();
+        for threads in [1, 3] {
+            let total =
+                try_sum_over_root_tasks_cancellable(97, threads, &cancel, |t| t.len() as u64);
+            assert_eq!(total.expect("live token"), 97);
+        }
+        cancel.cancel();
+        let err = try_sum_over_root_tasks_cancellable(97, 2, &cancel, |t| t.len() as u64)
+            .expect_err("cancelled");
+        assert_eq!(err.cancel_kind(), Some(CancelKind::Explicit));
+    }
+
+    #[test]
+    fn shared_entry_rejects_unsound_plan_before_running() {
+        let g = erdos_renyi(10, 20, 1);
+        let sound = ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex);
+        let unsound = fingers_verify::PlanMutation::DropInit
+            .apply(&sound)
+            .expect("drop-init applies to the triangle plan");
+        let err = try_count_plan_parallel_shared(
+            &g,
+            &unsound,
+            2,
+            &EngineConfig::default(),
+            None,
+            &CancelToken::new(),
+        )
+        .expect_err("unsound plan must be rejected");
+        assert!(matches!(err, EngineError::InvalidPlan { .. }), "{err}");
     }
 }

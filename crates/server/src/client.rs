@@ -1,0 +1,64 @@
+//! A minimal line-protocol client: used by `fingers-mine client`, the
+//! service-latency load generator, and the integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A connected client. One request line in, one response line out; the
+/// connection stays open across requests so a client can pipeline a
+/// session (e.g. submit on one connection, cancel from another).
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to a daemon socket.
+    ///
+    /// # Errors
+    ///
+    /// The connect failure, rendered as text (protocol exit code 10).
+    pub fn connect(socket: &Path) -> Result<Client, String> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| format!("cannot connect to {socket:?}: {e}"))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone socket: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line and reads the one response line.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (write, read, or daemon hang-up), as text.
+    pub fn request(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("write failed: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection".into());
+        }
+        Ok(response.trim_end().to_owned())
+    }
+}
+
+/// One-shot convenience: connect, send `line`, return the response line.
+///
+/// # Errors
+///
+/// Transport failures, as text.
+pub fn request_line(socket: &Path, line: &str) -> Result<String, String> {
+    Client::connect(socket)?.request(line)
+}

@@ -1,0 +1,40 @@
+//! Mining-as-a-service for the FINGERS reproduction.
+//!
+//! A layered query daemon over the existing engine:
+//!
+//! 1. **Storage** ([`storage`]) — named, load-once graphs: each is an
+//!    `Arc<CsrGraph>` plus its precomputed hub set, shared immutably by
+//!    every query (refcount bumps, never reloads).
+//! 2. **Session** ([`session`]) — the trust boundary: textual patterns
+//!    are parsed, compiled, and gated by the static plan verifier;
+//!    unsound input is a typed rejection, never a worker panic. Verified
+//!    plans live in a cache keyed on the *canonical* pattern, so
+//!    isomorphic spellings share one compilation.
+//! 3. **Scheduler** ([`sched`]) — a bounded worker pool with admission
+//!    control (typed `overloaded` rejection when the queue is full),
+//!    per-query thread budgets, deadlines, and cooperative cancellation
+//!    that stops a query at root-task boundaries without poisoning the
+//!    pool — counts stay bit-identical to serial execution because
+//!    cancellation is only ever observed *between* root tasks.
+//! 4. **Protocol** ([`proto`], [`daemon`], [`client`]) — newline-delimited
+//!    JSON over a Unix socket; every failure mode is a distinct response
+//!    kind with a stable client exit code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod json;
+pub mod proto;
+pub mod sched;
+pub mod session;
+pub mod storage;
+
+pub use client::{request_line, Client};
+pub use daemon::{Daemon, DaemonConfig};
+pub use json::Json;
+pub use proto::{CountReport, Request};
+pub use sched::{Job, JobResult, SchedStats, Scheduler, SchedulerConfig, SubmitError};
+pub use session::{PlanCache, SessionError};
+pub use storage::{GraphRegistry, GraphSpec, StoredGraph};

@@ -1,0 +1,412 @@
+//! Protocol layer: newline-delimited JSON requests and responses.
+//!
+//! One request object per line, one response object per line. Every
+//! response carries `"status"`: `"ok"`, `"cancelled"` (with a `reason` of
+//! `cancelled` or `deadline`), or `"error"` (with a `kind` from the table
+//! below). The error kinds map one-to-one onto client exit codes so shell
+//! scripts can tell failure modes apart exactly like the one-shot CLI:
+//!
+//! | kind           | exit | meaning                                   |
+//! |----------------|------|-------------------------------------------|
+//! | `bad-request`  | 2    | malformed request / pattern / mutation    |
+//! | `unknown-graph`| 3    | graph name not in the registry            |
+//! | `engine`       | 5    | isolated worker panic                     |
+//! | `unsupported`  | 6    | inapplicable mutation or feature          |
+//! | `unsound-plan` | 7    | plan failed static verification           |
+//! | `overloaded`   | 8    | admission control rejected the query      |
+//! | (cancelled)    | 9    | query cancelled or past deadline          |
+//! | (transport)    | 10   | client could not reach or read the daemon |
+
+use fingers_mining::EngineError;
+
+use crate::json::Json;
+use crate::session::SessionError;
+
+/// Error kind: malformed request, pattern, or mutation name.
+pub const KIND_BAD_REQUEST: &str = "bad-request";
+/// Error kind: graph name not registered.
+pub const KIND_UNKNOWN_GRAPH: &str = "unknown-graph";
+/// Error kind: isolated mining worker panic.
+pub const KIND_ENGINE: &str = "engine";
+/// Error kind: unsupported combination (e.g. inapplicable mutation).
+pub const KIND_UNSUPPORTED: &str = "unsupported";
+/// Error kind: plan failed static verification.
+pub const KIND_UNSOUND_PLAN: &str = "unsound-plan";
+/// Error kind: rejected by admission control.
+pub const KIND_OVERLOADED: &str = "overloaded";
+
+/// The client exit code for a response line: 0 for ok, 9 for cancelled,
+/// the kind's code for errors, 10 when the line is not a valid response.
+pub fn exit_code_for_response(response: &Json) -> u8 {
+    match response.get("status").and_then(Json::as_str) {
+        Some("ok") => 0,
+        Some("cancelled") => 9,
+        Some("error") => match response.get("kind").and_then(Json::as_str) {
+            Some(KIND_BAD_REQUEST) => 2,
+            Some(KIND_UNKNOWN_GRAPH) => 3,
+            Some(KIND_ENGINE) => 5,
+            Some(KIND_UNSUPPORTED) => 6,
+            Some(KIND_UNSOUND_PLAN) => 7,
+            Some(KIND_OVERLOADED) => 8,
+            _ => 10,
+        },
+        _ => 10,
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Count embeddings of the given patterns in a registered graph.
+    Count {
+        /// Client-chosen query id (cancellable while active).
+        id: Option<String>,
+        /// Registry name of the graph.
+        graph: String,
+        /// Pattern specs (names or edge lists).
+        patterns: Vec<String>,
+        /// Requested thread budget (scheduler clamps it).
+        threads: Option<usize>,
+        /// Deadline for the whole query, in milliseconds.
+        timeout_ms: Option<u64>,
+        /// Edge-induced instead of vertex-induced semantics.
+        edge_induced: bool,
+        /// Corpus mutation to apply before verification (demonstrates the
+        /// unsound-input rejection path).
+        mutate: Option<String>,
+    },
+    /// Count the 3-motif census (triangle + wedge) in a registered graph.
+    MotifCensus {
+        /// Client-chosen query id.
+        id: Option<String>,
+        /// Registry name of the graph.
+        graph: String,
+        /// Requested thread budget.
+        threads: Option<usize>,
+        /// Deadline in milliseconds.
+        timeout_ms: Option<u64>,
+    },
+    /// Compile + verify a pattern's plan without running it.
+    VerifyPlan {
+        /// Pattern spec.
+        pattern: String,
+        /// Edge-induced semantics.
+        edge_induced: bool,
+        /// Corpus mutation to apply first.
+        mutate: Option<String>,
+    },
+    /// Service statistics (graphs, plan cache, scheduler counters).
+    Stats,
+    /// Cancel the active query with the given id.
+    Cancel {
+        /// The id given on the query's request.
+        id: String,
+    },
+    /// Orderly daemon shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformation, to be wrapped in a
+    /// `bad-request` response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line)?;
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string \"op\" field")?;
+        let opt_str = |key: &str| v.get(key).and_then(Json::as_str).map(str::to_owned);
+        let opt_u64 = |key: &str| match v.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(value) => value
+                .as_u64()
+                .map(Some)
+                .ok_or(format!("\"{key}\" must be a non-negative integer")),
+        };
+        let flag = |key: &str| match v.get(key) {
+            None | Some(Json::Null) => Ok(false),
+            Some(value) => value.as_bool().ok_or(format!("\"{key}\" must be a bool")),
+        };
+        let graph = || {
+            v.get("graph")
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("{op:?} needs a string \"graph\" field"))
+        };
+        match op {
+            "count" => {
+                let patterns = v
+                    .get("patterns")
+                    .and_then(Json::as_array)
+                    .ok_or("\"count\" needs a \"patterns\" array")?
+                    .iter()
+                    .map(|p| {
+                        p.as_str()
+                            .map(str::to_owned)
+                            .ok_or("\"patterns\" entries must be strings".to_owned())
+                    })
+                    .collect::<Result<Vec<String>, String>>()?;
+                if patterns.is_empty() {
+                    return Err("\"patterns\" must be nonempty".into());
+                }
+                Ok(Request::Count {
+                    id: opt_str("id"),
+                    graph: graph()?,
+                    patterns,
+                    threads: opt_u64("threads")?.map(|n| n as usize),
+                    timeout_ms: opt_u64("timeout_ms")?,
+                    edge_induced: flag("edge_induced")?,
+                    mutate: opt_str("mutate"),
+                })
+            }
+            "motif-census" => Ok(Request::MotifCensus {
+                id: opt_str("id"),
+                graph: graph()?,
+                threads: opt_u64("threads")?.map(|n| n as usize),
+                timeout_ms: opt_u64("timeout_ms")?,
+            }),
+            "verify-plan" => Ok(Request::VerifyPlan {
+                pattern: opt_str("pattern")
+                    .ok_or("\"verify-plan\" needs a string \"pattern\" field")?,
+                edge_induced: flag("edge_induced")?,
+                mutate: opt_str("mutate"),
+            }),
+            "stats" => Ok(Request::Stats),
+            "cancel" => Ok(Request::Cancel {
+                id: opt_str("id").ok_or("\"cancel\" needs a string \"id\" field")?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// The machine-readable body of one counting run — the *same* schema the
+/// CLI's `--json` flag emits, so daemon responses and one-shot CLI output
+/// can be diffed field-for-field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountReport {
+    /// Pattern specs, in request order.
+    pub patterns: Vec<String>,
+    /// Per-pattern embedding counts, aligned with `patterns`.
+    pub counts: Vec<u64>,
+    /// Sum of `counts`.
+    pub total: u64,
+    /// Human-readable engine description.
+    pub engine: String,
+    /// Wall-clock milliseconds of the run.
+    pub wall_ms: f64,
+}
+
+impl CountReport {
+    /// The report as a JSON object (the shared CLI/daemon schema).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "patterns",
+                Json::Arr(self.patterns.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "counts",
+                Json::Arr(self.counts.iter().map(|&n| Json::U64(n)).collect()),
+            ),
+            ("total", Json::U64(self.total)),
+            ("engine", Json::str(&self.engine)),
+            ("wall_ms", Json::F64(self.wall_ms)),
+        ])
+    }
+
+    /// Renders the report as one JSON line.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+/// An `ok` response wrapping a count report, tagged with op/id/graph.
+pub fn ok_count(op: &str, id: Option<&str>, graph: &str, report: &CountReport) -> String {
+    let mut members = vec![
+        ("status".to_owned(), Json::str("ok")),
+        ("op".to_owned(), Json::str(op)),
+    ];
+    if let Some(id) = id {
+        members.push(("id".to_owned(), Json::str(id)));
+    }
+    members.push(("graph".to_owned(), Json::str(graph)));
+    let Json::Obj(body) = report.to_json() else {
+        unreachable!("CountReport::to_json always builds an object");
+    };
+    members.extend(body);
+    Json::Obj(members).render()
+}
+
+/// A `cancelled` response: `reason` is `"cancelled"` or `"deadline"`.
+pub fn cancelled(id: Option<&str>, reason: &str) -> String {
+    let mut members = vec![("status".to_owned(), Json::str("cancelled"))];
+    if let Some(id) = id {
+        members.push(("id".to_owned(), Json::str(id)));
+    }
+    members.push(("reason".to_owned(), Json::str(reason)));
+    Json::Obj(members).render()
+}
+
+/// An `error` response with a kind from the module table.
+pub fn error(kind: &str, message: &str) -> String {
+    Json::obj([
+        ("status", Json::str("error")),
+        ("kind", Json::str(kind)),
+        ("message", Json::str(message)),
+    ])
+    .render()
+}
+
+/// Maps a session-layer failure to its response line.
+pub fn session_error(e: &SessionError) -> String {
+    match e {
+        SessionError::BadRequest(m) => error(KIND_BAD_REQUEST, m),
+        SessionError::UnsoundPlan(report) => error(KIND_UNSOUND_PLAN, &report.to_string()),
+        SessionError::Unsupported(m) => error(KIND_UNSUPPORTED, m),
+    }
+}
+
+/// Maps an engine failure to its response line: cancellation becomes a
+/// `cancelled` status, everything else an `engine` error.
+pub fn engine_error(id: Option<&str>, e: &EngineError) -> String {
+    match e.cancel_kind() {
+        Some(kind) => cancelled(id, kind.as_str()),
+        None => match e {
+            EngineError::InvalidPlan { report } => error(KIND_UNSOUND_PLAN, &report.to_string()),
+            other => error(KIND_ENGINE, &other.to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_count_requests() {
+        let r = Request::parse(
+            r#"{"op":"count","id":"q1","graph":"g","patterns":["tc","4cl"],"threads":4,"timeout_ms":250,"edge_induced":true}"#,
+        )
+        .expect("parses");
+        assert_eq!(
+            r,
+            Request::Count {
+                id: Some("q1".into()),
+                graph: "g".into(),
+                patterns: vec!["tc".into(), "4cl".into()],
+                threads: Some(4),
+                timeout_ms: Some(250),
+                edge_induced: true,
+                mutate: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_the_other_ops() {
+        assert_eq!(
+            Request::parse(r#"{"op":"stats"}"#).expect("stats"),
+            Request::Stats
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"shutdown"}"#).expect("shutdown"),
+            Request::Shutdown
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"cancel","id":"q9"}"#).expect("cancel"),
+            Request::Cancel { id: "q9".into() }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"motif-census","graph":"g"}"#).expect("census"),
+            Request::MotifCensus {
+                id: None,
+                graph: "g".into(),
+                threads: None,
+                timeout_ms: None,
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"verify-plan","pattern":"tt","mutate":"drop-init"}"#)
+                .expect("verify"),
+            Request::VerifyPlan {
+                pattern: "tt".into(),
+                edge_induced: false,
+                mutate: Some("drop-init".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "not json",
+            r#"{"no":"op"}"#,
+            r#"{"op":"zap"}"#,
+            r#"{"op":"count","graph":"g"}"#,
+            r#"{"op":"count","graph":"g","patterns":[]}"#,
+            r#"{"op":"count","graph":"g","patterns":[1]}"#,
+            r#"{"op":"count","patterns":["tc"]}"#,
+            r#"{"op":"count","graph":"g","patterns":["tc"],"threads":"four"}"#,
+            r#"{"op":"cancel"}"#,
+            r#"{"op":"verify-plan"}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn count_report_schema_is_stable() {
+        let report = CountReport {
+            patterns: vec!["tc".into()],
+            counts: vec![42],
+            total: 42,
+            engine: "service".into(),
+            wall_ms: 1.5,
+        };
+        let line = report.render();
+        let v = Json::parse(&line).expect("valid json");
+        for key in ["patterns", "counts", "total", "engine", "wall_ms"] {
+            assert!(v.get(key).is_some(), "missing {key} in {line}");
+        }
+        assert_eq!(v.get("total").and_then(Json::as_u64), Some(42));
+    }
+
+    #[test]
+    fn responses_map_to_exit_codes() {
+        let ok = Json::parse(&ok_count(
+            "count",
+            Some("q"),
+            "g",
+            &CountReport {
+                patterns: vec![],
+                counts: vec![],
+                total: 0,
+                engine: String::new(),
+                wall_ms: 0.0,
+            },
+        ))
+        .expect("ok line");
+        assert_eq!(exit_code_for_response(&ok), 0);
+        let cases = [
+            (KIND_BAD_REQUEST, 2),
+            (KIND_UNKNOWN_GRAPH, 3),
+            (KIND_ENGINE, 5),
+            (KIND_UNSUPPORTED, 6),
+            (KIND_UNSOUND_PLAN, 7),
+            (KIND_OVERLOADED, 8),
+        ];
+        for (kind, code) in cases {
+            let v = Json::parse(&error(kind, "m")).expect("error line");
+            assert_eq!(exit_code_for_response(&v), code, "{kind}");
+        }
+        let v = Json::parse(&cancelled(None, "deadline")).expect("cancel line");
+        assert_eq!(exit_code_for_response(&v), 9);
+        assert_eq!(exit_code_for_response(&Json::Null), 10);
+    }
+}

@@ -1,0 +1,471 @@
+//! Scheduler layer: a bounded worker pool with admission control,
+//! per-query thread budgets, deadlines, and cooperative cancellation.
+//!
+//! Queries enter through a bounded queue; when it is full the submit is
+//! rejected *immediately* with [`SubmitError::Overloaded`] — the typed
+//! back-pressure signal the protocol layer turns into an `overloaded`
+//! response instead of letting latency collapse for everyone. Each worker
+//! drains the queue and executes one query at a time through the engine's
+//! cancellable entry point, so a fired [`CancelToken`] (client cancel,
+//! deadline, shutdown) stops the query at the next root-task boundary and
+//! the pool thread survives to serve the next query — cancellation never
+//! poisons the pool.
+//!
+//! The per-task dispatch below is on the service's hot path: one queue
+//! hand-off and zero allocations per *task*; the waived allocations are
+//! strictly per *query* (bounded by pattern count), never per embedding.
+// lint: hot-path(alloc)
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use fingers_mining::{try_count_plan_parallel_shared, CancelToken, EngineConfig, EngineError};
+use fingers_pattern::ExecutionPlan;
+
+use crate::storage::StoredGraph;
+
+/// Sizing and policy of the scheduler.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker pool size (concurrent queries).
+    pub workers: usize,
+    /// Queued (admitted, not yet running) query limit; a full queue
+    /// rejects new submissions with [`SubmitError::Overloaded`].
+    pub queue_depth: usize,
+    /// Hard cap on any single query's thread budget.
+    pub max_threads_per_query: usize,
+    /// Deadline applied to queries that do not carry their own.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self {
+            workers: cores.clamp(1, 4),
+            queue_depth: 16,
+            max_threads_per_query: cores,
+            default_timeout: None,
+        }
+    }
+}
+
+/// One admitted query: everything a worker needs to run it.
+#[derive(Debug)]
+pub struct Job {
+    /// The resident graph (shared CSR + precomputed hubs).
+    pub graph: Arc<StoredGraph>,
+    /// Verified plans to count, in request order.
+    pub plans: Vec<Arc<ExecutionPlan>>,
+    /// Requested thread budget (clamped to the scheduler's cap).
+    pub threads: usize,
+    /// The query's cancellation token (deadline already armed if any).
+    pub cancel: CancelToken,
+    /// Engine configuration for this query.
+    pub config: EngineConfig,
+}
+
+/// What the worker sends back: per-plan counts in request order, or the
+/// first failure (cancellation, deadline, panic isolation).
+pub type JobResult = Result<Vec<u64>, EngineError>;
+
+/// Why a submission was not admitted.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at its depth limit; retry later or shed load.
+    Overloaded {
+        /// The configured queue depth that was exceeded.
+        queue_depth: usize,
+    },
+    /// The scheduler is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded { queue_depth } => {
+                write!(f, "scheduler overloaded ({queue_depth} queries queued)")
+            }
+            SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Monotonic counters for the stats endpoint.
+#[derive(Debug, Default)]
+pub struct SchedStats {
+    /// Queries admitted into the queue.
+    pub accepted: AtomicU64,
+    /// Queries rejected by admission control.
+    pub rejected: AtomicU64,
+    /// Queries that completed with counts.
+    pub completed: AtomicU64,
+    /// Queries that ended cancelled or past deadline.
+    pub cancelled: AtomicU64,
+    /// Queries that failed (worker panic isolation, invalid plan).
+    pub failed: AtomicU64,
+}
+
+type QueueItem = (Job, Sender<JobResult>);
+
+/// The scheduler: bounded queue, fixed worker pool, active-query registry.
+#[derive(Debug)]
+pub struct Scheduler {
+    tx: Mutex<Option<SyncSender<QueueItem>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    active: Mutex<HashMap<String, CancelToken>>,
+    stats: Arc<SchedStats>,
+    config: SchedulerConfig,
+}
+
+impl Scheduler {
+    /// Starts `config.workers` pool threads.
+    pub fn new(config: SchedulerConfig) -> Self {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<QueueItem>(config.queue_depth.max(1));
+        // std's Receiver is single-consumer; the pool shares it behind a
+        // mutex held only for the blocking dequeue, never while mining.
+        let rx = Arc::new(Mutex::new(rx));
+        let stats = Arc::new(SchedStats::default());
+        let max_threads = config.max_threads_per_query.max(1);
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                // lint: allow-alloc(one-time pool construction, not dispatch)
+                let rx = Arc::clone(&rx);
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || worker_loop(&rx, &stats, max_threads))
+            })
+            // lint: allow-alloc(one-time pool construction, not dispatch)
+            .collect();
+        Self {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            active: Mutex::new(HashMap::new()),
+            stats,
+            config,
+        }
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Shared statistics counters.
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    /// Admission control: queues `job` if there is room, rejecting
+    /// immediately otherwise. On success returns the receiver the job's
+    /// result will arrive on.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is full,
+    /// [`SubmitError::ShuttingDown`] after [`Scheduler::shutdown`].
+    pub fn submit(&self, job: Job) -> Result<Receiver<JobResult>, SubmitError> {
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let guard = self
+            .tx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(tx) = guard.as_ref() else {
+            return Err(SubmitError::ShuttingDown);
+        };
+        match tx.try_send((job, reply_tx)) {
+            Ok(()) => {
+                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(reply_rx)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Overloaded {
+                    queue_depth: self.config.queue_depth,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Registers a client-visible query id so a later
+    /// [`Scheduler::cancel`] (from any connection) can find its token.
+    pub fn register(&self, id: &str, token: CancelToken) {
+        self.active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            // lint: allow-alloc(registry entry per query id, not per task)
+            .insert(id.to_owned(), token);
+    }
+
+    /// Removes a finished query from the active registry.
+    pub fn unregister(&self, id: &str) {
+        self.active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(id);
+    }
+
+    /// Cancels the active query registered under `id`. Returns whether an
+    /// active query of that id existed. Works on queued jobs too: their
+    /// token is registered at admission, and the engine checks it before
+    /// claiming the first task.
+    pub fn cancel(&self, id: &str) -> bool {
+        let active = self
+            .active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match active.get(id) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of registered (queued or running) queries.
+    pub fn active_count(&self) -> usize {
+        self.active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Stops accepting work, cancels every active query, and joins the
+    /// pool. Idempotent. Queued-but-unstarted jobs still flow through
+    /// their worker, which observes the cancelled token before claiming a
+    /// task and reports [`EngineError::Cancelled`] — no silent drops.
+    pub fn shutdown(&self) {
+        {
+            let active = self
+                .active
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for token in active.values() {
+                token.cancel();
+            }
+        }
+        // Dropping the sender ends every worker's recv loop once the
+        // queue drains.
+        self.tx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        let workers = std::mem::take(
+            &mut *self
+                .workers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One pool thread: dequeue, execute through the cancellable engine entry
+/// point, reply. A query failure (cancelled, deadline, isolated panic)
+/// is a *result*, not a pool event — the thread loops on.
+fn worker_loop(rx: &Mutex<Receiver<QueueItem>>, stats: &SchedStats, max_threads: usize) {
+    loop {
+        let item = {
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok((job, reply)) = item else {
+            return; // queue closed: shutdown
+        };
+        let result = run_job(&job, max_threads);
+        match &result {
+            Ok(_) => stats.completed.fetch_add(1, Ordering::Relaxed),
+            Err(e) if e.cancel_kind().is_some() => stats.cancelled.fetch_add(1, Ordering::Relaxed),
+            Err(_) => stats.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        // A vanished requester (client hung up) is fine; drop the result.
+        let _ = reply.send(result);
+    }
+}
+
+/// Executes every plan of one job with the shared graph, shared hub set,
+/// clamped thread budget, and the job's token. All-or-nothing: the first
+/// failing plan discards the query (a partial per-pattern vector would be
+/// indistinguishable from a complete one).
+fn run_job(job: &Job, max_threads: usize) -> JobResult {
+    let threads = job.threads.clamp(1, max_threads);
+    // lint: allow-alloc(per-query result vector, bounded by pattern count)
+    let mut counts = Vec::with_capacity(job.plans.len());
+    for plan in &job.plans {
+        let n = try_count_plan_parallel_shared(
+            &job.graph.graph,
+            plan,
+            threads,
+            &job.config,
+            // lint: allow-alloc(Arc refcount bump, shares the resident hub set)
+            job.graph.hubs.clone(),
+            &job.cancel,
+        )?;
+        counts.push(n);
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::GraphRegistry;
+    use fingers_pattern::{Induced, Pattern};
+
+    fn test_graph(spec: &str) -> Arc<StoredGraph> {
+        let mut reg = GraphRegistry::new();
+        reg.load("g", spec, &EngineConfig::default()).expect("load");
+        reg.get("g").expect("stored")
+    }
+
+    fn plan_of(p: &Pattern) -> Arc<ExecutionPlan> {
+        Arc::new(ExecutionPlan::compile(p, Induced::Vertex))
+    }
+
+    fn job(graph: &Arc<StoredGraph>, plans: Vec<Arc<ExecutionPlan>>, token: CancelToken) -> Job {
+        Job {
+            graph: Arc::clone(graph),
+            plans,
+            threads: 2,
+            cancel: token,
+            config: EngineConfig::default(),
+        }
+    }
+
+    #[test]
+    fn runs_jobs_and_counts_match_direct_execution() {
+        let graph = test_graph("gen:er:60:240:11");
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let plan = plan_of(&Pattern::triangle());
+        let expected = fingers_mining::count_plan(&graph.graph, &plan);
+        let rx = sched
+            .submit(job(&graph, vec![Arc::clone(&plan)], CancelToken::new()))
+            .expect("admitted");
+        let counts = rx.recv().expect("reply").expect("success");
+        assert_eq!(counts, vec![expected]);
+        assert_eq!(sched.stats().completed.load(Ordering::Relaxed), 1);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn admission_control_rejects_when_queue_is_full() {
+        let graph = test_graph("gen:pl:2000:24000:7");
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_depth: 1,
+            max_threads_per_query: 1,
+            default_timeout: None,
+        });
+        let slow = plan_of(&Pattern::clique(5));
+        // First job occupies the worker, second fills the queue; the
+        // bounded channel may hand slot one straight to the worker, so
+        // push until the first rejection — it must arrive by job 4.
+        let mut receivers = Vec::new();
+        let mut rejected = None;
+        for _ in 0..4 {
+            match sched.submit(job(&graph, vec![Arc::clone(&slow)], CancelToken::new())) {
+                Ok(rx) => receivers.push(rx),
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        let rejected = rejected.expect("queue depth 1 must reject by the fourth submit");
+        assert_eq!(rejected, SubmitError::Overloaded { queue_depth: 1 });
+        assert!(sched.stats().rejected.load(Ordering::Relaxed) >= 1);
+        // The admitted jobs still complete; the pool is healthy.
+        for rx in receivers {
+            rx.recv().expect("reply").expect("success");
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_reports_cancelled_without_poisoning_the_pool() {
+        let graph = test_graph("gen:pl:2000:24000:7");
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_depth: 4,
+            max_threads_per_query: 1,
+            default_timeout: None,
+        });
+        let slow = plan_of(&Pattern::clique(5));
+        let quick = plan_of(&Pattern::triangle());
+        // Job A occupies the single worker.
+        let a_rx = sched
+            .submit(job(&graph, vec![Arc::clone(&slow)], CancelToken::new()))
+            .expect("A admitted");
+        // Job B queues behind it; cancel it while queued.
+        let b_token = CancelToken::new();
+        sched.register("b", b_token.clone());
+        let b_rx = sched
+            .submit(job(&graph, vec![Arc::clone(&slow)], b_token))
+            .expect("B admitted");
+        assert!(sched.cancel("b"), "registered id is cancellable");
+        assert!(!sched.cancel("zzz"), "unknown id is not");
+        a_rx.recv().expect("A reply").expect("A completes");
+        let b_err = b_rx.recv().expect("B reply").expect_err("B was cancelled");
+        assert!(b_err.cancel_kind().is_some(), "{b_err}");
+        sched.unregister("b");
+        assert_eq!(sched.active_count(), 0);
+        // The same worker thread serves a fresh query afterwards.
+        let c_rx = sched
+            .submit(job(&graph, vec![quick], CancelToken::new()))
+            .expect("C admitted");
+        c_rx.recv().expect("C reply").expect("pool not poisoned");
+        assert_eq!(sched.stats().cancelled.load(Ordering::Relaxed), 1);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn deadline_jobs_terminate_with_deadline_kind() {
+        let graph = test_graph("gen:pl:2000:24000:7");
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let slow = plan_of(&Pattern::clique(5));
+        let token = CancelToken::with_deadline(Duration::from_millis(1));
+        let rx = sched
+            .submit(job(&graph, vec![slow], token))
+            .expect("admitted");
+        let err = rx.recv().expect("reply").expect_err("deadline fires");
+        assert_eq!(
+            err.cancel_kind(),
+            Some(fingers_mining::CancelKind::Deadline),
+            "{err}"
+        );
+        sched.shutdown();
+    }
+
+    #[test]
+    fn shutdown_cancels_active_and_rejects_new_work() {
+        let graph = test_graph("gen:er:50:200:3");
+        let sched = Scheduler::new(SchedulerConfig::default());
+        sched.shutdown();
+        let err = sched
+            .submit(job(
+                &graph,
+                vec![plan_of(&Pattern::triangle())],
+                CancelToken::new(),
+            ))
+            .expect_err("rejected after shutdown");
+        assert_eq!(err, SubmitError::ShuttingDown);
+        sched.shutdown(); // idempotent
+    }
+}

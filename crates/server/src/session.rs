@@ -1,0 +1,297 @@
+//! Session layer: untrusted textual queries → verified execution plans.
+//!
+//! This is the trust boundary of the service. Pattern text is parsed with
+//! `fingers_pattern::parse_pattern`, compiled, and gated by the static
+//! plan verifier — an unsound plan is a typed [`SessionError::UnsoundPlan`]
+//! carrying the verifier's report, never a panic in a worker. Compiled
+//! plans are cached in a [`PlanCache`] keyed on the *canonical* pattern
+//! (minimum adjacency-mask vector over every vertex relabeling) plus the
+//! induced mode, so `tc` and `0-1,1-2,0-2` — or any other spelling of an
+//! isomorphic pattern — share one cache entry and one compilation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fingers_pattern::{parse_pattern, ExecutionPlan, Induced, Pattern};
+use fingers_verify::{PlanMutation, VerifyReport};
+
+/// Typed failures of the session layer, each mapped to a distinct protocol
+/// error kind (and client exit code) by the protocol layer.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The pattern text did not parse, or the request was malformed.
+    BadRequest(String),
+    /// The compiled (or mutated) plan failed static verification.
+    UnsoundPlan(VerifyReport),
+    /// The requested mutation has no applicable site in this plan.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::BadRequest(m) => write!(f, "{m}"),
+            SessionError::UnsoundPlan(report) => {
+                write!(f, "plan failed static verification: {report}")
+            }
+            SessionError::Unsupported(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Cache key: canonical adjacency-mask vector + induced mode.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    adj: Vec<u16>,
+    induced: Induced,
+}
+
+/// The canonical adjacency-mask vector of `pattern`: the lexicographic
+/// minimum over every relabeling of its vertices. Isomorphic patterns —
+/// however they were spelled — map to the same vector. Enumeration is
+/// `k!`, the same orbit the compiler's automorphism pass walks; patterns
+/// larger than 8 vertices (none of the paper's workloads) fall back to
+/// their literal adjacency, which is still a sound (merely less sharing)
+/// cache key.
+fn canonical_adj(pattern: &Pattern) -> Vec<u16> {
+    let k = pattern.size();
+    let masks = |p: &Pattern| (0..k).map(|v| p.adjacency_mask(v)).collect::<Vec<u16>>();
+    let mut best = masks(pattern);
+    if k > 8 {
+        return best;
+    }
+    let mut order: Vec<usize> = (0..k).collect();
+    // Heap's algorithm: visits every permutation of `order` exactly once.
+    let mut c = vec![0usize; k];
+    let mut i = 0;
+    while i < k {
+        if c[i] < i {
+            if i % 2 == 0 {
+                order.swap(0, i);
+            } else {
+                order.swap(c[i], i);
+            }
+            let candidate = masks(&pattern.relabeled(&order));
+            if candidate < best {
+                best = candidate;
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    best
+}
+
+/// A concurrent cache of compiled, verified execution plans.
+///
+/// Misses compile under the lock-free path (compilation happens outside
+/// the mutex; a racing duplicate compile is benign — last insert wins and
+/// both plans are identical), and every cached plan has passed the
+/// verifier, so cache hits skip straight to execution.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<ExecutionPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The verified plan for `pattern` under `induced`, compiled on first
+    /// use and shared thereafter.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnsoundPlan`] if a freshly compiled plan fails
+    /// verification (cannot happen for compiler-produced plans; the gate
+    /// is kept because this layer's contract is "nothing unverified ever
+    /// reaches a worker").
+    pub fn plan(
+        &self,
+        pattern: &Pattern,
+        induced: Induced,
+    ) -> Result<Arc<ExecutionPlan>, SessionError> {
+        let key = PlanKey {
+            adj: canonical_adj(pattern),
+            induced,
+        };
+        if let Some(hit) = self
+            .plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = ExecutionPlan::compile(pattern, induced);
+        let report = fingers_verify::verify(&plan);
+        if !report.is_sound() {
+            return Err(SessionError::UnsoundPlan(report));
+        }
+        let plan = Arc::new(plan);
+        self.plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= compilations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cached plans.
+    pub fn len(&self) -> usize {
+        self.plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Parses one pattern spec (name or edge list).
+///
+/// # Errors
+///
+/// [`SessionError::BadRequest`] naming the offending spec.
+pub fn parse_pattern_spec(spec: &str) -> Result<Pattern, SessionError> {
+    parse_pattern(spec).map_err(|e| SessionError::BadRequest(format!("pattern {spec:?}: {e}")))
+}
+
+/// Compiles `pattern`, optionally applies a named corruption from the
+/// `fingers-verify` mutation corpus, and verifies the result. Mutated
+/// plans bypass the cache — they exist to *demonstrate* the unsound-input
+/// rejection path, and must never be served to another query.
+///
+/// # Errors
+///
+/// [`SessionError::BadRequest`] for an unknown mutation name,
+/// [`SessionError::Unsupported`] when the mutation has no site in this
+/// plan, and [`SessionError::UnsoundPlan`] when verification rejects the
+/// mutated plan (the expected outcome for corpus mutations).
+pub fn verified_plan(
+    cache: &PlanCache,
+    pattern: &Pattern,
+    induced: Induced,
+    mutate: Option<&str>,
+) -> Result<Arc<ExecutionPlan>, SessionError> {
+    let Some(name) = mutate else {
+        return cache.plan(pattern, induced);
+    };
+    let mutation = PlanMutation::from_name(name)
+        .ok_or_else(|| SessionError::BadRequest(format!("unknown mutation {name:?}")))?;
+    let plan = ExecutionPlan::compile(pattern, induced);
+    let mutated = mutation.apply(&plan).ok_or_else(|| {
+        SessionError::Unsupported(format!(
+            "mutation {} has no site in the {pattern} plan",
+            mutation.name()
+        ))
+    })?;
+    let report = fingers_verify::verify(&mutated);
+    if report.is_sound() {
+        Ok(Arc::new(mutated))
+    } else {
+        Err(SessionError::UnsoundPlan(report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isomorphic_spellings_share_one_entry() {
+        let cache = PlanCache::new();
+        let named = parse_pattern_spec("tc").expect("named");
+        let spelled = parse_pattern_spec("0-1,1-2,0-2").expect("edges");
+        let a = cache.plan(&named, Induced::Vertex).expect("sound");
+        let b = cache.plan(&spelled, Induced::Vertex).expect("sound");
+        assert!(Arc::ptr_eq(&a, &b), "isomorphic patterns must share a plan");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn induced_mode_is_part_of_the_key() {
+        let cache = PlanCache::new();
+        let p = Pattern::triangle();
+        let v = cache.plan(&p, Induced::Vertex).expect("sound");
+        let e = cache.plan(&p, Induced::Edge).expect("sound");
+        assert!(!Arc::ptr_eq(&v, &e));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn distinct_patterns_do_not_collide() {
+        let cache = PlanCache::new();
+        for (a, b) in [("tc", "wedge"), ("4cl", "cyc"), ("tt", "dia")] {
+            let pa = parse_pattern_spec(a).expect("a");
+            let pb = parse_pattern_spec(b).expect("b");
+            let ka = canonical_adj(&pa);
+            let kb = canonical_adj(&pb);
+            assert_ne!(ka, kb, "{a} vs {b}");
+            cache.plan(&pa, Induced::Vertex).expect("sound");
+            cache.plan(&pb, Induced::Vertex).expect("sound");
+        }
+        assert_eq!(cache.len(), 6);
+    }
+
+    #[test]
+    fn canonical_form_is_relabeling_invariant() {
+        // The tailed triangle spelled two ways: canonical keys agree.
+        let a = parse_pattern_spec("0-1,0-2,1-2,2-3").expect("a");
+        let b = parse_pattern_spec("1-2,1-3,2-3,0-1").expect("b");
+        assert_eq!(canonical_adj(&a), canonical_adj(&b));
+    }
+
+    #[test]
+    fn mutation_path_rejects_unsound_and_flags_inapplicable() {
+        let cache = PlanCache::new();
+        let tt = parse_pattern_spec("tt").expect("tt");
+        let err = verified_plan(&cache, &tt, Induced::Vertex, Some("drop-init"))
+            .expect_err("drop-init must be caught");
+        assert!(matches!(err, SessionError::UnsoundPlan(_)), "{err:?}");
+        // Cliques have no subtraction ops to drop.
+        let tc = parse_pattern_spec("tc").expect("tc");
+        let err = verified_plan(&cache, &tc, Induced::Vertex, Some("drop-subtract"))
+            .expect_err("inapplicable");
+        assert!(matches!(err, SessionError::Unsupported(_)), "{err:?}");
+        let err =
+            verified_plan(&cache, &tc, Induced::Vertex, Some("no-such")).expect_err("unknown name");
+        assert!(matches!(err, SessionError::BadRequest(_)), "{err:?}");
+        // Mutated plans never pollute the cache.
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn bad_pattern_text_is_a_typed_error() {
+        let err = parse_pattern_spec("zzz").expect_err("bad spec");
+        assert!(matches!(err, SessionError::BadRequest(_)));
+        assert!(err.to_string().contains("zzz"));
+    }
+}

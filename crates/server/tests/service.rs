@@ -1,0 +1,369 @@
+//! End-to-end service tests over a real Unix socket: concurrency with
+//! mixed thread budgets stays bit-identical to serial execution,
+//! cancellation and deadlines never leak partial counts, admission
+//! control sheds load with a typed response, and unsound input is
+//! rejected at the session boundary.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use fingers_mining::EngineConfig;
+use fingers_server::{proto, Client, Daemon, DaemonConfig, Json, SchedulerConfig};
+
+static NEXT_SOCKET: AtomicU64 = AtomicU64::new(0);
+
+fn socket_path() -> PathBuf {
+    let n = NEXT_SOCKET.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "fingers-service-test-{}-{n}.sock",
+        std::process::id()
+    ))
+}
+
+fn start(graphs: &[(&str, &str)], sched: SchedulerConfig) -> Daemon {
+    Daemon::start(DaemonConfig {
+        socket: socket_path(),
+        graphs: graphs
+            .iter()
+            .map(|(n, s)| ((*n).to_owned(), (*s).to_owned()))
+            .collect(),
+        engine: EngineConfig::default(),
+        sched,
+    })
+    .expect("daemon starts")
+}
+
+fn parse(line: &str) -> Json {
+    Json::parse(line).unwrap_or_else(|e| panic!("bad response line {line:?}: {e}"))
+}
+
+fn counts_of(v: &Json) -> Vec<u64> {
+    v.get("counts")
+        .and_then(Json::as_array)
+        .expect("counts array")
+        .iter()
+        .map(|c| c.as_u64().expect("count fits u64"))
+        .collect()
+}
+
+#[test]
+fn concurrent_mixed_budget_queries_are_bit_identical_to_serial() {
+    let daemon = start(
+        &[("g", "gen:pl:1200:9600:5"), ("h", "gen:er:400:2400:9")],
+        SchedulerConfig::default(),
+    );
+    // Serial reference counts, computed directly against the engine.
+    let reference: Vec<(&str, &str, u64)> = [("g", "tc"), ("g", "4cl"), ("g", "tt"), ("h", "tc")]
+        .into_iter()
+        .map(|(graph, pat)| {
+            let spec = if graph == "g" {
+                "gen:pl:1200:9600:5"
+            } else {
+                "gen:er:400:2400:9"
+            };
+            let mut reg = fingers_server::GraphRegistry::new();
+            reg.load("x", spec, &EngineConfig::default()).expect("load");
+            let stored = reg.get("x").expect("stored");
+            let pattern = fingers_pattern::parse_pattern(pat).expect("pattern");
+            let plan =
+                fingers_pattern::ExecutionPlan::compile(&pattern, fingers_pattern::Induced::Vertex);
+            (graph, pat, fingers_mining::count_plan(&stored.graph, &plan))
+        })
+        .collect();
+    // 12 concurrent clients, thread budgets 1..=4, over both graphs.
+    let socket = daemon.socket().to_path_buf();
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            let socket = socket.clone();
+            let (graph, pat, expected) = reference[i % reference.len()];
+            let threads = 1 + (i % 4);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket).expect("connect");
+                let line = format!(
+                    r#"{{"op":"count","graph":"{graph}","patterns":["{pat}"],"threads":{threads}}}"#
+                );
+                let response = parse(&client.request(&line).expect("request"));
+                assert_eq!(
+                    response.get("status").and_then(Json::as_str),
+                    Some("ok"),
+                    "{response:?}"
+                );
+                assert_eq!(
+                    counts_of(&response),
+                    vec![expected],
+                    "graph {graph}, pattern {pat}, {threads} threads"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    // Isomorphic spellings hit the plan cache across connections.
+    let mut client = Client::connect(&socket).expect("connect");
+    let response = parse(
+        &client
+            .request(r#"{"op":"count","graph":"g","patterns":["0-1,1-2,0-2"]}"#)
+            .expect("request"),
+    );
+    assert_eq!(counts_of(&response), vec![reference[0].2]);
+    let stats = parse(&client.request(r#"{"op":"stats"}"#).expect("stats"));
+    let cache = stats.get("plan_cache").expect("plan_cache");
+    assert!(
+        cache.get("hits").and_then(Json::as_u64).expect("hits") >= 1,
+        "isomorphic spelling must hit the cache: {stats:?}"
+    );
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn explicit_cancel_discards_the_query_and_keeps_the_pool_alive() {
+    let daemon = start(
+        &[("g", "gen:pl:3000:36000:7")],
+        SchedulerConfig {
+            workers: 1,
+            queue_depth: 8,
+            max_threads_per_query: 1,
+            default_timeout: None,
+        },
+    );
+    let socket = daemon.socket().to_path_buf();
+    // Query A (slow 5-clique) occupies the single worker; B queues behind
+    // it and is cancelled from a separate connection while queued.
+    let a_socket = socket.clone();
+    let a = std::thread::spawn(move || {
+        let mut client = Client::connect(&a_socket).expect("connect A");
+        parse(
+            &client
+                .request(r#"{"op":"count","id":"slow-a","graph":"g","patterns":["5cl"]}"#)
+                .expect("A request"),
+        )
+    });
+    let b_socket = socket.clone();
+    let b = std::thread::spawn(move || {
+        let mut client = Client::connect(&b_socket).expect("connect B");
+        parse(
+            &client
+                .request(r#"{"op":"count","id":"doomed-b","graph":"g","patterns":["5cl"]}"#)
+                .expect("B request"),
+        )
+    });
+    // Cancel B once it is visible in the active registry.
+    let mut control = Client::connect(&socket).expect("connect control");
+    let mut found = false;
+    for _ in 0..200 {
+        let response = parse(
+            &control
+                .request(r#"{"op":"cancel","id":"doomed-b"}"#)
+                .expect("cancel"),
+        );
+        if response.get("found").and_then(Json::as_bool) == Some(true) {
+            found = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(found, "query b never appeared in the active registry");
+    let b_response = b.join().expect("B thread");
+    assert_eq!(
+        b_response.get("status").and_then(Json::as_str),
+        Some("cancelled"),
+        "{b_response:?}"
+    );
+    assert_eq!(
+        b_response.get("reason").and_then(Json::as_str),
+        Some("cancelled")
+    );
+    assert!(
+        b_response.get("counts").is_none(),
+        "a cancelled query must not leak partial counts: {b_response:?}"
+    );
+    assert_eq!(proto::exit_code_for_response(&b_response), 9);
+    // A still completes with real counts, and the pool serves new work.
+    let a_response = a.join().expect("A thread");
+    assert_eq!(
+        a_response.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "{a_response:?}"
+    );
+    let after = parse(
+        &control
+            .request(r#"{"op":"count","graph":"g","patterns":["tc"]}"#)
+            .expect("post-cancel query"),
+    );
+    assert_eq!(after.get("status").and_then(Json::as_str), Some("ok"));
+    let stats = parse(&control.request(r#"{"op":"stats"}"#).expect("stats"));
+    let sched = stats.get("scheduler").expect("scheduler");
+    assert_eq!(sched.get("cancelled").and_then(Json::as_u64), Some(1));
+    assert_eq!(sched.get("active").and_then(Json::as_u64), Some(0));
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn deadline_queries_report_deadline_and_workers_are_reclaimed() {
+    let daemon = start(
+        &[("g", "gen:pl:3000:36000:7")],
+        SchedulerConfig {
+            workers: 2,
+            queue_depth: 8,
+            max_threads_per_query: 2,
+            default_timeout: None,
+        },
+    );
+    let socket = daemon.socket().to_path_buf();
+    let mut client = Client::connect(&socket).expect("connect");
+    let response = parse(
+        &client
+            .request(r#"{"op":"count","graph":"g","patterns":["5cl"],"timeout_ms":1}"#)
+            .expect("request"),
+    );
+    assert_eq!(
+        response.get("status").and_then(Json::as_str),
+        Some("cancelled"),
+        "{response:?}"
+    );
+    assert_eq!(
+        response.get("reason").and_then(Json::as_str),
+        Some("deadline")
+    );
+    assert!(response.get("counts").is_none());
+    assert_eq!(proto::exit_code_for_response(&response), 9);
+    // Both workers survive: two fresh queries complete concurrently.
+    let after = parse(
+        &client
+            .request(r#"{"op":"count","graph":"g","patterns":["tc","wedge"]}"#)
+            .expect("post-deadline"),
+    );
+    assert_eq!(after.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(counts_of(&after).len(), 2);
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn admission_control_returns_typed_overloaded_responses() {
+    let daemon = start(
+        &[("g", "gen:pl:3000:36000:7")],
+        SchedulerConfig {
+            workers: 1,
+            queue_depth: 1,
+            max_threads_per_query: 1,
+            default_timeout: None,
+        },
+    );
+    let socket = daemon.socket().to_path_buf();
+    // Saturate: each query holds its connection until the reply, so run
+    // them on threads and push until one is rejected.
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket).expect("connect");
+                parse(
+                    &client
+                        .request(r#"{"op":"count","graph":"g","patterns":["5cl"],"threads":1}"#)
+                        .expect("request"),
+                )
+            })
+        })
+        .collect();
+    let responses: Vec<Json> = handles
+        .into_iter()
+        .map(|h| h.join().expect("join"))
+        .collect();
+    let overloaded: Vec<&Json> = responses
+        .iter()
+        .filter(|r| r.get("kind").and_then(Json::as_str) == Some("overloaded"))
+        .collect();
+    let succeeded = responses
+        .iter()
+        .filter(|r| r.get("status").and_then(Json::as_str) == Some("ok"))
+        .count();
+    assert!(
+        !overloaded.is_empty(),
+        "worker=1/depth=1 under 6 concurrent queries must shed load: {responses:?}"
+    );
+    assert!(succeeded >= 1, "admitted queries still complete");
+    assert_eq!(proto::exit_code_for_response(overloaded[0]), 8);
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn unsound_and_malformed_input_is_rejected_with_typed_kinds() {
+    let daemon = start(&[("g", "gen:er:100:400:3")], SchedulerConfig::default());
+    let socket = daemon.socket().to_path_buf();
+    let mut client = Client::connect(&socket).expect("connect");
+    let cases = [
+        (
+            r#"{"op":"verify-plan","pattern":"tt","mutate":"drop-init"}"#,
+            "unsound-plan",
+            7,
+        ),
+        (
+            r#"{"op":"count","graph":"g","patterns":["zzz"]}"#,
+            "bad-request",
+            2,
+        ),
+        (
+            r#"{"op":"count","graph":"nope","patterns":["tc"]}"#,
+            "unknown-graph",
+            3,
+        ),
+        (
+            r#"{"op":"count","graph":"g","patterns":["tc"],"mutate":"drop-subtract"}"#,
+            "unsupported",
+            6,
+        ),
+        (r#"not json at all"#, "bad-request", 2),
+    ];
+    for (request, kind, exit) in cases {
+        let response = parse(&client.request(request).expect("request"));
+        assert_eq!(
+            response.get("status").and_then(Json::as_str),
+            Some("error"),
+            "{request} -> {response:?}"
+        );
+        assert_eq!(
+            response.get("kind").and_then(Json::as_str),
+            Some(kind),
+            "{request} -> {response:?}"
+        );
+        assert_eq!(proto::exit_code_for_response(&response), exit, "{request}");
+    }
+    // A sound verify-plan passes on the same connection.
+    let ok = parse(
+        &client
+            .request(r#"{"op":"verify-plan","pattern":"tt"}"#)
+            .expect("request"),
+    );
+    assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(ok.get("sound").and_then(Json::as_bool), Some(true));
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn motif_census_and_shutdown_round_trip() {
+    let daemon = start(&[("g", "gen:er:300:1500:4")], SchedulerConfig::default());
+    let socket = daemon.socket().to_path_buf();
+    let mut client = Client::connect(&socket).expect("connect");
+    let census = parse(
+        &client
+            .request(r#"{"op":"motif-census","graph":"g"}"#)
+            .expect("census"),
+    );
+    assert_eq!(census.get("status").and_then(Json::as_str), Some("ok"));
+    let counts = counts_of(&census);
+    assert_eq!(counts.len(), 2, "triangle + wedge: {census:?}");
+    let total = census.get("total").and_then(Json::as_u64).expect("total");
+    assert_eq!(total, counts.iter().sum::<u64>());
+    // Shutdown acknowledges, then the daemon exits and removes its socket.
+    let bye = parse(&client.request(r#"{"op":"shutdown"}"#).expect("shutdown"));
+    assert_eq!(bye.get("status").and_then(Json::as_str), Some("ok"));
+    daemon.wait();
+    assert!(!socket.exists(), "socket file removed on shutdown");
+}

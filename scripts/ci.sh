@@ -81,12 +81,130 @@ FINGERS_RESULTS_DIR="$RESUME_DIR" FINGERS_MAX_SECTIONS=2 \
 FINGERS_RESULTS_DIR="$RESUME_DIR" \
   cargo run --release -q -p fingers-bench --bin run_all -- --quick --resume > /dev/null
 for section in table1 table2 fig9 fig10 fig11 fig12 fig13 table3 \
-               parallelism bitmap_kernels count_fusion energy ablations; do
+               parallelism bitmap_kernels count_fusion energy ablations \
+               service_latency; do
   n="$(grep -c "\"section\": \"$section\"" "$RESUME_DIR/run_all_manifest.jsonl" || true)"
   if [ "$n" -ne 1 ]; then
     echo "resume smoke: section $section appears $n times in the manifest (want 1)" >&2
     exit 1
   fi
 done
+
+# Daemon smoke: start the query service, drive a scripted client mix
+# (successful count checked against the one-shot --json schema, a
+# rejected-unsound plan, a deadline expiry, an explicit cancellation of a
+# queued query, stats), then assert clean shutdown and the documented
+# exit codes. --workers 1 serialises the pool so the cancellation target
+# deterministically queues behind the ~3 s "plug" query.
+echo "==> daemon smoke (serve/client query mix + clean shutdown)"
+MINE=target/release/fingers-mine
+DAEMON_DIR="$(mktemp -d)"
+trap 'rm -rf "$RESUME_DIR" "$DAEMON_DIR"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+SOCK="$DAEMON_DIR/fingers.sock"
+"$MINE" serve --socket "$SOCK" \
+  --load g=gen:pl:3000:36000:7 --load slow=gen:pl:4000:80000:18 \
+  --workers 1 --queue-depth 4 --max-threads 1 \
+  > "$DAEMON_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "daemon smoke: socket never appeared" >&2; exit 1; }
+
+# Successful count (exit 0) whose total matches the one-shot --json run.
+RESP="$("$MINE" client --socket "$SOCK" \
+  '{"op":"count","graph":"g","patterns":["tc"],"threads":1}')"
+echo "$RESP" | grep -q '"status":"ok"' \
+  || { echo "daemon smoke: count response not ok: $RESP" >&2; exit 1; }
+DAEMON_TOTAL="$(echo "$RESP" | sed 's/.*"total":\([0-9]*\).*/\1/')"
+ONESHOT_TOTAL="$("$MINE" --graph gen:pl:3000:36000:7 --pattern tc --threads 1 --json \
+  | sed 's/.*"total":\([0-9]*\).*/\1/')"
+if [ "$DAEMON_TOTAL" != "$ONESHOT_TOTAL" ]; then
+  echo "daemon smoke: daemon total $DAEMON_TOTAL != one-shot total $ONESHOT_TOTAL" >&2
+  exit 1
+fi
+
+# An unsound plan is rejected with the verifier exit code (7).
+set +e
+"$MINE" client --socket "$SOCK" \
+  '{"op":"verify-plan","pattern":"tt","mutate":"drop-init"}' > /dev/null
+code=$?
+set -e
+if [ "$code" -ne 7 ]; then
+  echo "daemon smoke: unsound verify-plan exited $code (want 7)" >&2
+  exit 1
+fi
+
+# A deadline expiry reports a cancelled status (exit 9, reason deadline).
+set +e
+DEADLINE_RESP="$("$MINE" client --socket "$SOCK" \
+  '{"op":"count","graph":"slow","patterns":["6cl"],"timeout_ms":1}')"
+code=$?
+set -e
+if [ "$code" -ne 9 ]; then
+  echo "daemon smoke: deadline query exited $code (want 9)" >&2
+  exit 1
+fi
+echo "$DEADLINE_RESP" | grep -q '"reason":"deadline"' \
+  || { echo "daemon smoke: deadline response: $DEADLINE_RESP" >&2; exit 1; }
+
+# Explicit cancel: the plug occupies the single worker, the victim queues
+# behind it and is cancelled while waiting; its client must exit 9 with a
+# cancelled reason and no counts.
+"$MINE" client --socket "$SOCK" \
+  '{"op":"count","id":"plug","graph":"slow","patterns":["6cl"]}' \
+  > "$DAEMON_DIR/plug.out" 2>&1 &
+PLUG_PID=$!
+sleep 0.3
+"$MINE" client --socket "$SOCK" \
+  '{"op":"count","id":"victim","graph":"slow","patterns":["6cl"]}' \
+  > "$DAEMON_DIR/victim.out" 2>&1 &
+VICTIM_PID=$!
+found=0
+for _ in $(seq 1 50); do
+  if "$MINE" client --socket "$SOCK" '{"op":"cancel","id":"victim"}' \
+      | grep -q '"found":true'; then
+    found=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$found" -eq 1 ] || { echo "daemon smoke: cancel never found the victim" >&2; exit 1; }
+set +e
+wait "$VICTIM_PID"
+code=$?
+set -e
+if [ "$code" -ne 9 ]; then
+  echo "daemon smoke: cancelled victim exited $code (want 9)" >&2
+  exit 1
+fi
+grep -q '"reason":"cancelled"' "$DAEMON_DIR/victim.out" \
+  || { echo "daemon smoke: victim response: $(cat "$DAEMON_DIR/victim.out")" >&2; exit 1; }
+if grep -q '"counts"' "$DAEMON_DIR/victim.out"; then
+  echo "daemon smoke: cancelled victim leaked partial counts" >&2
+  exit 1
+fi
+"$MINE" client --socket "$SOCK" '{"op":"cancel","id":"plug"}' > /dev/null
+set +e
+wait "$PLUG_PID"
+set -e
+
+# Stats reflect the mix, then shutdown: the client sees ok (exit 0), the
+# daemon exits 0 and removes its socket.
+"$MINE" client --socket "$SOCK" '{"op":"stats"}' | grep -q '"cancelled":' \
+  || { echo "daemon smoke: stats response missing scheduler counters" >&2; exit 1; }
+"$MINE" client --socket "$SOCK" '{"op":"shutdown"}' | grep -q '"status":"ok"' \
+  || { echo "daemon smoke: shutdown was not acknowledged" >&2; exit 1; }
+set +e
+wait "$SERVE_PID"
+code=$?
+set -e
+SERVE_PID=""
+if [ "$code" -ne 0 ]; then
+  echo "daemon smoke: daemon exited $code (want 0)" >&2
+  exit 1
+fi
+[ ! -S "$SOCK" ] || { echo "daemon smoke: socket file survived shutdown" >&2; exit 1; }
 
 echo "==> CI green"

@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use fingers_bench::checkpoint::{run_checkpointed, RunAllConfig, Section, SectionStatus};
 
-const SECTIONS: [Section; 14] = [
+const SECTIONS: [Section; 16] = [
     Section {
         name: "table1",
         run: fingers_bench::experiments::table1::run,
@@ -64,6 +64,14 @@ const SECTIONS: [Section; 14] = [
     Section {
         name: "count_fusion",
         run: fingers_bench::experiments::count_fusion::run,
+    },
+    Section {
+        name: "simd_kernels",
+        run: fingers_bench::experiments::simd_kernels::run,
+    },
+    Section {
+        name: "steal_balance",
+        run: fingers_bench::experiments::steal_balance::run,
     },
     Section {
         name: "energy",

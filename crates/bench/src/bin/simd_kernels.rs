@@ -1,0 +1,6 @@
+//! SIMD-tier equivalence sweep + scalar-vs-vector speedup grid.
+
+fn main() {
+    let quick = fingers_bench::quick_mode();
+    print!("{}", fingers_bench::experiments::simd_kernels::run(quick));
+}

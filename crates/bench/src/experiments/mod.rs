@@ -16,6 +16,8 @@ pub mod fig13;
 pub mod fig9;
 pub mod parallelism;
 pub mod service_latency;
+pub mod simd_kernels;
+pub mod steal_balance;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -133,13 +133,15 @@ fn render_json(cells: &[SoftwareCell]) -> String {
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"dataset\": \"{}\", \"benchmark\": \"{}\", \"threads\": {}, \
-             \"bitmap_hubs\": {}, \"count_fusion\": {}, \"embeddings\": {}, \
-             \"wall_ms\": {:.3}}}{}\n",
+             \"bitmap_hubs\": {}, \"count_fusion\": {}, \"simd\": {}, \
+             \"work_stealing\": {}, \"embeddings\": {}, \"wall_ms\": {:.3}}}{}\n",
             json_escape(&c.dataset),
             json_escape(&c.benchmark),
             c.threads,
             c.bitmap_hubs,
             c.count_fusion,
+            c.simd,
+            c.work_stealing,
             c.embeddings,
             c.wall_ms,
             if i + 1 == cells.len() { "" } else { "," }
@@ -171,6 +173,8 @@ mod tests {
                 threads: 1,
                 bitmap_hubs: 0,
                 count_fusion: true,
+                simd: true,
+                work_stealing: true,
                 embeddings: 42,
                 wall_ms: 1.5,
             },
@@ -180,6 +184,8 @@ mod tests {
                 threads: 2,
                 bitmap_hubs: 64,
                 count_fusion: false,
+                simd: false,
+                work_stealing: false,
                 embeddings: 42,
                 wall_ms: 0.9,
             },
@@ -192,6 +198,8 @@ mod tests {
         assert!(j.contains("\"bitmap_hubs\": 64"));
         assert!(j.contains("\"count_fusion\": true"));
         assert!(j.contains("\"count_fusion\": false"));
+        assert!(j.contains("\"simd\": true"));
+        assert!(j.contains("\"work_stealing\": false"));
         assert!(j.contains("\"embeddings\": 42"));
         // Exactly one separating comma between the two objects.
         assert_eq!(j.matches("},").count(), 1);

@@ -1,0 +1,456 @@
+//! SIMD kernel-tier evaluation: what the fourth (vector) tier buys over the
+//! scalar merge kernels it shadows, in exactly the operand region where the
+//! adaptive selector hands work to it (DESIGN.md §14).
+//!
+//! Two sections:
+//!
+//! 1. **Equivalence sweep** — every SIMD kernel form (materializing, count,
+//!    bounded count, word-AND popcount) asserted bit-identical to the merge
+//!    reference on generated sorted sets spanning the selector's whole
+//!    region, including sub-block tails and empty overlaps. The assertions
+//!    are what CI smoke-runs care about (`--quick`); timings are advisory.
+//! 2. **Before/after speedup grid** — (short, long) length cells inside the
+//!    merge/SIMD balanced region (`SIMD_MIN_LEN ≤ min`, ratio below the
+//!    galloping crossover), each kind × form timed scalar vs SIMD over a
+//!    batch of operand pairs. The worst cell is reported explicitly: tier
+//!    selection is only sound as a pure performance decision if no eligible
+//!    cell regresses.
+//!
+//! The raw series is written to `simd_kernels.json` under the usual
+//! results-directory gating. On builds or machines where the vector path is
+//! unavailable ([`fingers_setops::simd::available`] is false) every kernel
+//! delegates to merge, so speedups read 1.0× — the JSON records the probe
+//! result so such runs are not mistaken for regressions.
+
+use std::time::Instant;
+
+use fingers_setops::adaptive::SIMD_MIN_LEN;
+use fingers_setops::{merge, simd, Elem, SetOpKind};
+
+use crate::report::{json_escape, write_json};
+
+/// Runs both sections and writes `simd_kernels.json`.
+pub fn run(quick: bool) -> String {
+    let checked = equivalence_sweep(quick);
+    let cells = run_speedup(quick);
+    write_json("simd_kernels", &render_json(&cells));
+
+    let mut out = format!(
+        "## SIMD kernels — scalar equivalence sweep\n\n\
+         {checked} (kind, form, lengths) combinations asserted bit-identical \
+         between the SIMD tier and the merge reference (vector path \
+         available: {}). Tier choice stays a pure performance decision.\n",
+        simd::available()
+    );
+    out.push_str(&render_speedup(&cells));
+    out
+}
+
+/// Deterministic xorshift64* stream — the experiment must not depend on a
+/// process-global RNG so cells are reproducible across runs and machines.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A strictly increasing duplicate-free list of `len` elements with average
+/// gap `gap` (gap ∈ [1, 2·gap−1]), starting near `base`. Small gaps give
+/// dense overlap between operands drawn from the same base — the high-hit
+/// regime where the block-compare kernels do the most shuffling work.
+fn sorted_set(rng: &mut Rng, len: usize, base: u32, gap: u32) -> Vec<Elem> {
+    let mut out = Vec::with_capacity(len);
+    let mut cur = base + (rng.next() as u32 % gap.max(1));
+    for _ in 0..len {
+        cur += 1 + (rng.next() as u32 % (2 * gap.max(1) - 1));
+        out.push(cur);
+    }
+    out
+}
+
+/// Asserts every SIMD kernel form equals its merge reference across a grid
+/// of lengths (including sub-block tails and the empty list), kinds, and
+/// overlap densities; returns how many combinations were checked.
+pub fn equivalence_sweep(quick: bool) -> usize {
+    let lengths: &[usize] = if quick {
+        &[0, 1, 3, 4, 7, 16, 33, 64]
+    } else {
+        &[0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 64, 129, 512, 1023]
+    };
+    let mut rng = Rng(0x5EED_CAFE);
+    let mut checked = 0usize;
+    for &sl in lengths {
+        for &ll in lengths {
+            for gap in [1u32, 4, 64] {
+                let short = sorted_set(&mut rng, sl, 0, gap);
+                let long = sorted_set(&mut rng, ll, 0, gap);
+                for kind in [
+                    SetOpKind::Intersect,
+                    SetOpKind::Subtract,
+                    SetOpKind::AntiSubtract,
+                ] {
+                    assert_eq!(
+                        simd::apply(kind, &short, &long),
+                        merge::apply(kind, &short, &long),
+                        "{kind:?} sl={sl} ll={ll} gap={gap}"
+                    );
+                    assert_eq!(
+                        simd::count(kind, &short, &long),
+                        merge::count(kind, &short, &long),
+                        "count {kind:?} sl={sl} ll={ll} gap={gap}"
+                    );
+                    let bound = short.first().copied().map(|b| b + gap * sl as u32 / 2);
+                    assert_eq!(
+                        simd::count_bounded(kind, &short, &long, bound),
+                        merge::count_bounded(kind, &short, &long, bound),
+                        "count_bounded {kind:?} sl={sl} ll={ll} gap={gap}"
+                    );
+                    checked += 3;
+                }
+            }
+        }
+    }
+    // Word-AND popcount vs the software reference.
+    for words in [0usize, 1, 7, 64, 1024] {
+        let a: Vec<u64> = (0..words).map(|_| rng.next()).collect();
+        let b: Vec<u64> = (0..words).map(|_| rng.next()).collect();
+        let reference: u64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| u64::from((x & y).count_ones()))
+            .sum();
+        assert_eq!(simd::and_popcount(&a, &b), reference, "popcount {words}w");
+        checked += 1;
+    }
+    checked
+}
+
+/// One scalar-vs-SIMD cell of the speedup grid.
+#[derive(Debug, Clone)]
+pub struct SimdCell {
+    /// Set-op kind abbreviation (`int`, `sub`, `anti`) or `popcnt` for the
+    /// bitmap word sweep.
+    pub kind: String,
+    /// Kernel form: `apply` (materializing) or `count`.
+    pub form: String,
+    /// Short-operand length (word count for `popcnt`).
+    pub short_len: usize,
+    /// Long-operand length (word count for `popcnt`).
+    pub long_len: usize,
+    /// Batch wall ms through the scalar merge kernels.
+    pub scalar_ms: f64,
+    /// Batch wall ms through the SIMD tier.
+    pub simd_ms: f64,
+    /// `scalar_ms / simd_ms`.
+    pub speedup: f64,
+}
+
+fn kind_abbrev(kind: SetOpKind) -> &'static str {
+    match kind {
+        SetOpKind::Intersect => "int",
+        SetOpKind::Subtract => "sub",
+        SetOpKind::AntiSubtract => "anti",
+    }
+}
+
+/// Length cells, all inside the region the adaptive selector actually hands
+/// to the SIMD tier: `min(short, long) ≥ SIMD_MIN_LEN` and
+/// `long ≤ 16·short` (below the galloping crossover).
+fn length_grid(quick: bool) -> Vec<(usize, usize)> {
+    if quick {
+        vec![(SIMD_MIN_LEN, SIMD_MIN_LEN), (256, 256)]
+    } else {
+        vec![
+            (SIMD_MIN_LEN, SIMD_MIN_LEN),
+            (64, 64),
+            (256, 256),
+            (1024, 1024),
+            (4096, 4096),
+            (512, 4096),
+        ]
+    }
+}
+
+/// Times every (lengths × kind × form) cell: a batch of pre-generated
+/// operand pairs is pushed through the scalar merge kernel and the SIMD
+/// kernel, best-of-`reps` each, counts asserted identical. Polls the
+/// checkpoint watchdog between cells like the other grids.
+pub fn run_speedup(quick: bool) -> Vec<SimdCell> {
+    let token = crate::checkpoint::section_token();
+    let reps = if quick { 2 } else { 5 };
+    let mut rng = Rng(0xD1CE_D00D);
+    let mut cells = Vec::new();
+    for (sl, ll) in length_grid(quick) {
+        // Batch sized so every cell does comparable total element work —
+        // small operands get more pairs, amortizing timer overhead.
+        let pairs = (1 << 19) / (sl + ll).max(1);
+        let batch: Vec<(Vec<Elem>, Vec<Elem>)> = (0..pairs.max(8))
+            .map(|_| {
+                (
+                    sorted_set(&mut rng, sl, 0, 4),
+                    sorted_set(&mut rng, ll, 0, 4),
+                )
+            })
+            .collect();
+        for kind in [
+            SetOpKind::Intersect,
+            SetOpKind::Subtract,
+            SetOpKind::AntiSubtract,
+        ] {
+            if token.is_cancelled() {
+                return cells;
+            }
+            cells.push(time_apply_cell(kind, sl, ll, &batch, reps));
+            cells.push(time_count_cell(kind, sl, ll, &batch, reps));
+        }
+    }
+    // Bitmap word-AND popcount sweep: scalar software sweep vs the
+    // hardware-popcount kernel, per words-per-operand size.
+    for words in [64usize, 1024] {
+        if token.is_cancelled() {
+            return cells;
+        }
+        let sweeps = (1 << 16) / words;
+        let batch: Vec<(Vec<u64>, Vec<u64>)> = (0..sweeps)
+            .map(|_| {
+                (
+                    (0..words).map(|_| rng.next()).collect(),
+                    (0..words).map(|_| rng.next()).collect(),
+                )
+            })
+            .collect();
+        let scalar_ms = best_ms(reps, || {
+            batch
+                .iter()
+                .map(|(a, b)| {
+                    a.iter()
+                        .zip(b)
+                        .map(|(x, y)| u64::from((x & y).count_ones()))
+                        .sum::<u64>()
+                })
+                .sum::<u64>()
+        });
+        let simd_ms = best_ms(reps, || {
+            batch
+                .iter()
+                .map(|(a, b)| simd::and_popcount(a, b))
+                .sum::<u64>()
+        });
+        cells.push(SimdCell {
+            kind: "popcnt".to_owned(),
+            form: "count".to_owned(),
+            short_len: words,
+            long_len: words,
+            scalar_ms,
+            simd_ms,
+            speedup: scalar_ms / simd_ms.max(1e-9),
+        });
+    }
+    cells
+}
+
+/// Best-of-`reps` wall ms of `body` (its result is black-boxed so the
+/// batch is not optimized away).
+fn best_ms<T>(reps: usize, mut body: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = body();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(out);
+    }
+    best
+}
+
+fn time_apply_cell(
+    kind: SetOpKind,
+    sl: usize,
+    ll: usize,
+    batch: &[(Vec<Elem>, Vec<Elem>)],
+    reps: usize,
+) -> SimdCell {
+    let mut out = Vec::with_capacity(sl.max(ll));
+    let mut scalar_total = 0u64;
+    let scalar_ms = best_ms(reps, || {
+        let mut n = 0u64;
+        for (s, l) in batch {
+            merge::apply_into(kind, s, l, &mut out);
+            n += out.len() as u64;
+        }
+        scalar_total = n;
+        n
+    });
+    let mut simd_total = 0u64;
+    let simd_ms = best_ms(reps, || {
+        let mut n = 0u64;
+        for (s, l) in batch {
+            simd::apply_into(kind, s, l, &mut out);
+            n += out.len() as u64;
+        }
+        simd_total = n;
+        n
+    });
+    assert_eq!(scalar_total, simd_total, "apply {kind:?} {sl}x{ll}");
+    SimdCell {
+        kind: kind_abbrev(kind).to_owned(),
+        form: "apply".to_owned(),
+        short_len: sl,
+        long_len: ll,
+        scalar_ms,
+        simd_ms,
+        speedup: scalar_ms / simd_ms.max(1e-9),
+    }
+}
+
+fn time_count_cell(
+    kind: SetOpKind,
+    sl: usize,
+    ll: usize,
+    batch: &[(Vec<Elem>, Vec<Elem>)],
+    reps: usize,
+) -> SimdCell {
+    let mut scalar_total = 0u64;
+    let scalar_ms = best_ms(reps, || {
+        let n: u64 = batch.iter().map(|(s, l)| merge::count(kind, s, l)).sum();
+        scalar_total = n;
+        n
+    });
+    let mut simd_total = 0u64;
+    let simd_ms = best_ms(reps, || {
+        let n: u64 = batch.iter().map(|(s, l)| simd::count(kind, s, l)).sum();
+        simd_total = n;
+        n
+    });
+    assert_eq!(scalar_total, simd_total, "count {kind:?} {sl}x{ll}");
+    SimdCell {
+        kind: kind_abbrev(kind).to_owned(),
+        form: "count".to_owned(),
+        short_len: sl,
+        long_len: ll,
+        scalar_ms,
+        simd_ms,
+        speedup: scalar_ms / simd_ms.max(1e-9),
+    }
+}
+
+/// The grid's worst (minimum) speedup, or `None` on an empty grid.
+pub fn worst_speedup(cells: &[SimdCell]) -> Option<f64> {
+    cells.iter().map(|c| c.speedup).reduce(f64::min)
+}
+
+fn render_speedup(cells: &[SimdCell]) -> String {
+    let mut out = String::from(
+        "\n## SIMD kernels — scalar vs vector speedup grid\n\n\
+         Batch wall time per (kind, form, lengths) cell inside the region \
+         the adaptive selector routes to the SIMD tier; counts asserted \
+         identical between the two paths.\n\n\
+         | kind | form | short | long | scalar ms | simd ms | speedup |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    for c in cells {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {:.2} | {:.2} | {:.2}× |\n",
+            c.kind, c.form, c.short_len, c.long_len, c.scalar_ms, c.simd_ms, c.speedup
+        ));
+    }
+    if let Some(worst) = worst_speedup(cells) {
+        let best = cells.iter().map(|c| c.speedup).fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "\n- best cell {best:.2}×, worst cell {worst:.2}× (the tier only \
+             claims operands with min length ≥ {SIMD_MIN_LEN} below the \
+             galloping crossover, so the worst cell staying near 1.0× is the \
+             selector-soundness signal)\n"
+        ));
+    }
+    out
+}
+
+/// Renders the speedup series as a JSON document.
+fn render_json(cells: &[SimdCell]) -> String {
+    let mut out = format!(
+        "{{\n  \"simd_available\": {},\n  \"simd_min_len\": {SIMD_MIN_LEN},\n  \"cells\": [\n",
+        simd::available()
+    );
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"form\": \"{}\", \"short_len\": {}, \
+             \"long_len\": {}, \"scalar_ms\": {:.3}, \"simd_ms\": {:.3}, \
+             \"speedup\": {:.3}}}{}\n",
+            json_escape(&c.kind),
+            json_escape(&c.form),
+            c.short_len,
+            c.long_len,
+            c.scalar_ms,
+            c.simd_ms,
+            c.speedup,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    let worst = worst_speedup(cells).unwrap_or(1.0);
+    out.push_str(&format!("  ],\n  \"worst_speedup\": {worst:.3}\n}}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_sets_are_strictly_increasing() {
+        let mut rng = Rng(7);
+        for (len, gap) in [(0usize, 1u32), (1, 1), (17, 1), (100, 8)] {
+            let s = sorted_set(&mut rng, len, 0, gap);
+            assert_eq!(s.len(), len);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn quick_equivalence_sweep_passes() {
+        // `equivalence_sweep` panics on any simd/merge divergence; the
+        // return value proves every combination actually ran.
+        assert!(equivalence_sweep(true) > 500);
+    }
+
+    #[test]
+    fn quick_speedup_cells_are_consistent() {
+        let cells = run_speedup(true);
+        assert!(!cells.is_empty());
+        assert!(cells.iter().any(|c| c.kind == "popcnt"));
+        for c in &cells {
+            assert!(c.scalar_ms >= 0.0 && c.simd_ms >= 0.0);
+            assert!((c.speedup - c.scalar_ms / c.simd_ms.max(1e-9)).abs() < 1e-9);
+            assert!(
+                c.short_len >= SIMD_MIN_LEN,
+                "cell outside the SIMD region: {c:?}"
+            );
+        }
+        assert!(worst_speedup(&cells).is_some());
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let cells = vec![SimdCell {
+            kind: "int".into(),
+            form: "count".into(),
+            short_len: 64,
+            long_len: 64,
+            scalar_ms: 2.0,
+            simd_ms: 1.0,
+            speedup: 2.0,
+        }];
+        let j = render_json(&cells);
+        assert!(j.starts_with("{\n"));
+        assert!(j.trim_end().ends_with('}'));
+        assert!(j.contains("\"simd_available\""));
+        assert!(j.contains("\"cells\": ["));
+        assert!(j.contains("\"worst_speedup\": 2.000"));
+    }
+}

@@ -1,0 +1,368 @@
+//! Work-stealing load-balance evaluation on a hub-heavy power-law graph
+//! (DESIGN.md §14).
+//!
+//! The Chung–Lu generator puts its hubs at low vertex ids, so a *static*
+//! root partition (one contiguous chunk per worker, no dynamic claiming —
+//! the strawman the paper's accelerator also avoids) gives worker 0 nearly
+//! all the DFS work and leaves the rest idle. The experiment compares three
+//! schedulers per (benchmark, threads) cell:
+//!
+//! - **static** — one [`MiningTask`] per worker, assigned up front;
+//! - **cursor** — the shared-atomic dynamic baseline
+//!   ([`EngineConfig::without_stealing`], PR-2's scheduler);
+//! - **steal** — the work-stealing deques (default config).
+//!
+//! **Metric: critical-path ms, not contended wall ms.** Each scheduler's
+//! realized task→worker assignment (from
+//! [`fingers_mining::count_plan_parallel_trace`]) is replayed serially,
+//! timing each worker's task list uncontended; the cell's cost is the
+//! slowest worker — exactly what the wall clock shows on a machine with at
+//! least `threads` idle cores. Measuring contended wall time instead would
+//! let the host's core count mask the imbalance under test (on a
+//! single-core CI box every schedule takes the same wall time; the hub
+//! straggler is invisible). Actual steal-run wall ms is recorded as an
+//! advisory column.
+//!
+//! Counts are asserted bit-identical to the serial miner for every
+//! scheduler in every cell — scheduling is a pure performance decision —
+//! and the headline number is the steal-vs-static critical-path speedup at
+//! 8 threads. The raw series is written to `steal_balance.json` under the
+//! usual results-directory gating.
+
+use std::time::Instant;
+
+use fingers_graph::gen::{chung_lu_power_law, ChungLuConfig};
+use fingers_graph::CsrGraph;
+use fingers_mining::{
+    count_benchmark_with, count_plan_parallel_trace, CountSink, EngineConfig, MiningTask, PlanMiner,
+};
+use fingers_pattern::benchmarks::Benchmark;
+
+use crate::report::{json_escape, write_json};
+
+/// Runs the grid and writes `steal_balance.json`.
+pub fn run(quick: bool) -> String {
+    let cells = run_grid(quick);
+    write_json("steal_balance", &render_json(&cells));
+    render_grid(&cells)
+}
+
+/// The synthetic heavy-tail graph (same construction as `bitmap_kernels`
+/// and `count_fusion`'s `plhub`): hubs at low ids make the static chunk
+/// containing them the straggler.
+fn plhub() -> CsrGraph {
+    let mut cfg = ChungLuConfig::new(4000, 80_000, 18);
+    cfg.exponent = 1.9;
+    chung_lu_power_law(&cfg)
+}
+
+/// One (benchmark, threads) cell: the same workload under all three
+/// schedulers.
+#[derive(Debug, Clone)]
+pub struct StealCell {
+    /// Benchmark abbreviation.
+    pub benchmark: String,
+    /// Worker count every scheduler ran with.
+    pub threads: usize,
+    /// Critical-path ms of the static one-chunk-per-worker partition.
+    pub static_ms: f64,
+    /// Critical-path ms of the shared-cursor baseline's realized schedule.
+    pub cursor_ms: f64,
+    /// Critical-path ms of the work-stealing schedule.
+    pub steal_ms: f64,
+    /// Advisory: contended wall ms of the actual steal run (tracks
+    /// `steal_ms` only when the host has `threads` idle cores).
+    pub steal_wall_ms: f64,
+    /// `static_ms / steal_ms` — the headline balance win.
+    pub speedup_vs_static: f64,
+    /// `cursor_ms / steal_ms` — stealing vs the already-dynamic baseline.
+    pub speedup_vs_cursor: f64,
+    /// Total embeddings (asserted identical across all schedulers and the
+    /// serial miner).
+    pub embeddings: u64,
+}
+
+/// Serially mines each worker's task list of `schedule` with a fresh miner
+/// and returns the slowest worker's wall ms (the schedule's critical path)
+/// plus the total count. Uncontended by construction: one worker's tasks
+/// run at a time, so the measurement is pure work, not host core count.
+fn replay_critical_ms(
+    graph: &CsrGraph,
+    bench: Benchmark,
+    schedules: &[Vec<Vec<MiningTask>>],
+    config: &EngineConfig,
+) -> (f64, u64) {
+    let multi = bench.plan();
+    assert_eq!(
+        schedules.len(),
+        multi.plans().len(),
+        "one schedule per plan"
+    );
+    let hubs = config.hub_set(graph);
+    let workers = schedules.iter().map(Vec::len).max().unwrap_or(0);
+    let mut per_worker_ms = vec![0.0f64; workers];
+    let mut total = 0u64;
+    for (plan, trace) in multi.plans().iter().zip(schedules) {
+        for (worker, tasks) in trace.iter().enumerate() {
+            let mut miner = PlanMiner::with_hubs(graph, plan, hubs.clone(), config);
+            let mut sink = CountSink::default();
+            let start = Instant::now();
+            for task in tasks {
+                miner.run(task.clone(), &mut sink);
+            }
+            per_worker_ms[worker] += start.elapsed().as_secs_f64() * 1e3;
+            total += sink.count;
+        }
+    }
+    (per_worker_ms.iter().copied().fold(0.0, f64::max), total)
+}
+
+/// The static schedule: exactly one contiguous root chunk per worker.
+fn static_schedule(vertex_count: usize, threads: usize) -> Vec<Vec<MiningTask>> {
+    MiningTask::partition(vertex_count, threads.max(1))
+        .into_iter()
+        .map(|t| vec![t])
+        .collect()
+}
+
+/// The benchmark set: triangle counting in quick mode, plus the 4-clique
+/// (deeper trees amplify per-root skew) in full mode.
+fn balance_benchmarks(quick: bool) -> Vec<Benchmark> {
+    if quick {
+        vec![Benchmark::Tc]
+    } else {
+        vec![Benchmark::Tc, Benchmark::Cl4]
+    }
+}
+
+/// Runs the benchmark × thread-count grid on the hub graph; asserts every
+/// scheduler's count equals the serial miner's. Polls the checkpoint
+/// watchdog between cells like the other grids.
+pub fn run_grid(quick: bool) -> Vec<StealCell> {
+    let token = crate::checkpoint::section_token();
+    let reps = if quick { 1 } else { 3 };
+    let graph = plhub();
+    let steal_cfg = EngineConfig::default();
+    let cursor_cfg = EngineConfig::without_stealing();
+    let thread_counts: &[usize] = if quick { &[1, 8] } else { &[1, 2, 4, 8] };
+
+    let mut cells = Vec::new();
+    for b in balance_benchmarks(quick) {
+        let serial = count_benchmark_with(&graph, b, &steal_cfg).total();
+        for &threads in thread_counts {
+            if token.is_cancelled() {
+                return cells;
+            }
+            // Realized schedules (and an advisory contended wall time for
+            // the steal run); the traced runs' own counts are asserted
+            // against the serial miner as well.
+            let static_trace: Vec<Vec<Vec<MiningTask>>> = b
+                .plan()
+                .plans()
+                .iter()
+                .map(|_| static_schedule(graph.vertex_count(), threads))
+                .collect();
+            let wall_start = Instant::now();
+            let mut traced_steal_count = 0u64;
+            let steal_trace: Vec<Vec<Vec<MiningTask>>> = b
+                .plan()
+                .plans()
+                .iter()
+                .map(|plan| {
+                    let (count, trace) =
+                        count_plan_parallel_trace(&graph, plan, threads, &steal_cfg);
+                    traced_steal_count += count;
+                    trace
+                })
+                .collect();
+            let steal_wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(traced_steal_count, serial, "traced steal run diverged");
+            let mut traced_cursor_count = 0u64;
+            let cursor_trace: Vec<Vec<Vec<MiningTask>>> = b
+                .plan()
+                .plans()
+                .iter()
+                .map(|plan| {
+                    let (count, trace) =
+                        count_plan_parallel_trace(&graph, plan, threads, &cursor_cfg);
+                    traced_cursor_count += count;
+                    trace
+                })
+                .collect();
+            assert_eq!(traced_cursor_count, serial, "traced cursor run diverged");
+
+            let (mut static_ms, mut cursor_ms, mut steal_ms) =
+                (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+            let (mut static_total, mut cursor_total, mut steal_total) = (0u64, 0u64, 0u64);
+            for _ in 0..reps {
+                let (ms, n) = replay_critical_ms(&graph, b, &static_trace, &cursor_cfg);
+                static_ms = static_ms.min(ms);
+                static_total = n;
+                let (ms, n) = replay_critical_ms(&graph, b, &cursor_trace, &cursor_cfg);
+                cursor_ms = cursor_ms.min(ms);
+                cursor_total = n;
+                let (ms, n) = replay_critical_ms(&graph, b, &steal_trace, &steal_cfg);
+                steal_ms = steal_ms.min(ms);
+                steal_total = n;
+            }
+            assert_eq!(static_total, serial, "static diverged: {b} t={threads}");
+            assert_eq!(cursor_total, serial, "cursor diverged: {b} t={threads}");
+            assert_eq!(steal_total, serial, "steal diverged: {b} t={threads}");
+            cells.push(StealCell {
+                benchmark: b.abbrev().to_owned(),
+                threads,
+                static_ms,
+                cursor_ms,
+                steal_ms,
+                steal_wall_ms,
+                speedup_vs_static: static_ms / steal_ms.max(1e-9),
+                speedup_vs_cursor: cursor_ms / steal_ms.max(1e-9),
+                embeddings: serial,
+            });
+        }
+    }
+    cells
+}
+
+/// The minimum steal-vs-static speedup among 8-thread cells (the
+/// acceptance headline), or `None` when no 8-thread cell exists.
+pub fn worst_8t_vs_static(cells: &[StealCell]) -> Option<f64> {
+    cells
+        .iter()
+        .filter(|c| c.threads == 8)
+        .map(|c| c.speedup_vs_static)
+        .reduce(f64::min)
+}
+
+fn render_grid(cells: &[StealCell]) -> String {
+    let mut out = String::from(
+        "## Work stealing — load balance on the power-law hub graph\n\n\
+         Critical-path time (slowest worker's serially replayed task list) \
+         of the realized schedule under a static one-chunk-per-worker \
+         partition, the shared-cursor dynamic baseline, and the \
+         work-stealing deques; counts asserted bit-identical to the serial \
+         miner in every cell. Critical path is what the wall clock shows \
+         with enough idle cores — contended wall time would hide the \
+         imbalance on small hosts.\n\n\
+         | benchmark | threads | static ms | cursor ms | steal ms | \
+         vs static | vs cursor |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    for c in cells {
+        out.push_str(&format!(
+            "| {} | {} | {:.1} | {:.1} | {:.1} | {:.2}× | {:.2}× |\n",
+            c.benchmark,
+            c.threads,
+            c.static_ms,
+            c.cursor_ms,
+            c.steal_ms,
+            c.speedup_vs_static,
+            c.speedup_vs_cursor
+        ));
+    }
+    if let Some(worst) = worst_8t_vs_static(cells) {
+        out.push_str(&format!(
+            "\n- worst 8-thread steal-vs-static speedup: {worst:.2}× \
+             (the hub chunk serializes the static schedule; stealing sheds \
+             its queued tail to idle workers)\n"
+        ));
+    }
+    out
+}
+
+/// Renders the grid as a JSON document.
+fn render_json(cells: &[StealCell]) -> String {
+    let mut out = String::from("{\n  \"metric\": \"critical_path_ms\",\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"plhub\", \"benchmark\": \"{}\", \
+             \"threads\": {}, \"static_ms\": {:.3}, \"cursor_ms\": {:.3}, \
+             \"steal_ms\": {:.3}, \"steal_wall_ms\": {:.3}, \
+             \"speedup_vs_static\": {:.3}, \"speedup_vs_cursor\": {:.3}, \
+             \"embeddings\": {}}}{}\n",
+            json_escape(&c.benchmark),
+            c.threads,
+            c.static_ms,
+            c.cursor_ms,
+            c.steal_ms,
+            c.steal_wall_ms,
+            c.speedup_vs_static,
+            c.speedup_vs_cursor,
+            c.embeddings,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    let worst = worst_8t_vs_static(cells).unwrap_or(0.0);
+    out.push_str(&format!("  ],\n  \"worst_8t_vs_static\": {worst:.3}\n}}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingers_graph::gen::erdos_renyi;
+
+    #[test]
+    fn static_schedule_partitions_roots() {
+        for (n, threads) in [(97usize, 8usize), (16, 16), (5, 8)] {
+            let sched = static_schedule(n, threads);
+            let mut roots: Vec<u32> = sched.iter().flatten().flat_map(MiningTask::roots).collect();
+            roots.sort_unstable();
+            let everything: Vec<u32> = (0..n as u32).collect();
+            assert_eq!(roots, everything, "n={n} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn replay_matches_serial_count() {
+        let g = erdos_renyi(80, 400, 9);
+        let cfg = EngineConfig::default();
+        let serial = count_benchmark_with(&g, Benchmark::Tc, &cfg).total();
+        for threads in [1usize, 2, 8] {
+            let schedules: Vec<Vec<Vec<MiningTask>>> = Benchmark::Tc
+                .plan()
+                .plans()
+                .iter()
+                .map(|_| static_schedule(g.vertex_count(), threads))
+                .collect();
+            let (ms, total) = replay_critical_ms(&g, Benchmark::Tc, &schedules, &cfg);
+            assert_eq!(total, serial, "threads={threads}");
+            assert!(ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn quick_grid_cells_are_consistent() {
+        let cells = run_grid(true);
+        assert!(!cells.is_empty());
+        assert!(cells.iter().any(|c| c.threads == 8));
+        for c in &cells {
+            assert!(c.static_ms >= 0.0 && c.cursor_ms >= 0.0 && c.steal_ms >= 0.0);
+            assert!((c.speedup_vs_static - c.static_ms / c.steal_ms.max(1e-9)).abs() < 1e-9);
+            assert!((c.speedup_vs_cursor - c.cursor_ms / c.steal_ms.max(1e-9)).abs() < 1e-9);
+        }
+        assert!(worst_8t_vs_static(&cells).is_some());
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let cells = vec![StealCell {
+            benchmark: "tc".into(),
+            threads: 8,
+            static_ms: 40.0,
+            cursor_ms: 12.0,
+            steal_ms: 10.0,
+            steal_wall_ms: 11.0,
+            speedup_vs_static: 4.0,
+            speedup_vs_cursor: 1.2,
+            embeddings: 99,
+        }];
+        let j = render_json(&cells);
+        assert!(j.starts_with("{\n"));
+        assert!(j.trim_end().ends_with('}'));
+        assert!(j.contains("\"metric\": \"critical_path_ms\""));
+        assert!(j.contains("\"cells\": ["));
+        assert!(j.contains("\"worst_8t_vs_static\": 4.000"));
+        assert!(j.contains("\"speedup_vs_cursor\": 1.200"));
+    }
+}

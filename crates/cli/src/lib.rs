@@ -94,6 +94,12 @@ pub struct Options {
     /// Fuse terminal-counting plan levels into count kernels (default on;
     /// `--no-count-fusion` reinstates the materializing baseline).
     pub count_fusion: bool,
+    /// Let the adaptive dispatch pick the SIMD block-compare kernels
+    /// (default on; `--no-simd` reinstates the scalar tiers).
+    pub simd: bool,
+    /// Work-stealing task scheduling for parallel mining (default on;
+    /// `--no-steal` reinstates the shared-cursor baseline).
+    pub work_stealing: bool,
     /// Repair dirty edge-list inputs (self loops, duplicates, unsorted or
     /// reversed edges, trailing tokens) and report what was repaired.
     pub sanitize: bool,
@@ -203,6 +209,7 @@ usage: fingers-mine --graph <src> --pattern <spec> [--pattern <spec>…] [option
        fingers-mine serve --socket <path> --load <name>=<src> [--load …]
                     [--workers <n>] [--queue-depth <n>] [--max-threads <n>]
                     [--default-timeout-ms <n>] [--bitmap-hubs <k>] [--no-bitmap]
+                    [--no-simd] [--no-steal]
        fingers-mine client --socket <path> <request-json-line>
 
 graph sources:
@@ -226,6 +233,12 @@ options:
                        counts are identical either way
   --no-count-fusion    materialize terminal candidate sets instead of
                        fused counting; counts are identical either way
+  --no-simd            keep set operations on the scalar kernel tiers
+                       (the SIMD tier also auto-disables on CPUs without
+                       it); counts are identical either way
+  --no-steal           claim parallel tasks from a shared cursor instead
+                       of work-stealing deques; counts are identical
+                       either way
   --edge-induced       edge-induced semantics (default vertex-induced)
   --reorder-degree     relabel graph by descending degree first
   --optimize-order     search all connected matching orders by cost model
@@ -281,6 +294,8 @@ impl Options {
         let mut threads = default_threads();
         let mut bitmap_hubs = fingers_mining::config::DEFAULT_BITMAP_HUBS;
         let mut count_fusion = true;
+        let mut simd = true;
+        let mut work_stealing = true;
         let mut sanitize = false;
         let mut strict = false;
         let mut json = false;
@@ -330,6 +345,8 @@ impl Options {
                 }
                 "--no-bitmap" => bitmap_hubs = 0,
                 "--no-count-fusion" => count_fusion = false,
+                "--no-simd" => simd = false,
+                "--no-steal" => work_stealing = false,
                 "--sanitize" => sanitize = true,
                 "--strict" => strict = true,
                 "--json" => json = true,
@@ -367,6 +384,8 @@ impl Options {
             threads,
             bitmap_hubs,
             count_fusion,
+            simd,
+            work_stealing,
             sanitize,
             strict,
             json,
@@ -406,6 +425,11 @@ pub struct ServeOptions {
     pub default_timeout_ms: Option<u64>,
     /// Hub budget for the bitmap kernel tier (0 disables it).
     pub bitmap_hubs: usize,
+    /// SIMD kernel tier for query execution (`--no-simd` disables).
+    pub simd: bool,
+    /// Work-stealing task scheduling inside each query's thread budget
+    /// (`--no-steal` disables).
+    pub work_stealing: bool,
 }
 
 /// Options for the `client` subcommand.
@@ -513,6 +537,8 @@ fn parse_serve<I: Iterator<Item = String>>(mut it: I) -> Result<ServeOptions, Us
     let mut max_threads = None;
     let mut default_timeout_ms = None;
     let mut bitmap_hubs = fingers_mining::config::DEFAULT_BITMAP_HUBS;
+    let mut simd = true;
+    let mut work_stealing = true;
     while let Some(arg) = it.next() {
         let mut value_for = |name: &str| {
             it.next()
@@ -560,6 +586,8 @@ fn parse_serve<I: Iterator<Item = String>>(mut it: I) -> Result<ServeOptions, Us
                     .map_err(|_| UsageError("--bitmap-hubs must be an integer".into()))?
             }
             "--no-bitmap" => bitmap_hubs = 0,
+            "--no-simd" => simd = false,
+            "--no-steal" => work_stealing = false,
             "--help" | "-h" => return Err(UsageError("help requested".into())),
             other => return Err(UsageError(format!("unknown serve argument {other:?}"))),
         }
@@ -578,6 +606,8 @@ fn parse_serve<I: Iterator<Item = String>>(mut it: I) -> Result<ServeOptions, Us
         max_threads,
         default_timeout_ms,
         bitmap_hubs,
+        simd,
+        work_stealing,
     })
 }
 
@@ -632,6 +662,8 @@ pub fn run_serve(options: &ServeOptions) -> Result<(), CliError> {
     };
     let engine = EngineConfig {
         bitmap_hubs: options.bitmap_hubs,
+        simd: options.simd,
+        work_stealing: options.work_stealing,
         ..EngineConfig::default()
     };
     let daemon = fingers_server::Daemon::start(fingers_server::DaemonConfig {
@@ -884,6 +916,8 @@ pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
             let config = EngineConfig {
                 bitmap_hubs: options.bitmap_hubs,
                 fuse_terminal_counts: options.count_fusion,
+                simd: options.simd,
+                work_stealing: options.work_stealing,
                 ..EngineConfig::default()
             };
             let out = try_count_multi_parallel_with(&graph, &multi, options.threads, &config)
@@ -898,11 +932,17 @@ pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
             } else {
                 ", count fusion off"
             };
+            let simd = if config.simd { "" } else { ", simd off" };
+            let steal = if config.work_stealing {
+                ""
+            } else {
+                ", stealing off"
+            };
             RunOutcome {
                 counts: out.per_pattern,
                 cycles: None,
                 engine: format!(
-                    "software (plan-driven DFS, {} thread{}, {tier}{fusion})",
+                    "software (plan-driven DFS, {} thread{}, {tier}{fusion}{simd}{steal})",
                     options.threads,
                     if options.threads == 1 { "" } else { "s" }
                 ),
@@ -1079,6 +1119,36 @@ mod tests {
             "{}",
             unfused.engine
         );
+    }
+
+    #[test]
+    fn simd_and_steal_flags_parse_and_default_on() {
+        let o = Options::parse(args("--graph g --pattern tc")).expect("valid");
+        assert!(o.simd && o.work_stealing);
+        let o = Options::parse(args("--graph g --pattern tc --no-simd")).expect("valid");
+        assert!(!o.simd && o.work_stealing);
+        let o = Options::parse(args("--graph g --pattern tc --no-steal")).expect("valid");
+        assert!(o.simd && !o.work_stealing);
+    }
+
+    #[test]
+    fn simd_toggle_does_not_change_counts() {
+        let base = "--graph gen:pl:120:700:4 --pattern tc --pattern 4cl --threads 2";
+        let on = run(&Options::parse(args(base)).unwrap()).unwrap();
+        let off = run(&Options::parse(args(&format!("{base} --no-simd"))).unwrap()).unwrap();
+        assert_eq!(on.counts, off.counts);
+        assert!(!on.engine.contains("simd off"), "{}", on.engine);
+        assert!(off.engine.contains("simd off"), "{}", off.engine);
+    }
+
+    #[test]
+    fn steal_toggle_does_not_change_counts() {
+        let base = "--graph gen:pl:120:700:4 --pattern tc --pattern 4cl --threads 4";
+        let on = run(&Options::parse(args(base)).unwrap()).unwrap();
+        let off = run(&Options::parse(args(&format!("{base} --no-steal"))).unwrap()).unwrap();
+        assert_eq!(on.counts, off.counts);
+        assert!(!on.engine.contains("stealing off"), "{}", on.engine);
+        assert!(off.engine.contains("stealing off"), "{}", off.engine);
     }
 
     #[test]

@@ -42,6 +42,19 @@ pub struct EngineConfig {
     /// count baseline, for determinism sweeps and before/after benchmarks
     /// (CLI `--no-count-fusion`).
     pub fuse_terminal_counts: bool,
+    /// Let the adaptive tier choosers pick the SIMD block-compare kernels
+    /// ([`fingers_setops::simd`]) in the merge's balanced region. A policy
+    /// toggle only: the selectors AND it with the build/CPU probe, so `true`
+    /// on a machine without the vector path degrades silently to the
+    /// scalar tiers. Off reinstates the three-tier baseline (CLI
+    /// `--no-simd`).
+    pub simd: bool,
+    /// Let parallel workers steal root-range tasks from each other's
+    /// deques instead of claiming from the shared cursor. Counts are
+    /// bit-identical either way (the reduction is an order-independent
+    /// `u64` sum); off reinstates the shared-cursor baseline (CLI
+    /// `--no-steal`).
+    pub work_stealing: bool,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +63,8 @@ impl Default for EngineConfig {
             bitmap_hubs: DEFAULT_BITMAP_HUBS,
             bitmap_cache_slots: DEFAULT_BITMAP_CACHE_SLOTS,
             fuse_terminal_counts: true,
+            simd: true,
+            work_stealing: true,
         }
     }
 }
@@ -67,6 +82,23 @@ impl EngineConfig {
     pub fn without_count_fusion() -> Self {
         Self {
             fuse_terminal_counts: false,
+            ..Self::default()
+        }
+    }
+
+    /// The scalar-kernels baseline: SIMD tier disabled (merge, galloping,
+    /// and bitmap dispatch still apply).
+    pub fn without_simd() -> Self {
+        Self {
+            simd: false,
+            ..Self::default()
+        }
+    }
+
+    /// The shared-cursor baseline: work stealing disabled.
+    pub fn without_stealing() -> Self {
+        Self {
+            work_stealing: false,
             ..Self::default()
         }
     }
@@ -121,6 +153,19 @@ mod tests {
         let off = EngineConfig::without_count_fusion();
         assert!(!off.fuse_terminal_counts);
         assert!(off.bitmap_enabled(), "fusion toggle must not touch bitmap");
+    }
+
+    #[test]
+    fn default_enables_simd_and_stealing() {
+        let c = EngineConfig::default();
+        assert!(c.simd);
+        assert!(c.work_stealing);
+        let no_simd = EngineConfig::without_simd();
+        assert!(!no_simd.simd);
+        assert!(no_simd.work_stealing, "simd toggle must not touch stealing");
+        let no_steal = EngineConfig::without_stealing();
+        assert!(!no_steal.work_stealing);
+        assert!(no_steal.simd, "steal toggle must not touch simd");
     }
 
     #[test]

@@ -24,9 +24,9 @@ use fingers_graph::hubs::HubSet;
 use fingers_graph::{CsrGraph, VertexId};
 use fingers_pattern::benchmarks::Benchmark;
 use fingers_pattern::{ExecutionPlan, MultiPlan, PlanOp};
-use fingers_setops::adaptive::{select_count_tier, select_tier, KernelTier};
+use fingers_setops::adaptive::{select_count_tier_with, select_tier_with, KernelTier};
 use fingers_setops::bitmap::NeighborBitmap;
-use fingers_setops::{bitmap, bound, galloping, merge, Elem, SetOpKind};
+use fingers_setops::{bitmap, bound, galloping, merge, simd, Elem, SetOpKind};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -106,11 +106,11 @@ pub fn count_benchmark_with(
 /// for the worker's [`BitmapCache`]: hub bitmaps built during one task
 /// stay resident for later tasks and deeper DFS levels.
 ///
-/// Every scheduled set operation dispatches adaptively across the three
-/// kernel tiers (merge / galloping / dense bitmap) via
-/// [`fingers_setops::adaptive::select_tier`]; all tiers produce identical
-/// sorted outputs, so tier choice — and therefore cache state, thread
-/// count, and configuration — can never change counts.
+/// Every scheduled set operation dispatches adaptively across the four
+/// kernel tiers (merge / galloping / dense bitmap / SIMD block compare)
+/// via [`fingers_setops::adaptive::select_tier_with`]; all tiers produce
+/// identical sorted outputs, so tier choice — and therefore cache state,
+/// thread count, and configuration — can never change counts.
 ///
 /// For counting sinks ([`Sink::COUNTS_ONLY`]) with
 /// `EngineConfig::fuse_terminal_counts` on (the default), the action that
@@ -166,6 +166,10 @@ pub struct PlanMiner<'g, 'p> {
     /// Whether terminal-counting levels run the fused count kernels
     /// (`EngineConfig::fuse_terminal_counts`; counting sinks only).
     fuse: bool,
+    /// Whether the tier choosers may pick the SIMD block-compare kernels
+    /// (`EngineConfig::simd`; ANDed with the build/CPU probe inside
+    /// [`select_tier_with`]).
+    simd: bool,
 }
 
 /// Where a level's symmetry-breaking lower bound comes from — hoisted out
@@ -264,6 +268,7 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
             cache: BitmapCache::new(config.bitmap_cache_slots),
             bound_sources,
             fuse: config.fuse_terminal_counts,
+            simd: config.simd,
         }
     }
 
@@ -452,6 +457,7 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
                 current,
                 lower,
                 &self.mapped,
+                self.simd,
             ),
             PlanOp::Apply { target, list, kind } => {
                 // §11: same materialized-set invariant as `evaluate_into`,
@@ -469,6 +475,7 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
                     self.mapped[list],
                     lower,
                     &self.mapped,
+                    self.simd,
                 )
             }
         }
@@ -493,6 +500,7 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
                     short_list,
                     current,
                     out,
+                    self.simd,
                 );
             }
             PlanOp::Apply { target, list, kind } => {
@@ -511,20 +519,25 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
                     short,
                     self.mapped[list],
                     out,
+                    self.simd,
                 );
             }
         }
     }
 }
 
-/// Three-tier adaptive kernel dispatch for one scheduled set operation
+/// Four-tier adaptive kernel dispatch for one scheduled set operation
 /// whose long operand is the adjacency of `long_v`.
 ///
-/// Tier choice is delegated to [`select_tier`]: the dense-bitmap tier is a
-/// candidate only when `long_v` is a configured hub (its bitmap is then
-/// fetched or lazily built through the worker's cache); otherwise the
-/// merge/galloping crossover applies. All three tiers produce identical
-/// sorted outputs, so this function is a pure performance decision.
+/// Tier choice is delegated to [`select_tier_with`]: the dense-bitmap tier
+/// is a candidate only when `long_v` is a configured hub (its bitmap is
+/// then fetched or lazily built through the worker's cache); otherwise the
+/// merge/galloping crossover applies, with the SIMD block compare taking
+/// the merge's balanced region when `use_simd` (the `EngineConfig::simd`
+/// policy toggle) and the build/CPU probe both hold. All four tiers
+/// produce identical sorted outputs, so this function is a pure
+/// performance decision.
+#[allow(clippy::too_many_arguments)]
 fn kernel_dispatch(
     graph: &CsrGraph,
     hubs: Option<&HubSet>,
@@ -533,18 +546,20 @@ fn kernel_dispatch(
     short: &[Elem],
     long_v: VertexId,
     out: &mut Vec<Elem>,
+    use_simd: bool,
 ) {
     let long = graph.neighbors(long_v);
     let resident_words = hubs
         .filter(|h| h.contains(long_v))
         .map(|_| NeighborBitmap::words_for(graph.vertex_count()));
-    match select_tier(kind, short.len(), long.len(), resident_words) {
+    match select_tier_with(kind, short.len(), long.len(), resident_words, use_simd) {
         KernelTier::Bitmap => {
             let bm = cache.get_or_build(graph, long_v);
             bitmap::apply_into(kind, short, bm, out);
         }
         KernelTier::Galloping => galloping::apply_into(kind, short, long, out),
         KernelTier::Merge => merge::apply_into(kind, short, long, out),
+        KernelTier::Simd => simd::apply_into(kind, short, long, out),
     }
 }
 
@@ -556,9 +571,11 @@ fn kernel_dispatch(
 /// strictly above `lower` *before* the kernel runs (the shared
 /// [`bound::trim`] convention), so restricted elements are never compared,
 /// unlike the materializing path which filters the finished set. Tier
-/// choice is delegated to [`select_count_tier`] — counting reduces every
-/// kind to intersect counting, so a resident bitmap always wins (no
-/// anti-subtract word-scan caveat). The prefix-duplicate exclusion mirrors
+/// choice is delegated to [`select_count_tier_with`] — counting reduces
+/// every kind to intersect counting, so a resident bitmap always wins (no
+/// anti-subtract word-scan caveat), and the SIMD block compare counts the
+/// merge's balanced region via `movemask` popcounts when `use_simd` holds.
+/// The prefix-duplicate exclusion mirrors
 /// `CountSink::leaf_run`: each mapped vertex that would have appeared in
 /// the trimmed result is one overcount, checked by binary searches against
 /// the trimmed operands (valid because the vertex is itself above the
@@ -573,17 +590,21 @@ fn count_dispatch(
     long_v: VertexId,
     lower: Option<Elem>,
     mapped: &[VertexId],
+    use_simd: bool,
 ) -> u64 {
     let short = bound::trim(short_full, lower);
     let long = bound::trim(graph.neighbors(long_v), lower);
     let resident = hubs.is_some_and(|h| h.contains(long_v));
-    let n = match select_count_tier(kind, short.len(), long.len(), resident) {
+    let n = match select_count_tier_with(kind, short.len(), long.len(), resident, use_simd) {
         KernelTier::Bitmap => {
             let bm = cache.get_or_build(graph, long_v);
             bitmap::count(kind, short, bm, long.len())
         }
         KernelTier::Galloping => galloping::count(kind, short, long),
         KernelTier::Merge => merge::count(kind, short, long),
+        // Operands are already bound-trimmed above, so the unbounded
+        // count form is the right one here (same as the other tiers).
+        KernelTier::Simd => simd::count(kind, short, long),
     };
     let dup = mapped
         .iter()
@@ -934,6 +955,7 @@ mod tests {
                 EngineConfig::default(),
                 EngineConfig::with_bitmap_hubs(1),
                 EngineConfig::without_count_fusion(),
+                EngineConfig::without_simd(),
                 EngineConfig {
                     bitmap_hubs: 8,
                     bitmap_cache_slots: 2,
@@ -942,6 +964,12 @@ mod tests {
                 EngineConfig {
                     bitmap_hubs: 0,
                     fuse_terminal_counts: false,
+                    ..EngineConfig::default()
+                },
+                EngineConfig {
+                    bitmap_hubs: 0,
+                    fuse_terminal_counts: false,
+                    simd: false,
                     ..EngineConfig::default()
                 },
             ] {

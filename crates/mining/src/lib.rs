@@ -66,10 +66,11 @@ pub use executor::{
 };
 pub use parallel::{
     count_benchmark_parallel, count_benchmark_parallel_with, count_multi_parallel,
-    count_multi_parallel_with, count_plan_parallel, count_plan_parallel_with,
-    try_count_benchmark_parallel, try_count_benchmark_parallel_with, try_count_multi_parallel,
-    try_count_multi_parallel_with, try_count_plan_parallel, try_count_plan_parallel_shared,
-    try_count_plan_parallel_with, try_sum_over_root_tasks, try_sum_over_root_tasks_cancellable,
+    count_multi_parallel_with, count_plan_parallel, count_plan_parallel_trace,
+    count_plan_parallel_with, try_count_benchmark_parallel, try_count_benchmark_parallel_with,
+    try_count_multi_parallel, try_count_multi_parallel_with, try_count_plan_parallel,
+    try_count_plan_parallel_shared, try_count_plan_parallel_with, try_sum_over_root_tasks,
+    try_sum_over_root_tasks_cancellable,
 };
 pub use scratch::{BitmapCache, ScratchArena};
 pub use sink::{CountSink, FnSink, Sink};

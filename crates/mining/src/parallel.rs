@@ -1,14 +1,29 @@
 //! Root-partitioned parallel mining over [`PlanMiner`] workers.
 //!
 //! Level-0 DFS trees are independent, so the vertex range is split into
-//! more [`MiningTask`]s than workers and workers claim tasks from a shared
-//! atomic cursor (dynamic load balancing — a task holding a hub vertex
-//! does not serialize the run). Each worker owns one [`PlanMiner`] (and
-//! therefore one scratch arena) for its whole lifetime, and reduces into a
-//! private `u64`. The final reduction is a sum of per-worker counts:
-//! addition over `u64` is commutative and associative, so the result is
-//! **bit-identical** to the sequential count regardless of scheduling —
-//! the determinism tests assert exactly this.
+//! more [`MiningTask`]s than workers and workers obtain tasks dynamically
+//! (a task holding a hub vertex does not serialize the run). Two
+//! schedulers implement that claim step:
+//!
+//! - **Work stealing** (`EngineConfig::work_stealing`, the default): each
+//!   worker owns a mutex-guarded deque seeded with a round-robin stripe of
+//!   tasks. Workers pop locally from the front; an empty worker steals the
+//!   back half of a victim's deque, and splits a victim's lone oversized
+//!   task at root granularity ([`MiningTask::split_off_half`]) when there
+//!   is nothing whole left to take. Local pops touch an uncontended mutex,
+//!   and a straggler grinding a hub-heavy range sheds its queued tail to
+//!   idle peers.
+//! - **Shared cursor** (`--no-steal`): every worker claims the next task
+//!   index from one shared atomic — the PR-2 baseline, kept as the
+//!   `steal_balance` benchmark's comparison point.
+//!
+//! Each worker owns one [`PlanMiner`] (and therefore one scratch arena)
+//! for its whole lifetime, and reduces into a private `u64`. The final
+//! reduction is a sum of per-task partial counts: each task's count is a
+//! pure function of its root range, and addition over `u64` is commutative
+//! and associative, so the result is **bit-identical** to the sequential
+//! count regardless of thread count or steal schedule — the determinism
+//! tests assert exactly this (DESIGN.md §14).
 
 use crate::cancel::{CancelKind, CancelToken};
 use crate::config::EngineConfig;
@@ -20,12 +35,142 @@ use fingers_graph::hubs::HubSet;
 use fingers_graph::CsrGraph;
 use fingers_pattern::benchmarks::Benchmark;
 use fingers_pattern::{ExecutionPlan, MultiPlan};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Tasks created per worker: oversubscription for dynamic load balance.
-const TASKS_PER_WORKER: usize = 8;
+/// Generous because tasks are two integers — the cost of a fine partition
+/// is one mutex lock (stealing) or one fetch-add (cursor) per task, while
+/// a coarse one leaves a hub-heavy chunk indivisible once a worker starts
+/// it (in-flight tasks are never split).
+const TASKS_PER_WORKER: usize = 32;
+
+/// Per-worker deques of unstarted tasks for the work-stealing scheduler.
+///
+/// The deques only ever hold tasks no worker has begun, so stealing or
+/// splitting one can never duplicate or drop roots: at every instant the
+/// queued tasks plus the in-flight tasks partition the unmined remainder
+/// of `[0, |V|)`. Mutex-guarded rather than lock-free Chase–Lev: the claim
+/// rate is one lock per *task* (thousands of DFS roots), so even a
+/// contended lock costs noise, and a mutex keeps the scheduler trivially
+/// race-free.
+struct StealPool {
+    deques: Vec<Mutex<VecDeque<MiningTask>>>,
+}
+
+impl StealPool {
+    /// Distributes `tasks` across `workers` deques round-robin (task `i`
+    /// to worker `i % workers`), preserving ascending root order inside
+    /// each deque. Round-robin rather than contiguous blocks: real graphs
+    /// sort hubs into one id region (CSR relabeling, crawl order), and a
+    /// block seed would hand that entire region to one owner who then eats
+    /// its heavy tasks serially — thieves only relieve the queued tail.
+    /// Striping spreads the hot region across every deque up front, so
+    /// stealing only has to correct residual skew.
+    fn new(tasks: &[MiningTask], workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut deques: Vec<Mutex<VecDeque<MiningTask>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, t) in tasks.iter().enumerate() {
+            deques[i % workers]
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(t.clone());
+        }
+        Self { deques }
+    }
+
+    /// The next task for worker `me`: its own deque's front, else stolen
+    /// work. Returns `None` only when every deque is empty at scan time —
+    /// tasks still in flight on other workers are never visible here, so a
+    /// `None` is final for this worker (peers only ever *remove* queued
+    /// work; splits happen under the victim's lock during the scan).
+    fn claim(&self, me: usize) -> Option<MiningTask> {
+        if let Some(t) = self.deques[me]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+        {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            if let Some(stolen) = self.steal_from((me + off) % n) {
+                let mut mine = self.deques[me]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                mine.extend(stolen);
+                let t = mine.pop_front();
+                drop(mine);
+                if t.is_some() {
+                    return t;
+                }
+            }
+        }
+        None
+    }
+
+    /// Takes the back half of `victim`'s queued tasks (its furthest-future
+    /// root ranges, so the victim keeps the work nearest what it is mining
+    /// now). A victim down to one splittable task gets it halved at root
+    /// granularity instead; a lone unsplittable task is taken whole.
+    fn steal_from(&self, victim: usize) -> Option<VecDeque<MiningTask>> {
+        let mut v = self.deques[victim]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match v.len() {
+            0 => None,
+            1 => {
+                // §11: len() == 1 was just checked under this lock.
+                #[allow(clippy::expect_used)]
+                let last = v.front_mut().expect("deque has one task");
+                match last.split_off_half() {
+                    Some(upper) => Some(VecDeque::from([upper])),
+                    None => v.pop_front().map(|t| VecDeque::from([t])),
+                }
+            }
+            len => Some(v.split_off(len - len / 2)),
+        }
+    }
+}
+
+/// How a worker obtains its next task: the work-stealing deques or the
+/// shared-cursor baseline. Both hand every task out exactly once, so the
+/// summed counts are identical — only the schedule (and therefore load
+/// balance) differs.
+enum TaskSource<'t> {
+    Cursor {
+        tasks: &'t [MiningTask],
+        cursor: AtomicUsize,
+    },
+    Steal(StealPool),
+}
+
+impl<'t> TaskSource<'t> {
+    /// A source over `tasks` for `workers` workers, stealing iff `steal`.
+    fn new(tasks: &'t [MiningTask], workers: usize, steal: bool) -> Self {
+        if steal {
+            TaskSource::Steal(StealPool::new(tasks, workers))
+        } else {
+            TaskSource::Cursor {
+                tasks,
+                cursor: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    /// Claims the next task for worker `me` (`None` = no work left).
+    fn claim(&self, me: usize) -> Option<MiningTask> {
+        match self {
+            TaskSource::Cursor { tasks, cursor } => {
+                tasks.get(cursor.fetch_add(1, Ordering::Relaxed)).cloned()
+            }
+            TaskSource::Steal(pool) => pool.claim(me),
+        }
+    }
+}
 
 /// Counts embeddings of `plan` in `graph` using `threads` workers, with the
 /// default [`EngineConfig`].
@@ -61,15 +206,17 @@ pub fn count_plan_parallel_with(
     }
     let hubs = config.hub_set(graph);
     let tasks = MiningTask::partition(graph.vertex_count(), threads * TASKS_PER_WORKER);
-    let cursor = AtomicUsize::new(0);
+    let source = TaskSource::new(&tasks, threads, config.work_stealing);
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut miner = PlanMiner::with_hubs(graph, plan, hubs.clone(), config);
+            .map(|me| {
+                let source = &source;
+                let hubs = hubs.clone();
+                scope.spawn(move || {
+                    let mut miner = PlanMiner::with_hubs(graph, plan, hubs, config);
                     let mut sink = CountSink::default();
-                    while let Some(task) = tasks.get(cursor.fetch_add(1, Ordering::Relaxed)) {
-                        miner.run(task.clone(), &mut sink);
+                    while let Some(task) = source.claim(me) {
+                        miner.run(task, &mut sink);
                     }
                     sink.count
                 })
@@ -84,6 +231,59 @@ pub fn count_plan_parallel_with(
                 |w| w.join().expect("mining worker panicked"),
             )
             .sum()
+    })
+}
+
+/// [`count_plan_parallel_with`] plus a schedule trace: returns the count
+/// and, per worker, the tasks that worker actually executed, in execution
+/// order (tasks split by a thief appear as their split ranges).
+///
+/// Bench support for the `steal_balance` experiment: replaying each
+/// worker's task list serially — uncontended — measures the schedule's
+/// critical path, which is what the wall clock would show on a machine
+/// with at least `threads` idle cores (a contended or single-core host
+/// inflates every concurrent measurement uniformly, hiding exactly the
+/// imbalance the experiment exists to show). The count is bit-identical
+/// to [`count_plan_parallel_with`]; the trace's tasks partition
+/// `[0, |V|)` for every scheduler and thread count.
+pub fn count_plan_parallel_trace(
+    graph: &CsrGraph,
+    plan: &ExecutionPlan,
+    threads: usize,
+    config: &EngineConfig,
+) -> (u64, Vec<Vec<MiningTask>>) {
+    let threads = effective_threads(threads, graph.vertex_count());
+    let hubs = config.hub_set(graph);
+    let tasks = MiningTask::partition(graph.vertex_count(), threads * TASKS_PER_WORKER);
+    let source = TaskSource::new(&tasks, threads, config.work_stealing);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|me| {
+                let source = &source;
+                let hubs = hubs.clone();
+                scope.spawn(move || {
+                    let mut miner = PlanMiner::with_hubs(graph, plan, hubs, config);
+                    let mut sink = CountSink::default();
+                    let mut trace = Vec::new();
+                    while let Some(task) = source.claim(me) {
+                        trace.push(task.clone());
+                        miner.run(task, &mut sink);
+                    }
+                    (sink.count, trace)
+                })
+            })
+            .collect();
+        let mut total = 0u64;
+        let mut traces = Vec::with_capacity(threads);
+        for w in workers {
+            // §11: same policy as the infallible entry point above — a
+            // worker panic is fatal for the untraced and traced paths alike.
+            #[allow(clippy::expect_used)] // §11: justified above
+            let (count, trace) = w.join().expect("mining worker panicked");
+            total += count;
+            traces.push(trace);
+        }
+        (total, traces)
     })
 }
 
@@ -115,7 +315,7 @@ pub fn try_count_plan_parallel(
 /// # Errors
 ///
 /// Returns [`EngineError::WorkerPanic`] carrying the failed partitions in
-/// task-claim order.
+/// ascending root order.
 pub fn try_count_plan_parallel_with(
     graph: &CsrGraph,
     plan: &ExecutionPlan,
@@ -173,13 +373,13 @@ pub fn try_count_plan_parallel_shared(
     }
     let threads = effective_threads(threads, graph.vertex_count());
     let tasks = MiningTask::partition(graph.vertex_count(), threads * TASKS_PER_WORKER);
-    let cursor = AtomicUsize::new(0);
-    let failures: Mutex<Vec<(usize, PartitionFailure)>> = Mutex::new(Vec::new());
+    let source = TaskSource::new(&tasks, threads, config.work_stealing);
+    let failures: Mutex<Vec<PartitionFailure>> = Mutex::new(Vec::new());
     // Set by any worker that *observed* the token and stopped early; the
     // final verdict reads this rather than the token so a run that finished
     // all its tasks before the deadline passed is still a success.
     let interrupted = AtomicBool::new(false);
-    let worker = || {
+    let worker = |me: usize| {
         let mut miner = PlanMiner::with_hubs(graph, plan, hubs.clone(), config);
         let mut local = 0u64;
         loop {
@@ -187,8 +387,7 @@ pub fn try_count_plan_parallel_shared(
                 interrupted.store(true, Ordering::Relaxed);
                 break;
             }
-            let idx = cursor.fetch_add(1, Ordering::Relaxed);
-            let Some(task) = tasks.get(idx) else { break };
+            let Some(task) = source.claim(me) else { break };
             let mut sink = CountSink::default();
             match catch_unwind(AssertUnwindSafe(|| {
                 miner.run_cancellable(task.clone(), &mut sink, cancel)
@@ -203,14 +402,11 @@ pub fn try_count_plan_parallel_shared(
                 Err(payload) => {
                     failures
                         .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .push((
-                            idx,
-                            PartitionFailure {
-                                task: task.clone(),
-                                message: panic_message(payload),
-                            },
-                        ));
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(PartitionFailure {
+                            task,
+                            message: panic_message(payload),
+                        });
                     // The miner's scratch state is mid-DFS; rebuild it
                     // before touching the next task.
                     miner = PlanMiner::with_hubs(graph, plan, hubs.clone(), config);
@@ -220,10 +416,15 @@ pub fn try_count_plan_parallel_shared(
         local
     };
     let total: u64 = if threads <= 1 {
-        worker()
+        worker(0)
     } else {
         std::thread::scope(|scope| {
-            let workers: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            let workers: Vec<_> = (0..threads)
+                .map(|me| {
+                    let worker = &worker;
+                    scope.spawn(move || worker(me))
+                })
+                .collect();
             workers
                 .into_iter()
                 // §11: each worker body is wrapped in catch_unwind, so the join
@@ -238,10 +439,11 @@ pub fn try_count_plan_parallel_shared(
     };
     let mut failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
     if !failures.is_empty() {
-        failures.sort_by_key(|&(idx, _)| idx);
-        return Err(EngineError::WorkerPanic {
-            failures: failures.into_iter().map(|(_, f)| f).collect(),
-        });
+        // Root order, not claim order: a steal schedule has no global claim
+        // sequence, and root order is deterministic for reporting either way
+        // (tasks never overlap, so starts are unique).
+        failures.sort_by_key(|f| f.task.start);
+        return Err(EngineError::WorkerPanic { failures });
     }
     if interrupted.into_inner() {
         return Err(EngineError::Cancelled {
@@ -378,14 +580,16 @@ where
     if threads <= 1 {
         return tasks.iter().map(&worker).sum();
     }
-    let cursor = AtomicUsize::new(0);
+    let source = TaskSource::new(&tasks, threads, true);
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|me| {
+                let source = &source;
+                let worker = &worker;
+                scope.spawn(move || {
                     let mut local = 0u64;
-                    while let Some(task) = tasks.get(cursor.fetch_add(1, Ordering::Relaxed)) {
-                        local += worker(task);
+                    while let Some(task) = source.claim(me) {
+                        local += worker(&task);
                     }
                     local
                 })
@@ -411,7 +615,7 @@ where
 /// # Errors
 ///
 /// Returns [`EngineError::WorkerPanic`] carrying every failed partition in
-/// task-claim order.
+/// ascending root order.
 pub fn try_sum_over_root_tasks<W>(
     vertex_count: usize,
     threads: usize,
@@ -422,34 +626,34 @@ where
 {
     let threads = effective_threads(threads, vertex_count);
     let tasks = MiningTask::partition(vertex_count, threads.max(1) * TASKS_PER_WORKER);
-    let cursor = AtomicUsize::new(0);
-    let failures: Mutex<Vec<(usize, PartitionFailure)>> = Mutex::new(Vec::new());
-    let isolated = || {
+    let source = TaskSource::new(&tasks, threads, true);
+    let failures: Mutex<Vec<PartitionFailure>> = Mutex::new(Vec::new());
+    let isolated = |me: usize| {
         let mut local = 0u64;
-        loop {
-            let idx = cursor.fetch_add(1, Ordering::Relaxed);
-            let Some(task) = tasks.get(idx) else { break };
-            match catch_unwind(AssertUnwindSafe(|| worker(task))) {
+        while let Some(task) = source.claim(me) {
+            match catch_unwind(AssertUnwindSafe(|| worker(&task))) {
                 Ok(n) => local += n,
                 Err(payload) => failures
                     .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .push((
-                        idx,
-                        PartitionFailure {
-                            task: task.clone(),
-                            message: panic_message(payload),
-                        },
-                    )),
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(PartitionFailure {
+                        task,
+                        message: panic_message(payload),
+                    }),
             }
         }
         local
     };
     let total: u64 = if threads <= 1 {
-        isolated()
+        isolated(0)
     } else {
         std::thread::scope(|scope| {
-            let workers: Vec<_> = (0..threads).map(|_| scope.spawn(isolated)).collect();
+            let workers: Vec<_> = (0..threads)
+                .map(|me| {
+                    let isolated = &isolated;
+                    scope.spawn(move || isolated(me))
+                })
+                .collect();
             workers
                 .into_iter()
                 // §11: each worker body is wrapped in catch_unwind, so the join
@@ -466,10 +670,8 @@ where
     if failures.is_empty() {
         Ok(total)
     } else {
-        failures.sort_by_key(|&(idx, _)| idx);
-        Err(EngineError::WorkerPanic {
-            failures: failures.into_iter().map(|(_, f)| f).collect(),
-        })
+        failures.sort_by_key(|f| f.task.start);
+        Err(EngineError::WorkerPanic { failures })
     }
 }
 
@@ -495,39 +697,40 @@ where
 {
     let threads = effective_threads(threads, vertex_count);
     let tasks = MiningTask::partition(vertex_count, threads.max(1) * TASKS_PER_WORKER);
-    let cursor = AtomicUsize::new(0);
-    let failures: Mutex<Vec<(usize, PartitionFailure)>> = Mutex::new(Vec::new());
+    let source = TaskSource::new(&tasks, threads, true);
+    let failures: Mutex<Vec<PartitionFailure>> = Mutex::new(Vec::new());
     let interrupted = AtomicBool::new(false);
-    let isolated = || {
+    let isolated = |me: usize| {
         let mut local = 0u64;
         loop {
             if cancel.is_cancelled() {
                 interrupted.store(true, Ordering::Relaxed);
                 break;
             }
-            let idx = cursor.fetch_add(1, Ordering::Relaxed);
-            let Some(task) = tasks.get(idx) else { break };
-            match catch_unwind(AssertUnwindSafe(|| worker(task))) {
+            let Some(task) = source.claim(me) else { break };
+            match catch_unwind(AssertUnwindSafe(|| worker(&task))) {
                 Ok(n) => local += n,
                 Err(payload) => failures
                     .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .push((
-                        idx,
-                        PartitionFailure {
-                            task: task.clone(),
-                            message: panic_message(payload),
-                        },
-                    )),
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(PartitionFailure {
+                        task,
+                        message: panic_message(payload),
+                    }),
             }
         }
         local
     };
     let total: u64 = if threads <= 1 {
-        isolated()
+        isolated(0)
     } else {
         std::thread::scope(|scope| {
-            let workers: Vec<_> = (0..threads).map(|_| scope.spawn(isolated)).collect();
+            let workers: Vec<_> = (0..threads)
+                .map(|me| {
+                    let isolated = &isolated;
+                    scope.spawn(move || isolated(me))
+                })
+                .collect();
             workers
                 .into_iter()
                 // §11: each worker body is wrapped in catch_unwind, so the join
@@ -542,10 +745,8 @@ where
     };
     let mut failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
     if !failures.is_empty() {
-        failures.sort_by_key(|&(idx, _)| idx);
-        return Err(EngineError::WorkerPanic {
-            failures: failures.into_iter().map(|(_, f)| f).collect(),
-        });
+        failures.sort_by_key(|f| f.task.start);
+        return Err(EngineError::WorkerPanic { failures });
     }
     if interrupted.into_inner() {
         return Err(EngineError::Cancelled {
@@ -624,6 +825,76 @@ mod tests {
     }
 
     #[test]
+    fn steal_and_cursor_schedules_agree_on_hub_heavy_graphs() {
+        // A power-law graph concentrates work in a few root tasks — the
+        // regime stealing exists for. Counts must be bit-identical across
+        // schedulers, thread counts, and simd settings.
+        let g = fingers_graph::gen::chung_lu_power_law(&fingers_graph::gen::ChungLuConfig::new(
+            500, 6_000, 42,
+        ));
+        let plan = ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex);
+        let expected = count_plan(&g, &plan);
+        for cfg in [
+            EngineConfig::default(),
+            EngineConfig::without_stealing(),
+            EngineConfig::without_simd(),
+            EngineConfig {
+                simd: false,
+                work_stealing: false,
+                ..EngineConfig::default()
+            },
+        ] {
+            for threads in [1, 2, 4, 8] {
+                assert_eq!(
+                    count_plan_parallel_with(&g, &plan, threads, &cfg),
+                    expected,
+                    "{threads} threads under {cfg:?}"
+                );
+                assert_eq!(
+                    try_count_plan_parallel_with(&g, &plan, threads, &cfg).expect("no panic"),
+                    expected,
+                    "fallible path, {threads} threads under {cfg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_survives_task_splits_with_few_tasks() {
+        // More workers than tasks forces the lone-task split path: with 9
+        // vertices and 8 workers the pool starts with at most 9 one-root
+        // tasks spread thin, and thieves hit the len==1 branches.
+        let g = erdos_renyi(9, 20, 5);
+        let plan = ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex);
+        let expected = count_plan(&g, &plan);
+        for threads in [2, 8] {
+            assert_eq!(count_plan_parallel(&g, &plan, threads), expected);
+        }
+    }
+
+    #[test]
+    fn trace_partitions_roots_under_both_schedulers() {
+        let g = erdos_renyi(60, 240, 11);
+        let plan = ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex);
+        let expected = count_plan(&g, &plan);
+        for cfg in [EngineConfig::default(), EngineConfig::without_stealing()] {
+            for threads in [1, 2, 4] {
+                let (total, traces) = count_plan_parallel_trace(&g, &plan, threads, &cfg);
+                assert_eq!(total, expected, "{threads} threads under {cfg:?}");
+                assert_eq!(traces.len(), threads);
+                let mut roots: Vec<_> = traces
+                    .iter()
+                    .flatten()
+                    .flat_map(MiningTask::roots)
+                    .collect();
+                roots.sort_unstable();
+                let everything: Vec<_> = (0..g.vertex_count() as u32).collect();
+                assert_eq!(roots, everything, "trace must partition the roots");
+            }
+        }
+    }
+
+    #[test]
     fn more_threads_than_vertices_is_fine() {
         let g = erdos_renyi(5, 6, 1);
         let plan = ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex);
@@ -697,7 +968,7 @@ mod tests {
     #[test]
     fn isolated_scaffold_collects_every_failure() {
         // Three poisoned roots in distinct partitions → three failures, in
-        // task-claim order.
+        // ascending root order (a steal schedule has no global claim order).
         let poisoned = [5u32, 40, 90];
         let err = try_sum_over_root_tasks(97, 2, |t| {
             if t.roots().any(|r| poisoned.contains(&r)) {
@@ -711,7 +982,7 @@ mod tests {
         for w in failures.windows(2) {
             assert!(
                 w[0].task.start < w[1].task.start,
-                "claim order: {failures:?}"
+                "root order: {failures:?}"
             );
         }
     }

@@ -304,6 +304,12 @@ fn worker_loop(rx: &Mutex<Receiver<QueueItem>>, stats: &SchedStats, max_threads:
 /// clamped thread budget, and the job's token. All-or-nothing: the first
 /// failing plan discards the query (a partial per-pattern vector would be
 /// indistinguishable from a complete one).
+///
+/// The clamped budget composes with the engine's work-stealing scheduler
+/// (`job.config.work_stealing`, daemon flag `--no-steal`): the budget
+/// fixes how many workers a query spawns, stealing only redistributes
+/// root tasks *among* them, so the cap — and the count — holds under
+/// every steal schedule.
 fn run_job(job: &Job, max_threads: usize) -> JobResult {
     let threads = job.threads.clamp(1, max_threads);
     // lint: allow-alloc(per-query result vector, bounded by pattern count)
@@ -361,6 +367,43 @@ mod tests {
         let counts = rx.recv().expect("reply").expect("success");
         assert_eq!(counts, vec![expected]);
         assert_eq!(sched.stats().completed.load(Ordering::Relaxed), 1);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn thread_budgets_compose_with_stealing_and_simd_toggles() {
+        // The same query under every scheduler/kernel toggle and several
+        // thread budgets (including ones above the per-query cap) must
+        // produce the serial count — budgets clamp worker counts, stealing
+        // only moves tasks among those workers.
+        let graph = test_graph("gen:pl:300:3000:13");
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 2,
+            queue_depth: 8,
+            max_threads_per_query: 4,
+            default_timeout: None,
+        });
+        let plan = plan_of(&Pattern::triangle());
+        let expected = fingers_mining::count_plan(&graph.graph, &plan);
+        for config in [
+            EngineConfig::default(),
+            EngineConfig::without_stealing(),
+            EngineConfig::without_simd(),
+        ] {
+            for threads in [1, 4, 64] {
+                let rx = sched
+                    .submit(Job {
+                        graph: Arc::clone(&graph),
+                        plans: vec![Arc::clone(&plan)],
+                        threads,
+                        cancel: CancelToken::new(),
+                        config: config.clone(),
+                    })
+                    .expect("admitted");
+                let counts = rx.recv().expect("reply").expect("success");
+                assert_eq!(counts, vec![expected], "threads={threads} {config:?}");
+            }
+        }
         sched.shutdown();
     }
 

@@ -1,6 +1,6 @@
 //! Adaptive kernel-tier selection for the software mining hot path.
 //!
-//! The crate offers three interchangeable kernel tiers for every set
+//! The crate offers four interchangeable kernel tiers for every set
 //! operation — all bit-identical in output, so the choice is purely a
 //! performance decision made per call:
 //!
@@ -11,11 +11,14 @@
 //! 3. [`bitmap`](crate::bitmap) — `O(1)` word probes against a dense
 //!    [`NeighborBitmap`](crate::bitmap::NeighborBitmap) of the long side,
 //!    `O(s)` per op; best when the long side is a cached hub adjacency.
+//! 4. [`simd`](crate::simd) — shuffle-based block compares, four lanes
+//!    per step; best in the merge region once both operands are long
+//!    enough to amortize the vector setup.
 //!
-//! [`select_tier`] is the single place the crossover policy lives. The
-//! mining executor consults it for every scheduled set operation; the
-//! bench harness uses the same function so microbenchmarks measure exactly
-//! what the miner dispatches.
+//! [`select_tier`] / [`select_tier_with`] are the single place the
+//! crossover policy lives. The mining executor consults them for every
+//! scheduled set operation; the bench harness uses the same functions so
+//! microbenchmarks measure exactly what the miner dispatches.
 
 use crate::SetOpKind;
 
@@ -31,6 +34,15 @@ use crate::SetOpKind;
 /// [`select_tier`] (or this constant) rather than re-hardcoding `16`.
 pub const GALLOP_CROSSOVER: usize = 16;
 
+/// Minimum length **both** operands must reach before the SIMD tier
+/// replaces the merge in its region of the crossover space. Below it the
+/// per-call overhead (dispatch, partial blocks, the scalar tail) eats the
+/// 4-lane win; the `simd_kernels` bench experiment measures the region.
+/// Like [`GALLOP_CROSSOVER`], this constant is the **only** definition —
+/// call sites must go through [`select_tier_with`] /
+/// [`select_count_tier_with`].
+pub const SIMD_MIN_LEN: usize = 16;
+
 /// Which kernel family executes one set operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelTier {
@@ -40,6 +52,8 @@ pub enum KernelTier {
     Galloping,
     /// Dense-bitmap word probes ([`crate::bitmap`]).
     Bitmap,
+    /// Shuffle-based 4-lane block compare ([`crate::simd`]).
+    Simd,
 }
 
 impl std::fmt::Display for KernelTier {
@@ -48,6 +62,7 @@ impl std::fmt::Display for KernelTier {
             KernelTier::Merge => "merge",
             KernelTier::Galloping => "galloping",
             KernelTier::Bitmap => "bitmap",
+            KernelTier::Simd => "simd",
         })
     }
 }
@@ -70,11 +85,36 @@ impl std::fmt::Display for KernelTier {
 ///   either way, so only the scan overhead differs.
 /// - Otherwise: `Galloping` when `l > s · `[`GALLOP_CROSSOVER`], `Merge`
 ///   when the ratio ties or is below (ties stream; see the boundary tests).
+///
+/// Equivalent to [`select_tier_with`] with the SIMD tier disabled — the
+/// compatibility spelling for call sites that predate the fourth tier.
 pub fn select_tier(
     kind: SetOpKind,
     short_len: usize,
     long_len: usize,
     resident_words: Option<usize>,
+) -> KernelTier {
+    select_tier_with(kind, short_len, long_len, resident_words, false)
+}
+
+/// [`select_tier`] with the fourth tier in play. `simd` is the caller's
+/// *policy* toggle (`EngineConfig::simd`, the CLI `--no-simd` flag); it
+/// is ANDed with [`crate::simd::available`]'s build/CPU probe here, so
+/// callers never have to consult the probe themselves and a `Simd`
+/// verdict always means the vector kernels actually run.
+///
+/// Crossover policy for the new tier: the SIMD block compare replaces the
+/// **merge** in the balanced region — same streaming cost shape, four
+/// lanes per step — once both operands reach [`SIMD_MIN_LEN`]. It never
+/// replaces galloping (for `l/s` beyond [`GALLOP_CROSSOVER`] the
+/// `O(s · log(l/s))` probe count beats any constant-factor streaming win)
+/// and never outranks a resident bitmap (`O(s)` word probes).
+pub fn select_tier_with(
+    kind: SetOpKind,
+    short_len: usize,
+    long_len: usize,
+    resident_words: Option<usize>,
+    simd: bool,
 ) -> KernelTier {
     if let Some(words) = resident_words {
         match kind {
@@ -88,6 +128,8 @@ pub fn select_tier(
     }
     if long_len > short_len.saturating_mul(GALLOP_CROSSOVER) {
         KernelTier::Galloping
+    } else if simd && short_len.min(long_len) >= SIMD_MIN_LEN && crate::simd::available() {
+        KernelTier::Simd
     } else {
         KernelTier::Merge
     }
@@ -111,12 +153,31 @@ pub fn select_count_tier(
     long_len: usize,
     resident: bool,
 ) -> KernelTier {
+    select_count_tier_with(kind, short_len, long_len, resident, false)
+}
+
+/// [`select_count_tier`] with the fourth tier in play — the count-only
+/// sibling of [`select_tier_with`], with the identical SIMD region
+/// (merge's balanced region, both operands `>=` [`SIMD_MIN_LEN`], policy
+/// toggle ANDed with the runtime probe). Count ops reduce to
+/// `|short ∩ long|` for every kind, which is exactly the block-compare
+/// kernel's best case: no output is materialized, only `movemask`
+/// popcounts accumulate.
+pub fn select_count_tier_with(
+    kind: SetOpKind,
+    short_len: usize,
+    long_len: usize,
+    resident: bool,
+    simd: bool,
+) -> KernelTier {
     let _ = kind; // every kind counts via intersection — kind cannot matter
     if resident {
         return KernelTier::Bitmap;
     }
     if long_len > short_len.saturating_mul(GALLOP_CROSSOVER) {
         KernelTier::Galloping
+    } else if simd && short_len.min(long_len) >= SIMD_MIN_LEN && crate::simd::available() {
+        KernelTier::Simd
     } else {
         KernelTier::Merge
     }
@@ -206,6 +267,70 @@ mod tests {
                     "{kind} s={s} l={l}"
                 );
             }
+        }
+    }
+
+    /// The SIMD tier claims exactly the merge's balanced region with both
+    /// operands at or past `SIMD_MIN_LEN` — never the galloping or bitmap
+    /// regions — and only when the policy toggle and the runtime probe
+    /// agree. (On non-x86_64 or scalar-only builds the probe is false and
+    /// every would-be Simd verdict collapses to Merge; both outcomes are
+    /// accepted below so the test is green on any target.)
+    #[test]
+    fn simd_tier_claims_only_the_balanced_region() {
+        let simd_or_merge = |t: KernelTier| {
+            if crate::simd::available() {
+                assert_eq!(t, KernelTier::Simd);
+            } else {
+                assert_eq!(t, KernelTier::Merge);
+            }
+        };
+        for kind in SetOpKind::ALL {
+            // Balanced and long enough: Simd (probe permitting).
+            simd_or_merge(select_tier_with(kind, 64, 64, None, true));
+            simd_or_merge(select_count_tier_with(kind, 64, 64, false, true));
+            simd_or_merge(select_tier_with(
+                kind,
+                SIMD_MIN_LEN,
+                SIMD_MIN_LEN,
+                None,
+                true,
+            ));
+            // One operand below the minimum: Merge, regardless of probe.
+            assert_eq!(
+                select_tier_with(kind, SIMD_MIN_LEN - 1, SIMD_MIN_LEN, None, true),
+                KernelTier::Merge
+            );
+            assert_eq!(
+                select_count_tier_with(kind, SIMD_MIN_LEN, SIMD_MIN_LEN - 1, false, true),
+                KernelTier::Merge
+            );
+            // Policy toggle off: identical to the legacy selectors.
+            assert_eq!(
+                select_tier_with(kind, 64, 64, None, false),
+                select_tier(kind, 64, 64, None)
+            );
+            // Past the galloping crossover: still galloping.
+            assert_eq!(
+                select_tier_with(kind, 20, 20 * GALLOP_CROSSOVER + 1, None, true),
+                KernelTier::Galloping
+            );
+            assert_eq!(
+                select_count_tier_with(kind, 20, 20 * GALLOP_CROSSOVER + 1, false, true),
+                KernelTier::Galloping
+            );
+            // Resident bitmap still outranks Simd for counts.
+            assert_eq!(
+                select_count_tier_with(kind, 64, 64, true, true),
+                KernelTier::Bitmap
+            );
+        }
+        // Resident bitmap outranks Simd for materializing ∩/−.
+        for kind in [SetOpKind::Intersect, SetOpKind::Subtract] {
+            assert_eq!(
+                select_tier_with(kind, 64, 64, Some(4), true),
+                KernelTier::Bitmap
+            );
         }
     }
 

@@ -124,6 +124,15 @@ impl NeighborBitmap {
         self.words.len()
     }
 
+    /// The backing words covering the current universe, for word-sweep
+    /// kernels ([`crate::simd::and_popcount`]). Sliced to
+    /// [`word_count`](NeighborBitmap::word_count) — the backing vector may
+    /// be longer after a recycled refill, and its tail is stale.
+    pub fn words(&self) -> &[u64] {
+        // lint: allow-index(word_count() <= words.len(): refill only grows the backing vector)
+        &self.words[..self.word_count()]
+    }
+
     /// Iterates the set elements in ascending order via word-level
     /// `trailing_zeros` scanning.
     pub fn iter_ones(&self) -> Ones<'_> {
@@ -260,6 +269,15 @@ pub fn intersect_count_resident(a: &NeighborBitmap, b: &NeighborBitmap) -> u64 {
         .zip(&b.words[..words])
         .map(|(x, y)| (x & y).count_ones() as u64)
         .sum()
+}
+
+/// [`intersect_count_resident`] through the SIMD tier's word sweep: the
+/// hardware `popcnt` instruction when the runtime probe finds it, the
+/// identical software popcount otherwise. The executor dispatches here
+/// when `EngineConfig::simd` is on, keeping the scalar sweep above as the
+/// measurable `--no-simd` baseline.
+pub fn intersect_count_resident_simd(a: &NeighborBitmap, b: &NeighborBitmap) -> u64 {
+    crate::simd::and_popcount(a.words(), b.words())
 }
 
 #[cfg(test)]
@@ -417,6 +435,9 @@ mod tests {
             prop_assert_eq!(intersect_count_resident(&ba, &bb), expected);
             prop_assert_eq!(intersect_count_resident(&bb, &ba), expected);
             prop_assert_eq!(intersect_count(&a, &bb), expected);
+            // The SIMD word sweep is bit-identical to the scalar sweep.
+            prop_assert_eq!(intersect_count_resident_simd(&ba, &bb), expected);
+            prop_assert_eq!(intersect_count_resident_simd(&bb, &ba), expected);
         }
 
         /// `iter_ones` round-trips construction exactly.

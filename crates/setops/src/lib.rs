@@ -13,6 +13,10 @@
 //! - [`bitmap`]: dense-bitmap kernels probing a cached hub adjacency
 //!   ([`bitmap::NeighborBitmap`]) in one word load per element — the third
 //!   software kernel tier.
+//! - [`simd`]: shuffle-based block-compare kernels over guarded
+//!   `core::arch` intrinsics with runtime feature detection and a
+//!   mandatory scalar fallback — the fourth software kernel tier, plus
+//!   the hardware-popcount word sweep behind the resident-bitmap count.
 //! - [`adaptive`]: the per-call tier choosers ([`adaptive::select_tier`]
 //!   for materializing ops, [`adaptive::select_count_tier`] for fused
 //!   count-only ops) and the single documented galloping-crossover constant
@@ -58,7 +62,11 @@
 //! assert_eq!(pipeline.result, vec![4, 9, 15]);
 //! ```
 
-#![forbid(unsafe_code)]
+// Denied (not forbidden) so exactly one module can opt back in: the
+// guarded SIMD intrinsics in `simd`, which carries its own
+// `#![allow(unsafe_code)]` with per-site SAFETY arguments. Everything
+// else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;
@@ -71,6 +79,7 @@ pub mod merge;
 pub mod pairing;
 pub mod segment;
 pub mod segmented;
+pub mod simd;
 
 use serde::{Deserialize, Serialize};
 

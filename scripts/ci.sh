@@ -70,6 +70,27 @@ echo "==> count_fusion --quick smoke (fused/unfused equivalence assertions)"
 FINGERS_RESULTS_DIR=/nonexistent-fingers-ci-smoke \
   cargo run --release -q -p fingers-bench --bin count_fusion -- --quick > /dev/null
 
+# Smoke-run the SIMD-kernel experiment: --quick asserts every SIMD kernel
+# form (materializing, count, bounded count, word-AND popcount) is
+# bit-identical to the merge reference (the non-timing check), same
+# gating as the smokes above.
+echo "==> simd_kernels --quick smoke (simd/scalar equivalence assertions)"
+FINGERS_RESULTS_DIR=/nonexistent-fingers-ci-smoke \
+  cargo run --release -q -p fingers-bench --bin simd_kernels -- --quick > /dev/null
+
+# Smoke-run the steal-balance experiment: --quick asserts the static,
+# shared-cursor, and work-stealing schedulers all produce the serial
+# count on the power-law hub graph at 1 and 8 threads.
+echo "==> steal_balance --quick smoke (parallel==serial at 1/8 threads)"
+FINGERS_RESULTS_DIR=/nonexistent-fingers-ci-smoke \
+  cargo run --release -q -p fingers-bench --bin steal_balance -- --quick > /dev/null
+
+# Scalar-fallback job: the setops crate must stay green with the `simd`
+# cargo feature disabled (every vector entry point degrades to pure
+# delegation), so non-x86_64 targets build and test identically.
+echo "==> fingers-setops --no-default-features (scalar-fallback job)"
+cargo test -q -p fingers-setops --no-default-features
+
 # Checkpoint/resume smoke: run the first two sections of a quick run_all,
 # stop (simulating an interruption), resume, and assert the manifest ends
 # with every section completed exactly once.
@@ -81,8 +102,8 @@ FINGERS_RESULTS_DIR="$RESUME_DIR" FINGERS_MAX_SECTIONS=2 \
 FINGERS_RESULTS_DIR="$RESUME_DIR" \
   cargo run --release -q -p fingers-bench --bin run_all -- --quick --resume > /dev/null
 for section in table1 table2 fig9 fig10 fig11 fig12 fig13 table3 \
-               parallelism bitmap_kernels count_fusion energy ablations \
-               service_latency; do
+               parallelism bitmap_kernels count_fusion simd_kernels \
+               steal_balance energy ablations service_latency; do
   n="$(grep -c "\"section\": \"$section\"" "$RESUME_DIR/run_all_manifest.jsonl" || true)"
   if [ "$n" -ne 1 ]; then
     echo "resume smoke: section $section appears $n times in the manifest (want 1)" >&2

@@ -56,11 +56,13 @@ fn flexminer_simulation_is_deterministic() {
 
 /// The load-bearing guarantee of the task-parallel engine: for **every**
 /// benchmark, on synthetic datasets of three different degree structures,
-/// the parallel count is bit-identical to the sequential count at 1, 2,
-/// and 4 threads — with the dense-bitmap kernel tier both enabled and
-/// disabled, and with terminal-count fusion both enabled and disabled.
-/// (The reduction is an order-independent `u64` sum over root-partitioned
-/// tasks, and all kernel tiers — including the fused count forms — are
+/// the parallel count is bit-identical to the sequential count at 1, 2, 4,
+/// and 8 threads — with the dense-bitmap kernel tier both enabled and
+/// disabled, with terminal-count fusion both enabled and disabled, with
+/// the SIMD kernel tier both enabled and disabled, and under both the
+/// work-stealing and shared-cursor schedulers. (The reduction is an
+/// order-independent `u64` sum over root-partitioned tasks, and all kernel
+/// tiers — including the fused count forms and the vector kernels — are
 /// property-tested output-identical, so this holds by construction — this
 /// test keeps it that way.)
 #[test]
@@ -95,6 +97,26 @@ fn parallel_counts_are_bit_identical_to_sequential() {
                 ..EngineConfig::default()
             },
         ),
+        ("simd off", EngineConfig::without_simd()),
+        ("stealing off", EngineConfig::without_stealing()),
+        (
+            "simd off, stealing off",
+            EngineConfig {
+                simd: false,
+                work_stealing: false,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "everything off",
+            EngineConfig {
+                bitmap_hubs: 0,
+                fuse_terminal_counts: false,
+                simd: false,
+                work_stealing: false,
+                ..EngineConfig::default()
+            },
+        ),
     ];
     for (name, g) in &graphs {
         for bench in Benchmark::ALL {
@@ -105,7 +127,7 @@ fn parallel_counts_are_bit_identical_to_sequential() {
                     sequential,
                     "{name} / {bench} sequential diverged with {cfg_name}"
                 );
-                for threads in [1, 2, 4] {
+                for threads in [1, 2, 4, 8] {
                     let parallel = count_benchmark_parallel_with(g, bench, threads, cfg);
                     assert_eq!(
                         parallel, sequential,

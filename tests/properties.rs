@@ -8,7 +8,9 @@ use fingers_repro::core::config::{ChipConfig, PeConfig};
 use fingers_repro::graph::{CsrGraph, GraphBuilder, VertexId};
 use fingers_repro::mining::{count_benchmark, count_benchmark_parallel};
 use fingers_repro::pattern::benchmarks::Benchmark;
-use fingers_repro::setops::{bitmap, galloping, merge, segmented, SegmentedConfig, SetOpKind};
+use fingers_repro::setops::{
+    bitmap, galloping, merge, segmented, simd, SegmentedConfig, SetOpKind,
+};
 
 /// Strategy: a random small graph as an edge set over `n` vertices.
 fn graph_strategy(max_n: VertexId, max_edges: usize) -> impl Strategy<Value = CsrGraph> {
@@ -97,11 +99,12 @@ proptest! {
         prop_assert_eq!(r.embeddings, expected);
     }
 
-    /// All four kernel families agree on all three operations: whole-list
+    /// All five kernel families agree on all three operations: whole-list
     /// merge (the functional reference), galloping (the software miner's
     /// skew fast path, including its into-buffer variant), the segmented
-    /// hardware pipeline, and the dense-bitmap tier (probing the long
-    /// operand's `NeighborBitmap` exactly as the miner's hub cache does) —
+    /// hardware pipeline, the dense-bitmap tier (probing the long
+    /// operand's `NeighborBitmap` exactly as the miner's hub cache does),
+    /// and the SIMD tier (materializing, count, and bounded-count forms) —
     /// on neighbor lists taken from real graphs (complements the
     /// uniform-random unit property tests).
     #[test]
@@ -126,6 +129,19 @@ proptest! {
             prop_assert_eq!(&got.result, &expected, "segmented {}", kind);
             bitmap::apply_into(kind, la, &bm, &mut buf);
             prop_assert_eq!(&buf, &expected, "bitmap {}", kind);
+            simd::apply_into(kind, la, lb, &mut buf);
+            prop_assert_eq!(&buf, &expected, "simd {}", kind);
+            prop_assert_eq!(
+                simd::count(kind, la, lb),
+                merge::count(kind, la, lb),
+                "simd count {}", kind
+            );
+            let bound = la.first().copied();
+            prop_assert_eq!(
+                simd::count_bounded(kind, la, lb, bound),
+                merge::count_bounded(kind, la, lb, bound),
+                "simd count_bounded {}", kind
+            );
         }
     }
 
@@ -175,6 +191,34 @@ proptest! {
                 count_benchmark_parallel_with(&g, bench, threads, &fused),
                 count_benchmark_parallel_with(&g, bench, threads, &unfused),
                 "{} hubs={} threads={}", bench, hubs, threads
+            );
+        }
+    }
+
+    /// The SIMD-tier and work-stealing toggles never change counts, on
+    /// arbitrary random graphs, at any thread count, composed with any hub
+    /// budget — the fuzzing complement of the fixed-grid determinism sweep.
+    #[test]
+    fn simd_and_stealing_toggles_never_change_counts(
+        g in graph_strategy(24, 90),
+        hubs in 0usize..20,
+        threads in 1usize..9,
+        use_simd in proptest::option::of(0u8..1).prop_map(|o| o.is_none()),
+        steal in proptest::option::of(0u8..1).prop_map(|o| o.is_none()),
+    ) {
+        use fingers_repro::mining::{count_benchmark_parallel_with, EngineConfig};
+        let cfg = EngineConfig {
+            bitmap_hubs: hubs,
+            simd: use_simd,
+            work_stealing: steal,
+            ..EngineConfig::default()
+        };
+        for bench in [Benchmark::Tc, Benchmark::Tt] {
+            prop_assert_eq!(
+                count_benchmark_parallel_with(&g, bench, threads, &cfg),
+                count_benchmark(&g, bench),
+                "{} hubs={} threads={} simd={} steal={}",
+                bench, hubs, threads, use_simd, steal
             );
         }
     }

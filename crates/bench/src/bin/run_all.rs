@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use fingers_bench::checkpoint::{run_checkpointed, RunAllConfig, Section, SectionStatus};
 
-const SECTIONS: [Section; 16] = [
+const SECTIONS: [Section; 17] = [
     Section {
         name: "table1",
         run: fingers_bench::experiments::table1::run,
@@ -84,6 +84,10 @@ const SECTIONS: [Section; 16] = [
     Section {
         name: "service_latency",
         run: fingers_bench::experiments::service_latency::run,
+    },
+    Section {
+        name: "soak_chaos",
+        run: fingers_bench::experiments::soak_chaos::run,
     },
 ];
 

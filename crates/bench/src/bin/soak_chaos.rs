@@ -1,0 +1,43 @@
+//! Chaos soak: storm the governed daemon under seeded fault injection.
+//!
+//! Runs the full fixed seed matrix by default; set `FINGERS_CHAOS_SEED`
+//! to storm a single seed (ci.sh's per-seed matrix job does this).
+
+fn main() {
+    let quick = fingers_bench::quick_mode();
+    if let Some(seed) = std::env::var("FINGERS_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        let s = fingers_bench::experiments::soak_chaos::run_seed(seed, quick);
+        let typed = s
+            .typed_failures
+            .iter()
+            .map(|(k, n)| format!("{k}: {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let injected = s
+            .injected
+            .iter()
+            .map(|(k, n)| format!("{k}: {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("seed {seed}: injected {{{injected}}}");
+        println!(
+            "seed {seed}: {}/{} ok, typed failures {{{typed}}}, {} transport failures, \
+             {} degradations, {} pool rebuilds, recovery p99 {:.1} ms, \
+             gauge peaked at {} B, drained to {} B",
+            s.ok,
+            s.attempted,
+            s.transport_failures,
+            s.degradations,
+            s.pool_rebuilds,
+            s.recovery_p99_ms,
+            s.gauge_peak_bytes,
+            s.gauge_final_bytes,
+        );
+        assert!(s.survived, "daemon did not survive the storm");
+    } else {
+        print!("{}", fingers_bench::experiments::soak_chaos::run(quick));
+    }
+}

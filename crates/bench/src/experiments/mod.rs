@@ -17,6 +17,7 @@ pub mod fig9;
 pub mod parallelism;
 pub mod service_latency;
 pub mod simd_kernels;
+pub mod soak_chaos;
 pub mod steal_balance;
 pub mod table1;
 pub mod table2;

@@ -128,7 +128,7 @@ pub fn run_storm(quick: bool) -> ServiceLatencyResult {
             // have their own tests); any non-ok response is asserted away.
             queue_depth: clients.max(16),
             max_threads_per_query: 2,
-            default_timeout: None,
+            ..SchedulerConfig::default()
         },
     })
     .expect("daemon starts");

@@ -100,6 +100,10 @@ pub struct Options {
     /// Work-stealing task scheduling for parallel mining (default on;
     /// `--no-steal` reinstates the shared-cursor baseline).
     pub work_stealing: bool,
+    /// Scratch-memory budget for the run, in bytes; exceeding it aborts
+    /// with [`CliError::MemBudget`] (exit 11) and discards every partial
+    /// count, same contract as cancellation.
+    pub query_mem_budget: Option<u64>,
     /// Repair dirty edge-list inputs (self loops, duplicates, unsorted or
     /// reversed edges, trailing tokens) and report what was repaired.
     pub sanitize: bool,
@@ -145,13 +149,17 @@ pub enum CliError {
     Cancelled(String),
     /// The daemon could not be reached, or the connection broke (exit 10).
     Transport(String),
+    /// The query blew its scratch-memory budget; the run was discarded
+    /// all-or-nothing (exit 11).
+    MemBudget(EngineError),
 }
 
 impl CliError {
     /// The process exit code for this failure: 2 usage, 3 graph load,
     /// 4 dirty input refused, 5 engine panic, 6 unsupported combination,
     /// 7 plan failed static verification, 8 daemon overloaded, 9 query
-    /// cancelled or past deadline, 10 daemon unreachable.
+    /// cancelled or past deadline, 10 daemon unreachable, 11 memory
+    /// budget exceeded.
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
@@ -163,6 +171,7 @@ impl CliError {
             CliError::Overloaded(_) => 8,
             CliError::Cancelled(_) => 9,
             CliError::Transport(_) => 10,
+            CliError::MemBudget(_) => 11,
         }
     }
 }
@@ -181,6 +190,7 @@ impl fmt::Display for CliError {
             CliError::Overloaded(msg) => write!(f, "{msg}"),
             CliError::Cancelled(msg) => write!(f, "{msg}"),
             CliError::Transport(msg) => write!(f, "{msg}"),
+            CliError::MemBudget(e) => write!(f, "{e}"),
         }
     }
 }
@@ -189,7 +199,7 @@ impl Error for CliError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CliError::Usage(e) => Some(e),
-            CliError::Engine(e) => Some(e),
+            CliError::Engine(e) | CliError::MemBudget(e) => Some(e),
             _ => None,
         }
     }
@@ -209,8 +219,10 @@ usage: fingers-mine --graph <src> --pattern <spec> [--pattern <spec>…] [option
        fingers-mine serve --socket <path> --load <name>=<src> [--load …]
                     [--workers <n>] [--queue-depth <n>] [--max-threads <n>]
                     [--default-timeout-ms <n>] [--bitmap-hubs <k>] [--no-bitmap]
-                    [--no-simd] [--no-steal]
-       fingers-mine client --socket <path> <request-json-line>
+                    [--no-simd] [--no-steal] [--mem-budget <bytes>]
+                    [--query-mem-budget <bytes>]
+       fingers-mine client --socket <path> [--retries <n>]
+                    [--retry-base-ms <n>] [--retry-seed <n>] <request-json-line>
 
 graph sources:
   <path>                whitespace edge-list file (SNAP format)
@@ -239,6 +251,9 @@ options:
   --no-steal           claim parallel tasks from a shared cursor instead
                        of work-stealing deques; counts are identical
                        either way
+  --query-mem-budget <bytes>  abort the run (exit 11) if its scratch
+                       memory exceeds this many bytes; the partial count
+                       is discarded all-or-nothing, like a cancellation
   --edge-induced       edge-induced semantics (default vertex-induced)
   --reorder-degree     relabel graph by descending degree first
   --optimize-order     search all connected matching orders by cost model
@@ -262,18 +277,27 @@ serve: run the mining daemon on a Unix socket. Each --load registers a
   the query pool, --queue-depth bounds admitted-but-waiting queries
   (a full queue rejects with an overloaded response), --max-threads caps
   any single query's thread budget, and --default-timeout-ms applies a
-  deadline to queries that do not carry their own.
+  deadline to queries that do not carry their own. --mem-budget caps the
+  daemon's global scratch gauge (crossing 70/85/95 % of it walks the
+  degradation ladder: shrink caches, clamp threads, shed queued work)
+  and --query-mem-budget caps any single query's scratch bytes
+  (exceeding it fails that query typed, exit 11 at the client). SIGINT
+  and SIGTERM shut the daemon down cleanly: connections are closed, the
+  pool drained, and the socket file removed.
 
 client: send one newline-delimited JSON request to a running daemon and
   print the one response line. The exit code reflects the response:
   ok 0, and typed failures as listed below. Request ops: count,
-  motif-census, verify-plan, stats, cancel, shutdown.
+  motif-census, verify-plan, stats, ping, cancel, shutdown.
+  --retries retries overloaded responses under deterministic seeded
+  exponential backoff (--retry-base-ms, --retry-seed), honoring the
+  daemon's retry_after_ms hint when a shed attaches one.
 
 exit codes: 0 success, 2 usage error / bad request, 3 graph load failure
   or unknown graph, 4 dirty input refused by --strict, 5 mining worker
   panic, 6 unsupported flag combination, 7 plan failed static
   verification, 8 daemon overloaded, 9 query cancelled or past deadline,
-  10 daemon unreachable";
+  10 daemon unreachable, 11 query memory budget exceeded";
 
 impl Options {
     /// Parses a command line (without the program name).
@@ -296,6 +320,7 @@ impl Options {
         let mut count_fusion = true;
         let mut simd = true;
         let mut work_stealing = true;
+        let mut query_mem_budget = None;
         let mut sanitize = false;
         let mut strict = false;
         let mut json = false;
@@ -347,6 +372,15 @@ impl Options {
                 "--no-count-fusion" => count_fusion = false,
                 "--no-simd" => simd = false,
                 "--no-steal" => work_stealing = false,
+                "--query-mem-budget" => {
+                    query_mem_budget = Some(
+                        value_for("--query-mem-budget")?
+                            .parse::<u64>()
+                            .map_err(|_| {
+                                UsageError("--query-mem-budget must be an integer".into())
+                            })?,
+                    )
+                }
                 "--sanitize" => sanitize = true,
                 "--strict" => strict = true,
                 "--json" => json = true,
@@ -386,6 +420,7 @@ impl Options {
             count_fusion,
             simd,
             work_stealing,
+            query_mem_budget,
             sanitize,
             strict,
             json,
@@ -430,6 +465,12 @@ pub struct ServeOptions {
     /// Work-stealing task scheduling inside each query's thread budget
     /// (`--no-steal` disables).
     pub work_stealing: bool,
+    /// Global scratch-memory budget, in bytes: the degradation ladder's
+    /// pressure thresholds are percentages of this (`None` = ungoverned).
+    pub mem_budget: Option<u64>,
+    /// Per-query scratch-memory budget, in bytes; a query exceeding it
+    /// fails typed with a `mem-budget` response (client exit 11).
+    pub query_mem_budget: Option<u64>,
 }
 
 /// Options for the `client` subcommand.
@@ -439,6 +480,12 @@ pub struct ClientOptions {
     pub socket: String,
     /// The raw request line to send (one JSON object).
     pub request: String,
+    /// Retries for `overloaded` responses (0 = fail fast).
+    pub retries: u32,
+    /// Base delay of the exponential backoff schedule, in milliseconds.
+    pub retry_base_ms: u64,
+    /// Seed of the backoff jitter stream (same seed → same delays).
+    pub retry_seed: u64,
 }
 
 /// A parsed command line: a mining run, a plan verification, the service
@@ -539,6 +586,8 @@ fn parse_serve<I: Iterator<Item = String>>(mut it: I) -> Result<ServeOptions, Us
     let mut bitmap_hubs = fingers_mining::config::DEFAULT_BITMAP_HUBS;
     let mut simd = true;
     let mut work_stealing = true;
+    let mut mem_budget = None;
+    let mut query_mem_budget = None;
     while let Some(arg) = it.next() {
         let mut value_for = |name: &str| {
             it.next()
@@ -588,6 +637,20 @@ fn parse_serve<I: Iterator<Item = String>>(mut it: I) -> Result<ServeOptions, Us
             "--no-bitmap" => bitmap_hubs = 0,
             "--no-simd" => simd = false,
             "--no-steal" => work_stealing = false,
+            "--mem-budget" => {
+                mem_budget = Some(
+                    value_for("--mem-budget")?
+                        .parse::<u64>()
+                        .map_err(|_| UsageError("--mem-budget must be an integer".into()))?,
+                )
+            }
+            "--query-mem-budget" => {
+                query_mem_budget = Some(
+                    value_for("--query-mem-budget")?
+                        .parse::<u64>()
+                        .map_err(|_| UsageError("--query-mem-budget must be an integer".into()))?,
+                )
+            }
             "--help" | "-h" => return Err(UsageError("help requested".into())),
             other => return Err(UsageError(format!("unknown serve argument {other:?}"))),
         }
@@ -608,19 +671,38 @@ fn parse_serve<I: Iterator<Item = String>>(mut it: I) -> Result<ServeOptions, Us
         bitmap_hubs,
         simd,
         work_stealing,
+        mem_budget,
+        query_mem_budget,
     })
 }
 
 fn parse_client<I: Iterator<Item = String>>(mut it: I) -> Result<ClientOptions, UsageError> {
     let mut socket = None;
     let mut request = None;
+    let mut retries = 0u32;
+    let mut retry_base_ms = fingers_server::RetryPolicy::default().base_ms;
+    let mut retry_seed = 0u64;
     while let Some(arg) = it.next() {
+        let mut value_for = |name: &str| {
+            it.next()
+                .ok_or_else(|| UsageError(format!("{name} requires a value")))
+        };
         match arg.as_str() {
-            "--socket" => {
-                socket = Some(
-                    it.next()
-                        .ok_or_else(|| UsageError("--socket requires a value".into()))?,
-                )
+            "--socket" => socket = Some(value_for("--socket")?),
+            "--retries" => {
+                retries = value_for("--retries")?
+                    .parse()
+                    .map_err(|_| UsageError("--retries must be an integer".into()))?
+            }
+            "--retry-base-ms" => {
+                retry_base_ms = value_for("--retry-base-ms")?
+                    .parse()
+                    .map_err(|_| UsageError("--retry-base-ms must be an integer".into()))?
+            }
+            "--retry-seed" => {
+                retry_seed = value_for("--retry-seed")?
+                    .parse()
+                    .map_err(|_| UsageError("--retry-seed must be an integer".into()))?
             }
             "--help" | "-h" => return Err(UsageError("help requested".into())),
             other if other.starts_with("--") => {
@@ -637,12 +719,17 @@ fn parse_client<I: Iterator<Item = String>>(mut it: I) -> Result<ClientOptions, 
     Ok(ClientOptions {
         socket: socket.ok_or_else(|| UsageError("client requires --socket".into()))?,
         request: request.ok_or_else(|| UsageError("client requires a request JSON line".into()))?,
+        retries,
+        retry_base_ms,
+        retry_seed,
     })
 }
 
-/// Starts the mining daemon and blocks until a `shutdown` request (or a
-/// failure). Prints one `listening on <socket>` line once ready, so
-/// scripts can wait for it.
+/// Starts the mining daemon and blocks until a `shutdown` request, a
+/// SIGINT/SIGTERM, or a failure. Prints one `listening on <socket>` line
+/// once ready, so scripts can wait for it. A termination signal takes the
+/// same orderly path as a protocol `shutdown`: tracked connections are
+/// force-closed, the pool drained, and the socket file removed.
 ///
 /// # Errors
 ///
@@ -659,11 +746,14 @@ pub fn run_serve(options: &ServeOptions) -> Result<(), CliError> {
         default_timeout: options
             .default_timeout_ms
             .map(std::time::Duration::from_millis),
+        mem_budget: options.mem_budget,
+        ..defaults
     };
     let engine = EngineConfig {
         bitmap_hubs: options.bitmap_hubs,
         simd: options.simd,
         work_stealing: options.work_stealing,
+        query_mem_budget: options.query_mem_budget,
         ..EngineConfig::default()
     };
     let daemon = fingers_server::Daemon::start(fingers_server::DaemonConfig {
@@ -680,22 +770,50 @@ pub fn run_serve(options: &ServeOptions) -> Result<(), CliError> {
         }
     })?;
     println!("listening on {}", daemon.socket().display());
+
+    // Latch SIGINT/SIGTERM and poll the flag from a watcher thread: the
+    // handler itself may only flip an atomic, so the orderly shutdown
+    // (close connections, join pool, unlink socket) runs out here.
+    let termination = fingers_server::signals::install_termination_flag();
+    let handle = daemon.shutdown_handle();
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let watcher = {
+        let done = std::sync::Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !done.load(std::sync::atomic::Ordering::SeqCst) {
+                if termination.load(std::sync::atomic::Ordering::SeqCst) {
+                    handle.shutdown();
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        })
+    };
     daemon.wait();
+    done.store(true, std::sync::atomic::Ordering::SeqCst);
+    watcher.join().ok();
     Ok(())
 }
 
 /// Sends one request line to a running daemon; returns the response line
-/// and the exit code it maps to (0 ok, 2–9 typed failures — the same
-/// codes the one-shot commands use).
+/// and the exit code it maps to (0 ok, 2–11 typed failures — the same
+/// codes the one-shot commands use). With `--retries`, `overloaded`
+/// responses are retried under deterministic seeded exponential backoff,
+/// honoring the daemon's `retry_after_ms` hint.
 ///
 /// # Errors
 ///
 /// [`CliError::Transport`] (exit 10) when the daemon cannot be reached
 /// or the connection breaks mid-request.
 pub fn run_client(options: &ClientOptions) -> Result<(String, u8), CliError> {
-    let line =
-        fingers_server::request_line(std::path::Path::new(&options.socket), &options.request)
-            .map_err(CliError::Transport)?;
+    let policy = fingers_server::RetryPolicy {
+        retries: options.retries,
+        base_ms: options.retry_base_ms,
+        seed: options.retry_seed,
+    };
+    let line = fingers_server::Client::connect(std::path::Path::new(&options.socket))
+        .and_then(|mut c| c.request_with_backoff(&options.request, &policy))
+        .map_err(CliError::Transport)?;
     let code = match fingers_server::Json::parse(&line) {
         Ok(v) => fingers_server::proto::exit_code_for_response(&v),
         Err(_) => 10,
@@ -918,10 +1036,17 @@ pub fn run(options: &Options) -> Result<RunOutcome, CliError> {
                 fuse_terminal_counts: options.count_fusion,
                 simd: options.simd,
                 work_stealing: options.work_stealing,
+                query_mem_budget: options.query_mem_budget,
                 ..EngineConfig::default()
             };
             let out = try_count_multi_parallel_with(&graph, &multi, options.threads, &config)
-                .map_err(CliError::Engine)?;
+                .map_err(|e| {
+                    if e.mem_budget().is_some() {
+                        CliError::MemBudget(e)
+                    } else {
+                        CliError::Engine(e)
+                    }
+                })?;
             let tier = if config.bitmap_enabled() {
                 format!("bitmap hubs {}", config.bitmap_hubs)
             } else {
@@ -1337,7 +1462,7 @@ mod tests {
     #[test]
     fn serve_and_client_command_lines_parse() {
         let c = Command::parse(args(
-            "serve --socket /tmp/s.sock --load g=gen:er:10:20:1 --load h=dataset:Mi --workers 2 --queue-depth 4 --max-threads 3 --default-timeout-ms 500",
+            "serve --socket /tmp/s.sock --load g=gen:er:10:20:1 --load h=dataset:Mi --workers 2 --queue-depth 4 --max-threads 3 --default-timeout-ms 500 --mem-budget 1048576 --query-mem-budget 65536",
         ))
         .expect("serve");
         let Command::Serve(o) = c else {
@@ -1350,6 +1475,8 @@ mod tests {
         assert_eq!(o.queue_depth, Some(4));
         assert_eq!(o.max_threads, Some(3));
         assert_eq!(o.default_timeout_ms, Some(500));
+        assert_eq!(o.mem_budget, Some(1 << 20));
+        assert_eq!(o.query_mem_budget, Some(64 << 10));
 
         let c =
             Command::parse(args("client --socket /tmp/s.sock {\"op\":\"stats\"}")).expect("client");
@@ -1358,13 +1485,27 @@ mod tests {
         };
         assert_eq!(o.socket, "/tmp/s.sock");
         assert_eq!(o.request, "{\"op\":\"stats\"}");
+        assert_eq!((o.retries, o.retry_seed), (0, 0));
+
+        let c = Command::parse(args(
+            "client --socket /tmp/s.sock --retries 3 --retry-base-ms 10 --retry-seed 7 {\"op\":\"ping\"}",
+        ))
+        .expect("client with backoff");
+        let Command::Client(o) = c else {
+            panic!("expected client")
+        };
+        assert_eq!(o.retries, 3);
+        assert_eq!(o.retry_base_ms, 10);
+        assert_eq!(o.retry_seed, 7);
 
         assert!(Command::parse(args("serve --socket /tmp/s.sock")).is_err()); // no --load
         assert!(Command::parse(args("serve --load g=x")).is_err()); // no socket
         assert!(Command::parse(args("serve --socket s --load gx")).is_err()); // no '='
         assert!(Command::parse(args("serve --socket s --load g=x --workers 0")).is_err());
+        assert!(Command::parse(args("serve --socket s --load g=x --mem-budget x")).is_err());
         assert!(Command::parse(args("client --socket s")).is_err()); // no request
         assert!(Command::parse(args("client x")).is_err()); // no socket
+        assert!(Command::parse(args("client --socket s --retries x r")).is_err());
     }
 
     #[test]
@@ -1394,6 +1535,42 @@ mod tests {
         assert_eq!(CliError::Overloaded("x".into()).exit_code(), 8);
         assert_eq!(CliError::Cancelled("x".into()).exit_code(), 9);
         assert_eq!(CliError::Transport("x".into()).exit_code(), 10);
+        let budget = CliError::MemBudget(EngineError::MemBudgetExceeded {
+            used_bytes: 10,
+            budget_bytes: 5,
+        });
+        assert_eq!(budget.exit_code(), 11);
+    }
+
+    #[test]
+    fn query_mem_budget_flag_parses_and_aborts_typed() {
+        let o = Options::parse(args("--graph g --pattern tc")).expect("valid");
+        assert_eq!(o.query_mem_budget, None);
+        let o =
+            Options::parse(args("--graph g --pattern tc --query-mem-budget 4096")).expect("valid");
+        assert_eq!(o.query_mem_budget, Some(4096));
+        assert!(Options::parse(args("--graph g --pattern tc --query-mem-budget x")).is_err());
+
+        // A 1-byte budget cannot fit any miner's scratch: the run must
+        // abort typed with exit 11, never report a partial count.
+        let o = Options::parse(args(
+            "--graph gen:pl:120:700:4 --pattern 4cl --threads 2 --query-mem-budget 1",
+        ))
+        .unwrap();
+        let e = run(&o).unwrap_err();
+        assert!(matches!(e, CliError::MemBudget(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 11);
+
+        // A generous budget changes nothing about the counts.
+        let base = "--graph gen:pl:120:700:4 --pattern 4cl --threads 2";
+        let plain = run(&Options::parse(args(base)).unwrap()).unwrap();
+        let governed = run(&Options::parse(args(&format!(
+            "{base} --query-mem-budget {}",
+            64u64 << 20
+        )))
+        .unwrap())
+        .unwrap();
+        assert_eq!(plain.counts, governed.counts);
     }
 
     #[test]
@@ -1411,6 +1588,9 @@ mod tests {
             run_client(&ClientOptions {
                 socket: socket.display().to_string(),
                 request: request.to_owned(),
+                retries: 0,
+                retry_base_ms: 25,
+                retry_seed: 0,
             })
             .expect("transport ok")
         };
@@ -1426,6 +1606,9 @@ mod tests {
         let err = run_client(&ClientOptions {
             socket: socket.display().to_string(),
             request: r#"{"op":"stats"}"#.to_owned(),
+            retries: 0,
+            retry_base_ms: 25,
+            retry_seed: 0,
         })
         .expect_err("no daemon");
         assert_eq!(err.exit_code(), 10);

@@ -55,6 +55,16 @@ pub struct EngineConfig {
     /// `u64` sum); off reinstates the shared-cursor baseline (CLI
     /// `--no-steal`).
     pub work_stealing: bool,
+    /// Per-query scratch-memory budget in bytes (`None` = unlimited). When
+    /// a query's combined metered footprint — scratch arenas, bitmap
+    /// caches, and listing sinks across all its workers — crosses the
+    /// budget, the run aborts cooperatively at the next root-task boundary
+    /// with [`crate::EngineError::MemBudgetExceeded`] and discards every
+    /// partial count (the cancellation contract). A budget can only abort
+    /// a run, never change what a completed run counts, so the "counts are
+    /// identical under every configuration" guarantee still holds for
+    /// every run that completes.
+    pub query_mem_budget: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +75,7 @@ impl Default for EngineConfig {
             fuse_terminal_counts: true,
             simd: true,
             work_stealing: true,
+            query_mem_budget: None,
         }
     }
 }
@@ -99,6 +110,14 @@ impl EngineConfig {
     pub fn without_stealing() -> Self {
         Self {
             work_stealing: false,
+            ..Self::default()
+        }
+    }
+
+    /// A config enforcing a per-query scratch-memory budget of `bytes`.
+    pub fn with_query_mem_budget(bytes: u64) -> Self {
+        Self {
+            query_mem_budget: Some(bytes),
             ..Self::default()
         }
     }

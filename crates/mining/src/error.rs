@@ -63,6 +63,17 @@ pub enum EngineError {
         /// Whether the token was cancelled explicitly or by deadline.
         kind: CancelKind,
     },
+    /// The query's metered memory footprint crossed its byte budget and
+    /// every worker stopped at its next root-task boundary — the same
+    /// cooperative, all-or-nothing contract as [`EngineError::Cancelled`]:
+    /// partial counts are discarded, the miner state stays reusable, and
+    /// the shared gauge returns to baseline.
+    MemBudgetExceeded {
+        /// Metered bytes at the boundary that tripped the budget.
+        used_bytes: u64,
+        /// The configured per-query budget.
+        budget_bytes: u64,
+    },
 }
 
 impl EngineError {
@@ -71,7 +82,7 @@ impl EngineError {
     pub fn failed_partitions(&self) -> &[PartitionFailure] {
         match self {
             EngineError::WorkerPanic { failures } => failures,
-            EngineError::InvalidPlan { .. } | EngineError::Cancelled { .. } => &[],
+            _ => &[],
         }
     }
 
@@ -80,6 +91,18 @@ impl EngineError {
     pub fn cancel_kind(&self) -> Option<CancelKind> {
         match self {
             EngineError::Cancelled { kind } => Some(*kind),
+            _ => None,
+        }
+    }
+
+    /// The `(used, budget)` bytes of a memory-budget abort (`None` for
+    /// every other failure mode).
+    pub fn mem_budget(&self) -> Option<(u64, u64)> {
+        match self {
+            EngineError::MemBudgetExceeded {
+                used_bytes,
+                budget_bytes,
+            } => Some((*used_bytes, *budget_bytes)),
             _ => None,
         }
     }
@@ -107,6 +130,14 @@ impl fmt::Display for EngineError {
                 CancelKind::Explicit => write!(f, "mining run cancelled"),
                 CancelKind::Deadline => write!(f, "mining run exceeded its deadline"),
             },
+            EngineError::MemBudgetExceeded {
+                used_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "mining run exceeded its memory budget ({used_bytes} bytes used, \
+                 budget {budget_bytes})"
+            ),
         }
     }
 }

@@ -17,6 +17,7 @@
 // lint: hot-path(alloc)
 
 use crate::config::EngineConfig;
+use crate::gauge::{GaugeScope, MemGauge};
 use crate::scratch::{BitmapCache, ScratchArena};
 use crate::sink::{CountSink, FnSink, Sink};
 use crate::task::MiningTask;
@@ -170,6 +171,27 @@ pub struct PlanMiner<'g, 'p> {
     /// (`EngineConfig::simd`; ANDed with the build/CPU probe inside
     /// [`select_tier_with`]).
     simd: bool,
+    /// Memory-governor window (`None` = ungoverned): publishes this
+    /// worker's scratch footprint into a shared gauge at root-task
+    /// boundaries and reports budget violations (see [`crate::gauge`]).
+    governor: Option<GaugeScope>,
+}
+
+/// Why a governed run stopped before finishing its task. Same cooperative
+/// contract for both arms: the halt was observed at a root-task boundary,
+/// the sink holds an unpredictable partial tally that the caller must
+/// discard, and the miner is immediately reusable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunHalt {
+    /// The run's [`crate::cancel::CancelToken`] fired.
+    Cancelled,
+    /// The governed gauge crossed its byte budget.
+    MemBudget {
+        /// Metered bytes at the boundary that tripped the budget.
+        used_bytes: u64,
+        /// The configured budget.
+        budget_bytes: u64,
+    },
 }
 
 /// Where a level's symmetry-breaking lower bound comes from — hoisted out
@@ -269,7 +291,19 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
             bound_sources,
             fuse: config.fuse_terminal_counts,
             simd: config.simd,
+            governor: None,
         }
+    }
+
+    /// Puts this miner under memory governance: its scratch footprint is
+    /// published into `gauge` at every root-task boundary, and — when
+    /// `budget` is set — a governed run ([`PlanMiner::run_governed`])
+    /// aborts with [`RunHalt::MemBudget`] once the gauge (shared across
+    /// all miners publishing into it) exceeds the budget. Dropping the
+    /// miner releases everything it published, so the gauge returns to
+    /// its prior baseline.
+    pub fn attach_gauge(&mut self, gauge: MemGauge, budget: Option<u64>) {
+        self.governor = Some(GaugeScope::new(gauge, budget));
     }
 
     /// Runs the plan DFS for every root in `task`, reporting matches to
@@ -309,25 +343,71 @@ impl<'g, 'p> PlanMiner<'g, 'p> {
         sink: &mut S,
         cancel: &crate::cancel::CancelToken,
     ) -> bool {
+        self.run_governed(task, sink, cancel).is_ok()
+    }
+
+    /// The governed superset of [`PlanMiner::run_cancellable`]: the same
+    /// per-root cancellation poll, plus — when a gauge is attached via
+    /// [`PlanMiner::attach_gauge`] — a footprint publish and budget check
+    /// at the same boundary. Cancellation is checked before the budget, so
+    /// a query that is both cancelled and over budget reports the
+    /// cancellation (the caller asked for it; the budget was incidental).
+    ///
+    /// Both halts share the cancellation contract: `sink` holds an
+    /// unpredictable partial tally the caller must discard, and the miner
+    /// is immediately reusable. An ungoverned miner never returns
+    /// [`RunHalt::MemBudget`], and pays nothing for the feature.
+    ///
+    /// # Errors
+    ///
+    /// [`RunHalt::Cancelled`] when the token fired, [`RunHalt::MemBudget`]
+    /// when the governed gauge crossed its budget.
+    pub fn run_governed<S: Sink>(
+        &mut self,
+        task: MiningTask,
+        sink: &mut S,
+        cancel: &crate::cancel::CancelToken,
+    ) -> Result<(), RunHalt> {
         let k = self.plan.pattern_size();
         if k == 1 {
             for v in task.roots() {
                 if cancel.is_cancelled() {
-                    return false;
+                    return Err(RunHalt::Cancelled);
                 }
                 self.mapped.push(v);
                 sink.embedding(&self.mapped);
                 self.mapped.pop();
             }
-            return true;
+            return Ok(());
         }
         for v in task.roots() {
             if cancel.is_cancelled() {
-                return false;
+                return Err(RunHalt::Cancelled);
             }
+            self.poll_governor(sink.heap_bytes())?;
             self.enter(0, v, sink);
         }
-        true
+        // Final publish so a completed task's full footprint is visible to
+        // sibling workers' budget checks without waiting for this worker's
+        // next claim.
+        self.poll_governor(sink.heap_bytes())
+    }
+
+    /// Publishes the miner's current footprint into the attached gauge and
+    /// converts a budget violation into the governed halt. No-op (and no
+    /// atomics) when ungoverned.
+    fn poll_governor(&mut self, sink_bytes: u64) -> Result<(), RunHalt> {
+        let Some(governor) = self.governor.as_mut() else {
+            return Ok(());
+        };
+        let footprint = self.arena.footprint_bytes() + self.cache.footprint_bytes() + sink_bytes;
+        match governor.publish(footprint) {
+            Some((used_bytes, budget_bytes)) => Err(RunHalt::MemBudget {
+                used_bytes,
+                budget_bytes,
+            }),
+            None => Ok(()),
+        }
     }
 
     /// Scratch-memory statistics, for tests asserting the

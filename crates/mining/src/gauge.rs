@@ -1,0 +1,226 @@
+//! Memory accounting: cheap, relaxed-atomic byte gauges.
+//!
+//! The engine's scratch structures ([`crate::ScratchArena`],
+//! [`crate::BitmapCache`], listing sinks) are bounded by *design* — the
+//! no-per-embedding-allocation property — but nothing bounded them by
+//! *bytes*: a hostile pattern over a large graph can legitimately retain
+//! gigabytes of candidate-set capacity and OOM the whole process, the one
+//! failure mode the §11 error policy cannot type. [`MemGauge`] makes the
+//! footprint observable and enforceable:
+//!
+//! - each structure tracks its own retained bytes with plain (non-atomic)
+//!   counters, costing nothing on the mining hot path;
+//! - a worker *publishes* its footprint into a shared gauge only at
+//!   root-task boundaries — the same cadence as cancellation polling — so
+//!   the shared state is one relaxed `fetch_add` per level-0 root;
+//! - gauges form a parent chain (query gauge → global daemon gauge), so
+//!   one publish updates both the per-query and the process-wide totals.
+//!
+//! Accounting is *boundary-exact*: in-flight buffer growth becomes visible
+//! when the buffer is recycled, and every buffer is recycled by the time a
+//! root's DFS unwinds — precisely where budgets are checked. A
+//! [`GaugeScope`] releases everything it published when dropped, so a
+//! finished (or aborted) query always returns the shared gauge to its
+//! prior baseline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared byte gauge. Cloning yields another handle to the same counter;
+/// [`MemGauge::child`] creates a linked gauge whose charges propagate to
+/// this one (the daemon uses a global parent gauge and one child per
+/// query).
+#[derive(Debug, Clone, Default)]
+pub struct MemGauge {
+    inner: Arc<GaugeInner>,
+}
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    bytes: AtomicU64,
+    peak: AtomicU64,
+    parent: Option<MemGauge>,
+}
+
+impl MemGauge {
+    /// A fresh gauge reading zero bytes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A child gauge: every charge/release applied to the child is also
+    /// applied to `self`, so the parent always reads the sum of its
+    /// children plus its own direct charges.
+    pub fn child(&self) -> MemGauge {
+        MemGauge {
+            inner: Arc::new(GaugeInner {
+                bytes: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Current metered bytes.
+    pub fn bytes(&self) -> u64 {
+        self.inner.bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`MemGauge::bytes`]. Maintained with relaxed
+    /// `fetch_max`, so concurrent publishes may under-report a transient
+    /// peak by one publish — fine for the observability it exists for.
+    pub fn peak_bytes(&self) -> u64 {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Adds `n` bytes to this gauge and every ancestor.
+    pub fn charge(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let now = self.inner.bytes.fetch_add(n, Ordering::Relaxed) + n;
+        self.inner.peak.fetch_max(now, Ordering::Relaxed);
+        if let Some(parent) = &self.inner.parent {
+            parent.charge(n);
+        }
+    }
+
+    /// Subtracts `n` bytes from this gauge and every ancestor, saturating
+    /// at zero (a release can never make the gauge wrap; charges and
+    /// releases are balanced by construction, so saturation only masks a
+    /// caller bug rather than corrupting the daemon's view).
+    pub fn release(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let _ = self
+            .inner
+            .bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some(b.saturating_sub(n))
+            });
+        if let Some(parent) = &self.inner.parent {
+            parent.release(n);
+        }
+    }
+}
+
+/// One worker's window onto a shared [`MemGauge`]: remembers how many
+/// bytes it has published so far, republished as a delta at every
+/// root-task boundary, and releases the remainder on drop so the gauge
+/// returns to baseline no matter how the query ends (completion,
+/// cancellation, budget abort, or panic-unwind of the owning miner).
+#[derive(Debug)]
+pub struct GaugeScope {
+    gauge: MemGauge,
+    published: u64,
+    budget: Option<u64>,
+}
+
+impl GaugeScope {
+    /// A scope publishing into `gauge`, enforcing `budget` (in bytes, over
+    /// the whole gauge — for a per-query child gauge that is the query's
+    /// combined footprint across all its workers) when given.
+    pub fn new(gauge: MemGauge, budget: Option<u64>) -> Self {
+        Self {
+            gauge,
+            published: 0,
+            budget,
+        }
+    }
+
+    /// Publishes the caller's current footprint (replacing what this scope
+    /// published before) and checks the budget. Returns
+    /// `Some((used, budget))` when the gauge — including every sibling
+    /// scope publishing into it — now exceeds the budget.
+    pub fn publish(&mut self, now: u64) -> Option<(u64, u64)> {
+        if now > self.published {
+            self.gauge.charge(now - self.published);
+        } else {
+            self.gauge.release(self.published - now);
+        }
+        self.published = now;
+        let used = self.gauge.bytes();
+        match self.budget {
+            Some(budget) if used > budget => Some((used, budget)),
+            _ => None,
+        }
+    }
+
+    /// The gauge this scope publishes into.
+    pub fn gauge(&self) -> &MemGauge {
+        &self.gauge
+    }
+}
+
+impl Drop for GaugeScope {
+    fn drop(&mut self) {
+        self.gauge.release(self.published);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_propagate_to_parent() {
+        let global = MemGauge::new();
+        let query = global.child();
+        query.charge(1000);
+        assert_eq!(query.bytes(), 1000);
+        assert_eq!(global.bytes(), 1000);
+        query.release(300);
+        assert_eq!(query.bytes(), 700);
+        assert_eq!(global.bytes(), 700);
+        assert_eq!(global.peak_bytes(), 1000);
+    }
+
+    #[test]
+    fn release_saturates_at_zero() {
+        let g = MemGauge::new();
+        g.charge(5);
+        g.release(100);
+        assert_eq!(g.bytes(), 0);
+    }
+
+    #[test]
+    fn scope_publishes_deltas_and_releases_on_drop() {
+        let global = MemGauge::new();
+        let query = global.child();
+        let mut scope = GaugeScope::new(query.clone(), None);
+        assert_eq!(scope.publish(100), None);
+        assert_eq!(global.bytes(), 100);
+        assert_eq!(scope.publish(40), None, "shrinking footprint releases");
+        assert_eq!(global.bytes(), 40);
+        drop(scope);
+        assert_eq!(query.bytes(), 0, "drop returns the gauge to baseline");
+        assert_eq!(global.bytes(), 0);
+    }
+
+    #[test]
+    fn scope_reports_budget_violations_across_siblings() {
+        let query = MemGauge::new();
+        let mut a = GaugeScope::new(query.clone(), Some(100));
+        let mut b = GaugeScope::new(query.clone(), Some(100));
+        assert_eq!(a.publish(60), None);
+        // b's 60 bytes push the *shared* gauge past the budget.
+        assert_eq!(b.publish(60), Some((120, 100)));
+        // a sees the violation too at its next boundary.
+        assert_eq!(a.publish(60), Some((120, 100)));
+    }
+
+    #[test]
+    fn two_scopes_sum_into_one_gauge() {
+        let query = MemGauge::new();
+        let mut a = GaugeScope::new(query.clone(), None);
+        let mut b = GaugeScope::new(query.clone(), None);
+        a.publish(10);
+        b.publish(20);
+        assert_eq!(query.bytes(), 30);
+        drop(a);
+        assert_eq!(query.bytes(), 20);
+        drop(b);
+        assert_eq!(query.bytes(), 0);
+    }
+}

@@ -48,9 +48,11 @@
 
 pub mod brute;
 pub mod cancel;
+pub mod chaos;
 pub mod config;
 pub mod error;
 mod executor;
+pub mod gauge;
 pub mod oblivious;
 pub mod parallel;
 pub mod scratch;
@@ -58,20 +60,22 @@ pub mod sink;
 pub mod task;
 
 pub use cancel::{CancelKind, CancelToken};
+pub use chaos::{ChaosPlan, ChaosSite};
 pub use config::EngineConfig;
 pub use error::{EngineError, PartitionFailure};
 pub use executor::{
     count_benchmark, count_benchmark_with, count_multi, count_multi_with, count_plan,
-    count_plan_with, list_plan, MineOutcome, PlanMiner,
+    count_plan_with, list_plan, MineOutcome, PlanMiner, RunHalt,
 };
+pub use gauge::{GaugeScope, MemGauge};
 pub use parallel::{
     count_benchmark_parallel, count_benchmark_parallel_with, count_multi_parallel,
     count_multi_parallel_with, count_plan_parallel, count_plan_parallel_trace,
     count_plan_parallel_with, try_count_benchmark_parallel, try_count_benchmark_parallel_with,
     try_count_multi_parallel, try_count_multi_parallel_with, try_count_plan_parallel,
-    try_count_plan_parallel_shared, try_count_plan_parallel_with, try_sum_over_root_tasks,
-    try_sum_over_root_tasks_cancellable,
+    try_count_plan_parallel_governed, try_count_plan_parallel_shared, try_count_plan_parallel_with,
+    try_sum_over_root_tasks, try_sum_over_root_tasks_cancellable,
 };
 pub use scratch::{BitmapCache, ScratchArena};
-pub use sink::{CountSink, FnSink, Sink};
+pub use sink::{CountSink, FnSink, ListSink, Sink};
 pub use task::MiningTask;

@@ -28,7 +28,8 @@
 use crate::cancel::{CancelKind, CancelToken};
 use crate::config::EngineConfig;
 use crate::error::{panic_message, EngineError, PartitionFailure};
-use crate::executor::{count_plan_with, MineOutcome, PlanMiner};
+use crate::executor::{count_plan_with, MineOutcome, PlanMiner, RunHalt};
+use crate::gauge::MemGauge;
 use crate::sink::{CountSink, Sink};
 use crate::task::MiningTask;
 use fingers_graph::hubs::HubSet;
@@ -37,7 +38,7 @@ use fingers_pattern::benchmarks::Benchmark;
 use fingers_pattern::{ExecutionPlan, MultiPlan};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Tasks created per worker: oversubscription for dynamic load balance.
@@ -365,12 +366,46 @@ pub fn try_count_plan_parallel_shared(
     hubs: Option<Arc<HubSet>>,
     cancel: &CancelToken,
 ) -> Result<u64, EngineError> {
+    try_count_plan_parallel_governed(graph, plan, threads, config, hubs, cancel, None)
+}
+
+/// The governed form of [`try_count_plan_parallel_shared`]: everything it
+/// does, plus memory governance. When `config.query_mem_budget` is set or
+/// a `global_gauge` is supplied, the run meters its scratch footprint on a
+/// per-query gauge (a child of `global_gauge` when one is given, so the
+/// daemon's process-wide gauge sees every query's bytes). Workers publish
+/// at root-task boundaries — the cancellation cadence — and a budget
+/// violation aborts the whole run with
+/// [`EngineError::MemBudgetExceeded`] under the cancellation contract:
+/// all-or-nothing, no partial count, gauge back to baseline on return.
+///
+/// # Errors
+///
+/// Everything [`try_count_plan_parallel_shared`] returns, plus
+/// [`EngineError::MemBudgetExceeded`].
+pub fn try_count_plan_parallel_governed(
+    graph: &CsrGraph,
+    plan: &ExecutionPlan,
+    threads: usize,
+    config: &EngineConfig,
+    hubs: Option<Arc<HubSet>>,
+    cancel: &CancelToken,
+    global_gauge: Option<&MemGauge>,
+) -> Result<u64, EngineError> {
     // Fail fast before spawning anything: an unsound plan would read
     // unmaterialized buffers or miscount in every worker at once.
     let report = fingers_verify::verify(plan);
     if !report.is_sound() {
         return Err(EngineError::InvalidPlan { report });
     }
+    // One shared gauge for the whole query; each worker's miner publishes
+    // its own footprint into it. Skipped entirely (no atomics anywhere)
+    // when neither a budget nor a global gauge asks for metering.
+    let query_gauge = if config.query_mem_budget.is_some() || global_gauge.is_some() {
+        Some(global_gauge.map_or_else(MemGauge::new, MemGauge::child))
+    } else {
+        None
+    };
     let threads = effective_threads(threads, graph.vertex_count());
     let tasks = MiningTask::partition(graph.vertex_count(), threads * TASKS_PER_WORKER);
     let source = TaskSource::new(&tasks, threads, config.work_stealing);
@@ -379,8 +414,18 @@ pub fn try_count_plan_parallel_shared(
     // final verdict reads this rather than the token so a run that finished
     // all its tasks before the deadline passed is still a success.
     let interrupted = AtomicBool::new(false);
-    let worker = |me: usize| {
+    // Bytes in use at the boundary where some worker saw the budget blown
+    // (0 = no violation; a violation always involves used > budget ≥ 0).
+    let over_budget = AtomicU64::new(0);
+    let new_miner = || {
         let mut miner = PlanMiner::with_hubs(graph, plan, hubs.clone(), config);
+        if let Some(gauge) = &query_gauge {
+            miner.attach_gauge(gauge.clone(), config.query_mem_budget);
+        }
+        miner
+    };
+    let worker = |me: usize| {
+        let mut miner = new_miner();
         let mut local = 0u64;
         loop {
             if cancel.is_cancelled() {
@@ -390,13 +435,20 @@ pub fn try_count_plan_parallel_shared(
             let Some(task) = source.claim(me) else { break };
             let mut sink = CountSink::default();
             match catch_unwind(AssertUnwindSafe(|| {
-                miner.run_cancellable(task.clone(), &mut sink, cancel)
+                // Chaos worker-panic site: inside the per-task isolation,
+                // so an injected death surfaces exactly like a real one.
+                crate::chaos::maybe_panic_worker();
+                miner.run_governed(task.clone(), &mut sink, cancel)
             })) {
-                Ok(true) => local += sink.count,
-                Ok(false) => {
+                Ok(Ok(())) => local += sink.count,
+                Ok(Err(RunHalt::Cancelled)) => {
                     // Interrupted mid-task: the sink holds a partial tally
                     // for this task — drop it and stop claiming.
                     interrupted.store(true, Ordering::Relaxed);
+                    break;
+                }
+                Ok(Err(RunHalt::MemBudget { used_bytes, .. })) => {
+                    over_budget.fetch_max(used_bytes, Ordering::Relaxed);
                     break;
                 }
                 Err(payload) => {
@@ -409,7 +461,7 @@ pub fn try_count_plan_parallel_shared(
                         });
                     // The miner's scratch state is mid-DFS; rebuild it
                     // before touching the next task.
-                    miner = PlanMiner::with_hubs(graph, plan, hubs.clone(), config);
+                    miner = new_miner();
                 }
             }
         }
@@ -451,6 +503,16 @@ pub fn try_count_plan_parallel_shared(
             // cancelled, and tokens never un-cancel, so a kind is always
             // available; `Explicit` is an unreachable fallback.
             kind: cancel.kind().unwrap_or(CancelKind::Explicit),
+        });
+    }
+    let used_bytes = over_budget.into_inner();
+    if used_bytes > 0 {
+        return Err(EngineError::MemBudgetExceeded {
+            used_bytes,
+            // A MemBudget halt can only come from a governed miner, which
+            // only enforces a budget when the config carries one; 0 is an
+            // unreachable fallback.
+            budget_bytes: config.query_mem_budget.unwrap_or_default(),
         });
     }
     Ok(total)
@@ -915,6 +977,83 @@ mod tests {
             let total = sum_over_root_tasks(97, threads, |t| t.len() as u64);
             assert_eq!(total, 97);
         }
+    }
+
+    #[test]
+    fn tiny_mem_budget_aborts_all_or_nothing_and_gauge_returns_to_baseline() {
+        let g = erdos_renyi(60, 240, 11);
+        let plan = ExecutionPlan::compile(&Pattern::clique(4), Induced::Vertex);
+        let global = MemGauge::new();
+        for threads in [1, 2, 4] {
+            // 1 byte: the first root boundary after any scratch retention
+            // must trip it, for every thread count and scheduler.
+            let cfg = EngineConfig::with_query_mem_budget(1);
+            let err = try_count_plan_parallel_governed(
+                &g,
+                &plan,
+                threads,
+                &cfg,
+                cfg.hub_set(&g),
+                &CancelToken::new(),
+                Some(&global),
+            )
+            .expect_err("1-byte budget must abort");
+            let (used, budget) = err.mem_budget().expect("typed budget error");
+            assert!(used > budget, "{used} must exceed {budget}");
+            assert_eq!(budget, 1);
+            assert_eq!(
+                global.bytes(),
+                0,
+                "aborted query must release everything it published"
+            );
+        }
+        assert!(global.peak_bytes() > 0, "the abort metered real bytes");
+    }
+
+    #[test]
+    fn generous_mem_budget_changes_nothing_and_meters_the_run() {
+        let g = erdos_renyi(60, 240, 11);
+        let plan = ExecutionPlan::compile(&Pattern::clique(4), Induced::Vertex);
+        let expected = count_plan(&g, &plan);
+        let global = MemGauge::new();
+        for threads in [1, 4] {
+            let cfg = EngineConfig::with_query_mem_budget(64 << 20);
+            let total = try_count_plan_parallel_governed(
+                &g,
+                &plan,
+                threads,
+                &cfg,
+                cfg.hub_set(&g),
+                &CancelToken::new(),
+                Some(&global),
+            )
+            .expect("generous budget never aborts");
+            assert_eq!(total, expected, "{threads} threads");
+            assert_eq!(global.bytes(), 0, "gauge back to baseline after the run");
+        }
+        assert!(
+            global.peak_bytes() > 0,
+            "a bitmap-tier clique count retains metered scratch"
+        );
+    }
+
+    #[test]
+    fn ungoverned_shared_entry_is_unchanged() {
+        let g = erdos_renyi(40, 150, 3);
+        let plan = ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex);
+        let cfg = EngineConfig::default();
+        assert_eq!(
+            try_count_plan_parallel_shared(
+                &g,
+                &plan,
+                4,
+                &cfg,
+                cfg.hub_set(&g),
+                &CancelToken::new()
+            )
+            .expect("no governance, no abort"),
+            count_plan(&g, &plan),
+        );
     }
 
     #[test]

@@ -27,6 +27,12 @@ use fingers_setops::Elem;
 pub struct ScratchArena {
     free: Vec<Vec<Elem>>,
     fresh: usize,
+    /// Retained capacity of the pooled buffers, in bytes. Updated with
+    /// plain arithmetic at take/recycle; exact whenever every buffer is
+    /// back in the pool — i.e. at the root-task boundaries where the
+    /// memory governor reads it (in-flight growth shows up at the next
+    /// recycle).
+    bytes: u64,
 }
 
 impl ScratchArena {
@@ -41,11 +47,15 @@ impl ScratchArena {
     pub fn take(&mut self) -> Vec<Elem> {
         match self.free.pop() {
             Some(mut buf) => {
+                self.bytes = self
+                    .bytes
+                    .saturating_sub((buf.capacity() * std::mem::size_of::<Elem>()) as u64);
                 buf.clear();
                 buf
             }
             None => {
                 self.fresh += 1;
+                crate::chaos::maybe_fail_alloc("scratch arena buffer");
                 Vec::new()
             }
         }
@@ -53,6 +63,7 @@ impl ScratchArena {
 
     /// Returns a buffer to the pool for reuse.
     pub fn recycle(&mut self, buf: Vec<Elem>) {
+        self.bytes += (buf.capacity() * std::mem::size_of::<Elem>()) as u64;
         self.free.push(buf);
     }
 
@@ -67,6 +78,12 @@ impl ScratchArena {
     /// Buffers currently sitting in the pool.
     pub fn pooled(&self) -> usize {
         self.free.len()
+    }
+
+    /// Retained pooled capacity in bytes (see the field note: exact at
+    /// root-task boundaries, where the memory governor polls it).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.bytes
     }
 }
 
@@ -106,6 +123,11 @@ pub struct BitmapCache {
     /// per dispatched set operation — O(1) instead of a slot scan, so large
     /// caches cost no more per hit than small ones.
     index: Vec<u32>,
+    /// Heap bytes retained by the cache: resident + recycled bitmap word
+    /// storage plus the residency index. Charged when storage is freshly
+    /// allocated (eviction recycles storage, so nothing changes hands) —
+    /// cheap and exact, because bitmap sizes are fixed by the universe.
+    bytes: u64,
 }
 
 impl BitmapCache {
@@ -121,6 +143,7 @@ impl BitmapCache {
             fresh: 0,
             free: Vec::new(),
             index: Vec::new(),
+            bytes: 0,
         }
     }
 
@@ -132,6 +155,8 @@ impl BitmapCache {
     pub fn get_or_build(&mut self, graph: &CsrGraph, v: VertexId) -> &NeighborBitmap {
         self.clock += 1;
         if self.index.len() < graph.vertex_count() {
+            self.bytes +=
+                ((graph.vertex_count() - self.index.len()) * std::mem::size_of::<u32>()) as u64;
             self.index.resize(graph.vertex_count(), 0);
         }
         let mapped = self.index[v as usize];
@@ -165,6 +190,9 @@ impl BitmapCache {
             Some(b) => b,
             None => {
                 self.fresh += 1;
+                crate::chaos::maybe_fail_alloc("hub-adjacency bitmap");
+                self.bytes += (NeighborBitmap::words_for(graph.vertex_count())
+                    * std::mem::size_of::<u64>()) as u64;
                 NeighborBitmap::new(graph.vertex_count())
             }
         };
@@ -208,6 +236,12 @@ impl BitmapCache {
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Heap bytes retained by the cache (bitmap storage, resident or
+    /// recycled, plus the residency index).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.bytes
     }
 }
 

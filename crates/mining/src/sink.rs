@@ -56,6 +56,15 @@ pub trait Sink {
             prefix.pop();
         }
     }
+
+    /// Heap bytes this sink currently retains, for the memory governor's
+    /// root-boundary footprint poll. Counting sinks retain nothing (the
+    /// default); accumulating sinks like [`ListSink`] report their buffer
+    /// capacity so a runaway listing query trips its byte budget instead
+    /// of OOM-ing the process.
+    fn heap_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// Counts embeddings without materializing them.
@@ -109,6 +118,44 @@ impl<F: FnMut(&[VertexId])> FnSink<F> {
 impl<F: FnMut(&[VertexId])> Sink for FnSink<F> {
     fn embedding(&mut self, mapped: &[VertexId]) {
         (self.f)(mapped);
+    }
+}
+
+/// Collects every embedding into a flat vertex buffer (`k` entries per
+/// match, DFS order), reporting its retained capacity to the memory
+/// governor. The listing counterpart of [`CountSink`]: the one sink whose
+/// footprint grows with the *result*, not the plan, which is exactly what
+/// a per-query byte budget exists to bound.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ListSink {
+    /// Concatenated embeddings, `k` vertices each, in DFS order.
+    pub flat: Vec<VertexId>,
+    /// Vertices per embedding (0 until the first match arrives).
+    pub arity: usize,
+}
+
+impl ListSink {
+    /// Embeddings collected so far.
+    pub fn len(&self) -> usize {
+        self.flat.len().checked_div(self.arity).unwrap_or(0)
+    }
+
+    /// Whether no embedding has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+}
+
+impl Sink for ListSink {
+    fn embedding(&mut self, mapped: &[VertexId]) {
+        self.arity = mapped.len();
+        // lint: allow-alloc(listing inherently accumulates its result; the
+        // memory governor bounds it via heap_bytes)
+        self.flat.extend_from_slice(mapped);
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        (self.flat.capacity() * std::mem::size_of::<VertexId>()) as u64
     }
 }
 

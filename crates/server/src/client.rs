@@ -1,9 +1,68 @@
 //! A minimal line-protocol client: used by `fingers-mine client`, the
 //! service-latency load generator, and the integration tests.
+//!
+//! Includes the cooperative half of the daemon's degradation ladder: when
+//! a response is `overloaded`, [`Client::request_with_backoff`] retries
+//! under deterministic seeded exponential backoff with jitter, honoring
+//! the `retry_after_ms` hint the ladder attaches to pressure sheds — so a
+//! retrying fleet spreads out instead of re-stampeding the daemon, and a
+//! soak run with a fixed seed replays the exact same delays.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::json::Json;
+use crate::proto::KIND_OVERLOADED;
+
+/// Retry schedule for `overloaded` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = never retry).
+    pub retries: u32,
+    /// Base delay of the exponential schedule, in milliseconds.
+    pub base_ms: u64,
+    /// Seed of the jitter stream (same seed → same delays).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            retries: 0,
+            base_ms: 25,
+            seed: 0,
+        }
+    }
+}
+
+/// The delay before retry number `attempt` (0-based): the daemon's
+/// `retry_after_ms` hint when present, otherwise `base_ms · 2^attempt`,
+/// plus up to 50 % seeded jitter either way. A pure function of its
+/// arguments, so schedules are reproducible and unit-testable.
+pub fn backoff_delay_ms(policy: &RetryPolicy, attempt: u32, retry_after_ms: Option<u64>) -> u64 {
+    let base = retry_after_ms.unwrap_or_else(|| {
+        policy
+            .base_ms
+            .saturating_mul(1u64 << u64::from(attempt.min(10)))
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(policy.seed ^ (u64::from(attempt) << 32));
+    base + rng.gen_range(0..=base / 2)
+}
+
+/// The `retry_after_ms` hint of an `overloaded` response line, or `None`
+/// for every other response (including unparseable ones).
+fn overloaded_hint(line: &str) -> Option<Option<u64>> {
+    let v = Json::parse(line).ok()?;
+    if v.get("kind").and_then(Json::as_str) != Some(KIND_OVERLOADED) {
+        return None;
+    }
+    Some(v.get("retry_after_ms").and_then(Json::as_u64))
+}
 
 /// A connected client. One request line in, one response line out; the
 /// connection stays open across requests so a client can pipeline a
@@ -52,6 +111,36 @@ impl Client {
         }
         Ok(response.trim_end().to_owned())
     }
+
+    /// Like [`Client::request`], but retries `overloaded` responses up to
+    /// `policy.retries` times under seeded exponential backoff, honoring
+    /// the daemon's `retry_after_ms` hint. Any other response — and the
+    /// final `overloaded` once retries are exhausted — is returned as-is.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, as text (never retried: a dead socket will not
+    /// heal by waiting on the same connection).
+    pub fn request_with_backoff(
+        &mut self,
+        line: &str,
+        policy: &RetryPolicy,
+    ) -> Result<String, String> {
+        let mut attempt = 0u32;
+        loop {
+            let response = self.request(line)?;
+            let Some(hint) = overloaded_hint(&response) else {
+                return Ok(response);
+            };
+            if attempt >= policy.retries {
+                return Ok(response);
+            }
+            std::thread::sleep(Duration::from_millis(backoff_delay_ms(
+                policy, attempt, hint,
+            )));
+            attempt += 1;
+        }
+    }
 }
 
 /// One-shot convenience: connect, send `line`, return the response line.
@@ -61,4 +150,69 @@ impl Client {
 /// Transport failures, as text.
 pub fn request_line(socket: &Path, line: &str) -> Result<String, String> {
     Client::connect(socket)?.request(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_exponential_with_bounded_jitter() {
+        let policy = RetryPolicy {
+            retries: 5,
+            base_ms: 100,
+            seed: 42,
+        };
+        for attempt in 0..5 {
+            let base = 100u64 << attempt;
+            let d1 = backoff_delay_ms(&policy, attempt, None);
+            let d2 = backoff_delay_ms(&policy, attempt, None);
+            assert_eq!(d1, d2, "same seed and attempt → same delay");
+            assert!(
+                d1 >= base && d1 <= base + base / 2,
+                "attempt {attempt}: {d1}"
+            );
+        }
+        // Different seeds jitter differently somewhere in the schedule.
+        let other = RetryPolicy { seed: 43, ..policy };
+        assert!(
+            (0..5).any(|a| backoff_delay_ms(&policy, a, None) != backoff_delay_ms(&other, a, None)),
+            "jitter must depend on the seed"
+        );
+        // The exponent saturates instead of overflowing.
+        let big = backoff_delay_ms(&policy, u32::MAX, None);
+        assert!(big >= 100u64 << 10);
+    }
+
+    #[test]
+    fn backoff_honors_the_retry_after_hint() {
+        let policy = RetryPolicy {
+            retries: 3,
+            base_ms: 1000,
+            seed: 7,
+        };
+        let d = backoff_delay_ms(&policy, 0, Some(40));
+        assert!(
+            (40..=60).contains(&d),
+            "hint 40 → delay in [40, 60], got {d}"
+        );
+    }
+
+    #[test]
+    fn overloaded_hint_parses_only_overloaded_lines() {
+        assert_eq!(
+            overloaded_hint(r#"{"status":"error","kind":"overloaded","retry_after_ms":80}"#),
+            Some(Some(80))
+        );
+        assert_eq!(
+            overloaded_hint(r#"{"status":"error","kind":"overloaded","message":"full"}"#),
+            Some(None)
+        );
+        assert_eq!(overloaded_hint(r#"{"status":"ok"}"#), None);
+        assert_eq!(
+            overloaded_hint(r#"{"status":"error","kind":"engine"}"#),
+            None
+        );
+        assert_eq!(overloaded_hint("not json"), None);
+    }
 }

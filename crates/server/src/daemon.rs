@@ -18,10 +18,12 @@ use std::time::{Duration, Instant};
 use fingers_mining::{CancelToken, EngineConfig};
 use fingers_pattern::Induced;
 
+use fingers_mining::chaos::{self, ChaosSite};
+
 use crate::json::Json;
 use crate::proto::{self, CountReport, Request};
-use crate::sched::{Job, Scheduler, SchedulerConfig, SubmitError};
-use crate::session::{self, PlanCache};
+use crate::sched::{Job, JobError, Scheduler, SchedulerConfig, SubmitError};
+use crate::session::{self, PlanCache, DEFAULT_PLAN_CACHE_CAP};
 use crate::storage::GraphRegistry;
 
 /// Everything needed to start a daemon.
@@ -98,10 +100,14 @@ impl Daemon {
         }
         let listener = UnixListener::bind(&config.socket)
             .map_err(|e| format!("cannot bind {:?}: {e}", config.socket))?;
+        // The plan cache charges its footprint to the scheduler's global
+        // gauge, so cached plans and query scratch memory share one budget.
+        let sched = Scheduler::new(config.sched);
+        let cache = PlanCache::with_limits(DEFAULT_PLAN_CACHE_CAP, Some(sched.gauge().clone()));
         let state = Arc::new(ServerState {
             registry,
-            cache: PlanCache::new(),
-            sched: Scheduler::new(config.sched),
+            cache,
+            sched,
             socket: config.socket.clone(),
             started: Instant::now(),
             stopping: AtomicBool::new(false),
@@ -134,6 +140,14 @@ impl Daemon {
         initiate_shutdown(&self.state);
     }
 
+    /// A detached handle that can initiate shutdown from another thread
+    /// (the CLI's signal watcher) while [`Daemon::wait`] blocks.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
     /// Blocks until the accept loop and every connection thread exit,
     /// then shuts the scheduler down and removes the socket file.
     pub fn wait(mut self) {
@@ -142,6 +156,22 @@ impl Daemon {
         }
         self.state.sched.shutdown();
         let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+/// A cloneable trigger for an orderly daemon shutdown, detached from the
+/// [`Daemon`] value itself so a signal-watcher thread can hold it while
+/// the main thread sits in [`Daemon::wait`].
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    state: Arc<ServerState>,
+}
+
+impl ShutdownHandle {
+    /// Initiates the same orderly shutdown as [`Daemon::shutdown`]:
+    /// idempotent, non-blocking.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.state);
     }
 }
 
@@ -203,6 +233,17 @@ fn handle_connection(stream: UnixStream, state: &Arc<ServerState>, engine: &Engi
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
+        }
+        // Chaos probe: a seeded socket-I/O fault drops this connection
+        // mid-conversation, exactly like a client yanked the cable. The
+        // daemon must shrug — the soak test asserts later queries on
+        // fresh connections still succeed. Shut the socket down rather
+        // than just dropping it: a write-half clone lives in
+        // `state.conns` and would otherwise hold the connection open,
+        // leaving the peer blocked in `read_line` instead of seeing EOF.
+        if chaos::should_fail(ChaosSite::SocketIo) {
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+            break;
         }
         state.requests.fetch_add(1, Ordering::Relaxed);
         let (response, stop_after) = dispatch(state, engine, &line);
@@ -306,6 +347,7 @@ fn dispatch(state: &Arc<ServerState>, engine: &EngineConfig, line: &str) -> (Str
             (response, false)
         }
         Request::Stats => (stats_response(state), false),
+        Request::Ping => (ping_response(state), false),
         Request::Cancel { id } => {
             let found = state.sched.cancel(&id);
             let response = Json::obj([
@@ -380,8 +422,10 @@ fn run_count(
         Ok(rx) => match rx.recv() {
             Ok(result) => result,
             Err(_) => {
-                // Worker vanished without replying: isolated as an engine
-                // failure, the pool itself carries on.
+                // Worker vanished without replying (e.g. an injected pool
+                // panic): the in-flight query fails typed, the phoenix
+                // guard has already respawned the worker, and the socket
+                // stays up for the next query.
                 if let Some(id) = id {
                     state.sched.unregister(id);
                 }
@@ -393,8 +437,8 @@ fn run_count(
                 state.sched.unregister(id);
             }
             return match e {
-                SubmitError::Overloaded { .. } => {
-                    proto::error(proto::KIND_OVERLOADED, &e.to_string())
+                SubmitError::Overloaded { retry_after_ms, .. } => {
+                    proto::overloaded(&e.to_string(), retry_after_ms)
                 }
                 SubmitError::ShuttingDown => proto::error(proto::KIND_ENGINE, &e.to_string()),
             };
@@ -416,8 +460,49 @@ fn run_count(
             };
             proto::ok_count(op, id, graph_name, &report)
         }
-        Err(e) => proto::engine_error(id, &e),
+        Err(JobError::Shed { retry_after_ms }) => {
+            proto::overloaded("query shed under memory pressure", Some(retry_after_ms))
+        }
+        Err(JobError::Engine(e)) => proto::engine_error(id, &e),
     }
+}
+
+/// The health probe behind the `ping` op: cheap, allocation-light, and
+/// honest — readiness scripts poll it instead of sleep-and-hope, and the
+/// soak harness reads recovery state (pool rebuilds, degradation rung,
+/// gauge baseline) from it between storms.
+fn ping_response(state: &Arc<ServerState>) -> String {
+    let sched = state.sched.stats();
+    let degradation = state.sched.degradation();
+    Json::obj([
+        ("status", Json::str("ok")),
+        ("op", Json::str("ping")),
+        (
+            "uptime_ms",
+            Json::U64(state.started.elapsed().as_millis() as u64),
+        ),
+        ("gauge_bytes", Json::U64(state.sched.gauge().bytes())),
+        (
+            "gauge_peak_bytes",
+            Json::U64(state.sched.gauge().peak_bytes()),
+        ),
+        ("degradation", Json::str(degradation.as_str())),
+        (
+            "degradation_level",
+            Json::U64(u64::from(degradation.level())),
+        ),
+        (
+            "pool",
+            Json::obj([
+                ("workers", Json::U64(state.sched.config().workers as u64)),
+                (
+                    "rebuilds",
+                    Json::U64(sched.pool_rebuilds.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+    ])
+    .render()
 }
 
 /// The stats endpoint: resident graphs, plan-cache counters, scheduler
@@ -449,8 +534,22 @@ fn stats_response(state: &Arc<ServerState>) -> String {
             "plan_cache",
             Json::obj([
                 ("entries", Json::U64(state.cache.len() as u64)),
+                ("capacity", Json::U64(state.cache.capacity() as u64)),
                 ("hits", Json::U64(state.cache.hits())),
                 ("misses", Json::U64(state.cache.misses())),
+                ("evictions", Json::U64(state.cache.evictions())),
+                ("bytes", Json::U64(state.cache.bytes())),
+            ]),
+        ),
+        (
+            "memory",
+            Json::obj([
+                ("gauge_bytes", Json::U64(state.sched.gauge().bytes())),
+                (
+                    "gauge_peak_bytes",
+                    Json::U64(state.sched.gauge().peak_bytes()),
+                ),
+                ("degradation", Json::str(state.sched.degradation().as_str())),
             ]),
         ),
         (
@@ -478,6 +577,15 @@ fn stats_response(state: &Arc<ServerState>) -> String {
                     Json::U64(sched.cancelled.load(Ordering::Relaxed)),
                 ),
                 ("failed", Json::U64(sched.failed.load(Ordering::Relaxed))),
+                ("shed", Json::U64(sched.shed.load(Ordering::Relaxed))),
+                (
+                    "degraded",
+                    Json::U64(sched.degraded.load(Ordering::Relaxed)),
+                ),
+                (
+                    "pool_rebuilds",
+                    Json::U64(sched.pool_rebuilds.load(Ordering::Relaxed)),
+                ),
                 ("active", Json::U64(state.sched.active_count() as u64)),
             ]),
         ),

@@ -19,8 +19,19 @@
 //! 4. **Protocol** ([`proto`], [`daemon`], [`client`]) — newline-delimited
 //!    JSON over a Unix socket; every failure mode is a distinct response
 //!    kind with a stable client exit code.
+//!
+//! Cross-cutting the layers is the resource governor (DESIGN.md §15): the
+//! scheduler owns a global [`sched::Scheduler::gauge`] that query scratch
+//! memory and the plan cache charge into, a degradation ladder that trades
+//! speed for footprint under pressure, a phoenix-rebuilt worker pool that
+//! survives injected panics, and the `ping` health probe reporting all of
+//! it.
+//!
+//! `unsafe` is denied crate-wide with one documented island: [`signals`]
+//! declares the two libc symbols needed to latch SIGINT/SIGTERM (the same
+//! policy as `fingers-setops`' SIMD island).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
@@ -29,12 +40,15 @@ pub mod json;
 pub mod proto;
 pub mod sched;
 pub mod session;
+pub mod signals;
 pub mod storage;
 
-pub use client::{request_line, Client};
-pub use daemon::{Daemon, DaemonConfig};
+pub use client::{backoff_delay_ms, request_line, Client, RetryPolicy};
+pub use daemon::{Daemon, DaemonConfig, ShutdownHandle};
 pub use json::Json;
 pub use proto::{CountReport, Request};
-pub use sched::{Job, JobResult, SchedStats, Scheduler, SchedulerConfig, SubmitError};
+pub use sched::{
+    Degradation, Job, JobError, JobResult, SchedStats, Scheduler, SchedulerConfig, SubmitError,
+};
 pub use session::{PlanCache, SessionError};
 pub use storage::{GraphRegistry, GraphSpec, StoredGraph};

@@ -13,9 +13,14 @@
 //! | `engine`       | 5    | isolated worker panic                     |
 //! | `unsupported`  | 6    | inapplicable mutation or feature          |
 //! | `unsound-plan` | 7    | plan failed static verification           |
-//! | `overloaded`   | 8    | admission control rejected the query      |
+//! | `overloaded`   | 8    | admission control rejected or shed it     |
 //! | (cancelled)    | 9    | query cancelled or past deadline          |
 //! | (transport)    | 10   | client could not reach or read the daemon |
+//! | `mem-budget`   | 11   | per-query memory budget exceeded          |
+//!
+//! `overloaded` responses raised by the memory-pressure degradation
+//! ladder additionally carry a `retry_after_ms` hint; the client's
+//! seeded backoff honors it (DESIGN.md §15).
 
 use fingers_mining::EngineError;
 
@@ -32,8 +37,10 @@ pub const KIND_ENGINE: &str = "engine";
 pub const KIND_UNSUPPORTED: &str = "unsupported";
 /// Error kind: plan failed static verification.
 pub const KIND_UNSOUND_PLAN: &str = "unsound-plan";
-/// Error kind: rejected by admission control.
+/// Error kind: rejected by admission control or shed under pressure.
 pub const KIND_OVERLOADED: &str = "overloaded";
+/// Error kind: the query's metered memory footprint crossed its budget.
+pub const KIND_MEM_BUDGET: &str = "mem-budget";
 
 /// The client exit code for a response line: 0 for ok, 9 for cancelled,
 /// the kind's code for errors, 10 when the line is not a valid response.
@@ -48,6 +55,7 @@ pub fn exit_code_for_response(response: &Json) -> u8 {
             Some(KIND_UNSUPPORTED) => 6,
             Some(KIND_UNSOUND_PLAN) => 7,
             Some(KIND_OVERLOADED) => 8,
+            Some(KIND_MEM_BUDGET) => 11,
             _ => 10,
         },
         _ => 10,
@@ -97,6 +105,9 @@ pub enum Request {
     },
     /// Service statistics (graphs, plan cache, scheduler counters).
     Stats,
+    /// Daemon health probe: uptime, memory gauge, pool state, and the
+    /// current degradation rung. Cheap enough for readiness loops.
+    Ping,
     /// Cancel the active query with the given id.
     Cancel {
         /// The id given on the query's request.
@@ -176,6 +187,7 @@ impl Request {
                 mutate: opt_str("mutate"),
             }),
             "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
             "cancel" => Ok(Request::Cancel {
                 id: opt_str("id").ok_or("\"cancel\" needs a string \"id\" field")?,
             }),
@@ -263,6 +275,42 @@ pub fn error(kind: &str, message: &str) -> String {
     .render()
 }
 
+/// An `overloaded` error response; the degradation ladder attaches a
+/// `retry_after_ms` hint for the client's backoff, plain queue-full
+/// rejections omit it.
+pub fn overloaded(message: &str, retry_after_ms: Option<u64>) -> String {
+    let mut members = vec![
+        ("status".to_owned(), Json::str("error")),
+        ("kind".to_owned(), Json::str(KIND_OVERLOADED)),
+        ("message".to_owned(), Json::str(message)),
+    ];
+    if let Some(ms) = retry_after_ms {
+        members.push(("retry_after_ms".to_owned(), Json::U64(ms)));
+    }
+    Json::Obj(members).render()
+}
+
+/// A `mem-budget` error response carrying the observed footprint and the
+/// budget it crossed, so clients can size a retry.
+pub fn mem_budget_exceeded(id: Option<&str>, used_bytes: u64, budget_bytes: u64) -> String {
+    let mut members = vec![
+        ("status".to_owned(), Json::str("error")),
+        ("kind".to_owned(), Json::str(KIND_MEM_BUDGET)),
+        (
+            "message".to_owned(),
+            Json::str(format!(
+                "query memory budget exceeded: {used_bytes} bytes used, budget {budget_bytes}"
+            )),
+        ),
+    ];
+    if let Some(id) = id {
+        members.push(("id".to_owned(), Json::str(id)));
+    }
+    members.push(("used_bytes".to_owned(), Json::U64(used_bytes)));
+    members.push(("budget_bytes".to_owned(), Json::U64(budget_bytes)));
+    Json::Obj(members).render()
+}
+
 /// Maps a session-layer failure to its response line.
 pub fn session_error(e: &SessionError) -> String {
     match e {
@@ -273,14 +321,18 @@ pub fn session_error(e: &SessionError) -> String {
 }
 
 /// Maps an engine failure to its response line: cancellation becomes a
-/// `cancelled` status, everything else an `engine` error.
+/// `cancelled` status, a tripped memory budget a `mem-budget` error, and
+/// everything else an `engine` error.
 pub fn engine_error(id: Option<&str>, e: &EngineError) -> String {
-    match e.cancel_kind() {
-        Some(kind) => cancelled(id, kind.as_str()),
-        None => match e {
-            EngineError::InvalidPlan { report } => error(KIND_UNSOUND_PLAN, &report.to_string()),
-            other => error(KIND_ENGINE, &other.to_string()),
-        },
+    if let Some(kind) = e.cancel_kind() {
+        return cancelled(id, kind.as_str());
+    }
+    if let Some((used, budget)) = e.mem_budget() {
+        return mem_budget_exceeded(id, used, budget);
+    }
+    match e {
+        EngineError::InvalidPlan { report } => error(KIND_UNSOUND_PLAN, &report.to_string()),
+        other => error(KIND_ENGINE, &other.to_string()),
     }
 }
 
@@ -313,6 +365,10 @@ mod tests {
         assert_eq!(
             Request::parse(r#"{"op":"stats"}"#).expect("stats"),
             Request::Stats
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"ping"}"#).expect("ping"),
+            Request::Ping
         );
         assert_eq!(
             Request::parse(r#"{"op":"shutdown"}"#).expect("shutdown"),
@@ -400,6 +456,7 @@ mod tests {
             (KIND_UNSUPPORTED, 6),
             (KIND_UNSOUND_PLAN, 7),
             (KIND_OVERLOADED, 8),
+            (KIND_MEM_BUDGET, 11),
         ];
         for (kind, code) in cases {
             let v = Json::parse(&error(kind, "m")).expect("error line");
@@ -408,5 +465,31 @@ mod tests {
         let v = Json::parse(&cancelled(None, "deadline")).expect("cancel line");
         assert_eq!(exit_code_for_response(&v), 9);
         assert_eq!(exit_code_for_response(&Json::Null), 10);
+    }
+
+    #[test]
+    fn overloaded_responses_carry_the_retry_hint_only_when_shed() {
+        let plain = Json::parse(&overloaded("queue full", None)).expect("line");
+        assert_eq!(exit_code_for_response(&plain), 8);
+        assert!(plain.get("retry_after_ms").is_none());
+        let shed = Json::parse(&overloaded("pressure", Some(120))).expect("line");
+        assert_eq!(exit_code_for_response(&shed), 8);
+        assert_eq!(shed.get("retry_after_ms").and_then(Json::as_u64), Some(120));
+    }
+
+    #[test]
+    fn mem_budget_responses_expose_usage_and_map_to_exit_11() {
+        let v = Json::parse(&mem_budget_exceeded(Some("q7"), 9001, 4096)).expect("line");
+        assert_eq!(exit_code_for_response(&v), 11);
+        assert_eq!(v.get("used_bytes").and_then(Json::as_u64), Some(9001));
+        assert_eq!(v.get("budget_bytes").and_then(Json::as_u64), Some(4096));
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("q7"));
+        // The engine-error mapping routes MemBudgetExceeded here.
+        let e = EngineError::MemBudgetExceeded {
+            used_bytes: 10,
+            budget_bytes: 5,
+        };
+        let mapped = Json::parse(&engine_error(None, &e)).expect("line");
+        assert_eq!(exit_code_for_response(&mapped), 11);
     }
 }

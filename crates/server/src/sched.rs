@@ -1,31 +1,74 @@
 //! Scheduler layer: a bounded worker pool with admission control,
-//! per-query thread budgets, deadlines, and cooperative cancellation.
+//! per-query thread budgets, deadlines, cooperative cancellation, and a
+//! memory-pressure degradation ladder.
 //!
 //! Queries enter through a bounded queue; when it is full the submit is
 //! rejected *immediately* with [`SubmitError::Overloaded`] — the typed
 //! back-pressure signal the protocol layer turns into an `overloaded`
 //! response instead of letting latency collapse for everyone. Each worker
 //! drains the queue and executes one query at a time through the engine's
-//! cancellable entry point, so a fired [`CancelToken`] (client cancel,
+//! governed entry point, so a fired [`CancelToken`] (client cancel,
 //! deadline, shutdown) stops the query at the next root-task boundary and
 //! the pool thread survives to serve the next query — cancellation never
 //! poisons the pool.
+//!
+//! # Memory governance (DESIGN.md §15)
+//!
+//! The scheduler owns the process's global [`MemGauge`]; every query's
+//! metered footprint (scratch arenas, bitmap caches, listing sinks, plus
+//! the session plan cache) rolls up into it. When
+//! [`SchedulerConfig::mem_budget`] is set, gauge pressure drives a
+//! degradation ladder instead of an OOM kill:
+//!
+//! 1. ≥ 70 % — **shrink** new queries' per-worker bitmap caches;
+//! 2. ≥ 85 % — additionally **disable** the bitmap tier and **clamp** new
+//!    queries to one thread (counts are identical under every engine
+//!    config, so degraded queries stay bit-exact);
+//! 3. ≥ 95 % — **shed**: reject new submissions and drop queued work
+//!    (earliest deadline first) with a typed `overloaded` carrying
+//!    `retry_after_ms`, so well-behaved clients back off instead of
+//!    hammering a drowning daemon.
+//!
+//! # Self-healing
+//!
+//! Engine panics are already isolated per task and surface as typed
+//! errors. A pool thread itself dying (the chaos harness injects exactly
+//! this) is healed by a phoenix guard: the unwinding thread's `Drop`
+//! respawns a replacement worker and bumps `pool_rebuilds`, so the pool
+//! never shrinks below its configured size. The in-flight query's reply
+//! channel drops, which the daemon reports as a typed engine failure —
+//! subsequent queries run on the rebuilt pool, and the socket never
+//! closes.
 //!
 //! The per-task dispatch below is on the service's hot path: one queue
 //! hand-off and zero allocations per *task*; the waived allocations are
 //! strictly per *query* (bounded by pattern count), never per embedding.
 // lint: hot-path(alloc)
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use fingers_mining::{try_count_plan_parallel_shared, CancelToken, EngineConfig, EngineError};
+use fingers_mining::{
+    try_count_plan_parallel_governed, CancelToken, EngineConfig, EngineError, MemGauge,
+};
 use fingers_pattern::ExecutionPlan;
 
 use crate::storage::StoredGraph;
+
+/// Gauge percentage of `mem_budget` at which new queries' bitmap caches
+/// are shrunk to [`DEGRADED_CACHE_SLOTS`].
+pub const PRESSURE_SHRINK_PCT: u64 = 70;
+/// Gauge percentage at which the bitmap tier is disabled and new queries
+/// are clamped to one thread.
+pub const PRESSURE_CLAMP_PCT: u64 = 85;
+/// Gauge percentage at which queued work is shed and new submissions are
+/// rejected with a `retry_after_ms` hint.
+pub const PRESSURE_SHED_PCT: u64 = 95;
+/// Per-worker bitmap-cache slots under the shrink rung of the ladder.
+pub const DEGRADED_CACHE_SLOTS: usize = 8;
 
 /// Sizing and policy of the scheduler.
 #[derive(Debug, Clone)]
@@ -39,6 +82,12 @@ pub struct SchedulerConfig {
     pub max_threads_per_query: usize,
     /// Deadline applied to queries that do not carry their own.
     pub default_timeout: Option<Duration>,
+    /// Global metered-memory budget in bytes driving the degradation
+    /// ladder (`None` = no ladder; the gauge still meters).
+    pub mem_budget: Option<u64>,
+    /// Back-off hint attached to pressure-shed rejections, in
+    /// milliseconds.
+    pub retry_after_ms: u64,
 }
 
 impl Default for SchedulerConfig {
@@ -51,7 +100,67 @@ impl Default for SchedulerConfig {
             queue_depth: 16,
             max_threads_per_query: cores,
             default_timeout: None,
+            mem_budget: None,
+            retry_after_ms: 100,
         }
+    }
+}
+
+/// Rungs of the memory-pressure degradation ladder, derived on demand
+/// from the global gauge against [`SchedulerConfig::mem_budget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Degradation {
+    /// Below every threshold: queries run with their requested budget.
+    Normal,
+    /// ≥ 70 % of budget: new queries get [`DEGRADED_CACHE_SLOTS`]
+    /// bitmap-cache slots per worker.
+    ShrinkCaches,
+    /// ≥ 85 %: bitmap tier off, new queries clamped to one thread.
+    ClampThreads,
+    /// ≥ 95 %: queued work is shed and new submissions rejected with a
+    /// `retry_after_ms` hint.
+    Shed,
+}
+
+impl Degradation {
+    /// Stable wire word for ping/stats responses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Degradation::Normal => "normal",
+            Degradation::ShrinkCaches => "shrink-caches",
+            Degradation::ClampThreads => "clamp-threads",
+            Degradation::Shed => "shed",
+        }
+    }
+
+    /// Numeric rung (0–3) for machine consumers.
+    pub fn level(self) -> u8 {
+        match self {
+            Degradation::Normal => 0,
+            Degradation::ShrinkCaches => 1,
+            Degradation::ClampThreads => 2,
+            Degradation::Shed => 3,
+        }
+    }
+}
+
+/// The ladder rung for `bytes` of metered memory under `budget`.
+fn degradation_for(bytes: u64, budget: Option<u64>) -> Degradation {
+    let Some(budget) = budget else {
+        return Degradation::Normal;
+    };
+    if budget == 0 {
+        return Degradation::Shed;
+    }
+    let pct = (u128::from(bytes) * 100 / u128::from(budget)) as u64;
+    if pct >= PRESSURE_SHED_PCT {
+        Degradation::Shed
+    } else if pct >= PRESSURE_CLAMP_PCT {
+        Degradation::ClampThreads
+    } else if pct >= PRESSURE_SHRINK_PCT {
+        Degradation::ShrinkCaches
+    } else {
+        Degradation::Normal
     }
 }
 
@@ -70,17 +179,60 @@ pub struct Job {
     pub config: EngineConfig,
 }
 
+/// Why an admitted job did not produce counts.
+#[derive(Debug)]
+pub enum JobError {
+    /// The engine failed: cancellation, deadline, isolated panic, or a
+    /// tripped per-query memory budget.
+    Engine(EngineError),
+    /// The job was shed from the queue under memory pressure; the client
+    /// should retry after the hinted delay.
+    Shed {
+        /// Back-off hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+impl JobError {
+    /// The engine's cancellation kind, when this failure is one.
+    pub fn cancel_kind(&self) -> Option<fingers_mining::CancelKind> {
+        match self {
+            JobError::Engine(e) => e.cancel_kind(),
+            JobError::Shed { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Engine(e) => write!(f, "{e}"),
+            JobError::Shed { retry_after_ms } => write!(
+                f,
+                "query shed under memory pressure; retry after {retry_after_ms} ms"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
 /// What the worker sends back: per-plan counts in request order, or the
-/// first failure (cancellation, deadline, panic isolation).
-pub type JobResult = Result<Vec<u64>, EngineError>;
+/// first failure (cancellation, deadline, panic isolation, memory budget,
+/// pressure shed).
+pub type JobResult = Result<Vec<u64>, JobError>;
 
 /// Why a submission was not admitted.
 #[derive(Debug, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The queue is at its depth limit; retry later or shed load.
+    /// The queue is at its depth limit (no hint) or the scheduler is
+    /// shedding under memory pressure (`retry_after_ms` set); retry later.
     Overloaded {
         /// The configured queue depth that was exceeded.
         queue_depth: usize,
+        /// Back-off hint when the rejection came from the degradation
+        /// ladder rather than a full queue.
+        retry_after_ms: Option<u64>,
     },
     /// The scheduler is shutting down and accepts no new work.
     ShuttingDown,
@@ -89,8 +241,20 @@ pub enum SubmitError {
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::Overloaded { queue_depth } => {
+            SubmitError::Overloaded {
+                queue_depth,
+                retry_after_ms: None,
+            } => {
                 write!(f, "scheduler overloaded ({queue_depth} queries queued)")
+            }
+            SubmitError::Overloaded {
+                retry_after_ms: Some(ms),
+                ..
+            } => {
+                write!(
+                    f,
+                    "scheduler shedding under memory pressure; retry after {ms} ms"
+                )
             }
             SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
         }
@@ -110,57 +274,269 @@ pub struct SchedStats {
     pub completed: AtomicU64,
     /// Queries that ended cancelled or past deadline.
     pub cancelled: AtomicU64,
-    /// Queries that failed (worker panic isolation, invalid plan).
+    /// Queries that failed (worker panic isolation, memory budget).
     pub failed: AtomicU64,
+    /// Queued queries shed by the degradation ladder.
+    pub shed: AtomicU64,
+    /// Queries executed under a degraded ladder rung (shrunk caches or
+    /// clamped threads).
+    pub degraded: AtomicU64,
+    /// Pool worker threads respawned after a panic killed one.
+    pub pool_rebuilds: AtomicU64,
 }
 
 type QueueItem = (Job, Sender<JobResult>);
 
-/// The scheduler: bounded queue, fixed worker pool, active-query registry.
+/// The admission queue plus everything a worker thread touches; shared
+/// between the scheduler façade and every (re)spawned pool thread.
+#[derive(Debug)]
+struct Core {
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    stats: SchedStats,
+    gauge: MemGauge,
+    config: SchedulerConfig,
+    stopping: AtomicBool,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    items: VecDeque<QueueItem>,
+    closed: bool,
+}
+
+impl Core {
+    fn degradation(&self) -> Degradation {
+        degradation_for(self.gauge.bytes(), self.config.mem_budget)
+    }
+
+    /// Next job for a worker: sheds queued work (earliest deadline first)
+    /// while the ladder is at its shed rung, then pops or blocks for new
+    /// work. `None` means the queue is closed and drained — the worker
+    /// exits.
+    fn dequeue(&self) -> Option<QueueItem> {
+        let mut state = self
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            while self.degradation() == Degradation::Shed && !state.closed {
+                let Some(idx) = earliest_deadline_index(&state.items) else {
+                    break;
+                };
+                let Some((_job, reply)) = state.items.remove(idx) else {
+                    break;
+                };
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(Err(JobError::Shed {
+                    retry_after_ms: self.config.retry_after_ms,
+                }));
+            }
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Executes every plan of one job with the shared graph, shared hub
+    /// set, clamped thread budget, the job's token, and the global gauge.
+    /// All-or-nothing: the first failing plan discards the query (a
+    /// partial per-pattern vector would be indistinguishable from a
+    /// complete one).
+    ///
+    /// The degradation ladder applies here, to *new* executions only:
+    /// shrunk or disabled bitmap caches and clamped thread budgets are
+    /// pure engine-config changes, so a degraded query's counts stay
+    /// bit-identical to an undegraded run — degradation trades speed for
+    /// footprint, never correctness.
+    ///
+    /// The clamped budget composes with the engine's work-stealing
+    /// scheduler (`job.config.work_stealing`, daemon flag `--no-steal`):
+    /// the budget fixes how many workers a query spawns, stealing only
+    /// redistributes root tasks *among* them, so the cap — and the count —
+    /// holds under every steal schedule.
+    fn run_job(&self, job: &Job) -> Result<Vec<u64>, EngineError> {
+        let level = self.degradation();
+        let mut threads = job
+            .threads
+            .clamp(1, self.config.max_threads_per_query.max(1));
+        // lint: allow-alloc(per-query config clone, not per task)
+        let mut config = job.config.clone();
+        // lint: allow-alloc(Arc clone of the shared hub set, no data copy)
+        let mut hubs = job.graph.hubs.clone();
+        if level >= Degradation::ShrinkCaches {
+            self.stats.degraded.fetch_add(1, Ordering::Relaxed);
+            config.bitmap_cache_slots = config.bitmap_cache_slots.min(DEGRADED_CACHE_SLOTS);
+        }
+        if level >= Degradation::ClampThreads {
+            threads = 1;
+            config.bitmap_hubs = 0;
+            hubs = None;
+        }
+        // lint: allow-alloc(per-query result vector, bounded by pattern count)
+        let mut counts = Vec::with_capacity(job.plans.len());
+        for plan in &job.plans {
+            let n = try_count_plan_parallel_governed(
+                &job.graph.graph,
+                plan,
+                threads,
+                &config,
+                // lint: allow-alloc(Arc refcount bump, shares the resident hub set)
+                hubs.clone(),
+                &job.cancel,
+                Some(&self.gauge),
+            )?;
+            counts.push(n);
+        }
+        Ok(counts)
+    }
+}
+
+/// Index of the queued job with the earliest deadline (the one least
+/// likely to finish in time under pressure); jobs without deadlines are
+/// shed last. `None` when the queue is empty.
+fn earliest_deadline_index(items: &VecDeque<QueueItem>) -> Option<usize> {
+    if items.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_deadline = items[0].0.cancel.deadline();
+    for (i, (job, _)) in items.iter().enumerate().skip(1) {
+        let d = job.cancel.deadline();
+        let earlier = match (d, best_deadline) {
+            (Some(a), Some(b)) => a < b,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if earlier {
+            best = i;
+            best_deadline = d;
+        }
+    }
+    Some(best)
+}
+
+/// Respawns a replacement pool worker when the current one dies by panic
+/// (the phoenix pattern): the unwinding thread's `Drop` runs this guard,
+/// which — unless the scheduler is shutting down — spawns a fresh worker
+/// on the same shared core and bumps `pool_rebuilds`. The pool therefore
+/// never shrinks below its configured size, with no supervisor thread or
+/// polling loop.
+struct Phoenix {
+    core: Arc<Core>,
+}
+
+impl Drop for Phoenix {
+    fn drop(&mut self) {
+        if std::thread::panicking() && !self.core.stopping.load(Ordering::SeqCst) {
+            self.core
+                .stats
+                .pool_rebuilds
+                .fetch_add(1, Ordering::Relaxed);
+            spawn_worker(&self.core);
+        }
+    }
+}
+
+fn spawn_worker(core: &Arc<Core>) {
+    // lint: allow-alloc(pool construction/rebuild, not dispatch)
+    let worker_core = Arc::clone(core);
+    let handle = std::thread::spawn(move || {
+        let _phoenix = Phoenix {
+            core: Arc::clone(&worker_core),
+        };
+        worker_loop(&worker_core);
+    });
+    core.workers
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        // lint: allow-alloc(pool construction/rebuild, not dispatch)
+        .push(handle);
+}
+
+/// One pool thread: dequeue, execute through the governed engine entry
+/// point, reply. A query failure (cancelled, deadline, isolated panic,
+/// budget) is a *result*, not a pool event — the thread loops on. The
+/// chaos probe sits *outside* any catch: an injected scheduler-worker
+/// panic genuinely kills this thread, exercising the phoenix rebuild.
+fn worker_loop(core: &Arc<Core>) {
+    while let Some((job, reply)) = core.dequeue() {
+        fingers_mining::chaos::maybe_panic_sched_worker();
+        let result = core.run_job(&job).map_err(JobError::Engine);
+        match &result {
+            Ok(_) => core.stats.completed.fetch_add(1, Ordering::Relaxed),
+            Err(e) if e.cancel_kind().is_some() => {
+                core.stats.cancelled.fetch_add(1, Ordering::Relaxed)
+            }
+            Err(_) => core.stats.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        // A vanished requester (client hung up) is fine; drop the result.
+        let _ = reply.send(result);
+    }
+}
+
+/// The scheduler: sheddable bounded queue, self-healing worker pool,
+/// active-query registry, global memory gauge.
 #[derive(Debug)]
 pub struct Scheduler {
-    tx: Mutex<Option<SyncSender<QueueItem>>>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    core: Arc<Core>,
     active: Mutex<HashMap<String, CancelToken>>,
-    stats: Arc<SchedStats>,
-    config: SchedulerConfig,
 }
 
 impl Scheduler {
     /// Starts `config.workers` pool threads.
     pub fn new(config: SchedulerConfig) -> Self {
-        let (tx, rx) = std::sync::mpsc::sync_channel::<QueueItem>(config.queue_depth.max(1));
-        // std's Receiver is single-consumer; the pool shares it behind a
-        // mutex held only for the blocking dequeue, never while mining.
-        let rx = Arc::new(Mutex::new(rx));
-        let stats = Arc::new(SchedStats::default());
-        let max_threads = config.max_threads_per_query.max(1);
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                // lint: allow-alloc(one-time pool construction, not dispatch)
-                let rx = Arc::clone(&rx);
-                let stats = Arc::clone(&stats);
-                std::thread::spawn(move || worker_loop(&rx, &stats, max_threads))
-            })
-            // lint: allow-alloc(one-time pool construction, not dispatch)
-            .collect();
-        Self {
-            tx: Mutex::new(Some(tx)),
-            workers: Mutex::new(workers),
-            active: Mutex::new(HashMap::new()),
-            stats,
+        let workers = config.workers.max(1);
+        let core = Arc::new(Core {
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            stats: SchedStats::default(),
+            gauge: MemGauge::new(),
             config,
+            stopping: AtomicBool::new(false),
+            // lint: allow-alloc(pool construction, once per daemon)
+            workers: Mutex::new(Vec::new()),
+        });
+        for _ in 0..workers {
+            spawn_worker(&core);
+        }
+        Self {
+            core,
+            active: Mutex::new(HashMap::new()),
         }
     }
 
     /// The scheduler's configuration.
     pub fn config(&self) -> &SchedulerConfig {
-        &self.config
+        &self.core.config
     }
 
     /// Shared statistics counters.
     pub fn stats(&self) -> &SchedStats {
-        &self.stats
+        &self.core.stats
+    }
+
+    /// The global memory gauge every query's footprint rolls up into.
+    /// Clone it into other meterable structures (the session plan cache)
+    /// so their bytes count against the same budget.
+    pub fn gauge(&self) -> &MemGauge {
+        &self.core.gauge
+    }
+
+    /// The ladder rung the scheduler is currently operating at.
+    pub fn degradation(&self) -> Degradation {
+        self.core.degradation()
     }
 
     /// Admission control: queues `job` if there is room, rejecting
@@ -169,30 +545,38 @@ impl Scheduler {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Overloaded`] when the queue is full,
+    /// [`SubmitError::Overloaded`] when the queue is full (no hint) or
+    /// the ladder is shedding (`retry_after_ms` set),
     /// [`SubmitError::ShuttingDown`] after [`Scheduler::shutdown`].
     pub fn submit(&self, job: Job) -> Result<Receiver<JobResult>, SubmitError> {
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-        let guard = self
-            .tx
+        let mut state = self
+            .core
+            .queue
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let Some(tx) = guard.as_ref() else {
+        if state.closed {
             return Err(SubmitError::ShuttingDown);
-        };
-        match tx.try_send((job, reply_tx)) {
-            Ok(()) => {
-                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                Ok(reply_rx)
-            }
-            Err(TrySendError::Full(_)) => {
-                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(SubmitError::Overloaded {
-                    queue_depth: self.config.queue_depth,
-                })
-            }
-            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
         }
+        if self.core.degradation() == Degradation::Shed {
+            self.core.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Overloaded {
+                queue_depth: self.core.config.queue_depth,
+                retry_after_ms: Some(self.core.config.retry_after_ms),
+            });
+        }
+        if state.items.len() >= self.core.config.queue_depth.max(1) {
+            self.core.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Overloaded {
+                queue_depth: self.core.config.queue_depth,
+                retry_after_ms: None,
+            });
+        }
+        // lint: allow-alloc(queue entry per admitted query, not per task)
+        state.items.push_back((job, reply_tx));
+        self.core.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        self.core.ready.notify_one();
+        Ok(reply_rx)
     }
 
     /// Registers a client-visible query id so a later
@@ -242,8 +626,9 @@ impl Scheduler {
     /// Stops accepting work, cancels every active query, and joins the
     /// pool. Idempotent. Queued-but-unstarted jobs still flow through
     /// their worker, which observes the cancelled token before claiming a
-    /// task and reports [`EngineError::Cancelled`] — no silent drops.
+    /// task and reports a cancelled result — no silent drops.
     pub fn shutdown(&self) {
+        self.core.stopping.store(true, Ordering::SeqCst);
         {
             let active = self
                 .active
@@ -253,20 +638,31 @@ impl Scheduler {
                 token.cancel();
             }
         }
-        // Dropping the sender ends every worker's recv loop once the
-        // queue drains.
-        self.tx
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .take();
-        let workers = std::mem::take(
-            &mut *self
-                .workers
+        {
+            let mut state = self
+                .core
+                .queue
                 .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
-        );
-        for handle in workers {
-            let _ = handle.join();
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.closed = true;
+        }
+        self.core.ready.notify_all();
+        // A dying worker may respawn a sibling until it observes
+        // `stopping`, so drain the handle list until it stays empty.
+        loop {
+            let workers = std::mem::take(
+                &mut *self
+                    .core
+                    .workers
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+            if workers.is_empty() {
+                break;
+            }
+            for handle in workers {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -275,58 +671,6 @@ impl Drop for Scheduler {
     fn drop(&mut self) {
         self.shutdown();
     }
-}
-
-/// One pool thread: dequeue, execute through the cancellable engine entry
-/// point, reply. A query failure (cancelled, deadline, isolated panic)
-/// is a *result*, not a pool event — the thread loops on.
-fn worker_loop(rx: &Mutex<Receiver<QueueItem>>, stats: &SchedStats, max_threads: usize) {
-    loop {
-        let item = {
-            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            guard.recv()
-        };
-        let Ok((job, reply)) = item else {
-            return; // queue closed: shutdown
-        };
-        let result = run_job(&job, max_threads);
-        match &result {
-            Ok(_) => stats.completed.fetch_add(1, Ordering::Relaxed),
-            Err(e) if e.cancel_kind().is_some() => stats.cancelled.fetch_add(1, Ordering::Relaxed),
-            Err(_) => stats.failed.fetch_add(1, Ordering::Relaxed),
-        };
-        // A vanished requester (client hung up) is fine; drop the result.
-        let _ = reply.send(result);
-    }
-}
-
-/// Executes every plan of one job with the shared graph, shared hub set,
-/// clamped thread budget, and the job's token. All-or-nothing: the first
-/// failing plan discards the query (a partial per-pattern vector would be
-/// indistinguishable from a complete one).
-///
-/// The clamped budget composes with the engine's work-stealing scheduler
-/// (`job.config.work_stealing`, daemon flag `--no-steal`): the budget
-/// fixes how many workers a query spawns, stealing only redistributes
-/// root tasks *among* them, so the cap — and the count — holds under
-/// every steal schedule.
-fn run_job(job: &Job, max_threads: usize) -> JobResult {
-    let threads = job.threads.clamp(1, max_threads);
-    // lint: allow-alloc(per-query result vector, bounded by pattern count)
-    let mut counts = Vec::with_capacity(job.plans.len());
-    for plan in &job.plans {
-        let n = try_count_plan_parallel_shared(
-            &job.graph.graph,
-            plan,
-            threads,
-            &job.config,
-            // lint: allow-alloc(Arc refcount bump, shares the resident hub set)
-            job.graph.hubs.clone(),
-            &job.cancel,
-        )?;
-        counts.push(n);
-    }
-    Ok(counts)
 }
 
 #[cfg(test)]
@@ -367,6 +711,8 @@ mod tests {
         let counts = rx.recv().expect("reply").expect("success");
         assert_eq!(counts, vec![expected]);
         assert_eq!(sched.stats().completed.load(Ordering::Relaxed), 1);
+        assert_eq!(sched.gauge().bytes(), 0, "gauge returns to baseline");
+        assert!(sched.gauge().peak_bytes() > 0, "the query was metered");
         sched.shutdown();
     }
 
@@ -381,7 +727,7 @@ mod tests {
             workers: 2,
             queue_depth: 8,
             max_threads_per_query: 4,
-            default_timeout: None,
+            ..SchedulerConfig::default()
         });
         let plan = plan_of(&Pattern::triangle());
         let expected = fingers_mining::count_plan(&graph.graph, &plan);
@@ -414,12 +760,12 @@ mod tests {
             workers: 1,
             queue_depth: 1,
             max_threads_per_query: 1,
-            default_timeout: None,
+            ..SchedulerConfig::default()
         });
         let slow = plan_of(&Pattern::clique(5));
         // First job occupies the worker, second fills the queue; the
-        // bounded channel may hand slot one straight to the worker, so
-        // push until the first rejection — it must arrive by job 4.
+        // worker may pop slot one straight off, so push until the first
+        // rejection — it must arrive by job 4.
         let mut receivers = Vec::new();
         let mut rejected = None;
         for _ in 0..4 {
@@ -432,7 +778,13 @@ mod tests {
             }
         }
         let rejected = rejected.expect("queue depth 1 must reject by the fourth submit");
-        assert_eq!(rejected, SubmitError::Overloaded { queue_depth: 1 });
+        assert_eq!(
+            rejected,
+            SubmitError::Overloaded {
+                queue_depth: 1,
+                retry_after_ms: None,
+            }
+        );
         assert!(sched.stats().rejected.load(Ordering::Relaxed) >= 1);
         // The admitted jobs still complete; the pool is healthy.
         for rx in receivers {
@@ -448,7 +800,7 @@ mod tests {
             workers: 1,
             queue_depth: 4,
             max_threads_per_query: 1,
-            default_timeout: None,
+            ..SchedulerConfig::default()
         });
         let slow = plan_of(&Pattern::clique(5));
         let quick = plan_of(&Pattern::triangle());
@@ -510,5 +862,171 @@ mod tests {
             .expect_err("rejected after shutdown");
         assert_eq!(err, SubmitError::ShuttingDown);
         sched.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn ladder_rungs_follow_gauge_pressure() {
+        assert_eq!(degradation_for(0, None), Degradation::Normal);
+        assert_eq!(degradation_for(u64::MAX, None), Degradation::Normal);
+        let budget = Some(1000);
+        assert_eq!(degradation_for(699, budget), Degradation::Normal);
+        assert_eq!(degradation_for(700, budget), Degradation::ShrinkCaches);
+        assert_eq!(degradation_for(849, budget), Degradation::ShrinkCaches);
+        assert_eq!(degradation_for(850, budget), Degradation::ClampThreads);
+        assert_eq!(degradation_for(949, budget), Degradation::ClampThreads);
+        assert_eq!(degradation_for(950, budget), Degradation::Shed);
+        assert_eq!(degradation_for(5000, budget), Degradation::Shed);
+        assert_eq!(degradation_for(0, Some(0)), Degradation::Shed);
+        assert!(Degradation::Normal < Degradation::Shed);
+        assert_eq!(Degradation::Shed.level(), 3);
+        assert_eq!(Degradation::ClampThreads.as_str(), "clamp-threads");
+    }
+
+    #[test]
+    fn shed_rung_rejects_new_work_with_a_retry_hint_and_recovers() {
+        let graph = test_graph("gen:er:60:240:11");
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_depth: 8,
+            max_threads_per_query: 1,
+            mem_budget: Some(1000),
+            retry_after_ms: 75,
+            ..SchedulerConfig::default()
+        });
+        // Push the gauge past the shed threshold by hand (standing in for
+        // a fleet of fat queries).
+        sched.gauge().charge(960);
+        assert_eq!(sched.degradation(), Degradation::Shed);
+        let err = sched
+            .submit(job(
+                &graph,
+                vec![plan_of(&Pattern::triangle())],
+                CancelToken::new(),
+            ))
+            .expect_err("shed rung rejects");
+        assert_eq!(
+            err,
+            SubmitError::Overloaded {
+                queue_depth: 8,
+                retry_after_ms: Some(75),
+            }
+        );
+        // Pressure relieved: the same query is admitted and completes.
+        sched.gauge().release(960);
+        assert_eq!(sched.degradation(), Degradation::Normal);
+        let expected = fingers_mining::count_plan(
+            &graph.graph,
+            &ExecutionPlan::compile(&Pattern::triangle(), Induced::Vertex),
+        );
+        let rx = sched
+            .submit(job(
+                &graph,
+                vec![plan_of(&Pattern::triangle())],
+                CancelToken::new(),
+            ))
+            .expect("admitted after recovery");
+        assert_eq!(rx.recv().expect("reply").expect("success"), vec![expected]);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn shed_rung_drops_queued_work_earliest_deadline_first() {
+        let graph = test_graph("gen:pl:2000:24000:7");
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_depth: 8,
+            max_threads_per_query: 1,
+            mem_budget: Some(1000),
+            retry_after_ms: 50,
+            ..SchedulerConfig::default()
+        });
+        let slow = plan_of(&Pattern::clique(5));
+        // The plug occupies the single worker; two victims queue behind it
+        // (far deadline and near deadline).
+        let plug_token = CancelToken::new();
+        let plug_rx = sched
+            .submit(job(&graph, vec![Arc::clone(&slow)], plug_token.clone()))
+            .expect("plug admitted");
+        let far = sched
+            .submit(job(
+                &graph,
+                vec![Arc::clone(&slow)],
+                CancelToken::with_deadline(Duration::from_secs(3600)),
+            ))
+            .expect("far victim admitted");
+        let near = sched
+            .submit(job(
+                &graph,
+                vec![Arc::clone(&slow)],
+                CancelToken::with_deadline(Duration::from_secs(600)),
+            ))
+            .expect("near victim admitted");
+        // Memory pressure arrives while they wait; finish the plug so the
+        // worker returns to the queue and sheds.
+        sched.gauge().charge(999);
+        plug_token.cancel();
+        let plug_err = plug_rx.recv().expect("plug reply").expect_err("cancelled");
+        assert!(plug_err.cancel_kind().is_some());
+        let near_err = near.recv().expect("near reply").expect_err("shed");
+        assert!(
+            matches!(near_err, JobError::Shed { retry_after_ms: 50 }),
+            "{near_err}"
+        );
+        let far_err = far.recv().expect("far reply").expect_err("shed");
+        assert!(matches!(far_err, JobError::Shed { .. }), "{far_err}");
+        assert_eq!(sched.stats().shed.load(Ordering::Relaxed), 2);
+        // Recovery: pressure off, fresh work completes.
+        sched.gauge().release(999);
+        let rx = sched
+            .submit(job(
+                &graph,
+                vec![plan_of(&Pattern::triangle())],
+                CancelToken::new(),
+            ))
+            .expect("admitted after recovery");
+        rx.recv().expect("reply").expect("success");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn degraded_rungs_still_produce_exact_counts() {
+        let graph = test_graph("gen:pl:300:3000:13");
+        let plan = plan_of(&Pattern::triangle());
+        let expected = fingers_mining::count_plan(&graph.graph, &plan);
+        // Hold the gauge at the clamp rung: new queries run single-threaded
+        // with the bitmap tier off, and must still count exactly.
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_depth: 4,
+            max_threads_per_query: 4,
+            mem_budget: Some(1000),
+            ..SchedulerConfig::default()
+        });
+        sched.gauge().charge(900);
+        assert_eq!(sched.degradation(), Degradation::ClampThreads);
+        let rx = sched
+            .submit(job(&graph, vec![Arc::clone(&plan)], CancelToken::new()))
+            .expect("admitted below shed");
+        assert_eq!(rx.recv().expect("reply").expect("success"), vec![expected]);
+        assert!(sched.stats().degraded.load(Ordering::Relaxed) >= 1);
+        sched.gauge().release(900);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn earliest_deadline_selection_prefers_deadlined_jobs() {
+        let graph = test_graph("gen:er:20:40:1");
+        let plan = plan_of(&Pattern::triangle());
+        let mk = |token: CancelToken| {
+            let (tx, _rx) = std::sync::mpsc::channel();
+            (job(&graph, vec![Arc::clone(&plan)], token), tx)
+        };
+        let mut items = VecDeque::new();
+        assert_eq!(earliest_deadline_index(&items), None);
+        items.push_back(mk(CancelToken::new()));
+        assert_eq!(earliest_deadline_index(&items), Some(0));
+        items.push_back(mk(CancelToken::with_deadline(Duration::from_secs(100))));
+        items.push_back(mk(CancelToken::with_deadline(Duration::from_secs(10))));
+        assert_eq!(earliest_deadline_index(&items), Some(2));
     }
 }

@@ -8,13 +8,25 @@
 //! (minimum adjacency-mask vector over every vertex relabeling) plus the
 //! induced mode, so `tc` and `0-1,1-2,0-2` — or any other spelling of an
 //! isomorphic pattern — share one cache entry and one compilation.
+//!
+//! The cache is bounded: at most [`DEFAULT_PLAN_CACHE_CAP`] entries
+//! (configurable via [`PlanCache::with_limits`]), evicting the least
+//! recently used plan when full, and its estimated footprint is charged
+//! to the daemon's global [`MemGauge`] so cached plans count against the
+//! same budget as query scratch memory (DESIGN.md §15).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use fingers_mining::MemGauge;
 use fingers_pattern::{parse_pattern, ExecutionPlan, Induced, Pattern};
 use fingers_verify::{PlanMutation, VerifyReport};
+
+/// Default bound on distinct cached plans. Generous for the paper's
+/// workloads (a handful of benchmark patterns) while capping what an
+/// adversarial stream of novel patterns can pin in memory.
+pub const DEFAULT_PLAN_CACHE_CAP: usize = 64;
 
 /// Typed failures of the session layer, each mapped to a distinct protocol
 /// error kind (and client exit code) by the protocol layer.
@@ -47,6 +59,19 @@ impl std::error::Error for SessionError {}
 struct PlanKey {
     adj: Vec<u16>,
     induced: Induced,
+}
+
+impl PlanKey {
+    /// Coarse resident-footprint estimate for the gauge: the boxed key,
+    /// the `Arc<ExecutionPlan>` with its per-level instruction vectors
+    /// (order of a hundred bytes per pattern vertex), and map overhead.
+    /// An estimate is enough — the gauge governs pressure trends, and the
+    /// entry *count* is hard-capped independently.
+    fn entry_bytes(&self) -> u64 {
+        let key = (self.adj.len() * std::mem::size_of::<u16>()) as u64;
+        let plan = std::mem::size_of::<ExecutionPlan>() as u64 + self.adj.len() as u64 * 128;
+        key + plan + 64
+    }
 }
 
 /// The canonical adjacency-mask vector of `pattern`: the lexicographic
@@ -88,23 +113,56 @@ fn canonical_adj(pattern: &Pattern) -> Vec<u16> {
     best
 }
 
-/// A concurrent cache of compiled, verified execution plans.
+/// One cached plan plus its recency stamp for LRU eviction.
+#[derive(Debug)]
+struct CacheEntry {
+    plan: Arc<ExecutionPlan>,
+    last_used: u64,
+}
+
+/// A concurrent, bounded cache of compiled, verified execution plans.
 ///
 /// Misses compile under the lock-free path (compilation happens outside
 /// the mutex; a racing duplicate compile is benign — last insert wins and
 /// both plans are identical), and every cached plan has passed the
-/// verifier, so cache hits skip straight to execution.
-#[derive(Debug, Default)]
+/// verifier, so cache hits skip straight to execution. Inserting past the
+/// capacity evicts the least recently used entry; evictions release their
+/// gauge charge and are counted for the stats endpoint.
+#[derive(Debug)]
 pub struct PlanCache {
-    plans: Mutex<HashMap<PlanKey, Arc<ExecutionPlan>>>,
+    plans: Mutex<HashMap<PlanKey, CacheEntry>>,
+    capacity: usize,
+    gauge: Option<MemGauge>,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_limits(DEFAULT_PLAN_CACHE_CAP, None)
+    }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity and no gauge.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` plans (clamped to ≥ 1),
+    /// charging entry footprints to `gauge` when one is given.
+    pub fn with_limits(capacity: usize, gauge: Option<MemGauge>) -> Self {
+        Self {
+            plans: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            gauge,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// The verified plan for `pattern` under `induced`, compiled on first
@@ -125,14 +183,16 @@ impl PlanCache {
             adj: canonical_adj(pattern),
             induced,
         };
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
         if let Some(hit) = self
             .plans
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&key)
+            .get_mut(&key)
         {
+            hit.last_used = now;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+            return Ok(Arc::clone(&hit.plan));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let plan = ExecutionPlan::compile(pattern, induced);
@@ -141,10 +201,39 @@ impl PlanCache {
             return Err(SessionError::UnsoundPlan(report));
         }
         let plan = Arc::new(plan);
-        self.plans
+        let entry_bytes = key.entry_bytes();
+        let mut map = self
+            .plans
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(key, Arc::clone(&plan));
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while map.len() >= self.capacity {
+            let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some(gauge) = &self.gauge {
+                gauge.release(victim.entry_bytes());
+            }
+        }
+        let fresh = map
+            .insert(
+                key,
+                CacheEntry {
+                    plan: Arc::clone(&plan),
+                    last_used: now,
+                },
+            )
+            .is_none();
+        if fresh {
+            if let Some(gauge) = &self.gauge {
+                gauge.charge(entry_bytes);
+            }
+        }
         Ok(plan)
     }
 
@@ -156,6 +245,27 @@ impl PlanCache {
     /// Cache misses (= compilations) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The entry bound this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Estimated resident bytes of the cached plans (what the gauge is
+    /// charged with when one is attached).
+    pub fn bytes(&self) -> u64 {
+        self.plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .keys()
+            .map(PlanKey::entry_bytes)
+            .sum()
     }
 
     /// Number of distinct cached plans.
@@ -267,6 +377,46 @@ mod tests {
         let a = parse_pattern_spec("0-1,0-2,1-2,2-3").expect("a");
         let b = parse_pattern_spec("1-2,1-3,2-3,0-1").expect("b");
         assert_eq!(canonical_adj(&a), canonical_adj(&b));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = PlanCache::with_limits(2, None);
+        let tc = parse_pattern_spec("tc").expect("tc");
+        let wedge = parse_pattern_spec("wedge").expect("wedge");
+        let cyc = parse_pattern_spec("cyc").expect("cyc");
+        let first = cache.plan(&tc, Induced::Vertex).expect("tc in");
+        cache.plan(&wedge, Induced::Vertex).expect("wedge in");
+        // Touch tc so wedge becomes the LRU victim when cyc arrives.
+        cache.plan(&tc, Induced::Vertex).expect("tc hit");
+        cache.plan(&cyc, Induced::Vertex).expect("cyc in");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // tc survived (still a hit), wedge was evicted (recompiles).
+        let again = cache.plan(&tc, Induced::Vertex).expect("tc still cached");
+        assert!(Arc::ptr_eq(&first, &again), "tc must have survived");
+        let misses_before = cache.misses();
+        cache.plan(&wedge, Induced::Vertex).expect("wedge back");
+        assert_eq!(cache.misses(), misses_before + 1, "wedge was evicted");
+        assert_eq!(cache.capacity(), 2);
+    }
+
+    #[test]
+    fn gauge_tracks_cache_footprint_through_eviction() {
+        let gauge = MemGauge::new();
+        let cache = PlanCache::with_limits(2, Some(gauge.clone()));
+        assert_eq!(cache.bytes(), 0);
+        let tc = parse_pattern_spec("tc").expect("tc");
+        let wedge = parse_pattern_spec("wedge").expect("wedge");
+        let cyc = parse_pattern_spec("cyc").expect("cyc");
+        cache.plan(&tc, Induced::Vertex).expect("tc");
+        cache.plan(&wedge, Induced::Vertex).expect("wedge");
+        assert_eq!(gauge.bytes(), cache.bytes(), "gauge mirrors the cache");
+        let two_entries = gauge.bytes();
+        assert!(two_entries > 0);
+        cache.plan(&cyc, Induced::Vertex).expect("cyc evicts LRU");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(gauge.bytes(), cache.bytes(), "eviction released its charge");
     }
 
     #[test]

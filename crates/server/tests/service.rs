@@ -126,7 +126,7 @@ fn explicit_cancel_discards_the_query_and_keeps_the_pool_alive() {
             workers: 1,
             queue_depth: 8,
             max_threads_per_query: 1,
-            default_timeout: None,
+            ..SchedulerConfig::default()
         },
     );
     let socket = daemon.socket().to_path_buf();
@@ -210,7 +210,7 @@ fn deadline_queries_report_deadline_and_workers_are_reclaimed() {
             workers: 2,
             queue_depth: 8,
             max_threads_per_query: 2,
-            default_timeout: None,
+            ..SchedulerConfig::default()
         },
     );
     let socket = daemon.socket().to_path_buf();
@@ -251,7 +251,7 @@ fn admission_control_returns_typed_overloaded_responses() {
             workers: 1,
             queue_depth: 1,
             max_threads_per_query: 1,
-            default_timeout: None,
+            ..SchedulerConfig::default()
         },
     );
     let socket = daemon.socket().to_path_buf();

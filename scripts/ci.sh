@@ -91,6 +91,21 @@ FINGERS_RESULTS_DIR=/nonexistent-fingers-ci-smoke \
 echo "==> fingers-setops --no-default-features (scalar-fallback job)"
 cargo test -q -p fingers-setops --no-default-features
 
+# Chaos jobs. The fault-injection suite drives the engine through the
+# seeded chaos plan (typed failures, bit-identical recovery); the second
+# run disables the forwarded `simd` feature, proving the scalar-fallback
+# engine degrades identically under the same fault streams. The soak
+# smoke then storms the governed daemon once per seed of the fixed
+# matrix (the same seeds `BENCH_soak_chaos.json` checks in).
+echo "==> fault-injection suite (default + scalar fallback)"
+cargo test -q -p fingers-mining --test fault_injection
+cargo test -q -p fingers-mining --no-default-features --test fault_injection
+echo "==> chaos soak smoke (fixed 3-seed matrix)"
+for seed in 11 23 47; do
+  FINGERS_RESULTS_DIR=/nonexistent-fingers-ci-smoke FINGERS_CHAOS_SEED="$seed" \
+    cargo run --release -q -p fingers-bench --bin soak_chaos -- --quick > /dev/null
+done
+
 # Checkpoint/resume smoke: run the first two sections of a quick run_all,
 # stop (simulating an interruption), resume, and assert the manifest ends
 # with every section completed exactly once.
@@ -103,7 +118,7 @@ FINGERS_RESULTS_DIR="$RESUME_DIR" \
   cargo run --release -q -p fingers-bench --bin run_all -- --quick --resume > /dev/null
 for section in table1 table2 fig9 fig10 fig11 fig12 fig13 table3 \
                parallelism bitmap_kernels count_fusion simd_kernels \
-               steal_balance energy ablations service_latency; do
+               steal_balance energy ablations service_latency soak_chaos; do
   n="$(grep -c "\"section\": \"$section\"" "$RESUME_DIR/run_all_manifest.jsonl" || true)"
   if [ "$n" -ne 1 ]; then
     echo "resume smoke: section $section appears $n times in the manifest (want 1)" >&2
@@ -120,18 +135,26 @@ done
 echo "==> daemon smoke (serve/client query mix + clean shutdown)"
 MINE=target/release/fingers-mine
 DAEMON_DIR="$(mktemp -d)"
-trap 'rm -rf "$RESUME_DIR" "$DAEMON_DIR"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+trap 'rm -rf "$RESUME_DIR" "$DAEMON_DIR"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null; [ -n "${SERVE2_PID:-}" ] && kill "$SERVE2_PID" 2>/dev/null || true' EXIT
 SOCK="$DAEMON_DIR/fingers.sock"
 "$MINE" serve --socket "$SOCK" \
   --load g=gen:pl:3000:36000:7 --load slow=gen:pl:4000:80000:18 \
   --workers 1 --queue-depth 4 --max-threads 1 \
   > "$DAEMON_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
+# Readiness probe: poll the ping op until the daemon answers ok. Unlike
+# waiting for the socket file, a ping round-trip proves the listener,
+# scheduler pool, and gauge are all live before the mix starts.
+ready=0
 for _ in $(seq 1 100); do
-  [ -S "$SOCK" ] && break
+  if "$MINE" client --socket "$SOCK" '{"op":"ping"}' 2>/dev/null \
+      | grep -q '"status":"ok"'; then
+    ready=1
+    break
+  fi
   sleep 0.1
 done
-[ -S "$SOCK" ] || { echo "daemon smoke: socket never appeared" >&2; exit 1; }
+[ "$ready" -eq 1 ] || { echo "daemon smoke: daemon never answered ping" >&2; exit 1; }
 
 # Successful count (exit 0) whose total matches the one-shot --json run.
 RESP="$("$MINE" client --socket "$SOCK" \
@@ -227,5 +250,53 @@ if [ "$code" -ne 0 ]; then
   exit 1
 fi
 [ ! -S "$SOCK" ] || { echo "daemon smoke: socket file survived shutdown" >&2; exit 1; }
+
+# Governance smoke: a daemon whose engine carries a 1-byte per-query
+# budget must fail a heavy count typed (`mem-budget`, client exit 11,
+# no counts), and SIGTERM must take the daemon down cleanly — exit 0,
+# socket removed — via the signal path rather than the protocol
+# shutdown op exercised above.
+echo "==> governance smoke (mem-budget exit 11 + SIGTERM clean shutdown)"
+SOCK2="$DAEMON_DIR/fingers-governed.sock"
+"$MINE" serve --socket "$SOCK2" --load g=gen:pl:3000:36000:7 \
+  --workers 1 --query-mem-budget 1 \
+  > "$DAEMON_DIR/serve2.log" 2>&1 &
+SERVE2_PID=$!
+ready=0
+for _ in $(seq 1 100); do
+  if "$MINE" client --socket "$SOCK2" '{"op":"ping"}' 2>/dev/null \
+      | grep -q '"gauge_bytes"'; then
+    ready=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$ready" -eq 1 ] || { echo "governance smoke: daemon never answered ping" >&2; exit 1; }
+set +e
+BUDGET_RESP="$("$MINE" client --socket "$SOCK2" \
+  '{"op":"count","graph":"g","patterns":["4cl"],"threads":1}')"
+code=$?
+set -e
+if [ "$code" -ne 11 ]; then
+  echo "governance smoke: budget-violating query exited $code (want 11)" >&2
+  exit 1
+fi
+echo "$BUDGET_RESP" | grep -q '"kind":"mem-budget"' \
+  || { echo "governance smoke: budget response: $BUDGET_RESP" >&2; exit 1; }
+if echo "$BUDGET_RESP" | grep -q '"counts"'; then
+  echo "governance smoke: budget abort leaked partial counts" >&2
+  exit 1
+fi
+kill -TERM "$SERVE2_PID"
+set +e
+wait "$SERVE2_PID"
+code=$?
+set -e
+SERVE2_PID=""
+if [ "$code" -ne 0 ]; then
+  echo "governance smoke: SIGTERM shutdown exited $code (want 0)" >&2
+  exit 1
+fi
+[ ! -S "$SOCK2" ] || { echo "governance smoke: socket survived SIGTERM" >&2; exit 1; }
 
 echo "==> CI green"

@@ -150,6 +150,7 @@ pub fn run_storm(quick: bool) -> ServiceLatencyResult {
                     if cancel.is_cancelled() {
                         break; // watchdog abort: partial series discarded
                     }
+                    // ord: relaxed(pure ticket counter over the workload classes)
                     let class = cursor.fetch_add(1, Ordering::Relaxed) % CLASSES.len();
                     let t = Instant::now();
                     let line = client

@@ -402,6 +402,7 @@ fn storm_client(
         if cancel.is_cancelled() {
             break; // watchdog abort: partial series is still reported
         }
+        // ord: relaxed(pure ticket counter over the workload classes)
         let idx = cursor.fetch_add(1, Ordering::Relaxed) % CLASSES.len();
         let class = &CLASSES[idx];
         series.attempted += 1;

@@ -780,7 +780,9 @@ pub fn run_serve(options: &ServeOptions) -> Result<(), CliError> {
     let watcher = {
         let done = std::sync::Arc::clone(&done);
         std::thread::spawn(move || {
+            // ord: seqcst(one-shot watchdog handshake off the hot path)
             while !done.load(std::sync::atomic::Ordering::SeqCst) {
+                // ord: seqcst(one-shot watchdog handshake off the hot path)
                 if termination.load(std::sync::atomic::Ordering::SeqCst) {
                     handle.shutdown();
                     break;
@@ -790,6 +792,7 @@ pub fn run_serve(options: &ServeOptions) -> Result<(), CliError> {
         })
     };
     daemon.wait();
+    // ord: seqcst(one-shot watchdog handshake off the hot path)
     done.store(true, std::sync::atomic::Ordering::SeqCst);
     watcher.join().ok();
     Ok(())

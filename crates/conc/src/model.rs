@@ -1,0 +1,1007 @@
+//! Deterministic bounded model checker (mini-loom).
+//!
+//! [`check`] runs a closure — the *harness body* — many times, once per
+//! schedule. Threads spawned through [`Sim::spawn`] and every operation on the
+//! instrumented [`crate::sync`] primitives become *schedule points*: the
+//! checker serializes execution so exactly one model thread runs at a time,
+//! and at each point it either replays a previously recorded choice or picks
+//! the first runnable thread and records the alternatives. A depth-first
+//! backtracking loop then drives the harness through every reachable
+//! interleaving whose number of *preemptive* context switches (switching away
+//! from a thread that could have kept running) stays within
+//! [`CheckOptions::max_preemptions`]. Forced switches — the running thread
+//! blocked or finished — are free, so every execution runs to completion.
+//!
+//! Invariants are ordinary `assert!`s inside the body. A failing assertion
+//! (or a deadlock, detected when no thread is runnable but not all have
+//! finished) is captured as a [`Violation`] carrying the exact schedule that
+//! produced it, and the offending execution is unwound via a private panic
+//! payload that the harness plumbing swallows.
+//!
+//! State hashing: at every schedule point the checker fingerprints the model
+//! state (thread statuses, per-thread progress counters, mutex holders,
+//! atomic values) and reports the number of distinct fingerprints in
+//! [`CheckReport::distinct_states`]. The fingerprint is *statistics only* —
+//! it never prunes the search, because the hash cannot see uninstrumented
+//! memory, so pruning could hide genuine violations. Exhaustiveness claims
+//! rest on the unpruned DFS.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashSet};
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one [`check`] run.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Maximum number of *preemptive* context switches per execution.
+    /// Switches forced by blocking or finishing are not counted.
+    pub max_preemptions: u32,
+    /// Hard cap on the number of executions explored (safety valve against
+    /// state-space blowups; hitting it marks the report incomplete).
+    pub max_executions: u64,
+    /// Wall-clock budget for the whole exploration (hitting it marks the
+    /// report incomplete).
+    pub max_duration: Duration,
+    /// Stop exploring after this many violations have been recorded.
+    pub max_violations: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            max_preemptions: 4,
+            max_executions: 2_000_000,
+            max_duration: Duration::from_secs(30),
+            max_violations: 1,
+        }
+    }
+}
+
+/// One schedule decision: which thread ran, and which operation it was about
+/// to perform when it was scheduled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleStep {
+    /// Model thread index (0 is the harness body itself).
+    pub thread: usize,
+    /// Static name of the instrumented operation at this point.
+    pub op: &'static str,
+}
+
+/// A captured invariant failure together with the schedule that produced it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The panic/assertion message, or a deadlock description.
+    pub message: String,
+    /// The full schedule trace of the violating execution.
+    pub schedule: Vec<ScheduleStep>,
+}
+
+/// Result of a [`check`] exploration.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Harness name, echoed from [`check`].
+    pub name: String,
+    /// Number of complete (or aborted-on-violation) executions explored.
+    pub executions: u64,
+    /// Total schedule points visited across all executions.
+    pub sched_points: u64,
+    /// Number of distinct model-state fingerprints observed (stats only).
+    pub distinct_states: u64,
+    /// Largest number of model threads alive in any execution.
+    pub max_threads: usize,
+    /// The preemption bound the exploration ran under.
+    pub preemption_bound: u32,
+    /// True iff the bounded schedule space was exhausted (no cap was hit and
+    /// exploration was not stopped early by `max_violations`).
+    pub complete: bool,
+    /// All violations recorded (at most `max_violations`).
+    pub violations: Vec<Violation>,
+    /// Wall-clock time spent exploring, in milliseconds.
+    pub wall_ms: u128,
+}
+
+impl CheckReport {
+    /// Panic unless the bounded space was exhausted with zero violations.
+    ///
+    /// This is the assertion every production harness makes.
+    pub fn assert_clean(&self) {
+        if let Some(v) = self.violations.first() {
+            let trace: Vec<String> = v
+                .schedule
+                .iter()
+                .map(|s| format!("t{}:{}", s.thread, s.op))
+                .collect();
+            panic!(
+                "model check '{}' found a violation after {} executions: {}\nschedule: {}",
+                self.name,
+                self.executions,
+                v.message,
+                trace.join(" -> ")
+            );
+        }
+        assert!(
+            self.complete,
+            "model check '{}' did not exhaust its bounded schedule space \
+             ({} executions, {} sched points, {} ms)",
+            self.name, self.executions, self.sched_points, self.wall_ms
+        );
+    }
+
+    /// Panic unless at least one violation was recorded.
+    ///
+    /// Used by the seeded-bug fixtures that prove the checker has teeth.
+    pub fn assert_caught(&self) {
+        assert!(
+            !self.violations.is_empty(),
+            "model check '{}' was expected to catch a seeded bug but explored \
+             {} executions without a violation (complete: {})",
+            self.name,
+            self.executions,
+            self.complete
+        );
+    }
+}
+
+/// Handle for spawning model threads inside a harness body.
+///
+/// Cloneable and sendable, so model threads can themselves spawn replacements
+/// (the phoenix-rebuild harness relies on this).
+#[derive(Clone)]
+pub struct Sim {
+    exec: Arc<ExecShared>,
+}
+
+/// Join handle for a model thread; see [`Sim::spawn`].
+pub struct JoinHandle<T> {
+    idx: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+/// Private unwind payload used to tear down an execution early (violation
+/// found, or deadlock declared). Swallowed by the harness plumbing; never
+/// surfaces to user code.
+struct AbortExec;
+
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<ExecShared>,
+    me: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// True when the calling thread is running under a model-check exploration.
+/// The instrumented sync primitives use this to fall back to plain std
+/// behaviour outside [`check`], so the full test suite can run with the
+/// `model-check` feature enabled.
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// A recorded branch point: the choice taken plus the untried alternatives.
+#[derive(Debug, Clone)]
+struct Frame {
+    chosen: usize,
+    alts: Vec<usize>,
+}
+
+struct ExecState {
+    statuses: Vec<Status>,
+    /// Per-thread count of schedule points executed (part of the state hash).
+    ops: Vec<u64>,
+    current: usize,
+    /// Replay prefix: the `chosen` of each stack frame, consumed in order at
+    /// multi-candidate schedule points.
+    prefix: Vec<usize>,
+    pos: usize,
+    /// Branch points discovered beyond the prefix during this execution.
+    fresh: Vec<Frame>,
+    preemptions: u32,
+    bound: u32,
+    /// Mutex object id -> holding thread.
+    holders: BTreeMap<usize, usize>,
+    /// Atomic object id -> last value (for the state fingerprint).
+    atomics: BTreeMap<usize, u64>,
+    next_obj_id: usize,
+    steps: Vec<ScheduleStep>,
+    sigs: Vec<u64>,
+    sched_points: u64,
+    failure: Option<String>,
+    aborting: bool,
+}
+
+struct ExecShared {
+    st: StdMutex<ExecState>,
+    cv: StdCondvar,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+fn lock_state(exec: &ExecShared) -> StdMutexGuard<'_, ExecState> {
+    exec.st.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn fingerprint(st: &ExecState) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for (i, s) in st.statuses.iter().enumerate() {
+        i.hash(&mut h);
+        match s {
+            Status::Runnable => 0u8.hash(&mut h),
+            Status::BlockedMutex(id) => {
+                1u8.hash(&mut h);
+                id.hash(&mut h);
+            }
+            Status::BlockedCondvar(id) => {
+                2u8.hash(&mut h);
+                id.hash(&mut h);
+            }
+            Status::BlockedJoin(t) => {
+                3u8.hash(&mut h);
+                t.hash(&mut h);
+            }
+            Status::Finished => 4u8.hash(&mut h),
+        }
+        st.ops[i].hash(&mut h);
+    }
+    for (k, v) in &st.holders {
+        k.hash(&mut h);
+        v.hash(&mut h);
+    }
+    for (k, v) in &st.atomics {
+        k.hash(&mut h);
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Record the schedule point `op` performed by `me`, then choose the next
+/// thread to run. `me_runnable` says whether `me` could have kept running
+/// (false for blocking/finishing points — those switches are forced and do
+/// not count against the preemption bound).
+fn advance(st: &mut ExecState, me: usize, op: &'static str, me_runnable: bool) {
+    if st.aborting {
+        return;
+    }
+    st.steps.push(ScheduleStep { thread: me, op });
+    st.ops[me] += 1;
+    st.sched_points += 1;
+    let sig = fingerprint(st);
+    st.sigs.push(sig);
+
+    let enabled: Vec<usize> = st
+        .statuses
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, Status::Runnable))
+        .map(|(i, _)| i)
+        .collect();
+    if enabled.is_empty() {
+        if st.statuses.iter().all(|s| matches!(s, Status::Finished)) {
+            return;
+        }
+        let stuck: Vec<String> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s, Status::Finished))
+            .map(|(i, s)| format!("t{i}:{s:?}"))
+            .collect();
+        st.failure
+            .get_or_insert_with(|| format!("deadlock after t{me}:{op} ({})", stuck.join(", ")));
+        st.aborting = true;
+        return;
+    }
+
+    let candidates: Vec<usize> = if me_runnable && st.preemptions >= st.bound {
+        vec![me]
+    } else if me_runnable {
+        let mut c = vec![me];
+        c.extend(enabled.iter().copied().filter(|&t| t != me));
+        c
+    } else {
+        enabled
+    };
+
+    let chosen = if candidates.len() == 1 {
+        candidates[0]
+    } else if st.pos < st.prefix.len() {
+        let c = st.prefix[st.pos];
+        st.pos += 1;
+        if !candidates.contains(&c) {
+            st.failure.get_or_insert_with(|| {
+                format!("nondeterministic harness: replay chose t{c} but it is not a candidate at t{me}:{op}")
+            });
+            st.aborting = true;
+            return;
+        }
+        c
+    } else {
+        let alts = candidates[1..].to_vec();
+        let c = candidates[0];
+        st.fresh.push(Frame { chosen: c, alts });
+        c
+    };
+    if me_runnable && chosen != me {
+        st.preemptions += 1;
+    }
+    st.current = chosen;
+}
+
+/// Park until the scheduler hands control to `me`. Unwinds with [`AbortExec`]
+/// if the execution is being torn down.
+fn wait_turn<'a>(
+    exec: &'a ExecShared,
+    mut st: StdMutexGuard<'a, ExecState>,
+    me: usize,
+) -> StdMutexGuard<'a, ExecState> {
+    loop {
+        if st.aborting {
+            exec.cv.notify_all();
+            drop(st);
+            panic_any(AbortExec);
+        }
+        if st.current == me && matches!(st.statuses[me], Status::Runnable) {
+            return st;
+        }
+        st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// A non-blocking schedule point: `me` is about to perform `op` and could
+/// keep running. Branches the schedule, possibly handing control elsewhere.
+fn yield_point(exec: &ExecShared, me: usize, op: &'static str) {
+    let mut st = lock_state(exec);
+    if st.aborting {
+        drop(st);
+        panic_any(AbortExec);
+    }
+    advance(&mut st, me, op, true);
+    if st.aborting {
+        exec.cv.notify_all();
+        drop(st);
+        panic_any(AbortExec);
+    }
+    if st.current != me {
+        exec.cv.notify_all();
+        let st = wait_turn(exec, st, me);
+        drop(st);
+    }
+}
+
+/// Mark `me` blocked with `status`, pick the next thread, and park until
+/// rescheduled. The caller re-checks its wake condition afterwards.
+fn block_here(exec: &ExecShared, me: usize, status: Status, op: &'static str) {
+    let mut st = lock_state(exec);
+    if st.aborting {
+        drop(st);
+        panic_any(AbortExec);
+    }
+    st.statuses[me] = status;
+    advance(&mut st, me, op, false);
+    if st.aborting {
+        exec.cv.notify_all();
+        drop(st);
+        panic_any(AbortExec);
+    }
+    exec.cv.notify_all();
+    let st = wait_turn(exec, st, me);
+    drop(st);
+}
+
+fn wake_blocked(st: &mut ExecState, pred: impl Fn(&Status) -> bool, only_first: bool) {
+    for s in st.statuses.iter_mut() {
+        if pred(s) {
+            *s = Status::Runnable;
+            if only_first {
+                return;
+            }
+        }
+    }
+}
+
+fn finish_thread(exec: &ExecShared, me: usize, failure: Option<String>) {
+    let mut st = lock_state(exec);
+    st.statuses[me] = Status::Finished;
+    wake_blocked(
+        &mut st,
+        |s| matches!(s, Status::BlockedJoin(t) if *t == me),
+        false,
+    );
+    if let Some(msg) = failure {
+        st.failure.get_or_insert(msg);
+        st.aborting = true;
+        exec.cv.notify_all();
+        return;
+    }
+    if st.aborting {
+        exec.cv.notify_all();
+        return;
+    }
+    advance(&mut st, me, "finish", false);
+    exec.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Hooks called by the instrumented sync primitives.
+// ---------------------------------------------------------------------------
+
+/// Allocate a per-execution object id (deterministic given the schedule).
+pub(crate) fn register_object() -> usize {
+    match current_ctx() {
+        Some(ctx) => {
+            let mut st = lock_state(&ctx.exec);
+            st.next_obj_id += 1;
+            st.next_obj_id
+        }
+        None => 0,
+    }
+}
+
+pub(crate) fn mutex_lock(id: usize) {
+    let Some(ctx) = current_ctx() else { return };
+    yield_point(&ctx.exec, ctx.me, "mutex-lock");
+    loop {
+        let mut st = lock_state(&ctx.exec);
+        if st.aborting {
+            drop(st);
+            panic_any(AbortExec);
+        }
+        if let std::collections::btree_map::Entry::Vacant(e) = st.holders.entry(id) {
+            e.insert(ctx.me);
+            return;
+        }
+        drop(st);
+        block_here(&ctx.exec, ctx.me, Status::BlockedMutex(id), "mutex-blocked");
+    }
+}
+
+pub(crate) fn mutex_unlock(id: usize) {
+    let Some(ctx) = current_ctx() else { return };
+    let mut st = lock_state(&ctx.exec);
+    st.holders.remove(&id);
+    wake_blocked(
+        &mut st,
+        |s| matches!(s, Status::BlockedMutex(m) if *m == id),
+        false,
+    );
+    // No schedule point here: the woken threads become candidates at the
+    // next yield, which models release-then-race-to-acquire faithfully.
+}
+
+pub(crate) fn condvar_wait(cv_id: usize, mutex_id: usize) {
+    let Some(ctx) = current_ctx() else { return };
+    {
+        // Atomically (at the model level) release the mutex and park on the
+        // condvar — exactly the guarantee std::sync::Condvar::wait gives.
+        let mut st = lock_state(&ctx.exec);
+        if st.aborting {
+            drop(st);
+            panic_any(AbortExec);
+        }
+        st.holders.remove(&mutex_id);
+        wake_blocked(
+            &mut st,
+            |s| matches!(s, Status::BlockedMutex(m) if *m == mutex_id),
+            false,
+        );
+        st.statuses[ctx.me] = Status::BlockedCondvar(cv_id);
+        advance(&mut st, ctx.me, "condvar-wait", false);
+        if st.aborting {
+            ctx.exec.cv.notify_all();
+            drop(st);
+            panic_any(AbortExec);
+        }
+        ctx.exec.cv.notify_all();
+        let st = wait_turn(&ctx.exec, st, ctx.me);
+        drop(st);
+    }
+    // Re-acquire the mutex before returning to the caller (who still holds
+    // the guard object). Barging by other threads is possible and explored.
+    loop {
+        let mut st = lock_state(&ctx.exec);
+        if st.aborting {
+            drop(st);
+            panic_any(AbortExec);
+        }
+        if let std::collections::btree_map::Entry::Vacant(e) = st.holders.entry(mutex_id) {
+            e.insert(ctx.me);
+            return;
+        }
+        drop(st);
+        block_here(
+            &ctx.exec,
+            ctx.me,
+            Status::BlockedMutex(mutex_id),
+            "condvar-relock",
+        );
+    }
+}
+
+pub(crate) fn condvar_notify(cv_id: usize, all: bool) {
+    let Some(ctx) = current_ctx() else { return };
+    let op = if all { "notify-all" } else { "notify-one" };
+    yield_point(&ctx.exec, ctx.me, op);
+    let mut st = lock_state(&ctx.exec);
+    // notify_one wakes the lowest-index waiter — a documented simplification
+    // (std makes no fairness promise; lowest-index is deterministic, and the
+    // woken/not-woken interleavings are still explored via scheduling).
+    wake_blocked(
+        &mut st,
+        |s| matches!(s, Status::BlockedCondvar(c) if *c == cv_id),
+        !all,
+    );
+}
+
+/// Schedule point before an atomic operation.
+pub(crate) fn atomic_point(op: &'static str) {
+    let Some(ctx) = current_ctx() else { return };
+    yield_point(&ctx.exec, ctx.me, op);
+}
+
+/// Record an atomic's current value for the state fingerprint.
+pub(crate) fn atomic_value(id: usize, value: u64) {
+    let Some(ctx) = current_ctx() else { return };
+    let mut st = lock_state(&ctx.exec);
+    st.atomics.insert(id, value);
+}
+
+// ---------------------------------------------------------------------------
+// Spawning and joining model threads.
+// ---------------------------------------------------------------------------
+
+impl Sim {
+    /// Spawn a model thread. The closure runs under the schedule explorer;
+    /// it must be deterministic given the schedule (no wall-clock, no OS
+    /// randomness). State is shared via `Arc`, as with `std::thread::spawn`.
+    pub fn spawn<F, T>(&self, f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let Some(ctx) = current_ctx() else {
+            panic!("Sim::spawn called outside a model-check execution");
+        };
+        yield_point(&ctx.exec, ctx.me, "spawn");
+        let idx = {
+            let mut st = lock_state(&ctx.exec);
+            st.statuses.push(Status::Runnable);
+            st.ops.push(0);
+            st.statuses.len() - 1
+        };
+        let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+        let child_exec = Arc::clone(&self.exec);
+        let child_result = Arc::clone(&result);
+        let os = std::thread::Builder::new()
+            .name(format!("model-t{idx}"))
+            .spawn(move || {
+                CTX.with(|c| {
+                    *c.borrow_mut() = Some(Ctx {
+                        exec: Arc::clone(&child_exec),
+                        me: idx,
+                    });
+                });
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    // Birth gate: wait to be scheduled before running user code.
+                    let st = lock_state(&child_exec);
+                    let st = wait_turn(&child_exec, st, idx);
+                    drop(st);
+                    f()
+                }));
+                match outcome {
+                    Ok(v) => {
+                        *child_result.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                        finish_thread(&child_exec, idx, None);
+                    }
+                    Err(p) if p.is::<AbortExec>() => {
+                        // Execution torn down mid-flight: just mark finished.
+                        let mut st = lock_state(&child_exec);
+                        st.statuses[idx] = Status::Finished;
+                        child_exec.cv.notify_all();
+                    }
+                    Err(p) => {
+                        finish_thread(&child_exec, idx, Some(panic_message(p.as_ref())));
+                    }
+                }
+                CTX.with(|c| *c.borrow_mut() = None);
+            });
+        match os {
+            Ok(h) => self
+                .exec
+                .os_handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(h),
+            Err(e) => panic!("model-check: failed to spawn OS thread: {e}"),
+        }
+        JoinHandle { idx, result }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Join the model thread, returning its result. A schedule point: the
+    /// join can block, and the explorer branches around it. If the target
+    /// panicked, the violation is already recorded and this unwinds the
+    /// current execution.
+    pub fn join(self) -> T {
+        let Some(ctx) = current_ctx() else {
+            panic!("JoinHandle::join called outside a model-check execution");
+        };
+        yield_point(&ctx.exec, ctx.me, "join");
+        loop {
+            let st = lock_state(&ctx.exec);
+            if st.aborting {
+                drop(st);
+                panic_any(AbortExec);
+            }
+            if matches!(st.statuses[self.idx], Status::Finished) {
+                drop(st);
+                break;
+            }
+            drop(st);
+            block_here(
+                &ctx.exec,
+                ctx.me,
+                Status::BlockedJoin(self.idx),
+                "join-blocked",
+            );
+        }
+        let taken = self.result.lock().unwrap_or_else(|e| e.into_inner()).take();
+        match taken {
+            Some(v) => v,
+            // Target panicked: its failure is recorded; unwind this execution.
+            None => panic_any(AbortExec),
+        }
+    }
+}
+
+fn panic_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The exploration driver.
+// ---------------------------------------------------------------------------
+
+/// Serializes concurrent `check` calls (e.g. several `#[test]`s in one
+/// binary): executions share the process-wide panic hook and the thread-local
+/// context discipline, so only one exploration runs at a time.
+static CHECK_LOCK: StdMutex<()> = StdMutex::new(());
+
+/// Explore every schedule of `body` within the bounds in `opts`.
+///
+/// `body` runs once per execution on the calling thread (model thread 0) and
+/// spawns workers through the provided [`Sim`]. It must be deterministic
+/// given the schedule. Invariants are plain `assert!`s; see the module docs.
+pub fn check<F>(name: &str, opts: CheckOptions, body: F) -> CheckReport
+where
+    F: Fn(&Sim),
+{
+    let _serial = CHECK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Silence the default panic hook while exploring: violating executions
+    // unwind via ordinary panics, and printing a backtrace for each explored
+    // failure (plus every AbortExec teardown) would flood the output.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let started = Instant::now();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut sigs: HashSet<u64> = HashSet::new();
+    let mut report = CheckReport {
+        name: name.to_string(),
+        executions: 0,
+        sched_points: 0,
+        distinct_states: 0,
+        max_threads: 1,
+        preemption_bound: opts.max_preemptions,
+        complete: false,
+        violations: Vec::new(),
+        wall_ms: 0,
+    };
+
+    loop {
+        if report.executions >= opts.max_executions || started.elapsed() >= opts.max_duration {
+            break; // incomplete: a cap was hit
+        }
+
+        let exec = Arc::new(ExecShared {
+            st: StdMutex::new(ExecState {
+                statuses: vec![Status::Runnable],
+                ops: vec![0],
+                current: 0,
+                prefix: stack.iter().map(|f| f.chosen).collect(),
+                pos: 0,
+                fresh: Vec::new(),
+                preemptions: 0,
+                bound: opts.max_preemptions,
+                holders: BTreeMap::new(),
+                atomics: BTreeMap::new(),
+                next_obj_id: 0,
+                steps: Vec::new(),
+                sigs: Vec::new(),
+                sched_points: 0,
+                failure: None,
+                aborting: false,
+            }),
+            cv: StdCondvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        });
+        let sim = Sim {
+            exec: Arc::clone(&exec),
+        };
+        CTX.with(|c| {
+            *c.borrow_mut() = Some(Ctx {
+                exec: Arc::clone(&exec),
+                me: 0,
+            })
+        });
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&sim)));
+        match outcome {
+            Ok(()) => finish_thread(&exec, 0, None),
+            Err(p) if p.is::<AbortExec>() => {
+                let mut st = lock_state(&exec);
+                st.statuses[0] = Status::Finished;
+                exec.cv.notify_all();
+            }
+            Err(p) => finish_thread(&exec, 0, Some(panic_message(p.as_ref()))),
+        }
+        CTX.with(|c| *c.borrow_mut() = None);
+        // Drain every OS thread of this execution before reading final state.
+        loop {
+            let handles: Vec<_> = exec
+                .os_handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .drain(..)
+                .collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+
+        let mut st = lock_state(&exec);
+        report.executions += 1;
+        report.sched_points += st.sched_points;
+        report.max_threads = report.max_threads.max(st.statuses.len());
+        sigs.extend(st.sigs.drain(..));
+        let fresh: Vec<Frame> = st.fresh.drain(..).collect();
+        let failure = st.failure.take();
+        let steps: Vec<ScheduleStep> = st.steps.drain(..).collect();
+        drop(st);
+
+        stack.extend(fresh);
+        if let Some(message) = failure {
+            report.violations.push(Violation {
+                message,
+                schedule: steps,
+            });
+            if report.violations.len() >= opts.max_violations {
+                break; // stopped early: incomplete by construction
+            }
+        }
+
+        // Depth-first backtrack: advance the deepest frame with untried
+        // alternatives; exploration is complete when none remains.
+        let mut exhausted = true;
+        while let Some(top) = stack.last_mut() {
+            if top.alts.is_empty() {
+                stack.pop();
+            } else {
+                top.chosen = top.alts.remove(0);
+                exhausted = false;
+                break;
+            }
+        }
+        if exhausted {
+            report.complete = true;
+            break;
+        }
+    }
+
+    std::panic::set_hook(prev_hook);
+    report.distinct_states = sigs.len() as u64;
+    report.wall_ms = started.elapsed().as_millis();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::{Condvar, Mutex};
+
+    fn opts() -> CheckOptions {
+        CheckOptions {
+            max_preemptions: 3,
+            ..CheckOptions::default()
+        }
+    }
+
+    #[test]
+    fn single_thread_is_one_execution() {
+        let report = check("single", opts(), |_sim| {
+            let a = AtomicU64::new(0);
+            a.store(7, Ordering::SeqCst);
+            assert_eq!(a.load(Ordering::SeqCst), 7);
+        });
+        assert_eq!(report.executions, 1);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn finds_lost_update_race() {
+        // Classic non-atomic read-modify-write: two threads each do
+        // load-then-store(+1). Some interleaving loses an update.
+        let report = check("lost-update", opts(), |sim| {
+            let a = Arc::new(AtomicU64::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    sim.spawn(move || {
+                        let v = a.load(Ordering::SeqCst);
+                        a.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2, "an increment was lost");
+        });
+        report.assert_caught();
+        assert!(report.violations[0].message.contains("increment was lost"));
+    }
+
+    #[test]
+    fn fetch_add_has_no_race() {
+        let report = check("fetch-add", opts(), |sim| {
+            let a = Arc::new(AtomicU64::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    sim.spawn(move || {
+                        a.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+        report.assert_clean();
+        assert!(report.executions > 1, "exploration must branch");
+    }
+
+    #[test]
+    fn mutex_preserves_mutual_exclusion() {
+        let report = check("mutex-incr", opts(), |sim| {
+            let m = Arc::new(Mutex::new(0u64));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    sim.spawn(move || {
+                        let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+                        let v = *g;
+                        *g = v + 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(*m.lock().unwrap_or_else(|e| e.into_inner()), 2);
+        });
+        report.assert_clean();
+    }
+
+    #[test]
+    fn both_orders_of_two_stores_are_observed() {
+        // The explorer must visit schedules where either store lands last.
+        use std::sync::Mutex as PlainMutex;
+        let outcomes: Arc<PlainMutex<std::collections::HashSet<u64>>> =
+            Arc::new(PlainMutex::new(std::collections::HashSet::new()));
+        let outcomes_in = Arc::clone(&outcomes);
+        let report = check("store-order", opts(), move |sim| {
+            let a = Arc::new(AtomicU64::new(0));
+            let hs: Vec<_> = [1u64, 2]
+                .iter()
+                .map(|&v| {
+                    let a = Arc::clone(&a);
+                    sim.spawn(move || a.store(v, Ordering::SeqCst))
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            let last = a.load(Ordering::SeqCst);
+            outcomes_in
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(last);
+        });
+        report.assert_clean();
+        let seen = outcomes.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(
+            seen.contains(&1) && seen.contains(&2),
+            "missed an order: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn detects_deadlock_on_unnotified_condvar() {
+        let report = check("cv-deadlock", opts(), |sim| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let waiter = {
+                let pair = Arc::clone(&pair);
+                sim.spawn(move || {
+                    let mut ready = pair.0.lock().unwrap_or_else(|e| e.into_inner());
+                    while !*ready {
+                        // Nobody ever notifies: this must deadlock.
+                        ready = pair.1.wait(ready).unwrap_or_else(|e| e.into_inner());
+                    }
+                })
+            };
+            waiter.join();
+        });
+        report.assert_caught();
+        assert!(
+            report.violations[0].message.contains("deadlock"),
+            "unexpected violation: {}",
+            report.violations[0].message
+        );
+    }
+
+    #[test]
+    fn condvar_handoff_completes() {
+        let report = check("cv-handoff", opts(), |sim| {
+            let pair = Arc::new((Mutex::new(0u64), Condvar::new()));
+            let consumer = {
+                let pair = Arc::clone(&pair);
+                sim.spawn(move || {
+                    let mut v = pair.0.lock().unwrap_or_else(|e| e.into_inner());
+                    while *v == 0 {
+                        v = pair.1.wait(v).unwrap_or_else(|e| e.into_inner());
+                    }
+                    *v
+                })
+            };
+            let producer = {
+                let pair = Arc::clone(&pair);
+                sim.spawn(move || {
+                    *pair.0.lock().unwrap_or_else(|e| e.into_inner()) = 41;
+                    pair.1.notify_one();
+                })
+            };
+            producer.join();
+            assert_eq!(consumer.join(), 41);
+        });
+        report.assert_clean();
+    }
+}

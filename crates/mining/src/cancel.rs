@@ -14,7 +14,7 @@
 //! from a correct smaller count, so leaking one would silently corrupt
 //! results; the engine never does.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use fingers_conc::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -88,6 +88,7 @@ impl CancelToken {
 
     /// Requests cancellation. Idempotent; visible to every clone.
     pub fn cancel(&self) {
+        // ord: relaxed(latch-only flag; cancellation is all-or-nothing, so no data is published under it)
         self.inner.cancelled.store(true, Ordering::Relaxed);
     }
 
@@ -103,6 +104,7 @@ impl CancelToken {
     /// first).
     #[inline]
     pub fn kind(&self) -> Option<CancelKind> {
+        // ord: relaxed(poll may lag a cancel by a task boundary; partial results are discarded anyway)
         if self.inner.cancelled.load(Ordering::Relaxed) {
             return Some(CancelKind::Explicit);
         }

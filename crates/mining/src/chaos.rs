@@ -149,7 +149,9 @@ static INJECTED: [AtomicU64; SITES] = [
 /// are separate processes, so a chaos suite cannot leak into its
 /// neighbours).
 pub fn install(plan: ChaosPlan) {
+    // ord: relaxed(plan fields; the ACTIVE release store below publishes them)
     SEED.store(plan.seed, Ordering::Relaxed);
+    // ord: relaxed(plan fields; the ACTIVE release store below publishes them)
     CAP.store(plan.max_per_site, Ordering::Relaxed);
     for site in [
         ChaosSite::Alloc,
@@ -158,25 +160,32 @@ pub fn install(plan: ChaosPlan) {
         ChaosSite::SocketIo,
     ] {
         let i = site.index();
+        // ord: relaxed(plan fields; the ACTIVE release store below publishes them)
         RATES[i].store(plan.rate(site), Ordering::Relaxed);
+        // ord: relaxed(plan fields; the ACTIVE release store below publishes them)
         DRAWS[i].store(0, Ordering::Relaxed);
+        // ord: relaxed(plan fields; the ACTIVE release store below publishes them)
         INJECTED[i].store(0, Ordering::Relaxed);
     }
-    ACTIVE.store(true, Ordering::SeqCst);
+    // ord: release(publishes the plan fields stored above to any probe that acquires ACTIVE)
+    ACTIVE.store(true, Ordering::Release);
 }
 
 /// Uninstalls any active plan; every subsequent probe is a no-op again.
 pub fn clear() {
-    ACTIVE.store(false, Ordering::SeqCst);
+    // ord: release(pairs with the probes' acquire load; uninstall needs no data handoff but stays symmetric)
+    ACTIVE.store(false, Ordering::Release);
 }
 
 /// Whether a chaos plan is currently installed.
 pub fn active() -> bool {
-    ACTIVE.load(Ordering::Relaxed)
+    // ord: acquire(pairs with install's release store so the plan fields are visible)
+    ACTIVE.load(Ordering::Acquire)
 }
 
 /// Faults injected so far at `site` under the current plan.
 pub fn injected(site: ChaosSite) -> u64 {
+    // ord: relaxed(test-side counter read after the run being measured has joined)
     INJECTED[site.index()].load(Ordering::Relaxed)
 }
 
@@ -192,15 +201,21 @@ fn splitmix64(mut z: u64) -> u64 {
 /// Draws one fault decision at `site`. `false` always when no plan is
 /// installed; otherwise `true` on the deterministic per-mille schedule.
 pub fn should_fail(site: ChaosSite) -> bool {
-    if !ACTIVE.load(Ordering::Relaxed) {
+    // Upgraded from relaxed: a probe observing ACTIVE=true must also see
+    // the seed/rates/cap stored by install before its release store.
+    // ord: acquire(pairs with install's release store, which publishes the plan fields)
+    if !ACTIVE.load(Ordering::Acquire) {
         return false;
     }
     let i = site.index();
+    // ord: relaxed(plan fields are ordered by the ACTIVE acquire/release pair above)
     let rate = RATES[i].load(Ordering::Relaxed);
     if rate == 0 {
         return false;
     }
+    // ord: relaxed(independent draw ticket; cross-thread draw order is intentionally unspecified)
     let draw = DRAWS[i].fetch_add(1, Ordering::Relaxed);
+    // ord: relaxed(plan fields are ordered by the ACTIVE acquire/release pair above)
     let seed = SEED.load(Ordering::Relaxed);
     // Salt the site index in so sites draw independent streams.
     let hit = splitmix64(seed ^ ((i as u64) << 56) ^ draw) % 1000 < u64::from(rate);
@@ -209,8 +224,11 @@ pub fn should_fail(site: ChaosSite) -> bool {
     }
     // A scheduled hit past the per-site ceiling is withheld (and not
     // counted), so `injected()` never exceeds the cap.
+    // ord: relaxed(plan fields are ordered by the ACTIVE acquire/release pair above)
     let cap = CAP.load(Ordering::Relaxed);
+    // ord: relaxed(counter pair; over-reservation is corrected by the fetch_sub below)
     if INJECTED[i].fetch_add(1, Ordering::Relaxed) >= cap {
+        // ord: relaxed(undoes this thread's own reservation)
         INJECTED[i].fetch_sub(1, Ordering::Relaxed);
         return false;
     }

@@ -23,7 +23,7 @@
 //! finished (or aborted) query always returns the shared gauge to its
 //! prior baseline.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use fingers_conc::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A shared byte gauge. Cloning yields another handle to the same counter;
@@ -63,6 +63,7 @@ impl MemGauge {
 
     /// Current metered bytes.
     pub fn bytes(&self) -> u64 {
+        // ord: relaxed(observability counter; callers join workers before treating the value as final)
         self.inner.bytes.load(Ordering::Relaxed)
     }
 
@@ -70,6 +71,7 @@ impl MemGauge {
     /// `fetch_max`, so concurrent publishes may under-report a transient
     /// peak by one publish — fine for the observability it exists for.
     pub fn peak_bytes(&self) -> u64 {
+        // ord: relaxed(high-water mark is advisory observability)
         self.inner.peak.load(Ordering::Relaxed)
     }
 
@@ -78,7 +80,9 @@ impl MemGauge {
         if n == 0 {
             return;
         }
+        // ord: relaxed(commutative counter arithmetic; no data is published under the gauge)
         let now = self.inner.bytes.fetch_add(n, Ordering::Relaxed) + n;
+        // ord: relaxed(monotone max; transiently stale peaks are acceptable)
         self.inner.peak.fetch_max(now, Ordering::Relaxed);
         if let Some(parent) = &self.inner.parent {
             parent.charge(n);
@@ -96,6 +100,7 @@ impl MemGauge {
         let _ = self
             .inner
             .bytes
+            // ord: relaxed+relaxed(saturating counter decrement; no data is published under the gauge)
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
                 Some(b.saturating_sub(n))
             });

@@ -53,6 +53,8 @@ pub mod config;
 pub mod error;
 mod executor;
 pub mod gauge;
+#[cfg(feature = "model-check")]
+pub mod model;
 pub mod oblivious;
 pub mod parallel;
 pub mod scratch;

@@ -32,14 +32,17 @@ use crate::executor::{count_plan_with, MineOutcome, PlanMiner, RunHalt};
 use crate::gauge::MemGauge;
 use crate::sink::{CountSink, Sink};
 use crate::task::MiningTask;
+use fingers_conc::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use fingers_conc::sync::{Mutex, PoisonError};
 use fingers_graph::hubs::HubSet;
 use fingers_graph::CsrGraph;
 use fingers_pattern::benchmarks::Benchmark;
 use fingers_pattern::{ExecutionPlan, MultiPlan};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
+
+// lint: lock-order(deque < failures)
 
 /// Tasks created per worker: oversubscription for dynamic load balance.
 /// Generous because tasks are two integers — the cost of a fine partition
@@ -57,7 +60,7 @@ const TASKS_PER_WORKER: usize = 32;
 /// rate is one lock per *task* (thousands of DFS roots), so even a
 /// contended lock costs noise, and a mutex keeps the scheduler trivially
 /// race-free.
-struct StealPool {
+pub struct StealPool {
     deques: Vec<Mutex<VecDeque<MiningTask>>>,
 }
 
@@ -70,7 +73,7 @@ impl StealPool {
     /// its heavy tasks serially — thieves only relieve the queued tail.
     /// Striping spreads the hot region across every deque up front, so
     /// stealing only has to correct residual skew.
-    fn new(tasks: &[MiningTask], workers: usize) -> Self {
+    pub fn new(tasks: &[MiningTask], workers: usize) -> Self {
         let workers = workers.max(1);
         let mut deques: Vec<Mutex<VecDeque<MiningTask>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
@@ -88,7 +91,8 @@ impl StealPool {
     /// tasks still in flight on other workers are never visible here, so a
     /// `None` is final for this worker (peers only ever *remove* queued
     /// work; splits happen under the victim's lock during the scan).
-    fn claim(&self, me: usize) -> Option<MiningTask> {
+    pub fn claim(&self, me: usize) -> Option<MiningTask> {
+        // lock: deque
         if let Some(t) = self.deques[me]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -99,6 +103,7 @@ impl StealPool {
         let n = self.deques.len();
         for off in 1..n {
             if let Some(stolen) = self.steal_from((me + off) % n) {
+                // lock: deque
                 let mut mine = self.deques[me]
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner);
@@ -117,7 +122,9 @@ impl StealPool {
     /// root ranges, so the victim keeps the work nearest what it is mining
     /// now). A victim down to one splittable task gets it halved at root
     /// granularity instead; a lone unsplittable task is taken whole.
+    // lock: acquires(deque)
     fn steal_from(&self, victim: usize) -> Option<VecDeque<MiningTask>> {
+        // lock: deque
         let mut v = self.deques[victim]
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
@@ -134,6 +141,35 @@ impl StealPool {
             }
             len => Some(v.split_off(len - len / 2)),
         }
+    }
+
+    /// Seeded-bug fixture for the model checker: a deliberately broken
+    /// `claim` that peeks the front task under one lock acquisition and pops
+    /// it under a *second* one, releasing the deque lock in between. A thief
+    /// that splits the peeked task in the window makes this worker mine the
+    /// stale full-range clone while the thief mines the stolen half — the
+    /// exact lost-update/double-mine family of bug the deque harness exists
+    /// to catch. Never called by production code.
+    #[cfg(feature = "model-check")]
+    pub fn claim_racy(&self, me: usize) -> Option<MiningTask> {
+        // lock: deque
+        let peeked = self.deques[me]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .front()
+            .cloned();
+        if let Some(t) = peeked {
+            // BUG (intentional): the lock was dropped after the peek, so the
+            // pop below may remove a task a thief has since split or taken.
+            // lock: deque
+            self.deques[me]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front();
+            return Some(t);
+        }
+        // Fall back to the correct steal path once the own deque is empty.
+        self.claim(me)
     }
 }
 
@@ -166,6 +202,7 @@ impl<'t> TaskSource<'t> {
     fn claim(&self, me: usize) -> Option<MiningTask> {
         match self {
             TaskSource::Cursor { tasks, cursor } => {
+                // ord: relaxed(pure ticket counter; the claimed task data is read-only shared)
                 tasks.get(cursor.fetch_add(1, Ordering::Relaxed)).cloned()
             }
             TaskSource::Steal(pool) => pool.claim(me),
@@ -429,6 +466,7 @@ pub fn try_count_plan_parallel_governed(
         let mut local = 0u64;
         loop {
             if cancel.is_cancelled() {
+                // ord: relaxed(flag only latches true; the scope join synchronizes before into_inner reads it)
                 interrupted.store(true, Ordering::Relaxed);
                 break;
             }
@@ -444,14 +482,17 @@ pub fn try_count_plan_parallel_governed(
                 Ok(Err(RunHalt::Cancelled)) => {
                     // Interrupted mid-task: the sink holds a partial tally
                     // for this task — drop it and stop claiming.
+                    // ord: relaxed(flag only latches true; the scope join synchronizes before into_inner reads it)
                     interrupted.store(true, Ordering::Relaxed);
                     break;
                 }
                 Ok(Err(RunHalt::MemBudget { used_bytes, .. })) => {
+                    // ord: relaxed(monotone max of a scalar; read only after the scope join)
                     over_budget.fetch_max(used_bytes, Ordering::Relaxed);
                     break;
                 }
                 Err(payload) => {
+                    // lock: failures
                     failures
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner)
@@ -695,6 +736,7 @@ where
         while let Some(task) = source.claim(me) {
             match catch_unwind(AssertUnwindSafe(|| worker(&task))) {
                 Ok(n) => local += n,
+                // lock: failures
                 Err(payload) => failures
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
@@ -766,12 +808,14 @@ where
         let mut local = 0u64;
         loop {
             if cancel.is_cancelled() {
+                // ord: relaxed(flag only latches true; the scope join synchronizes before into_inner reads it)
                 interrupted.store(true, Ordering::Relaxed);
                 break;
             }
             let Some(task) = source.claim(me) else { break };
             match catch_unwind(AssertUnwindSafe(|| worker(&task))) {
                 Ok(n) => local += n,
+                // lock: failures
                 Err(payload) => failures
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)

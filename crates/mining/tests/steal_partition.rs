@@ -1,0 +1,118 @@
+//! Property test: work-stealing claims always partition the seeded roots.
+//!
+//! The bounded model checker (`tests/model_check.rs`) exhausts *every*
+//! interleaving of a tiny deque; this test is its complement — real OS
+//! threads, adversarial task *shapes*: empty pools, a single lone root,
+//! hub-heavy skews where one task dwarfs the rest (forcing the
+//! `split_off_half` steal arm), and uniform partitions. Whatever the
+//! shape and thread timing, the union of all claimed tasks must cover
+//! every root exactly once — no root lost to a steal, none double-mined
+//! by a split.
+
+use fingers_mining::parallel::StealPool;
+use fingers_mining::MiningTask;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Adversarial task shapes over `[0, n)`, chosen by `kind`.
+fn shape_tasks(kind: u8, n: u32) -> Vec<MiningTask> {
+    match kind % 4 {
+        // Uniform near-equal partition, more tasks than workers.
+        0 => MiningTask::partition(n as usize, 7),
+        // Single task holding the whole range: every other worker must
+        // go through the steal-and-split path.
+        1 if n > 0 => vec![MiningTask { start: 0, end: n }],
+        // Hub-heavy: one dominant task plus unit-size crumbs.
+        2 if n >= 4 => {
+            let hub_end = n - (n / 4);
+            let mut tasks = vec![MiningTask {
+                start: 0,
+                end: hub_end,
+            }];
+            tasks.extend((hub_end..n).map(|r| MiningTask {
+                start: r,
+                end: r + 1,
+            }));
+            tasks
+        }
+        // Degenerate: empty pool regardless of n.
+        _ => MiningTask::partition(n as usize, 3),
+    }
+}
+
+/// Drains a shared pool from `workers` OS threads and returns every claimed
+/// root. Splitting each claimed task once more mid-drain (when `resplit`)
+/// stresses the claim/split arithmetic a second way: a worker re-splitting
+/// its own claim must still mine both halves exactly once.
+fn drain_with_threads(tasks: &[MiningTask], workers: usize, resplit: bool) -> Vec<u32> {
+    let pool = Arc::new(StealPool::new(tasks, workers));
+    let handles: Vec<_> = (0..workers)
+        .map(|me| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let mut mined = Vec::new();
+                while let Some(mut t) = pool.claim(me) {
+                    if resplit {
+                        if let Some(upper) = t.split_off_half() {
+                            mined.extend(upper.roots());
+                        }
+                    }
+                    mined.extend(t.roots());
+                }
+                mined
+            })
+        })
+        .collect();
+    let mut mined: Vec<u32> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("worker panicked"))
+        .collect();
+    mined.sort_unstable();
+    mined
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn claims_partition_roots_for_adversarial_shapes(
+        kind in 0u8..4,
+        n in 0u32..96,
+        workers in 2usize..=4,
+        resplit_bit in 0u8..2,
+    ) {
+        let tasks = shape_tasks(kind, n);
+        let expected: Vec<u32> = tasks.iter().flat_map(MiningTask::roots).collect();
+        let mut expected_sorted = expected;
+        expected_sorted.sort_unstable();
+        let mined = drain_with_threads(&tasks, workers, resplit_bit == 1);
+        prop_assert_eq!(mined, expected_sorted);
+    }
+
+    #[test]
+    fn split_off_half_partitions_any_task(start in 0u32..1000, len in 0u32..1000) {
+        let mut t = MiningTask { start, end: start + len };
+        let before: Vec<u32> = t.roots().collect();
+        match t.split_off_half() {
+            Some(upper) => {
+                let mut after: Vec<u32> = t.roots().chain(upper.roots()).collect();
+                after.sort_unstable();
+                prop_assert_eq!(after, before);
+                prop_assert!(!t.is_empty() && !upper.is_empty());
+                prop_assert_eq!(t.end, upper.start, "halves stay contiguous");
+            }
+            None => prop_assert!(before.len() < 2, "only sub-2-root tasks refuse to split"),
+        }
+    }
+}
+
+#[test]
+fn empty_pool_yields_nothing() {
+    assert!(drain_with_threads(&[], 3, false).is_empty());
+}
+
+#[test]
+fn single_root_is_claimed_exactly_once() {
+    let tasks = vec![MiningTask { start: 0, end: 1 }];
+    assert_eq!(drain_with_threads(&tasks, 4, false), vec![0]);
+}

@@ -60,6 +60,7 @@ struct ServerState {
 /// connection. Idempotent; callable from [`Daemon::shutdown`] or from a
 /// connection thread handling a `shutdown` request.
 fn initiate_shutdown(state: &ServerState) {
+    // ord: seqcst(process-wide one-shot shutdown latch; cold path)
     if state.stopping.swap(true, Ordering::SeqCst) {
         return;
     }
@@ -189,10 +190,12 @@ impl Drop for Daemon {
 fn accept_loop(listener: &UnixListener, state: &Arc<ServerState>, engine: &EngineConfig) {
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     for stream in listener.incoming() {
+        // ord: seqcst(pairs with the shutdown latch swap)
         if state.stopping.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // ord: relaxed(monotonic stats counter)
         state.connections.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
             let mut conns = state
@@ -202,6 +205,7 @@ fn accept_loop(listener: &UnixListener, state: &Arc<ServerState>, engine: &Engin
             conns.push(clone);
             // A shutdown that raced this accept has already swept `conns`;
             // close the straggler ourselves so its handler cannot block.
+            // ord: seqcst(pairs with the shutdown latch swap)
             if state.stopping.load(Ordering::SeqCst) {
                 for conn in conns.iter() {
                     let _ = conn.shutdown(std::net::Shutdown::Both);
@@ -245,6 +249,7 @@ fn handle_connection(stream: UnixStream, state: &Arc<ServerState>, engine: &Engi
             let _ = writer.shutdown(std::net::Shutdown::Both);
             break;
         }
+        // ord: relaxed(monotonic stats counter)
         state.requests.fetch_add(1, Ordering::Relaxed);
         let (response, stop_after) = dispatch(state, engine, &line);
         if writer
@@ -497,6 +502,7 @@ fn ping_response(state: &Arc<ServerState>) -> String {
                 ("workers", Json::U64(state.sched.config().workers as u64)),
                 (
                     "rebuilds",
+                    // ord: relaxed(observability snapshot; approximate reads are fine)
                     Json::U64(sched.pool_rebuilds.load(Ordering::Relaxed)),
                 ),
             ]),
@@ -562,28 +568,36 @@ fn stats_response(state: &Arc<ServerState>) -> String {
                 ),
                 (
                     "accepted",
+                    // ord: relaxed(observability snapshot; approximate reads are fine)
                     Json::U64(sched.accepted.load(Ordering::Relaxed)),
                 ),
                 (
                     "rejected",
+                    // ord: relaxed(observability snapshot; approximate reads are fine)
                     Json::U64(sched.rejected.load(Ordering::Relaxed)),
                 ),
                 (
                     "completed",
+                    // ord: relaxed(observability snapshot; approximate reads are fine)
                     Json::U64(sched.completed.load(Ordering::Relaxed)),
                 ),
                 (
                     "cancelled",
+                    // ord: relaxed(observability snapshot; approximate reads are fine)
                     Json::U64(sched.cancelled.load(Ordering::Relaxed)),
                 ),
+                // ord: relaxed(observability snapshot; approximate reads are fine)
                 ("failed", Json::U64(sched.failed.load(Ordering::Relaxed))),
+                // ord: relaxed(observability snapshot; approximate reads are fine)
                 ("shed", Json::U64(sched.shed.load(Ordering::Relaxed))),
                 (
                     "degraded",
+                    // ord: relaxed(observability snapshot; approximate reads are fine)
                     Json::U64(sched.degraded.load(Ordering::Relaxed)),
                 ),
                 (
                     "pool_rebuilds",
+                    // ord: relaxed(observability snapshot; approximate reads are fine)
                     Json::U64(sched.pool_rebuilds.load(Ordering::Relaxed)),
                 ),
                 ("active", Json::U64(state.sched.active_count() as u64)),
@@ -591,10 +605,12 @@ fn stats_response(state: &Arc<ServerState>) -> String {
         ),
         (
             "connections",
+            // ord: relaxed(observability snapshot; approximate reads are fine)
             Json::U64(state.connections.load(Ordering::Relaxed)),
         ),
         (
             "requests",
+            // ord: relaxed(observability snapshot; approximate reads are fine)
             Json::U64(state.requests.load(Ordering::Relaxed)),
         ),
     ])

@@ -37,6 +37,8 @@
 pub mod client;
 pub mod daemon;
 pub mod json;
+#[cfg(feature = "model-check")]
+pub mod model;
 pub mod proto;
 pub mod sched;
 pub mod session;

@@ -1,0 +1,169 @@
+//! Model-checked harnesses for the scheduler's concurrency protocols.
+//!
+//! Two invariants ride on the [`fingers_conc::model`] explorer here:
+//!
+//! 1. **Phoenix rebuild never strands a queued job.** A protocol model of
+//!    [`crate::sched`]'s queue/condvar/close handshake in which a worker
+//!    dies after its first job and — exactly as the `Phoenix` drop guard
+//!    does — spawns its own replacement. Under every bounded interleaving
+//!    of pushes, deaths, respawns, and shutdown, each queued job is
+//!    processed exactly once and exactly one rebuild happens. A protocol
+//!    bug that left the replacement parked on the condvar past `close`
+//!    would surface as a deadlock, which the explorer reports as a
+//!    violation.
+//! 2. **The degradation ladder is monotone under charge-only traffic.** A
+//!    reader sampling [`crate::sched::degradation_for`] over a gauge that
+//!    concurrent workers only charge must never observe the rung go
+//!    *down* — admission decisions may lag pressure but must not flap.
+//!
+//! The harnesses model the protocol rather than spawning the real pool:
+//! production workers are OS threads owned by [`crate::Scheduler`], while
+//! model threads must be born via [`Sim::spawn`] so the explorer owns
+//! their schedule. The queue/close/respawn state machine is copied
+//! faithfully from `sched.rs` (`Core::dequeue`, `Scheduler::shutdown`,
+//! `Phoenix::drop`); keep the two in sync when touching either.
+
+use crate::sched::{degradation_for, Degradation};
+use fingers_conc::model::{check, CheckOptions, CheckReport, Sim};
+use fingers_conc::sync::atomic::{AtomicUsize, Ordering};
+use fingers_conc::sync::{Condvar, Mutex, PoisonError};
+use fingers_mining::MemGauge;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The queue/close handshake of `sched::Core`, reduced to its essentials.
+struct MiniCore {
+    /// `(pending jobs, closed)` — guarded together, as in `QueueState`.
+    // lock: queue
+    queue: Mutex<(VecDeque<u32>, bool)>,
+    ready: Condvar,
+    rebuilds: AtomicUsize,
+}
+
+impl MiniCore {
+    fn new() -> Self {
+        MiniCore {
+            queue: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            rebuilds: AtomicUsize::new(0),
+        }
+    }
+
+    /// Mirror of `Core::dequeue`: pop, or wait until closed.
+    fn dequeue(&self) -> Option<u32> {
+        // lock: queue
+        let mut state = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(job) = state.0.pop_front() {
+                return Some(job);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn push(&self, job: u32) {
+        // lock: queue
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .0
+            .push_back(job);
+        self.ready.notify_one();
+    }
+
+    /// Mirror of `Scheduler::shutdown`'s queue half: close, wake everyone.
+    fn close(&self) {
+        // lock: queue
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner).1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A worker that never dies: drains the queue until `close`.
+fn drain(core: &MiniCore) -> Vec<u32> {
+    let mut done = Vec::new();
+    while let Some(job) = core.dequeue() {
+        done.push(job);
+    }
+    done
+}
+
+/// Invariant: the phoenix respawn protocol processes every queued job
+/// exactly once and rebuilds the pool exactly once, under every bounded
+/// interleaving of push, worker death, respawn, and close.
+pub fn phoenix_rebuild_check(opts: CheckOptions) -> CheckReport {
+    check("phoenix-rebuild", opts, |sim| {
+        let core = Arc::new(MiniCore::new());
+        let first = {
+            let core = Arc::clone(&core);
+            let sim2: Sim = sim.clone();
+            sim.spawn(move || {
+                // The mortal worker: completes one job, then "panics". The
+                // phoenix guard's Drop runs during unwind and respawns a
+                // replacement before the thread is gone — modelled here by
+                // spawning the immortal replacement at the death site.
+                let mine = core.dequeue().into_iter().collect::<Vec<_>>();
+                // ord: relaxed(monotonic stats counter, as in Phoenix::drop)
+                core.rebuilds.fetch_add(1, Ordering::Relaxed);
+                let replacement = {
+                    let core = Arc::clone(&core);
+                    sim2.spawn(move || drain(&core))
+                };
+                (mine, replacement)
+            })
+        };
+        core.push(7);
+        core.push(8);
+        core.close();
+        let (mine, replacement) = first.join();
+        let mut done = mine;
+        done.extend(replacement.join());
+        done.sort_unstable();
+        assert_eq!(done, vec![7, 8], "every queued job processed exactly once");
+        // ord: relaxed(read after both workers joined)
+        assert_eq!(core.rebuilds.load(Ordering::Relaxed), 1, "one rebuild");
+    })
+}
+
+/// Invariant: under charge-only traffic the degradation rung a reader
+/// observes never decreases — pressure readings may lag but cannot flap
+/// back toward `Normal` while memory only grows.
+pub fn ladder_monotone_check(opts: CheckOptions) -> CheckReport {
+    check("ladder-monotone", opts, |sim| {
+        let gauge = MemGauge::new();
+        let budget = Some(100u64);
+        let chargers: Vec<_> = [75u64, 15]
+            .iter()
+            .map(|&n| {
+                let gauge = gauge.clone();
+                sim.spawn(move || gauge.charge(n))
+            })
+            .collect();
+        let reader = {
+            let gauge = gauge.clone();
+            sim.spawn(move || {
+                let a = degradation_for(gauge.bytes(), budget);
+                let b = degradation_for(gauge.bytes(), budget);
+                assert!(
+                    b.level() >= a.level(),
+                    "ladder must be monotone under charge-only traffic: {a:?} then {b:?}"
+                );
+            })
+        };
+        for c in chargers {
+            c.join();
+        }
+        reader.join();
+        assert_eq!(
+            degradation_for(gauge.bytes(), budget),
+            Degradation::ClampThreads,
+            "90 bytes of a 100-byte budget sits on the clamp rung"
+        );
+    })
+}

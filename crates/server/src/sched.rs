@@ -45,11 +45,14 @@
 //! strictly per *query* (bounded by pattern count), never per embedding.
 // lint: hot-path(alloc)
 
+use fingers_conc::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use fingers_conc::sync::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
+
+// lint: lock-order(active < queue < workers)
 
 use fingers_mining::{
     try_count_plan_parallel_governed, CancelToken, EngineConfig, EngineError, MemGauge,
@@ -145,7 +148,7 @@ impl Degradation {
 }
 
 /// The ladder rung for `bytes` of metered memory under `budget`.
-fn degradation_for(bytes: u64, budget: Option<u64>) -> Degradation {
+pub(crate) fn degradation_for(bytes: u64, budget: Option<u64>) -> Degradation {
     let Some(budget) = budget else {
         return Degradation::Normal;
     };
@@ -316,6 +319,7 @@ impl Core {
     /// work. `None` means the queue is closed and drained — the worker
     /// exits.
     fn dequeue(&self) -> Option<QueueItem> {
+        // lock: queue
         let mut state = self
             .queue
             .lock()
@@ -328,6 +332,7 @@ impl Core {
                 let Some((_job, reply)) = state.items.remove(idx) else {
                     break;
                 };
+                // ord: relaxed(monotonic stats counter)
                 self.stats.shed.fetch_add(1, Ordering::Relaxed);
                 let _ = reply.send(Err(JobError::Shed {
                     retry_after_ms: self.config.retry_after_ms,
@@ -373,6 +378,7 @@ impl Core {
         // lint: allow-alloc(Arc clone of the shared hub set, no data copy)
         let mut hubs = job.graph.hubs.clone();
         if level >= Degradation::ShrinkCaches {
+            // ord: relaxed(monotonic stats counter)
             self.stats.degraded.fetch_add(1, Ordering::Relaxed);
             config.bitmap_cache_slots = config.bitmap_cache_slots.min(DEGRADED_CACHE_SLOTS);
         }
@@ -436,16 +442,21 @@ struct Phoenix {
 
 impl Drop for Phoenix {
     fn drop(&mut self) {
+        // A phoenix must never respawn into a pool that shutdown has
+        // begun draining, hence the same strength as shutdown's store.
+        // ord: seqcst(cold-path gate pairing with shutdown's seqcst stopping store)
         if std::thread::panicking() && !self.core.stopping.load(Ordering::SeqCst) {
             self.core
                 .stats
                 .pool_rebuilds
+                // ord: relaxed(monotonic stats counter)
                 .fetch_add(1, Ordering::Relaxed);
             spawn_worker(&self.core);
         }
     }
 }
 
+// lock: acquires(workers)
 fn spawn_worker(core: &Arc<Core>) {
     // lint: allow-alloc(pool construction/rebuild, not dispatch)
     let worker_core = Arc::clone(core);
@@ -455,6 +466,7 @@ fn spawn_worker(core: &Arc<Core>) {
         };
         worker_loop(&worker_core);
     });
+    // lock: workers
     core.workers
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -472,10 +484,12 @@ fn worker_loop(core: &Arc<Core>) {
         fingers_mining::chaos::maybe_panic_sched_worker();
         let result = core.run_job(&job).map_err(JobError::Engine);
         match &result {
+            // ord: relaxed(monotonic stats counters, all three arms)
             Ok(_) => core.stats.completed.fetch_add(1, Ordering::Relaxed),
             Err(e) if e.cancel_kind().is_some() => {
                 core.stats.cancelled.fetch_add(1, Ordering::Relaxed)
             }
+            // ord: relaxed(monotonic stats counter)
             Err(_) => core.stats.failed.fetch_add(1, Ordering::Relaxed),
         };
         // A vanished requester (client hung up) is fine; drop the result.
@@ -550,6 +564,7 @@ impl Scheduler {
     /// [`SubmitError::ShuttingDown`] after [`Scheduler::shutdown`].
     pub fn submit(&self, job: Job) -> Result<Receiver<JobResult>, SubmitError> {
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        // lock: queue
         let mut state = self
             .core
             .queue
@@ -559,6 +574,7 @@ impl Scheduler {
             return Err(SubmitError::ShuttingDown);
         }
         if self.core.degradation() == Degradation::Shed {
+            // ord: relaxed(monotonic stats counter)
             self.core.stats.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Overloaded {
                 queue_depth: self.core.config.queue_depth,
@@ -566,6 +582,7 @@ impl Scheduler {
             });
         }
         if state.items.len() >= self.core.config.queue_depth.max(1) {
+            // ord: relaxed(monotonic stats counter)
             self.core.stats.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Overloaded {
                 queue_depth: self.core.config.queue_depth,
@@ -574,6 +591,7 @@ impl Scheduler {
         }
         // lint: allow-alloc(queue entry per admitted query, not per task)
         state.items.push_back((job, reply_tx));
+        // ord: relaxed(monotonic stats counter)
         self.core.stats.accepted.fetch_add(1, Ordering::Relaxed);
         self.core.ready.notify_one();
         Ok(reply_rx)
@@ -582,6 +600,7 @@ impl Scheduler {
     /// Registers a client-visible query id so a later
     /// [`Scheduler::cancel`] (from any connection) can find its token.
     pub fn register(&self, id: &str, token: CancelToken) {
+        // lock: active
         self.active
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -591,6 +610,7 @@ impl Scheduler {
 
     /// Removes a finished query from the active registry.
     pub fn unregister(&self, id: &str) {
+        // lock: active
         self.active
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -602,6 +622,7 @@ impl Scheduler {
     /// token is registered at admission, and the engine checks it before
     /// claiming the first task.
     pub fn cancel(&self, id: &str) -> bool {
+        // lock: active
         let active = self
             .active
             .lock()
@@ -617,6 +638,7 @@ impl Scheduler {
 
     /// Number of registered (queued or running) queries.
     pub fn active_count(&self) -> usize {
+        // lock: active
         self.active
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -628,8 +650,10 @@ impl Scheduler {
     /// their worker, which observes the cancelled token before claiming a
     /// task and reports a cancelled result — no silent drops.
     pub fn shutdown(&self) {
+        // ord: seqcst(cold-path shutdown gate; pairs with the phoenix guard's seqcst load)
         self.core.stopping.store(true, Ordering::SeqCst);
         {
+            // lock: active
             let active = self
                 .active
                 .lock()
@@ -639,6 +663,7 @@ impl Scheduler {
             }
         }
         {
+            // lock: queue
             let mut state = self
                 .core
                 .queue
@@ -650,6 +675,7 @@ impl Scheduler {
         // A dying worker may respawn a sibling until it observes
         // `stopping`, so drain the handle list until it stays empty.
         loop {
+            // lock: workers
             let workers = std::mem::take(
                 &mut *self
                     .core

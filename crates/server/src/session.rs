@@ -183,6 +183,7 @@ impl PlanCache {
             adj: canonical_adj(pattern),
             induced,
         };
+        // ord: relaxed(monotonic cache statistic)
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
         if let Some(hit) = self
             .plans
@@ -191,9 +192,11 @@ impl PlanCache {
             .get_mut(&key)
         {
             hit.last_used = now;
+            // ord: relaxed(monotonic cache statistic)
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(&hit.plan));
         }
+        // ord: relaxed(monotonic cache statistic)
         self.misses.fetch_add(1, Ordering::Relaxed);
         let plan = ExecutionPlan::compile(pattern, induced);
         let report = fingers_verify::verify(&plan);
@@ -215,6 +218,7 @@ impl PlanCache {
                 break;
             };
             map.remove(&victim);
+            // ord: relaxed(monotonic cache statistic)
             self.evictions.fetch_add(1, Ordering::Relaxed);
             if let Some(gauge) = &self.gauge {
                 gauge.release(victim.entry_bytes());
@@ -239,16 +243,19 @@ impl PlanCache {
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
+        // ord: relaxed(observability snapshot; approximate reads are fine)
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Cache misses (= compilations) so far.
     pub fn misses(&self) -> u64 {
+        // ord: relaxed(observability snapshot; approximate reads are fine)
         self.misses.load(Ordering::Relaxed)
     }
 
     /// LRU evictions so far.
     pub fn evictions(&self) -> u64 {
+        // ord: relaxed(observability snapshot; approximate reads are fine)
         self.evictions.load(Ordering::Relaxed)
     }
 

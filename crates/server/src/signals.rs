@@ -32,6 +32,7 @@ extern "C" {
 /// The installed handler: latch the flag and return. Nothing else here is
 /// async-signal-safe — no locks, no allocation, no I/O.
 extern "C" fn on_signal(_signum: i32) {
+    // ord: seqcst(async-signal context; one latch flag, strongest order costs nothing here)
     TERMINATION_REQUESTED.store(true, Ordering::SeqCst);
 }
 
@@ -51,6 +52,7 @@ pub fn install_termination_flag() -> &'static AtomicBool {
 
 /// Whether a termination signal has been latched.
 pub fn termination_requested() -> bool {
+    // ord: seqcst(pairs with the handler store)
     TERMINATION_REQUESTED.load(Ordering::SeqCst)
 }
 

@@ -1,0 +1,36 @@
+//! Bounded model-check gate for the scheduler's concurrency protocols.
+//!
+//! Runs only with `--features model-check`. As in the mining crate's gate,
+//! every test asserts the explorer *exhausted* its bounded space — a
+//! truncated exploration fails rather than silently weakening the check.
+
+use fingers_conc::model::CheckOptions;
+use fingers_server::model;
+use std::time::Duration;
+
+fn opts() -> CheckOptions {
+    CheckOptions {
+        max_preemptions: 4,
+        max_duration: Duration::from_secs(20),
+        ..CheckOptions::default()
+    }
+}
+
+#[test]
+fn phoenix_rebuild_strands_no_queued_job() {
+    let report = model::phoenix_rebuild_check(opts());
+    report.assert_clean();
+    assert!(report.executions > 1, "exploration must branch");
+    assert!(
+        report.max_threads >= 3,
+        "main + mortal worker + its spawned replacement"
+    );
+}
+
+#[test]
+fn degradation_ladder_is_monotone_under_pressure() {
+    let report = model::ladder_monotone_check(opts());
+    report.assert_clean();
+    assert!(report.executions > 1, "exploration must branch");
+    assert!(report.max_threads >= 4, "main + two chargers + reader");
+}

@@ -22,6 +22,32 @@
 //!   preceding lines (DESIGN.md §11 is the error-handling policy that
 //!   says which layers may panic and why).
 //!
+//! Concurrency-discipline rules (DESIGN.md §16):
+//!
+//! * **atomic ordering tag** — every *atomic* `Ordering::` use
+//!   (`Relaxed`/`Acquire`/`Release`/`AcqRel`/`SeqCst`; the `cmp::Ordering`
+//!   variants are disjoint and never match) needs an
+//!   `// ord: <names>(<reason>)` tag on the same or one of the three
+//!   preceding lines, where `<names>` is the `+`-joined lowercase list of
+//!   every ordering the line uses. The tag is the code-review contract:
+//!   the author states *why* that strength suffices.
+//! * **relaxed allowlist** — `Ordering::Relaxed` may appear only in the
+//!   module allowlist ([`RELAXED_ALLOWLIST`]): counters, latch-only
+//!   flags, and gauges whose protocols the model checker exhausts. A new
+//!   Relaxed site anywhere else is an error even with a tag — widen the
+//!   allowlist consciously, in this file, under review.
+//! * **lock tag + static lock order** — in files carrying a
+//!   `// lint: lock-order(a < b < c)` marker, every `.lock()` call must
+//!   resolve to a `// lock: <name>` tag (same statement, or the comment
+//!   block immediately above it) naming a declared lock. While a tagged
+//!   guard is live (tracked by brace depth), acquiring a lock of *lower*
+//!   rank — directly or by calling a function tagged
+//!   `// lock: acquires(<name>)` — is a lock-order violation.
+//! * **unsafe island** — `unsafe` outside the audited island files
+//!   ([`UNSAFE_ISLANDS`]) is an error; inside an island every unsafe site
+//!   must have a `SAFETY` comment (or `# Safety` doc section) within the
+//!   eight preceding lines.
+//!
 //! Test code is out of scope: `tests/`/`benches/` directories are not
 //! walked, and `#[cfg(test)]` modules inside scanned files are skipped by
 //! brace tracking.
@@ -39,6 +65,18 @@ pub enum LintRule {
     HotPathIndex,
     /// `allow(clippy::unwrap_used/expect_used)` without a §11 comment.
     AllowNeedsJustification,
+    /// Atomic `Ordering::` use without a matching `ord:` tag.
+    AtomicOrderingNeedsTag,
+    /// `Ordering::Relaxed` in a file outside [`RELAXED_ALLOWLIST`].
+    RelaxedOutsideAllowlist,
+    /// `.lock()` in a lock-order-marked file without a `lock:` tag.
+    LockNeedsTag,
+    /// Lock acquired out of the declared `lock-order(...)` ranking.
+    LockOrderViolation,
+    /// `unsafe` outside the audited [`UNSAFE_ISLANDS`].
+    UnsafeOutsideIsland,
+    /// `unsafe` inside an island without a nearby `SAFETY` comment.
+    UnsafeNeedsSafetyComment,
 }
 
 impl LintRule {
@@ -48,6 +86,12 @@ impl LintRule {
             LintRule::HotPathAlloc => "hot-path-alloc",
             LintRule::HotPathIndex => "hot-path-index",
             LintRule::AllowNeedsJustification => "allow-needs-justification",
+            LintRule::AtomicOrderingNeedsTag => "atomic-ordering-needs-tag",
+            LintRule::RelaxedOutsideAllowlist => "relaxed-outside-allowlist",
+            LintRule::LockNeedsTag => "lock-needs-tag",
+            LintRule::LockOrderViolation => "lock-order-violation",
+            LintRule::UnsafeOutsideIsland => "unsafe-outside-island",
+            LintRule::UnsafeNeedsSafetyComment => "unsafe-needs-safety-comment",
         }
     }
 }
@@ -100,6 +144,40 @@ const ALLOC_PATTERNS: [&str; 10] = [
     "String::new(",
 ];
 
+/// Atomic `Ordering` variants and the lowercase name an `ord:` tag must
+/// use for them. `cmp::Ordering`'s `Less`/`Equal`/`Greater` are disjoint
+/// from this list, so comparator code never trips the atomic rules.
+const ATOMIC_ORDERINGS: [(&str, &str); 5] = [
+    ("Ordering::Relaxed", "relaxed"),
+    ("Ordering::Acquire", "acquire"),
+    ("Ordering::Release", "release"),
+    ("Ordering::AcqRel", "acqrel"),
+    ("Ordering::SeqCst", "seqcst"),
+];
+
+/// Files (path suffixes) allowed to use `Ordering::Relaxed`: monotonic
+/// stats counters, latch-only flags, and gauge arithmetic whose protocols
+/// the `model-check` harnesses exhaust. Everything else must use at least
+/// acquire/release — or widen this list consciously, under review.
+pub const RELAXED_ALLOWLIST: &[&str] = &[
+    "crates/mining/src/cancel.rs",
+    "crates/mining/src/chaos.rs",
+    "crates/mining/src/gauge.rs",
+    "crates/mining/src/model.rs",
+    "crates/mining/src/parallel.rs",
+    "crates/server/src/daemon.rs",
+    "crates/server/src/model.rs",
+    "crates/server/src/sched.rs",
+    "crates/server/src/session.rs",
+    "crates/bench/src/experiments/service_latency.rs",
+    "crates/bench/src/experiments/soak_chaos.rs",
+];
+
+/// The only files (path suffixes) permitted to contain `unsafe`: the SIMD
+/// kernel island and the libc signal-handler island, both audited and both
+/// behind safe wrappers.
+pub const UNSAFE_ISLANDS: &[&str] = &["crates/setops/src/simd.rs", "crates/server/src/signals.rs"];
+
 fn marker(kind: &str) -> String {
     format!("// lint: hot-path({kind})")
 }
@@ -108,29 +186,41 @@ fn waiver_pattern(kind: &str) -> String {
     format!("lint: allow-{kind}(")
 }
 
-/// Lints one file's source text. `file` is only used to label violations.
+/// Lints one file's source text. `file` labels violations and selects the
+/// path-keyed rules (relaxed allowlist, unsafe islands).
 pub fn lint_source(file: &str, source: &str) -> Vec<LintViolation> {
     let alloc_hot = source.contains(&marker("alloc"));
     let index_hot = source.contains(&marker("index"));
+    let lock_order = parse_lock_order(source);
     let lines: Vec<&str> = source.lines().collect();
+    let acquires = match &lock_order {
+        Some(order) => collect_acquires_fns(&lines, order),
+        None => Vec::new(),
+    };
+    let in_island = UNSAFE_ISLANDS.iter().any(|s| path_matches(file, s));
+    let relaxed_allowed = RELAXED_ALLOWLIST.iter().any(|s| path_matches(file, s));
     let mut out = Vec::new();
 
     let mut pending_cfg_test = false;
     let mut test_depth: i64 = 0; // > 0 while inside a #[cfg(test)] module
+    let mut depth: i64 = 0; // overall brace depth, for guard-scope tracking
+    let mut held: Vec<(usize, i64)> = Vec::new(); // (lock rank, depth acquired at)
     for (i, &raw) in lines.iter().enumerate() {
         let trimmed = raw.trim_start();
         if trimmed.starts_with("///") || trimmed.starts_with("//!") {
             continue;
         }
         let stripped = strip_strings_and_comments(raw);
+        let delta = brace_delta(&stripped);
+        depth += delta;
+        held.retain(|&(_, d)| d <= depth);
 
         if test_depth > 0 {
-            test_depth += brace_delta(&stripped);
+            test_depth += delta;
             continue;
         }
         if pending_cfg_test {
             if stripped.contains("mod ") {
-                let delta = brace_delta(&stripped);
                 // `mod tests {` opens the module; a `mod tests;` item
                 // (separate file, excluded by the walker) keeps depth 0.
                 if delta > 0 {
@@ -170,8 +260,191 @@ pub fn lint_source(file: &str, source: &str) -> Vec<LintViolation> {
         {
             out.push(violation(LintRule::AllowNeedsJustification));
         }
+
+        // Atomic-ordering discipline: every atomic Ordering:: use needs an
+        // `ord:` tag naming each ordering the line uses.
+        let used: Vec<&str> = ATOMIC_ORDERINGS
+            .iter()
+            .filter(|(pat, _)| stripped.contains(pat))
+            .map(|&(_, name)| name)
+            .collect();
+        if !used.is_empty() {
+            let tagged = (i.saturating_sub(3)..=i)
+                .rev()
+                .find_map(|j| ord_tag_names(lines[j]))
+                .is_some_and(|names| {
+                    used.iter()
+                        .all(|n| names.split('+').any(|t| t.trim() == *n))
+                });
+            if !tagged {
+                out.push(violation(LintRule::AtomicOrderingNeedsTag));
+            }
+            if stripped.contains("Ordering::Relaxed") && !relaxed_allowed {
+                out.push(violation(LintRule::RelaxedOutsideAllowlist));
+            }
+        }
+
+        // Lock discipline, active only in lock-order-marked files.
+        if let Some(order) = &lock_order {
+            if stripped.contains(".lock()") {
+                match find_lock_tag(&lines, i).and_then(|n| order.iter().position(|o| *o == n)) {
+                    None => out.push(violation(LintRule::LockNeedsTag)),
+                    Some(rank) => {
+                        if held.iter().any(|&(h, _)| h > rank) {
+                            out.push(violation(LintRule::LockOrderViolation));
+                        }
+                        held.push((rank, depth));
+                    }
+                }
+            }
+            for (fn_name, fn_rank) in &acquires {
+                if !stripped.contains("fn ")
+                    && stripped.contains(&format!("{fn_name}("))
+                    && held.iter().any(|&(h, _)| h > *fn_rank)
+                {
+                    out.push(violation(LintRule::LockOrderViolation));
+                }
+            }
+        }
+
+        // Unsafe islands.
+        if has_unsafe_keyword(&stripped) {
+            if !in_island {
+                out.push(violation(LintRule::UnsafeOutsideIsland));
+            } else if !(i.saturating_sub(8)..=i)
+                .any(|j| lines[j].contains("SAFETY") || lines[j].contains("# Safety"))
+            {
+                out.push(violation(LintRule::UnsafeNeedsSafetyComment));
+            }
+        }
     }
     out
+}
+
+/// Path-suffix match with `\` normalized to `/`.
+fn path_matches(file: &str, suffix: &str) -> bool {
+    file.replace('\\', "/").ends_with(suffix)
+}
+
+/// Extracts the `<names>` part of an `// ord: <names>(<reason>)` tag with a
+/// nonempty reason, if `line` carries one.
+fn ord_tag_names(line: &str) -> Option<&str> {
+    let comment = &line[line.find("//")?..];
+    let after = &comment[comment.find("ord: ")? + 5..];
+    let open = after.find('(')?;
+    let names = after[..open].trim();
+    let close = after[open + 1..].find(')')?;
+    (!names.is_empty() && close > 0).then_some(names)
+}
+
+/// Extracts the lock name of an `// lock: <name>` acquisition tag. The
+/// `lock-order(...)` marker and `lock: acquires(...)` fn tags don't count.
+fn lock_tag_name(line: &str) -> Option<&str> {
+    let comment = &line[line.find("//")?..];
+    if comment.contains("lock-order(") {
+        return None;
+    }
+    let name = comment[comment.find("lock: ")? + 6..]
+        .split_whitespace()
+        .next()?;
+    (!name.contains('(')).then_some(name)
+}
+
+/// The declared lock ranking from a `// lint: lock-order(a < b < c)`
+/// marker, lowest rank first.
+fn parse_lock_order(source: &str) -> Option<Vec<String>> {
+    let at = source.find("// lint: lock-order(")?;
+    let inner = &source[at + "// lint: lock-order(".len()..];
+    let inner = &inner[..inner.find(')')?];
+    Some(inner.split('<').map(|n| n.trim().to_string()).collect())
+}
+
+/// Functions tagged `// lock: acquires(<name>)`, mapped to the rank of the
+/// lock they take internally (per the declared `order`). The tag must sit
+/// on one of the two lines above the `fn` item.
+fn collect_acquires_fns(lines: &[&str], order: &[String]) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(comment) = line.find("//").map(|c| &line[c..]) else {
+            continue;
+        };
+        let Some(p) = comment.find("lock: acquires(") else {
+            continue;
+        };
+        let after = &comment[p + "lock: acquires(".len()..];
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let Some(rank) = order.iter().position(|o| o == after[..close].trim()) else {
+            continue;
+        };
+        for next in lines.iter().skip(i + 1).take(2) {
+            if let Some(fp) = next.find("fn ") {
+                let fn_name: String = next[fp + 3..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !fn_name.is_empty() {
+                    out.push((fn_name, rank));
+                }
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Resolves the `lock:` tag governing the `.lock()` call on line `i`: the
+/// same line, an earlier line of the same multi-line statement, or the
+/// contiguous comment block immediately above the statement.
+fn find_lock_tag(lines: &[&str], i: usize) -> Option<String> {
+    if let Some(n) = lock_tag_name(lines[i]) {
+        return Some(n.to_string());
+    }
+    // Walk up to the statement start: stop at a blank/comment-only line or
+    // one ending a previous statement or opening a block.
+    let mut j = i;
+    for _ in 0..12 {
+        if j == 0 {
+            break;
+        }
+        let prev = strip_strings_and_comments(lines[j - 1]);
+        let t = prev.trim();
+        if t.is_empty() || t.ends_with(';') || t.ends_with('{') || t.ends_with('}') {
+            break;
+        }
+        j -= 1;
+        if let Some(n) = lock_tag_name(lines[j]) {
+            return Some(n.to_string());
+        }
+    }
+    // Contiguous comment block above the statement start.
+    while j > 0 && lines[j - 1].trim_start().starts_with("//") {
+        j -= 1;
+        if let Some(n) = lock_tag_name(lines[j]) {
+            return Some(n.to_string());
+        }
+    }
+    None
+}
+
+/// Whether the stripped line contains the `unsafe` keyword (word-bounded,
+/// so `unsafe_code` attributes don't match).
+fn has_unsafe_keyword(stripped: &str) -> bool {
+    let bytes = stripped.as_bytes();
+    let mut from = 0;
+    while let Some(p) = stripped[from..].find("unsafe") {
+        let start = from + p;
+        let end = start + "unsafe".len();
+        let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+        let pre_ok = start == 0 || !ident(bytes[start - 1]);
+        let post_ok = end >= bytes.len() || !ident(bytes[end]);
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
 }
 
 /// Whether line `i` (or the line above) waives rule `kind` with a
@@ -401,5 +674,197 @@ mod tests {
             "/// Call `.collect()` to gather results.\nfn f() {}",
         );
         assert!(lint_source("a.rs", &src).is_empty());
+    }
+
+    // --- concurrency-discipline rules ---
+    //
+    // Fixtures are built from per-line string arrays: the linter's string
+    // stripper is line-based, so a fixture written as one multi-line
+    // literal would leak its braces into this very file's scan.
+
+    /// A file path inside the relaxed allowlist, for fixtures that should
+    /// only exercise the tag rule.
+    const ALLOWED: &str = "crates/mining/src/gauge.rs";
+
+    fn fixture(lines: &[&str]) -> String {
+        lines.join("\n")
+    }
+
+    #[test]
+    fn atomic_ordering_without_tag_is_flagged() {
+        let src = fixture(&["fn f(a: &AtomicU64) { a.load(Ordering::Acquire); }"]);
+        let vs = lint_source("a.rs", &src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, LintRule::AtomicOrderingNeedsTag);
+    }
+
+    #[test]
+    fn ord_tag_must_name_every_ordering_on_the_line() {
+        let good = fixture(&[
+            "// ord: release(publishes the plan)",
+            "fn f(a: &AtomicBool) { a.store(true, Ordering::Release); }",
+        ]);
+        assert!(lint_source("a.rs", &good).is_empty());
+        let wrong_name = fixture(&[
+            "// ord: relaxed(stale tag)",
+            "fn f(a: &AtomicBool) { a.store(true, Ordering::Release); }",
+        ]);
+        let vs = lint_source("a.rs", &wrong_name);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, LintRule::AtomicOrderingNeedsTag);
+        let both = fixture(&[
+            "// ord: relaxed+relaxed(saturating decrement)",
+            "fn f(a: &AtomicU64) { a.fetch_update(Ordering::Relaxed, Ordering::Relaxed, Some); }",
+        ]);
+        assert!(lint_source(ALLOWED, &both).is_empty());
+        // An empty reason does not count as a tag.
+        let empty = fixture(&[
+            "// ord: release()",
+            "fn f(a: &AtomicBool) { a.store(true, Ordering::Release); }",
+        ]);
+        assert_eq!(lint_source("a.rs", &empty).len(), 1);
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_mistaken_for_atomic_ordering() {
+        // merge.rs / simd.rs shape: comparator code, no atomics anywhere.
+        let src = fixture(&[
+            "fn f(a: u32, b: u32) -> Ordering {",
+            "    match a.cmp(&b) {",
+            "        Ordering::Less => Ordering::Less,",
+            "        Ordering::Equal => Ordering::Equal,",
+            "        Ordering::Greater => Ordering::Greater,",
+            "    }",
+            "}",
+        ]);
+        assert!(lint_source("crates/setops/src/merge.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_outside_allowlist_is_flagged_even_with_tag() {
+        let src = fixture(&[
+            "// ord: relaxed(but this file may not use relaxed at all)",
+            "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }",
+        ]);
+        let vs = lint_source("crates/graph/src/csr.rs", &src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, LintRule::RelaxedOutsideAllowlist);
+        assert!(lint_source(ALLOWED, &src).is_empty());
+    }
+
+    #[test]
+    fn lock_in_marked_file_needs_a_declared_tag() {
+        let untagged = fixture(&[
+            "// lint: lock-order(queue < workers)",
+            "fn f(m: &Mutex<u32>) { let g = m.lock(); }",
+        ]);
+        let vs = lint_source("a.rs", &untagged);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, LintRule::LockNeedsTag);
+        // A tag naming an undeclared lock does not count.
+        let undeclared = fixture(&[
+            "// lint: lock-order(queue < workers)",
+            "fn f(m: &Mutex<u32>) {",
+            "    // lock: cache",
+            "    let g = m.lock();",
+            "}",
+        ]);
+        let vs = lint_source("a.rs", &undeclared);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, LintRule::LockNeedsTag);
+        // Unmarked files are exempt: the rule is opt-in per file.
+        let unmarked = fixture(&["fn f(m: &Mutex<u32>) { let g = m.lock(); }"]);
+        assert!(lint_source("a.rs", &unmarked).is_empty());
+    }
+
+    #[test]
+    fn lock_tag_resolves_across_multiline_chains() {
+        let src = fixture(&[
+            "// lint: lock-order(queue < workers)",
+            "fn f(s: &S) {",
+            "    // lock: queue",
+            "    let g = s",
+            "        .queue",
+            "        .lock()",
+            "        .unwrap_or_else(PoisonError::into_inner);",
+            "}",
+        ]);
+        assert!(lint_source("a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_acquisition_is_flagged() {
+        let src = fixture(&[
+            "// lint: lock-order(queue < workers)",
+            "fn f(s: &S) {",
+            "    // lock: workers",
+            "    let w = s.workers.lock();",
+            "    // lock: queue",
+            "    let q = s.queue.lock();",
+            "}",
+        ]);
+        let vs = lint_source("a.rs", &src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, LintRule::LockOrderViolation);
+        // The declared order is fine, and so is release by scope end.
+        let ordered = fixture(&[
+            "// lint: lock-order(queue < workers)",
+            "fn f(s: &S) {",
+            "    {",
+            "        // lock: queue",
+            "        let q = s.queue.lock();",
+            "    }",
+            "    // lock: workers",
+            "    let w = s.workers.lock();",
+            "    // lock: workers",
+            "    let w2 = s.other_workers.lock();",
+            "}",
+        ]);
+        assert!(lint_source("a.rs", &ordered).is_empty());
+    }
+
+    #[test]
+    fn acquires_tagged_fn_called_under_higher_lock_is_flagged() {
+        let src = fixture(&[
+            "// lint: lock-order(queue < workers)",
+            "// lock: acquires(queue)",
+            "fn requeue(s: &S) {",
+            "    // lock: queue",
+            "    s.queue.lock().push(1);",
+            "}",
+            "fn f(s: &S) {",
+            "    // lock: workers",
+            "    let w = s.workers.lock();",
+            "    requeue(s);",
+            "}",
+        ]);
+        let vs = lint_source("a.rs", &src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, LintRule::LockOrderViolation);
+    }
+
+    #[test]
+    fn unsafe_outside_island_is_flagged() {
+        let src = fixture(&["fn f(p: *const u8) -> u8 { unsafe { *p } }"]);
+        let vs = lint_source("crates/graph/src/csr.rs", &src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, LintRule::UnsafeOutsideIsland);
+        // The forbid/deny attribute's `unsafe_code` token never matches.
+        let attr = fixture(&["#![forbid(unsafe_code)]", "fn f() {}"]);
+        assert!(lint_source("a.rs", &attr).is_empty());
+    }
+
+    #[test]
+    fn island_unsafe_needs_a_safety_comment() {
+        let island = "crates/setops/src/simd.rs";
+        let bare = fixture(&["fn f(p: *const u8) -> u8 { unsafe { *p } }"]);
+        let vs = lint_source(island, &bare);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, LintRule::UnsafeNeedsSafetyComment);
+        let justified = fixture(&[
+            "// SAFETY: caller guarantees p is valid for reads.",
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }",
+        ]);
+        assert!(lint_source(island, &justified).is_empty());
     }
 }

@@ -22,12 +22,18 @@ echo "==> cargo clippy (unwrap/expect gate, lib+bins only)"
 cargo clippy --workspace --lib --bins -- \
   -D clippy::unwrap_used -D clippy::expect_used
 
-# Hot-path hygiene lint: no per-embedding allocation and no unchecked
-# indexing in annotated hot-path modules without a reasoned waiver, and
-# every unwrap/expect allow must cite the §11 policy (see DESIGN.md
-# "Static verification" for the annotation grammar).
-echo "==> fingers-lint (hot-path allocation/indexing/panic-hygiene audit)"
+# Hot-path hygiene + concurrency-discipline lint: no per-embedding
+# allocation and no unchecked indexing in annotated hot-path modules
+# without a reasoned waiver, every unwrap/expect allow must cite the §11
+# policy, every atomic Ordering:: site carries an `ord:` justification
+# tag (Relaxed only inside the allowlist), `.lock()` sites in
+# lock-order-marked files respect the declared ranking, and `unsafe`
+# stays inside the two audited islands (DESIGN.md §12/§16 for the
+# grammars). The binary exits non-zero on any violation — this is the
+# -D-style hard gate.
+echo "==> fingers-lint (hot-path + atomic/lock/unsafe discipline audit)"
 cargo run --release -q -p fingers-verify --bin fingers-lint -- .
+cargo run --release -q -p fingers-verify --no-default-features --bin fingers-lint -- .
 
 # Static plan verification smoke: the full benchmark pattern set must
 # verify clean (exit 0), and a deliberately corrupted plan must be caught
@@ -105,6 +111,28 @@ for seed in 11 23 47; do
   FINGERS_RESULTS_DIR=/nonexistent-fingers-ci-smoke FINGERS_CHAOS_SEED="$seed" \
     cargo run --release -q -p fingers-bench --bin soak_chaos -- --quick > /dev/null
 done
+
+# Model-check job: exhaust the bounded interleaving space of the deque,
+# cancel, gauge, phoenix-rebuild, and degradation-ladder protocols.
+# Release mode because exploration is exponential in schedule points;
+# the wall-clock budget is enforced per harness (CheckOptions carries a
+# max_duration timeout) and every invariant test *asserts* completeness,
+# so a state-space blowup fails loudly instead of truncating silently.
+# The conc crate's own suite also proves the explorer catches a seeded
+# lost-update and deadlock; the mining suite proves the seeded peek/pop
+# TOCTOU bug in claim_racy is still caught. The second pass drops
+# default features, proving the instrumented shim and harnesses need
+# nothing from the simd stack.
+echo "==> model-check job (bounded schedule exploration, default + no-default features)"
+cargo test -q --release -p fingers-conc --features model-check
+cargo test -q --release -p fingers-mining --features model-check --test model_check
+cargo test -q --release -p fingers-server --features model-check --test model_check
+cargo test -q --release -p fingers-mining --no-default-features --features model-check --test model_check
+cargo test -q --release -p fingers-server --no-default-features --features model-check --test model_check
+# State-space stats + seeded-bug gate: conc_check exits non-zero if any
+# invariant harness reports a violation/truncation or the racy fixture's
+# bug goes uncaught (its JSON is what BENCH_conc_check.json records).
+cargo run --release -q -p fingers-server --features model-check --bin conc_check > /dev/null
 
 # Checkpoint/resume smoke: run the first two sections of a quick run_all,
 # stop (simulating an interruption), resume, and assert the manifest ends
